@@ -1,0 +1,20 @@
+//! Criterion microbenchmarks of the §5.2 analytic model: the table
+//! regeneration must stay trivially cheap (it runs inside other benches'
+//! normalization paths).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use firefly_model::Params;
+
+fn bench_model(c: &mut Criterion) {
+    let p = Params::microvax();
+    c.bench_function("model/tpi_at_load", |b| {
+        b.iter(|| black_box(p.tpi(black_box(0.4))))
+    });
+    c.bench_function("model/solve_load_for_np", |b| {
+        b.iter(|| black_box(p.load_for_processors(black_box(5.0))))
+    });
+    c.bench_function("model/table1", |b| b.iter(|| black_box(p.table1())));
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion microbenchmarks of the MDC's BitBlt engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use firefly_io::{FrameBuffer, RasterOp};
+
+fn bench_raster(c: &mut Criterion) {
+    c.bench_function("bitblt/fill_64x64", |b| {
+        let mut fb = FrameBuffer::new();
+        b.iter(|| black_box(fb.fill_rect(100, 100, 64, 64, RasterOp::Xor)));
+    });
+    c.bench_function("bitblt/copy_64x64", |b| {
+        let mut fb = FrameBuffer::new();
+        fb.fill_rect(0, 0, 64, 64, RasterOp::Set);
+        b.iter(|| black_box(fb.bitblt(0, 0, 200, 200, 64, 64, RasterOp::Copy)));
+    });
+    c.bench_function("bitblt/glyph_8x16", |b| {
+        let mut fb = FrameBuffer::new();
+        fb.fill_rect(0, 768, 8, 16, RasterOp::Set);
+        b.iter(|| black_box(fb.bitblt(0, 768, 500, 300, 8, 16, RasterOp::Or)));
+    });
+    c.bench_function("bitblt/count_set", |b| {
+        let mut fb = FrameBuffer::new();
+        fb.fill_rect(0, 0, 1024, 768, RasterOp::Set);
+        b.iter(|| black_box(fb.count_set()));
+    });
+}
+
+criterion_group!(benches, bench_raster);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion macrobenchmarks: full-machine simulation throughput
+//! (simulated cycles per wall-clock second), for the configurations the
+//! experiment binaries sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use firefly_sim::FireflyBuilder;
+use firefly_topaz::exerciser::{run_exerciser, ExerciserConfig};
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_10k_cycles");
+    group.sample_size(20);
+    for cpus in [1usize, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(cpus), &cpus, |b, &cpus| {
+            let mut m = FireflyBuilder::microvax(cpus).seed(1).build();
+            b.iter(|| {
+                m.run(10_000);
+                black_box(m.memory().cycle())
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("exerciser");
+    group.sample_size(10);
+    group.bench_function("table2_5cpu_100k_cycles", |b| {
+        b.iter(|| black_box(run_exerciser(&ExerciserConfig::table2(5), 20_000, 80_000)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion microbenchmarks of the cycle-accurate engine: hit latency,
+//! miss path, write-through path, and raw stepping throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use firefly_core::config::SystemConfig;
+use firefly_core::protocol::ProtocolKind;
+use firefly_core::system::{MemSystem, Request};
+use firefly_core::{Addr, PortId};
+
+fn bench_accesses(c: &mut Criterion) {
+    c.bench_function("memsystem/hit", |b| {
+        let mut sys = MemSystem::new(SystemConfig::microvax(2), ProtocolKind::Firefly).unwrap();
+        let a = Addr::new(0x100);
+        sys.run_to_completion(PortId::new(0), Request::write(a, 1)).unwrap();
+        b.iter(|| black_box(sys.run_to_completion(PortId::new(0), Request::read(a)).unwrap()));
+    });
+    c.bench_function("memsystem/miss_ping_pong", |b| {
+        let mut sys = MemSystem::new(SystemConfig::microvax(2), ProtocolKind::Firefly).unwrap();
+        let a = Addr::new(0x200);
+        let conflict = Addr::from_word_index(a.word_index() + 4096);
+        b.iter(|| {
+            sys.run_to_completion(PortId::new(0), Request::read(a)).unwrap();
+            black_box(sys.run_to_completion(PortId::new(0), Request::read(conflict)).unwrap())
+        });
+    });
+    c.bench_function("memsystem/shared_write_through", |b| {
+        let mut sys = MemSystem::new(SystemConfig::microvax(2), ProtocolKind::Firefly).unwrap();
+        let a = Addr::new(0x300);
+        sys.run_to_completion(PortId::new(0), Request::read(a)).unwrap();
+        sys.run_to_completion(PortId::new(1), Request::read(a)).unwrap();
+        b.iter(|| black_box(sys.run_to_completion(PortId::new(0), Request::write(a, 7)).unwrap()));
+    });
+    c.bench_function("memsystem/step_idle_1k", |b| {
+        let mut sys = MemSystem::new(SystemConfig::microvax(5), ProtocolKind::Firefly).unwrap();
+        b.iter(|| {
+            for _ in 0..1000 {
+                sys.step();
+            }
+            black_box(sys.cycle())
+        });
+    });
+}
+
+criterion_group!(benches, bench_accesses);
+criterion_main!(benches);

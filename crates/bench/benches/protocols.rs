@@ -1,0 +1,50 @@
+//! Criterion microbenchmarks of the protocol decision tables and the
+//! reference-level simulator: one access must stay well under a
+//! microsecond for the big sweeps to be practical.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use firefly_core::protocol::{ProcOp, ProtocolKind};
+use firefly_core::refsim::RefSim;
+use firefly_core::{Addr, CacheGeometry};
+use firefly_trace::{LocalityParams, RefStream, SyntheticWorkload};
+
+fn bench_refsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refsim_100refs");
+    for kind in [ProtocolKind::Firefly, ProtocolKind::Illinois, ProtocolKind::Dragon] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            let mut fleet =
+                SyntheticWorkload::fleet(4, LocalityParams::paper_calibrated(), 1);
+            let mut sim = RefSim::new(4, CacheGeometry::microvax(), kind);
+            b.iter(|| {
+                for cpu in 0..4 {
+                    for r in fleet[cpu].take_refs(25) {
+                        sim.access(cpu, r.kind.proc_op(), r.addr);
+                    }
+                }
+                black_box(sim.stats().bus_ops())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ping_pong(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ping_pong_write_pair");
+    for kind in ProtocolKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            let mut sim = RefSim::new(2, CacheGeometry::microvax(), kind);
+            let a = Addr::new(0);
+            sim.access(0, ProcOp::Read, a);
+            sim.access(1, ProcOp::Read, a);
+            b.iter(|| {
+                sim.access(0, ProcOp::Write, a);
+                sim.access(1, ProcOp::Write, a);
+                black_box(sim.stats().bus_ops())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refsim, bench_ping_pong);
+criterion_main!(benches);

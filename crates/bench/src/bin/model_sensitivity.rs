@@ -1,0 +1,34 @@
+//! Sensitivity of the §5.2 model to its inputs — including the one the
+//! authors guessed (S) and later measured to be 3x larger.
+
+use firefly_model::sensitivity::{sweep_bus_speed, sweep_miss_rate, sweep_sharing};
+use firefly_model::Params;
+
+fn main() {
+    let base = Params::microvax();
+    println!("model sensitivity at NP = 5 (the standard machine)\n");
+
+    println!("shared-write fraction S (paper assumed .1; exerciser measured .33):");
+    for p in sweep_sharing(&base, 5, &[0.0, 0.1, 0.2, 0.33, 0.5]) {
+        println!("  S={:.2}  {}", p.value, p.estimate);
+    }
+    println!("  -> the guess barely matters: SW is the smallest term.\n");
+
+    println!("miss rate M (the cache lever; CVAX halved it):");
+    for p in sweep_miss_rate(&base, 5, &[0.3, 0.2, 0.15, 0.1, 0.05]) {
+        println!("  M={:.2}  {}", p.value, p.estimate);
+    }
+    println!();
+
+    println!("bus speed (x the 10 MB/s MBus), at NP = 12:");
+    for p in sweep_bus_speed(&base, 12, &[1.0, 2.0, 4.0]) {
+        println!("  {:>3.0}x  {}", p.value, p.estimate);
+    }
+    println!("\nknee vs miss rate (processors worth adding at 0.5 threshold):");
+    for m in [0.3, 0.2, 0.1, 0.05] {
+        println!(
+            "  M={m:.2} -> {} processors",
+            firefly_model::sensitivity::knee_after_miss_rate(&base, m, 0.5)
+        );
+    }
+}

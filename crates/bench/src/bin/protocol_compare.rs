@@ -1,0 +1,110 @@
+//! Ablation A: the six coherence protocols under varying degrees of
+//! sharing — the §5.1 design space, quantified with the Archibald & Baer
+//! reference-level methodology.
+//!
+//! The money row: under real sharing, write-through-invalidate saturates
+//! the bus, invalidation protocols (Write-Once, Berkeley, Illinois) pay
+//! re-miss traffic, and the update protocols (Firefly, Dragon) keep bus
+//! operations per reference lowest.
+
+use firefly_core::protocol::ProtocolKind;
+use firefly_core::refsim::{CostModel, RefSim};
+use firefly_core::CacheGeometry;
+use firefly_trace::{LocalityParams, RefStream, SyntheticWorkload};
+
+fn run(kind: ProtocolKind, cpus: usize, sharing: f64, refs: usize) -> (f64, f64, f64) {
+    let params = LocalityParams {
+        shared_fraction: sharing,
+        shared_words: 512,
+        ..LocalityParams::paper_calibrated()
+    };
+    let mut fleet = SyntheticWorkload::fleet(cpus, params, 7);
+    let mut sim = RefSim::new(cpus, CacheGeometry::microvax(), kind);
+    // Interleave round-robin, warm then measure.
+    for _ in 0..refs / 4 {
+        for (cpu, w) in fleet.iter_mut().enumerate() {
+            let r = w.next_ref();
+            sim.access(cpu, r.kind.proc_op(), r.addr);
+        }
+    }
+    let warm = *sim.stats();
+    for _ in 0..refs {
+        for (cpu, w) in fleet.iter_mut().enumerate() {
+            let r = w.next_ref();
+            sim.access(cpu, r.kind.proc_op(), r.addr);
+        }
+    }
+    let d_refs = (sim.stats().refs() - warm.refs()) as f64;
+    let d_ops = (sim.stats().bus_ops() - warm.bus_ops()) as f64;
+    let d_miss = (sim.stats().misses() - warm.misses()) as f64;
+    let bus_per_ref = d_ops / d_refs;
+    // The bus load this traffic would induce with `cpus` processors:
+    // the self-consistent fixed point of the §5.2 queue model
+    // (L = NP · ops-per-tick · N, ops-per-tick = opi / TPI(L)).
+    let model = CostModel::default();
+    let opi = d_ops / (d_refs / model.refs_per_instruction);
+    let mut load = 0.0f64;
+    for _ in 0..100 {
+        let tpi = model.base_tpi
+            + opi * model.ticks_per_bus_op / (1.0 - load)
+            + 0.852 * load;
+        load = (cpus as f64 * opi * model.ticks_per_bus_op / tpi).min(0.95);
+    }
+    (bus_per_ref, d_miss / d_refs, load)
+}
+
+/// Total system performance at `cpus` via the self-consistent load
+/// (Archibald & Baer's figure of merit, computed with the paper's
+/// queue model).
+fn total_performance(kind: ProtocolKind, cpus: usize, sharing: f64) -> (f64, f64) {
+    let (_, _, load) = run(kind, cpus, sharing, 40_000);
+    let model = CostModel::default();
+    // Recompute TPI at the fixed-point load from a fresh measurement of
+    // bus ops per instruction.
+    let (bpr, _, _) = run(kind, cpus, sharing, 40_000);
+    let opi = bpr * model.refs_per_instruction;
+    let tpi = model.base_tpi + opi * model.ticks_per_bus_op / (1.0 - load.min(0.94)) + 0.852 * load;
+    (load, cpus as f64 * model.base_tpi / tpi)
+}
+
+fn main() {
+    println!("Ablation A: protocol comparison (reference-level, 16 KB caches, 4 CPUs)\n");
+    for sharing in [0.0, 0.05, 0.1, 0.2, 0.33, 0.5] {
+        println!("shared fraction S = {sharing:.2}:");
+        println!(
+            "  {:<14} {:>14} {:>10} {:>16}",
+            "protocol", "bus ops/ref", "miss rate", "est. bus load"
+        );
+        for kind in ProtocolKind::ALL {
+            let (bpr, miss, load) = run(kind, 4, sharing, 60_000);
+            println!("  {:<14} {bpr:>14.4} {miss:>10.3} {load:>16.2}", kind.name());
+        }
+        println!();
+    }
+    println!(
+        "reading: at S=0 all write-back protocols coincide (write-through floods the bus);\n\
+         as S grows, invalidation protocols re-miss on ping-ponged data while the update\n\
+         protocols (Firefly, Dragon) pay only word-sized write-throughs/updates.\n"
+    );
+
+    // The Archibald & Baer figure: total system performance vs CPUs.
+    println!("total system performance vs processors (S = 0.10, queue-model TP):\n");
+    print!("  {:<14}", "protocol");
+    let counts = [2usize, 4, 6, 8];
+    for n in counts {
+        print!("{:>10}", format!("NP={n}"));
+    }
+    println!();
+    for kind in ProtocolKind::ALL {
+        print!("  {:<14}", kind.name());
+        for n in counts {
+            let (_, tp) = total_performance(kind, n, 0.10);
+            print!("{tp:>10.2}");
+        }
+        println!();
+    }
+    println!(
+        "\nthe Firefly holds the highest curve; write-through-invalidate flattens first —\n\
+         the Archibald & Baer conclusion the paper's protocol choice rests on."
+    );
+}

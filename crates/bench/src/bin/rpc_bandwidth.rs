@@ -1,0 +1,33 @@
+//! The §6 RPC claim: "The remote server can sustain a bandwidth of 4.6
+//! megabits per second using an average of three concurrent threads."
+
+use firefly_bench::report;
+use firefly_topaz::rpc::{bandwidth_sweep, simulate, RpcConfig};
+
+fn main() {
+    let cfg = RpcConfig::firefly();
+    println!("RPC data transfer, multiple outstanding calls\n");
+    println!(
+        "pipeline: client CPU {:.1} ms | wire {:.2} ms | server CPU {:.1} ms | reply {:.2} ms",
+        cfg.client_cpu_us / 1e3,
+        cfg.request_tx_us() / 1e3,
+        cfg.server_cpu_us / 1e3,
+        cfg.reply_tx_us() / 1e3
+    );
+    println!(
+        "uncontended call latency {:.1} ms; bottleneck {:.1} ms/call -> saturation {:.2} Mb/s\n",
+        cfg.call_latency_us() / 1e3,
+        cfg.bottleneck_us() / 1e3,
+        cfg.saturation_mbps()
+    );
+
+    println!("{:>8} {:>12} {:>18}", "threads", "Mbit/s", "mean outstanding");
+    for run in bandwidth_sweep(&cfg, 8, 10_000) {
+        println!("{:>8} {:>12.2} {:>18.2}", run.threads, run.payload_mbps, run.mean_outstanding);
+    }
+
+    let three = simulate(&cfg, 3, 10_000);
+    println!();
+    report::compare("bandwidth at 3 threads (Mbit/s)", 4.6, three.payload_mbps, "Mb/s");
+    report::compare("threads to saturate", 3.0, three.mean_outstanding, "threads");
+}

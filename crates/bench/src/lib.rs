@@ -1,0 +1,45 @@
+//! # firefly-bench
+//!
+//! The benchmark harness regenerating every table and figure in the
+//! Firefly paper's evaluation, plus the ablations DESIGN.md calls out.
+//!
+//! Each experiment is a binary; run them with
+//! `cargo run --release -p firefly-bench --bin <name>`:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — the §5.2 analytic estimate (exact) |
+//! | `table2` | Table 2 — expected vs simulated exerciser measurement |
+//! | `figure3` | Figure 3 — the protocol state machine |
+//! | `figure4` | Figure 4 — MBus timing diagrams from a traced run |
+//! | `scaling` | §5.2 — model vs cycle simulation, the 9-CPU knee |
+//! | `protocol_compare` | Ablation A — six protocols across sharing levels |
+//! | `migration_ablation` | Ablation B — AvoidMigration vs FreeMigration |
+//! | `cache_sweep` | Ablation C — cache size and line size |
+//! | `prefetch_ablation` | Ablation D — prefetch off/chip/perfect |
+//! | `io_load` | §3/§5 — a saturated QBus uses ~30% of the MBus |
+//! | `mdc_throughput` | §5 — 16 Mpixel/s fills, ~20k chars/s |
+//! | `rpc_bandwidth` | §6 — 4.6 Mbit/s at ~3 threads |
+//! | `cvax_upgrade` | §5.3 — the CVAX is 2.0–2.5× the MicroVAX |
+//! | `model_sensitivity` | the §5.2 model's response to M, S, and bus speed |
+//! | `parallel_make` | §6 — the parallel make speedup curve |
+//! | `file_streaming` | §6 — file-system read-ahead depth vs throughput |
+//! | `syscall_emulation` | footnote 5 — Ultrix emulation overhead vs service length |
+//!
+//! The Criterion microbenchmarks (`cargo bench -p firefly-bench`) cover
+//! the simulator's own hot paths: protocol decision tables, the cycle
+//! engine, BitBlt, and the analytic model.
+
+/// Shared output helpers for the experiment binaries.
+pub mod report {
+    /// Prints a section header.
+    pub fn section(title: &str) {
+        println!("\n=== {title} ===\n");
+    }
+
+    /// Prints a paper-vs-measured comparison line.
+    pub fn compare(what: &str, paper: f64, measured: f64, unit: &str) {
+        let ratio = if paper == 0.0 { f64::NAN } else { measured / paper };
+        println!("{what:<46} paper {paper:>9.2} {unit:<10} measured {measured:>9.2} ({ratio:>5.2}x)");
+    }
+}

@@ -1,0 +1,481 @@
+//! The MBus: the Firefly's shared memory bus.
+//!
+//! Figure 4 of the paper fixes the timing this module reproduces:
+//!
+//! ```text
+//! cycle 1   arbitration; winner places address + operation
+//! cycle 2   write data driven (MWrite); all other caches probe tags
+//! cycle 3   caches holding the line assert the wired-OR MShared
+//! cycle 4   read data transferred — from memory, unless MShared was
+//!           asserted, in which case the holding caches supply it and
+//!           memory is inhibited
+//! ```
+//!
+//! "There are only two operations, MRead and MWrite. Each requires four
+//! 100 ns bus cycles." — one 4-byte transfer per 400 ns is the 10 MB/s
+//! aggregate bandwidth quoted in §5. Arbitration uses a fixed priority
+//! ("the caches have fixed priority for access to the MBus"), lowest
+//! [`PortId`] first.
+//!
+//! This module owns the *mechanics*: requests, grants, phases, the event
+//! log that the Figure 4 reproduction prints. Protocol glue (snooping and
+//! state changes) lives in [`crate::system`].
+
+use crate::addr::{LineId, PortId};
+use crate::cache::LineData;
+use crate::protocol::BusOp;
+use crate::stats::BusStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Data carried by a bus transaction.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Payload {
+    /// No data (reads, invalidates).
+    None,
+    /// One word at a word offset within the line (write-throughs, updates).
+    Word {
+        /// Word offset within the line.
+        offset: u8,
+        /// The written value.
+        value: u32,
+    },
+    /// A whole line (victim write-backs; one-word-line write-throughs).
+    Line(LineData),
+}
+
+/// Where the read data of a transaction came from.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DataSource {
+    /// No data returned (writes, invalidates).
+    NotApplicable,
+    /// Main memory supplied the data.
+    Memory,
+    /// A cache supplied the data; memory was inhibited.
+    Cache(PortId),
+}
+
+/// An in-flight bus transaction.
+#[derive(Clone, Debug)]
+pub struct Transaction {
+    /// The port that won arbitration.
+    pub initiator: PortId,
+    /// The operation.
+    pub op: BusOp,
+    /// The line addressed.
+    pub line: LineId,
+    /// Data driven by the initiator.
+    pub payload: Payload,
+    /// Cycles completed so far (1 after the arbitration cycle).
+    pub cycles_done: u8,
+    /// The wired-OR `MShared` response (valid after cycle 3).
+    pub mshared: bool,
+}
+
+/// A completed transaction, as recorded in the bus event log.
+///
+/// Contains everything needed to draw the Figure 4 timing diagram.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct TransactionRecord {
+    /// Bus cycle in which arbitration for this transaction occurred.
+    pub start_cycle: u64,
+    /// The initiating port.
+    pub initiator: PortId,
+    /// The operation.
+    pub op: BusOp,
+    /// The line addressed.
+    pub line: LineId,
+    /// Whether `MShared` was asserted in cycle 3.
+    pub mshared: bool,
+    /// Who supplied read data in cycle 4.
+    pub source: DataSource,
+}
+
+impl TransactionRecord {
+    /// Renders this transaction as a per-cycle signal trace in the style
+    /// of Figure 4 of the paper.
+    pub fn timing_diagram(&self) -> String {
+        let c = self.start_cycle;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} {} by {} (cycles {}..{})\n",
+            self.op.mbus_name(),
+            self.line,
+            self.initiator,
+            c,
+            c + 3
+        ));
+        out.push_str(&format!("  cycle {:>6}: arbitrate; {} drives address {}\n", c, self.initiator, self.line));
+        let data_note = if self.op.carries_data() { "initiator drives write data; " } else { "" };
+        out.push_str(&format!("  cycle {:>6}: {}other caches probe tag stores\n", c + 1, data_note));
+        out.push_str(&format!(
+            "  cycle {:>6}: MShared {}\n",
+            c + 2,
+            if self.mshared { "ASSERTED" } else { "not asserted" }
+        ));
+        let xfer = match self.source {
+            DataSource::NotApplicable => "no read data".to_string(),
+            DataSource::Memory => "memory supplies read data".to_string(),
+            DataSource::Cache(p) => format!("cache {p} supplies read data; memory inhibited"),
+        };
+        out.push_str(&format!("  cycle {:>6}: {xfer}\n", c + 3));
+        out
+    }
+}
+
+/// Renders a sequence of transactions as an ASCII waveform in the style
+/// of Figure 4: one row per bus signal, one column per 100 ns cycle.
+///
+/// ```text
+/// cycle    0123456789
+/// op       MReaMWri
+/// MADDR    A___A___
+/// MDATA    ...R.W..
+/// MSHARED  __*_____
+/// ```
+///
+/// `A` marks the address cycle, `W`/`R` the write-data and read-data
+/// cycles, `*` an asserted `MShared`.
+pub fn waveform(records: &[TransactionRecord]) -> String {
+    if records.is_empty() {
+        return String::from("(no transactions)\n");
+    }
+    let start = records[0].start_cycle;
+    let end = records.iter().map(|r| r.start_cycle + 4).max().expect("nonempty");
+    let width = (end - start) as usize;
+    let mut addr = vec![b'_'; width];
+    let mut data = vec![b'.'; width];
+    let mut shared = vec![b'_'; width];
+    let mut ops = vec![b' '; width];
+    for r in records {
+        let o = (r.start_cycle - start) as usize;
+        addr[o] = b'A';
+        if r.op.carries_data() {
+            data[o + 1] = b'W';
+        }
+        if r.mshared {
+            shared[o + 2] = b'*';
+        }
+        if r.op.returns_data() {
+            data[o + 3] = b'R';
+        }
+        let name = r.op.mbus_name().as_bytes();
+        for (i, &c) in name.iter().take(4).enumerate() {
+            ops[o + i] = c;
+        }
+    }
+    let line = |bytes: &[u8]| String::from_utf8_lossy(bytes).into_owned();
+    let mut ruler = String::new();
+    for c in 0..width {
+        ruler.push(char::from_digit(((start as usize + c) % 10) as u32, 10).expect("digit"));
+    }
+    format!(
+        "cycle    {ruler}\nop       {}\nMADDR    {}\nMDATA    {}\nMSHARED  {}\n",
+        line(&ops),
+        line(&addr),
+        line(&data),
+        line(&shared),
+    )
+}
+
+/// The MBus: request lines, fixed-priority grant, one transaction at a
+/// time, statistics, and an optional event log.
+///
+/// # Examples
+///
+/// ```
+/// use firefly_core::bus::{Bus, Payload};
+/// use firefly_core::protocol::BusOp;
+/// use firefly_core::{LineId, PortId};
+///
+/// let mut bus = Bus::new(4, false);
+/// bus.request(PortId::new(2));
+/// bus.request(PortId::new(1));
+/// // Fixed priority: the lower port wins arbitration.
+/// assert_eq!(bus.arbitrate(), Some(PortId::new(1)));
+/// ```
+#[derive(Debug)]
+pub struct Bus {
+    requests: Vec<bool>,
+    current: Option<Transaction>,
+    stats: BusStats,
+    log: Option<Vec<TransactionRecord>>,
+}
+
+impl Bus {
+    /// Creates a bus with `ports` request lines; `trace` enables the
+    /// event log.
+    pub fn new(ports: usize, trace: bool) -> Self {
+        Bus {
+            requests: vec![false; ports],
+            current: None,
+            stats: BusStats::default(),
+            log: if trace { Some(Vec::new()) } else { None },
+        }
+    }
+
+    /// Raises `port`'s bus request line. Idempotent.
+    pub fn request(&mut self, port: PortId) {
+        self.requests[port.index()] = true;
+    }
+
+    /// Drops `port`'s request line.
+    pub fn cancel_request(&mut self, port: PortId) {
+        self.requests[port.index()] = false;
+    }
+
+    /// Whether any port is requesting.
+    pub fn has_requests(&self) -> bool {
+        self.requests.iter().any(|&r| r)
+    }
+
+    /// Whether a transaction is in flight.
+    pub fn is_busy(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// The in-flight transaction, if any.
+    pub fn current(&self) -> Option<&Transaction> {
+        self.current.as_ref()
+    }
+
+    /// Picks the highest-priority requester (lowest port number) without
+    /// starting a transaction. Returns `None` when nobody is requesting.
+    pub fn arbitrate(&self) -> Option<PortId> {
+        self.requests.iter().position(|&r| r).map(PortId::new)
+    }
+
+    /// Starts a transaction for `initiator`, clearing its request line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already in flight.
+    pub fn begin(&mut self, initiator: PortId, op: BusOp, line: LineId, payload: Payload) {
+        assert!(self.current.is_none(), "bus already busy");
+        self.requests[initiator.index()] = false;
+        match op {
+            BusOp::Read => self.stats.reads += 1,
+            BusOp::ReadOwned => self.stats.read_owned += 1,
+            BusOp::Write => self.stats.writes += 1,
+            BusOp::WriteBack => self.stats.write_backs += 1,
+            BusOp::Update => self.stats.updates += 1,
+            BusOp::Invalidate => self.stats.invalidates += 1,
+        }
+        self.current = Some(Transaction { initiator, op, line, payload, cycles_done: 0, mshared: false });
+    }
+
+    /// Advances the in-flight transaction by one cycle; returns the
+    /// transaction when its fourth cycle completes.
+    ///
+    /// The caller (the system) performs the snoop in cycle 2 and feeds the
+    /// `MShared` result via [`set_mshared`](Bus::set_mshared) before the
+    /// transaction completes.
+    pub fn tick(&mut self) -> Option<Transaction> {
+        if let Some(txn) = &mut self.current {
+            self.stats.busy_cycles += 1;
+            txn.cycles_done += 1;
+            if u64::from(txn.cycles_done) == crate::BUS_CYCLES_PER_OP {
+                return self.current.take();
+            }
+        }
+        None
+    }
+
+    /// Accounts one elapsed bus cycle (busy or idle).
+    pub fn count_cycle(&mut self) {
+        self.stats.total_cycles += 1;
+    }
+
+    /// Sets the wired-OR `MShared` response for the in-flight transaction.
+    pub fn set_mshared(&mut self, mshared: bool) {
+        if let Some(txn) = &mut self.current {
+            txn.mshared = mshared;
+            if mshared {
+                self.stats.mshared_asserted += 1;
+            }
+        }
+    }
+
+    /// Records a completed transaction in the statistics and event log.
+    pub fn record_completion(&mut self, txn: &Transaction, start_cycle: u64, source: DataSource) {
+        match source {
+            DataSource::Cache(_) => self.stats.cache_supplied += 1,
+            DataSource::Memory => self.stats.memory_supplied += 1,
+            DataSource::NotApplicable => {}
+        }
+        if let Some(log) = &mut self.log {
+            log.push(TransactionRecord {
+                start_cycle,
+                initiator: txn.initiator,
+                op: txn.op,
+                line: txn.line,
+                mshared: txn.mshared,
+                source,
+            });
+        }
+    }
+
+    /// The bus statistics so far.
+    pub fn stats(&self) -> &BusStats {
+        &self.stats
+    }
+
+    /// The event log (empty slice when tracing is disabled).
+    pub fn log(&self) -> &[TransactionRecord] {
+        self.log.as_deref().unwrap_or(&[])
+    }
+
+    /// Clears the event log (tracing setting unchanged).
+    pub fn clear_log(&mut self) {
+        if let Some(log) = &mut self.log {
+            log.clear();
+        }
+    }
+}
+
+impl fmt::Display for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::None => f.write_str("-"),
+            Payload::Word { offset, value } => write!(f, "w[{offset}]={value:#x}"),
+            Payload::Line(d) => write!(f, "line {:x?}", d.as_slice()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_priority_arbitration() {
+        let mut bus = Bus::new(8, false);
+        assert_eq!(bus.arbitrate(), None);
+        bus.request(PortId::new(5));
+        bus.request(PortId::new(3));
+        bus.request(PortId::new(7));
+        assert_eq!(bus.arbitrate(), Some(PortId::new(3)));
+    }
+
+    #[test]
+    fn transaction_takes_exactly_four_cycles() {
+        let mut bus = Bus::new(2, false);
+        bus.begin(PortId::new(0), BusOp::Read, LineId::from_raw(9), Payload::None);
+        assert!(bus.tick().is_none());
+        assert!(bus.tick().is_none());
+        assert!(bus.tick().is_none());
+        let done = bus.tick().expect("completes on the fourth cycle");
+        assert_eq!(done.cycles_done, 4);
+        assert!(!bus.is_busy());
+    }
+
+    #[test]
+    #[should_panic(expected = "already busy")]
+    fn one_transaction_at_a_time() {
+        let mut bus = Bus::new(2, false);
+        bus.begin(PortId::new(0), BusOp::Read, LineId::from_raw(1), Payload::None);
+        bus.begin(PortId::new(1), BusOp::Read, LineId::from_raw(2), Payload::None);
+    }
+
+    #[test]
+    fn begin_clears_request_line() {
+        let mut bus = Bus::new(2, false);
+        bus.request(PortId::new(1));
+        bus.begin(PortId::new(1), BusOp::Write, LineId::from_raw(1), Payload::Word { offset: 0, value: 1 });
+        assert!(!bus.has_requests());
+    }
+
+    #[test]
+    fn stats_count_op_kinds() {
+        let mut bus = Bus::new(2, false);
+        for (op, _) in [(BusOp::Read, ()), (BusOp::Write, ()), (BusOp::WriteBack, ())] {
+            bus.begin(PortId::new(0), op, LineId::from_raw(1), Payload::None);
+            while bus.tick().is_none() {}
+        }
+        assert_eq!(bus.stats().reads, 1);
+        assert_eq!(bus.stats().writes, 1);
+        assert_eq!(bus.stats().write_backs, 1);
+        assert_eq!(bus.stats().busy_cycles, 12);
+    }
+
+    #[test]
+    fn log_records_when_enabled() {
+        let mut bus = Bus::new(2, true);
+        bus.begin(PortId::new(1), BusOp::Read, LineId::from_raw(4), Payload::None);
+        bus.set_mshared(true);
+        let mut txn = None;
+        while txn.is_none() {
+            txn = bus.tick();
+        }
+        bus.record_completion(&txn.unwrap(), 10, DataSource::Cache(PortId::new(0)));
+        let log = bus.log();
+        assert_eq!(log.len(), 1);
+        assert!(log[0].mshared);
+        assert_eq!(log[0].source, DataSource::Cache(PortId::new(0)));
+        let diagram = log[0].timing_diagram();
+        assert!(diagram.contains("MRead"));
+        assert!(diagram.contains("MShared ASSERTED"));
+        assert!(diagram.contains("memory inhibited"));
+    }
+
+    #[test]
+    fn log_disabled_is_empty() {
+        let bus = Bus::new(2, false);
+        assert!(bus.log().is_empty());
+    }
+
+    #[test]
+    fn waveform_renders_figure4_signals() {
+        let recs = [
+            TransactionRecord {
+                start_cycle: 0,
+                initiator: PortId::new(0),
+                op: BusOp::Read,
+                line: LineId::from_raw(1),
+                mshared: true,
+                source: DataSource::Cache(PortId::new(1)),
+            },
+            TransactionRecord {
+                start_cycle: 4,
+                initiator: PortId::new(1),
+                op: BusOp::Write,
+                line: LineId::from_raw(1),
+                mshared: false,
+                source: DataSource::NotApplicable,
+            },
+        ];
+        let w = waveform(&recs);
+        let lines: Vec<&str> = w.lines().collect();
+        assert_eq!(lines.len(), 5);
+        let maddr = lines[2].strip_prefix("MADDR    ").unwrap();
+        assert_eq!(&maddr[0..1], "A", "address in cycle 1");
+        assert_eq!(&maddr[4..5], "A", "back-to-back second op");
+        let mdata = lines[3].strip_prefix("MDATA    ").unwrap();
+        assert_eq!(&mdata[3..4], "R", "read data in cycle 4");
+        assert_eq!(&mdata[5..6], "W", "write data in cycle 2 of op 2");
+        let mshared = lines[4].strip_prefix("MSHARED  ").unwrap();
+        assert_eq!(&mshared[2..3], "*", "MShared in cycle 3");
+        assert_eq!(&mshared[6..7], "_", "not asserted for op 2");
+    }
+
+    #[test]
+    fn waveform_empty() {
+        assert!(waveform(&[]).contains("no transactions"));
+    }
+
+    #[test]
+    fn mwrite_diagram_mentions_write_data() {
+        let rec = TransactionRecord {
+            start_cycle: 0,
+            initiator: PortId::new(0),
+            op: BusOp::Write,
+            line: LineId::from_raw(1),
+            mshared: false,
+            source: DataSource::NotApplicable,
+        };
+        let d = rec.timing_diagram();
+        assert!(d.contains("MWrite"));
+        assert!(d.contains("write data"));
+        assert!(d.contains("not asserted"));
+    }
+}

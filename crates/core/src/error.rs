@@ -1,0 +1,64 @@
+//! Error types for the Firefly simulator.
+
+use std::error;
+use std::fmt;
+
+/// The error type returned by fallible operations in this crate family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration value was rejected (message explains why).
+    InvalidConfig(String),
+    /// An access referenced a physical address beyond installed memory.
+    AddressOutOfRange {
+        /// The offending address.
+        addr: crate::Addr,
+        /// Installed memory size in bytes.
+        memory_bytes: u64,
+    },
+    /// A port already has an outstanding request.
+    PortBusy(crate::PortId),
+    /// A port id referenced a port that does not exist in this system.
+    NoSuchPort(crate::PortId),
+    /// The simulator detected a coherence violation (a bug, or a
+    /// deliberately broken protocol under test).
+    CoherenceViolation(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::AddressOutOfRange { addr, memory_bytes } => write!(
+                f,
+                "address {addr} is beyond installed memory ({} MB)",
+                memory_bytes >> 20
+            ),
+            Error::PortBusy(p) => write!(f, "port {p} already has an outstanding request"),
+            Error::NoSuchPort(p) => write!(f, "port {p} does not exist in this system"),
+            Error::CoherenceViolation(msg) => write!(f, "coherence violation: {msg}"),
+        }
+    }
+}
+
+impl error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Addr, PortId};
+
+    #[test]
+    fn display_messages() {
+        let e = Error::AddressOutOfRange { addr: Addr::new(0x2000000), memory_bytes: 16 << 20 };
+        assert_eq!(e.to_string(), "address 0x02000000 is beyond installed memory (16 MB)");
+        assert!(Error::PortBusy(PortId::new(3)).to_string().contains("P3"));
+        assert!(Error::InvalidConfig("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,299 @@
+//! The Firefly coherence protocol — Figure 3 of the paper.
+//!
+//! The key idea: "a cache can detect when another cache shares a particular
+//! location. For non-shared lines, a write-back strategy is used. ... For
+//! locations that are shared, processor reads are serviced from the cache,
+//! but when a processor write is done, the cache does write-through, and
+//! other caches that share the datum are updated, as is main storage."
+//!
+//! The `MShared` wired-OR line carries the sharing information: it is
+//! asserted during cycle 3 of every transaction by each snooping cache
+//! that holds the addressed line.
+//!
+//! Distinctive behaviours, each pinned by a test below:
+//!
+//! * **Conditional write-through** — a write hit on a `Shared` line goes to
+//!   the bus; on the response the writer learns whether sharing persists.
+//!   "When a location ceases to be shared, only one extra write-through is
+//!   done by the last cache that contains the location. This write does not
+//!   receive MShared ... so the Shared tag is cleared and the cache reverts
+//!   to doing write-back."
+//! * **Longword write-miss optimization** — a write miss that covers a full
+//!   line skips the fill: "the cache simply does write-through, leaving the
+//!   line clean. The state of the shared tag is determined by the value on
+//!   the MShared line."
+//! * **No invalidation, ever** — sharers absorb write-through data in
+//!   place; lines leave a cache only by replacement.
+//! * **Cache-to-cache supply** — on a read, "if MShared was asserted, the
+//!   caches that contain the line supply the data, and the memory is
+//!   inhibited." A dirty snooped line is additionally flushed so memory
+//!   becomes current (keeping the protocol free of a shared-dirty state).
+
+use super::{BusOp, LineState, Protocol, SnoopResponse, WriteHitEffect, WriteMissPolicy};
+
+/// The Firefly conditional write-through protocol.
+///
+/// # Examples
+///
+/// ```
+/// use firefly_core::protocol::{BusOp, Firefly, LineState, Protocol, WriteHitEffect};
+///
+/// let p = Firefly;
+/// // A write hit on an exclusive clean line is silent and dirties it:
+/// assert_eq!(
+///     p.write_hit(LineState::CleanExclusive),
+///     WriteHitEffect::Silent(LineState::DirtyExclusive),
+/// );
+/// // A write hit on a shared line writes through:
+/// assert_eq!(p.write_hit(LineState::SharedClean), WriteHitEffect::Bus(BusOp::Write));
+/// // ...and reverts to write-back if nobody asserted MShared:
+/// assert_eq!(
+///     p.after_write_bus(LineState::SharedClean, BusOp::Write, false),
+///     LineState::CleanExclusive,
+/// );
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct Firefly;
+
+impl Protocol for Firefly {
+    fn name(&self) -> &'static str {
+        "Firefly"
+    }
+
+    fn states(&self) -> &'static [LineState] {
+        // The four states of Figure 3: no shared-dirty state exists because
+        // writes to shared lines write through (leaving them clean) and
+        // snooped dirty lines flush to memory as they are supplied.
+        &[
+            LineState::Invalid,
+            LineState::CleanExclusive,
+            LineState::SharedClean,
+            LineState::DirtyExclusive,
+        ]
+    }
+
+    fn read_fill_state(&self, shared: bool) -> LineState {
+        // "When the read is done, the Shared tag is set to the value of
+        // MShared returned by other caches."
+        if shared {
+            LineState::SharedClean
+        } else {
+            LineState::CleanExclusive
+        }
+    }
+
+    fn write_miss_policy(&self) -> WriteMissPolicy {
+        // The longword write-miss optimization. The cache layer falls back
+        // to fill-then-write when the write does not cover a whole line.
+        WriteMissPolicy::WriteThrough { allocate: true }
+    }
+
+    fn write_hit(&self, state: LineState) -> WriteHitEffect {
+        match state {
+            // "A CPU write that hits in a nonshared line requires no MBus
+            // traffic. The line is marked dirty..."
+            LineState::CleanExclusive | LineState::DirtyExclusive => {
+                WriteHitEffect::Silent(LineState::DirtyExclusive)
+            }
+            // "If the line is shared, the cache does write-through..."
+            LineState::SharedClean => WriteHitEffect::Bus(BusOp::Write),
+            LineState::Invalid | LineState::SharedDirty => {
+                unreachable!("Firefly write_hit on {state:?}")
+            }
+        }
+    }
+
+    fn after_write_bus(&self, state: LineState, op: BusOp, shared: bool) -> LineState {
+        debug_assert_eq!(state, LineState::SharedClean);
+        debug_assert_eq!(op, BusOp::Write);
+        // "In this case, the line is marked clean and shared" — unless the
+        // write received no MShared, in which case sharing has ceased and
+        // the cache reverts to write-back for this line.
+        if shared {
+            LineState::SharedClean
+        } else {
+            LineState::CleanExclusive
+        }
+    }
+
+    fn snoop(&self, state: LineState, op: BusOp) -> SnoopResponse {
+        if !state.is_valid() {
+            return SnoopResponse::ignore(state);
+        }
+        match op {
+            BusOp::Read => SnoopResponse {
+                // Any holder sees its line become shared and supplies data.
+                next: LineState::SharedClean,
+                assert_shared: true,
+                supply: true,
+                // A dirty holder also updates memory during the transfer,
+                // so every copy (incl. memory) is clean afterwards.
+                flush_to_memory: state.is_dirty(),
+                absorb: false,
+            },
+            BusOp::Write => SnoopResponse {
+                // Another cache wrote through: take the new data in place.
+                // This is how sharers are "updated, as is main storage".
+                next: LineState::SharedClean,
+                assert_shared: true,
+                supply: false,
+                flush_to_memory: false,
+                absorb: true,
+            },
+            // A victim write-back concerns a line no other cache holds
+            // (dirty implies exclusive in Firefly); nothing to do. We
+            // still assert MShared if we hold the line — harmless and
+            // faithful to the hardware, where MShared is a tag-match
+            // signal, but no state changes.
+            BusOp::WriteBack => SnoopResponse {
+                assert_shared: true,
+                ..SnoopResponse::ignore(state)
+            },
+            // Firefly never emits these; respond inertly so that mixed
+            // tests and the transition-table printer stay total.
+            BusOp::ReadOwned | BusOp::Update | BusOp::Invalidate => SnoopResponse {
+                assert_shared: true,
+                ..SnoopResponse::ignore(state)
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LineState::*;
+
+    const P: Firefly = Firefly;
+
+    #[test]
+    fn figure3_has_four_states() {
+        assert_eq!(P.states().len(), 4);
+        assert!(!P.states().contains(&SharedDirty));
+    }
+
+    // --- processor-side transitions of Figure 3 ---
+
+    #[test]
+    fn read_miss_fill_tracks_mshared() {
+        assert_eq!(P.read_fill_state(false), CleanExclusive);
+        assert_eq!(P.read_fill_state(true), SharedClean);
+    }
+
+    #[test]
+    fn write_hit_valid_goes_dirty_silently() {
+        assert_eq!(P.write_hit(CleanExclusive), WriteHitEffect::Silent(DirtyExclusive));
+    }
+
+    #[test]
+    fn write_hit_dirty_stays_dirty_silently() {
+        assert_eq!(P.write_hit(DirtyExclusive), WriteHitEffect::Silent(DirtyExclusive));
+    }
+
+    #[test]
+    fn write_hit_shared_writes_through() {
+        assert_eq!(P.write_hit(SharedClean), WriteHitEffect::Bus(BusOp::Write));
+    }
+
+    #[test]
+    fn write_through_with_mshared_stays_shared_clean() {
+        assert_eq!(P.after_write_bus(SharedClean, BusOp::Write, true), SharedClean);
+    }
+
+    #[test]
+    fn last_sharer_reverts_to_write_back() {
+        // "This write does not receive MShared from another cache, so the
+        // Shared tag is cleared and the cache reverts to doing write-back."
+        assert_eq!(P.after_write_bus(SharedClean, BusOp::Write, false), CleanExclusive);
+    }
+
+    #[test]
+    fn write_miss_is_write_through_allocate() {
+        assert_eq!(P.write_miss_policy(), WriteMissPolicy::WriteThrough { allocate: true });
+        assert_eq!(P.write_through_fill_state(false), CleanExclusive);
+        assert_eq!(P.write_through_fill_state(true), SharedClean);
+    }
+
+    // --- bus-side (snoop) transitions of Figure 3 ---
+
+    #[test]
+    fn snoop_read_makes_holder_shared_and_supplies() {
+        for s in [CleanExclusive, SharedClean] {
+            let r = P.snoop(s, BusOp::Read);
+            assert_eq!(r.next, SharedClean);
+            assert!(r.assert_shared);
+            assert!(r.supply, "caches that contain the line supply the data");
+            assert!(!r.flush_to_memory);
+        }
+    }
+
+    #[test]
+    fn snoop_read_of_dirty_line_flushes_memory() {
+        let r = P.snoop(DirtyExclusive, BusOp::Read);
+        assert_eq!(r.next, SharedClean);
+        assert!(r.assert_shared && r.supply && r.flush_to_memory);
+    }
+
+    #[test]
+    fn snoop_write_through_updates_copy_in_place() {
+        for s in [CleanExclusive, SharedClean] {
+            let r = P.snoop(s, BusOp::Write);
+            assert_eq!(r.next, SharedClean);
+            assert!(r.assert_shared);
+            assert!(r.absorb, "sharers are updated, never invalidated");
+            assert!(!r.supply);
+        }
+    }
+
+    #[test]
+    fn snoop_never_invalidates() {
+        // The Firefly protocol has no invalidation: no reachable snoop
+        // response moves a valid line to Invalid.
+        for s in [CleanExclusive, SharedClean, DirtyExclusive] {
+            for op in [BusOp::Read, BusOp::Write, BusOp::WriteBack] {
+                assert_ne!(P.snoop(s, op).next, Invalid, "snoop({s:?},{op:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn snoop_invalid_ignores_everything() {
+        for op in [BusOp::Read, BusOp::Write, BusOp::WriteBack] {
+            let r = P.snoop(Invalid, op);
+            assert_eq!(r, SnoopResponse::ignore(Invalid));
+        }
+    }
+
+    /// The full Figure 3 diagram as one table: (state, stimulus) -> state.
+    /// P = processor op, M = observed bus op, parenthesized = MShared.
+    #[test]
+    fn figure3_exhaustive() {
+        // PRead hit: no state change, in every valid state.
+        // (Read hits are always local in every protocol; the cache layer
+        // guarantees it — here we pin the snoop/write tables.)
+        let cases: &[(&str, LineState, LineState)] = &[
+            // processor write transitions
+            ("PWrite hit (V)", CleanExclusive, DirtyExclusive),
+            ("PWrite hit (D)", DirtyExclusive, DirtyExclusive),
+            // bus-observed transitions
+            ("MRead snoop (V)", CleanExclusive, SharedClean),
+            ("MRead snoop (S)", SharedClean, SharedClean),
+            ("MRead snoop (D)", DirtyExclusive, SharedClean),
+            ("MWrite snoop (V)", CleanExclusive, SharedClean),
+            ("MWrite snoop (S)", SharedClean, SharedClean),
+        ];
+        for &(what, from, to) in cases {
+            let got = if what.starts_with("PWrite") {
+                match P.write_hit(from) {
+                    WriteHitEffect::Silent(n) => n,
+                    WriteHitEffect::Bus(op) => P.after_write_bus(from, op, true),
+                }
+            } else if what.starts_with("MRead") {
+                P.snoop(from, BusOp::Read).next
+            } else {
+                P.snoop(from, BusOp::Write).next
+            };
+            assert_eq!(got, to, "{what}: {} -> {}", from.short(), to.short());
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The Illinois protocol (Papamarcos & Patel, ISCA 1984) — today called
+//! MESI.
+//!
+//! A write-back invalidation protocol with an exclusive-clean state, so
+//! private data incurs no invalidation traffic at all. It is the strongest
+//! of the invalidation baselines and the standard point of comparison for
+//! update protocols in the Archibald & Baer survey the paper cites.
+//!
+//! Mapping to the familiar MESI names:
+//!
+//! | here | MESI |
+//! |---|---|
+//! | [`LineState::Invalid`] | I |
+//! | [`LineState::CleanExclusive`] | E |
+//! | [`LineState::SharedClean`] | S |
+//! | [`LineState::DirtyExclusive`] | M |
+
+use super::{BusOp, LineState, Protocol, SnoopResponse, WriteHitEffect, WriteMissPolicy};
+
+/// The Illinois (MESI) write-back invalidation protocol.
+///
+/// # Examples
+///
+/// ```
+/// use firefly_core::protocol::{BusOp, Illinois, LineState, Protocol, WriteHitEffect};
+///
+/// let p = Illinois;
+/// // The E state lets private read-then-write run with zero bus traffic:
+/// assert_eq!(
+///     p.write_hit(LineState::CleanExclusive),
+///     WriteHitEffect::Silent(LineState::DirtyExclusive),
+/// );
+/// // Shared lines must be invalidated elsewhere before writing:
+/// assert_eq!(p.write_hit(LineState::SharedClean), WriteHitEffect::Bus(BusOp::Invalidate));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct Illinois;
+
+impl Protocol for Illinois {
+    fn name(&self) -> &'static str {
+        "Illinois"
+    }
+
+    fn states(&self) -> &'static [LineState] {
+        &[
+            LineState::Invalid,
+            LineState::CleanExclusive,
+            LineState::SharedClean,
+            LineState::DirtyExclusive,
+        ]
+    }
+
+    fn read_fill_state(&self, shared: bool) -> LineState {
+        if shared {
+            LineState::SharedClean
+        } else {
+            LineState::CleanExclusive
+        }
+    }
+
+    fn write_miss_policy(&self) -> WriteMissPolicy {
+        WriteMissPolicy::FillExclusive
+    }
+
+    fn write_hit(&self, state: LineState) -> WriteHitEffect {
+        match state {
+            LineState::CleanExclusive | LineState::DirtyExclusive => {
+                WriteHitEffect::Silent(LineState::DirtyExclusive)
+            }
+            LineState::SharedClean => WriteHitEffect::Bus(BusOp::Invalidate),
+            LineState::Invalid | LineState::SharedDirty => {
+                unreachable!("Illinois write_hit on {state:?}")
+            }
+        }
+    }
+
+    fn after_write_bus(&self, _state: LineState, op: BusOp, _shared: bool) -> LineState {
+        debug_assert_eq!(op, BusOp::Invalidate);
+        LineState::DirtyExclusive
+    }
+
+    fn snoop(&self, state: LineState, op: BusOp) -> SnoopResponse {
+        if !state.is_valid() {
+            return SnoopResponse::ignore(state);
+        }
+        match op {
+            BusOp::Read => SnoopResponse {
+                next: LineState::SharedClean,
+                assert_shared: true,
+                // Illinois pioneered cache-to-cache supply of clean data.
+                supply: true,
+                // A dirty snooped line is flushed so memory becomes
+                // current (unlike Berkeley/Dragon).
+                flush_to_memory: state.is_dirty(),
+                absorb: false,
+            },
+            BusOp::ReadOwned => SnoopResponse {
+                next: LineState::Invalid,
+                assert_shared: false,
+                supply: state.is_dirty(),
+                flush_to_memory: state.is_dirty(),
+                absorb: false,
+            },
+            BusOp::Invalidate => SnoopResponse {
+                next: LineState::Invalid,
+                assert_shared: false,
+                supply: false,
+                flush_to_memory: false,
+                absorb: false,
+            },
+            // A foreign write-through (DMA input): our copy is stale.
+            BusOp::Write => SnoopResponse {
+                next: LineState::Invalid,
+                assert_shared: false,
+                supply: false,
+                flush_to_memory: false,
+                absorb: false,
+            },
+            BusOp::WriteBack | BusOp::Update => SnoopResponse {
+                assert_shared: true,
+                ..SnoopResponse::ignore(state)
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LineState::*;
+
+    const P: Illinois = Illinois;
+
+    #[test]
+    fn four_mesi_states() {
+        assert_eq!(P.states().len(), 4);
+        assert!(!P.states().contains(&SharedDirty));
+    }
+
+    #[test]
+    fn exclusive_fill_when_unshared() {
+        assert_eq!(P.read_fill_state(false), CleanExclusive);
+        assert_eq!(P.read_fill_state(true), SharedClean);
+    }
+
+    #[test]
+    fn silent_upgrade_from_exclusive() {
+        assert_eq!(P.write_hit(CleanExclusive), WriteHitEffect::Silent(DirtyExclusive));
+        assert_eq!(P.write_hit(DirtyExclusive), WriteHitEffect::Silent(DirtyExclusive));
+    }
+
+    #[test]
+    fn shared_write_requires_invalidation() {
+        assert_eq!(P.write_hit(SharedClean), WriteHitEffect::Bus(BusOp::Invalidate));
+        assert_eq!(P.after_write_bus(SharedClean, BusOp::Invalidate, false), DirtyExclusive);
+    }
+
+    #[test]
+    fn write_miss_is_read_exclusive() {
+        assert_eq!(P.write_miss_policy(), WriteMissPolicy::FillExclusive);
+    }
+
+    #[test]
+    fn snoop_read_demotes_and_supplies() {
+        for s in [CleanExclusive, SharedClean] {
+            let r = P.snoop(s, BusOp::Read);
+            assert_eq!(r.next, SharedClean);
+            assert!(r.supply && r.assert_shared);
+            assert!(!r.flush_to_memory);
+        }
+        let r = P.snoop(DirtyExclusive, BusOp::Read);
+        assert_eq!(r.next, SharedClean);
+        assert!(r.supply && r.flush_to_memory, "dirty data reaches memory");
+    }
+
+    #[test]
+    fn snoop_read_owned_invalidates() {
+        for s in [CleanExclusive, SharedClean, DirtyExclusive] {
+            let r = P.snoop(s, BusOp::ReadOwned);
+            assert_eq!(r.next, Invalid);
+            assert_eq!(r.supply, s.is_dirty());
+        }
+    }
+
+    #[test]
+    fn snoop_invalidate() {
+        assert_eq!(P.snoop(SharedClean, BusOp::Invalidate).next, Invalid);
+        assert_eq!(P.snoop(CleanExclusive, BusOp::Invalidate).next, Invalid);
+    }
+}

@@ -1,0 +1,175 @@
+//! Goodman's Write-Once protocol (ISCA 1983) — the first published snoopy
+//! cache-coherence scheme.
+//!
+//! A hybrid: the *first* write to a line is written through (which both
+//! updates memory and invalidates the other copies); subsequent writes are
+//! handled write-back with no bus traffic. The post-first-write state,
+//! which Goodman called *Reserved* — clean, exclusive, memory current —
+//! maps onto [`LineState::CleanExclusive`] here.
+
+use super::{BusOp, LineState, Protocol, SnoopResponse, WriteHitEffect, WriteMissPolicy};
+
+/// Goodman's Write-Once protocol.
+///
+/// States: `Invalid`, `SharedClean` (Goodman's *Valid*), `CleanExclusive`
+/// (Goodman's *Reserved*), `DirtyExclusive` (Goodman's *Dirty*).
+///
+/// # Examples
+///
+/// ```
+/// use firefly_core::protocol::{BusOp, LineState, Protocol, WriteHitEffect, WriteOnce};
+///
+/// let p = WriteOnce;
+/// // First write: through to memory (and snoopers invalidate)...
+/// assert_eq!(p.write_hit(LineState::SharedClean), WriteHitEffect::Bus(BusOp::Write));
+/// assert_eq!(
+///     p.after_write_bus(LineState::SharedClean, BusOp::Write, false),
+///     LineState::CleanExclusive, // "Reserved"
+/// );
+/// // Second write: silent.
+/// assert_eq!(
+///     p.write_hit(LineState::CleanExclusive),
+///     WriteHitEffect::Silent(LineState::DirtyExclusive),
+/// );
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct WriteOnce;
+
+impl Protocol for WriteOnce {
+    fn name(&self) -> &'static str {
+        "WriteOnce"
+    }
+
+    fn states(&self) -> &'static [LineState] {
+        &[
+            LineState::Invalid,
+            LineState::SharedClean,
+            LineState::CleanExclusive,
+            LineState::DirtyExclusive,
+        ]
+    }
+
+    fn read_fill_state(&self, _shared: bool) -> LineState {
+        // Goodman's original bus had no sharing feedback; all fills enter
+        // the Valid (possibly-shared) state.
+        LineState::SharedClean
+    }
+
+    fn write_miss_policy(&self) -> WriteMissPolicy {
+        // Write misses fetch the line with intent to modify.
+        WriteMissPolicy::FillExclusive
+    }
+
+    fn write_hit(&self, state: LineState) -> WriteHitEffect {
+        match state {
+            // The write-once write: through to memory, invalidating others.
+            LineState::SharedClean => WriteHitEffect::Bus(BusOp::Write),
+            // Reserved or Dirty: local write-back behaviour.
+            LineState::CleanExclusive | LineState::DirtyExclusive => {
+                WriteHitEffect::Silent(LineState::DirtyExclusive)
+            }
+            LineState::Invalid | LineState::SharedDirty => {
+                unreachable!("WriteOnce write_hit on {state:?}")
+            }
+        }
+    }
+
+    fn after_write_bus(&self, _state: LineState, op: BusOp, _shared: bool) -> LineState {
+        debug_assert_eq!(op, BusOp::Write);
+        // Memory now matches and everyone else invalidated: Reserved.
+        LineState::CleanExclusive
+    }
+
+    fn snoop(&self, state: LineState, op: BusOp) -> SnoopResponse {
+        if !state.is_valid() {
+            return SnoopResponse::ignore(state);
+        }
+        match op {
+            BusOp::Read => SnoopResponse {
+                next: LineState::SharedClean,
+                assert_shared: true,
+                supply: state.is_dirty(),
+                flush_to_memory: state.is_dirty(),
+                absorb: false,
+            },
+            // Observed write-once write: our copy is now stale — invalidate.
+            // (The defining contrast with the Firefly, which absorbs.)
+            BusOp::Write => SnoopResponse {
+                next: LineState::Invalid,
+                assert_shared: false,
+                supply: false,
+                flush_to_memory: false,
+                absorb: false,
+            },
+            BusOp::ReadOwned => SnoopResponse {
+                next: LineState::Invalid,
+                assert_shared: false,
+                supply: state.is_dirty(),
+                flush_to_memory: state.is_dirty(),
+                absorb: false,
+            },
+            BusOp::Invalidate => SnoopResponse {
+                next: LineState::Invalid,
+                assert_shared: false,
+                supply: false,
+                flush_to_memory: false,
+                absorb: false,
+            },
+            BusOp::WriteBack | BusOp::Update => SnoopResponse {
+                assert_shared: true,
+                ..SnoopResponse::ignore(state)
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LineState::*;
+
+    const P: WriteOnce = WriteOnce;
+
+    #[test]
+    fn fills_are_always_potentially_shared() {
+        assert_eq!(P.read_fill_state(false), SharedClean);
+        assert_eq!(P.read_fill_state(true), SharedClean);
+    }
+
+    #[test]
+    fn first_write_goes_through_then_reserved() {
+        assert_eq!(P.write_hit(SharedClean), WriteHitEffect::Bus(BusOp::Write));
+        assert_eq!(P.after_write_bus(SharedClean, BusOp::Write, true), CleanExclusive);
+    }
+
+    #[test]
+    fn second_write_is_silent() {
+        assert_eq!(P.write_hit(CleanExclusive), WriteHitEffect::Silent(DirtyExclusive));
+        assert_eq!(P.write_hit(DirtyExclusive), WriteHitEffect::Silent(DirtyExclusive));
+    }
+
+    #[test]
+    fn observed_write_invalidates_unlike_firefly() {
+        assert_eq!(P.snoop(SharedClean, BusOp::Write).next, Invalid);
+        assert!(!P.snoop(SharedClean, BusOp::Write).absorb);
+    }
+
+    #[test]
+    fn snoop_read_flushes_dirty() {
+        let r = P.snoop(DirtyExclusive, BusOp::Read);
+        assert!(r.supply && r.flush_to_memory);
+        assert_eq!(r.next, SharedClean);
+    }
+
+    #[test]
+    fn snoop_read_owned_invalidates() {
+        for s in [SharedClean, CleanExclusive, DirtyExclusive] {
+            assert_eq!(P.snoop(s, BusOp::ReadOwned).next, Invalid);
+        }
+    }
+
+    #[test]
+    fn write_miss_fetches_exclusive() {
+        assert_eq!(P.write_miss_policy(), WriteMissPolicy::FillExclusive);
+    }
+}

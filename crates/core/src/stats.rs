@@ -1,0 +1,269 @@
+//! Event counters — the software equivalent of the hardware counter the
+//! paper used for Table 2 ("The reference rates are measured using a
+//! counter connected to the hardware").
+//!
+//! The MBus write classification follows §5.3 exactly: "Our measurement
+//! method can distinguish three categories of MBus write: Non-victim
+//! writes that receive MShared from other caches, non-victim writes that
+//! do not receive MShared, and victim writes."
+
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+
+/// Per-cache event counters.
+///
+/// # Examples
+///
+/// ```
+/// use firefly_core::stats::CacheStats;
+///
+/// let mut s = CacheStats::default();
+/// s.cpu_reads = 90;
+/// s.read_misses = 9;
+/// s.cpu_writes = 10;
+/// s.write_misses = 1;
+/// assert!((s.miss_rate() - 0.1).abs() < 1e-12);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Processor-issued reads (instruction and data).
+    pub cpu_reads: u64,
+    /// Processor-issued writes.
+    pub cpu_writes: u64,
+    /// Reads that hit.
+    pub read_hits: u64,
+    /// Writes that hit.
+    pub write_hits: u64,
+    /// Reads that missed.
+    pub read_misses: u64,
+    /// Writes that missed.
+    pub write_misses: u64,
+    /// DMA references routed through this cache (I/O processor only).
+    pub dma_reads: u64,
+    /// DMA writes routed through this cache.
+    pub dma_writes: u64,
+    /// MBus read (fill) transactions issued.
+    pub bus_reads: u64,
+    /// MBus read-owned transactions issued (invalidation protocols).
+    pub bus_read_owned: u64,
+    /// Non-victim MBus writes that received `MShared` — writes to data
+    /// actually shared at that moment.
+    pub wt_shared: u64,
+    /// Non-victim MBus writes that did not receive `MShared` — the "last
+    /// sharer" write-throughs after which the cache reverts to write-back.
+    pub wt_unshared: u64,
+    /// Victim (write-back) MBus writes.
+    pub victim_writes: u64,
+    /// Dragon update transactions issued.
+    pub updates_sent: u64,
+    /// Invalidation transactions issued.
+    pub invalidates_sent: u64,
+    /// Foreign write/update payloads absorbed into a local copy.
+    pub updates_absorbed: u64,
+    /// Local copies killed by snooped invalidating traffic.
+    pub invalidations_taken: u64,
+    /// Transactions for which this cache supplied the data.
+    pub supplies: u64,
+    /// CPU accesses delayed one tick by a snoop probe to the tag store
+    /// (the SP term of the paper's model).
+    pub probe_stalls: u64,
+}
+
+impl CacheStats {
+    /// Total processor references seen.
+    pub fn cpu_refs(&self) -> u64 {
+        self.cpu_reads + self.cpu_writes
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Miss rate over all processor references (the paper's `M`).
+    ///
+    /// Returns 0 when no references have been made.
+    pub fn miss_rate(&self) -> f64 {
+        let refs = self.cpu_refs();
+        if refs == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / refs as f64
+        }
+    }
+
+    /// All MBus write transactions (the three §5.3 categories).
+    pub fn bus_writes(&self) -> u64 {
+        self.wt_shared + self.wt_unshared + self.victim_writes
+    }
+
+    /// All MBus transactions this cache initiated.
+    pub fn bus_ops(&self) -> u64 {
+        self.bus_reads
+            + self.bus_read_owned
+            + self.bus_writes()
+            + self.updates_sent
+            + self.invalidates_sent
+    }
+
+    /// The counter increments since `earlier` (for measurement windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `earlier` is not actually earlier.
+    pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
+        debug_assert!(self.cpu_refs() >= earlier.cpu_refs(), "delta against a later snapshot");
+        CacheStats {
+            cpu_reads: self.cpu_reads - earlier.cpu_reads,
+            cpu_writes: self.cpu_writes - earlier.cpu_writes,
+            read_hits: self.read_hits - earlier.read_hits,
+            write_hits: self.write_hits - earlier.write_hits,
+            read_misses: self.read_misses - earlier.read_misses,
+            write_misses: self.write_misses - earlier.write_misses,
+            dma_reads: self.dma_reads - earlier.dma_reads,
+            dma_writes: self.dma_writes - earlier.dma_writes,
+            bus_reads: self.bus_reads - earlier.bus_reads,
+            bus_read_owned: self.bus_read_owned - earlier.bus_read_owned,
+            wt_shared: self.wt_shared - earlier.wt_shared,
+            wt_unshared: self.wt_unshared - earlier.wt_unshared,
+            victim_writes: self.victim_writes - earlier.victim_writes,
+            updates_sent: self.updates_sent - earlier.updates_sent,
+            invalidates_sent: self.invalidates_sent - earlier.invalidates_sent,
+            updates_absorbed: self.updates_absorbed - earlier.updates_absorbed,
+            invalidations_taken: self.invalidations_taken - earlier.invalidations_taken,
+            supplies: self.supplies - earlier.supplies,
+            probe_stalls: self.probe_stalls - earlier.probe_stalls,
+        }
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, o: Self) {
+        self.cpu_reads += o.cpu_reads;
+        self.cpu_writes += o.cpu_writes;
+        self.read_hits += o.read_hits;
+        self.write_hits += o.write_hits;
+        self.read_misses += o.read_misses;
+        self.write_misses += o.write_misses;
+        self.dma_reads += o.dma_reads;
+        self.dma_writes += o.dma_writes;
+        self.bus_reads += o.bus_reads;
+        self.bus_read_owned += o.bus_read_owned;
+        self.wt_shared += o.wt_shared;
+        self.wt_unshared += o.wt_unshared;
+        self.victim_writes += o.victim_writes;
+        self.updates_sent += o.updates_sent;
+        self.invalidates_sent += o.invalidates_sent;
+        self.updates_absorbed += o.updates_absorbed;
+        self.invalidations_taken += o.invalidations_taken;
+        self.supplies += o.supplies;
+        self.probe_stalls += o.probe_stalls;
+    }
+}
+
+/// MBus-level counters.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct BusStats {
+    /// Cycles during which a transaction occupied the bus.
+    pub busy_cycles: u64,
+    /// Total cycles elapsed.
+    pub total_cycles: u64,
+    /// MRead transactions.
+    pub reads: u64,
+    /// Read-owned transactions.
+    pub read_owned: u64,
+    /// Write-through MWrite transactions.
+    pub writes: u64,
+    /// Victim MWrite transactions.
+    pub write_backs: u64,
+    /// Dragon update transactions.
+    pub updates: u64,
+    /// Invalidate transactions.
+    pub invalidates: u64,
+    /// Transactions during which `MShared` was asserted.
+    pub mshared_asserted: u64,
+    /// Read data supplied cache-to-cache (memory inhibited).
+    pub cache_supplied: u64,
+    /// Read data supplied by main memory.
+    pub memory_supplied: u64,
+}
+
+impl BusStats {
+    /// Total transactions.
+    pub fn ops(&self) -> u64 {
+        self.reads + self.read_owned + self.writes + self.write_backs + self.updates + self.invalidates
+    }
+
+    /// The bus load `L`: fraction of non-idle bus cycles.
+    ///
+    /// Returns 0 before any cycle has elapsed.
+    pub fn load(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// The counter increments since `earlier`.
+    pub fn delta(&self, earlier: &BusStats) -> BusStats {
+        BusStats {
+            busy_cycles: self.busy_cycles - earlier.busy_cycles,
+            total_cycles: self.total_cycles - earlier.total_cycles,
+            reads: self.reads - earlier.reads,
+            read_owned: self.read_owned - earlier.read_owned,
+            writes: self.writes - earlier.writes,
+            write_backs: self.write_backs - earlier.write_backs,
+            updates: self.updates - earlier.updates,
+            invalidates: self.invalidates - earlier.invalidates,
+            mshared_asserted: self.mshared_asserted - earlier.mshared_asserted,
+            cache_supplied: self.cache_supplied - earlier.cache_supplied,
+            memory_supplied: self.memory_supplied - earlier.memory_supplied,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_handles_zero() {
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn bus_write_categories_sum() {
+        let s = CacheStats { wt_shared: 3, wt_unshared: 2, victim_writes: 5, ..Default::default() };
+        assert_eq!(s.bus_writes(), 10);
+    }
+
+    #[test]
+    fn bus_ops_totals() {
+        let s = CacheStats {
+            bus_reads: 4,
+            bus_read_owned: 1,
+            wt_shared: 2,
+            updates_sent: 3,
+            invalidates_sent: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.bus_ops(), 11);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = CacheStats { cpu_reads: 1, supplies: 2, ..Default::default() };
+        let b = CacheStats { cpu_reads: 10, supplies: 5, ..Default::default() };
+        a += b;
+        assert_eq!(a.cpu_reads, 11);
+        assert_eq!(a.supplies, 7);
+    }
+
+    #[test]
+    fn load_is_busy_fraction() {
+        let s = BusStats { busy_cycles: 40, total_cycles: 100, ..Default::default() };
+        assert!((s.load() - 0.4).abs() < 1e-12);
+        assert_eq!(BusStats::default().load(), 0.0);
+    }
+}

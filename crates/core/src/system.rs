@@ -1,0 +1,1189 @@
+//! The composed memory system: N snoopy caches on one MBus in front of
+//! main memory.
+//!
+//! This is the cycle-level engine. Time advances in 100 ns bus cycles via
+//! [`MemSystem::step`]. Each port (a processor's cache, or the I/O
+//! processor's cache carrying DMA) accepts one outstanding [`Request`] at
+//! a time; hits complete locally in the no-wait-state access time, misses
+//! and write-throughs arbitrate for the MBus and occupy four-cycle
+//! transactions with the Figure 4 phase structure. Every transaction is
+//! snooped by every other cache, which may assert `MShared`, supply data
+//! (inhibiting memory), flush a dirty copy to memory, absorb a
+//! write-through, or invalidate — exactly as its [`Protocol`] tables say.
+//!
+//! Tag-store interference is modeled: a processor access in flight at a
+//! transaction's probe cycle is delayed by one CPU tick (the `SP` term of
+//! the paper's performance model, §5.2).
+
+use crate::addr::{Addr, LineId, PortId};
+use crate::bus::{Bus, DataSource, Payload, Transaction, TransactionRecord};
+use crate::cache::{Cache, LineData};
+use crate::config::SystemConfig;
+use crate::error::Error;
+use crate::memory::Memory;
+use crate::protocol::{
+    BusOp, LineState, ProcOp, Protocol, ProtocolKind, SnoopResponse, WriteHitEffect,
+    WriteMissPolicy,
+};
+use crate::stats::{BusStats, CacheStats};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether an access comes from the processor or from a DMA device.
+///
+/// "DMA references to main memory are made through the I/O processor's
+/// cache (although DMA misses do not allocate)" — §5.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A processor reference (allocates on miss).
+    Cpu,
+    /// A DMA reference through the I/O processor's cache (no allocation).
+    Dma,
+}
+
+/// One memory access presented to a port.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Request {
+    /// Read or write.
+    pub op: ProcOp,
+    /// The byte address (word-aligned accesses are the VAX common case).
+    pub addr: Addr,
+    /// The value to write (ignored for reads).
+    pub value: u32,
+    /// Processor or DMA semantics.
+    pub kind: AccessKind,
+}
+
+impl Request {
+    /// A processor read of `addr`.
+    pub fn read(addr: Addr) -> Self {
+        Request { op: ProcOp::Read, addr, value: 0, kind: AccessKind::Cpu }
+    }
+
+    /// A processor write of `value` to `addr`.
+    pub fn write(addr: Addr, value: u32) -> Self {
+        Request { op: ProcOp::Write, addr, value, kind: AccessKind::Cpu }
+    }
+
+    /// A DMA read of `addr` (no allocation on miss).
+    pub fn dma_read(addr: Addr) -> Self {
+        Request { op: ProcOp::Read, addr, value: 0, kind: AccessKind::Dma }
+    }
+
+    /// A DMA write of `value` to `addr` (no allocation on miss).
+    pub fn dma_write(addr: Addr, value: u32) -> Self {
+        Request { op: ProcOp::Write, addr, value, kind: AccessKind::Dma }
+    }
+}
+
+/// The outcome of a completed access.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct AccessResult {
+    /// The value read (for writes, the value written).
+    pub value: u32,
+    /// Whether the access hit in the cache (a write-through on a shared
+    /// hit is still a hit; only fills count as misses).
+    pub hit: bool,
+    /// MBus transactions this access performed.
+    pub bus_ops: u8,
+    /// Whether a snoop probe to the tag store delayed the access one tick.
+    pub probe_stalled: bool,
+    /// Bus cycle at which the access was issued.
+    pub issued_cycle: u64,
+    /// Bus cycle at which the access completed.
+    pub completed_cycle: u64,
+}
+
+impl AccessResult {
+    /// Access latency in bus cycles.
+    pub fn latency_cycles(&self) -> u64 {
+        self.completed_cycle - self.issued_cycle
+    }
+}
+
+/// Why the current bus operation was issued (controller bookkeeping).
+#[derive(Copy, Clone, Debug)]
+enum OpPurpose {
+    /// Write a dirty victim back before filling its slot.
+    VictimWriteBack {
+        victim: LineId,
+    },
+    /// Fill the line for a read (or the read half of fill-then-write).
+    ReadFill {
+        install: bool,
+    },
+    /// Fetch with ownership (`ReadOwned`).
+    ExclusiveFill,
+    /// Firefly longword write-miss / DMA or write-through-protocol write
+    /// miss: write through, optionally installing the written line.
+    WriteThroughMiss {
+        allocate: bool,
+    },
+    /// The bus half of a write hit (write-through / update / invalidate).
+    WriteHitBus,
+}
+
+#[derive(Copy, Clone, Debug)]
+enum Status {
+    /// Waiting for (or in) a bus transaction issued for this purpose.
+    WaitBus(OpPurpose),
+    /// Logically complete; result deliverable at the given cycle.
+    Finishing {
+        at: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Pending {
+    req: Request,
+    issued: u64,
+    value: u32,
+    hit: bool,
+    bus_ops: u8,
+    probe_stalled: bool,
+    status: Status,
+}
+
+struct PortCtl {
+    cache: Cache,
+    pending: Option<Pending>,
+}
+
+/// The Firefly memory system: caches, MBus, and main memory.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+pub struct MemSystem {
+    cfg: SystemConfig,
+    protocol: Box<dyn Protocol>,
+    protocol_kind: ProtocolKind,
+    ports: Vec<PortCtl>,
+    bus: Bus,
+    memory: Memory,
+    cycle: u64,
+    txn_start: u64,
+    /// Snoop responses collected during the probe cycle of the current
+    /// transaction: `(port index, response)`.
+    snoop: Vec<(usize, SnoopResponse)>,
+    /// Pending interprocessor-interrupt lines, one per port ("The MBus
+    /// also provides facilities for system initialization and
+    /// interprocessor interrupts", §5).
+    ipi_pending: Vec<bool>,
+    ipi_sent: u64,
+}
+
+impl MemSystem {
+    /// Builds a memory system from a configuration and protocol choice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the configuration is
+    /// internally inconsistent.
+    pub fn new(cfg: SystemConfig, protocol: ProtocolKind) -> Result<Self, Error> {
+        let ports = (0..cfg.ports())
+            .map(|_| PortCtl { cache: Cache::new(cfg.cache()), pending: None })
+            .collect();
+        Ok(MemSystem {
+            bus: Bus::new(cfg.ports(), cfg.trace_bus()),
+            memory: Memory::with_modules(cfg.memory_bytes(), cfg.variant().module_bytes()),
+            protocol: protocol.build(),
+            protocol_kind: protocol,
+            ports,
+            ipi_pending: vec![false; cfg.ports()],
+            ipi_sent: 0,
+            cfg,
+            cycle: 0,
+            txn_start: 0,
+            snoop: Vec::new(),
+        })
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The coherence protocol in use.
+    pub fn protocol_kind(&self) -> ProtocolKind {
+        self.protocol_kind
+    }
+
+    /// Elapsed bus cycles (100 ns each).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Elapsed simulated time in nanoseconds.
+    pub fn time_ns(&self) -> u64 {
+        self.cycle * crate::BUS_CYCLE_NS
+    }
+
+    /// Begins an access on `port`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NoSuchPort`] — `port` beyond the configured port count.
+    /// * [`Error::PortBusy`] — the port has an unfinished or unpolled
+    ///   access.
+    /// * [`Error::AddressOutOfRange`] — the address is beyond installed
+    ///   memory.
+    pub fn begin(&mut self, port: PortId, req: Request) -> Result<(), Error> {
+        if port.index() >= self.ports.len() {
+            return Err(Error::NoSuchPort(port));
+        }
+        self.memory.check(req.addr)?;
+        if self.ports[port.index()].pending.is_some() {
+            return Err(Error::PortBusy(port));
+        }
+
+        // Classify for the counters (Table 2 categories).
+        let line = self.line_of(req.addr);
+        let was_hit = self.ports[port.index()].cache.state_of(line).is_valid();
+        {
+            let stats = self.ports[port.index()].cache.stats_mut();
+            match (req.kind, req.op) {
+                (AccessKind::Cpu, ProcOp::Read) => stats.cpu_reads += 1,
+                (AccessKind::Cpu, ProcOp::Write) => stats.cpu_writes += 1,
+                (AccessKind::Dma, ProcOp::Read) => stats.dma_reads += 1,
+                (AccessKind::Dma, ProcOp::Write) => stats.dma_writes += 1,
+            }
+            if req.kind == AccessKind::Cpu {
+                match (req.op, was_hit) {
+                    (ProcOp::Read, true) => stats.read_hits += 1,
+                    (ProcOp::Read, false) => stats.read_misses += 1,
+                    (ProcOp::Write, true) => stats.write_hits += 1,
+                    (ProcOp::Write, false) => stats.write_misses += 1,
+                }
+            }
+        }
+
+        self.ports[port.index()].pending = Some(Pending {
+            req,
+            issued: self.cycle,
+            value: req.value,
+            hit: was_hit,
+            bus_ops: 0,
+            probe_stalled: false,
+            status: Status::Finishing { at: u64::MAX }, // placeholder
+        });
+        self.try_progress(port.index());
+        Ok(())
+    }
+
+    /// Retrieves the result of a completed access on `port`, if its
+    /// completion time has been reached.
+    pub fn poll(&mut self, port: PortId) -> Option<AccessResult> {
+        let ctl = &mut self.ports[port.index()];
+        if let Some(p) = &ctl.pending {
+            if let Status::Finishing { at } = p.status {
+                if self.cycle >= at {
+                    let p = ctl.pending.take().expect("checked above");
+                    return Some(AccessResult {
+                        value: p.value,
+                        hit: p.hit,
+                        bus_ops: p.bus_ops,
+                        probe_stalled: p.probe_stalled,
+                        issued_cycle: p.issued,
+                        completed_cycle: at,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Advances the system by one 100 ns bus cycle.
+    pub fn step(&mut self) {
+        self.cycle += 1;
+        self.bus.count_cycle();
+
+        // Arbitration: the bus grants the highest-priority requester and
+        // the winning transaction's first (address) cycle is this cycle.
+        if !self.bus.is_busy() {
+            while let Some(port) = self.bus.arbitrate() {
+                match self.build_grant(port.index()) {
+                    Some((op, line, payload)) => {
+                        self.bus.begin(port, op, line, payload);
+                        self.txn_start = self.cycle;
+                        break;
+                    }
+                    None => {
+                        // Re-planning found no bus need after all (state
+                        // changed while waiting); the access completed
+                        // locally. Try the next requester.
+                        self.bus.cancel_request(port);
+                    }
+                }
+            }
+        }
+
+        if self.bus.is_busy() {
+            // Which cycle of the transaction is executing now?
+            let phase = self.bus.current().expect("bus busy").cycles_done + 1;
+            if phase == 2 {
+                self.snoop_probe();
+            } else if phase == 3 {
+                let mshared = self.snoop.iter().any(|(_, r)| r.assert_shared);
+                self.bus.set_mshared(mshared);
+            }
+            if let Some(txn) = self.bus.tick() {
+                self.finish_transaction(txn);
+            }
+        }
+    }
+
+    /// Runs a single access to completion, stepping the whole system
+    /// (other ports' outstanding accesses progress too).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`begin`](MemSystem::begin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access fails to complete within a generous bound
+    /// (which would indicate a simulator bug).
+    pub fn run_to_completion(&mut self, port: PortId, req: Request) -> Result<AccessResult, Error> {
+        self.begin(port, req)?;
+        for _ in 0..1_000_000 {
+            if let Some(r) = self.poll(port) {
+                return Ok(r);
+            }
+            self.step();
+        }
+        panic!("access on {port} failed to complete within 1M cycles: simulator bug");
+    }
+
+    /// Whether no bus transaction is in flight and no port is waiting on
+    /// one (accesses may still be counting down local completion time).
+    pub fn is_quiescent(&self) -> bool {
+        !self.bus.is_busy()
+            && self
+                .ports
+                .iter()
+                .all(|c| !matches!(c.pending, Some(Pending { status: Status::WaitBus(_), .. })))
+    }
+
+    // ---- introspection --------------------------------------------------
+
+    /// Per-port cache statistics.
+    pub fn cache_stats(&self, port: PortId) -> &CacheStats {
+        self.ports[port.index()].cache.stats()
+    }
+
+    /// Bus statistics.
+    pub fn bus_stats(&self) -> &BusStats {
+        self.bus.stats()
+    }
+
+    /// The bus event log (requires [`SystemConfig::with_bus_trace`]).
+    pub fn bus_log(&self) -> &[TransactionRecord] {
+        self.bus.log()
+    }
+
+    /// Clears the bus event log.
+    pub fn clear_bus_log(&mut self) {
+        self.bus.clear_log();
+    }
+
+    /// The state of `line` in `port`'s cache.
+    pub fn peek_state(&self, port: PortId, line: LineId) -> LineState {
+        self.ports[port.index()].cache.state_of(line)
+    }
+
+    /// The data of `line` in `port`'s cache, if resident.
+    pub fn peek_line(&self, port: PortId, line: LineId) -> Option<LineData> {
+        self.ports[port.index()].cache.line_data(line)
+    }
+
+    /// The current memory word at `addr` (no statistics side effects).
+    pub fn peek_memory_word(&self, addr: Addr) -> u32 {
+        self.memory.peek_word(addr)
+    }
+
+    /// Per-module word traffic `(reads, writes)` — module 0 is the
+    /// master ("one master four-megabyte module, and up to three slave
+    /// modules", §5).
+    pub fn module_traffic(&self) -> Vec<(u64, u64)> {
+        (0..self.memory.modules()).map(|i| self.memory.module_traffic(i)).collect()
+    }
+
+    /// Iterates over the resident lines of `port`'s cache.
+    pub fn resident_lines(&self, port: PortId) -> Vec<(LineId, LineState, LineData)> {
+        self.ports[port.index()]
+            .cache
+            .iter_resident()
+            .map(|(l, s, d)| (l, s, *d))
+            .collect()
+    }
+
+    /// Number of ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Posts an interprocessor interrupt to `target` (the MBus carries
+    /// dedicated interrupt lines beside the transaction wires). This is
+    /// how any processor pokes the I/O processor to start a network
+    /// transfer (§3, footnote 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchPort`] if `target` does not exist.
+    pub fn post_interrupt(&mut self, target: PortId) -> Result<(), Error> {
+        if target.index() >= self.ipi_pending.len() {
+            return Err(Error::NoSuchPort(target));
+        }
+        self.ipi_pending[target.index()] = true;
+        self.ipi_sent += 1;
+        Ok(())
+    }
+
+    /// Reads and clears `port`'s pending interprocessor interrupt.
+    pub fn take_interrupt(&mut self, port: PortId) -> bool {
+        std::mem::take(&mut self.ipi_pending[port.index()])
+    }
+
+    /// Interprocessor interrupts posted so far.
+    pub fn interrupts_sent(&self) -> u64 {
+        self.ipi_sent
+    }
+
+    /// Invalidates every cache (cold-start studies). The system must be
+    /// quiescent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a bus transaction or bus-waiting access is
+    /// in flight.
+    pub fn flush_caches(&mut self) {
+        assert!(self.is_quiescent(), "flush_caches requires a quiescent system");
+        // Dirty data must survive the flush: write owners back first.
+        for i in 0..self.ports.len() {
+            let dirty: Vec<(LineId, LineData)> = self.ports[i]
+                .cache
+                .iter_resident()
+                .filter(|(_, s, _)| s.is_owner())
+                .map(|(l, _, d)| (l, *d))
+                .collect();
+            for (line, data) in dirty {
+                self.memory.write_line(line, &data);
+            }
+            self.ports[i].cache.clear();
+        }
+    }
+
+    // ---- controller internals -------------------------------------------
+
+    fn line_of(&self, addr: Addr) -> LineId {
+        LineId::containing(addr, self.cfg.cache().line_words())
+    }
+
+    fn word_offset(&self, addr: Addr) -> usize {
+        self.line_of(addr).word_offset(addr, self.cfg.cache().line_words())
+    }
+
+    /// Marks the access on `port` complete, deliverable no earlier than
+    /// the no-wait-state hit time and `extra` cycles from now.
+    fn finish(&mut self, port: usize, extra: u64) {
+        let hit_cycles = self.cfg.variant().hit_cycles();
+        let p = self.ports[port].pending.as_mut().expect("finish without pending");
+        let at = (p.issued + hit_cycles).max(self.cycle + extra);
+        p.status = Status::Finishing { at };
+    }
+
+    /// Applies any local effects possible for `port`'s pending access and
+    /// returns the next bus purpose, or `None` if the access completed.
+    fn plan_local(&mut self, port: usize) -> Option<OpPurpose> {
+        let req = self.ports[port].pending.as_ref().expect("plan without pending").req;
+        let line = self.line_of(req.addr);
+        let state = self.ports[port].cache.state_of(line);
+        let lw = self.cfg.cache().line_words();
+
+        match req.op {
+            ProcOp::Read => {
+                if state.is_valid() {
+                    let v = self.ports[port].cache.read_word(req.addr).expect("valid line");
+                    self.ports[port].pending.as_mut().expect("pending").value = v;
+                    self.finish(port, 0);
+                    None
+                } else if req.kind == AccessKind::Dma {
+                    // DMA misses do not allocate: plain bus read.
+                    Some(OpPurpose::ReadFill { install: false })
+                } else {
+                    self.victim_or(port, line, OpPurpose::ReadFill { install: true })
+                }
+            }
+            ProcOp::Write => {
+                if state.is_valid() {
+                    match self.protocol.write_hit(state) {
+                        WriteHitEffect::Silent(next) => {
+                            self.ports[port].cache.write_word(req.addr, req.value);
+                            self.ports[port].cache.set_state(line, next);
+                            self.finish(port, 0);
+                            None
+                        }
+                        WriteHitEffect::Bus(_) => Some(OpPurpose::WriteHitBus),
+                    }
+                } else if req.kind == AccessKind::Dma {
+                    // DMA write miss: write through, never allocate.
+                    Some(OpPurpose::WriteThroughMiss { allocate: false })
+                } else {
+                    match self.protocol.write_miss_policy() {
+                        WriteMissPolicy::WriteThrough { allocate } if lw == 1 => {
+                            if allocate {
+                                self.victim_or(port, line, OpPurpose::WriteThroughMiss { allocate: true })
+                            } else {
+                                Some(OpPurpose::WriteThroughMiss { allocate: false })
+                            }
+                        }
+                        // A partial-line write cannot use the write-through
+                        // optimization: fall back to fill-then-write.
+                        WriteMissPolicy::WriteThrough { .. } | WriteMissPolicy::FillThenWrite => {
+                            self.victim_or(port, line, OpPurpose::ReadFill { install: true })
+                        }
+                        WriteMissPolicy::FillExclusive => {
+                            self.victim_or(port, line, OpPurpose::ExclusiveFill)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// If installing `line` would displace a dirty owner, schedule the
+    /// victim write-back first; otherwise proceed with `then`.
+    fn victim_or(&self, port: usize, line: LineId, then: OpPurpose) -> Option<OpPurpose> {
+        match self.ports[port].cache.victim_of(line) {
+            Some((victim, vstate, _)) if vstate.is_owner() => {
+                Some(OpPurpose::VictimWriteBack { victim })
+            }
+            _ => Some(then),
+        }
+    }
+
+    /// Plans the pending access and either finishes it locally or raises
+    /// the bus request line.
+    fn try_progress(&mut self, port: usize) {
+        if let Some(purpose) = self.plan_local(port) {
+            self.ports[port].pending.as_mut().expect("pending").status = Status::WaitBus(purpose);
+            self.bus.request(PortId::new(port));
+        }
+    }
+
+    /// Called at grant time: re-plans (the cache state may have changed
+    /// while waiting) and constructs the transaction, or returns `None`
+    /// if the access no longer needs the bus.
+    fn build_grant(&mut self, port: usize) -> Option<(BusOp, LineId, Payload)> {
+        let purpose = self.plan_local(port)?;
+        self.ports[port].pending.as_mut().expect("pending").status = Status::WaitBus(purpose);
+
+        let req = self.ports[port].pending.as_ref().expect("pending").req;
+        let line = self.line_of(req.addr);
+        let lw = self.cfg.cache().line_words();
+        Some(match purpose {
+            OpPurpose::VictimWriteBack { victim } => {
+                let data = self.ports[port]
+                    .cache
+                    .line_data(victim)
+                    .expect("victim is resident");
+                (BusOp::WriteBack, victim, Payload::Line(data))
+            }
+            OpPurpose::ReadFill { .. } => (BusOp::Read, line, Payload::None),
+            OpPurpose::ExclusiveFill => (BusOp::ReadOwned, line, Payload::None),
+            OpPurpose::WriteThroughMiss { .. } => {
+                let payload = if lw == 1 {
+                    Payload::Line(LineData::from_word(req.value))
+                } else {
+                    Payload::Word { offset: self.word_offset(req.addr) as u8, value: req.value }
+                };
+                (BusOp::Write, line, payload)
+            }
+            OpPurpose::WriteHitBus => {
+                let state = self.ports[port].cache.state_of(line);
+                let op = match self.protocol.write_hit(state) {
+                    WriteHitEffect::Bus(op) => op,
+                    WriteHitEffect::Silent(_) => unreachable!("plan_local handles silent hits"),
+                };
+                let payload = match op {
+                    BusOp::Invalidate => Payload::None,
+                    _ => Payload::Word { offset: self.word_offset(req.addr) as u8, value: req.value },
+                };
+                (op, line, payload)
+            }
+        })
+    }
+
+    /// Cycle 2 of a transaction: all other caches probe their tag stores
+    /// and prepare their snoop responses; concurrent local accesses are
+    /// delayed one tick.
+    fn snoop_probe(&mut self) {
+        let txn = self.bus.current().expect("bus busy").clone();
+        self.snoop.clear();
+        let tick = self.cfg.variant().cycles_per_tick();
+        for i in 0..self.ports.len() {
+            if i == txn.initiator.index() {
+                continue;
+            }
+            let state = self.ports[i].cache.state_of(txn.line);
+            if state.is_valid() {
+                let resp = self.protocol.snoop(state, txn.op);
+                self.snoop.push((i, resp));
+            }
+            // Tag-store interference (the paper's SP term): a hit in
+            // flight on this port at the probe cycle loses one tick.
+            let cycle = self.cycle;
+            if let Some(p) = &mut self.ports[i].pending {
+                if let Status::Finishing { at } = &mut p.status {
+                    if *at > cycle && p.hit && !p.probe_stalled {
+                        *at += tick;
+                        p.probe_stalled = true;
+                        self.ports[i].cache.stats_mut().probe_stalls += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cycle 4: data transfer and all state updates.
+    fn finish_transaction(&mut self, txn: Transaction) {
+        let line = txn.line;
+        let lw = self.cfg.cache().line_words();
+
+        // Dirty snooped copies flush to memory first (Firefly, Illinois).
+        for &(p, resp) in &self.snoop {
+            if resp.flush_to_memory {
+                let data = self.ports[p].cache.line_data(line).expect("flusher is resident");
+                self.memory.write_line(line, &data);
+            }
+        }
+
+        // Read data: cache-to-cache supply inhibits memory.
+        let supplier = self.snoop.iter().find(|(_, r)| r.supply).map(|&(p, _)| p);
+        let (read_data, source) = if txn.op.returns_data() {
+            match supplier {
+                Some(p) => {
+                    let d = self.ports[p].cache.line_data(line).expect("supplier is resident");
+                    (Some(d), DataSource::Cache(PortId::new(p)))
+                }
+                None => (Some(self.memory.read_line(line, lw)), DataSource::Memory),
+            }
+        } else {
+            (None, DataSource::NotApplicable)
+        };
+        self.bus.record_completion(&txn, self.txn_start, source);
+
+        // Memory effects of the payload.
+        if txn.op.updates_memory() {
+            match txn.payload {
+                Payload::Word { offset, value } => {
+                    self.memory.write_word(line.base_addr(lw).add_words(offset.into()), value);
+                }
+                Payload::Line(d) => self.memory.write_line(line, &d),
+                Payload::None => debug_assert!(false, "{} without payload", txn.op),
+            }
+        }
+
+        // Snooper state changes and absorbs.
+        let invalidating = matches!(txn.op, BusOp::ReadOwned | BusOp::Invalidate | BusOp::Write);
+        for i in 0..self.snoop.len() {
+            let (p, resp) = self.snoop[i];
+            let ctl = &mut self.ports[p];
+            if resp.absorb {
+                match txn.payload {
+                    Payload::Word { offset, value } => {
+                        ctl.cache.absorb_word(line, offset.into(), value);
+                    }
+                    Payload::Line(d) => ctl.cache.absorb_line(line, &d),
+                    Payload::None => {}
+                }
+                ctl.cache.stats_mut().updates_absorbed += 1;
+            }
+            if resp.supply {
+                ctl.cache.stats_mut().supplies += 1;
+            }
+            if ctl.cache.state_of(line).is_valid() {
+                if resp.next == LineState::Invalid {
+                    ctl.cache.evict(line);
+                    if invalidating {
+                        ctl.cache.stats_mut().invalidations_taken += 1;
+                    }
+                } else {
+                    ctl.cache.set_state(line, resp.next);
+                }
+            }
+        }
+        self.snoop.clear();
+
+        // Initiator effects.
+        self.on_bus_complete(txn, read_data);
+    }
+
+    fn on_bus_complete(&mut self, txn: Transaction, data: Option<LineData>) {
+        let port = txn.initiator.index();
+        let miss_extra = self.cfg.variant().miss_extra_cycles();
+        let (purpose, req) = {
+            let p = self.ports[port].pending.as_mut().expect("initiator has pending");
+            p.bus_ops += 1;
+            let purpose = match p.status {
+                Status::WaitBus(purpose) => purpose,
+                Status::Finishing { .. } => unreachable!("bus completion for finished access"),
+            };
+            (purpose, p.req)
+        };
+        let line = self.line_of(req.addr);
+        let offset = self.word_offset(req.addr);
+
+        match purpose {
+            OpPurpose::VictimWriteBack { victim } => {
+                let cache = &mut self.ports[port].cache;
+                cache.stats_mut().victim_writes += 1;
+                cache.evict(victim);
+                // The slot is free: plan the fill.
+                self.try_progress(port);
+            }
+            OpPurpose::ReadFill { install } => {
+                self.ports[port].cache.stats_mut().bus_reads += 1;
+                let d = data.expect("read returns data");
+                if install {
+                    let state = self.protocol.read_fill_state(txn.mshared);
+                    self.ports[port].cache.fill(line, d, state);
+                }
+                if req.op == ProcOp::Read {
+                    self.ports[port].pending.as_mut().expect("pending").value = d.get(offset);
+                    self.finish(port, miss_extra);
+                } else {
+                    // Fill-then-write: the line is now resident; the write
+                    // proceeds as a hit (possibly needing another bus op).
+                    self.try_progress(port);
+                }
+            }
+            OpPurpose::ExclusiveFill => {
+                self.ports[port].cache.stats_mut().bus_read_owned += 1;
+                let mut d = data.expect("read-owned returns data");
+                d.set(offset, req.value);
+                let state = self.protocol.exclusive_fill_state();
+                self.ports[port].cache.fill(line, d, state);
+                self.finish(port, miss_extra);
+            }
+            OpPurpose::WriteThroughMiss { allocate } => {
+                {
+                    let stats = self.ports[port].cache.stats_mut();
+                    if txn.mshared {
+                        stats.wt_shared += 1;
+                    } else {
+                        stats.wt_unshared += 1;
+                    }
+                }
+                if allocate {
+                    debug_assert_eq!(self.cfg.cache().line_words(), 1);
+                    let state = self.protocol.write_through_fill_state(txn.mshared);
+                    self.ports[port].cache.fill(line, LineData::from_word(req.value), state);
+                }
+                self.finish(port, miss_extra);
+            }
+            OpPurpose::WriteHitBus => {
+                let prev = self.ports[port].cache.state_of(line);
+                debug_assert!(prev.is_valid(), "write-hit line vanished mid-transaction");
+                self.ports[port].cache.write_word(req.addr, req.value);
+                let next = self.protocol.after_write_bus(prev, txn.op, txn.mshared);
+                self.ports[port].cache.set_state(line, next);
+                let stats = self.ports[port].cache.stats_mut();
+                match txn.op {
+                    BusOp::Write => {
+                        if txn.mshared {
+                            stats.wt_shared += 1;
+                        } else {
+                            stats.wt_unshared += 1;
+                        }
+                    }
+                    BusOp::Update => stats.updates_sent += 1,
+                    BusOp::Invalidate => stats.invalidates_sent += 1,
+                    _ => debug_assert!(false, "unexpected write-hit op {}", txn.op),
+                }
+                self.finish(port, 0);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for MemSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemSystem")
+            .field("config", &self.cfg)
+            .field("protocol", &self.protocol_kind)
+            .field("cycle", &self.cycle)
+            .field("bus", &self.bus.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(ports: usize, kind: ProtocolKind) -> MemSystem {
+        MemSystem::new(SystemConfig::microvax(ports), kind).expect("valid config")
+    }
+
+    #[test]
+    fn read_of_uninitialized_memory_is_zero() {
+        let mut s = sys(1, ProtocolKind::Firefly);
+        let r = s.run_to_completion(PortId::new(0), Request::read(Addr::new(0x100))).unwrap();
+        assert_eq!(r.value, 0);
+        assert!(!r.hit);
+        assert_eq!(r.bus_ops, 1);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut s = sys(1, ProtocolKind::Firefly);
+        let a = Addr::new(0x200);
+        s.run_to_completion(PortId::new(0), Request::write(a, 1234)).unwrap();
+        let r = s.run_to_completion(PortId::new(0), Request::read(a)).unwrap();
+        assert_eq!(r.value, 1234);
+        assert!(r.hit, "second access hits");
+    }
+
+    #[test]
+    fn hit_latency_is_no_wait_state_access() {
+        let mut s = sys(1, ProtocolKind::Firefly);
+        let a = Addr::new(0x300);
+        s.run_to_completion(PortId::new(0), Request::write(a, 1)).unwrap();
+        let r = s.run_to_completion(PortId::new(0), Request::read(a)).unwrap();
+        // MicroVAX: 400 ns = 4 bus cycles, no wait states.
+        assert_eq!(r.latency_cycles(), 4);
+    }
+
+    #[test]
+    fn miss_latency_adds_one_tick_beyond_bus_op() {
+        let mut s = sys(1, ProtocolKind::Firefly);
+        let r = s.run_to_completion(PortId::new(0), Request::read(Addr::new(0x400))).unwrap();
+        // Arbitration + 4-cycle MRead + 1 tick (2 cycles) miss penalty.
+        // The transaction starts on the step after begin, so latency is
+        // 1 (grant) + 3 (rest of op) + 2 (penalty) counted from issue.
+        assert_eq!(r.latency_cycles(), 6);
+    }
+
+    #[test]
+    fn firefly_write_miss_uses_single_mwrite() {
+        let mut s = sys(1, ProtocolKind::Firefly);
+        let r = s.run_to_completion(PortId::new(0), Request::write(Addr::new(0x500), 7)).unwrap();
+        assert_eq!(r.bus_ops, 1);
+        assert_eq!(s.bus_stats().writes, 1, "one MWrite, no MRead");
+        assert_eq!(s.bus_stats().reads, 0);
+        // Line installed clean-exclusive; memory updated.
+        let line = LineId::containing(Addr::new(0x500), 1);
+        assert_eq!(s.peek_state(PortId::new(0), line), LineState::CleanExclusive);
+        assert_eq!(s.peek_memory_word(Addr::new(0x500)), 7);
+    }
+
+    #[test]
+    fn sharing_detected_via_mshared() {
+        let mut s = sys(2, ProtocolKind::Firefly);
+        let a = Addr::new(0x600);
+        let line = LineId::containing(a, 1);
+        s.run_to_completion(PortId::new(0), Request::read(a)).unwrap();
+        assert_eq!(s.peek_state(PortId::new(0), line), LineState::CleanExclusive);
+        s.run_to_completion(PortId::new(1), Request::read(a)).unwrap();
+        // Both become shared; port 0 supplied the data.
+        assert_eq!(s.peek_state(PortId::new(0), line), LineState::SharedClean);
+        assert_eq!(s.peek_state(PortId::new(1), line), LineState::SharedClean);
+        assert_eq!(s.cache_stats(PortId::new(0)).supplies, 1);
+        assert_eq!(s.bus_stats().cache_supplied, 1);
+    }
+
+    #[test]
+    fn firefly_shared_write_updates_other_caches_and_memory() {
+        let mut s = sys(3, ProtocolKind::Firefly);
+        let a = Addr::new(0x700);
+        let line = LineId::containing(a, 1);
+        for p in 0..3 {
+            s.run_to_completion(PortId::new(p), Request::read(a)).unwrap();
+        }
+        s.run_to_completion(PortId::new(0), Request::write(a, 55)).unwrap();
+        // All copies updated in place, memory updated, everyone shared.
+        for p in 0..3 {
+            assert_eq!(s.peek_line(PortId::new(p), line).unwrap().get(0), 55, "port {p}");
+            assert_eq!(s.peek_state(PortId::new(p), line), LineState::SharedClean);
+        }
+        assert_eq!(s.peek_memory_word(a), 55);
+        assert_eq!(s.cache_stats(PortId::new(0)).wt_shared, 1);
+    }
+
+    #[test]
+    fn last_sharer_write_reverts_to_write_back() {
+        let mut s = sys(2, ProtocolKind::Firefly);
+        let a = Addr::new(0x800);
+        let line = LineId::containing(a, 1);
+        // Make the line shared in both caches.
+        s.run_to_completion(PortId::new(0), Request::read(a)).unwrap();
+        s.run_to_completion(PortId::new(1), Request::read(a)).unwrap();
+        // Displace port 1's copy by reading a conflicting line.
+        let conflict = Addr::from_word_index(a.word_index() + 4096);
+        s.run_to_completion(PortId::new(1), Request::read(conflict)).unwrap();
+        assert_eq!(s.peek_state(PortId::new(1), line), LineState::Invalid);
+        // Port 0 still believes the line is shared: one final write-through.
+        s.run_to_completion(PortId::new(0), Request::write(a, 9)).unwrap();
+        assert_eq!(s.cache_stats(PortId::new(0)).wt_unshared, 1);
+        assert_eq!(s.peek_state(PortId::new(0), line), LineState::CleanExclusive);
+        // The next write is silent (write-back mode).
+        let before = s.bus_stats().ops();
+        s.run_to_completion(PortId::new(0), Request::write(a, 10)).unwrap();
+        assert_eq!(s.bus_stats().ops(), before, "no bus traffic for exclusive write hit");
+        assert_eq!(s.peek_state(PortId::new(0), line), LineState::DirtyExclusive);
+    }
+
+    #[test]
+    fn dirty_line_supplied_to_reader_and_flushed() {
+        let mut s = sys(2, ProtocolKind::Firefly);
+        let a = Addr::new(0x900);
+        let line = LineId::containing(a, 1);
+        s.run_to_completion(PortId::new(0), Request::write(a, 77)).unwrap();
+        s.run_to_completion(PortId::new(0), Request::write(a, 78)).unwrap(); // now dirty
+        assert_eq!(s.peek_state(PortId::new(0), line), LineState::DirtyExclusive);
+        let r = s.run_to_completion(PortId::new(1), Request::read(a)).unwrap();
+        assert_eq!(r.value, 78, "reader gets the dirty data cache-to-cache");
+        assert_eq!(s.peek_memory_word(a), 78, "memory flushed during the supply");
+        assert_eq!(s.peek_state(PortId::new(0), line), LineState::SharedClean);
+        assert_eq!(s.peek_state(PortId::new(1), line), LineState::SharedClean);
+    }
+
+    #[test]
+    fn victim_write_back_preserves_dirty_data() {
+        let mut s = sys(1, ProtocolKind::Firefly);
+        let a = Addr::new(0xa00);
+        s.run_to_completion(PortId::new(0), Request::write(a, 5)).unwrap();
+        s.run_to_completion(PortId::new(0), Request::write(a, 6)).unwrap(); // dirty
+        // Conflict: same index, different tag (16 KB cache, 4096 lines).
+        let conflict = Addr::from_word_index(a.word_index() + 4096);
+        let r = s.run_to_completion(PortId::new(0), Request::read(conflict)).unwrap();
+        assert_eq!(r.bus_ops, 2, "victim write + fill read");
+        assert_eq!(s.cache_stats(PortId::new(0)).victim_writes, 1);
+        assert_eq!(s.peek_memory_word(a), 6, "dirty victim reached memory");
+        // And the data is recoverable.
+        let r = s.run_to_completion(PortId::new(0), Request::read(a)).unwrap();
+        assert_eq!(r.value, 6);
+    }
+
+    #[test]
+    fn clean_victim_is_dropped_silently() {
+        let mut s = sys(1, ProtocolKind::Firefly);
+        let a = Addr::new(0xb00);
+        s.run_to_completion(PortId::new(0), Request::read(a)).unwrap(); // clean
+        let conflict = Addr::from_word_index(a.word_index() + 4096);
+        let r = s.run_to_completion(PortId::new(0), Request::read(conflict)).unwrap();
+        assert_eq!(r.bus_ops, 1, "no victim write for a clean line");
+        assert_eq!(s.cache_stats(PortId::new(0)).victim_writes, 0);
+    }
+
+    #[test]
+    fn illinois_invalidates_sharers_on_write() {
+        let mut s = sys(2, ProtocolKind::Illinois);
+        let a = Addr::new(0xc00);
+        let line = LineId::containing(a, 1);
+        s.run_to_completion(PortId::new(0), Request::read(a)).unwrap();
+        s.run_to_completion(PortId::new(1), Request::read(a)).unwrap();
+        s.run_to_completion(PortId::new(0), Request::write(a, 3)).unwrap();
+        assert_eq!(s.peek_state(PortId::new(0), line), LineState::DirtyExclusive);
+        assert_eq!(s.peek_state(PortId::new(1), line), LineState::Invalid);
+        assert_eq!(s.cache_stats(PortId::new(1)).invalidations_taken, 1);
+        // The reader re-fetches and gets the new value via supply+flush.
+        let r = s.run_to_completion(PortId::new(1), Request::read(a)).unwrap();
+        assert_eq!(r.value, 3);
+        assert_eq!(s.peek_memory_word(a), 3);
+    }
+
+    #[test]
+    fn berkeley_dirty_sharing_leaves_memory_stale() {
+        let mut s = sys(2, ProtocolKind::Berkeley);
+        let a = Addr::new(0xd00);
+        let line = LineId::containing(a, 1);
+        s.run_to_completion(PortId::new(0), Request::write(a, 42)).unwrap();
+        assert_eq!(s.peek_state(PortId::new(0), line), LineState::DirtyExclusive);
+        let r = s.run_to_completion(PortId::new(1), Request::read(a)).unwrap();
+        assert_eq!(r.value, 42, "owner supplies cache-to-cache");
+        assert_eq!(s.peek_state(PortId::new(0), line), LineState::SharedDirty, "owner keeps ownership");
+        assert_eq!(s.peek_memory_word(a), 0, "Berkeley does not update memory on supply");
+    }
+
+    #[test]
+    fn dragon_update_reaches_sharers_not_memory() {
+        let mut s = sys(2, ProtocolKind::Dragon);
+        let a = Addr::new(0xe00);
+        let line = LineId::containing(a, 1);
+        s.run_to_completion(PortId::new(0), Request::read(a)).unwrap();
+        s.run_to_completion(PortId::new(1), Request::read(a)).unwrap();
+        s.run_to_completion(PortId::new(0), Request::write(a, 9)).unwrap();
+        assert_eq!(s.peek_line(PortId::new(1), line).unwrap().get(0), 9, "sharer updated");
+        assert_eq!(s.peek_state(PortId::new(0), line), LineState::SharedDirty, "writer owns");
+        assert_eq!(s.peek_memory_word(a), 0, "memory left stale");
+        assert_eq!(s.cache_stats(PortId::new(0)).updates_sent, 1);
+    }
+
+    #[test]
+    fn write_through_protocol_cycles_bus_on_every_write() {
+        let mut s = sys(1, ProtocolKind::WriteThrough);
+        let a = Addr::new(0xf00);
+        s.run_to_completion(PortId::new(0), Request::read(a)).unwrap();
+        for i in 0..5 {
+            s.run_to_completion(PortId::new(0), Request::write(a, i)).unwrap();
+        }
+        assert_eq!(s.bus_stats().writes, 5);
+    }
+
+    #[test]
+    fn dma_read_does_not_allocate() {
+        let mut s = sys(2, ProtocolKind::Firefly);
+        let a = Addr::new(0x1100);
+        let line = LineId::containing(a, 1);
+        s.run_to_completion(PortId::new(1), Request::write(a, 31)).unwrap();
+        let r = s.run_to_completion(PortId::new(0), Request::dma_read(a)).unwrap();
+        assert_eq!(r.value, 31);
+        assert_eq!(s.peek_state(PortId::new(0), line), LineState::Invalid, "no allocation");
+        assert_eq!(s.cache_stats(PortId::new(0)).dma_reads, 1);
+    }
+
+    #[test]
+    fn dma_write_updates_sharers_without_allocating() {
+        let mut s = sys(3, ProtocolKind::Firefly);
+        let a = Addr::new(0x1200);
+        let line = LineId::containing(a, 1);
+        s.run_to_completion(PortId::new(1), Request::read(a)).unwrap();
+        s.run_to_completion(PortId::new(2), Request::read(a)).unwrap();
+        s.run_to_completion(PortId::new(0), Request::dma_write(a, 88)).unwrap();
+        assert_eq!(s.peek_state(PortId::new(0), line), LineState::Invalid, "no allocation");
+        assert_eq!(s.peek_memory_word(a), 88);
+        for p in [1, 2] {
+            assert_eq!(s.peek_line(PortId::new(p), line).unwrap().get(0), 88, "port {p} absorbed");
+        }
+    }
+
+    #[test]
+    fn fixed_priority_orders_contending_ports() {
+        let mut s = sys(3, ProtocolKind::Firefly);
+        // Three simultaneous read misses to distinct lines.
+        for p in 0..3 {
+            s.begin(PortId::new(p), Request::read(Addr::new(0x2000 + 0x100 * p as u32))).unwrap();
+        }
+        let mut done: Vec<(usize, u64)> = Vec::new();
+        for _ in 0..100 {
+            s.step();
+            for p in 0..3 {
+                if let Some(r) = s.poll(PortId::new(p)) {
+                    done.push((p, r.completed_cycle));
+                }
+            }
+            if done.len() == 3 {
+                break;
+            }
+        }
+        assert_eq!(done.len(), 3);
+        done.sort_by_key(|&(_, c)| c);
+        assert_eq!(done[0].0, 0, "port 0 has highest priority");
+        assert_eq!(done[1].0, 1);
+        assert_eq!(done[2].0, 2);
+    }
+
+    #[test]
+    fn port_busy_and_bad_port_errors() {
+        let mut s = sys(1, ProtocolKind::Firefly);
+        s.begin(PortId::new(0), Request::read(Addr::new(0))).unwrap();
+        assert_eq!(
+            s.begin(PortId::new(0), Request::read(Addr::new(4))),
+            Err(Error::PortBusy(PortId::new(0)))
+        );
+        assert_eq!(
+            s.begin(PortId::new(1), Request::read(Addr::new(4))),
+            Err(Error::NoSuchPort(PortId::new(1)))
+        );
+    }
+
+    #[test]
+    fn out_of_range_address_rejected() {
+        let mut s = sys(1, ProtocolKind::Firefly);
+        let too_far = Addr::new(16 << 20);
+        assert!(matches!(
+            s.begin(PortId::new(0), Request::read(too_far)),
+            Err(Error::AddressOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn bus_load_accounts_busy_cycles() {
+        let mut s = sys(1, ProtocolKind::Firefly);
+        // One miss: 4 busy cycles out of however many elapsed.
+        s.run_to_completion(PortId::new(0), Request::read(Addr::new(0x42_00))).unwrap();
+        assert_eq!(s.bus_stats().busy_cycles, 4);
+        assert!(s.bus_stats().total_cycles >= 4);
+    }
+
+    #[test]
+    fn probe_stall_delays_concurrent_hit() {
+        let mut s = sys(2, ProtocolKind::Firefly);
+        let hot = Addr::new(0x3000);
+        s.run_to_completion(PortId::new(1), Request::read(hot)).unwrap();
+        // Port 0 misses (owns the bus); port 1 then issues a hit that
+        // collides with the probe cycle.
+        s.begin(PortId::new(0), Request::read(Addr::new(0x4000))).unwrap();
+        s.step(); // arbitration + address cycle
+        s.begin(PortId::new(1), Request::read(hot)).unwrap();
+        s.step(); // probe cycle: port 1's hit is stalled
+        let mut r1 = None;
+        for _ in 0..20 {
+            s.step();
+            if r1.is_none() {
+                r1 = s.poll(PortId::new(1));
+            }
+        }
+        let r1 = r1.expect("hit completes");
+        assert!(r1.probe_stalled);
+        assert_eq!(r1.latency_cycles(), 4 + 2, "one extra tick (2 cycles)");
+        assert_eq!(s.cache_stats(PortId::new(1)).probe_stalls, 1);
+    }
+
+    #[test]
+    fn flush_caches_preserves_dirty_data() {
+        let mut s = sys(1, ProtocolKind::Firefly);
+        let a = Addr::new(0x5000);
+        s.run_to_completion(PortId::new(0), Request::write(a, 1)).unwrap();
+        s.run_to_completion(PortId::new(0), Request::write(a, 2)).unwrap(); // dirty
+        s.flush_caches();
+        assert_eq!(s.peek_memory_word(a), 2);
+        let r = s.run_to_completion(PortId::new(0), Request::read(a)).unwrap();
+        assert!(!r.hit, "cold after flush");
+        assert_eq!(r.value, 2);
+    }
+
+    #[test]
+    fn interprocessor_interrupts_deliver_once() {
+        let mut s = sys(3, ProtocolKind::Firefly);
+        assert!(!s.take_interrupt(PortId::new(0)));
+        s.post_interrupt(PortId::new(0)).unwrap();
+        s.post_interrupt(PortId::new(2)).unwrap();
+        assert!(s.take_interrupt(PortId::new(0)), "delivered");
+        assert!(!s.take_interrupt(PortId::new(0)), "cleared on take");
+        assert!(!s.take_interrupt(PortId::new(1)), "not broadcast");
+        assert!(s.take_interrupt(PortId::new(2)));
+        assert_eq!(s.interrupts_sent(), 2);
+        assert_eq!(
+            s.post_interrupt(PortId::new(9)),
+            Err(Error::NoSuchPort(PortId::new(9)))
+        );
+    }
+
+    #[test]
+    fn multiword_lines_fill_whole_line() {
+        let cfg = SystemConfig::microvax(1)
+            .with_cache(crate::CacheGeometry::new(1024, 4).unwrap());
+        let mut s = MemSystem::new(cfg, ProtocolKind::Firefly).unwrap();
+        let base = Addr::new(0x6000);
+        // Write one word (partial-line write miss -> fill-then-write).
+        let r = s.run_to_completion(PortId::new(0), Request::write(base.add_words(1), 11)).unwrap();
+        assert_eq!(r.bus_ops, 1, "fill; write is then a silent hit");
+        // Neighbouring words now hit.
+        let r = s.run_to_completion(PortId::new(0), Request::read(base)).unwrap();
+        assert!(r.hit, "spatial locality with multi-word lines");
+        let r = s.run_to_completion(PortId::new(0), Request::read(base.add_words(1))).unwrap();
+        assert_eq!(r.value, 11);
+    }
+}

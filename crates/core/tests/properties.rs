@@ -1,0 +1,224 @@
+//! Property-based tests of the memory system.
+//!
+//! The centrepiece is engine cross-validation: the cycle-accurate
+//! [`MemSystem`] and the reference-level [`RefSim`] implement the same
+//! protocols through entirely different machinery; for sequentially
+//! issued access streams they must agree *event for event* (hits,
+//! misses, every bus-operation category). A disagreement means one of
+//! the two engines misapplies a protocol table.
+
+use firefly_core::check::CoherenceChecker;
+use firefly_core::config::SystemConfig;
+use firefly_core::protocol::{ProcOp, ProtocolKind};
+use firefly_core::refsim::RefSim;
+use firefly_core::system::{MemSystem, Request};
+use firefly_core::{Addr, CacheGeometry, PortId};
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+struct Step {
+    cpu: usize,
+    write: bool,
+    word: u32,
+}
+
+fn steps(cpus: usize, words: u32, len: usize) -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        (0..cpus, any::<bool>(), 0..words)
+            .prop_map(|(cpu, write, word)| Step { cpu, write, word }),
+        1..len,
+    )
+}
+
+fn cross_validate(kind: ProtocolKind, geometry: CacheGeometry, script: &[Step], cpus: usize) {
+    let cfg = SystemConfig::microvax(cpus).with_cache(geometry);
+    let mut cycle = MemSystem::new(cfg, kind).unwrap();
+    let mut reference = RefSim::new(cpus, geometry, kind);
+
+    for s in script {
+        let addr = Addr::from_word_index(s.word);
+        let op = if s.write { ProcOp::Write } else { ProcOp::Read };
+        reference.access(s.cpu, op, addr);
+        let req = if s.write { Request::write(addr, s.word) } else { Request::read(addr) };
+        cycle.run_to_completion(PortId::new(s.cpu), req).unwrap();
+    }
+
+    // Aggregate the cycle engine's per-cache counters.
+    let mut hits = 0u64;
+    let mut bus_reads = 0u64;
+    let mut bus_read_owned = 0u64;
+    let mut wt_shared = 0u64;
+    let mut wt_unshared = 0u64;
+    let mut victims = 0u64;
+    let mut updates = 0u64;
+    let mut invalidates = 0u64;
+    for p in 0..cpus {
+        let s = cycle.cache_stats(PortId::new(p));
+        hits += s.read_hits + s.write_hits;
+        bus_reads += s.bus_reads;
+        bus_read_owned += s.bus_read_owned;
+        wt_shared += s.wt_shared;
+        wt_unshared += s.wt_unshared;
+        victims += s.victim_writes;
+        updates += s.updates_sent;
+        invalidates += s.invalidates_sent;
+    }
+    let r = reference.stats();
+    assert_eq!(hits, r.read_hits + r.write_hits, "{kind:?}: hit counts diverge");
+    assert_eq!(bus_reads, r.bus_reads, "{kind:?}: bus reads diverge");
+    assert_eq!(bus_read_owned, r.bus_read_owned, "{kind:?}: read-owned diverge");
+    assert_eq!(wt_shared, r.wt_shared, "{kind:?}: wt-shared diverge");
+    assert_eq!(wt_unshared, r.wt_unshared, "{kind:?}: wt-unshared diverge");
+    assert_eq!(victims, r.victim_writes, "{kind:?}: victim writes diverge");
+    assert_eq!(updates, r.updates, "{kind:?}: updates diverge");
+    assert_eq!(invalidates, r.invalidates, "{kind:?}: invalidates diverge");
+
+    // And the per-line states agree exactly.
+    for w in 0..64 {
+        let line = firefly_core::LineId::from_raw(w);
+        for cpu in 0..cpus {
+            assert_eq!(
+                cycle.peek_state(PortId::new(cpu), line),
+                reference.state_of(cpu, line),
+                "{kind:?}: state of line {w} in cache {cpu} diverges"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The two engines agree on every event count and every final line
+    /// state, for every protocol.
+    #[test]
+    fn engines_agree(script in steps(3, 64, 300)) {
+        let geometry = CacheGeometry::new(16, 1).unwrap();
+        for kind in ProtocolKind::ALL {
+            cross_validate(kind, geometry, &script, 3);
+        }
+    }
+
+    /// Same, with multi-word lines (partial-line writes take different
+    /// paths in both engines).
+    #[test]
+    fn engines_agree_multiword(script in steps(2, 64, 200)) {
+        let geometry = CacheGeometry::new(8, 4).unwrap();
+        for kind in [ProtocolKind::Firefly, ProtocolKind::Illinois, ProtocolKind::Dragon] {
+            cross_validate(kind, geometry, &script, 2);
+        }
+    }
+
+    /// Under the update protocols, a reader that re-reads after any
+    /// other CPU's write still hits (no invalidation ever) — and always
+    /// sees the written value.
+    #[test]
+    fn update_protocols_never_invalidate_readers(
+        writes in prop::collection::vec((0u32..8, any::<u32>()), 1..80)
+    ) {
+        for kind in [ProtocolKind::Firefly, ProtocolKind::Dragon] {
+            let cfg = SystemConfig::microvax(2)
+                .with_cache(CacheGeometry::new(16, 1).unwrap());
+            let mut sys = MemSystem::new(cfg, kind).unwrap();
+            // CPU 1 reads the whole window once (now caches it).
+            for w in 0..8u32 {
+                sys.run_to_completion(PortId::new(1), Request::read(Addr::from_word_index(w))).unwrap();
+            }
+            for &(w, v) in &writes {
+                sys.run_to_completion(PortId::new(0), Request::write(Addr::from_word_index(w), v)).unwrap();
+                let r = sys
+                    .run_to_completion(PortId::new(1), Request::read(Addr::from_word_index(w)))
+                    .unwrap();
+                prop_assert!(r.hit, "{:?}: reader was invalidated", kind);
+                prop_assert_eq!(r.value, v, "{:?}: reader saw a stale value", kind);
+            }
+        }
+    }
+
+    /// Bus-cycle conservation: total busy cycles = 4 × transactions, and
+    /// every transaction is attributable to a per-cache counter.
+    #[test]
+    fn bus_accounting_balances(script in steps(3, 48, 250)) {
+        let cfg = SystemConfig::microvax(3)
+            .with_cache(CacheGeometry::new(16, 1).unwrap());
+        let mut sys = MemSystem::new(cfg, ProtocolKind::Firefly).unwrap();
+        for s in &script {
+            let addr = Addr::from_word_index(s.word);
+            let req = if s.write { Request::write(addr, 1) } else { Request::read(addr) };
+            sys.run_to_completion(PortId::new(s.cpu), req).unwrap();
+        }
+        let bus = sys.bus_stats();
+        prop_assert_eq!(bus.busy_cycles, bus.ops() * 4, "four cycles per transaction");
+        let per_cache: u64 = (0..3).map(|p| sys.cache_stats(PortId::new(p)).bus_ops()).sum();
+        prop_assert_eq!(per_cache, bus.ops(), "every transaction has an initiator");
+        prop_assert_eq!(
+            bus.cache_supplied + bus.memory_supplied,
+            bus.reads + bus.read_owned,
+            "every fill has a data source"
+        );
+        CoherenceChecker::new().check(&sys).unwrap();
+    }
+
+    /// Memory beyond what was written stays zero (no wild writes).
+    #[test]
+    fn no_wild_writes(script in steps(2, 32, 150)) {
+        let cfg = SystemConfig::microvax(2)
+            .with_cache(CacheGeometry::new(16, 1).unwrap());
+        let mut sys = MemSystem::new(cfg, ProtocolKind::Firefly).unwrap();
+        for s in &script {
+            let addr = Addr::from_word_index(s.word);
+            let req = if s.write { Request::write(addr, 0xdead_0000 | s.word) } else { Request::read(addr) };
+            sys.run_to_completion(PortId::new(s.cpu), req).unwrap();
+        }
+        sys.flush_caches();
+        for w in 32..128u32 {
+            prop_assert_eq!(sys.peek_memory_word(Addr::from_word_index(w)), 0, "word {}", w);
+        }
+    }
+}
+
+mod primitives {
+    //! Property tests of the address arithmetic and cache geometry.
+
+    use firefly_core::cache::LineData;
+    use firefly_core::{Addr, CacheGeometry, LineId};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Line/index/tag decomposition is a bijection for any geometry.
+        #[test]
+        fn geometry_roundtrip(
+            raw in 0u32..1_000_000,
+            lines_log in 4u32..14,
+            words_log in 0u32..3,
+        ) {
+            let g = CacheGeometry::new(1 << lines_log, 1 << words_log).unwrap();
+            let line = LineId::from_raw(raw);
+            prop_assert_eq!(g.line_from(g.index_of(line), g.tag_of(line)), line);
+        }
+
+        /// Every address maps into exactly one line, and the line's base
+        /// plus the offset recovers the word.
+        #[test]
+        fn line_containment(word in 0u32..10_000_000, words_log in 0u32..5) {
+            let lw = 1usize << words_log;
+            let a = Addr::from_word_index(word);
+            let line = LineId::containing(a, lw);
+            let off = line.word_offset(a, lw);
+            prop_assert!(off < lw);
+            prop_assert_eq!(line.base_addr(lw).add_words(off as u32), a.word_aligned());
+        }
+
+        /// LineData set/get roundtrips at every offset.
+        #[test]
+        fn line_data_roundtrip(values in prop::collection::vec(any::<u32>(), 1..16)) {
+            let mut d = LineData::zeroed(values.len());
+            for (i, &v) in values.iter().enumerate() {
+                d.set(i, v);
+            }
+            prop_assert_eq!(d.as_slice(), &values[..]);
+            let back = LineData::from_words(&values);
+            prop_assert_eq!(back, d);
+        }
+    }
+}

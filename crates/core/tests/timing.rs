@@ -1,0 +1,169 @@
+//! Cycle-exact timing tests against the Figure 4 contract and the §5
+//! bandwidth arithmetic.
+
+use firefly_core::config::SystemConfig;
+use firefly_core::protocol::ProtocolKind;
+use firefly_core::system::{MemSystem, Request};
+use firefly_core::{Addr, PortId, BUS_CYCLES_PER_OP, BUS_CYCLE_NS};
+
+fn traced(ports: usize) -> MemSystem {
+    MemSystem::new(SystemConfig::microvax(ports).with_bus_trace(true), ProtocolKind::Firefly)
+        .unwrap()
+}
+
+/// Figure 4: every transaction occupies exactly four 100 ns cycles, and
+/// back-to-back transactions pack without gaps.
+#[test]
+fn transactions_are_four_cycles_and_pack() {
+    let mut sys = traced(2);
+    // Two CPUs issue misses to distinct lines simultaneously: the bus
+    // must run the two MReads back to back.
+    sys.begin(PortId::new(0), Request::read(Addr::new(0x1000))).unwrap();
+    sys.begin(PortId::new(1), Request::read(Addr::new(0x2000))).unwrap();
+    for _ in 0..40 {
+        sys.step();
+    }
+    let log = sys.bus_log();
+    assert_eq!(log.len(), 2);
+    assert_eq!(
+        log[1].start_cycle,
+        log[0].start_cycle + BUS_CYCLES_PER_OP,
+        "second MRead starts the cycle after the first ends"
+    );
+}
+
+/// The MBus's aggregate bandwidth: one 4-byte transfer per 400 ns is
+/// 10 MB/s (§5). Saturate the bus and check.
+#[test]
+fn saturated_bus_moves_ten_megabytes_per_second() {
+    let mut sys = MemSystem::new(SystemConfig::microvax(4), ProtocolKind::WriteThrough).unwrap();
+    // Write-through with four writers saturates trivially: every write
+    // is a bus op. Keep all four ports always busy.
+    let mut issued = 0u32;
+    for cpu in 0..4 {
+        sys.begin(PortId::new(cpu), Request::write(Addr::new(0x100 + 4 * cpu as u32), 1)).unwrap();
+        issued += 1;
+    }
+    let cycles = 40_000u64;
+    for _ in 0..cycles {
+        sys.step();
+        for cpu in 0..4 {
+            if sys.poll(PortId::new(cpu)).is_some() {
+                sys.begin(
+                    PortId::new(cpu),
+                    Request::write(Addr::new(0x100 + 4 * ((issued % 64) + cpu as u32)), issued),
+                )
+                .unwrap();
+                issued += 1;
+            }
+        }
+    }
+    let bus = sys.bus_stats();
+    let seconds = bus.total_cycles as f64 * BUS_CYCLE_NS as f64 * 1e-9;
+    let bytes = bus.ops() as f64 * 4.0;
+    let mb_per_s = bytes / seconds / 1e6;
+    assert!(bus.load() > 0.9, "bus saturated: L = {:.2}", bus.load());
+    assert!(
+        (8.5..=10.0).contains(&mb_per_s),
+        "saturated MBus moves {mb_per_s:.1} MB/s (paper: 10)"
+    );
+}
+
+/// MShared is computed during the transaction (cycle 3), from the
+/// states snooped in cycle 2: a fill that races with an identical fill
+/// still resolves coherently.
+#[test]
+fn mshared_reflects_pre_transaction_state() {
+    let mut sys = traced(3);
+    let a = Addr::new(0x3000);
+    // P1 holds the line; P0 and P2 miss on it "simultaneously".
+    sys.run_to_completion(PortId::new(1), Request::read(a)).unwrap();
+    sys.clear_bus_log();
+    sys.begin(PortId::new(0), Request::read(a)).unwrap();
+    sys.begin(PortId::new(2), Request::read(a)).unwrap();
+    for _ in 0..40 {
+        sys.step();
+    }
+    let log = sys.bus_log();
+    assert_eq!(log.len(), 2);
+    assert!(log[0].mshared, "P1 asserts MShared for the first fill");
+    assert!(log[1].mshared, "two holders assert for the second");
+    // All three end shared with identical data paths.
+    let line = firefly_core::LineId::containing(a, 1);
+    for p in 0..3 {
+        assert!(sys.peek_state(PortId::new(p), line).is_shared(), "P{p}");
+    }
+}
+
+/// The no-wait-state contract: a warm cache sustains one access per
+/// 400 ns indefinitely (the MicroVAX's required memory cycle time).
+#[test]
+fn warm_hits_sustain_four_hundred_nanoseconds() {
+    let mut sys = traced(1);
+    let a = Addr::new(0x4000);
+    sys.run_to_completion(PortId::new(0), Request::write(a, 1)).unwrap();
+    let start = sys.cycle();
+    let n = 100;
+    for _ in 0..n {
+        let r = sys.run_to_completion(PortId::new(0), Request::read(a)).unwrap();
+        assert!(r.hit);
+    }
+    let per_access = (sys.cycle() - start) as f64 / n as f64;
+    assert!(
+        (4.0..4.6).contains(&per_access),
+        "warm accesses average {per_access:.2} cycles (400 ns no-wait-state)"
+    );
+}
+
+/// Fixed priority "reduces the delays incurred by high priority caches
+/// at the expense of those with lower priority" (§5.2). Two regimes:
+/// with realistic think time between accesses the low port keeps pace;
+/// under pathological back-to-back misses it can be starved outright —
+/// the cost the paper acknowledges.
+#[test]
+fn fixed_priority_expense_and_starvation() {
+    let run = |think_cycles: u64| {
+        let mut sys = MemSystem::new(SystemConfig::microvax(3), ProtocolKind::Firefly).unwrap();
+        let mut completions = [0u64; 3];
+        let mut next = [0u32; 3];
+        let mut wait = [0u64; 3];
+        for cpu in 0..3 {
+            sys.begin(PortId::new(cpu), Request::read(Addr::new(0x5000 + 0x40000 * cpu as u32)))
+                .unwrap();
+        }
+        for _ in 0..40_000 {
+            sys.step();
+            for cpu in 0..3 {
+                if wait[cpu] > 0 {
+                    wait[cpu] -= 1;
+                    if wait[cpu] == 0 {
+                        next[cpu] += 1;
+                        // Always miss (walk distinct lines) to keep contending.
+                        let addr =
+                            Addr::new(0x5000 + 0x40000 * cpu as u32 + 4 * (next[cpu] % 8192));
+                        sys.begin(PortId::new(cpu), Request::read(addr)).unwrap();
+                    }
+                } else if sys.poll(PortId::new(cpu)).is_some() {
+                    completions[cpu] += 1;
+                    wait[cpu] = think_cycles.max(1);
+                }
+            }
+        }
+        completions
+    };
+
+    // Realistic: think time opens bus slots; everyone proceeds, with a
+    // visible (bounded) priority tilt.
+    let fair = run(12);
+    assert!(fair[2] > 0, "port 2 progressed: {fair:?}");
+    assert!(fair[0] >= fair[2], "priority favors port 0: {fair:?}");
+    assert!(fair[2] * 3 > fair[0], "port 2 within 3x of port 0: {fair:?}");
+
+    // Pathological: back-to-back misses from the high ports can shut the
+    // low port out entirely — fixed priority has no fairness guarantee.
+    let starved = run(1);
+    assert!(
+        starved[2] < starved[0] / 2,
+        "saturation starves the low port: {starved:?}"
+    );
+}

@@ -1,0 +1,122 @@
+//! The instruction prefetcher model.
+//!
+//! Table 2's headline surprise is that the real one-CPU machine made
+//! 1350 K references per second where the simulation expected 850 K.
+//! §5.3 attributes the gap to instruction prefetching, which the traces
+//! did not model, and reasons about two of its effects:
+//!
+//! 1. **Overlap** — "If the prefetching were perfect, instruction fetches
+//!    would occur, but they would be overlapped with the execution of
+//!    earlier instructions", raising the issue rate to 476 K
+//!    instructions/s (10.5 TPI).
+//! 2. **Waste** — "instructions that are prefetched but not executed
+//!    increase the reference rate without increasing the issue rate";
+//!    and the waste is load-sensitive: "prefetches occur less frequently
+//!    when bus loading slows non-prefetch references" (visible in the
+//!    read:write ratio falling from 4.7:1 to 3.8:1 between the one- and
+//!    five-CPU measurements).
+//!
+//! The model here implements exactly those two knobs: completed
+//! instruction fetches refund a fraction of their latency against the
+//! instruction's compute time (overlap), and each instruction fetch may
+//! trigger an extra mispath fetch (waste) — *suppressed* whenever the
+//! previous access ran slower than no-wait-state by more than a slack,
+//! which is how bus load throttles the prefetcher.
+
+use serde::{Deserialize, Serialize};
+
+/// Prefetcher configuration.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct PrefetchConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Fraction of a completed instruction fetch's latency refunded
+    /// against compute time (1.0 = perfect prefetch).
+    pub overlap: f64,
+    /// Probability that an instruction fetch is followed by one wasted
+    /// mispath fetch.
+    pub waste_prob: f64,
+    /// Backoff: skip the wasted fetch when the previous access exceeded
+    /// the no-wait-state time by more than this many bus cycles.
+    pub backoff_slack_cycles: u64,
+}
+
+impl PrefetchConfig {
+    /// Prefetching off — the paper's *Expected* (trace-driven) setting.
+    pub fn disabled() -> Self {
+        PrefetchConfig { enabled: false, overlap: 0.0, waste_prob: 0.0, backoff_slack_cycles: 0 }
+    }
+
+    /// A model of the real MicroVAX 78032 prefetcher, calibrated to the
+    /// Table 2 signature: ~10.5 effective TPI and a reference rate well
+    /// above the no-prefetch expectation on an unloaded machine.
+    pub fn microvax_chip() -> Self {
+        PrefetchConfig {
+            enabled: true,
+            // Perfect prefetch would hide the whole fetch; the paper puts
+            // the realized gain at 11.9 -> 10.5 TPI, ~3/4 of the fetch
+            // occupancy.
+            overlap: 0.75,
+            // Tuned so the unloaded reference rate lands in the paper's
+            // measured neighbourhood (~1.3-1.6x expected).
+            waste_prob: 0.65,
+            backoff_slack_cycles: 1,
+        }
+    }
+
+    /// The hypothetical *perfect* prefetcher of the §5.3 discussion:
+    /// full overlap, no waste. Yields the paper's 10.5 TPI / 1014 K
+    /// refs/s counterfactual.
+    pub fn perfect() -> Self {
+        PrefetchConfig { enabled: true, overlap: 1.0, waste_prob: 0.0, backoff_slack_cycles: 0 }
+    }
+
+    /// Validates probabilities and fractions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.overlap) {
+            return Err(format!("overlap must be in [0,1], got {}", self.overlap));
+        }
+        if !(0.0..=1.0).contains(&self.waste_prob) {
+            return Err(format!("waste_prob must be in [0,1], got {}", self.waste_prob));
+        }
+        Ok(())
+    }
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        PrefetchConfig::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        for p in [PrefetchConfig::disabled(), PrefetchConfig::microvax_chip(), PrefetchConfig::perfect()] {
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn perfect_has_no_waste() {
+        let p = PrefetchConfig::perfect();
+        assert_eq!(p.waste_prob, 0.0);
+        assert_eq!(p.overlap, 1.0);
+        assert!(p.enabled);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let p = PrefetchConfig { overlap: 1.5, ..PrefetchConfig::perfect() };
+        assert!(p.validate().unwrap_err().contains("overlap"));
+        let p = PrefetchConfig { waste_prob: -0.1, ..PrefetchConfig::perfect() };
+        assert!(p.validate().unwrap_err().contains("waste_prob"));
+    }
+}

@@ -1,0 +1,226 @@
+//! The QBus and its mapping registers.
+//!
+//! "The 22-bit address space of the QBus is mapped into the 24-bit space
+//! of the Firefly by mapping registers that are controlled by the IO
+//! processor." (§3)
+//!
+//! On the CVAX Firefly the DMA devices still "can access only the first
+//! 16 megabytes of physical memory" — the map targets are bounded
+//! accordingly.
+
+use firefly_core::Addr;
+use std::error;
+use std::fmt;
+
+/// QBus page size in bytes (512, as in the MicroVAX II map hardware).
+pub const PAGE_BYTES: u32 = 512;
+/// Number of map registers: 22-bit space / 512-byte pages.
+pub const MAP_REGISTERS: usize = (1 << 22) / PAGE_BYTES as usize;
+/// DMA devices reach only the first 16 MB of Firefly memory.
+pub const DMA_LIMIT: u32 = 16 << 20;
+
+/// Errors from QBus address translation and map management.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QBusError {
+    /// The QBus address exceeds 22 bits.
+    AddressTooWide(u32),
+    /// The addressed page has no valid mapping.
+    UnmappedPage(usize),
+    /// A map target is beyond the 16 MB DMA-reachable region.
+    TargetBeyondDmaLimit(Addr),
+    /// A map target is not page aligned.
+    TargetUnaligned(Addr),
+    /// The page number exceeds the register file.
+    NoSuchRegister(usize),
+}
+
+impl fmt::Display for QBusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QBusError::AddressTooWide(a) => write!(f, "QBus address {a:#x} exceeds 22 bits"),
+            QBusError::UnmappedPage(p) => write!(f, "QBus page {p} is not mapped"),
+            QBusError::TargetBeyondDmaLimit(a) => {
+                write!(f, "map target {a} is beyond the 16 MB DMA limit")
+            }
+            QBusError::TargetUnaligned(a) => write!(f, "map target {a} is not 512-byte aligned"),
+            QBusError::NoSuchRegister(p) => write!(f, "no map register {p}"),
+        }
+    }
+}
+
+impl error::Error for QBusError {}
+
+/// The QBus map-register file.
+///
+/// # Examples
+///
+/// ```
+/// use firefly_io::QBus;
+/// use firefly_core::Addr;
+///
+/// let mut q = QBus::new();
+/// q.map(3, Addr::new(0x0010_0000))?;
+/// // QBus address = page 3, offset 0x42 -> physical 0x0010_0042.
+/// assert_eq!(q.translate(3 * 512 + 0x42)?, Addr::new(0x0010_0042));
+/// # Ok::<(), firefly_io::qbus::QBusError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QBus {
+    maps: Vec<Option<u32>>, // physical page number
+    translations: u64,
+}
+
+impl QBus {
+    /// A QBus with all map registers invalid.
+    pub fn new() -> Self {
+        QBus { maps: vec![None; MAP_REGISTERS], translations: 0 }
+    }
+
+    /// Points QBus page `page` at physical address `target`.
+    ///
+    /// # Errors
+    ///
+    /// * [`QBusError::NoSuchRegister`] — `page` out of range.
+    /// * [`QBusError::TargetUnaligned`] — `target` not 512-byte aligned.
+    /// * [`QBusError::TargetBeyondDmaLimit`] — `target` above 16 MB.
+    pub fn map(&mut self, page: usize, target: Addr) -> Result<(), QBusError> {
+        if page >= MAP_REGISTERS {
+            return Err(QBusError::NoSuchRegister(page));
+        }
+        if target.byte() % PAGE_BYTES != 0 {
+            return Err(QBusError::TargetUnaligned(target));
+        }
+        if target.byte() >= DMA_LIMIT {
+            return Err(QBusError::TargetBeyondDmaLimit(target));
+        }
+        self.maps[page] = Some(target.byte() / PAGE_BYTES);
+        Ok(())
+    }
+
+    /// Invalidates a map register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QBusError::NoSuchRegister`] if `page` is out of range.
+    pub fn unmap(&mut self, page: usize) -> Result<(), QBusError> {
+        if page >= MAP_REGISTERS {
+            return Err(QBusError::NoSuchRegister(page));
+        }
+        self.maps[page] = None;
+        Ok(())
+    }
+
+    /// Translates a 22-bit QBus address to a Firefly physical address.
+    ///
+    /// # Errors
+    ///
+    /// * [`QBusError::AddressTooWide`] — more than 22 bits.
+    /// * [`QBusError::UnmappedPage`] — invalid map register.
+    pub fn translate(&mut self, qbus_addr: u32) -> Result<Addr, QBusError> {
+        if qbus_addr >= 1 << 22 {
+            return Err(QBusError::AddressTooWide(qbus_addr));
+        }
+        let page = (qbus_addr / PAGE_BYTES) as usize;
+        let offset = qbus_addr % PAGE_BYTES;
+        match self.maps[page] {
+            Some(phys_page) => {
+                self.translations += 1;
+                Ok(Addr::new(phys_page * PAGE_BYTES + offset))
+            }
+            None => Err(QBusError::UnmappedPage(page)),
+        }
+    }
+
+    /// Maps a contiguous buffer of `bytes` starting at QBus page
+    /// `first_page` onto physical memory starting at `target`. Returns
+    /// the base QBus address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QBus::map`] errors.
+    pub fn map_buffer(
+        &mut self,
+        first_page: usize,
+        target: Addr,
+        bytes: u32,
+    ) -> Result<u32, QBusError> {
+        let pages = bytes.div_ceil(PAGE_BYTES);
+        for i in 0..pages {
+            self.map(first_page + i as usize, Addr::new(target.byte() + i * PAGE_BYTES))?;
+        }
+        Ok(first_page as u32 * PAGE_BYTES)
+    }
+
+    /// Translations performed (for traffic accounting).
+    pub fn translations(&self) -> u64 {
+        self.translations
+    }
+}
+
+impl Default for QBus {
+    fn default() -> Self {
+        QBus::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translation_happy_path() {
+        let mut q = QBus::new();
+        q.map(0, Addr::new(0)).unwrap();
+        q.map(1, Addr::new(0x0020_0000)).unwrap();
+        assert_eq!(q.translate(0x10).unwrap(), Addr::new(0x10));
+        assert_eq!(q.translate(512 + 4).unwrap(), Addr::new(0x0020_0004));
+        assert_eq!(q.translations(), 2);
+    }
+
+    #[test]
+    fn unmapped_page_rejected() {
+        let mut q = QBus::new();
+        assert_eq!(q.translate(0x1000), Err(QBusError::UnmappedPage(8)));
+    }
+
+    #[test]
+    fn wide_address_rejected() {
+        let mut q = QBus::new();
+        assert_eq!(q.translate(1 << 22), Err(QBusError::AddressTooWide(1 << 22)));
+    }
+
+    #[test]
+    fn map_validates_target() {
+        let mut q = QBus::new();
+        assert_eq!(q.map(0, Addr::new(3)), Err(QBusError::TargetUnaligned(Addr::new(3))));
+        assert_eq!(
+            q.map(0, Addr::new(16 << 20)),
+            Err(QBusError::TargetBeyondDmaLimit(Addr::new(16 << 20)))
+        );
+        assert_eq!(q.map(MAP_REGISTERS, Addr::new(0)), Err(QBusError::NoSuchRegister(MAP_REGISTERS)));
+    }
+
+    #[test]
+    fn unmap_invalidates() {
+        let mut q = QBus::new();
+        q.map(2, Addr::new(0x200)).unwrap();
+        q.unmap(2).unwrap();
+        assert!(q.translate(2 * 512).is_err());
+    }
+
+    #[test]
+    fn map_buffer_spans_pages() {
+        let mut q = QBus::new();
+        let base = q.map_buffer(10, Addr::new(0x0040_0000), 1500).unwrap();
+        assert_eq!(base, 10 * 512);
+        // 1500 bytes = 3 pages.
+        assert_eq!(q.translate(base + 1499).unwrap(), Addr::new(0x0040_0000 + 1499));
+        assert!(q.translate(base + 512 * 3).is_err(), "fourth page not mapped");
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(QBusError::UnmappedPage(7).to_string().contains("page 7"));
+    }
+}

@@ -1,0 +1,343 @@
+//! The frame buffer and the BitBlt engine.
+//!
+//! "Commands are provided to do BitBlt operations within the internal
+//! frame buffer or between main memory and the buffer. ... The MDC can
+//! paint a large area of the screen at 16 megapixels per second" (§5).
+//! BitBlt — after Ingalls' Smalltalk graphics kernel, which the paper
+//! cites — moves a rectangle of bits with a boolean combination rule.
+//!
+//! The frame buffer is one megapixel of 1-bit pixels: "Three-quarters of
+//! the frame buffer holds the display bitmap, while the rest is
+//! available to the display manager" (the off-screen area where the
+//! font cache lives).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Visible display width in pixels.
+pub const DISPLAY_WIDTH: u32 = 1024;
+/// Visible display height in pixels.
+pub const DISPLAY_HEIGHT: u32 = 768;
+/// Total frame-buffer height: one megapixel at 1024 wide; rows 768..1024
+/// are the off-screen region.
+pub const BUFFER_HEIGHT: u32 = 1024;
+
+/// The boolean combination rule of a BitBlt.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RasterOp {
+    /// dst = src
+    Copy,
+    /// dst |= src
+    Or,
+    /// dst &= src
+    And,
+    /// dst ^= src
+    Xor,
+    /// dst = 0 (src ignored)
+    Clear,
+    /// dst = 1 (src ignored)
+    Set,
+}
+
+impl RasterOp {
+    /// Applies the rule to one pixel.
+    pub fn apply(self, dst: bool, src: bool) -> bool {
+        match self {
+            RasterOp::Copy => src,
+            RasterOp::Or => dst | src,
+            RasterOp::And => dst & src,
+            RasterOp::Xor => dst ^ src,
+            RasterOp::Clear => false,
+            RasterOp::Set => true,
+        }
+    }
+}
+
+/// A one-megapixel, one-bit-per-pixel frame buffer.
+///
+/// # Examples
+///
+/// ```
+/// use firefly_io::{FrameBuffer, RasterOp};
+///
+/// let mut fb = FrameBuffer::new();
+/// fb.fill_rect(10, 10, 4, 4, RasterOp::Set);
+/// assert!(fb.pixel(11, 12));
+/// assert!(!fb.pixel(14, 12), "outside the rectangle");
+/// assert_eq!(fb.count_set(), 16);
+/// ```
+#[derive(Clone)]
+pub struct FrameBuffer {
+    /// Row-major bits, 32 words (1024 bits) per row.
+    words: Vec<u32>,
+}
+
+const WORDS_PER_ROW: u32 = DISPLAY_WIDTH / 32;
+
+impl FrameBuffer {
+    /// A cleared (all-zero) frame buffer.
+    pub fn new() -> Self {
+        FrameBuffer { words: vec![0; (WORDS_PER_ROW * BUFFER_HEIGHT) as usize] }
+    }
+
+    fn index(x: u32, y: u32) -> (usize, u32) {
+        debug_assert!(x < DISPLAY_WIDTH && y < BUFFER_HEIGHT);
+        (((y * WORDS_PER_ROW) + x / 32) as usize, 31 - (x % 32))
+    }
+
+    /// The pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the buffer.
+    pub fn pixel(&self, x: u32, y: u32) -> bool {
+        assert!(x < DISPLAY_WIDTH && y < BUFFER_HEIGHT, "pixel ({x},{y}) out of bounds");
+        let (w, b) = Self::index(x, y);
+        self.words[w] >> b & 1 == 1
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the buffer.
+    pub fn set_pixel(&mut self, x: u32, y: u32, on: bool) {
+        assert!(x < DISPLAY_WIDTH && y < BUFFER_HEIGHT, "pixel ({x},{y}) out of bounds");
+        let (w, b) = Self::index(x, y);
+        if on {
+            self.words[w] |= 1 << b;
+        } else {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Fills the rectangle with a source-free rule (`Clear`, `Set`, or
+    /// `Xor` against an all-ones source for inversion; `Copy`/`Or`/`And`
+    /// treat the source as all ones).
+    ///
+    /// Returns the number of pixels touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle leaves the buffer.
+    pub fn fill_rect(&mut self, x: u32, y: u32, w: u32, h: u32, op: RasterOp) -> u64 {
+        assert!(x + w <= DISPLAY_WIDTH && y + h <= BUFFER_HEIGHT, "fill leaves the buffer");
+        for yy in y..y + h {
+            for xx in x..x + w {
+                let d = self.pixel(xx, yy);
+                self.set_pixel(xx, yy, op.apply(d, true));
+            }
+        }
+        u64::from(w) * u64::from(h)
+    }
+
+    /// BitBlt within the buffer: combines the `w`×`h` rectangle at
+    /// `(sx, sy)` into the one at `(dx, dy)` under `op`. Overlapping
+    /// regions are handled correctly (the source is staged).
+    ///
+    /// Returns the number of pixels touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rectangle leaves the buffer.
+    pub fn bitblt(
+        &mut self,
+        sx: u32,
+        sy: u32,
+        dx: u32,
+        dy: u32,
+        w: u32,
+        h: u32,
+        op: RasterOp,
+    ) -> u64 {
+        assert!(sx + w <= DISPLAY_WIDTH && sy + h <= BUFFER_HEIGHT, "source leaves the buffer");
+        assert!(dx + w <= DISPLAY_WIDTH && dy + h <= BUFFER_HEIGHT, "dest leaves the buffer");
+        let mut staged = Vec::with_capacity((w * h) as usize);
+        for yy in 0..h {
+            for xx in 0..w {
+                staged.push(self.pixel(sx + xx, sy + yy));
+            }
+        }
+        for yy in 0..h {
+            for xx in 0..w {
+                let s = staged[(yy * w + xx) as usize];
+                let d = self.pixel(dx + xx, dy + yy);
+                self.set_pixel(dx + xx, dy + yy, op.apply(d, s));
+            }
+        }
+        u64::from(w) * u64::from(h)
+    }
+
+    /// Blts a bitmap supplied as packed rows (LSB-last, like the buffer)
+    /// from "main memory" into the buffer at `(dx, dy)`.
+    ///
+    /// `src` must contain `h` rows of `w.div_ceil(32)` words.
+    ///
+    /// Returns the number of pixels touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics on geometry mismatch or out-of-bounds destination.
+    pub fn blt_from_words(
+        &mut self,
+        src: &[u32],
+        w: u32,
+        h: u32,
+        dx: u32,
+        dy: u32,
+        op: RasterOp,
+    ) -> u64 {
+        let row_words = w.div_ceil(32);
+        assert_eq!(src.len() as u32, row_words * h, "source size mismatch");
+        assert!(dx + w <= DISPLAY_WIDTH && dy + h <= BUFFER_HEIGHT, "dest leaves the buffer");
+        for yy in 0..h {
+            for xx in 0..w {
+                let word = src[(yy * row_words + xx / 32) as usize];
+                let s = word >> (31 - (xx % 32)) & 1 == 1;
+                let d = self.pixel(dx + xx, dy + yy);
+                self.set_pixel(dx + xx, dy + yy, op.apply(d, s));
+            }
+        }
+        u64::from(w) * u64::from(h)
+    }
+
+    /// Number of set pixels in the whole buffer (visible + off-screen).
+    pub fn count_set(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Number of set pixels within a rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle leaves the buffer.
+    pub fn count_set_rect(&self, x: u32, y: u32, w: u32, h: u32) -> u64 {
+        assert!(x + w <= DISPLAY_WIDTH && y + h <= BUFFER_HEIGHT);
+        let mut n = 0;
+        for yy in y..y + h {
+            for xx in x..x + w {
+                n += u64::from(self.pixel(xx, yy));
+            }
+        }
+        n
+    }
+}
+
+impl Default for FrameBuffer {
+    fn default() -> Self {
+        FrameBuffer::new()
+    }
+}
+
+impl fmt::Debug for FrameBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FrameBuffer")
+            .field("width", &DISPLAY_WIDTH)
+            .field("height", &BUFFER_HEIGHT)
+            .field("set_pixels", &self.count_set())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raster_ops_truth_table() {
+        for (op, d0s0, d0s1, d1s0, d1s1) in [
+            (RasterOp::Copy, false, true, false, true),
+            (RasterOp::Or, false, true, true, true),
+            (RasterOp::And, false, false, false, true),
+            (RasterOp::Xor, false, true, true, false),
+            (RasterOp::Clear, false, false, false, false),
+            (RasterOp::Set, true, true, true, true),
+        ] {
+            assert_eq!(op.apply(false, false), d0s0, "{op:?}");
+            assert_eq!(op.apply(false, true), d0s1, "{op:?}");
+            assert_eq!(op.apply(true, false), d1s0, "{op:?}");
+            assert_eq!(op.apply(true, true), d1s1, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn pixel_addressing_crosses_word_boundaries() {
+        let mut fb = FrameBuffer::new();
+        for x in [0, 31, 32, 33, 1023] {
+            fb.set_pixel(x, 5, true);
+            assert!(fb.pixel(x, 5), "x={x}");
+        }
+        assert_eq!(fb.count_set(), 5);
+    }
+
+    #[test]
+    fn bitblt_copy_moves_rectangles() {
+        let mut fb = FrameBuffer::new();
+        fb.fill_rect(0, 0, 8, 8, RasterOp::Set);
+        let n = fb.bitblt(0, 0, 100, 100, 8, 8, RasterOp::Copy);
+        assert_eq!(n, 64);
+        assert_eq!(fb.count_set_rect(100, 100, 8, 8), 64);
+        assert_eq!(fb.count_set(), 128, "source untouched");
+    }
+
+    #[test]
+    fn overlapping_blt_is_correct() {
+        let mut fb = FrameBuffer::new();
+        // A distinctive pattern.
+        for i in 0..8 {
+            fb.set_pixel(10 + i, 10 + i, true);
+        }
+        // Shift it right by 2 with overlapping rectangles.
+        fb.bitblt(10, 10, 12, 10, 8, 8, RasterOp::Copy);
+        for i in 0..8 {
+            assert!(fb.pixel(12 + i, 10 + i), "diagonal survived the overlap at {i}");
+        }
+    }
+
+    #[test]
+    fn xor_blt_twice_restores() {
+        let mut fb = FrameBuffer::new();
+        fb.fill_rect(20, 20, 16, 16, RasterOp::Set);
+        fb.fill_rect(24, 24, 4, 4, RasterOp::Clear);
+        let before = fb.clone();
+        fb.bitblt(0, 900, 20, 20, 16, 16, RasterOp::Xor);
+        fb.bitblt(0, 900, 20, 20, 16, 16, RasterOp::Xor);
+        for y in 20..36 {
+            for x in 20..36 {
+                assert_eq!(fb.pixel(x, y), before.pixel(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn blt_from_memory_words() {
+        let mut fb = FrameBuffer::new();
+        // An 8x2 glyph: top row 0xAA pattern, bottom all ones — packed
+        // into the high byte of each row word.
+        let src = [0xAA00_0000u32, 0xFF00_0000];
+        fb.blt_from_words(&src, 8, 2, 64, 64, RasterOp::Copy);
+        assert!(fb.pixel(64, 64) && !fb.pixel(65, 64), "10101010 row");
+        assert_eq!(fb.count_set_rect(64, 65, 8, 1), 8, "ones row");
+    }
+
+    #[test]
+    fn offscreen_region_exists() {
+        let mut fb = FrameBuffer::new();
+        fb.fill_rect(0, DISPLAY_HEIGHT, 64, 16, RasterOp::Set);
+        assert_eq!(fb.count_set(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves the buffer")]
+    fn fill_bounds_checked() {
+        let mut fb = FrameBuffer::new();
+        fb.fill_rect(1020, 0, 8, 8, RasterOp::Set);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn pixel_bounds_checked() {
+        let fb = FrameBuffer::new();
+        let _ = fb.pixel(0, BUFFER_HEIGHT);
+    }
+}

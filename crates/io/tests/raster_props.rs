@@ -1,0 +1,127 @@
+//! Property-based tests of the BitBlt engine and the Trestle rectangle
+//! algebra — the invariants a display system lives or dies by.
+
+use firefly_io::trestle::Rect;
+use firefly_io::{FrameBuffer, RasterOp};
+use proptest::prelude::*;
+
+/// A random on-screen rectangle (nonempty, inside 1024×768).
+fn rect() -> impl Strategy<Value = (u32, u32, u32, u32)> {
+    (0u32..1000, 0u32..700, 1u32..64, 1u32..64).prop_map(|(x, y, w, h)| {
+        (x.min(1024 - w), y.min(768 - h), w, h)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Set fills exactly w*h pixels; Clear removes them all.
+    #[test]
+    fn fill_set_then_clear_roundtrips((x, y, w, h) in rect()) {
+        let mut fb = FrameBuffer::new();
+        let n = fb.fill_rect(x, y, w, h, RasterOp::Set);
+        prop_assert_eq!(n, u64::from(w) * u64::from(h));
+        prop_assert_eq!(fb.count_set(), n);
+        fb.fill_rect(x, y, w, h, RasterOp::Clear);
+        prop_assert_eq!(fb.count_set(), 0);
+    }
+
+    /// XOR is an involution: blitting the same source twice restores the
+    /// destination exactly.
+    #[test]
+    fn xor_blt_is_involutive(
+        (sx, sy, w, h) in rect(),
+        (dx, dy, _, _) in rect(),
+        pattern in prop::collection::vec(any::<bool>(), 16),
+    ) {
+        let w = w.min(16);
+        let h = h.min(16);
+        let dx = dx.min(1024 - w);
+        let dy = dy.min(768 - h);
+        let mut fb = FrameBuffer::new();
+        // Scatter a pattern into both rectangles.
+        for (i, &on) in pattern.iter().enumerate() {
+            let i = i as u32;
+            fb.set_pixel(sx + i % w, sy + (i / w) % h, on);
+            fb.set_pixel(dx + (i * 7) % w, dy + (i * 3 / w) % h, !on);
+        }
+        let before = fb.clone();
+        fb.bitblt(sx, sy, dx, dy, w, h, RasterOp::Xor);
+        fb.bitblt(sx, sy, dx, dy, w, h, RasterOp::Xor);
+        for yy in 0..h {
+            for xx in 0..w {
+                prop_assert_eq!(
+                    fb.pixel(dx + xx, dy + yy),
+                    before.pixel(dx + xx, dy + yy),
+                    "pixel ({}, {})", xx, yy
+                );
+            }
+        }
+    }
+
+    /// Copy makes the destination pixel-identical to the source (when
+    /// the rectangles do not overlap).
+    #[test]
+    fn copy_blt_replicates((sx, sy, w, h) in rect(), bits in prop::collection::vec(any::<bool>(), 32)) {
+        let w = w.min(16);
+        let h = h.min(16);
+        // Destination parked far away in the off-screen band.
+        let (dx, dy) = (0, 800);
+        let mut fb = FrameBuffer::new();
+        for (i, &on) in bits.iter().enumerate() {
+            let i = i as u32;
+            fb.set_pixel(sx + i % w, sy + (i * 5 / w) % h, on);
+        }
+        fb.bitblt(sx, sy, dx, dy, w, h, RasterOp::Copy);
+        for yy in 0..h {
+            for xx in 0..w {
+                prop_assert_eq!(fb.pixel(sx + xx, sy + yy), fb.pixel(dx + xx, dy + yy));
+            }
+        }
+    }
+
+    /// Or then And with the same source is a no-op on the source bits.
+    #[test]
+    fn or_blt_superset_of_source((sx, sy, w, h) in rect()) {
+        let w = w.min(32);
+        let h = h.min(32);
+        let (dx, dy) = (0, 900);
+        let mut fb = FrameBuffer::new();
+        fb.fill_rect(sx, sy, w, h, RasterOp::Set);
+        fb.bitblt(sx, sy, dx, dy, w, h, RasterOp::Or);
+        prop_assert_eq!(fb.count_set_rect(dx, dy, w, h), u64::from(w) * u64::from(h));
+    }
+
+    /// Rectangle subtraction: area conservation and disjointness, for
+    /// arbitrary pairs.
+    #[test]
+    fn rect_subtract_conserves_area((ax, ay, aw, ah) in rect(), (bx, by, bw, bh) in rect()) {
+        let a = Rect::new(ax, ay, aw, ah);
+        let b = Rect::new(bx, by, bw, bh);
+        let parts = a.subtract(&b);
+        let cut = a.intersect(&b).map_or(0, |r| r.area());
+        let total: u64 = parts.iter().map(Rect::area).sum();
+        prop_assert_eq!(total, a.area() - cut);
+        // Disjoint and inside a, outside b.
+        for (i, p) in parts.iter().enumerate() {
+            prop_assert_eq!(p.intersect(&a), Some(*p), "{:?} inside a", p);
+            prop_assert!(p.intersect(&b).is_none(), "{:?} outside b", p);
+            for q in &parts[i + 1..] {
+                prop_assert!(p.intersect(q).is_none(), "{:?} overlaps {:?}", p, q);
+            }
+        }
+    }
+
+    /// Intersection is commutative and contained in both operands.
+    #[test]
+    fn rect_intersect_properties((ax, ay, aw, ah) in rect(), (bx, by, bw, bh) in rect()) {
+        let a = Rect::new(ax, ay, aw, ah);
+        let b = Rect::new(bx, by, bw, bh);
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        if let Some(c) = a.intersect(&b) {
+            prop_assert_eq!(c.intersect(&a), Some(c));
+            prop_assert_eq!(c.intersect(&b), Some(c));
+            prop_assert!(c.area() <= a.area().min(b.area()));
+        }
+    }
+}

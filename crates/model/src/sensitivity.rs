@@ -1,0 +1,131 @@
+//! Sensitivity analysis of the §5.2 model.
+//!
+//! The paper fixes `M = 0.2`, `D = 0.25` from traces and *assumes*
+//! `S = 0.1` ("since multiprocessor traces were not available, this
+//! parameter was estimated. We arbitrarily assumed..."). §5.3 then
+//! measures S ≈ 0.33 for the exerciser — three times the assumption.
+//! This module quantifies how much that matters (the answer the paper
+//! implies but never states: not much — the `SW` term is small), and
+//! explores the design directions §5.2 and §6 gesture at: what if the
+//! processors were faster, the cache bigger, or the bus quicker?
+
+use crate::{Estimate, Params};
+use serde::{Deserialize, Serialize};
+
+/// One row of a parameter-sensitivity sweep.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SensitivityPoint {
+    /// The swept parameter's value.
+    pub value: f64,
+    /// The resulting estimate at the fixed processor count.
+    pub estimate: Estimate,
+}
+
+/// Sweeps the shared-write fraction `S` at a fixed processor count.
+///
+/// The §5.3 observation in model form: even at the exerciser's measured
+/// S = 0.33, the five-CPU machine loses only a few percent versus the
+/// assumed S = 0.1.
+pub fn sweep_sharing(base: &Params, np: usize, values: &[f64]) -> Vec<SensitivityPoint> {
+    values
+        .iter()
+        .map(|&s| {
+            let p = Params { shared_write_fraction: s, ..*base };
+            SensitivityPoint { value: s, estimate: p.estimate(np) }
+        })
+        .collect()
+}
+
+/// Sweeps the miss rate `M` (the cache-size lever of footnote 4 and the
+/// CVAX upgrade).
+pub fn sweep_miss_rate(base: &Params, np: usize, values: &[f64]) -> Vec<SensitivityPoint> {
+    values
+        .iter()
+        .map(|&m| {
+            let p = Params { miss_rate: m, ..*base };
+            SensitivityPoint { value: m, estimate: p.estimate(np) }
+        })
+        .collect()
+}
+
+/// Sweeps bus speed: `factor` > 1 means a proportionally faster MBus
+/// (fewer CPU ticks per operation). The §6 closing argument — "building
+/// multiprocessors with the fastest available components" — needs the
+/// bus to keep pace; this shows what a stale bus costs.
+pub fn sweep_bus_speed(base: &Params, np: usize, factors: &[f64]) -> Vec<SensitivityPoint> {
+    factors
+        .iter()
+        .map(|&f| {
+            let p = Params { bus_ticks_per_op: base.bus_ticks_per_op / f, ..*base };
+            SensitivityPoint { value: f, estimate: p.estimate(np) }
+        })
+        .collect()
+}
+
+/// The processor count at which total performance stops improving by at
+/// least `threshold` per added processor, for a given parameter set —
+/// i.e. [`Params::knee`] as a sensitivity target.
+pub fn knee_after_miss_rate(base: &Params, miss_rate: f64, threshold: f64) -> usize {
+    Params { miss_rate, ..*base }.knee(threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Params {
+        Params::microvax()
+    }
+
+    /// The §5.3 implication: the measured S=0.33 barely moves the model.
+    #[test]
+    fn sharing_assumption_is_benign() {
+        let pts = sweep_sharing(&base(), 5, &[0.0, 0.1, 0.33, 0.5]);
+        let tp_at = |i: usize| pts[i].estimate.total_performance;
+        // Monotone cost...
+        assert!(tp_at(0) > tp_at(1) && tp_at(1) > tp_at(2) && tp_at(2) > tp_at(3));
+        // ...but small: tripling S costs under 4% of TP.
+        let loss = (tp_at(1) - tp_at(2)) / tp_at(1);
+        assert!(loss < 0.04, "S 0.1->0.33 costs {:.1}% of TP", loss * 100.0);
+    }
+
+    /// Miss rate is the big lever: halving M (the CVAX cache) buys more
+    /// than tripling S costs.
+    #[test]
+    fn miss_rate_dominates_sharing() {
+        let m_pts = sweep_miss_rate(&base(), 5, &[0.2, 0.1]);
+        let s_pts = sweep_sharing(&base(), 5, &[0.1, 0.33]);
+        let m_gain = m_pts[1].estimate.total_performance - m_pts[0].estimate.total_performance;
+        let s_loss = s_pts[0].estimate.total_performance - s_pts[1].estimate.total_performance;
+        assert!(m_gain > 2.0 * s_loss, "M gain {m_gain:.3} vs S loss {s_loss:.3}");
+    }
+
+    /// A halved miss rate pushes the knee well past nine processors —
+    /// why the CVAX Firefly could keep the old MBus.
+    #[test]
+    fn better_cache_moves_the_knee() {
+        let knee_02 = knee_after_miss_rate(&base(), 0.2, 0.5);
+        let knee_01 = knee_after_miss_rate(&base(), 0.1, 0.5);
+        assert_eq!(knee_02, 9);
+        assert!(knee_01 >= 14, "M=0.1 knee at {knee_01}");
+    }
+
+    /// A faster bus raises total performance monotonically and
+    /// dramatically at high processor counts.
+    #[test]
+    fn faster_bus_lifts_the_ceiling() {
+        let pts = sweep_bus_speed(&base(), 12, &[1.0, 2.0, 4.0]);
+        assert!(pts[1].estimate.total_performance > pts[0].estimate.total_performance * 1.15);
+        assert!(pts[2].estimate.total_performance > pts[1].estimate.total_performance);
+        // Load falls as the bus speeds up.
+        assert!(pts[2].estimate.load < pts[0].estimate.load);
+    }
+
+    #[test]
+    fn sweeps_carry_their_values() {
+        let pts = sweep_sharing(&base(), 5, &[0.1, 0.2]);
+        assert_eq!(pts[0].value, 0.1);
+        assert_eq!(pts[1].value, 0.2);
+        assert_eq!(pts[0].estimate.processors, 5);
+    }
+}

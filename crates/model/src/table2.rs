@@ -1,0 +1,149 @@
+//! The "Expected" columns of Table 2.
+//!
+//! §5.3 measures a one-CPU and a five-CPU MicroVAX Firefly running the
+//! Topaz Threads exerciser and compares against expectation. The expected
+//! values are pure model outputs: at the bus load the configuration
+//! induces, an instruction takes `TPI(L)` ticks, makes `TR` references
+//! split `1.73 : 0.40` between reads and writes, and generates MBus
+//! traffic per the miss/victim/write-through terms.
+
+use crate::Params;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Model-expected reference rates for one configuration (in thousands of
+/// references per second, as Table 2 reports them).
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ExpectedRates {
+    /// Number of processors.
+    pub processors: usize,
+    /// The self-consistent bus load for this processor count.
+    pub load: f64,
+    /// Per-CPU reads (instruction + data), K refs/s.
+    pub reads_k: f64,
+    /// Per-CPU writes, K refs/s.
+    pub writes_k: f64,
+    /// Per-CPU total, K refs/s.
+    pub total_k: f64,
+    /// Per-CPU MBus read (fill) transactions, K/s.
+    pub bus_reads_k: f64,
+    /// Per-CPU MBus victim writes, K/s.
+    pub bus_victims_k: f64,
+    /// Per-CPU MBus write-throughs, K/s.
+    pub bus_write_throughs_k: f64,
+}
+
+impl ExpectedRates {
+    /// Per-CPU total MBus transactions, K/s.
+    pub fn bus_total_k(&self) -> f64 {
+        self.bus_reads_k + self.bus_victims_k + self.bus_write_throughs_k
+    }
+
+    /// System-wide MBus transactions, K/s.
+    pub fn system_bus_k(&self) -> f64 {
+        self.bus_total_k() * self.processors as f64
+    }
+}
+
+/// The full "Expected" half of Table 2: one-CPU and five-CPU systems.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Table2Expected {
+    /// The one-CPU column.
+    pub one_cpu: ExpectedRates,
+    /// The five-CPU column (per-CPU rates).
+    pub five_cpu: ExpectedRates,
+}
+
+impl Table2Expected {
+    /// Computes the expected columns from model parameters.
+    pub fn compute(params: &Params) -> Self {
+        Table2Expected {
+            one_cpu: expected_rates(params, 1),
+            five_cpu: expected_rates(params, 5),
+        }
+    }
+}
+
+/// Expected per-CPU rates for an `np`-processor system.
+///
+/// For `np == 1` the isolated-hardware accounting is used (miss penalty
+/// plus victim write, no queueing), exactly as §5.3 computes its 850 K
+/// expectation; multiprocessor configurations use the §5.2 queuing model.
+pub fn expected_rates(params: &Params, np: usize) -> ExpectedRates {
+    let load = params.load_for_processors(np as f64);
+    let total_k = if np == 1 {
+        params.isolated_krefs_per_second()
+    } else {
+        params.krefs_per_second(load)
+    };
+    let tr = params.refs_per_instruction();
+    let instr_k = total_k / tr;
+    ExpectedRates {
+        processors: np,
+        load,
+        reads_k: total_k * params.reads_per_instruction() / tr,
+        writes_k: total_k * params.data_writes / tr,
+        total_k,
+        bus_reads_k: instr_k * tr * params.miss_rate,
+        bus_victims_k: instr_k * tr * params.miss_rate * params.dirty_fraction,
+        bus_write_throughs_k: instr_k * params.data_writes * params.shared_write_fraction,
+    }
+}
+
+impl fmt::Display for Table2Expected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<28}{:>14}{:>14}", "", "One-CPU", "Five-CPU (per CPU)")?;
+        writeln!(f, "{:<28}{:>14.0}{:>14.0}", "Expected reads (K/s):", self.one_cpu.reads_k, self.five_cpu.reads_k)?;
+        writeln!(f, "{:<28}{:>14.0}{:>14.0}", "Expected writes (K/s):", self.one_cpu.writes_k, self.five_cpu.writes_k)?;
+        writeln!(f, "{:<28}{:>14.0}{:>14.0}", "Expected total (K/s):", self.one_cpu.total_k, self.five_cpu.total_k)?;
+        writeln!(f, "{:<28}{:>14.2}{:>14.2}", "Model bus load L:", self.one_cpu.load, self.five_cpu.load)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_columns_match_paper() {
+        // Table 2 "Expected": one-CPU 688/161/849; five-CPU 609/143/752.
+        let t = Table2Expected::compute(&Params::microvax());
+        assert!((t.one_cpu.reads_k - 688.0).abs() < 5.0, "one-CPU reads {:.0}", t.one_cpu.reads_k);
+        assert!((t.one_cpu.writes_k - 161.0).abs() < 3.0, "one-CPU writes {:.0}", t.one_cpu.writes_k);
+        assert!((t.one_cpu.total_k - 849.0).abs() < 5.0);
+        assert!((t.five_cpu.reads_k - 609.0).abs() < 5.0, "five-CPU reads {:.0}", t.five_cpu.reads_k);
+        assert!((t.five_cpu.writes_k - 143.0).abs() < 3.0);
+        assert!((t.five_cpu.total_k - 752.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn five_cpu_load_is_point_four() {
+        let t = Table2Expected::compute(&Params::microvax());
+        assert!((t.five_cpu.load - 0.40).abs() < 0.01);
+    }
+
+    #[test]
+    fn bus_rates_decompose() {
+        let r = expected_rates(&Params::microvax(), 5);
+        // Victims are the dirty fraction of fills.
+        assert!((r.bus_victims_k - 0.25 * r.bus_reads_k).abs() < 1e-9);
+        assert!(r.bus_total_k() > 0.0);
+        assert!((r.system_bus_k() - 5.0 * r.bus_total_k()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_write_ratio_is_the_vax_mix() {
+        let r = expected_rates(&Params::microvax(), 1);
+        // 1.73 : 0.40 ≈ 4.3 : 1
+        assert!((r.reads_k / r.writes_k - 1.73 / 0.40).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_renders() {
+        let t = Table2Expected::compute(&Params::microvax());
+        let s = t.to_string();
+        assert!(s.contains("Expected reads"));
+        assert!(s.contains("One-CPU"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # firefly-sim
+//!
+//! The full-system Firefly simulator: a builder that assembles
+//! processors ([`firefly_cpu`]), the coherent memory system
+//! ([`firefly_core`]), optional I/O devices ([`firefly_io`]) and a
+//! workload ([`firefly_trace`]) into one machine, plus the measurement
+//! harness that reports in the units of the paper's Table 2.
+//!
+//! ```
+//! use firefly_sim::{FireflyBuilder, Workload};
+//!
+//! // The standard machine: five MicroVAX processors, 16 MB, Firefly
+//! // protocol, the calibrated synthetic workload.
+//! let mut machine = FireflyBuilder::microvax(5).build();
+//! let m = machine.measure(50_000, 100_000);
+//! assert!(m.bus_load > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod machine;
+pub mod measure;
+pub mod sweep;
+pub mod table2;
+
+pub use machine::{Firefly, FireflyBuilder, Workload};
+pub use measure::Measurement;
+pub use sweep::{scaling_sweep, ScalingPoint};
+pub use table2::{table2_report, Table2};

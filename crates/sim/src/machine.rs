@@ -1,0 +1,399 @@
+//! The machine builder and the assembled Firefly.
+
+use firefly_core::config::SystemConfig;
+use firefly_core::system::MemSystem;
+use firefly_core::{CacheGeometry, MachineVariant, PortId, ProtocolKind};
+use firefly_cpu::processor::{drive, Processor};
+use firefly_cpu::CpuConfig;
+use firefly_io::IoSystem;
+use firefly_trace::{LocalityParams, MultiprogramWorkload, RefStream, SyntheticWorkload};
+use std::fmt;
+
+/// What the processors execute.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum Workload {
+    /// Each processor runs the calibrated synthetic locality stream with
+    /// the given parameters (disjoint private regions, common shared
+    /// region).
+    Synthetic(LocalityParams),
+    /// Each processor time-slices several synthetic processes (the
+    /// cold-start/context-switch regime of §5.3).
+    Multiprogram {
+        /// Processes per processor.
+        processes: usize,
+        /// References per scheduling quantum.
+        quantum: u64,
+        /// Locality parameters of each process.
+        params: LocalityParams,
+    },
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Workload::Synthetic(LocalityParams::paper_calibrated())
+    }
+}
+
+/// Builds [`Firefly`] machines.
+///
+/// # Examples
+///
+/// ```
+/// use firefly_sim::FireflyBuilder;
+/// use firefly_core::ProtocolKind;
+///
+/// let machine = FireflyBuilder::microvax(3)
+///     .protocol(ProtocolKind::Dragon)
+///     .seed(7)
+///     .build();
+/// assert_eq!(machine.cpus(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FireflyBuilder {
+    variant: MachineVariant,
+    cpus: usize,
+    memory_mb: u64,
+    protocol: ProtocolKind,
+    cache: Option<CacheGeometry>,
+    cpu_config: Option<CpuConfig>,
+    workload: Workload,
+    io: bool,
+    seed: u64,
+    trace_bus: bool,
+}
+
+impl FireflyBuilder {
+    /// A MicroVAX Firefly with `cpus` processors and 16 MB.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= cpus <= 14` (the synthetic workload layout
+    /// limit; the real machine stopped at seven).
+    pub fn microvax(cpus: usize) -> Self {
+        assert!((1..=14).contains(&cpus), "1..=14 processors supported, got {cpus}");
+        FireflyBuilder {
+            variant: MachineVariant::MicroVax,
+            cpus,
+            memory_mb: 16,
+            protocol: ProtocolKind::Firefly,
+            cache: None,
+            cpu_config: None,
+            workload: Workload::default(),
+            io: false,
+            seed: 0xf1ef1e,
+            trace_bus: false,
+        }
+    }
+
+    /// A CVAX Firefly with `cpus` processors and 128 MB.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= cpus <= 14`.
+    pub fn cvax(cpus: usize) -> Self {
+        FireflyBuilder {
+            variant: MachineVariant::CVax,
+            memory_mb: 128,
+            ..FireflyBuilder::microvax(cpus)
+        }
+    }
+
+    /// Overrides the coherence protocol.
+    pub fn protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Overrides the cache geometry (cache-sweep ablation).
+    pub fn cache(mut self, cache: CacheGeometry) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Overrides the processor configuration (e.g. to enable prefetch).
+    pub fn cpu_config(mut self, cpu: CpuConfig) -> Self {
+        self.cpu_config = Some(cpu);
+        self
+    }
+
+    /// Sets the workload.
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Attaches the I/O system (QBus devices on port 0's cache).
+    ///
+    /// Port 0 then carries *both* its processor and DMA; the paper's
+    /// machine works the same way.
+    pub fn with_io(mut self) -> Self {
+        self.io = true;
+        self
+    }
+
+    /// Sets the RNG seed (runs are deterministic given it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets main memory size in megabytes.
+    pub fn memory_mb(mut self, mb: u64) -> Self {
+        self.memory_mb = mb;
+        self
+    }
+
+    /// Enables the bus event log (Figure 4 traces).
+    pub fn trace_bus(mut self) -> Self {
+        self.trace_bus = true;
+        self
+    }
+
+    /// Assembles the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent (e.g.
+    /// memory beyond the variant's limit).
+    pub fn build(self) -> Firefly {
+        // With I/O attached, the DMA engine gets its own (no-allocate)
+        // port after the processors.
+        let ports = self.cpus + usize::from(self.io);
+        let mut sys_cfg = match self.variant {
+            MachineVariant::MicroVax => SystemConfig::microvax(ports),
+            MachineVariant::CVax => SystemConfig::cvax(ports),
+        }
+        .with_memory_mb(self.memory_mb)
+        .with_bus_trace(self.trace_bus);
+        if let Some(cache) = self.cache {
+            sys_cfg = sys_cfg.with_cache(cache);
+        }
+        let sys = MemSystem::new(sys_cfg, self.protocol).expect("consistent configuration");
+
+        let cpu_cfg = self.cpu_config.unwrap_or(match self.variant {
+            MachineVariant::MicroVax => CpuConfig::microvax(),
+            MachineVariant::CVax => CpuConfig::cvax(),
+        });
+
+        let streams: Vec<Box<dyn RefStream>> = match self.workload {
+            Workload::Synthetic(params) => {
+                SyntheticWorkload::fleet(self.cpus, params, self.seed)
+                    .into_iter()
+                    .map(|w| Box::new(w) as Box<dyn RefStream>)
+                    .collect()
+            }
+            Workload::Multiprogram { processes, quantum, params } => (0..self.cpus)
+                .map(|i| {
+                    Box::new(MultiprogramWorkload::new(
+                        processes,
+                        quantum,
+                        params,
+                        self.seed ^ (i as u64) << 32,
+                    )) as Box<dyn RefStream>
+                })
+                .collect(),
+        };
+
+        let processors = streams
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Processor::new(PortId::new(i), cpu_cfg, s, self.seed ^ i as u64))
+            .collect();
+
+        Firefly {
+            sys,
+            processors,
+            io: if self.io {
+                Some(IoSystem::on_port(PortId::new(self.cpus)))
+            } else {
+                None
+            },
+            cpu_cfg,
+        }
+    }
+}
+
+/// An assembled Firefly system (Figure 1 of the paper).
+pub struct Firefly {
+    sys: MemSystem,
+    processors: Vec<Processor>,
+    io: Option<IoSystem>,
+    cpu_cfg: CpuConfig,
+}
+
+impl Firefly {
+    /// Number of processors.
+    pub fn cpus(&self) -> usize {
+        self.processors.len()
+    }
+
+    /// The memory system.
+    pub fn memory(&self) -> &MemSystem {
+        &self.sys
+    }
+
+    /// Mutable access to the memory system (e.g. to flush caches).
+    pub fn memory_mut(&mut self) -> &mut MemSystem {
+        &mut self.sys
+    }
+
+    /// The processors.
+    pub fn processors(&self) -> &[Processor] {
+        &self.processors
+    }
+
+    /// The processor configuration in force.
+    pub fn cpu_config(&self) -> &CpuConfig {
+        &self.cpu_cfg
+    }
+
+    /// The I/O system, if attached.
+    pub fn io(&self) -> Option<&IoSystem> {
+        self.io.as_ref()
+    }
+
+    /// Mutable access to the I/O system, if attached.
+    pub fn io_mut(&mut self) -> Option<&mut IoSystem> {
+        self.io.as_mut()
+    }
+
+    /// Runs the machine for `cycles` bus cycles.
+    pub fn run(&mut self, cycles: u64) {
+        match &mut self.io {
+            None => drive(&mut self.processors, &mut self.sys, cycles),
+            Some(io) => {
+                for _ in 0..cycles {
+                    for p in self.processors.iter_mut() {
+                        p.tick(&mut self.sys);
+                    }
+                    io.tick(&mut self.sys);
+                    self.sys.step();
+                }
+            }
+        }
+    }
+
+    /// Warm-up then measure: returns a [`crate::Measurement`] over the
+    /// measurement window.
+    pub fn measure(&mut self, warmup_cycles: u64, measure_cycles: u64) -> crate::Measurement {
+        self.run(warmup_cycles);
+        let snap = crate::measure::Snapshot::take(self);
+        self.run(measure_cycles);
+        snap.finish(self, measure_cycles)
+    }
+
+    /// A structural inventory of the machine (the Figure 1 diagram in
+    /// text form).
+    pub fn inventory(&self) -> String {
+        use std::fmt::Write as _;
+        let cfg = self.sys.config();
+        let mut s = String::new();
+        let _ = writeln!(s, "Firefly system ({:?})", cfg.variant());
+        let _ = writeln!(
+            s,
+            "  {} processor(s), each behind a {} KB direct-mapped cache ({} x {}-byte lines)",
+            self.cpus(),
+            cfg.cache().size_bytes() / 1024,
+            cfg.cache().lines(),
+            cfg.cache().line_words() * 4,
+        );
+        let _ = writeln!(
+            s,
+            "  MBus: 10 MB/s, 4 x 100 ns cycles per transfer, protocol = {}",
+            self.sys.protocol_kind()
+        );
+        let _ = writeln!(
+            s,
+            "  main memory: {} MB in {} module(s)",
+            cfg.memory_bytes() >> 20,
+            cfg.memory_modules()
+        );
+        match &self.io {
+            Some(_) => {
+                let _ = writeln!(
+                    s,
+                    "  QBus on P0 (the I/O processor): RQDX3 disk, DEQNA Ethernet, MDC display"
+                );
+            }
+            None => {
+                let _ = writeln!(s, "  (no I/O devices attached)");
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Debug for Firefly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Firefly")
+            .field("cpus", &self.cpus())
+            .field("protocol", &self.sys.protocol_kind())
+            .field("io", &self.io.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firefly_core::protocol::ProtocolKind;
+
+    #[test]
+    fn builder_defaults() {
+        let m = FireflyBuilder::microvax(5).build();
+        assert_eq!(m.cpus(), 5);
+        assert_eq!(m.memory().protocol_kind(), ProtocolKind::Firefly);
+        assert_eq!(m.memory().config().memory_bytes(), 16 << 20);
+        assert!(m.io().is_none());
+    }
+
+    #[test]
+    fn cvax_builder() {
+        let m = FireflyBuilder::cvax(4).build();
+        assert_eq!(m.memory().config().cache().size_bytes(), 64 * 1024);
+        assert_eq!(m.memory().config().memory_bytes(), 128 << 20);
+    }
+
+    #[test]
+    fn machine_runs_and_makes_references() {
+        let mut m = FireflyBuilder::microvax(2).seed(3).build();
+        m.run(50_000);
+        for p in 0..2 {
+            assert!(m.memory().cache_stats(PortId::new(p)).cpu_refs() > 1_000, "CPU {p}");
+        }
+    }
+
+    #[test]
+    fn io_attached_machine_runs() {
+        let mut m = FireflyBuilder::microvax(2).with_io().build();
+        m.run(30_000);
+        assert!(m.io().unwrap().mdc().stats().polls > 0, "the MDC polls its queue");
+    }
+
+    #[test]
+    fn inventory_mentions_the_parts() {
+        let m = FireflyBuilder::microvax(5).with_io().build();
+        let inv = m.inventory();
+        assert!(inv.contains("5 processor(s)"));
+        assert!(inv.contains("16 KB"));
+        assert!(inv.contains("QBus"));
+        assert!(inv.contains("MDC"));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut m = FireflyBuilder::microvax(3).seed(seed).build();
+            m.run(40_000);
+            m.memory().bus_stats().ops()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=14")]
+    fn too_many_cpus_rejected() {
+        let _ = FireflyBuilder::microvax(15);
+    }
+}

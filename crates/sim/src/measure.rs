@@ -1,0 +1,217 @@
+//! The measurement harness: reports in the units of Table 2.
+
+use crate::machine::Firefly;
+use firefly_core::stats::{BusStats, CacheStats};
+use firefly_core::PortId;
+use firefly_cpu::CpuStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Counter snapshot at the start of a measurement window.
+#[derive(Clone, Debug)]
+pub(crate) struct Snapshot {
+    cache: Vec<CacheStats>,
+    bus: BusStats,
+    cpu: Vec<CpuStats>,
+}
+
+impl Snapshot {
+    pub(crate) fn take(m: &Firefly) -> Self {
+        Snapshot {
+            cache: (0..m.cpus()).map(|p| *m.memory().cache_stats(PortId::new(p))).collect(),
+            bus: *m.memory().bus_stats(),
+            cpu: m.processors().iter().map(|p| *p.stats()).collect(),
+        }
+    }
+
+    pub(crate) fn finish(self, m: &Firefly, cycles: u64) -> Measurement {
+        let cpus = m.cpus();
+        let mut cache = CacheStats::default();
+        for p in 0..cpus {
+            cache += m.memory().cache_stats(PortId::new(p)).delta(&self.cache[p]);
+        }
+        let bus = m.memory().bus_stats().delta(&self.bus);
+        let instructions: u64 = m
+            .processors()
+            .iter()
+            .zip(&self.cpu)
+            .map(|(p, before)| p.stats().instructions - before.instructions)
+            .sum();
+        let wasted: u64 = m
+            .processors()
+            .iter()
+            .zip(&self.cpu)
+            .map(|(p, before)| p.stats().wasted_prefetches - before.wasted_prefetches)
+            .sum();
+
+        let seconds = cycles as f64 * firefly_core::BUS_CYCLE_NS as f64 * 1e-9;
+        let per_cpu_k = |x: u64| x as f64 / cpus as f64 / seconds / 1e3;
+        let tick_ns = m.memory().config().variant().tick_ns() as f64;
+        let tpi = if instructions == 0 {
+            0.0
+        } else {
+            cycles as f64 * cpus as f64 * 100.0 / tick_ns / instructions as f64
+        };
+
+        Measurement {
+            cpus,
+            cycles,
+            reads_k: per_cpu_k(cache.cpu_reads + cache.dma_reads),
+            writes_k: per_cpu_k(cache.cpu_writes + cache.dma_writes),
+            total_k: per_cpu_k(cache.cpu_refs() + cache.dma_reads + cache.dma_writes),
+            bus_load: bus.load(),
+            mbus_total_k: bus.ops() as f64 / seconds / 1e3,
+            mbus_reads_k: per_cpu_k(cache.bus_reads + cache.bus_read_owned),
+            wt_shared_k: per_cpu_k(cache.wt_shared),
+            wt_unshared_k: per_cpu_k(cache.wt_unshared),
+            victims_k: per_cpu_k(cache.victim_writes),
+            miss_rate: cache.miss_rate(),
+            read_write_ratio: if cache.cpu_writes == 0 {
+                f64::INFINITY
+            } else {
+                (cache.cpu_reads + cache.dma_reads) as f64 / cache.cpu_writes as f64
+            },
+            instructions_per_cpu_k: instructions as f64 / cpus as f64 / seconds / 1e3,
+            tpi,
+            wasted_prefetch_k: per_cpu_k(wasted),
+            probe_stalls_k: per_cpu_k(cache.probe_stalls),
+        }
+    }
+}
+
+/// Reference-rate measurements over a window, per-CPU in K/s (the
+/// paper's Table 2 unit).
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Processors measured.
+    pub cpus: usize,
+    /// Window length in bus cycles.
+    pub cycles: u64,
+    /// Per-CPU reads (instruction + data + DMA reads on P0).
+    pub reads_k: f64,
+    /// Per-CPU writes.
+    pub writes_k: f64,
+    /// Per-CPU total references.
+    pub total_k: f64,
+    /// Bus load `L`.
+    pub bus_load: f64,
+    /// System-wide MBus transactions, K/s.
+    pub mbus_total_k: f64,
+    /// Per-CPU MBus fills, K/s.
+    pub mbus_reads_k: f64,
+    /// Per-CPU write-throughs that received `MShared`, K/s.
+    pub wt_shared_k: f64,
+    /// Per-CPU write-throughs that did not, K/s.
+    pub wt_unshared_k: f64,
+    /// Per-CPU victim writes, K/s.
+    pub victims_k: f64,
+    /// Cache miss rate `M` over the window.
+    pub miss_rate: f64,
+    /// Read:write ratio.
+    pub read_write_ratio: f64,
+    /// Per-CPU instruction rate, K/s.
+    pub instructions_per_cpu_k: f64,
+    /// Effective ticks per instruction.
+    pub tpi: f64,
+    /// Per-CPU wasted prefetch references, K/s.
+    pub wasted_prefetch_k: f64,
+    /// Per-CPU tag-probe stalls, K/s (the SP term in the flesh).
+    pub probe_stalls_k: f64,
+}
+
+impl Measurement {
+    /// Relative performance versus a given no-wait-state TPI.
+    pub fn relative_performance(&self, base_tpi: f64) -> f64 {
+        if self.tpi == 0.0 {
+            0.0
+        } else {
+            base_tpi / self.tpi
+        }
+    }
+}
+
+impl fmt::Display for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}-CPU measurement over {} cycles:", self.cpus, self.cycles)?;
+        writeln!(
+            f,
+            "  per CPU: reads {:.0}K/s writes {:.0}K/s total {:.0}K/s  (R:W {:.1}:1)",
+            self.reads_k, self.writes_k, self.total_k, self.read_write_ratio
+        )?;
+        writeln!(
+            f,
+            "  MBus: {:.0}K/s total, L={:.2}; per CPU: reads {:.0}K wt+sh {:.0}K wt {:.0}K victims {:.0}K",
+            self.mbus_total_k, self.bus_load, self.mbus_reads_k, self.wt_shared_k, self.wt_unshared_k, self.victims_k
+        )?;
+        writeln!(
+            f,
+            "  M={:.2}  TPI={:.1}  {:.0}K instr/s/CPU  wasted prefetch {:.0}K/s  probe stalls {:.0}K/s",
+            self.miss_rate, self.tpi, self.instructions_per_cpu_k, self.wasted_prefetch_k, self.probe_stalls_k
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::machine::FireflyBuilder;
+    use firefly_cpu::{CpuConfig, PrefetchConfig};
+
+    #[test]
+    fn measurement_has_sane_shape() {
+        let mut m = FireflyBuilder::microvax(2).seed(5).build();
+        let r = m.measure(100_000, 200_000);
+        assert_eq!(r.cpus, 2);
+        assert!(r.total_k > 300.0 && r.total_k < 2_000.0, "{r}");
+        assert!((r.reads_k + r.writes_k - r.total_k).abs() < 1.0);
+        assert!(r.bus_load > 0.0 && r.bus_load < 1.0);
+        assert!(r.miss_rate > 0.0 && r.miss_rate < 1.0);
+        assert!(r.tpi > 11.0, "contention keeps TPI above base: {}", r.tpi);
+    }
+
+    /// The single-CPU expectation of Table 2: ~850 K refs/s without
+    /// prefetching (the paper's simulated expectation).
+    #[test]
+    fn one_cpu_matches_expected_rate() {
+        let mut m = FireflyBuilder::microvax(1).seed(5).build();
+        let r = m.measure(300_000, 600_000);
+        assert!(
+            (750.0..950.0).contains(&r.total_k),
+            "one-CPU rate {:.0}K, Table 2 expects ~850K",
+            r.total_k
+        );
+    }
+
+    /// With the chip's prefetcher enabled the rate rises well above the
+    /// expectation — the Table 2 "actual" surprise.
+    #[test]
+    fn prefetch_lifts_one_cpu_actual_rate() {
+        let cfg = CpuConfig::microvax().with_prefetch(PrefetchConfig::microvax_chip());
+        let mut m = FireflyBuilder::microvax(1).cpu_config(cfg).seed(5).build();
+        let r = m.measure(300_000, 600_000);
+        assert!(
+            r.total_k > 1_050.0,
+            "prefetching one-CPU actual {:.0}K, paper measured 1350K",
+            r.total_k
+        );
+        assert!(r.wasted_prefetch_k > 50.0);
+    }
+
+    #[test]
+    fn five_cpus_load_the_bus_like_the_model_says() {
+        let mut m = FireflyBuilder::microvax(5).seed(5).build();
+        let r = m.measure(200_000, 400_000);
+        assert!(
+            (0.30..0.55).contains(&r.bus_load),
+            "five-CPU load {:.2}, model says 0.40",
+            r.bus_load
+        );
+        assert!(r.probe_stalls_k > 0.0, "SP term visible");
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut m = FireflyBuilder::microvax(1).build();
+        let r = m.measure(20_000, 50_000);
+        assert!(r.to_string().contains("MBus"));
+    }
+}

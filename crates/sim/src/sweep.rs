@@ -1,0 +1,163 @@
+//! Processor-count sweeps: simulation versus the §5.2 analytic model.
+
+use crate::machine::{FireflyBuilder, Workload};
+use crate::measure::Measurement;
+use firefly_core::{CacheGeometry, ProtocolKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One point of a scaling sweep: the simulated analogue of a Table 1 row.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Processor count NP.
+    pub cpus: usize,
+    /// Measured bus load L.
+    pub load: f64,
+    /// Measured effective TPI.
+    pub tpi: f64,
+    /// Relative per-processor performance RP (vs. the 1-CPU zero-load
+    /// baseline).
+    pub relative_performance: f64,
+    /// Total performance TP = NP · RP.
+    pub total_performance: f64,
+    /// The full measurement behind the row.
+    pub measurement: Measurement,
+}
+
+impl fmt::Display for ScalingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NP={:<3} L={:.2}  TPI={:<5.1} RP={:.2}  TP={:.2}",
+            self.cpus, self.load, self.tpi, self.relative_performance, self.total_performance
+        )
+    }
+}
+
+/// Sweeps processor count over `counts`, measuring each configuration
+/// with the same per-CPU workload — the simulated Table 1.
+///
+/// `base_instr_rate_k` normalizes RP; pass the measured 1-CPU
+/// instruction rate (or use [`scaling_sweep`] which measures it for
+/// you).
+pub fn scaling_sweep_with(
+    counts: &[usize],
+    protocol: ProtocolKind,
+    cache: Option<CacheGeometry>,
+    seed: u64,
+    warmup: u64,
+    window: u64,
+    base_instr_rate_k: f64,
+) -> Vec<ScalingPoint> {
+    counts
+        .iter()
+        .map(|&cpus| {
+            let mut b = FireflyBuilder::microvax(cpus)
+                .protocol(protocol)
+                .seed(seed)
+                .workload(Workload::default());
+            if let Some(c) = cache {
+                b = b.cache(c);
+            }
+            let mut machine = b.build();
+            let m = machine.measure(warmup, window);
+            let rp = if base_instr_rate_k == 0.0 {
+                0.0
+            } else {
+                m.instructions_per_cpu_k / base_instr_rate_k
+            };
+            ScalingPoint {
+                cpus,
+                load: m.bus_load,
+                tpi: m.tpi,
+                relative_performance: rp,
+                total_performance: rp * cpus as f64,
+                measurement: m,
+            }
+        })
+        .collect()
+}
+
+/// [`scaling_sweep_with`] normalized against an ideal (zero-load) single
+/// processor: one CPU running the same workload against a *contention-free*
+/// memory system approximated by the measured 1-CPU machine with its own
+/// (small) self-load corrected out using the paper's queue model.
+pub fn scaling_sweep(
+    counts: &[usize],
+    protocol: ProtocolKind,
+    seed: u64,
+    warmup: u64,
+    window: u64,
+) -> Vec<ScalingPoint> {
+    // Measure the 1-CPU machine, then correct its small self-induced bus
+    // delay out to get the no-wait-state baseline rate.
+    let one = scaling_sweep_with(&[1], protocol, None, seed, warmup, window, 1.0);
+    let m1 = &one[0].measurement;
+    // instr_rate ∝ 1/TPI: scale measured rate up by TPI(measured)/base.
+    let base_tpi = 11.9;
+    let base_rate = m1.instructions_per_cpu_k * (m1.tpi / base_tpi);
+    scaling_sweep_with(counts, protocol, None, seed, warmup, window, base_rate)
+}
+
+/// Formats a sweep as a Table 1-shaped block.
+pub fn format_sweep(points: &[ScalingPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(out, "{:<30}", "NP (number of processors):");
+    for p in points {
+        let _ = write!(out, "{:>6}", p.cpus);
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:<30}", "L (bus loading):");
+    for p in points {
+        let _ = write!(out, "{:>6.2}", p.load);
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:<30}", "TPI (ticks per instruction):");
+    for p in points {
+        let _ = write!(out, "{:>6.1}", p.tpi);
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:<30}", "RP (relative performance):");
+    for p in points {
+        let _ = write!(out, "{:>6.2}", p.relative_performance);
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:<30}", "TP (total performance):");
+    for p in points {
+        let _ = write!(out, "{:>6.2}", p.total_performance);
+    }
+    let _ = writeln!(out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shows_diminishing_returns() {
+        let pts = scaling_sweep(&[1, 4, 8], ProtocolKind::Firefly, 11, 120_000, 250_000);
+        assert_eq!(pts.len(), 3);
+        assert!(pts[1].load > pts[0].load && pts[2].load > pts[1].load, "load grows");
+        assert!(pts[1].tpi > pts[0].tpi && pts[2].tpi > pts[1].tpi, "TPI grows");
+        assert!(
+            pts[2].total_performance > pts[1].total_performance,
+            "TP still increases at 8"
+        );
+        let gain_1_to_4 = pts[1].total_performance - pts[0].total_performance;
+        let gain_4_to_8 = pts[2].total_performance - pts[1].total_performance;
+        assert!(
+            gain_4_to_8 / 4.0 < gain_1_to_4 / 3.0,
+            "marginal processors are worth less: {gain_1_to_4:.2}/3 vs {gain_4_to_8:.2}/4"
+        );
+    }
+
+    #[test]
+    fn format_matches_table_layout() {
+        let pts = scaling_sweep(&[1, 2], ProtocolKind::Firefly, 11, 50_000, 100_000);
+        let s = format_sweep(&pts);
+        assert_eq!(s.lines().count(), 5);
+        assert!(s.contains("TP (total performance):"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Table 2 of the paper, end to end: the model-derived *Expected*
+//! columns next to simulated *Actual* columns from the Threads
+//! exerciser.
+
+use firefly_model::{Params, Table2Expected};
+use firefly_topaz::exerciser::{run_exerciser, ExerciserConfig, ExerciserReport};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's measured values (Table 2, "Actual"), for annotation.
+pub mod paper {
+    /// One-CPU actual: reads, writes, total (K refs/s).
+    pub const ONE_CPU: (f64, f64, f64) = (1125.0, 225.0, 1350.0);
+    /// Five-CPU actual per CPU: reads, writes, total (K refs/s).
+    pub const FIVE_CPU: (f64, f64, f64) = (850.0, 225.0, 1075.0);
+    /// One-CPU bus load.
+    pub const ONE_CPU_LOAD: f64 = 0.18;
+    /// Five-CPU bus load.
+    pub const FIVE_CPU_LOAD: f64 = 0.54;
+    /// One-CPU miss rate.
+    pub const ONE_CPU_MISS: f64 = 0.3;
+    /// Five-CPU miss rate.
+    pub const FIVE_CPU_MISS: f64 = 0.17;
+    /// Five-CPU write-through-with-MShared fraction of writes (75/225).
+    pub const FIVE_CPU_SHARED_WF: f64 = 0.33;
+}
+
+/// The full Table 2: expected (model) and actual (simulated exerciser)
+/// for the one-CPU and five-CPU systems.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Table2 {
+    /// The model-derived expected columns.
+    pub expected: Table2Expected,
+    /// The simulated one-CPU exerciser run.
+    pub actual_one: ExerciserReport,
+    /// The simulated five-CPU exerciser run.
+    pub actual_five: ExerciserReport,
+}
+
+/// Produces Table 2: analytic expectations plus two exerciser runs.
+///
+/// `warmup`/`window` control the simulated measurement windows (the
+/// paper's counter ran "several minutes"; a few hundred thousand cycles
+/// of steady state suffice for stable rates here).
+pub fn table2_report(warmup: u64, window: u64) -> Table2 {
+    Table2 {
+        expected: Table2Expected::compute(&Params::microvax()),
+        actual_one: run_exerciser(&ExerciserConfig::table2(1), warmup, window),
+        actual_five: run_exerciser(&ExerciserConfig::table2(5), warmup, window),
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 2: Firefly Measured Performance (K refs/sec)")?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "{:<34}{:>10}{:>10}{:>12}{:>10}",
+            "", "One-CPU", "", "Five-CPU", ""
+        )?;
+        writeln!(
+            f,
+            "{:<34}{:>10}{:>10}{:>12}{:>10}",
+            "", "Expected", "Actual", "Expected", "Actual"
+        )?;
+        let e1 = &self.expected.one_cpu;
+        let e5 = &self.expected.five_cpu;
+        let a1 = &self.actual_one;
+        let a5 = &self.actual_five;
+        writeln!(
+            f,
+            "{:<34}{:>10.0}{:>10.0}{:>12.0}{:>10.0}",
+            "Per CPU: Reads", e1.reads_k, a1.reads_k, e5.reads_k, a5.reads_k
+        )?;
+        writeln!(
+            f,
+            "{:<34}{:>10.0}{:>10.0}{:>12.0}{:>10.0}",
+            "         Writes", e1.writes_k, a1.writes_k, e5.writes_k, a5.writes_k
+        )?;
+        writeln!(
+            f,
+            "{:<34}{:>10.0}{:>10.0}{:>12.0}{:>10.0}",
+            "         Total", e1.total_k, a1.total_k, e5.total_k, a5.total_k
+        )?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "{:<34}{:>10}{:>7.0} (L={:.2}){:>5}{:>7.0} (L={:.2})",
+            "Actual MBus Total References:", "", a1.mbus_total_k, a1.bus_load, "", a5.mbus_total_k, a5.bus_load
+        )?;
+        writeln!(f, "MBus References, Per CPU:")?;
+        writeln!(
+            f,
+            "{:<34}{:>10}{:>6.0} (M={:.2}){:>4}{:>7.0} (M={:.2})",
+            "  Reads:", "", a1.mbus_reads_k, a1.miss_rate, "", a5.mbus_reads_k, a5.miss_rate
+        )?;
+        writeln!(
+            f,
+            "{:<34}{:>10}{:>10.0}{:>12}{:>10.0}",
+            "  Writes that received MShared:", "", a1.wt_shared_k, "", a5.wt_shared_k
+        )?;
+        writeln!(
+            f,
+            "{:<34}{:>10}{:>10.0}{:>12}{:>10.0}",
+            "  That did not receive MShared:", "", a1.wt_unshared_k, "", a5.wt_unshared_k
+        )?;
+        writeln!(
+            f,
+            "{:<34}{:>10}{:>10.0}{:>12}{:>10.0}",
+            "  Victims:", "", a1.victims_k, "", a5.victims_k
+        )?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "sharing: {:.0}% of five-CPU writes received MShared (paper measured 33%, model assumed 10%)",
+            a5.shared_write_fraction * 100.0
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Table2 {
+        table2_report(150_000, 400_000)
+    }
+
+    /// The expected columns are the paper's (model-exact).
+    #[test]
+    fn expected_columns_are_paper_exact() {
+        let t = quick();
+        assert!((t.expected.one_cpu.total_k - 849.0).abs() < 3.0);
+        assert!((t.expected.five_cpu.total_k - 752.0).abs() < 3.0);
+    }
+
+    /// The paper's qualitative signature of the actual columns.
+    #[test]
+    fn actual_columns_reproduce_the_signature() {
+        let t = quick();
+        // One CPU cannot see MShared write-throughs.
+        assert_eq!(t.actual_one.wt_shared_k, 0.0);
+        // Five-CPU sharing far above the model's 10% assumption.
+        assert!(t.actual_five.shared_write_fraction > 0.15);
+        // Bus load ordering and ballpark.
+        assert!(t.actual_five.bus_load > t.actual_one.bus_load + 0.2);
+        assert!((0.05..0.30).contains(&t.actual_one.bus_load));
+        assert!((0.35..0.75).contains(&t.actual_five.bus_load));
+        // Victim writes are rare because write-throughs leave lines clean.
+        assert!(t.actual_five.victims_k < t.actual_five.wt_shared_k + t.actual_five.wt_unshared_k);
+    }
+
+    #[test]
+    fn render_looks_like_the_paper() {
+        let t = quick();
+        let s = t.to_string();
+        assert!(s.contains("Table 2"));
+        assert!(s.contains("Per CPU: Reads"));
+        assert!(s.contains("MShared"));
+        assert!(s.contains("Victims"));
+    }
+}

@@ -1,0 +1,128 @@
+//! The simulated Topaz address-space layout.
+//!
+//! All runtime state lives at real simulated-memory addresses so that
+//! touching it generates real coherence traffic:
+//!
+//! ```text
+//! 0x0008_0000   scheduler region (run-queue words, Nub state)
+//! 0x0010_0000   shared data buffer (the exerciser's contended data)
+//! 0x0014_0000   mutex words (one per Mutex)
+//! 0x0015_0000   condition words (one per condition variable)
+//! 0x0020_0000   code region (one address space: threads share code)
+//! 0x0030_0000   per-thread private areas, 128 KB stride
+//!                 +0x00000 stack (hot)   +0x08000 heap (cold)
+//! ```
+//!
+//! Everything fits in the low 16 MB, so the layout works on either
+//! Firefly generation.
+
+use crate::ids::{CondId, MutexId, SemId, ThreadId};
+use firefly_core::Addr;
+
+// Region bases are deliberately *staggered* relative to the 16 KB
+// (0x4000-byte) span of the direct-mapped MicroVAX cache: bases that are
+// all multiples of the cache span would map every region onto the same
+// cache indexes and conflict pathologically. Real linkers achieve the
+// same effect by accident; a simulator must do it on purpose.
+
+/// Base of the scheduler region.
+pub const SCHED_BASE: Addr = Addr::new(0x0008_0c00);
+/// Base of the shared data buffer.
+pub const SHARED_BASE: Addr = Addr::new(0x0010_1000);
+/// Base of the mutex-word table.
+pub const MUTEX_BASE: Addr = Addr::new(0x0014_1400);
+/// Base of the condition-word table.
+pub const COND_BASE: Addr = Addr::new(0x0015_1800);
+/// Base of the semaphore-word table.
+pub const SEM_BASE: Addr = Addr::new(0x0016_0c00);
+/// Base of the (shared) code region.
+pub const CODE_BASE: Addr = Addr::new(0x0020_0000);
+/// Base of per-thread private areas.
+pub const THREAD_BASE: Addr = Addr::new(0x0030_0000);
+/// Per-thread private stride in bytes (128 KB + 2 KB of stagger so
+/// successive threads' stacks land on different cache indexes).
+pub const THREAD_STRIDE: u32 = 0x0002_0800;
+/// Words in a thread's hot stack area.
+pub const STACK_WORDS: u32 = 512;
+/// Words in a thread's cold heap area.
+pub const HEAP_WORDS: u32 = 16 * 1024;
+/// Words in the shared code region.
+pub const CODE_WORDS: u32 = 16 * 1024;
+
+/// The most threads the layout supports below 16 MB.
+pub const MAX_THREADS: usize = 100;
+
+/// The memory word of a mutex.
+pub fn mutex_word(m: MutexId) -> Addr {
+    Addr::new(MUTEX_BASE.byte() + 4 * m.index() as u32)
+}
+
+/// The memory word of a condition variable.
+pub fn cond_word(c: CondId) -> Addr {
+    Addr::new(COND_BASE.byte() + 4 * c.index() as u32)
+}
+
+/// The memory word of a semaphore.
+pub fn sem_word(s: SemId) -> Addr {
+    Addr::new(SEM_BASE.byte() + 4 * s.index() as u32)
+}
+
+/// The scheduler run-queue word a CPU bangs on during dispatch.
+pub fn sched_word(slot: u32) -> Addr {
+    Addr::new(SCHED_BASE.byte() + 4 * (slot % 256))
+}
+
+/// Base of thread `t`'s stack.
+pub fn stack_base(t: ThreadId) -> Addr {
+    Addr::new(THREAD_BASE.byte() + t.index() as u32 * THREAD_STRIDE)
+}
+
+/// Base of thread `t`'s heap.
+pub fn heap_base(t: ThreadId) -> Addr {
+    Addr::new(stack_base(t).byte() + 0x8000)
+}
+
+/// A word inside the shared buffer, wrapped to `buffer_words`.
+pub fn shared_word(offset: u32, buffer_words: u32) -> Addr {
+    SHARED_BASE.add_words(offset % buffer_words.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_ordered_and_disjoint() {
+        assert!(SCHED_BASE < SHARED_BASE);
+        assert!(SHARED_BASE < MUTEX_BASE);
+        assert!(MUTEX_BASE < COND_BASE);
+        assert!(COND_BASE < CODE_BASE);
+        assert!(CODE_BASE.byte() + CODE_WORDS * 4 <= THREAD_BASE.byte());
+    }
+
+    #[test]
+    fn max_threads_fit_under_16mb() {
+        let top = stack_base(ThreadId::new(MAX_THREADS as u32 - 1)).byte() + THREAD_STRIDE;
+        assert!(top <= 16 << 20, "layout tops out at {top:#x}");
+    }
+
+    #[test]
+    fn thread_areas_are_disjoint() {
+        let a = stack_base(ThreadId::new(0));
+        let b = stack_base(ThreadId::new(1));
+        assert_eq!(b.byte() - a.byte(), THREAD_STRIDE);
+        assert!(heap_base(ThreadId::new(0)).byte() + HEAP_WORDS * 4 <= b.byte());
+    }
+
+    #[test]
+    fn sync_words_are_distinct() {
+        assert_ne!(mutex_word(MutexId::new(0)), mutex_word(MutexId::new(1)));
+        assert_ne!(cond_word(CondId::new(0)), mutex_word(MutexId::new(0)));
+    }
+
+    #[test]
+    fn shared_word_wraps() {
+        assert_eq!(shared_word(0, 8), shared_word(8, 8));
+        assert_ne!(shared_word(0, 8), shared_word(7, 8));
+    }
+}

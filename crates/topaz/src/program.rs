@@ -1,0 +1,166 @@
+//! Thread programs: the operations a simulated thread can perform.
+//!
+//! A thread is a [`Script`] — a looping sequence of [`ThreadOp`]s. The
+//! vocabulary mirrors the Topaz Threads interface the paper describes:
+//! compute, touch shared data, `LOCK ... END` (acquire/release), `Wait`,
+//! `Signal`, `Broadcast`, and yielding the processor.
+
+use crate::ids::{CondId, MutexId, SemId};
+use serde::{Deserialize, Serialize};
+
+/// Identifies a script registered with the machine, forkable via
+/// [`ThreadOp::Fork`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct ScriptId(pub(crate) u32);
+
+impl ScriptId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One operation in a thread's program.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum ThreadOp {
+    /// Execute this many instructions of private computation (stack- and
+    /// heap-local references, shared code fetches).
+    Compute {
+        /// Number of instructions.
+        instructions: u32,
+    },
+    /// Read/write a run of words in the shared buffer.
+    TouchShared {
+        /// Number of words touched.
+        words: u32,
+        /// Fraction of touches that are writes (0..=1).
+        write_fraction: f32,
+    },
+    /// Acquire a mutex (blocks if held; the Modula-2+ `LOCK`).
+    Lock(MutexId),
+    /// Release a mutex.
+    ///
+    /// The runtime panics if the thread does not hold it — Modula-2+'s
+    /// `LOCK` block structure makes unbalanced release a program bug.
+    Unlock(MutexId),
+    /// Block on a condition variable until signalled (or until the
+    /// runtime's wait timeout, which models Topaz alerts and keeps
+    /// exercisers deadlock-free).
+    Wait(CondId),
+    /// Wake one waiter.
+    Signal(CondId),
+    /// Wake all waiters.
+    Broadcast(CondId),
+    /// Yield the processor, returning to the run queue.
+    Yield,
+    /// Semaphore P (down): blocks while the count is zero. Unlike a
+    /// condition signal, a V that arrives first is never lost — the
+    /// primitive RPC-style hand-offs need.
+    SemP(SemId),
+    /// Semaphore V (up): increments the count, waking one waiter.
+    SemV(SemId),
+    /// Fork a child thread running a registered script ("The Threads
+    /// module provides Fork and Join operations on threads", §4.2).
+    Fork(ScriptId),
+    /// Block until every thread this thread forked has exited (Join).
+    JoinChildren,
+    /// Terminate the thread.
+    Exit,
+}
+
+/// A looping thread program.
+///
+/// The script runs to the end and starts over, unless it ends with
+/// [`ThreadOp::Exit`]. An empty script is not allowed.
+///
+/// # Examples
+///
+/// ```
+/// use firefly_topaz::{MutexId, Script, ThreadOp};
+///
+/// let script = Script::new(vec![
+///     ThreadOp::Compute { instructions: 100 },
+///     ThreadOp::Lock(MutexId::new(0)),
+///     ThreadOp::TouchShared { words: 8, write_fraction: 0.5 },
+///     ThreadOp::Unlock(MutexId::new(0)),
+///     ThreadOp::Yield,
+/// ]);
+/// assert_eq!(script.len(), 5);
+/// ```
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Script {
+    ops: Vec<ThreadOp>,
+}
+
+impl Script {
+    /// Creates a script.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty or a `write_fraction` is outside `[0, 1]`.
+    pub fn new(ops: Vec<ThreadOp>) -> Self {
+        assert!(!ops.is_empty(), "a thread script cannot be empty");
+        for op in &ops {
+            if let ThreadOp::TouchShared { write_fraction, .. } = op {
+                assert!(
+                    (0.0..=1.0).contains(write_fraction),
+                    "write_fraction must be in [0,1], got {write_fraction}"
+                );
+            }
+        }
+        Script { ops }
+    }
+
+    /// Number of operations per iteration.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the script is empty (never true for a constructed script).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operation at looped position `pc`.
+    pub fn op_at(&self, pc: usize) -> ThreadOp {
+        self.ops[pc % self.ops.len()]
+    }
+
+    /// Whether the script terminates (contains `Exit`).
+    pub fn terminates(&self) -> bool {
+        self.ops.contains(&ThreadOp::Exit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_at_wraps() {
+        let s = Script::new(vec![
+            ThreadOp::Compute { instructions: 1 },
+            ThreadOp::Yield,
+        ]);
+        assert_eq!(s.op_at(0), ThreadOp::Compute { instructions: 1 });
+        assert_eq!(s.op_at(3), ThreadOp::Yield);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_script_rejected() {
+        let _ = Script::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "write_fraction")]
+    fn bad_write_fraction_rejected() {
+        let _ = Script::new(vec![ThreadOp::TouchShared { words: 1, write_fraction: 2.0 }]);
+    }
+
+    #[test]
+    fn terminates_detects_exit() {
+        assert!(Script::new(vec![ThreadOp::Exit]).terminates());
+        assert!(!Script::new(vec![ThreadOp::Yield]).terminates());
+    }
+}

@@ -1,0 +1,257 @@
+//! The Topaz RPC data-transfer model.
+//!
+//! "Communication is implemented uniformly through the use of remote
+//! procedure calls. ... We have found that our RPC data transfer
+//! protocol, with multiple outstanding calls, achieves very high
+//! performance. The remote server can sustain a bandwidth of 4.6
+//! megabits per second using an average of three concurrent threads."
+//! (§4, §6)
+//!
+//! The model is a closed queueing network with the three stations a 1987
+//! RPC traversed: client CPU (parallel across threads — each Firefly
+//! thread can marshal on its own processor), the 10 Mbit/s Ethernet wire
+//! (serial), and the server CPU (serial — the bottleneck). Threads issue
+//! synchronous calls back to back; "if asynchronous behavior is desired,
+//! one simply forks a new Thread to make the synchronous call" — which
+//! is exactly how bandwidth scales with thread count until the server
+//! saturates.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+/// RPC pipeline timing parameters.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct RpcConfig {
+    /// Wire rate in megabits per second (DEQNA Ethernet: 10).
+    pub wire_mbps: f64,
+    /// Payload bytes carried per call.
+    pub payload_bytes: u32,
+    /// Header/framing overhead bytes per packet.
+    pub overhead_bytes: u32,
+    /// Reply packet bytes (ack + results).
+    pub reply_bytes: u32,
+    /// Client CPU time per call in microseconds (marshal + transport).
+    pub client_cpu_us: f64,
+    /// Server CPU time per call in microseconds (the bottleneck:
+    /// unmarshal, dispatch, file-system work, marshal reply).
+    pub server_cpu_us: f64,
+    /// Fixed one-way latency in microseconds (interrupts, queueing).
+    pub latency_us: f64,
+}
+
+impl RpcConfig {
+    /// Parameters calibrated to the paper's measurement: a server
+    /// sustaining ≈4.6 Mbit/s of payload with ≈3 concurrent threads.
+    pub fn firefly() -> Self {
+        RpcConfig {
+            wire_mbps: 10.0,
+            payload_bytes: 1460,
+            overhead_bytes: 100,
+            reply_bytes: 120,
+            client_cpu_us: 500.0,
+            server_cpu_us: 2500.0,
+            latency_us: 100.0,
+        }
+    }
+
+    /// Wire transmission time of the request packet, in microseconds.
+    pub fn request_tx_us(&self) -> f64 {
+        f64::from((self.payload_bytes + self.overhead_bytes) * 8) / self.wire_mbps
+    }
+
+    /// Wire transmission time of the reply packet, in microseconds.
+    pub fn reply_tx_us(&self) -> f64 {
+        f64::from(self.reply_bytes * 8) / self.wire_mbps
+    }
+
+    /// The serial bottleneck time per call, in microseconds: the largest
+    /// of the stations a call occupies exclusively.
+    pub fn bottleneck_us(&self) -> f64 {
+        let wire = self.request_tx_us() + self.reply_tx_us();
+        wire.max(self.server_cpu_us)
+    }
+
+    /// The asymptotic payload bandwidth in Mbit/s (bottleneck-limited).
+    pub fn saturation_mbps(&self) -> f64 {
+        f64::from(self.payload_bytes * 8) / self.bottleneck_us()
+    }
+
+    /// End-to-end latency of an uncontended call, in microseconds.
+    pub fn call_latency_us(&self) -> f64 {
+        self.client_cpu_us
+            + self.request_tx_us()
+            + self.latency_us
+            + self.server_cpu_us
+            + self.reply_tx_us()
+            + self.latency_us
+    }
+}
+
+/// The outcome of a simulated transfer.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct RpcRun {
+    /// Threads issuing synchronous calls.
+    pub threads: usize,
+    /// Calls completed.
+    pub calls: u64,
+    /// Total simulated time in microseconds.
+    pub elapsed_us: f64,
+    /// Payload bandwidth achieved, Mbit/s.
+    pub payload_mbps: f64,
+    /// Mean calls in flight over the run.
+    pub mean_outstanding: f64,
+}
+
+/// Simulates `calls` synchronous RPCs spread over `threads` client
+/// threads, each issuing its next call as soon as the previous returns.
+///
+/// # Panics
+///
+/// Panics if `threads` or `calls` is zero.
+pub fn simulate(cfg: &RpcConfig, threads: usize, calls: u64) -> RpcRun {
+    assert!(threads > 0, "need at least one thread");
+    assert!(calls > 0, "need at least one call");
+
+    // Event-driven closed-network simulation. Processing events in
+    // global time order makes the `max(resource_free, now)` FCFS grant
+    // correct even with many calls pipelined through the two serial
+    // stations (wire and server CPU).
+    #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord)]
+    enum Stage {
+        ClientDone,
+        AtServer,
+        ServerDone,
+    }
+    // Heap keys: (time in ns as u64, tiebreak seq, stage, thread).
+    let mut events: BinaryHeap<Reverse<(u64, u64, Stage, usize)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |h: &mut BinaryHeap<Reverse<(u64, u64, Stage, usize)>>, t_us: f64, st, thr, seq: &mut u64| {
+        *seq += 1;
+        h.push(Reverse(((t_us * 1000.0) as u64, *seq, st, thr)));
+    };
+
+    let mut call_start = vec![0.0_f64; threads];
+    for t in 0..threads {
+        push(&mut events, cfg.client_cpu_us, Stage::ClientDone, t, &mut seq);
+    }
+
+    let mut wire_free = 0.0_f64;
+    let mut server_free = 0.0_f64;
+    let mut started = threads as u64;
+    let mut done = 0u64;
+    let mut last_finish = 0.0_f64;
+    let mut busy_area = 0.0_f64; // sum over calls of (finish - start)
+
+    while done < calls {
+        let Reverse((now_ns, _, stage, t)) = events.pop().expect("events pending");
+        let now = now_ns as f64 / 1000.0;
+        match stage {
+            Stage::ClientDone => {
+                // Request enters the wire.
+                wire_free = wire_free.max(now) + cfg.request_tx_us();
+                push(&mut events, wire_free + cfg.latency_us, Stage::AtServer, t, &mut seq);
+            }
+            Stage::AtServer => {
+                server_free = server_free.max(now) + cfg.server_cpu_us;
+                push(&mut events, server_free, Stage::ServerDone, t, &mut seq);
+            }
+            Stage::ServerDone => {
+                // Reply transits the wire; the call completes at the client.
+                wire_free = wire_free.max(now) + cfg.reply_tx_us();
+                let finish = wire_free + cfg.latency_us;
+                busy_area += finish - call_start[t];
+                last_finish = last_finish.max(finish);
+                done += 1;
+                if started < calls {
+                    started += 1;
+                    call_start[t] = finish;
+                    push(&mut events, finish + cfg.client_cpu_us, Stage::ClientDone, t, &mut seq);
+                }
+            }
+        }
+    }
+
+    let payload_bits = cfg.payload_bytes as f64 * 8.0 * calls as f64;
+    RpcRun {
+        threads,
+        calls,
+        elapsed_us: last_finish,
+        payload_mbps: payload_bits / last_finish,
+        mean_outstanding: busy_area / last_finish,
+    }
+}
+
+/// Bandwidth as a function of thread count — the curve behind the §6
+/// claim.
+pub fn bandwidth_sweep(cfg: &RpcConfig, max_threads: usize, calls: u64) -> Vec<RpcRun> {
+    (1..=max_threads).map(|t| simulate(cfg, t, calls)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_is_paper_bandwidth() {
+        let cfg = RpcConfig::firefly();
+        let sat = cfg.saturation_mbps();
+        assert!((4.2..5.0).contains(&sat), "saturation {sat:.2} Mb/s, paper says 4.6");
+    }
+
+    /// The §6 claim: ~4.6 Mb/s sustained with an average of ~3
+    /// concurrent threads.
+    #[test]
+    fn three_threads_reach_paper_bandwidth() {
+        let cfg = RpcConfig::firefly();
+        let run = simulate(&cfg, 3, 5_000);
+        assert!(
+            (4.0..5.0).contains(&run.payload_mbps),
+            "3-thread bandwidth {:.2} Mb/s",
+            run.payload_mbps
+        );
+        assert!((2.0..=3.0).contains(&run.mean_outstanding), "outstanding {:.2}", run.mean_outstanding);
+    }
+
+    #[test]
+    fn one_thread_is_latency_bound() {
+        let cfg = RpcConfig::firefly();
+        let run = simulate(&cfg, 1, 2_000);
+        // payload bits / round-trip latency
+        let expect = f64::from(cfg.payload_bytes * 8) / cfg.call_latency_us();
+        assert!((run.payload_mbps - expect).abs() < 0.2, "{:.2} vs {expect:.2}", run.payload_mbps);
+        assert!(run.payload_mbps < 3.0, "single thread cannot saturate");
+    }
+
+    #[test]
+    fn bandwidth_increases_then_plateaus() {
+        let cfg = RpcConfig::firefly();
+        let sweep = bandwidth_sweep(&cfg, 8, 3_000);
+        assert!(sweep[1].payload_mbps > sweep[0].payload_mbps * 1.3, "second thread helps a lot");
+        let sat = cfg.saturation_mbps();
+        for run in &sweep[3..] {
+            assert!(
+                (run.payload_mbps - sat).abs() / sat < 0.05,
+                "{} threads: {:.2} vs saturation {:.2}",
+                run.threads,
+                run.payload_mbps,
+                sat
+            );
+        }
+    }
+
+    #[test]
+    fn more_threads_never_hurt_much() {
+        let cfg = RpcConfig::firefly();
+        let sweep = bandwidth_sweep(&cfg, 6, 2_000);
+        for w in sweep.windows(2) {
+            assert!(w[1].payload_mbps >= w[0].payload_mbps * 0.98);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = simulate(&RpcConfig::firefly(), 0, 1);
+    }
+}

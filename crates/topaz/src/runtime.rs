@@ -1,0 +1,1143 @@
+//! The Topaz runtime: threads executing on simulated processors over the
+//! real simulated memory system.
+//!
+//! Each processor runs one thread at a time. A thread's operations expand
+//! into *real memory references* — instruction fetches from the shared
+//! code region, stack and heap data references, reads and writes of lock
+//! words, condition words and scheduler words — issued through the
+//! processor's cache port. The coherence traffic Table 2 measures
+//! (write-throughs receiving `MShared`, migrations doubling working
+//! sets, probe stalls) therefore *emerges* from the protocol rather than
+//! being scripted.
+
+use crate::ids::{CondId, MutexId, SemId, ThreadId};
+use crate::layout;
+use crate::program::{Script, ScriptId, ThreadOp};
+use crate::sched::{MigrationPolicy, Scheduler};
+use firefly_core::config::SystemConfig;
+use firefly_core::system::{MemSystem, Request};
+use firefly_core::{Addr, MachineVariant, PortId, ProtocolKind};
+use firefly_cpu::CpuConfig;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Configuration of a Topaz machine.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct TopazConfig {
+    /// Number of processors.
+    pub cpus: usize,
+    /// Processor timing model.
+    pub cpu: CpuConfig,
+    /// Coherence protocol (the Firefly's, unless running an ablation).
+    pub protocol: ProtocolKind,
+    /// Scheduler migration policy.
+    pub migration: MigrationPolicy,
+    /// Idle cycles before an `AvoidMigration` CPU steals a foreign thread.
+    pub steal_patience_cycles: u64,
+    /// Instructions charged to every context switch (Nub dispatch path).
+    pub context_switch_instructions: u32,
+    /// Condition waits time out after this many cycles (models Topaz
+    /// alerts; keeps exercisers deadlock-free).
+    pub wait_timeout_cycles: u64,
+    /// Size of the shared data buffer in words.
+    pub shared_buffer_words: u32,
+    /// Extra MBus ports beyond the processors (e.g. one for a DMA
+    /// engine when an I/O system shares the machine — see
+    /// [`TopazMachine::step_with`]).
+    pub extra_ports: usize,
+    /// RNG seed (everything downstream is deterministic given this).
+    pub seed: u64,
+}
+
+impl TopazConfig {
+    /// A MicroVAX Firefly with `cpus` processors and Taos defaults.
+    pub fn microvax(cpus: usize) -> Self {
+        TopazConfig {
+            cpus,
+            cpu: CpuConfig::microvax(),
+            protocol: ProtocolKind::Firefly,
+            migration: MigrationPolicy::AvoidMigration,
+            steal_patience_cycles: 200,
+            context_switch_instructions: 40,
+            wait_timeout_cycles: 20_000,
+            shared_buffer_words: 2048,
+            extra_ports: 0,
+            seed: 0xf1ef,
+        }
+    }
+
+    /// A CVAX Firefly with `cpus` processors.
+    pub fn cvax(cpus: usize) -> Self {
+        TopazConfig { cpu: CpuConfig::cvax(), ..TopazConfig::microvax(cpus) }
+    }
+}
+
+/// Runtime event counters.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct TopazStats {
+    /// Thread dispatches onto a processor.
+    pub dispatches: u64,
+    /// Dispatches that moved a thread to a different processor.
+    pub migrations: u64,
+    /// Successful mutex acquisitions.
+    pub lock_acquires: u64,
+    /// Mutex acquisitions that had to block.
+    pub lock_contentions: u64,
+    /// Signal/Broadcast operations executed.
+    pub signals: u64,
+    /// Threads woken by signals.
+    pub wakeups: u64,
+    /// Condition waits that timed out.
+    pub timeouts: u64,
+    /// Processor-cycles spent with no runnable thread.
+    pub idle_cycles: u64,
+    /// Threads that have exited.
+    pub thread_exits: u64,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Status {
+    Ready,
+    Running(usize),
+    BlockedMutex(MutexId),
+    BlockedCond(CondId),
+    BlockedSem(SemId),
+    /// Waiting in JoinChildren for forked threads to exit.
+    Joining,
+    Exited,
+}
+
+/// Per-thread reference generator: shared code, private stack (hot),
+/// private heap (cold).
+#[derive(Debug)]
+struct ThreadGen {
+    rng: SmallRng,
+    body_start: u32,
+    body_len: u32,
+    body_pos: u32,
+    iters_left: u32,
+    stack: Addr,
+    heap: Addr,
+}
+
+impl ThreadGen {
+    fn new(t: ThreadId, seed: u64) -> Self {
+        let mut g = ThreadGen {
+            rng: SmallRng::seed_from_u64(seed ^ (t.index() as u64).wrapping_mul(0x2545_f491_4f6c_dd1d)),
+            body_start: 0,
+            body_len: 1,
+            body_pos: 0,
+            iters_left: 0,
+            stack: layout::stack_base(t),
+            heap: layout::heap_base(t),
+        };
+        g.new_body();
+        g
+    }
+
+    fn new_body(&mut self) {
+        self.body_len = self.rng.gen_range(8..48);
+        self.body_start = self.rng.gen_range(0..layout::CODE_WORDS);
+        self.body_pos = 0;
+        self.iters_left = self.rng.gen_range(8..24);
+    }
+
+    fn next_pc(&mut self) -> Addr {
+        let w = (self.body_start + self.body_pos) % layout::CODE_WORDS;
+        self.body_pos += 1;
+        if self.body_pos >= self.body_len {
+            self.body_pos = 0;
+            self.iters_left = self.iters_left.saturating_sub(1);
+            if self.iters_left == 0 {
+                self.new_body();
+            }
+        }
+        layout::CODE_BASE.add_words(w)
+    }
+
+    /// The reference bundle of one instruction (VAX mix).
+    fn bundle(&mut self, out: &mut VecDeque<QueuedRef>, gap: u64) {
+        out.push_back(QueuedRef { addr: self.next_pc(), write: false, gap_before: gap });
+        if self.rng.gen_bool(0.78 / 0.95) {
+            out.push_back(QueuedRef { addr: self.data_addr(), write: false, gap_before: 0 });
+        }
+        if self.rng.gen_bool(0.40 / 0.95) {
+            out.push_back(QueuedRef { addr: self.data_addr(), write: true, gap_before: 0 });
+        }
+    }
+
+    fn data_addr(&mut self) -> Addr {
+        if self.rng.gen_bool(0.90) {
+            self.stack.add_words(self.rng.gen_range(0..layout::STACK_WORDS))
+        } else {
+            // A modest per-thread heap: Topaz threads are light; the big
+            // cold footprints live in Ultrix address spaces, not here.
+            self.heap.add_words(self.rng.gen_range(0..layout::HEAP_WORDS / 16))
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Thread {
+    script: Script,
+    pc: usize,
+    status: Status,
+    last_cpu: Option<usize>,
+    gen: ThreadGen,
+    blocked_since: u64,
+    /// Live children forked by this thread (for JoinChildren).
+    live_children: u32,
+    /// The parent waiting in JoinChildren, if any.
+    parent: Option<ThreadId>,
+}
+
+#[derive(Debug, Default)]
+struct Mutex {
+    holder: Option<ThreadId>,
+    waiters: VecDeque<ThreadId>,
+}
+
+#[derive(Debug, Default)]
+struct Cond {
+    waiters: VecDeque<ThreadId>,
+}
+
+#[derive(Debug, Default)]
+struct Sem {
+    count: u32,
+    waiters: VecDeque<ThreadId>,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct QueuedRef {
+    addr: Addr,
+    write: bool,
+    gap_before: u64,
+}
+
+#[derive(Copy, Clone, PartialEq, Debug)]
+enum Commit {
+    /// Move to the next op.
+    Advance,
+    /// Begin the current op without advancing the pc (used after the
+    /// context-switch prologue: the dispatched thread has not yet
+    /// executed the op it was dispatched to run).
+    StartCurrent,
+    /// Try to take the mutex.
+    LockAttempt(MutexId),
+    /// Release the mutex (passing it to a waiter if any).
+    Release(MutexId),
+    /// Block on the condition.
+    WaitBlock(CondId),
+    /// Wake one (or all) waiters.
+    SignalWake(CondId, bool),
+    /// Requeue and switch.
+    YieldNow,
+    /// Semaphore P: decrement or block.
+    SemDown(SemId),
+    /// Semaphore V: increment, waking one waiter.
+    SemUp(SemId),
+    /// Fork a child from a registered script.
+    ForkChild(ScriptId),
+    /// Block until all forked children exit.
+    JoinWait,
+    /// Terminate the thread.
+    ExitNow,
+}
+
+#[derive(Debug)]
+enum EngineState {
+    Idle,
+    Computing { cycles_left: u64 },
+    WaitingMem,
+}
+
+#[derive(Debug)]
+struct Engine {
+    port: PortId,
+    current: Option<ThreadId>,
+    state: EngineState,
+    refq: VecDeque<QueuedRef>,
+    commit: Commit,
+    /// Remaining instructions of an in-progress Compute op.
+    compute_left: u32,
+    gap_carry: f64,
+}
+
+/// A Topaz machine: processors, scheduler, threads, and the memory
+/// system underneath.
+///
+/// # Examples
+///
+/// ```
+/// use firefly_topaz::{Script, ThreadOp, TopazConfig, TopazMachine};
+///
+/// let mut m = TopazMachine::new(TopazConfig::microvax(2));
+/// m.spawn(Script::new(vec![
+///     ThreadOp::Compute { instructions: 200 },
+///     ThreadOp::Exit,
+/// ]));
+/// m.run(100_000);
+/// assert_eq!(m.stats().thread_exits, 1);
+/// ```
+pub struct TopazMachine {
+    cfg: TopazConfig,
+    sys: MemSystem,
+    engines: Vec<Engine>,
+    sched: Scheduler,
+    threads: Vec<Thread>,
+    mutexes: Vec<Mutex>,
+    conds: Vec<Cond>,
+    sems: Vec<Sem>,
+    scripts: Vec<Script>,
+    cycle: u64,
+    stats: TopazStats,
+}
+
+impl TopazMachine {
+    /// Builds an empty machine (no threads yet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is rejected by the memory system.
+    pub fn new(cfg: TopazConfig) -> Self {
+        let ports = cfg.cpus + cfg.extra_ports;
+        let sys_cfg = match cfg.cpu.variant {
+            MachineVariant::MicroVax => SystemConfig::microvax(ports),
+            MachineVariant::CVax => SystemConfig::cvax(ports),
+        };
+        let sys = MemSystem::new(sys_cfg, cfg.protocol).expect("valid Topaz configuration");
+        let engines = (0..cfg.cpus)
+            .map(|i| Engine {
+                port: PortId::new(i),
+                current: None,
+                state: EngineState::Idle,
+                refq: VecDeque::new(),
+                commit: Commit::Advance,
+                compute_left: 0,
+                gap_carry: 0.0,
+            })
+            .collect();
+        TopazMachine {
+            sched: Scheduler::new(cfg.cpus, cfg.migration, cfg.steal_patience_cycles),
+            sys,
+            engines,
+            threads: Vec::new(),
+            mutexes: Vec::new(),
+            conds: Vec::new(),
+            sems: Vec::new(),
+            scripts: Vec::new(),
+            cycle: 0,
+            stats: TopazStats::default(),
+            cfg,
+        }
+    }
+
+    /// Forks a new thread running `script`. Threads can be spawned before
+    /// or during a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout's thread limit is exceeded.
+    pub fn spawn(&mut self, script: Script) -> ThreadId {
+        assert!(
+            self.threads.len() < layout::MAX_THREADS,
+            "the address-space layout supports at most {} threads",
+            layout::MAX_THREADS
+        );
+        let t = ThreadId::new(self.threads.len() as u32);
+        self.threads.push(Thread {
+            script,
+            pc: 0,
+            status: Status::Ready,
+            last_cpu: None,
+            gen: ThreadGen::new(t, self.cfg.seed),
+            blocked_since: 0,
+            live_children: 0,
+            parent: None,
+        });
+        self.sched.enqueue(t, None);
+        t
+    }
+
+    /// Registers a script so running threads can [`ThreadOp::Fork`] it.
+    pub fn register_script(&mut self, script: Script) -> ScriptId {
+        self.scripts.push(script);
+        ScriptId(self.scripts.len() as u32 - 1)
+    }
+
+    /// Creates a mutex.
+    pub fn create_mutex(&mut self) -> MutexId {
+        self.mutexes.push(Mutex::default());
+        MutexId::new(self.mutexes.len() as u32 - 1)
+    }
+
+    /// Creates a condition variable.
+    pub fn create_cond(&mut self) -> CondId {
+        self.conds.push(Cond::default());
+        CondId::new(self.conds.len() as u32 - 1)
+    }
+
+    /// Creates a counting semaphore with an initial count.
+    pub fn create_sem(&mut self, initial: u32) -> SemId {
+        self.sems.push(Sem { count: initial, waiters: VecDeque::new() });
+        SemId::new(self.sems.len() as u32 - 1)
+    }
+
+    /// Runs the machine for `cycles` bus cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Advances the machine one bus cycle.
+    pub fn step(&mut self) {
+        self.step_with(&mut |_| {});
+    }
+
+    /// Advances one cycle, giving `hook` a chance to drive the memory
+    /// system between the processors' ticks and the bus step — the
+    /// integration point for an I/O system sharing the machine
+    /// (configure [`TopazConfig::extra_ports`] for its DMA port):
+    ///
+    /// ```
+    /// use firefly_topaz::{TopazConfig, TopazMachine, Script, ThreadOp};
+    /// # use firefly_io::IoSystem;
+    /// # use firefly_core::PortId;
+    /// let mut cfg = TopazConfig::microvax(2);
+    /// cfg.extra_ports = 1; // DMA rides port 2
+    /// let mut m = TopazMachine::new(cfg);
+    /// m.spawn(Script::new(vec![ThreadOp::Compute { instructions: 100 }, ThreadOp::Exit]));
+    /// let mut io = IoSystem::on_port(PortId::new(2));
+    /// for _ in 0..10_000 {
+    ///     m.step_with(&mut |sys| io.tick(sys));
+    /// }
+    /// assert!(m.all_exited());
+    /// ```
+    pub fn step_with(&mut self, hook: &mut dyn FnMut(&mut MemSystem)) {
+        for cpu in 0..self.engines.len() {
+            self.tick_engine(cpu);
+        }
+        hook(&mut self.sys);
+        self.sys.step();
+        self.cycle += 1;
+        if self.cycle % 64 == 0 {
+            self.sweep_timeouts();
+        }
+    }
+
+    /// Elapsed bus cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Runtime counters.
+    pub fn stats(&self) -> &TopazStats {
+        &self.stats
+    }
+
+    /// The memory system (for its Table 2 counters).
+    pub fn memory(&self) -> &MemSystem {
+        &self.sys
+    }
+
+    /// Whether thread `t` has exited.
+    pub fn is_exited(&self, t: ThreadId) -> bool {
+        matches!(self.threads[t.index()].status, Status::Exited)
+    }
+
+    /// Whether every spawned thread has exited (join-all).
+    pub fn all_exited(&self) -> bool {
+        self.threads.iter().all(|t| matches!(t.status, Status::Exited))
+    }
+
+    /// Scheduler dispatch/migration counts.
+    pub fn migrations(&self) -> u64 {
+        self.sched.migrations()
+    }
+
+    // ---- engine internals -----------------------------------------------
+
+    fn tick_engine(&mut self, cpu: usize) {
+        // Dispatch if idle.
+        if self.engines[cpu].current.is_none() {
+            match self.sched.dispatch(cpu) {
+                Some((t, _migrated)) => {
+                    self.stats.dispatches += 1;
+                    self.stats.migrations = self.sched.migrations();
+                    let th = &mut self.threads[t.index()];
+                    th.status = Status::Running(cpu);
+                    th.last_cpu = Some(cpu);
+                    self.engines[cpu].current = Some(t);
+                    // Context-switch cost: Nub scheduler work (a few
+                    // scheduler-word references plus dispatch-path
+                    // instructions).
+                    let e = &mut self.engines[cpu];
+                    e.refq.clear();
+                    for i in 0..4u32 {
+                        e.refq.push_back(QueuedRef {
+                            addr: layout::sched_word(cpu as u32 * 8 + i),
+                            write: i % 2 == 1,
+                            gap_before: 0,
+                        });
+                    }
+                    e.compute_left = self.cfg.context_switch_instructions;
+                    e.commit = Commit::StartCurrent;
+                    e.state = EngineState::Computing { cycles_left: 0 };
+                }
+                None => {
+                    self.sched.note_idle(cpu);
+                    self.stats.idle_cycles += 1;
+                    return;
+                }
+            }
+        }
+
+        match &mut self.engines[cpu].state {
+            EngineState::Idle => unreachable!("engine with a thread is never Idle"),
+            EngineState::Computing { cycles_left } => {
+                if *cycles_left > 0 {
+                    *cycles_left -= 1;
+                } else {
+                    self.advance_work(cpu);
+                }
+            }
+            EngineState::WaitingMem => {
+                if self.sys.poll(self.engines[cpu].port).is_some() {
+                    self.advance_work(cpu);
+                }
+            }
+        }
+    }
+
+    /// Issues the next queued reference, refills the queue from the
+    /// in-progress op, or applies the op's commit action.
+    fn advance_work(&mut self, cpu: usize) {
+        loop {
+            // Issue the next reference if one is queued.
+            if let Some(r) = self.engines[cpu].refq.pop_front() {
+                if r.gap_before > 0 {
+                    self.engines[cpu].refq.push_front(QueuedRef { gap_before: 0, ..r });
+                    self.engines[cpu].state = EngineState::Computing { cycles_left: r.gap_before };
+                    return;
+                }
+                let req = if r.write {
+                    Request::write(r.addr, self.cycle as u32)
+                } else {
+                    Request::read(r.addr)
+                };
+                let port = self.engines[cpu].port;
+                self.sys
+                    .begin(port, req)
+                    .unwrap_or_else(|e| panic!("CPU {cpu} reference failed: {e}"));
+                self.engines[cpu].state = EngineState::WaitingMem;
+                return;
+            }
+
+            // Queue drained: more compute instructions?
+            if self.engines[cpu].compute_left > 0 {
+                let t = self.engines[cpu].current.expect("engine has a thread");
+                let gap = {
+                    let e = &mut self.engines[cpu];
+                    let total = self.cfg.cpu.compute_cycles_per_instruction() / 0.95 + e.gap_carry;
+                    let whole = total.floor();
+                    e.gap_carry = total - whole;
+                    whole as u64
+                };
+                self.engines[cpu].compute_left -= 1;
+                let th = &mut self.threads[t.index()];
+                let mut q = std::mem::take(&mut self.engines[cpu].refq);
+                th.gen.bundle(&mut q, gap);
+                self.engines[cpu].refq = q;
+                continue;
+            }
+
+            // Op finished: apply its commit.
+            if self.apply_commit(cpu) {
+                // Thread still on this CPU: start its next op.
+                self.start_op(cpu);
+                continue;
+            }
+            return; // switched away or idle
+        }
+    }
+
+    /// Applies the pending commit. Returns whether the engine still has
+    /// a running thread afterwards.
+    fn apply_commit(&mut self, cpu: usize) -> bool {
+        let t = self.engines[cpu].current.expect("commit with a thread");
+        let commit = self.engines[cpu].commit;
+        match commit {
+            Commit::Advance => {
+                self.threads[t.index()].pc += 1;
+                true
+            }
+            Commit::StartCurrent => true,
+            Commit::LockAttempt(m) => {
+                let mx = &mut self.mutexes[m.index()];
+                match mx.holder {
+                    None => {
+                        mx.holder = Some(t);
+                        self.stats.lock_acquires += 1;
+                        self.threads[t.index()].pc += 1;
+                        true
+                    }
+                    Some(h) => {
+                        assert_ne!(h, t, "{t} relocked {m} it already holds");
+                        mx.waiters.push_back(t);
+                        self.stats.lock_contentions += 1;
+                        let th = &mut self.threads[t.index()];
+                        th.status = Status::BlockedMutex(m);
+                        th.blocked_since = self.cycle;
+                        self.engines[cpu].current = None;
+                        false
+                    }
+                }
+            }
+            Commit::Release(m) => {
+                let mx = &mut self.mutexes[m.index()];
+                assert_eq!(mx.holder, Some(t), "{t} released {m} it does not hold");
+                match mx.waiters.pop_front() {
+                    Some(w) => {
+                        // Direct hand-off: the waiter owns the mutex and
+                        // resumes past its Lock op.
+                        mx.holder = Some(w);
+                        self.stats.lock_acquires += 1;
+                        let wt = &mut self.threads[w.index()];
+                        wt.status = Status::Ready;
+                        wt.pc += 1;
+                        let last = wt.last_cpu;
+                        self.sched.enqueue(w, last);
+                    }
+                    None => mx.holder = None,
+                }
+                self.threads[t.index()].pc += 1;
+                true
+            }
+            Commit::WaitBlock(c) => {
+                self.conds[c.index()].waiters.push_back(t);
+                let th = &mut self.threads[t.index()];
+                th.status = Status::BlockedCond(c);
+                th.blocked_since = self.cycle;
+                self.engines[cpu].current = None;
+                false
+            }
+            Commit::SignalWake(c, broadcast) => {
+                self.stats.signals += 1;
+                let n = if broadcast { usize::MAX } else { 1 };
+                for _ in 0..n {
+                    match self.conds[c.index()].waiters.pop_front() {
+                        Some(w) => {
+                            self.stats.wakeups += 1;
+                            let wt = &mut self.threads[w.index()];
+                            wt.status = Status::Ready;
+                            wt.pc += 1;
+                            let last = wt.last_cpu;
+                            self.sched.enqueue(w, last);
+                        }
+                        None => break,
+                    }
+                }
+                self.threads[t.index()].pc += 1;
+                true
+            }
+            Commit::YieldNow => {
+                let th = &mut self.threads[t.index()];
+                th.pc += 1;
+                th.status = Status::Ready;
+                self.sched.enqueue(t, Some(cpu));
+                self.engines[cpu].current = None;
+                false
+            }
+            Commit::SemDown(sm) => {
+                let sem = &mut self.sems[sm.index()];
+                if sem.count > 0 {
+                    sem.count -= 1;
+                    self.threads[t.index()].pc += 1;
+                    true
+                } else {
+                    sem.waiters.push_back(t);
+                    let th = &mut self.threads[t.index()];
+                    th.status = Status::BlockedSem(sm);
+                    th.blocked_since = self.cycle;
+                    self.engines[cpu].current = None;
+                    false
+                }
+            }
+            Commit::SemUp(sm) => {
+                let sem = &mut self.sems[sm.index()];
+                match sem.waiters.pop_front() {
+                    Some(w) => {
+                        // Direct hand-off: the waiter consumes the V.
+                        self.stats.wakeups += 1;
+                        let wt = &mut self.threads[w.index()];
+                        wt.status = Status::Ready;
+                        wt.pc += 1;
+                        let last = wt.last_cpu;
+                        self.sched.enqueue(w, last);
+                    }
+                    None => sem.count += 1,
+                }
+                self.threads[t.index()].pc += 1;
+                true
+            }
+            Commit::ForkChild(sid) => {
+                assert!(sid.index() < self.scripts.len(), "script {sid:?} not registered");
+                let script = self.scripts[sid.index()].clone();
+                assert!(
+                    self.threads.len() < layout::MAX_THREADS,
+                    "fork exceeded the {}-thread layout",
+                    layout::MAX_THREADS
+                );
+                let child = ThreadId::new(self.threads.len() as u32);
+                self.threads.push(Thread {
+                    script,
+                    pc: 0,
+                    status: Status::Ready,
+                    last_cpu: None,
+                    gen: ThreadGen::new(child, self.cfg.seed),
+                    blocked_since: 0,
+                    live_children: 0,
+                    parent: Some(t),
+                });
+                self.threads[t.index()].live_children += 1;
+                self.sched.enqueue(child, None);
+                self.threads[t.index()].pc += 1;
+                true
+            }
+            Commit::JoinWait => {
+                if self.threads[t.index()].live_children == 0 {
+                    self.threads[t.index()].pc += 1;
+                    true
+                } else {
+                    let th = &mut self.threads[t.index()];
+                    th.status = Status::Joining;
+                    th.blocked_since = self.cycle;
+                    self.engines[cpu].current = None;
+                    false
+                }
+            }
+            Commit::ExitNow => {
+                self.threads[t.index()].status = Status::Exited;
+                self.stats.thread_exits += 1;
+                self.engines[cpu].current = None;
+                // Notify a joining parent.
+                if let Some(parent) = self.threads[t.index()].parent {
+                    let pt = &mut self.threads[parent.index()];
+                    pt.live_children -= 1;
+                    if pt.live_children == 0 && matches!(pt.status, Status::Joining) {
+                        pt.status = Status::Ready;
+                        pt.pc += 1;
+                        let last = pt.last_cpu;
+                        self.sched.enqueue(parent, last);
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Loads the current thread's op at its pc into the engine.
+    fn start_op(&mut self, cpu: usize) {
+        let t = self.engines[cpu].current.expect("start_op with a thread");
+        let op = {
+            let th = &self.threads[t.index()];
+            th.script.op_at(th.pc)
+        };
+        let shared_words = self.cfg.shared_buffer_words;
+        let e = &mut self.engines[cpu];
+        e.refq.clear();
+        e.compute_left = 0;
+        match op {
+            ThreadOp::Compute { instructions } => {
+                e.compute_left = instructions;
+                e.commit = Commit::Advance;
+            }
+            ThreadOp::TouchShared { words, write_fraction } => {
+                let th = &mut self.threads[t.index()];
+                let start: u32 = th.gen.rng.gen_range(0..shared_words.max(1));
+                for i in 0..words {
+                    let write = th.gen.rng.gen_bool(f64::from(write_fraction));
+                    e.refq.push_back(QueuedRef {
+                        addr: layout::shared_word(start + i, shared_words),
+                        write,
+                        gap_before: if i == 0 { 0 } else { 2 },
+                    });
+                }
+                e.commit = Commit::Advance;
+            }
+            ThreadOp::Lock(m) => {
+                // Interlocked test-and-set traffic on the lock word.
+                e.refq.push_back(QueuedRef { addr: layout::mutex_word(m), write: false, gap_before: 0 });
+                e.refq.push_back(QueuedRef { addr: layout::mutex_word(m), write: true, gap_before: 0 });
+                e.commit = Commit::LockAttempt(m);
+            }
+            ThreadOp::Unlock(m) => {
+                e.refq.push_back(QueuedRef { addr: layout::mutex_word(m), write: true, gap_before: 0 });
+                e.commit = Commit::Release(m);
+            }
+            ThreadOp::Wait(c) => {
+                e.refq.push_back(QueuedRef { addr: layout::cond_word(c), write: false, gap_before: 0 });
+                e.refq.push_back(QueuedRef { addr: layout::cond_word(c), write: true, gap_before: 0 });
+                e.commit = Commit::WaitBlock(c);
+            }
+            ThreadOp::Signal(c) => {
+                e.refq.push_back(QueuedRef { addr: layout::cond_word(c), write: false, gap_before: 0 });
+                e.refq.push_back(QueuedRef { addr: layout::cond_word(c), write: true, gap_before: 0 });
+                e.commit = Commit::SignalWake(c, false);
+            }
+            ThreadOp::Broadcast(c) => {
+                e.refq.push_back(QueuedRef { addr: layout::cond_word(c), write: false, gap_before: 0 });
+                e.refq.push_back(QueuedRef { addr: layout::cond_word(c), write: true, gap_before: 0 });
+                e.commit = Commit::SignalWake(c, true);
+            }
+            ThreadOp::Yield => {
+                e.refq.push_back(QueuedRef { addr: layout::sched_word(cpu as u32), write: false, gap_before: 0 });
+                e.commit = Commit::YieldNow;
+            }
+            ThreadOp::SemP(sm) => {
+                e.refq.push_back(QueuedRef { addr: layout::sem_word(sm), write: false, gap_before: 0 });
+                e.refq.push_back(QueuedRef { addr: layout::sem_word(sm), write: true, gap_before: 0 });
+                e.commit = Commit::SemDown(sm);
+            }
+            ThreadOp::SemV(sm) => {
+                e.refq.push_back(QueuedRef { addr: layout::sem_word(sm), write: false, gap_before: 0 });
+                e.refq.push_back(QueuedRef { addr: layout::sem_word(sm), write: true, gap_before: 0 });
+                e.commit = Commit::SemUp(sm);
+            }
+            ThreadOp::Fork(sid) => {
+                // The Fork path touches the scheduler structures.
+                e.refq.push_back(QueuedRef { addr: layout::sched_word(64 + cpu as u32), write: true, gap_before: 0 });
+                e.commit = Commit::ForkChild(sid);
+            }
+            ThreadOp::JoinChildren => {
+                e.refq.push_back(QueuedRef { addr: layout::sched_word(128 + cpu as u32), write: false, gap_before: 0 });
+                e.commit = Commit::JoinWait;
+            }
+            ThreadOp::Exit => {
+                e.commit = Commit::ExitNow;
+            }
+        }
+        // Validate sync object ids eagerly for a clear panic.
+        match op {
+            ThreadOp::Lock(m) | ThreadOp::Unlock(m) => {
+                assert!(m.index() < self.mutexes.len(), "{m} does not exist");
+            }
+            ThreadOp::Wait(c) | ThreadOp::Signal(c) | ThreadOp::Broadcast(c) => {
+                assert!(c.index() < self.conds.len(), "{c} does not exist");
+            }
+            ThreadOp::SemP(sm) | ThreadOp::SemV(sm) => {
+                assert!(sm.index() < self.sems.len(), "{sm} does not exist");
+            }
+            _ => {}
+        }
+    }
+
+    /// Wakes condition waiters whose timeout expired.
+    fn sweep_timeouts(&mut self) {
+        let deadline = self.cfg.wait_timeout_cycles;
+        let mut woken: Vec<ThreadId> = Vec::new();
+        for cond in &mut self.conds {
+            cond.waiters.retain(|&w| {
+                let th = &self.threads[w.index()];
+                if self.cycle.saturating_sub(th.blocked_since) >= deadline {
+                    woken.push(w);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        for w in woken {
+            self.stats.timeouts += 1;
+            let th = &mut self.threads[w.index()];
+            th.status = Status::Ready;
+            th.pc += 1;
+            let last = th.last_cpu;
+            self.sched.enqueue(w, last);
+        }
+    }
+}
+
+impl fmt::Debug for TopazMachine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TopazMachine")
+            .field("cpus", &self.cfg.cpus)
+            .field("threads", &self.threads.len())
+            .field("cycle", &self.cycle)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute_exit(n: u32) -> Script {
+        Script::new(vec![ThreadOp::Compute { instructions: n }, ThreadOp::Exit])
+    }
+
+    #[test]
+    fn single_thread_computes_and_exits() {
+        let mut m = TopazMachine::new(TopazConfig::microvax(1));
+        let t = m.spawn(compute_exit(500));
+        m.run(80_000);
+        assert!(m.is_exited(t));
+        assert_eq!(m.stats().thread_exits, 1);
+        assert!(m.memory().cache_stats(PortId::new(0)).cpu_refs() > 500);
+    }
+
+    #[test]
+    fn threads_spread_across_cpus() {
+        let mut m = TopazMachine::new(TopazConfig::microvax(4));
+        for _ in 0..4 {
+            m.spawn(compute_exit(2_000));
+        }
+        m.run(300_000);
+        assert!(m.all_exited());
+        // Every CPU did work.
+        for p in 0..4 {
+            assert!(
+                m.memory().cache_stats(PortId::new(p)).cpu_refs() > 1_000,
+                "CPU {p} sat idle"
+            );
+        }
+    }
+
+    #[test]
+    fn mutex_provides_mutual_exclusion_and_counts_contention() {
+        let mut m = TopazMachine::new(TopazConfig::microvax(2));
+        let mx = m.create_mutex();
+        for _ in 0..2 {
+            m.spawn(Script::new(vec![
+                ThreadOp::Lock(mx),
+                ThreadOp::Compute { instructions: 300 },
+                ThreadOp::Unlock(mx),
+                ThreadOp::Exit,
+            ]));
+        }
+        m.run(200_000);
+        assert!(m.all_exited());
+        assert_eq!(m.stats().lock_acquires, 2);
+        assert!(m.stats().lock_contentions >= 1, "the critical sections overlap");
+    }
+
+    #[test]
+    fn condition_signal_wakes_waiter() {
+        let mut m = TopazMachine::new(TopazConfig::microvax(2));
+        let c = m.create_cond();
+        m.spawn(Script::new(vec![ThreadOp::Wait(c), ThreadOp::Exit]));
+        m.spawn(Script::new(vec![
+            ThreadOp::Compute { instructions: 500 },
+            ThreadOp::Signal(c),
+            ThreadOp::Exit,
+        ]));
+        m.run(200_000);
+        assert!(m.all_exited());
+        assert_eq!(m.stats().wakeups, 1);
+        assert_eq!(m.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn broadcast_wakes_everyone() {
+        let mut m = TopazMachine::new(TopazConfig::microvax(2));
+        let c = m.create_cond();
+        for _ in 0..3 {
+            m.spawn(Script::new(vec![ThreadOp::Wait(c), ThreadOp::Exit]));
+        }
+        m.spawn(Script::new(vec![
+            ThreadOp::Compute { instructions: 300 },
+            ThreadOp::Broadcast(c),
+            ThreadOp::Exit,
+        ]));
+        m.run(400_000);
+        assert!(m.all_exited());
+        assert_eq!(m.stats().wakeups, 3);
+    }
+
+    #[test]
+    fn wait_times_out_instead_of_deadlocking() {
+        let mut m = TopazMachine::new(TopazConfig::microvax(1));
+        let c = m.create_cond();
+        m.spawn(Script::new(vec![ThreadOp::Wait(c), ThreadOp::Exit]));
+        m.run(100_000);
+        assert!(m.all_exited(), "timeout rescued the waiter");
+        assert_eq!(m.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn yield_round_robins_on_one_cpu() {
+        let mut m = TopazMachine::new(TopazConfig::microvax(1));
+        for _ in 0..2 {
+            m.spawn(Script::new(vec![
+                ThreadOp::Compute { instructions: 50 },
+                ThreadOp::Yield,
+                ThreadOp::Compute { instructions: 50 },
+                ThreadOp::Exit,
+            ]));
+        }
+        m.run(150_000);
+        assert!(m.all_exited());
+        assert!(m.stats().dispatches >= 4, "yield forces redispatch");
+    }
+
+    #[test]
+    fn fork_and_join_children() {
+        let mut m = TopazMachine::new(TopazConfig::microvax(2));
+        let child = m.register_script(Script::new(vec![
+            ThreadOp::Compute { instructions: 150 },
+            ThreadOp::Exit,
+        ]));
+        m.spawn(Script::new(vec![
+            ThreadOp::Fork(child),
+            ThreadOp::Fork(child),
+            ThreadOp::Fork(child),
+            ThreadOp::JoinChildren,
+            ThreadOp::Compute { instructions: 10 },
+            ThreadOp::Exit,
+        ]));
+        m.run(300_000);
+        assert!(m.all_exited(), "parent joined all three children: {:?}", m.stats());
+        assert_eq!(m.stats().thread_exits, 4);
+    }
+
+    #[test]
+    fn join_with_no_children_is_immediate() {
+        let mut m = TopazMachine::new(TopazConfig::microvax(1));
+        m.spawn(Script::new(vec![ThreadOp::JoinChildren, ThreadOp::Exit]));
+        m.run(50_000);
+        assert!(m.all_exited());
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn fork_of_unregistered_script_panics() {
+        let mut m = TopazMachine::new(TopazConfig::microvax(1));
+        m.spawn(Script::new(vec![ThreadOp::Fork(crate::program::ScriptId(9)), ThreadOp::Exit]));
+        m.run(50_000);
+    }
+
+    #[test]
+    fn semaphore_v_before_p_is_not_lost() {
+        let mut m = TopazMachine::new(TopazConfig::microvax(2));
+        let sm = m.create_sem(0);
+        // The V-er runs (and finishes) long before the P-er arrives.
+        m.spawn(Script::new(vec![ThreadOp::SemV(sm), ThreadOp::Exit]));
+        m.spawn(Script::new(vec![
+            ThreadOp::Compute { instructions: 400 },
+            ThreadOp::SemP(sm),
+            ThreadOp::Exit,
+        ]));
+        m.run(100_000);
+        assert!(m.all_exited(), "the early V satisfied the late P: {:?}", m.stats());
+        assert_eq!(m.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn semaphore_p_blocks_until_v() {
+        let mut m = TopazMachine::new(TopazConfig::microvax(2));
+        let sm = m.create_sem(0);
+        m.spawn(Script::new(vec![ThreadOp::SemP(sm), ThreadOp::Exit]));
+        m.spawn(Script::new(vec![
+            ThreadOp::Compute { instructions: 300 },
+            ThreadOp::SemV(sm),
+            ThreadOp::Exit,
+        ]));
+        m.run(100_000);
+        assert!(m.all_exited());
+        assert_eq!(m.stats().wakeups, 1, "the P-er was woken by the V");
+    }
+
+    #[test]
+    fn semaphore_counts_permits() {
+        let mut m = TopazMachine::new(TopazConfig::microvax(1));
+        let sm = m.create_sem(2);
+        // Three P's against an initial count of 2 and one V.
+        m.spawn(Script::new(vec![
+            ThreadOp::SemP(sm),
+            ThreadOp::SemP(sm),
+            ThreadOp::SemP(sm),
+            ThreadOp::Exit,
+        ]));
+        m.spawn(Script::new(vec![
+            ThreadOp::Compute { instructions: 200 },
+            ThreadOp::SemV(sm),
+            ThreadOp::Exit,
+        ]));
+        m.run(200_000);
+        assert!(m.all_exited(), "{:?}", m.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn unlock_without_hold_panics() {
+        let mut m = TopazMachine::new(TopazConfig::microvax(1));
+        let mx = m.create_mutex();
+        m.spawn(Script::new(vec![ThreadOp::Unlock(mx), ThreadOp::Exit]));
+        m.run(50_000);
+    }
+
+    #[test]
+    fn avoid_migration_migrates_less_than_free() {
+        let migs = |policy| {
+            let mut cfg = TopazConfig::microvax(4);
+            cfg.migration = policy;
+            let mut m = TopazMachine::new(cfg);
+            for _ in 0..8 {
+                m.spawn(Script::new(vec![
+                    ThreadOp::Compute { instructions: 100 },
+                    ThreadOp::Yield,
+                ]));
+            }
+            m.run(300_000);
+            (m.migrations(), m.stats().dispatches)
+        };
+        let (avoid, d1) = migs(MigrationPolicy::AvoidMigration);
+        let (free, d2) = migs(MigrationPolicy::FreeMigration);
+        assert!(d1 > 50 && d2 > 50, "both ran ({d1}, {d2} dispatches)");
+        assert!(
+            (avoid as f64) < (free as f64) * 0.5,
+            "affinity scheduling migrates far less: avoid={avoid}, free={free}"
+        );
+    }
+
+    #[test]
+    fn shared_touches_create_coherence_traffic() {
+        let mut m = TopazMachine::new(TopazConfig::microvax(2));
+        for _ in 0..2 {
+            m.spawn(Script::new(vec![
+                ThreadOp::TouchShared { words: 32, write_fraction: 0.5 },
+                ThreadOp::Yield,
+            ]));
+        }
+        m.run(300_000);
+        let wt: u64 = (0..2)
+            .map(|p| m.memory().cache_stats(PortId::new(p)).wt_shared)
+            .sum();
+        assert!(wt > 10, "shared writes must write through with MShared: {wt}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut m = TopazMachine::new(TopazConfig::microvax(2));
+            let mx = m.create_mutex();
+            for _ in 0..3 {
+                m.spawn(Script::new(vec![
+                    ThreadOp::Lock(mx),
+                    ThreadOp::TouchShared { words: 8, write_fraction: 0.5 },
+                    ThreadOp::Unlock(mx),
+                    ThreadOp::Yield,
+                ]));
+            }
+            m.run(120_000);
+            (*m.stats(), m.memory().bus_stats().ops())
+        };
+        assert_eq!(run(), run());
+    }
+}

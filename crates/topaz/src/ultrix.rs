@@ -1,0 +1,175 @@
+//! The Ultrix emulation cost model.
+//!
+//! §4: "Ultrix address spaces provide an environment in which most
+//! MicroVAX Ultrix binaries can run unchanged"; system calls are served
+//! by Taos over RPC. Footnote 5 explains the price: "Most of the speed
+//! difference in simple system calls is due to the context switch
+//! necessary because Taos runs as a user mode address space. Longer-
+//! running system services do not suffer as much from this effect."
+//!
+//! [`syscall_comparison`] measures exactly that on the simulated
+//! machine: an Ultrix client whose "system calls" are semaphore
+//! hand-offs to a Taos server thread (two context switches per call),
+//! against a native execution of the same service inline. The emulation
+//! overhead is large for trivial calls and amortizes away as the
+//! service itself grows — the footnote, quantified.
+
+use crate::ids::SemId;
+use crate::program::{Script, ThreadOp};
+use crate::runtime::{TopazConfig, TopazMachine};
+use serde::{Deserialize, Serialize};
+
+/// Result of one emulated-vs-native comparison.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SyscallComparison {
+    /// Instructions of real work per call (the service body).
+    pub service_instructions: u32,
+    /// Cycles per call when the service runs in the Taos address space
+    /// (RPC + two context switches).
+    pub emulated_cycles: f64,
+    /// Cycles per call when the service runs inline ("ported" Ultrix).
+    pub native_cycles: f64,
+}
+
+impl SyscallComparison {
+    /// Emulation slowdown (≥ 1).
+    pub fn slowdown(&self) -> f64 {
+        if self.native_cycles == 0.0 {
+            f64::NAN
+        } else {
+            self.emulated_cycles / self.native_cycles
+        }
+    }
+}
+
+/// Builds the emulated-syscall machine: the client thread "traps" by
+/// V-ing the request semaphore and P-ing the reply; the Taos server
+/// thread serves requests in its own context.
+fn emulated_machine(
+    cfg: TopazConfig,
+    calls: u32,
+    user_instructions: u32,
+    service_instructions: u32,
+) -> (TopazMachine, SemId) {
+    let mut m = TopazMachine::new(cfg);
+    let request = m.create_sem(0);
+    let reply = m.create_sem(0);
+    // Ultrix client: user code, then a system call (RPC to Taos).
+    let mut client = Vec::new();
+    for _ in 0..calls {
+        client.push(ThreadOp::Compute { instructions: user_instructions });
+        client.push(ThreadOp::SemV(request));
+        client.push(ThreadOp::SemP(reply));
+    }
+    client.push(ThreadOp::Exit);
+    m.spawn(Script::new(client));
+    // Taos server: serve exactly `calls` requests.
+    let mut server = Vec::new();
+    for _ in 0..calls {
+        server.push(ThreadOp::SemP(request));
+        server.push(ThreadOp::Compute { instructions: service_instructions });
+        server.push(ThreadOp::SemV(reply));
+    }
+    server.push(ThreadOp::Exit);
+    m.spawn(Script::new(server));
+    (m, request)
+}
+
+/// Measures emulated vs native cost per "system call".
+///
+/// `cfg` should usually be a one-CPU machine: the footnote's cost is the
+/// context switch, which only exists when client and server share a
+/// processor (on a multiprocessor the server can run on another CPU,
+/// which is precisely how "the use of parallelism at the lowest levels
+/// of the system helps to compensate" — measurable by passing a 2-CPU
+/// config).
+///
+/// # Panics
+///
+/// Panics if either run fails to finish.
+pub fn syscall_comparison(
+    cfg: TopazConfig,
+    calls: u32,
+    user_instructions: u32,
+    service_instructions: u32,
+) -> SyscallComparison {
+    // Emulated.
+    let (mut m, _) = emulated_machine(cfg, calls, user_instructions, service_instructions);
+    let mut guard = 0;
+    while !m.all_exited() {
+        m.run(500);
+        guard += 1;
+        assert!(guard < 4_000_000, "emulated run wedged");
+    }
+    let emulated = m.cycle() as f64 / f64::from(calls);
+
+    // Native: same total work, no hand-offs.
+    let mut native = TopazMachine::new(cfg);
+    let mut ops = Vec::new();
+    for _ in 0..calls {
+        ops.push(ThreadOp::Compute { instructions: user_instructions + service_instructions });
+    }
+    ops.push(ThreadOp::Exit);
+    native.spawn(Script::new(ops));
+    guard = 0;
+    while !native.all_exited() {
+        native.run(500);
+        guard += 1;
+        assert!(guard < 4_000_000, "native run wedged");
+    }
+    let native_cycles = native.cycle() as f64 / f64::from(calls);
+
+    SyscallComparison {
+        service_instructions,
+        emulated_cycles: emulated,
+        native_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Footnote 5: emulated system calls are slower, dominated by the
+    /// context switch.
+    #[test]
+    fn emulation_costs_context_switches() {
+        let c = syscall_comparison(TopazConfig::microvax(1), 20, 50, 30);
+        assert!(
+            c.slowdown() > 1.3,
+            "trivial syscalls pay heavily: {:.2}x ({:.0} vs {:.0} cycles)",
+            c.slowdown(),
+            c.emulated_cycles,
+            c.native_cycles
+        );
+    }
+
+    /// "Longer-running system services do not suffer as much."
+    #[test]
+    fn long_services_amortize_the_overhead() {
+        let short = syscall_comparison(TopazConfig::microvax(1), 15, 50, 30);
+        let long = syscall_comparison(TopazConfig::microvax(1), 15, 50, 2_000);
+        assert!(
+            long.slowdown() < short.slowdown() * 0.7,
+            "short {:.2}x vs long {:.2}x",
+            short.slowdown(),
+            long.slowdown()
+        );
+        assert!(long.slowdown() < 1.25, "long services nearly native: {:.2}x", long.slowdown());
+    }
+
+    /// §6: "the use of parallelism at the lowest levels of the system
+    /// helps to compensate" — with a second CPU the Taos server runs
+    /// concurrently and the gap narrows.
+    #[test]
+    fn second_cpu_compensates() {
+        let one = syscall_comparison(TopazConfig::microvax(1), 20, 400, 400);
+        let two = syscall_comparison(TopazConfig::microvax(2), 20, 400, 400);
+        assert!(
+            two.emulated_cycles < one.emulated_cycles,
+            "2-CPU emulation {:.0} vs 1-CPU {:.0} cycles/call",
+            two.emulated_cycles,
+            one.emulated_cycles
+        );
+    }
+}

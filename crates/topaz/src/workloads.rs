@@ -1,0 +1,192 @@
+//! The paper's motivating workloads, built on the Topaz runtime.
+//!
+//! §2 argues the Firefly's case from three kinds of concurrency, and §6
+//! reports the software that exploited them:
+//!
+//! * **Coarse-grained multiprogramming** — "profiling an application
+//!   while compiling a module while reading mail" (modeled by
+//!   [`firefly_trace::MultiprogramWorkload`] at the reference level).
+//! * **Pipelined execution** — "pipelines of applications such as the
+//!   text processing utilities awk, grep, and sed": [`pipeline`].
+//! * **Fork/join parallelism** — "a parallel version of the Unix *make*
+//!   utility, which forks multiple compilations in parallel" and the
+//!   experimental Modula-2+ compiler that "compiles each procedure body
+//!   in parallel": [`parallel_make`].
+//! * **Concurrent garbage collection** — "the collector itself runs as
+//!   a separate thread on another processor": [`gc_pair`].
+
+use crate::ids::{CondId, MutexId};
+use crate::program::{Script, ThreadOp};
+use crate::runtime::{TopazConfig, TopazMachine};
+
+/// A fork/join build: `jobs` independent "compilations" of
+/// `instructions_per_job` instructions each, like the parallel make of
+/// §6. Returns the machine (run it, then ask [`TopazMachine::all_exited`])
+/// — or use [`parallel_make_speedup`] for the measured curve.
+pub fn parallel_make(cfg: TopazConfig, jobs: usize, instructions_per_job: u32) -> TopazMachine {
+    let mut m = TopazMachine::new(cfg);
+    // A compilation: read sources (shared), compute hard, write the
+    // object file (shared buffer region).
+    let compile = m.register_script(Script::new(vec![
+        ThreadOp::TouchShared { words: 32, write_fraction: 0.0 },
+        ThreadOp::Compute { instructions: instructions_per_job },
+        ThreadOp::TouchShared { words: 16, write_fraction: 1.0 },
+        ThreadOp::Exit,
+    ]));
+    // make itself: parse the Makefile, fork the compilations, join, link.
+    let mut driver = vec![ThreadOp::Compute { instructions: 50 }];
+    driver.extend(std::iter::repeat(ThreadOp::Fork(compile)).take(jobs));
+    driver.push(ThreadOp::JoinChildren);
+    driver.push(ThreadOp::Compute { instructions: 100 }); // "link"
+    driver.push(ThreadOp::Exit);
+    m.spawn(Script::new(driver));
+    m
+}
+
+/// Runs `parallel_make` to completion and returns the elapsed cycles.
+///
+/// # Panics
+///
+/// Panics if the build fails to finish within a generous bound.
+pub fn parallel_make_elapsed(cfg: TopazConfig, jobs: usize, instructions_per_job: u32) -> u64 {
+    let mut m = parallel_make(cfg, jobs, instructions_per_job);
+    let mut guard = 0u64;
+    while !m.all_exited() {
+        m.run(10_000);
+        guard += 1;
+        assert!(guard < 100_000, "parallel make wedged");
+    }
+    m.cycle()
+}
+
+/// The make speedup curve: elapsed single-CPU time over elapsed
+/// `cpus`-CPU time for the same job set.
+pub fn parallel_make_speedup(jobs: usize, instructions_per_job: u32, cpus: &[usize]) -> Vec<(usize, f64)> {
+    let base = parallel_make_elapsed(TopazConfig::microvax(1), jobs, instructions_per_job) as f64;
+    cpus.iter()
+        .map(|&n| {
+            let t = parallel_make_elapsed(TopazConfig::microvax(n), jobs, instructions_per_job) as f64;
+            (n, base / t)
+        })
+        .collect()
+}
+
+/// A producer/consumer pipeline of `stages` threads connected by
+/// bounded buffers in shared memory (the §2 awk|grep|sed picture).
+///
+/// Each stage loops: wait for input (condition variable), process
+/// (compute), write output to the shared buffer under a mutex, signal
+/// the next stage. The first stage produces unconditionally; `items`
+/// controls how long the pipeline runs (each thread exits after its
+/// share).
+pub fn pipeline(cfg: TopazConfig, stages: usize, items: u32) -> TopazMachine {
+    assert!(stages >= 2, "a pipeline needs at least two stages");
+    let mut m = TopazMachine::new(cfg);
+    let locks: Vec<MutexId> = (0..stages).map(|_| m.create_mutex()).collect();
+    let ready: Vec<CondId> = (0..stages).map(|_| m.create_cond()).collect();
+
+    for s in 0..stages {
+        let mut body = Vec::new();
+        if s > 0 {
+            // Wait for the upstream stage to hand over an item.
+            body.push(ThreadOp::Wait(ready[s - 1]));
+        }
+        // Take the stage's buffer lock, transform data, pass it on.
+        body.push(ThreadOp::Lock(locks[s]));
+        body.push(ThreadOp::TouchShared { words: 16, write_fraction: 0.5 });
+        body.push(ThreadOp::Unlock(locks[s]));
+        body.push(ThreadOp::Compute { instructions: 120 });
+        if s + 1 < stages {
+            body.push(ThreadOp::Signal(ready[s]));
+        }
+        body.push(ThreadOp::Yield);
+        // The script loops; items bound total runtime via the driver.
+        let _ = items;
+        m.spawn(Script::new(body));
+    }
+    m
+}
+
+/// The concurrent-collector pattern of §6: a mutator thread paying "the
+/// in-line cost of reference counted assignments" while "the collector
+/// itself runs as a separate thread on another processor", both walking
+/// the shared heap.
+pub fn gc_pair(cfg: TopazConfig) -> TopazMachine {
+    let mut m = TopazMachine::new(cfg);
+    let heap_lock = m.create_mutex();
+    // Mutator: mostly computes, with reference-count updates (small
+    // shared writes) sprinkled in.
+    m.spawn(Script::new(vec![
+        ThreadOp::Compute { instructions: 200 },
+        ThreadOp::Lock(heap_lock),
+        ThreadOp::TouchShared { words: 4, write_fraction: 1.0 }, // refcount bumps
+        ThreadOp::Unlock(heap_lock),
+        ThreadOp::Yield,
+    ]));
+    // Collector: scans the heap (shared reads), occasionally reclaims
+    // (shared writes).
+    m.spawn(Script::new(vec![
+        ThreadOp::Lock(heap_lock),
+        ThreadOp::TouchShared { words: 64, write_fraction: 0.1 },
+        ThreadOp::Unlock(heap_lock),
+        ThreadOp::Compute { instructions: 60 },
+        ThreadOp::Yield,
+    ]));
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firefly_core::PortId;
+
+    #[test]
+    fn make_finishes_on_any_machine() {
+        for cpus in [1, 4] {
+            let mut m = parallel_make(TopazConfig::microvax(cpus), 6, 400);
+            m.run(2_000_000);
+            assert!(m.all_exited(), "{cpus}-CPU build finished");
+            assert_eq!(m.stats().thread_exits, 7, "driver + 6 compilations");
+        }
+    }
+
+    /// §6: "forks multiple compilations in parallel when possible" —
+    /// and it pays: the build speeds up with processors.
+    #[test]
+    fn make_speedup_scales() {
+        let curve = parallel_make_speedup(8, 1_500, &[2, 4]);
+        let (n2, s2) = curve[0];
+        let (n4, s4) = curve[1];
+        assert_eq!((n2, n4), (2, 4));
+        assert!(s2 > 1.5, "2-CPU speedup {s2:.2}");
+        assert!(s4 > s2, "4-CPU ({s4:.2}) beats 2-CPU ({s2:.2})");
+        assert!(s4 > 2.5, "4-CPU speedup {s4:.2}");
+    }
+
+    #[test]
+    fn pipeline_stages_all_make_progress() {
+        let mut m = pipeline(TopazConfig::microvax(3), 3, 100);
+        m.run(1_500_000);
+        assert!(m.stats().signals > 20, "hand-offs happened: {:?}", m.stats());
+        assert!(m.stats().wakeups > 10, "downstream stages woke");
+        // All three CPUs did work (pipeline parallelism is real).
+        let mut busy = 0;
+        for p in 0..3 {
+            if m.memory().cache_stats(PortId::new(p)).cpu_refs() > 20_000 {
+                busy += 1;
+            }
+        }
+        assert!(busy >= 2, "at least two stages overlapped");
+    }
+
+    #[test]
+    fn gc_pair_shares_the_heap_coherently() {
+        let mut m = gc_pair(TopazConfig::microvax(2));
+        m.run(1_000_000);
+        assert!(m.stats().lock_acquires > 50, "{:?}", m.stats());
+        // The heap lock and heap data ping between the two CPUs: real
+        // MShared write-through traffic.
+        let wt: u64 = (0..2).map(|p| m.memory().cache_stats(PortId::new(p)).wt_shared).sum();
+        assert!(wt > 100, "collector/mutator sharing visible on the bus: {wt}");
+    }
+}

@@ -1,0 +1,268 @@
+//! Workload characterization — the instrument behind the paper's cache
+//! numbers.
+//!
+//! The design conversation in footnote 4 and §5.2 ("If the Firefly
+//! processors were significantly faster relative to main memory, then it
+//! would be necessary to push down the miss rate either by increasing
+//! the cache size or by increasing the cache block size") is a
+//! conversation about a workload's *miss-ratio curve*. This module
+//! computes it: one pass per geometry over a reference stream through
+//! tag-only direct-mapped caches, in the style of the trace-driven
+//! studies the paper cites (Smith's survey; Zukowski's simulations).
+
+use crate::refs::{MemRef, RefKind, RefStream};
+use firefly_core::{CacheGeometry, LineId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The measured behaviour of one stream against one cache geometry.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct GeometryPoint {
+    /// Cache size in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Overall miss rate (the paper's `M`).
+    pub miss_rate: f64,
+    /// Instruction-stream miss rate.
+    pub instr_miss_rate: f64,
+    /// Data-stream miss rate.
+    pub data_miss_rate: f64,
+    /// Fraction of resident lines dirty at the end (the paper's `D`).
+    pub dirty_fraction: f64,
+}
+
+impl fmt::Display for GeometryPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>4} KB, {:>2} B lines: M={:.3} (I={:.3}, D={:.3}), dirty={:.2}",
+            self.size_bytes / 1024,
+            self.line_bytes,
+            self.miss_rate,
+            self.instr_miss_rate,
+            self.data_miss_rate,
+            self.dirty_fraction
+        )
+    }
+}
+
+/// A tag-only direct-mapped cache for characterization (tracks dirty
+/// bits but no data and no coherence).
+#[derive(Debug)]
+struct TagSim {
+    geometry: CacheGeometry,
+    tags: Vec<Option<(u32, bool)>>, // (tag, dirty)
+    refs: u64,
+    misses: u64,
+    i_refs: u64,
+    i_misses: u64,
+    d_refs: u64,
+    d_misses: u64,
+}
+
+impl TagSim {
+    fn new(geometry: CacheGeometry) -> Self {
+        TagSim {
+            geometry,
+            tags: vec![None; geometry.lines()],
+            refs: 0,
+            misses: 0,
+            i_refs: 0,
+            i_misses: 0,
+            d_refs: 0,
+            d_misses: 0,
+        }
+    }
+
+    fn access(&mut self, r: MemRef) {
+        let line = LineId::containing(r.addr, self.geometry.line_words());
+        let idx = self.geometry.index_of(line);
+        let tag = self.geometry.tag_of(line);
+        let write = r.kind == RefKind::DataWrite;
+        self.refs += 1;
+        if r.kind == RefKind::InstrRead {
+            self.i_refs += 1;
+        } else {
+            self.d_refs += 1;
+        }
+        match self.tags[idx] {
+            Some((t, dirty)) if t == tag => {
+                if write && !dirty {
+                    self.tags[idx] = Some((tag, true));
+                }
+            }
+            _ => {
+                self.misses += 1;
+                if r.kind == RefKind::InstrRead {
+                    self.i_misses += 1;
+                } else {
+                    self.d_misses += 1;
+                }
+                self.tags[idx] = Some((tag, write));
+            }
+        }
+    }
+
+    fn point(&self) -> GeometryPoint {
+        let rate = |m: u64, r: u64| if r == 0 { 0.0 } else { m as f64 / r as f64 };
+        let resident = self.tags.iter().flatten().count();
+        let dirty = self.tags.iter().flatten().filter(|&&(_, d)| d).count();
+        GeometryPoint {
+            size_bytes: self.geometry.size_bytes(),
+            line_bytes: self.geometry.line_words() * 4,
+            miss_rate: rate(self.misses, self.refs),
+            instr_miss_rate: rate(self.i_misses, self.i_refs),
+            data_miss_rate: rate(self.d_misses, self.d_refs),
+            dirty_fraction: rate(dirty as u64, resident as u64),
+        }
+    }
+}
+
+/// Measures a stream's miss-ratio curve over several cache geometries,
+/// all in one pass (each geometry gets its own tag store; warm-up
+/// references are excluded from the rates by a second counting phase).
+///
+/// # Panics
+///
+/// Panics if `geometries` is empty or `measure_refs` is zero.
+pub fn miss_ratio_curve<S: RefStream>(
+    stream: &mut S,
+    geometries: &[CacheGeometry],
+    warmup_refs: usize,
+    measure_refs: usize,
+) -> Vec<GeometryPoint> {
+    assert!(!geometries.is_empty(), "need at least one geometry");
+    assert!(measure_refs > 0, "need a measurement window");
+    let mut sims: Vec<TagSim> = geometries.iter().map(|&g| TagSim::new(g)).collect();
+    for r in stream.take_refs(warmup_refs) {
+        for sim in &mut sims {
+            sim.access(r);
+        }
+    }
+    // Reset counters after warm-up; tags stay warm.
+    for sim in &mut sims {
+        sim.refs = 0;
+        sim.misses = 0;
+        sim.i_refs = 0;
+        sim.i_misses = 0;
+        sim.d_refs = 0;
+        sim.d_misses = 0;
+    }
+    for r in stream.take_refs(measure_refs) {
+        for sim in &mut sims {
+            sim.access(r);
+        }
+    }
+    sims.iter().map(TagSim::point).collect()
+}
+
+/// The classic Firefly design-space table: the paper's 16 KB / 4 B
+/// geometry, the footnote-4 alternatives, and the CVAX choice.
+pub fn firefly_design_space() -> Vec<CacheGeometry> {
+    vec![
+        CacheGeometry::new(1024, 1).expect("4 KB / 4 B"),
+        CacheGeometry::new(4096, 1).expect("16 KB / 4 B (as built)"),
+        CacheGeometry::new(1024, 4).expect("16 KB / 16 B"),
+        CacheGeometry::new(512, 8).expect("16 KB / 32 B"),
+        CacheGeometry::new(16384, 1).expect("64 KB / 4 B (CVAX)"),
+        CacheGeometry::new(4096, 4).expect("64 KB / 16 B"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{LocalityParams, SyntheticWorkload};
+
+    fn stream() -> SyntheticWorkload {
+        SyntheticWorkload::fleet(1, LocalityParams::paper_calibrated(), 5).remove(0)
+    }
+
+    /// Miss rate falls monotonically with cache size at fixed line size.
+    #[test]
+    fn bigger_caches_miss_less() {
+        let mut s = stream();
+        let pts = miss_ratio_curve(
+            &mut s,
+            &[
+                CacheGeometry::new(1024, 1).unwrap(),
+                CacheGeometry::new(4096, 1).unwrap(),
+                CacheGeometry::new(16384, 1).unwrap(),
+            ],
+            150_000,
+            300_000,
+        );
+        assert!(pts[0].miss_rate > pts[1].miss_rate, "{pts:?}");
+        assert!(pts[1].miss_rate > pts[2].miss_rate, "{pts:?}");
+    }
+
+    /// Footnote 4's conjecture: "A larger line would probably have
+    /// reduced the miss rate considerably" — at fixed capacity, longer
+    /// lines win on this (spatially local) workload.
+    #[test]
+    fn longer_lines_exploit_spatial_locality() {
+        let mut s = stream();
+        let pts = miss_ratio_curve(
+            &mut s,
+            &[
+                CacheGeometry::new(4096, 1).unwrap(), // 16 KB / 4 B
+                CacheGeometry::new(1024, 4).unwrap(), // 16 KB / 16 B
+            ],
+            150_000,
+            300_000,
+        );
+        assert!(
+            pts[1].miss_rate < pts[0].miss_rate,
+            "16-byte lines beat 4-byte at 16 KB: {pts:?}"
+        );
+    }
+
+    /// The calibration targets reproduce through this instrument too:
+    /// M ≈ 0.2 and D ≈ 0.25 on the as-built geometry.
+    #[test]
+    fn paper_calibration_visible() {
+        let mut s = stream();
+        let pts = miss_ratio_curve(
+            &mut s,
+            &[CacheGeometry::new(4096, 1).unwrap()],
+            200_000,
+            400_000,
+        );
+        assert!((0.15..=0.25).contains(&pts[0].miss_rate), "{}", pts[0]);
+        // TagSim is pure write-back (a line written once stays dirty), so
+        // its D runs above the Firefly protocol's 0.25 — write-throughs
+        // clean lines there. Bound it loosely.
+        assert!((0.10..=0.50).contains(&pts[0].dirty_fraction), "{}", pts[0]);
+    }
+
+    #[test]
+    fn instruction_stream_is_separable() {
+        let mut s = stream();
+        let pts =
+            miss_ratio_curve(&mut s, &[CacheGeometry::new(4096, 1).unwrap()], 100_000, 200_000);
+        let p = pts[0];
+        assert!(p.instr_miss_rate > 0.0 && p.data_miss_rate > 0.0);
+        // Overall rate lies between the component rates.
+        let (lo, hi) = if p.instr_miss_rate < p.data_miss_rate {
+            (p.instr_miss_rate, p.data_miss_rate)
+        } else {
+            (p.data_miss_rate, p.instr_miss_rate)
+        };
+        assert!(p.miss_rate >= lo && p.miss_rate <= hi, "{p}");
+    }
+
+    #[test]
+    fn design_space_has_the_paper_geometries() {
+        let ds = firefly_design_space();
+        assert!(ds.iter().any(|g| g.size_bytes() == 16 * 1024 && g.line_words() == 1));
+        assert!(ds.iter().any(|g| g.size_bytes() == 64 * 1024 && g.line_words() == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one geometry")]
+    fn empty_geometries_rejected() {
+        let mut s = stream();
+        let _ = miss_ratio_curve(&mut s, &[], 10, 10);
+    }
+}

@@ -1,0 +1,327 @@
+//! Trace capture and replay.
+//!
+//! The original evaluation was trace-driven; this module lets any
+//! generated stream be captured to a compact, diff-friendly text format
+//! and replayed deterministically — useful for regression-pinning a
+//! workload or for feeding identical streams to different protocols.
+//!
+//! Format: one reference per line, `"<cpu> <kind> <hex-addr>"`, e.g.
+//! `0 W 0x00200abc`.
+
+use crate::refs::{MemRef, RefKind, RefStream};
+use firefly_core::Addr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// One trace entry: which CPU made which reference.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// The issuing CPU.
+    pub cpu: u8,
+    /// The reference.
+    pub mem: MemRef,
+}
+
+/// A recorded multiprocessor reference trace.
+///
+/// # Examples
+///
+/// ```
+/// use firefly_trace::{MemRef, Trace};
+/// use firefly_core::Addr;
+///
+/// let mut t = Trace::new();
+/// t.push(0, MemRef::write(Addr::new(0x100)));
+/// t.push(1, MemRef::read(Addr::new(0x100)));
+/// let text = t.to_text();
+/// let back = Trace::from_text(&text).unwrap();
+/// assert_eq!(t, back);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends one reference.
+    pub fn push(&mut self, cpu: u8, mem: MemRef) {
+        self.entries.push(TraceEntry { cpu, mem });
+    }
+
+    /// The entries in order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records `n` references from a single-CPU stream as CPU `cpu`.
+    pub fn record<S: RefStream>(stream: &mut S, cpu: u8, n: usize) -> Self {
+        let mut t = Trace::new();
+        for r in stream.take_refs(n) {
+            t.push(cpu, r);
+        }
+        t
+    }
+
+    /// Serializes to the line format.
+    pub fn to_text(&self) -> String {
+        let mut s = String::with_capacity(self.entries.len() * 16);
+        for e in &self.entries {
+            s.push_str(&format!("{} {} {:#010x}\n", e.cpu, e.mem.kind.code(), e.mem.addr.byte()));
+        }
+        s
+    }
+
+    /// Parses the line format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseTraceError`] naming the offending line.
+    pub fn from_text(text: &str) -> Result<Self, ParseTraceError> {
+        let mut t = Trace::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            t.entries.push(parse_line(line).map_err(|what| ParseTraceError {
+                line: lineno + 1,
+                what,
+            })?);
+        }
+        Ok(t)
+    }
+
+    /// Writes the line format to any writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(self.to_text().as_bytes())
+    }
+
+    /// Reads the line format from any buffered reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] for read failures or malformed lines.
+    pub fn read_from<R: BufRead>(mut r: R) -> io::Result<Self> {
+        let mut text = String::new();
+        r.read_to_string(&mut text)?;
+        Trace::from_text(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// A looping replay cursor over this trace (infinite, like any
+    /// [`RefStream`]). Entries' CPU tags are ignored by the cursor;
+    /// filter first with [`Trace::for_cpu`] for per-CPU replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn replay(&self) -> TraceReplay<'_> {
+        assert!(!self.is_empty(), "cannot replay an empty trace");
+        TraceReplay { trace: self, pos: 0, wraps: 0 }
+    }
+
+    /// The sub-trace of one CPU's references.
+    pub fn for_cpu(&self, cpu: u8) -> Trace {
+        Trace { entries: self.entries.iter().copied().filter(|e| e.cpu == cpu).collect() }
+    }
+}
+
+impl FromIterator<TraceEntry> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceEntry>>(iter: I) -> Self {
+        Trace { entries: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<TraceEntry> for Trace {
+    fn extend<I: IntoIterator<Item = TraceEntry>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = TraceEntry;
+    type IntoIter = std::vec::IntoIter<TraceEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceEntry;
+    type IntoIter = std::slice::Iter<'a, TraceEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+fn parse_line(line: &str) -> Result<TraceEntry, String> {
+    let mut it = line.split_whitespace();
+    let cpu: u8 = it
+        .next()
+        .ok_or("missing cpu field")?
+        .parse()
+        .map_err(|_| "bad cpu field".to_string())?;
+    let kind_str = it.next().ok_or("missing kind field")?;
+    let kind = kind_str
+        .chars()
+        .next()
+        .and_then(RefKind::from_code)
+        .ok_or_else(|| format!("bad kind {kind_str:?}"))?;
+    let addr_str = it.next().ok_or("missing addr field")?;
+    let addr_hex = addr_str.strip_prefix("0x").unwrap_or(addr_str);
+    let addr = u32::from_str_radix(addr_hex, 16).map_err(|_| format!("bad addr {addr_str:?}"))?;
+    if it.next().is_some() {
+        return Err("trailing fields".into());
+    }
+    Ok(TraceEntry { cpu, mem: MemRef { addr: Addr::new(addr), kind } })
+}
+
+/// Error parsing the trace text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub what: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.what)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Looping replay over a [`Trace`]. Created by [`Trace::replay`].
+#[derive(Debug)]
+pub struct TraceReplay<'a> {
+    trace: &'a Trace,
+    pos: usize,
+    wraps: u64,
+}
+
+impl TraceReplay<'_> {
+    /// How many times the replay has wrapped around.
+    pub fn wraps(&self) -> u64 {
+        self.wraps
+    }
+}
+
+impl RefStream for TraceReplay<'_> {
+    fn next_ref(&mut self) -> MemRef {
+        let r = self.trace.entries[self.pos].mem;
+        self.pos += 1;
+        if self.pos == self.trace.entries.len() {
+            self.pos = 0;
+            self.wraps += 1;
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{LocalityParams, SyntheticWorkload};
+
+    #[test]
+    fn text_roundtrip() {
+        let mut t = Trace::new();
+        t.push(0, MemRef::ifetch(Addr::new(0x1000)));
+        t.push(3, MemRef::write(Addr::new(0xfffffc)));
+        t.push(1, MemRef::read(Addr::new(0)));
+        let back = Trace::from_text(&t.to_text()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let t = Trace::from_text("# header\n\n0 R 0x10\n").unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let err = Trace::from_text("0 R 0x10\n0 Q 0x10\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("bad kind"));
+        let err = Trace::from_text("0 R 0x10 junk\n").unwrap_err();
+        assert!(err.what.contains("trailing"));
+    }
+
+    #[test]
+    fn record_and_replay_deterministic() {
+        let mut w = SyntheticWorkload::fleet(1, LocalityParams::paper_calibrated(), 11).remove(0);
+        let t = Trace::record(&mut w, 0, 500);
+        assert_eq!(t.len(), 500);
+        let mut r1 = t.replay();
+        let mut r2 = t.replay();
+        for _ in 0..1200 {
+            assert_eq!(r1.next_ref(), r2.next_ref());
+        }
+        assert_eq!(r1.wraps(), 2);
+    }
+
+    #[test]
+    fn for_cpu_filters() {
+        let mut t = Trace::new();
+        t.push(0, MemRef::read(Addr::new(0)));
+        t.push(1, MemRef::read(Addr::new(4)));
+        t.push(0, MemRef::write(Addr::new(8)));
+        let t0 = t.for_cpu(0);
+        assert_eq!(t0.len(), 2);
+        assert!(t0.entries().iter().all(|e| e.cpu == 0));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let entries = vec![
+            TraceEntry { cpu: 0, mem: MemRef::read(Addr::new(0)) },
+            TraceEntry { cpu: 1, mem: MemRef::write(Addr::new(4)) },
+        ];
+        let mut t: Trace = entries.iter().copied().collect();
+        assert_eq!(t.len(), 2);
+        t.extend(entries.clone());
+        assert_eq!(t.len(), 4);
+        let back: Vec<TraceEntry> = t.into_iter().collect();
+        assert_eq!(back.len(), 4);
+    }
+
+    #[test]
+    fn io_roundtrip() {
+        let mut t = Trace::new();
+        t.push(2, MemRef::write(Addr::new(0xabc)));
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let back = Trace::read_from(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn replay_empty_panics() {
+        let _ = Trace::new().replay();
+    }
+}

@@ -1,0 +1,95 @@
+//! The MDC display controller at work: a secondary processor enqueues
+//! drawing commands in main memory; the controller finds them by DMA
+//! polling and paints — "fully symmetric access to the displays by any
+//! processor" (§3).
+//!
+//! ```sh
+//! cargo run --release --example display_bitblt
+//! ```
+
+use firefly::core::config::SystemConfig;
+use firefly::core::protocol::ProtocolKind;
+use firefly::core::system::{MemSystem, Request};
+use firefly::core::{Addr, PortId};
+use firefly::io::mdc::{self, encode_fill, encode_paint, Mdc};
+use firefly::io::{IoSystem, RasterOp};
+
+fn main() -> Result<(), firefly::core::Error> {
+    let mut sys = MemSystem::new(SystemConfig::microvax(2), ProtocolKind::Firefly)?;
+    let mut io = IoSystem::new();
+    let cpu = PortId::new(1); // a *secondary* CPU drives the display
+
+    // Put some text in memory.
+    let text_addr = Addr::new(0x0040_0000);
+    let text = b"FIREFLY!";
+    for (i, chunk) in text.chunks(4).enumerate() {
+        let mut w = [0u8; 4];
+        w[..chunk.len()].copy_from_slice(chunk);
+        sys.run_to_completion(cpu, Request::write(text_addr.add_words(i as u32), u32::from_be_bytes(w)))?;
+    }
+
+    // Enqueue three commands: clear a band, draw a filled box, paint text.
+    let commands = [
+        encode_fill(0, 0, 1024, 32, RasterOp::Clear),
+        encode_fill(8, 8, 200, 16, RasterOp::Set),
+        encode_paint(300, 8, text_addr, text.len() as u32, RasterOp::Or),
+    ];
+    for (slot, cmd) in commands.iter().enumerate() {
+        for (i, w) in cmd.iter().enumerate() {
+            sys.run_to_completion(cpu, Request::write(Mdc::slot_word(slot as u32, i as u32), *w))?;
+        }
+    }
+    sys.run_to_completion(cpu, Request::write(mdc::WQ_BASE, commands.len() as u32))?;
+
+    // Let the controller poll, fetch, and paint.
+    let start = sys.cycle();
+    while io.mdc().stats().commands < commands.len() as u64 {
+        io.tick(&mut sys);
+        sys.step();
+        assert!(sys.cycle() - start < 2_000_000, "MDC wedged");
+    }
+    let elapsed_us = (sys.cycle() - start) as f64 / 10.0;
+
+    let s = io.mdc().stats();
+    println!("MDC executed {} commands in {elapsed_us:.0} us:", s.commands);
+    println!("  pixels painted: {}   characters painted: {}", s.pixels, s.chars);
+    println!("  work-queue polls: {}   60 Hz deposits: {}", s.polls, s.deposits);
+    println!(
+        "  box check: {} of 3200 pixels set in the filled rectangle",
+        io.mdc().framebuffer().count_set_rect(8, 8, 200, 16)
+    );
+    println!(
+        "  text check: {} pixels set where \"FIREFLY!\" was painted",
+        io.mdc().framebuffer().count_set_rect(300, 8, 64, 16)
+    );
+
+    // A quick throughput demonstration: one big fill.
+    let mut sys2 = MemSystem::new(SystemConfig::microvax(1), ProtocolKind::Firefly)?;
+    let mut io2 = IoSystem::on_port(PortId::new(0));
+    let big = encode_fill(0, 0, 1024, 512, RasterOp::Set);
+    for (i, w) in big.iter().enumerate() {
+        sys2.run_to_completion(PortId::new(0), Request::write(Mdc::slot_word(0, i as u32), *w))?;
+    }
+    sys2.run_to_completion(PortId::new(0), Request::write(mdc::WQ_BASE, 1))?;
+    let t0 = sys2.cycle();
+    while io2.mdc().stats().commands < 1 || io2.mdc().stats().pixels < 1024 * 512 {
+        io2.tick(&mut sys2);
+        sys2.step();
+    }
+    // Let the busy timer drain.
+    for _ in 0..400_000 {
+        io2.tick(&mut sys2);
+        sys2.step();
+        if io2.mdc().stats().polls > 2 {
+            break;
+        }
+    }
+    let secs = (sys2.cycle() - t0) as f64 * 100e-9;
+    println!(
+        "\nlarge-area fill: {} pixels in {:.1} ms = {:.1} Mpixel/s (paper: 16 Mpixel/s)",
+        1024 * 512,
+        secs * 1e3,
+        1024.0 * 512.0 / secs / 1e6
+    );
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! Quickstart: build the standard five-processor Firefly, run a
+//! workload, and compare the measured behaviour with the paper's
+//! analytic model.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use firefly::model::Params;
+use firefly::sim::FireflyBuilder;
+
+fn main() {
+    // The standard machine of the paper: five MicroVAX processors, each
+    // behind a 16 KB snoopy cache, 16 MB of memory on the 10 MB/s MBus.
+    let mut machine = FireflyBuilder::microvax(5).seed(42).build();
+    println!("{}", machine.inventory());
+
+    // Warm the caches, then measure a steady-state window.
+    println!("running: 200k cycles warm-up + 400k cycles measured...\n");
+    let measured = machine.measure(200_000, 400_000);
+    println!("{measured}");
+
+    // The back-of-the-envelope model of §5.2, for the same machine.
+    let model = Params::microvax().estimate(5);
+    println!("model (Table 1 row for NP=5):   {model}");
+    println!();
+    println!(
+        "bus load: simulated {:.2} vs model {:.2}; \
+         each processor at {:.0}% of a no-wait-state machine (model: {:.0}%)",
+        measured.bus_load,
+        model.load,
+        100.0 * measured.relative_performance(11.9),
+        100.0 * model.relative_performance,
+    );
+}

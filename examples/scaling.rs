@@ -1,0 +1,36 @@
+//! How far does the MBus scale? The §5.2 analysis (Table 1) next to the
+//! cycle-level simulation of the same machines.
+//!
+//! ```sh
+//! cargo run --release --example scaling
+//! ```
+
+use firefly::core::ProtocolKind;
+use firefly::model::{format_table1, Params};
+use firefly::sim::sweep::{format_sweep, scaling_sweep};
+
+fn main() {
+    let params = Params::microvax();
+
+    println!("=== Table 1 (analytic model, exact) ===\n");
+    println!("{}", format_table1(&params.table1()));
+
+    println!(
+        "knee: the model says the MBus supports ~{} processors before the\n\
+         marginal processor contributes less than half its worth.\n",
+        params.knee(0.5)
+    );
+
+    println!("=== the same sweep, cycle-level simulation ===\n");
+    let counts = [2, 4, 6, 8, 10, 12];
+    let points = scaling_sweep(&counts, ProtocolKind::Firefly, 42, 150_000, 300_000);
+    println!("{}", format_sweep(&points));
+
+    println!("model vs simulation, bus load:");
+    for (est, sim) in params.table1().iter().zip(&points) {
+        println!(
+            "  NP={:<3} model L={:.2}  simulated L={:.2}  (TP {:.2} vs {:.2})",
+            est.processors, est.load, sim.load, est.total_performance, sim.total_performance
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Whole-machine integration: processors, Topaz threads, and I/O
+//! devices all running against one coherent memory system.
+
+use firefly::core::check::CoherenceChecker;
+use firefly::core::system::Request;
+use firefly::core::{Addr, PortId};
+use firefly::io::rqdx3::DiskRequest;
+use firefly::sim::{FireflyBuilder, Workload};
+use firefly::topaz::exerciser::{run_exerciser, ExerciserConfig};
+use firefly::topaz::{MigrationPolicy, Script, ThreadOp, TopazConfig, TopazMachine};
+use firefly::trace::LocalityParams;
+
+/// CPUs computing while the disk, Ethernet and display all DMA — the
+/// everyday life of the machine in Figure 1.
+#[test]
+fn processors_and_io_share_the_machine() {
+    let mut m = FireflyBuilder::microvax(3).with_io().seed(7).build();
+    {
+        let io = m.io_mut().unwrap();
+        for lba in 0..4 {
+            io.disk_mut().submit(DiskRequest::Read { lba, addr: Addr::new(0x0050_0000 + lba * 512) });
+        }
+        io.deqna_mut().enqueue_tx(Addr::new(0x0052_0000), 512);
+        io.deqna_mut().kick();
+    }
+    m.run(3_000_000);
+    // Everyone made progress.
+    for p in 0..3 {
+        assert!(m.memory().cache_stats(PortId::new(p)).cpu_refs() > 100_000, "CPU {p}");
+    }
+    let io = m.io().unwrap();
+    assert_eq!(io.disk().stats().reads, 4);
+    assert_eq!(io.deqna().stats().tx_packets, 1);
+    assert!(io.mdc().stats().polls > 1_000);
+    assert!(io.mdc().stats().deposits >= 1, "60 Hz deposits happened");
+}
+
+/// The exerciser leaves a coherent machine behind, and its measurement
+/// signature holds under both scheduler policies.
+#[test]
+fn exerciser_is_coherent_and_migration_matters() {
+    let run = |policy| {
+        let mut cfg = ExerciserConfig::table2(3);
+        cfg.topaz.migration = policy;
+        run_exerciser(&cfg, 150_000, 300_000)
+    };
+    let avoid = run(MigrationPolicy::AvoidMigration);
+    let free = run(MigrationPolicy::FreeMigration);
+    assert!(
+        free.runtime.migrations > avoid.runtime.migrations * 3,
+        "free {} vs avoid {}",
+        free.runtime.migrations,
+        avoid.runtime.migrations
+    );
+    assert!(
+        free.wt_shared_k > avoid.wt_shared_k,
+        "migration inflates MShared write-throughs: {:.0} vs {:.0}",
+        free.wt_shared_k,
+        avoid.wt_shared_k
+    );
+}
+
+/// A Topaz machine's memory is coherent at quiescent points even after
+/// heavy synchronization (spot-checked via a direct machine).
+#[test]
+fn topaz_machine_memory_is_coherent() {
+    let mut m = TopazMachine::new(TopazConfig::microvax(3));
+    let mx = m.create_mutex();
+    let c = m.create_cond();
+    for i in 0..6 {
+        let mut ops = vec![
+            ThreadOp::Compute { instructions: 80 },
+            ThreadOp::Lock(mx),
+            ThreadOp::TouchShared { words: 16, write_fraction: 0.5 },
+            ThreadOp::Unlock(mx),
+        ];
+        if i % 2 == 0 {
+            ops.push(ThreadOp::Signal(c));
+        } else {
+            ops.push(ThreadOp::Wait(c));
+        }
+        ops.push(ThreadOp::Exit);
+        m.spawn(Script::new(ops));
+    }
+    m.run(2_000_000);
+    assert!(m.all_exited(), "all threads finished: {:?}", m.stats());
+    // Drain any local countdowns, then check.
+    assert!(m.memory().is_quiescent());
+    CoherenceChecker::new().check(m.memory()).unwrap();
+}
+
+/// Different workload families compose with the builder.
+#[test]
+fn multiprogram_workload_raises_miss_rate() {
+    let mr = |wl| {
+        let mut m = FireflyBuilder::microvax(1).workload(wl).seed(9).build();
+        m.measure(200_000, 300_000).miss_rate
+    };
+    let single = mr(Workload::Synthetic(LocalityParams::paper_calibrated()));
+    let multi = mr(Workload::Multiprogram {
+        processes: 4,
+        quantum: 4_000,
+        params: LocalityParams::paper_calibrated(),
+    });
+    assert!(
+        multi > single + 0.03,
+        "context switching raises M: {single:.3} -> {multi:.3} (the §5.3 cold-start effect)"
+    );
+}
+
+/// DMA input is immediately visible to all processors regardless of
+/// what their caches held — the fundamental I/O coherence property.
+#[test]
+fn dma_input_visible_everywhere() {
+    let mut m = FireflyBuilder::microvax(2).with_io().seed(3).build();
+    let buf = Addr::new(0x0060_0000);
+    // Both CPUs cache the buffer (via direct memory-system access).
+    for p in 0..2 {
+        m.memory_mut().run_to_completion(PortId::new(p), Request::read(buf)).unwrap();
+    }
+    {
+        let io = m.io_mut().unwrap();
+        io.deqna_mut().post_rx_buffer(buf, 64);
+        let mut pkt = firefly::io::deqna::Packet::zeroed(4);
+        pkt.words = vec![0xfeed_f00d];
+        io.deqna_mut().deliver(pkt);
+    }
+    m.run(100_000);
+    for p in 0..2 {
+        let r = m.memory_mut().run_to_completion(PortId::new(p), Request::read(buf)).unwrap();
+        assert_eq!(r.value, 0xfeed_f00d, "CPU {p} sees the packet");
+    }
+    CoherenceChecker::new().check(m.memory()).unwrap();
+}
+
+/// Determinism across the whole stack: same seed, same machine, same
+/// counters — different seed, different execution.
+#[test]
+fn full_stack_determinism() {
+    let run = |seed: u64| {
+        let mut m = FireflyBuilder::microvax(3).seed(seed).build();
+        m.run(150_000);
+        (
+            m.memory().bus_stats().ops(),
+            m.memory().cache_stats(PortId::new(1)).cpu_refs(),
+            m.processors()[2].stats().instructions,
+        )
+    };
+    assert_eq!(run(77), run(77));
+    assert_ne!(run(77), run(78));
+}
