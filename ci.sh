@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# The canonical pre-PR check (see EXPERIMENTS.md). Fails fast, in the
+# order cheapest-to-diagnose first: formatting, lints, then the tier-1
+# build-and-test gate from ROADMAP.md, then the full workspace suite
+# (integration tests, doctests, every crate).
+#
+# FIREFLY_JOBS controls the experiment harness's worker-pool width for
+# any sweeps the tests run; the results are bit-identical at any width.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "== cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "ci.sh: all checks passed"

@@ -7,9 +7,7 @@ use firefly_model::Params;
 
 fn bench_model(c: &mut Criterion) {
     let p = Params::microvax();
-    c.bench_function("model/tpi_at_load", |b| {
-        b.iter(|| black_box(p.tpi(black_box(0.4))))
-    });
+    c.bench_function("model/tpi_at_load", |b| b.iter(|| black_box(p.tpi(black_box(0.4)))));
     c.bench_function("model/solve_load_for_np", |b| {
         b.iter(|| black_box(p.load_for_processors(black_box(5.0))))
     });

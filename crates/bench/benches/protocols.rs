@@ -12,12 +12,11 @@ fn bench_refsim(c: &mut Criterion) {
     let mut group = c.benchmark_group("refsim_100refs");
     for kind in [ProtocolKind::Firefly, ProtocolKind::Illinois, ProtocolKind::Dragon] {
         group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            let mut fleet =
-                SyntheticWorkload::fleet(4, LocalityParams::paper_calibrated(), 1);
+            let mut fleet = SyntheticWorkload::fleet(4, LocalityParams::paper_calibrated(), 1);
             let mut sim = RefSim::new(4, CacheGeometry::microvax(), kind);
             b.iter(|| {
-                for cpu in 0..4 {
-                    for r in fleet[cpu].take_refs(25) {
+                for (cpu, stream) in fleet.iter_mut().enumerate() {
+                    for r in stream.take_refs(25) {
                         sim.access(cpu, r.kind.proc_op(), r.addr);
                     }
                 }

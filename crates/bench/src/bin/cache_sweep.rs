@@ -8,13 +8,41 @@
 //!
 //! Also the §5.2 closing remark: "In the CVAX version of the system, we
 //! chose to quadruple the cache size."
+//!
+//! The six full-machine geometry points run in parallel on the
+//! experiment harness; pass `--json` for the harness run as JSON.
 
+use firefly_bench::report;
 use firefly_core::{CacheGeometry, ProtocolKind};
-use firefly_sim::{FireflyBuilder, Workload};
+use firefly_sim::harness::{run_experiments, ExperimentSpec};
 use firefly_trace::analyze::{firefly_design_space, miss_ratio_curve};
 use firefly_trace::{LocalityParams, SyntheticWorkload};
 
 fn main() {
+    let cases: &[(&str, usize, usize)] = &[
+        ("4 KB, 4-byte lines", 1024, 1),
+        ("16 KB, 4-byte lines *", 4096, 1),
+        ("16 KB, 16-byte lines", 1024, 4),
+        ("16 KB, 32-byte lines", 512, 8),
+        ("64 KB, 4-byte lines (CVAX)", 16384, 1),
+        ("64 KB, 16-byte lines", 4096, 4),
+    ];
+    let specs = cases
+        .iter()
+        .map(|&(name, lines, words)| {
+            ExperimentSpec::new(name, 5)
+                .protocol(ProtocolKind::Firefly)
+                .cache(CacheGeometry::new(lines, words).expect("valid geometry"))
+                .seed(42)
+                .window(200_000, 400_000)
+        })
+        .collect();
+    let run = run_experiments(specs);
+    if report::json_requested() {
+        report::emit_json(&run);
+        return;
+    }
+
     println!("Ablation C, part 1: the workload's miss-ratio curve (single");
     println!("processor, tag simulation — the Zukowski-style instrument):\n");
     let mut stream = SyntheticWorkload::fleet(1, LocalityParams::paper_calibrated(), 5).remove(0);
@@ -28,25 +56,11 @@ fn main() {
         "{:<26} {:>10} {:>10} {:>9} {:>12}",
         "geometry", "miss rate", "bus load", "TPI", "K refs/s/CPU"
     );
-    let cases: &[(&str, usize, usize)] = &[
-        ("4 KB, 4-byte lines", 1024, 1),
-        ("16 KB, 4-byte lines *", 4096, 1),
-        ("16 KB, 16-byte lines", 1024, 4),
-        ("16 KB, 32-byte lines", 512, 8),
-        ("64 KB, 4-byte lines (CVAX)", 16384, 1),
-        ("64 KB, 16-byte lines", 4096, 4),
-    ];
-    for &(name, lines, words) in cases {
-        let mut m = FireflyBuilder::microvax(5)
-            .protocol(ProtocolKind::Firefly)
-            .cache(CacheGeometry::new(lines, words).expect("valid geometry"))
-            .workload(Workload::default())
-            .seed(42)
-            .build();
-        let r = m.measure(200_000, 400_000);
+    for result in run.results() {
+        let r = result.measurement;
         println!(
-            "{name:<26} {:>10.3} {:>10.2} {:>9.1} {:>12.0}",
-            r.miss_rate, r.bus_load, r.tpi, r.total_k
+            "{:<26} {:>10.3} {:>10.2} {:>9.1} {:>12.0}",
+            result.label, r.miss_rate, r.bus_load, r.tpi, r.total_k
         );
     }
     println!("\n(* the machine as built; the paper's measured M≈0.2 for one CPU)");
@@ -55,4 +69,5 @@ fn main() {
          (footnote 4), and the CVAX-size cache cuts the miss rate enough to keep the\n\
          original MBus viable under 2x-faster processors (§5.3)."
     );
+    println!("\n{}", run.summary());
 }

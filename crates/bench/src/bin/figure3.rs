@@ -1,22 +1,31 @@
 //! Regenerates Figure 3: the cache-line states and transitions of the
 //! Firefly protocol — plus the same table for every baseline protocol,
 //! which is what makes the §5.1 design discussion concrete.
+//!
+//! The six tables are independent, so they render on the experiment
+//! harness's worker pool and print in protocol order.
 
 use firefly_core::protocol::{transition_table, ProtocolKind};
+use firefly_sim::harness::run_jobs;
 
 fn main() {
+    let tables =
+        run_jobs(&ProtocolKind::ALL, |kind| (*kind, transition_table(kind.build().as_ref())));
+
     println!("Figure 3: Cache Line States (Firefly protocol)\n");
-    println!("{}", transition_table(ProtocolKind::Firefly.build().as_ref()));
+    let firefly =
+        tables.iter().find(|(k, _)| *k == ProtocolKind::Firefly).expect("ALL contains Firefly");
+    println!("{}", firefly.1);
+    println!("legend: I=Invalid V=Valid(clean,excl) S=Shared(clean) D=Dirty(excl) SD=Shared-Dirty");
     println!(
-        "legend: I=Invalid V=Valid(clean,excl) S=Shared(clean) D=Dirty(excl) SD=Shared-Dirty"
+        "        sh=asserts MShared  sup=supplies data  fl=flushes to memory  abs=absorbs data\n"
     );
-    println!("        sh=asserts MShared  sup=supplies data  fl=flushes to memory  abs=absorbs data\n");
 
     println!("the baselines of the §5.1 discussion:\n");
-    for kind in ProtocolKind::ALL {
-        if kind == ProtocolKind::Firefly {
+    for (kind, table) in &tables {
+        if *kind == ProtocolKind::Firefly {
             continue;
         }
-        println!("{}", transition_table(kind.build().as_ref()));
+        println!("{table}");
     }
 }

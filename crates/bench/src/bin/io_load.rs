@@ -57,10 +57,8 @@ fn main() {
         "  with busy disk DMA:   L = {:.2}, per-CPU {:.0}K refs/s, TPI {:.1}",
         with_io.bus_load, with_io.total_k, with_io.tpi
     );
-    let dma_words = loaded
-        .io()
-        .map(|io| io.dma().words_read() + io.dma().words_written())
-        .unwrap_or(0);
+    let dma_words =
+        loaded.io().map(|io| io.dma().words_read() + io.dma().words_written()).unwrap_or(0);
     println!(
         "\nthe disk's real duty cycle is tiny ({dma_words} DMA words in the window):\n\
          \"the average I/O load is much lower\" — the 30% figure is the QBus's ceiling,\n\

@@ -33,9 +33,16 @@ fn main() {
     let cpu = PortId::new(1);
     let fills = 4u64;
     for slot in 0..fills {
-        let cmd = encode_fill(0, 0, 1024, 512, if slot % 2 == 0 { RasterOp::Set } else { RasterOp::Clear });
+        let cmd = encode_fill(
+            0,
+            0,
+            1024,
+            512,
+            if slot % 2 == 0 { RasterOp::Set } else { RasterOp::Clear },
+        );
         for (i, w) in cmd.iter().enumerate() {
-            sys.run_to_completion(cpu, Request::write(Mdc::slot_word(slot as u32, i as u32), *w)).unwrap();
+            sys.run_to_completion(cpu, Request::write(Mdc::slot_word(slot as u32, i as u32), *w))
+                .unwrap();
         }
     }
     sys.run_to_completion(cpu, Request::write(mdc::WQ_BASE, fills as u32)).unwrap();
@@ -54,7 +61,8 @@ fn main() {
     for slot in 0..lines {
         let cmd = encode_paint(0, (slot as u32 % 48) * 16, text_addr, 120, RasterOp::Copy);
         for (i, w) in cmd.iter().enumerate() {
-            sys2.run_to_completion(cpu, Request::write(Mdc::slot_word(slot as u32, i as u32), *w)).unwrap();
+            sys2.run_to_completion(cpu, Request::write(Mdc::slot_word(slot as u32, i as u32), *w))
+                .unwrap();
         }
     }
     sys2.run_to_completion(cpu, Request::write(mdc::WQ_BASE, lines as u32)).unwrap();

@@ -6,11 +6,44 @@
 //! the bus, invalidation protocols (Write-Once, Berkeley, Illinois) pay
 //! re-miss traffic, and the update protocols (Firefly, Dragon) keep bus
 //! operations per reference lowest.
+//!
+//! Every (protocol, sharing) and (protocol, NP) cell is an independent
+//! reference-level simulation, so both grids fan out across the
+//! experiment harness's worker pool. Pass `--json` for the grids as
+//! JSON.
 
+use firefly_bench::report;
 use firefly_core::protocol::ProtocolKind;
 use firefly_core::refsim::{CostModel, RefSim};
 use firefly_core::CacheGeometry;
+use firefly_sim::harness::run_jobs;
 use firefly_trace::{LocalityParams, RefStream, SyntheticWorkload};
+use serde::Serialize;
+
+/// One (protocol, sharing-level) cell of the design-space grid.
+#[derive(Copy, Clone, Debug, Serialize)]
+struct SharingCell {
+    protocol: ProtocolKind,
+    sharing: f64,
+    bus_ops_per_ref: f64,
+    miss_rate: f64,
+    est_bus_load: f64,
+}
+
+/// One (protocol, NP) cell of the total-performance grid.
+#[derive(Copy, Clone, Debug, Serialize)]
+struct PerformanceCell {
+    protocol: ProtocolKind,
+    cpus: usize,
+    est_bus_load: f64,
+    total_performance: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Grids {
+    sharing: Vec<SharingCell>,
+    performance: Vec<PerformanceCell>,
+}
 
 fn run(kind: ProtocolKind, cpus: usize, sharing: f64, refs: usize) -> (f64, f64, f64) {
     let params = LocalityParams {
@@ -45,9 +78,7 @@ fn run(kind: ProtocolKind, cpus: usize, sharing: f64, refs: usize) -> (f64, f64,
     let opi = d_ops / (d_refs / model.refs_per_instruction);
     let mut load = 0.0f64;
     for _ in 0..100 {
-        let tpi = model.base_tpi
-            + opi * model.ticks_per_bus_op / (1.0 - load)
-            + 0.852 * load;
+        let tpi = model.base_tpi + opi * model.ticks_per_bus_op / (1.0 - load) + 0.852 * load;
         load = (cpus as f64 * opi * model.ticks_per_bus_op / tpi).min(0.95);
     }
     (bus_per_ref, d_miss / d_refs, load)
@@ -55,29 +86,68 @@ fn run(kind: ProtocolKind, cpus: usize, sharing: f64, refs: usize) -> (f64, f64,
 
 /// Total system performance at `cpus` via the self-consistent load
 /// (Archibald & Baer's figure of merit, computed with the paper's
-/// queue model).
+/// queue model). One reference-level run supplies both the fixed-point
+/// load and the bus-ops-per-instruction it recomputes TPI from.
 fn total_performance(kind: ProtocolKind, cpus: usize, sharing: f64) -> (f64, f64) {
-    let (_, _, load) = run(kind, cpus, sharing, 40_000);
+    let (bpr, _, load) = run(kind, cpus, sharing, 40_000);
     let model = CostModel::default();
-    // Recompute TPI at the fixed-point load from a fresh measurement of
-    // bus ops per instruction.
-    let (bpr, _, _) = run(kind, cpus, sharing, 40_000);
     let opi = bpr * model.refs_per_instruction;
     let tpi = model.base_tpi + opi * model.ticks_per_bus_op / (1.0 - load.min(0.94)) + 0.852 * load;
     (load, cpus as f64 * model.base_tpi / tpi)
 }
 
 fn main() {
+    let sharing_levels = [0.0, 0.05, 0.1, 0.2, 0.33, 0.5];
+    let counts = [2usize, 4, 6, 8];
+
+    // Both grids are embarrassingly parallel: every cell owns its fleet
+    // and its reference simulator.
+    let sharing_grid: Vec<(f64, ProtocolKind)> = sharing_levels
+        .iter()
+        .flat_map(|&s| ProtocolKind::ALL.into_iter().map(move |k| (s, k)))
+        .collect();
+    let sharing_cells = run_jobs(&sharing_grid, |&(sharing, kind)| {
+        let (bpr, miss, load) = run(kind, 4, sharing, 60_000);
+        SharingCell {
+            protocol: kind,
+            sharing,
+            bus_ops_per_ref: bpr,
+            miss_rate: miss,
+            est_bus_load: load,
+        }
+    });
+
+    let perf_grid: Vec<(ProtocolKind, usize)> = ProtocolKind::ALL
+        .into_iter()
+        .flat_map(|k| counts.into_iter().map(move |n| (k, n)))
+        .collect();
+    let perf_cells = run_jobs(&perf_grid, |&(kind, n)| {
+        let (load, tp) = total_performance(kind, n, 0.10);
+        PerformanceCell { protocol: kind, cpus: n, est_bus_load: load, total_performance: tp }
+    });
+
+    if report::json_requested() {
+        report::emit_json(&Grids { sharing: sharing_cells, performance: perf_cells });
+        return;
+    }
+
     println!("Ablation A: protocol comparison (reference-level, 16 KB caches, 4 CPUs)\n");
-    for sharing in [0.0, 0.05, 0.1, 0.2, 0.33, 0.5] {
+    let mut cells = sharing_cells.iter();
+    for sharing in sharing_levels {
         println!("shared fraction S = {sharing:.2}:");
         println!(
             "  {:<14} {:>14} {:>10} {:>16}",
             "protocol", "bus ops/ref", "miss rate", "est. bus load"
         );
-        for kind in ProtocolKind::ALL {
-            let (bpr, miss, load) = run(kind, 4, sharing, 60_000);
-            println!("  {:<14} {bpr:>14.4} {miss:>10.3} {load:>16.2}", kind.name());
+        for _ in ProtocolKind::ALL {
+            let c = cells.next().expect("one cell per (sharing, protocol)");
+            println!(
+                "  {:<14} {:>14.4} {:>10.3} {:>16.2}",
+                c.protocol.name(),
+                c.bus_ops_per_ref,
+                c.miss_rate,
+                c.est_bus_load
+            );
         }
         println!();
     }
@@ -90,16 +160,16 @@ fn main() {
     // The Archibald & Baer figure: total system performance vs CPUs.
     println!("total system performance vs processors (S = 0.10, queue-model TP):\n");
     print!("  {:<14}", "protocol");
-    let counts = [2usize, 4, 6, 8];
     for n in counts {
         print!("{:>10}", format!("NP={n}"));
     }
     println!();
+    let mut cells = perf_cells.iter();
     for kind in ProtocolKind::ALL {
         print!("  {:<14}", kind.name());
-        for n in counts {
-            let (_, tp) = total_performance(kind, n, 0.10);
-            print!("{tp:>10.2}");
+        for _ in counts {
+            let c = cells.next().expect("one cell per (protocol, NP)");
+            print!("{:>10.2}", c.total_performance);
         }
         println!();
     }

@@ -1,24 +1,37 @@
 //! The §5.2 scaling analysis, model vs cycle-level simulation: bus load,
 //! TPI, and total performance from 1 to 12 processors, and where the
 //! marginal processor stops paying.
+//!
+//! The simulation points run in parallel on the experiment harness
+//! (`FIREFLY_JOBS` controls the worker count); the numbers are
+//! bit-identical at any width. Pass `--json` for the full harness run
+//! as JSON.
 
+use firefly_bench::report;
 use firefly_core::ProtocolKind;
 use firefly_model::{format_table1, Params};
-use firefly_sim::sweep::{format_sweep, scaling_sweep};
+use firefly_sim::harness::worker_count;
+use firefly_sim::sweep::{format_sweep, scaling_sweep_on};
 
 fn main() {
     let p = Params::microvax();
     let counts = [1, 2, 4, 6, 8, 10, 12];
 
+    let run =
+        scaling_sweep_on(worker_count(), &counts, ProtocolKind::Firefly, 42, 200_000, 400_000);
+    if report::json_requested() {
+        report::emit_json(&run);
+        return;
+    }
+
     println!("analytic model:\n");
     println!("{}", format_table1(&p.estimates(counts.iter().copied())));
 
     println!("cycle-level simulation (same workload per CPU):\n");
-    let pts = scaling_sweep(&counts, ProtocolKind::Firefly, 42, 200_000, 400_000);
-    println!("{}", format_sweep(&pts));
+    println!("{}", format_sweep(&run.points));
 
     println!("bus load, side by side:");
-    for (&np, sim) in counts.iter().zip(&pts) {
+    for (&np, sim) in counts.iter().zip(&run.points) {
         let est = p.estimate(np);
         println!(
             "  NP={np:<3} model L={:.2}  simulated L={:.2}   delta {:+.2}",
@@ -32,4 +45,5 @@ fn main() {
          (and simulated)\nexerciser produces fewer victim writes than the model's \
          D=0.25 charge — write-throughs\nleave lines clean, exactly as §5.3 observes."
     );
+    println!("\n{}", run.harness.summary());
 }

@@ -17,7 +17,9 @@ fn main() {
         let c = syscall_comparison(TopazConfig::microvax(1), 20, 60, service);
         println!(
             "{service:>22} {:>14.0} {:>14.0} {:>9.2}x",
-            c.emulated_cycles, c.native_cycles, c.slowdown()
+            c.emulated_cycles,
+            c.native_cycles,
+            c.slowdown()
         );
     }
     println!("\nwith a second processor for the Taos server (\"the use of parallelism at");

@@ -9,8 +9,8 @@
 //! trace-driven prediction, and few victim writes.
 
 use firefly_bench::report;
-use firefly_sim::table2_report;
 use firefly_sim::table2::paper;
+use firefly_sim::table2_report;
 
 fn main() {
     let t = table2_report(400_000, 1_000_000);
@@ -20,7 +20,12 @@ fn main() {
     report::compare("one-CPU total (K refs/s)", paper::ONE_CPU.2, t.actual_one.total_k, "K/s");
     report::compare("one-CPU bus load L", paper::ONE_CPU_LOAD, t.actual_one.bus_load, "");
     report::compare("one-CPU miss rate M", paper::ONE_CPU_MISS, t.actual_one.miss_rate, "");
-    report::compare("five-CPU total per CPU (K refs/s)", paper::FIVE_CPU.2, t.actual_five.total_k, "K/s");
+    report::compare(
+        "five-CPU total per CPU (K refs/s)",
+        paper::FIVE_CPU.2,
+        t.actual_five.total_k,
+        "K/s",
+    );
     report::compare("five-CPU bus load L", paper::FIVE_CPU_LOAD, t.actual_five.bus_load, "");
     report::compare("five-CPU miss rate M", paper::FIVE_CPU_MISS, t.actual_five.miss_rate, "");
     report::compare(

@@ -40,6 +40,23 @@ pub mod report {
     /// Prints a paper-vs-measured comparison line.
     pub fn compare(what: &str, paper: f64, measured: f64, unit: &str) {
         let ratio = if paper == 0.0 { f64::NAN } else { measured / paper };
-        println!("{what:<46} paper {paper:>9.2} {unit:<10} measured {measured:>9.2} ({ratio:>5.2}x)");
+        println!(
+            "{what:<46} paper {paper:>9.2} {unit:<10} measured {measured:>9.2} ({ratio:>5.2}x)"
+        );
+    }
+
+    /// `true` when the binary was invoked with `--json`: the experiment
+    /// should emit a single machine-readable JSON document (via
+    /// [`emit_json`]) instead of — or alongside — its plain-text tables.
+    pub fn json_requested() -> bool {
+        std::env::args().skip(1).any(|a| a == "--json")
+    }
+
+    /// Prints `value` as one line of JSON on stdout. This is the shared
+    /// result emitter for every experiment binary: the schema is
+    /// whatever the value's `Serialize` derive produces (for harness
+    /// runs, see the README's "Running the evaluation in parallel").
+    pub fn emit_json<T: serde::Serialize + ?Sized>(value: &T) {
+        println!("{}", value.to_json());
     }
 }

@@ -105,9 +105,16 @@ impl TransactionRecord {
             c,
             c + 3
         ));
-        out.push_str(&format!("  cycle {:>6}: arbitrate; {} drives address {}\n", c, self.initiator, self.line));
+        out.push_str(&format!(
+            "  cycle {:>6}: arbitrate; {} drives address {}\n",
+            c, self.initiator, self.line
+        ));
         let data_note = if self.op.carries_data() { "initiator drives write data; " } else { "" };
-        out.push_str(&format!("  cycle {:>6}: {}other caches probe tag stores\n", c + 1, data_note));
+        out.push_str(&format!(
+            "  cycle {:>6}: {}other caches probe tag stores\n",
+            c + 1,
+            data_note
+        ));
         out.push_str(&format!(
             "  cycle {:>6}: MShared {}\n",
             c + 2,
@@ -261,7 +268,8 @@ impl Bus {
             BusOp::Update => self.stats.updates += 1,
             BusOp::Invalidate => self.stats.invalidates += 1,
         }
-        self.current = Some(Transaction { initiator, op, line, payload, cycles_done: 0, mshared: false });
+        self.current =
+            Some(Transaction { initiator, op, line, payload, cycles_done: 0, mshared: false });
     }
 
     /// Advances the in-flight transaction by one cycle; returns the
@@ -381,7 +389,12 @@ mod tests {
     fn begin_clears_request_line() {
         let mut bus = Bus::new(2, false);
         bus.request(PortId::new(1));
-        bus.begin(PortId::new(1), BusOp::Write, LineId::from_raw(1), Payload::Word { offset: 0, value: 1 });
+        bus.begin(
+            PortId::new(1),
+            BusOp::Write,
+            LineId::from_raw(1),
+            Payload::Word { offset: 0, value: 1 },
+        );
         assert!(!bus.has_requests());
     }
 

@@ -412,10 +412,7 @@ mod tests {
         c.fill(LineId::from_raw(2), LineData::from_word(2), LineState::DirtyExclusive);
         let mut lines: Vec<_> = c.iter_resident().map(|(l, s, _)| (l.raw(), s)).collect();
         lines.sort_by_key(|&(raw, _)| raw);
-        assert_eq!(
-            lines,
-            vec![(1, LineState::SharedClean), (2, LineState::DirtyExclusive)]
-        );
+        assert_eq!(lines, vec![(1, LineState::SharedClean), (2, LineState::DirtyExclusive)]);
     }
 
     #[test]

@@ -75,10 +75,7 @@ impl CoherenceChecker {
         let mut holders: HashMap<LineId, Vec<(usize, LineState, Vec<u32>)>> = HashMap::new();
         for p in 0..sys.port_count() {
             for (line, state, data) in sys.resident_lines(PortId::new(p)) {
-                holders
-                    .entry(line)
-                    .or_default()
-                    .push((p, state, data.as_slice().to_vec()));
+                holders.entry(line).or_default().push((p, state, data.as_slice().to_vec()));
             }
         }
 
@@ -119,13 +116,12 @@ impl CoherenceChecker {
             // (2) clean copies match memory
             if owners.is_empty() {
                 let base = line.base_addr(line_words);
-                for i in 0..line_words {
+                for (i, &cached) in first.iter().enumerate().take(line_words) {
                     let mem = sys.peek_memory_word(base.add_words(i as u32));
-                    if mem != first[i] {
+                    if mem != cached {
                         return Err(Error::CoherenceViolation(format!(
-                            "line {line} word {i}: clean cached value {:#x} \
-                             but memory holds {mem:#x}",
-                            first[i]
+                            "line {line} word {i}: clean cached value {cached:#x} \
+                             but memory holds {mem:#x}"
                         )));
                     }
                 }
@@ -152,7 +148,7 @@ mod tests {
             for p in 0..4 {
                 let addr = Addr::from_word_index((round * 7 + p as u32 * 3) % 32);
                 let port = PortId::new(p);
-                if (round + p as u32) % 3 == 0 {
+                if (round + p as u32).is_multiple_of(3) {
                     sys.run_to_completion(port, Request::write(addr, round * 100 + p as u32))
                         .unwrap();
                 } else {

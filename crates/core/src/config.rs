@@ -209,7 +209,7 @@ impl SystemConfig {
     ///
     /// Panics if `ports` is 0 or greater than 16.
     pub fn microvax(ports: usize) -> Self {
-        assert!(ports >= 1 && ports <= 16, "1..=16 bus ports required, got {ports}");
+        assert!((1..=16).contains(&ports), "1..=16 bus ports required, got {ports}");
         SystemConfig {
             variant: MachineVariant::MicroVax,
             ports,
@@ -225,7 +225,7 @@ impl SystemConfig {
     ///
     /// Panics if `ports` is 0 or greater than 16.
     pub fn cvax(ports: usize) -> Self {
-        assert!(ports >= 1 && ports <= 16, "1..=16 bus ports required, got {ports}");
+        assert!((1..=16).contains(&ports), "1..=16 bus ports required, got {ports}");
         SystemConfig {
             variant: MachineVariant::CVax,
             ports,

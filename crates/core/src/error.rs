@@ -29,11 +29,9 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
-            Error::AddressOutOfRange { addr, memory_bytes } => write!(
-                f,
-                "address {addr} is beyond installed memory ({} MB)",
-                memory_bytes >> 20
-            ),
+            Error::AddressOutOfRange { addr, memory_bytes } => {
+                write!(f, "address {addr} is beyond installed memory ({} MB)", memory_bytes >> 20)
+            }
             Error::PortBusy(p) => write!(f, "port {p} already has an outstanding request"),
             Error::NoSuchPort(p) => write!(f, "port {p} does not exist in this system"),
             Error::CoherenceViolation(msg) => write!(f, "coherence violation: {msg}"),

@@ -141,10 +141,8 @@ impl Memory {
         let module = self.module_of(addr);
         self.module_traffic[module].1 += 1;
         let w = addr.word_index();
-        let page = self
-            .pages
-            .entry(w / PAGE_WORDS as u32)
-            .or_insert_with(|| Box::new([0u32; PAGE_WORDS]));
+        let page =
+            self.pages.entry(w / PAGE_WORDS as u32).or_insert_with(|| Box::new([0u32; PAGE_WORDS]));
         page[w as usize % PAGE_WORDS] = value;
     }
 
@@ -230,10 +228,7 @@ mod tests {
     fn bounds_checking() {
         let m = Memory::new(16 << 20);
         assert!(m.check(Addr::new((16 << 20) - 4)).is_ok());
-        assert!(matches!(
-            m.check(Addr::new(16 << 20)),
-            Err(Error::AddressOutOfRange { .. })
-        ));
+        assert!(matches!(m.check(Addr::new(16 << 20)), Err(Error::AddressOutOfRange { .. })));
     }
 
     #[test]

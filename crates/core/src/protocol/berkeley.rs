@@ -110,10 +110,9 @@ impl Protocol for Berkeley {
             },
             // A victim write-back by the owner: other (clean) copies are
             // unaffected and remain valid.
-            BusOp::WriteBack => SnoopResponse {
-                assert_shared: true,
-                ..SnoopResponse::ignore(state)
-            },
+            BusOp::WriteBack => {
+                SnoopResponse { assert_shared: true, ..SnoopResponse::ignore(state) }
+            }
             // A foreign write-through (DMA input): our copy is stale.
             BusOp::Write => SnoopResponse {
                 next: LineState::Invalid,
@@ -122,10 +121,7 @@ impl Protocol for Berkeley {
                 flush_to_memory: false,
                 absorb: false,
             },
-            BusOp::Update => SnoopResponse {
-                assert_shared: true,
-                ..SnoopResponse::ignore(state)
-            },
+            BusOp::Update => SnoopResponse { assert_shared: true, ..SnoopResponse::ignore(state) },
         }
     }
 }

@@ -94,7 +94,11 @@ impl Protocol for Dragon {
             BusOp::Read => SnoopResponse {
                 // Owners supply the line but, unlike Firefly, memory is
                 // *not* made current: the supplier retains ownership.
-                next: if state.is_dirty() { LineState::SharedDirty } else { LineState::SharedClean },
+                next: if state.is_dirty() {
+                    LineState::SharedDirty
+                } else {
+                    LineState::SharedClean
+                },
                 assert_shared: true,
                 supply: true,
                 flush_to_memory: false,
@@ -117,14 +121,12 @@ impl Protocol for Dragon {
                 flush_to_memory: false,
                 absorb: true,
             },
-            BusOp::WriteBack => SnoopResponse {
-                assert_shared: true,
-                ..SnoopResponse::ignore(state)
-            },
-            BusOp::ReadOwned | BusOp::Invalidate => SnoopResponse {
-                assert_shared: true,
-                ..SnoopResponse::ignore(state)
-            },
+            BusOp::WriteBack => {
+                SnoopResponse { assert_shared: true, ..SnoopResponse::ignore(state) }
+            }
+            BusOp::ReadOwned | BusOp::Invalidate => {
+                SnoopResponse { assert_shared: true, ..SnoopResponse::ignore(state) }
+            }
         }
     }
 }

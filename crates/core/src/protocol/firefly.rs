@@ -145,16 +145,14 @@ impl Protocol for Firefly {
             // still assert MShared if we hold the line — harmless and
             // faithful to the hardware, where MShared is a tag-match
             // signal, but no state changes.
-            BusOp::WriteBack => SnoopResponse {
-                assert_shared: true,
-                ..SnoopResponse::ignore(state)
-            },
+            BusOp::WriteBack => {
+                SnoopResponse { assert_shared: true, ..SnoopResponse::ignore(state) }
+            }
             // Firefly never emits these; respond inertly so that mixed
             // tests and the transition-table printer stay total.
-            BusOp::ReadOwned | BusOp::Update | BusOp::Invalidate => SnoopResponse {
-                assert_shared: true,
-                ..SnoopResponse::ignore(state)
-            },
+            BusOp::ReadOwned | BusOp::Update | BusOp::Invalidate => {
+                SnoopResponse { assert_shared: true, ..SnoopResponse::ignore(state) }
+            }
         }
     }
 }

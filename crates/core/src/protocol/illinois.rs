@@ -116,10 +116,9 @@ impl Protocol for Illinois {
                 flush_to_memory: false,
                 absorb: false,
             },
-            BusOp::WriteBack | BusOp::Update => SnoopResponse {
-                assert_shared: true,
-                ..SnoopResponse::ignore(state)
-            },
+            BusOp::WriteBack | BusOp::Update => {
+                SnoopResponse { assert_shared: true, ..SnoopResponse::ignore(state) }
+            }
         }
     }
 }

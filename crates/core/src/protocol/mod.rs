@@ -427,10 +427,14 @@ pub fn transition_table(p: &dyn Protocol) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "{} protocol transition tables", p.name());
-    let _ = writeln!(out, "states: {}", p.states().iter().map(|s| s.short()).collect::<Vec<_>>().join(", "));
+    let _ = writeln!(
+        out,
+        "states: {}",
+        p.states().iter().map(|s| s.short()).collect::<Vec<_>>().join(", ")
+    );
     let _ = writeln!(out);
     let _ = writeln!(out, "processor side (hits):");
-    let _ = writeln!(out, "  {:<6} {:<10} {}", "state", "PRead", "PWrite");
+    let _ = writeln!(out, "  {:<6} {:<10} PWrite", "state", "PRead");
     for &s in p.states() {
         if !s.is_valid() {
             continue;
@@ -459,7 +463,14 @@ pub fn transition_table(p: &dyn Protocol) -> String {
     );
     let _ = writeln!(out);
     let _ = writeln!(out, "snoop side:");
-    let ops = [BusOp::Read, BusOp::ReadOwned, BusOp::Write, BusOp::WriteBack, BusOp::Update, BusOp::Invalidate];
+    let ops = [
+        BusOp::Read,
+        BusOp::ReadOwned,
+        BusOp::Write,
+        BusOp::WriteBack,
+        BusOp::Update,
+        BusOp::Invalidate,
+    ];
     let _ = writeln!(out, "  {:<6} {}", "state", ops.map(|o| format!("{o:<14}")).join(""));
     for &s in p.states() {
         let cells: Vec<String> = ops
@@ -552,7 +563,14 @@ mod tests {
     /// stay within the protocol's declared state set.
     #[test]
     fn closure_over_declared_states() {
-        let ops = [BusOp::Read, BusOp::ReadOwned, BusOp::Write, BusOp::WriteBack, BusOp::Update, BusOp::Invalidate];
+        let ops = [
+            BusOp::Read,
+            BusOp::ReadOwned,
+            BusOp::Write,
+            BusOp::WriteBack,
+            BusOp::Update,
+            BusOp::Invalidate,
+        ];
         for kind in ProtocolKind::ALL {
             let p = kind.build();
             for &s in p.states() {

@@ -115,10 +115,9 @@ impl Protocol for WriteOnce {
                 flush_to_memory: false,
                 absorb: false,
             },
-            BusOp::WriteBack | BusOp::Update => SnoopResponse {
-                assert_shared: true,
-                ..SnoopResponse::ignore(state)
-            },
+            BusOp::WriteBack | BusOp::Update => {
+                SnoopResponse { assert_shared: true, ..SnoopResponse::ignore(state) }
+            }
         }
     }
 }

@@ -85,10 +85,9 @@ impl Protocol for WriteThrough {
                 flush_to_memory: false,
                 absorb: false,
             },
-            BusOp::WriteBack | BusOp::Update => SnoopResponse {
-                assert_shared: true,
-                ..SnoopResponse::ignore(state)
-            },
+            BusOp::WriteBack | BusOp::Update => {
+                SnoopResponse { assert_shared: true, ..SnoopResponse::ignore(state) }
+            }
         }
     }
 }

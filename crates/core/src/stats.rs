@@ -191,7 +191,12 @@ pub struct BusStats {
 impl BusStats {
     /// Total transactions.
     pub fn ops(&self) -> u64 {
-        self.reads + self.read_owned + self.writes + self.write_backs + self.updates + self.invalidates
+        self.reads
+            + self.read_owned
+            + self.writes
+            + self.write_backs
+            + self.updates
+            + self.invalidates
     }
 
     /// The bus load `L`: fraction of non-idle bus cycles.
@@ -220,6 +225,60 @@ impl BusStats {
             cache_supplied: self.cache_supplied - earlier.cache_supplied,
             memory_supplied: self.memory_supplied - earlier.memory_supplied,
         }
+    }
+}
+
+/// Host-side performance counters for one simulation job: how fast the
+/// *simulator itself* ran, as opposed to what the simulated machine did.
+///
+/// The experiment harness (`firefly-sim`'s `harness` module) fills one
+/// of these per job so parallel sweeps can report their own speedup —
+/// the ROADMAP's "fast as the hardware allows" made measurable.
+///
+/// # Examples
+///
+/// ```
+/// use firefly_core::stats::HostCounters;
+///
+/// let h = HostCounters { wall_ns: 2_000_000_000, instructions: 500_000, sim_cycles: 100_000 };
+/// assert!((h.instructions_per_sec() - 250_000.0).abs() < 1e-9);
+/// assert!((h.sim_cycles_per_sec() - 50_000.0).abs() < 1e-9);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct HostCounters {
+    /// Host wall-clock nanoseconds the job took.
+    pub wall_ns: u64,
+    /// Simulated instructions retired during the job (all CPUs).
+    pub instructions: u64,
+    /// Simulated bus cycles stepped during the job.
+    pub sim_cycles: u64,
+}
+
+impl HostCounters {
+    /// Simulated instructions per host second (0 before any time elapsed).
+    pub fn instructions_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / (self.wall_ns as f64 * 1e-9)
+        }
+    }
+
+    /// Simulated bus cycles per host second (0 before any time elapsed).
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.sim_cycles as f64 / (self.wall_ns as f64 * 1e-9)
+        }
+    }
+}
+
+impl AddAssign for HostCounters {
+    fn add_assign(&mut self, o: Self) {
+        self.wall_ns += o.wall_ns;
+        self.instructions += o.instructions;
+        self.sim_cycles += o.sim_cycles;
     }
 }
 
@@ -265,5 +324,19 @@ mod tests {
         let s = BusStats { busy_cycles: 40, total_cycles: 100, ..Default::default() };
         assert!((s.load() - 0.4).abs() < 1e-12);
         assert_eq!(BusStats::default().load(), 0.0);
+    }
+
+    #[test]
+    fn host_counters_rates_handle_zero() {
+        let h = HostCounters::default();
+        assert_eq!(h.instructions_per_sec(), 0.0);
+        assert_eq!(h.sim_cycles_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn host_counters_accumulate() {
+        let mut a = HostCounters { wall_ns: 10, instructions: 100, sim_cycles: 5 };
+        a += HostCounters { wall_ns: 30, instructions: 900, sim_cycles: 15 };
+        assert_eq!(a, HostCounters { wall_ns: 40, instructions: 1000, sim_cycles: 20 });
     }
 }

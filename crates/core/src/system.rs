@@ -105,20 +105,14 @@ impl AccessResult {
 #[derive(Copy, Clone, Debug)]
 enum OpPurpose {
     /// Write a dirty victim back before filling its slot.
-    VictimWriteBack {
-        victim: LineId,
-    },
+    VictimWriteBack { victim: LineId },
     /// Fill the line for a read (or the read half of fill-then-write).
-    ReadFill {
-        install: bool,
-    },
+    ReadFill { install: bool },
     /// Fetch with ownership (`ReadOwned`).
     ExclusiveFill,
     /// Firefly longword write-miss / DMA or write-through-protocol write
     /// miss: write through, optionally installing the written line.
-    WriteThroughMiss {
-        allocate: bool,
-    },
+    WriteThroughMiss { allocate: bool },
     /// The bus half of a write hit (write-through / update / invalidate).
     WriteHitBus,
 }
@@ -128,9 +122,7 @@ enum Status {
     /// Waiting for (or in) a bus transaction issued for this purpose.
     WaitBus(OpPurpose),
     /// Logically complete; result deliverable at the given cycle.
-    Finishing {
-        at: u64,
-    },
+    Finishing { at: u64 },
 }
 
 #[derive(Debug)]
@@ -409,11 +401,7 @@ impl MemSystem {
 
     /// Iterates over the resident lines of `port`'s cache.
     pub fn resident_lines(&self, port: PortId) -> Vec<(LineId, LineState, LineData)> {
-        self.ports[port.index()]
-            .cache
-            .iter_resident()
-            .map(|(l, s, d)| (l, s, *d))
-            .collect()
+        self.ports[port.index()].cache.iter_resident().map(|(l, s, d)| (l, s, *d)).collect()
     }
 
     /// Number of ports.
@@ -531,7 +519,11 @@ impl MemSystem {
                     match self.protocol.write_miss_policy() {
                         WriteMissPolicy::WriteThrough { allocate } if lw == 1 => {
                             if allocate {
-                                self.victim_or(port, line, OpPurpose::WriteThroughMiss { allocate: true })
+                                self.victim_or(
+                                    port,
+                                    line,
+                                    OpPurpose::WriteThroughMiss { allocate: true },
+                                )
                             } else {
                                 Some(OpPurpose::WriteThroughMiss { allocate: false })
                             }
@@ -582,10 +574,7 @@ impl MemSystem {
         let lw = self.cfg.cache().line_words();
         Some(match purpose {
             OpPurpose::VictimWriteBack { victim } => {
-                let data = self.ports[port]
-                    .cache
-                    .line_data(victim)
-                    .expect("victim is resident");
+                let data = self.ports[port].cache.line_data(victim).expect("victim is resident");
                 (BusOp::WriteBack, victim, Payload::Line(data))
             }
             OpPurpose::ReadFill { .. } => (BusOp::Read, line, Payload::None),
@@ -606,7 +595,9 @@ impl MemSystem {
                 };
                 let payload = match op {
                     BusOp::Invalidate => Payload::None,
-                    _ => Payload::Word { offset: self.word_offset(req.addr) as u8, value: req.value },
+                    _ => {
+                        Payload::Word { offset: self.word_offset(req.addr) as u8, value: req.value }
+                    }
                 };
                 (op, line, payload)
             }
@@ -954,7 +945,7 @@ mod tests {
         let a = Addr::new(0xa00);
         s.run_to_completion(PortId::new(0), Request::write(a, 5)).unwrap();
         s.run_to_completion(PortId::new(0), Request::write(a, 6)).unwrap(); // dirty
-        // Conflict: same index, different tag (16 KB cache, 4096 lines).
+                                                                            // Conflict: same index, different tag (16 KB cache, 4096 lines).
         let conflict = Addr::from_word_index(a.word_index() + 4096);
         let r = s.run_to_completion(PortId::new(0), Request::read(conflict)).unwrap();
         assert_eq!(r.bus_ops, 2, "victim write + fill read");
@@ -1002,7 +993,11 @@ mod tests {
         assert_eq!(s.peek_state(PortId::new(0), line), LineState::DirtyExclusive);
         let r = s.run_to_completion(PortId::new(1), Request::read(a)).unwrap();
         assert_eq!(r.value, 42, "owner supplies cache-to-cache");
-        assert_eq!(s.peek_state(PortId::new(0), line), LineState::SharedDirty, "owner keeps ownership");
+        assert_eq!(
+            s.peek_state(PortId::new(0), line),
+            LineState::SharedDirty,
+            "owner keeps ownership"
+        );
         assert_eq!(s.peek_memory_word(a), 0, "Berkeley does not update memory on supply");
     }
 
@@ -1165,16 +1160,12 @@ mod tests {
         assert!(!s.take_interrupt(PortId::new(1)), "not broadcast");
         assert!(s.take_interrupt(PortId::new(2)));
         assert_eq!(s.interrupts_sent(), 2);
-        assert_eq!(
-            s.post_interrupt(PortId::new(9)),
-            Err(Error::NoSuchPort(PortId::new(9)))
-        );
+        assert_eq!(s.post_interrupt(PortId::new(9)), Err(Error::NoSuchPort(PortId::new(9))));
     }
 
     #[test]
     fn multiword_lines_fill_whole_line() {
-        let cfg = SystemConfig::microvax(1)
-            .with_cache(crate::CacheGeometry::new(1024, 4).unwrap());
+        let cfg = SystemConfig::microvax(1).with_cache(crate::CacheGeometry::new(1024, 4).unwrap());
         let mut s = MemSystem::new(cfg, ProtocolKind::Firefly).unwrap();
         let base = Addr::new(0x6000);
         // Write one word (partial-line write miss -> fill-then-write).

@@ -24,8 +24,7 @@ struct Step {
 
 fn steps(cpus: usize, words: u32, len: usize) -> impl Strategy<Value = Vec<Step>> {
     prop::collection::vec(
-        (0..cpus, any::<bool>(), 0..words)
-            .prop_map(|(cpu, write, word)| Step { cpu, write, word }),
+        (0..cpus, any::<bool>(), 0..words).prop_map(|(cpu, write, word)| Step { cpu, write, word }),
         1..len,
     )
 }
@@ -173,6 +172,196 @@ proptest! {
         sys.flush_caches();
         for w in 32..128u32 {
             prop_assert_eq!(sys.peek_memory_word(Addr::from_word_index(w)), 0, "word {}", w);
+        }
+    }
+}
+
+mod checker_edge_cases {
+    //! [`CoherenceChecker`] edge cases: single-word lines, cache-set
+    //! aliasing, and eviction of a dirty-shared (owned, replicated)
+    //! line. Each property has a pinned regression `#[test]` below it
+    //! mirroring an entry in `proptest-regressions/properties.txt`.
+
+    use firefly_core::check::CoherenceChecker;
+    use firefly_core::config::SystemConfig;
+    use firefly_core::protocol::{LineState, ProtocolKind};
+    use firefly_core::system::{MemSystem, Request};
+    use firefly_core::{Addr, CacheGeometry, LineId, PortId};
+    use proptest::prelude::*;
+
+    /// A deliberately brutal geometry: four single-word lines, so four
+    /// slots serve the whole address space and nearly every access
+    /// victimizes something.
+    fn four_slot_system(cpus: usize, kind: ProtocolKind) -> MemSystem {
+        let cfg = SystemConfig::microvax(cpus).with_cache(CacheGeometry::new(4, 1).unwrap());
+        MemSystem::new(cfg, kind).unwrap()
+    }
+
+    /// Runs a `(cpu, write, word, value)` script sequentially, checking
+    /// the invariants after every access (each completion is quiescent).
+    fn run_checked(sys: &mut MemSystem, script: &[(usize, bool, u32, u32)], kind: ProtocolKind) {
+        let checker = CoherenceChecker::new();
+        for (i, &(cpu, write, word, value)) in script.iter().enumerate() {
+            let addr = Addr::from_word_index(word);
+            let req = if write { Request::write(addr, value) } else { Request::read(addr) };
+            sys.run_to_completion(PortId::new(cpu), req).unwrap();
+            checker
+                .check(sys)
+                .unwrap_or_else(|e| panic!("{kind:?}: violated after access #{i}: {e}"));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Single-word lines in a four-slot cache: every protocol keeps
+        /// every invariant at every quiescent point, no matter how the
+        /// tiny cache thrashes.
+        #[test]
+        fn single_word_lines_hold_invariants(
+            script in prop::collection::vec(
+                (0..3usize, any::<bool>(), 0u32..24, any::<u32>()), 1..120)
+        ) {
+            for kind in ProtocolKind::ALL {
+                let mut sys = four_slot_system(3, kind);
+                run_checked(&mut sys, &script, kind);
+            }
+        }
+
+        /// Aliased sets: all traffic lands on words that map to ONE cache
+        /// slot (word ≡ slot mod 4), so every fill evicts the previous
+        /// tenant — dirty or clean, shared or exclusive.
+        #[test]
+        fn aliased_set_evictions_hold_invariants(
+            picks in prop::collection::vec(
+                (0..3usize, any::<bool>(), 0u32..8, any::<u32>()), 1..100),
+            slot in 0u32..4,
+        ) {
+            for kind in ProtocolKind::ALL {
+                let mut sys = four_slot_system(3, kind);
+                let script: Vec<(usize, bool, u32, u32)> = picks
+                    .iter()
+                    .map(|&(cpu, write, k, value)| (cpu, write, slot + 4 * k, value))
+                    .collect();
+                run_checked(&mut sys, &script, kind);
+            }
+        }
+
+        /// Eviction of a dirty-shared line: under the ownership protocols
+        /// (Berkeley, Dragon) a line can be modified *and* replicated —
+        /// the owner must write it back on eviction, after which the
+        /// surviving clean copies must match memory and the data must
+        /// still read back exactly.
+        #[test]
+        fn dirty_shared_eviction_flushes_the_owned_value(
+            word in 0u32..4,
+            value in any::<u32>(),
+            extra_sharers in 0usize..2,
+        ) {
+            for kind in [ProtocolKind::Berkeley, ProtocolKind::Dragon] {
+                let mut sys = four_slot_system(4, kind);
+                let checker = CoherenceChecker::new();
+                let addr = Addr::from_word_index(word);
+                let owner = PortId::new(0);
+
+                // Owner dirties the line, then readers replicate it; the
+                // owner supplies the data and drops to SharedDirty.
+                sys.run_to_completion(owner, Request::write(addr, value)).unwrap();
+                sys.run_to_completion(owner, Request::write(addr, value ^ 1)).unwrap();
+                for p in 1..=(1 + extra_sharers) {
+                    sys.run_to_completion(PortId::new(p), Request::read(addr)).unwrap();
+                }
+                let line = LineId::containing(addr, 1);
+                prop_assert_eq!(
+                    sys.peek_state(owner, line), LineState::SharedDirty,
+                    "{:?}: setup must produce a dirty-shared owner", kind
+                );
+                checker.check(&sys).unwrap();
+
+                // A conflicting fill in the same slot evicts the owner's
+                // copy, forcing the dirty-shared write-back.
+                sys.run_to_completion(owner, Request::read(Addr::from_word_index(word + 4))).unwrap();
+                prop_assert_eq!(sys.peek_state(owner, line), LineState::Invalid);
+                checker.check(&sys).unwrap_or_else(|e| {
+                    panic!("{kind:?}: invariants broken by dirty-shared eviction: {e}")
+                });
+
+                // Memory now holds the flushed value and every CPU reads it.
+                prop_assert_eq!(sys.peek_memory_word(addr), value ^ 1, "{:?}", kind);
+                for p in 0..4 {
+                    let r = sys.run_to_completion(PortId::new(p), Request::read(addr)).unwrap();
+                    prop_assert_eq!(r.value, value ^ 1, "{:?}: CPU {} lost the value", kind, p);
+                }
+                checker.check(&sys).unwrap();
+            }
+        }
+    }
+
+    /// Pinned regression (see `proptest-regressions/properties.txt`):
+    /// the minimal aliased-set sequence that once exercised a
+    /// dirty-victim write-back racing a fill — two CPUs ping-ponging
+    /// writes through one slot with alternating tags.
+    #[test]
+    fn regression_aliased_slot_write_ping_pong() {
+        for kind in ProtocolKind::ALL {
+            let mut sys = four_slot_system(2, kind);
+            let script = [
+                (0usize, true, 1u32, 0xa1u32), // slot 1, tag 0: dirty in P0
+                (1, true, 5, 0xb2),            // slot 1, tag 1: dirty in P1
+                (0, true, 5, 0xc3),            // P0 evicts its tag-0 dirty line, takes tag 1
+                (1, false, 1, 0),              // P1 evicts its tag-1 copy, reloads tag 0
+                (0, false, 1, 0),              // both now share tag 0
+            ];
+            run_checked(&mut sys, &script, kind);
+            let r = sys
+                .run_to_completion(PortId::new(1), Request::read(Addr::from_word_index(5)))
+                .unwrap();
+            assert_eq!(r.value, 0xc3, "{kind:?}: last write to word 5 lost");
+        }
+    }
+
+    /// Pinned regression (see `proptest-regressions/properties.txt`):
+    /// dirty-shared eviction at word 0 with two extra sharers — the
+    /// maximal-replication instance of the property above.
+    #[test]
+    fn regression_dirty_shared_eviction_word0_three_sharers() {
+        for kind in [ProtocolKind::Berkeley, ProtocolKind::Dragon] {
+            let mut sys = four_slot_system(4, kind);
+            let addr = Addr::from_word_index(0);
+            sys.run_to_completion(PortId::new(0), Request::write(addr, 0xfeed)).unwrap();
+            sys.run_to_completion(PortId::new(0), Request::write(addr, 0xbeef)).unwrap();
+            for p in 1..4 {
+                sys.run_to_completion(PortId::new(p), Request::read(addr)).unwrap();
+            }
+            assert_eq!(
+                sys.peek_state(PortId::new(0), LineId::containing(addr, 1)),
+                LineState::SharedDirty,
+                "{kind:?}"
+            );
+            sys.run_to_completion(PortId::new(0), Request::read(Addr::from_word_index(4))).unwrap();
+            CoherenceChecker::new().check(&sys).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(sys.peek_memory_word(addr), 0xbeef, "{kind:?}: write-back lost");
+        }
+    }
+
+    /// Pinned regression (see `proptest-regressions/properties.txt`):
+    /// a single-word-line script mixing all three CPUs on two hot words;
+    /// the smallest script that covers supply, absorb, and invalidate in
+    /// one run under every protocol.
+    #[test]
+    fn regression_single_word_three_cpu_hot_pair() {
+        for kind in ProtocolKind::ALL {
+            let mut sys = four_slot_system(3, kind);
+            let script = [
+                (0usize, true, 2u32, 7u32),
+                (1, false, 2, 0),
+                (2, true, 2, 9),
+                (0, false, 2, 0),
+                (1, true, 6, 4), // aliases slot 2
+                (2, false, 6, 0),
+                (0, false, 2, 0),
+            ];
+            run_checked(&mut sys, &script, kind);
         }
     }
 }

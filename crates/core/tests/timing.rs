@@ -162,8 +162,5 @@ fn fixed_priority_expense_and_starvation() {
     // Pathological: back-to-back misses from the high ports can shut the
     // low port out entirely — fixed priority has no fairness guarantee.
     let starved = run(1);
-    assert!(
-        starved[2] < starved[0] / 2,
-        "saturation starves the low port: {starved:?}"
-    );
+    assert!(starved[2] < starved[0] / 2, "saturation starves the low port: {starved:?}");
 }

@@ -99,7 +99,9 @@ mod tests {
 
     #[test]
     fn presets_are_valid() {
-        for p in [PrefetchConfig::disabled(), PrefetchConfig::microvax_chip(), PrefetchConfig::perfect()] {
+        for p in
+            [PrefetchConfig::disabled(), PrefetchConfig::microvax_chip(), PrefetchConfig::perfect()]
+        {
             p.validate().unwrap();
         }
     }

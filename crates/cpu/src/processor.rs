@@ -347,16 +347,14 @@ mod tests {
         let (mut cpus, mut sys) = build(1, CpuConfig::microvax(), params);
         drive(&mut cpus, &mut sys, 400_000);
         let tpi = cpus[0].stats().tpi(2);
-        assert!(
-            (tpi - 11.9).abs() < 0.6,
-            "warm single-CPU TPI should approach 11.9, got {tpi:.2}"
-        );
+        assert!((tpi - 11.9).abs() < 0.6, "warm single-CPU TPI should approach 11.9, got {tpi:.2}");
     }
 
     /// The Table 2 one-CPU expectation: ~850 K refs/s without prefetch.
     #[test]
     fn one_cpu_reference_rate_near_expected() {
-        let (mut cpus, mut sys) = build(1, CpuConfig::microvax(), LocalityParams::paper_calibrated());
+        let (mut cpus, mut sys) =
+            build(1, CpuConfig::microvax(), LocalityParams::paper_calibrated());
         drive(&mut cpus, &mut sys, 300_000); // warm up
         let warm_refs = cpus[0].stats().board_refs();
         let warm_cycles = cpus[0].stats().cycles;
@@ -364,10 +362,7 @@ mod tests {
         let refs = cpus[0].stats().board_refs() - warm_refs;
         let secs = (cpus[0].stats().cycles - warm_cycles) as f64 * 100e-9;
         let krefs = refs as f64 / secs / 1e3;
-        assert!(
-            (730.0..950.0).contains(&krefs),
-            "one-CPU rate {krefs:.0} K refs/s, expected ~850"
-        );
+        assert!((730.0..950.0).contains(&krefs), "one-CPU rate {krefs:.0} K refs/s, expected ~850");
     }
 
     /// Prefetching raises the reference rate well above the no-prefetch
@@ -414,17 +409,11 @@ mod tests {
             let (mut cpus, mut sys) = build(n, cfg, LocalityParams::paper_calibrated());
             drive(&mut cpus, &mut sys, 500_000);
             let s = cpus[0].stats();
-            (
-                s.read_write_ratio(),
-                s.wasted_prefetches as f64 / s.instructions as f64,
-            )
+            (s.read_write_ratio(), s.wasted_prefetches as f64 / s.instructions as f64)
         };
         let (rw1, waste1) = run(1);
         let (rw5, waste5) = run(5);
-        assert!(
-            rw5 < rw1 - 0.3,
-            "R:W should fall under load: {rw1:.2} -> {rw5:.2}"
-        );
+        assert!(rw5 < rw1 - 0.3, "R:W should fall under load: {rw1:.2} -> {rw5:.2}");
         assert!(
             waste5 < waste1 * 0.8,
             "wasted prefetches per instruction should fall: {waste1:.3} -> {waste5:.3}"
@@ -455,17 +444,15 @@ mod tests {
         let mv = perf(CpuConfig::microvax());
         let cv = perf(CpuConfig::cvax());
         let speedup = cv / mv;
-        assert!(
-            (1.9..2.7).contains(&speedup),
-            "CVAX speedup {speedup:.2}, paper reports 2.0-2.5"
-        );
+        assert!((1.9..2.7).contains(&speedup), "CVAX speedup {speedup:.2}, paper reports 2.0-2.5");
     }
 
     /// Five CPUs slow each other through the shared bus.
     #[test]
     fn bus_contention_slows_processors() {
         let tpi_of = |n: usize| {
-            let (mut cpus, mut sys) = build(n, CpuConfig::microvax(), LocalityParams::paper_calibrated());
+            let (mut cpus, mut sys) =
+                build(n, CpuConfig::microvax(), LocalityParams::paper_calibrated());
             drive(&mut cpus, &mut sys, 400_000);
             (cpus[0].stats().tpi(2), sys.bus_stats().load())
         };

@@ -57,16 +57,27 @@ pub struct DeqnaStats {
 enum TxState {
     Idle,
     /// DMA-reading the packet out of memory.
-    Fetching { addr: Addr, bytes: u32, got: Vec<u32> },
+    Fetching {
+        addr: Addr,
+        bytes: u32,
+        got: Vec<u32>,
+    },
     /// Occupying the wire.
-    Sending { packet: Packet, cycles: u64 },
+    Sending {
+        packet: Packet,
+        cycles: u64,
+    },
 }
 
 #[derive(Debug)]
 enum RxState {
     Idle,
     /// DMA-writing a received packet into a posted buffer.
-    Storing { packet: Packet, buffer: Addr, next_word: u32 },
+    Storing {
+        packet: Packet,
+        buffer: Addr,
+        next_word: u32,
+    },
 }
 
 /// The Ethernet controller.
@@ -158,7 +169,8 @@ impl Deqna {
         if let TxState::Sending { cycles, .. } = &mut self.tx {
             *cycles = cycles.saturating_sub(1);
             if *cycles == 0 {
-                let TxState::Sending { packet, .. } = std::mem::replace(&mut self.tx, TxState::Idle)
+                let TxState::Sending { packet, .. } =
+                    std::mem::replace(&mut self.tx, TxState::Idle)
                 else {
                     unreachable!()
                 };
@@ -260,7 +272,12 @@ impl fmt::Display for DeqnaStats {
         write!(
             f,
             "tx {} pkts / {} B, rx {} pkts / {} B, {} kicks, {} dropped",
-            self.tx_packets, self.tx_bytes, self.rx_packets, self.rx_bytes, self.kicks, self.rx_dropped
+            self.tx_packets,
+            self.tx_bytes,
+            self.rx_packets,
+            self.rx_bytes,
+            self.kicks,
+            self.rx_dropped
         )
     }
 }

@@ -162,8 +162,7 @@ impl DmaEngine {
                 DmaOp::Read { addr, .. } => Request::dma_read(addr),
                 DmaOp::Write { addr, value, .. } => Request::dma_write(addr, value),
             };
-            sys.begin(self.port, req)
-                .unwrap_or_else(|e| panic!("DMA issue failed: {e}"));
+            sys.begin(self.port, req).unwrap_or_else(|e| panic!("DMA issue failed: {e}"));
             self.in_flight = Some(op);
             self.countdown = self.cycles_per_word;
         }
@@ -234,11 +233,7 @@ mod tests {
             dma.enqueue(DmaOp::Write { addr: Addr::new(0x1000 + i * 4), value: i, tag: i });
         }
         drain(&mut dma, &mut s, 2000);
-        assert_eq!(
-            s.resident_lines(PortId::new(0)).len(),
-            0,
-            "DMA misses must not allocate"
-        );
+        assert_eq!(s.resident_lines(PortId::new(0)).len(), 0, "DMA misses must not allocate");
         assert_eq!(s.cache_stats(PortId::new(0)).dma_writes, 16);
     }
 

@@ -45,7 +45,13 @@ impl StreamRun {
 /// # Panics
 ///
 /// Panics if `depth` or `blocks` is zero, or the run wedges.
-pub fn stream_read(disk: &mut Rqdx3, first_lba: u32, blocks: u32, depth: u32, consume_cycles: u64) -> StreamRun {
+pub fn stream_read(
+    disk: &mut Rqdx3,
+    first_lba: u32,
+    blocks: u32,
+    depth: u32,
+    consume_cycles: u64,
+) -> StreamRun {
     assert!(depth > 0, "depth must be nonzero");
     assert!(blocks > 0, "must read at least one block");
     let buffer = Addr::new(0x0040_0000);
@@ -127,7 +133,12 @@ impl WriteBehindBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be nonzero");
-        WriteBehindBuffer { capacity, queued: VecDeque::new(), writer_blocked_cycles: 0, absorbed: 0 }
+        WriteBehindBuffer {
+            capacity,
+            queued: VecDeque::new(),
+            writer_blocked_cycles: 0,
+            absorbed: 0,
+        }
     }
 
     /// The application writes block `lba`. Returns whether the write was
@@ -232,8 +243,12 @@ mod tests {
             buf.drain(&mut disk);
             if let Some(op) = disk.wants_dma() {
                 let done = match op {
-                    DmaOp::Read { addr, tag } => DmaCompletion { addr, value: 7, was_read: true, tag },
-                    DmaOp::Write { addr, value, tag } => DmaCompletion { addr, value, was_read: false, tag },
+                    DmaOp::Read { addr, tag } => {
+                        DmaCompletion { addr, value: 7, was_read: true, tag }
+                    }
+                    DmaOp::Write { addr, value, tag } => {
+                        DmaCompletion { addr, value, was_read: false, tag }
+                    }
                 };
                 disk.on_completion(done);
             }
@@ -248,8 +263,12 @@ mod tests {
             buf.drain(&mut disk);
             if let Some(op) = disk.wants_dma() {
                 let done = match op {
-                    DmaOp::Read { addr, tag } => DmaCompletion { addr, value: 7, was_read: true, tag },
-                    DmaOp::Write { addr, value, tag } => DmaCompletion { addr, value, was_read: false, tag },
+                    DmaOp::Read { addr, tag } => {
+                        DmaCompletion { addr, value: 7, was_read: true, tag }
+                    }
+                    DmaOp::Write { addr, value, tag } => {
+                        DmaCompletion { addr, value, was_read: false, tag }
+                    }
                 };
                 disk.on_completion(done);
             }

@@ -246,7 +246,11 @@ impl Mdc {
         let base = self.deposit_base;
         let packed = (u32::from(self.mouse.0) << 16) | u32::from(self.mouse.1);
         self.deposit_queue.push_back(DmaOp::Write { addr: base, value: packed, tag: 0 });
-        self.deposit_queue.push_back(DmaOp::Write { addr: base.add_words(1), value: self.buttons, tag: 0 });
+        self.deposit_queue.push_back(DmaOp::Write {
+            addr: base.add_words(1),
+            value: self.buttons,
+            tag: 0,
+        });
         for (i, kw) in self.keyboard.iter().enumerate() {
             self.deposit_queue.push_back(DmaOp::Write {
                 addr: base.add_words(2 + i as u32),
@@ -418,10 +422,7 @@ impl Default for Mdc {
 
 impl fmt::Debug for Mdc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Mdc")
-            .field("head", &self.head)
-            .field("stats", &self.stats)
-            .finish()
+        f.debug_struct("Mdc").field("head", &self.head).field("stats", &self.stats).finish()
     }
 }
 
@@ -467,7 +468,11 @@ mod tests {
         let mut mdc = Mdc::new();
         let before = mdc.framebuffer().count_set_rect(100, 100, 32, 8);
         assert_eq!(before, 0);
-        run_standalone(&mut mdc, memory_with_command(encode_fill(100, 100, 32, 8, RasterOp::Set)), 5_000);
+        run_standalone(
+            &mut mdc,
+            memory_with_command(encode_fill(100, 100, 32, 8, RasterOp::Set)),
+            5_000,
+        );
         assert_eq!(mdc.framebuffer().count_set_rect(100, 100, 32, 8), 256);
         assert_eq!(mdc.stats().commands, 1);
         assert_eq!(mdc.stats().pixels, 256);
@@ -522,7 +527,6 @@ mod tests {
         run_standalone(&mut mdc, &mut mem, 5_000_000 / 2 * 2);
         let deposits = mdc.stats().deposits;
         assert!((28..=32).contains(&deposits), "~30 deposits in 0.5 s, got {deposits}");
-        drop(mem);
         assert_eq!(writes, deposits * 6, "six words per deposit");
     }
 
@@ -566,7 +570,9 @@ mod tests {
         let mut differ = false;
         for r in 0..GLYPH_H {
             for c in 0..GLYPH_W {
-                if mdc.framebuffer().pixel(ax + c, ay + r) != mdc.framebuffer().pixel(bx + c, by + r) {
+                if mdc.framebuffer().pixel(ax + c, ay + r)
+                    != mdc.framebuffer().pixel(bx + c, by + r)
+                {
                     differ = true;
                 }
             }

@@ -88,7 +88,7 @@ impl QBus {
         if page >= MAP_REGISTERS {
             return Err(QBusError::NoSuchRegister(page));
         }
-        if target.byte() % PAGE_BYTES != 0 {
+        if !target.byte().is_multiple_of(PAGE_BYTES) {
             return Err(QBusError::TargetUnaligned(target));
         }
         if target.byte() >= DMA_LIMIT {
@@ -198,7 +198,10 @@ mod tests {
             q.map(0, Addr::new(16 << 20)),
             Err(QBusError::TargetBeyondDmaLimit(Addr::new(16 << 20)))
         );
-        assert_eq!(q.map(MAP_REGISTERS, Addr::new(0)), Err(QBusError::NoSuchRegister(MAP_REGISTERS)));
+        assert_eq!(
+            q.map(MAP_REGISTERS, Addr::new(0)),
+            Err(QBusError::NoSuchRegister(MAP_REGISTERS))
+        );
     }
 
     #[test]

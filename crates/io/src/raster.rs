@@ -140,6 +140,7 @@ impl FrameBuffer {
     /// # Panics
     ///
     /// Panics if either rectangle leaves the buffer.
+    #[allow(clippy::too_many_arguments)] // the classic blit signature: src, dst, extent, op
     pub fn bitblt(
         &mut self,
         sx: u32,

@@ -86,9 +86,16 @@ pub struct DiskStats {
 enum DiskState {
     Idle,
     /// Mechanical delay before the transfer.
-    Seeking { req: DiskRequest, cycles: u64 },
+    Seeking {
+        req: DiskRequest,
+        cycles: u64,
+    },
     /// Moving words by DMA: for reads, drive→memory; writes, memory→drive.
-    Transferring { req: DiskRequest, word: u32, staged: Vec<u32> },
+    Transferring {
+        req: DiskRequest,
+        word: u32,
+        staged: Vec<u32>,
+    },
 }
 
 /// The disk controller plus its drive.
@@ -274,10 +281,14 @@ mod tests {
         let mut d = Rqdx3::new();
         // Write block 5 from "memory" where word i holds i*3.
         d.submit(DiskRequest::Write { lba: 5, addr: Addr::new(0x4000) });
-        run(&mut d, |op| match op {
-            DmaOp::Read { addr, .. } => (addr.byte() - 0x4000) / 4 * 3,
-            _ => 0,
-        }, 500_000);
+        run(
+            &mut d,
+            |op| match op {
+                DmaOp::Read { addr, .. } => (addr.byte() - 0x4000) / 4 * 3,
+                _ => 0,
+            },
+            500_000,
+        );
         assert_eq!(d.stats().writes, 1);
         assert!(d.take_interrupt());
         assert_eq!(d.peek_block_word(5, 10), 30);

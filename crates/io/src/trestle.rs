@@ -186,7 +186,7 @@ impl Trestle {
         let id = WindowId(self.next);
         self.next += 1;
         // Alternate shades so adjacent windows are distinguishable.
-        let shade = if id.0 % 2 == 0 { RasterOp::Set } else { RasterOp::Clear };
+        let shade = if id.0.is_multiple_of(2) { RasterOp::Set } else { RasterOp::Clear };
         self.windows.push(Window { id, rect, shade });
         self.focus = Some(id);
         Ok(id)
@@ -330,10 +330,7 @@ impl Trestle {
     }
 
     fn index_of(&self, id: WindowId) -> Result<usize, TrestleError> {
-        self.windows
-            .iter()
-            .position(|w| w.id == id)
-            .ok_or(TrestleError::NoSuchWindow(id))
+        self.windows.iter().position(|w| w.id == id).ok_or(TrestleError::NoSuchWindow(id))
     }
 }
 
@@ -366,10 +363,7 @@ mod tests {
     fn create_validates() {
         let mut t = Trestle::new();
         assert_eq!(t.create(Rect::new(0, 0, 0, 10)), Err(TrestleError::EmptyWindow));
-        assert!(matches!(
-            t.create(Rect::new(1000, 0, 100, 100)),
-            Err(TrestleError::OffScreen(_))
-        ));
+        assert!(matches!(t.create(Rect::new(1000, 0, 100, 100)), Err(TrestleError::OffScreen(_))));
         assert!(t.create(Rect::new(0, 0, 1024, 768)).is_ok());
     }
 

@@ -7,9 +7,8 @@ use proptest::prelude::*;
 
 /// A random on-screen rectangle (nonempty, inside 1024×768).
 fn rect() -> impl Strategy<Value = (u32, u32, u32, u32)> {
-    (0u32..1000, 0u32..700, 1u32..64, 1u32..64).prop_map(|(x, y, w, h)| {
-        (x.min(1024 - w), y.min(768 - h), w, h)
-    })
+    (0u32..1000, 0u32..700, 1u32..64, 1u32..64)
+        .prop_map(|(x, y, w, h)| (x.min(1024 - w), y.min(768 - h), w, h))
 }
 
 proptest! {

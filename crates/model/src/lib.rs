@@ -416,7 +416,8 @@ mod tests {
         let rows = p().table1();
         // (NP, L, TPI, RP, TP); the paper's table omits L and TPI for
         // NP=2 (typesetting), RP/TP are printed.
-        let paper: [(usize, Option<f64>, Option<f64>, f64, f64); 6] = [
+        type PaperRow = (usize, Option<f64>, Option<f64>, f64, f64);
+        let paper: [PaperRow; 6] = [
             (2, None, None, 0.89, 1.77),
             (4, Some(0.33), Some(13.9), 0.85, 3.43),
             (6, Some(0.47), Some(14.5), 0.82, 4.93),

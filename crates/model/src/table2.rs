@@ -57,10 +57,7 @@ pub struct Table2Expected {
 impl Table2Expected {
     /// Computes the expected columns from model parameters.
     pub fn compute(params: &Params) -> Self {
-        Table2Expected {
-            one_cpu: expected_rates(params, 1),
-            five_cpu: expected_rates(params, 5),
-        }
+        Table2Expected { one_cpu: expected_rates(params, 1), five_cpu: expected_rates(params, 5) }
     }
 }
 
@@ -71,11 +68,8 @@ impl Table2Expected {
 /// expectation; multiprocessor configurations use the §5.2 queuing model.
 pub fn expected_rates(params: &Params, np: usize) -> ExpectedRates {
     let load = params.load_for_processors(np as f64);
-    let total_k = if np == 1 {
-        params.isolated_krefs_per_second()
-    } else {
-        params.krefs_per_second(load)
-    };
+    let total_k =
+        if np == 1 { params.isolated_krefs_per_second() } else { params.krefs_per_second(load) };
     let tr = params.refs_per_instruction();
     let instr_k = total_k / tr;
     ExpectedRates {
@@ -93,10 +87,26 @@ pub fn expected_rates(params: &Params, np: usize) -> ExpectedRates {
 impl fmt::Display for Table2Expected {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{:<28}{:>14}{:>14}", "", "One-CPU", "Five-CPU (per CPU)")?;
-        writeln!(f, "{:<28}{:>14.0}{:>14.0}", "Expected reads (K/s):", self.one_cpu.reads_k, self.five_cpu.reads_k)?;
-        writeln!(f, "{:<28}{:>14.0}{:>14.0}", "Expected writes (K/s):", self.one_cpu.writes_k, self.five_cpu.writes_k)?;
-        writeln!(f, "{:<28}{:>14.0}{:>14.0}", "Expected total (K/s):", self.one_cpu.total_k, self.five_cpu.total_k)?;
-        writeln!(f, "{:<28}{:>14.2}{:>14.2}", "Model bus load L:", self.one_cpu.load, self.five_cpu.load)?;
+        writeln!(
+            f,
+            "{:<28}{:>14.0}{:>14.0}",
+            "Expected reads (K/s):", self.one_cpu.reads_k, self.five_cpu.reads_k
+        )?;
+        writeln!(
+            f,
+            "{:<28}{:>14.0}{:>14.0}",
+            "Expected writes (K/s):", self.one_cpu.writes_k, self.five_cpu.writes_k
+        )?;
+        writeln!(
+            f,
+            "{:<28}{:>14.0}{:>14.0}",
+            "Expected total (K/s):", self.one_cpu.total_k, self.five_cpu.total_k
+        )?;
+        writeln!(
+            f,
+            "{:<28}{:>14.2}{:>14.2}",
+            "Model bus load L:", self.one_cpu.load, self.five_cpu.load
+        )?;
         Ok(())
     }
 }
@@ -110,9 +120,17 @@ mod tests {
         // Table 2 "Expected": one-CPU 688/161/849; five-CPU 609/143/752.
         let t = Table2Expected::compute(&Params::microvax());
         assert!((t.one_cpu.reads_k - 688.0).abs() < 5.0, "one-CPU reads {:.0}", t.one_cpu.reads_k);
-        assert!((t.one_cpu.writes_k - 161.0).abs() < 3.0, "one-CPU writes {:.0}", t.one_cpu.writes_k);
+        assert!(
+            (t.one_cpu.writes_k - 161.0).abs() < 3.0,
+            "one-CPU writes {:.0}",
+            t.one_cpu.writes_k
+        );
         assert!((t.one_cpu.total_k - 849.0).abs() < 5.0);
-        assert!((t.five_cpu.reads_k - 609.0).abs() < 5.0, "five-CPU reads {:.0}", t.five_cpu.reads_k);
+        assert!(
+            (t.five_cpu.reads_k - 609.0).abs() < 5.0,
+            "five-CPU reads {:.0}",
+            t.five_cpu.reads_k
+        );
         assert!((t.five_cpu.writes_k - 143.0).abs() < 3.0);
         assert!((t.five_cpu.total_k - 752.0).abs() < 5.0);
     }

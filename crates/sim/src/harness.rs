@@ -1,0 +1,476 @@
+//! The parallel experiment harness.
+//!
+//! The paper's evaluation is a grid of *independent* simulator
+//! configurations — processor counts × protocols × cache geometries
+//! (Tables 1–2, Figures 3–4, the Archibald & Baer-style protocol
+//! comparison). Every point of such a grid is a self-contained,
+//! deterministic simulation, so the harness fans them out across a
+//! [`std::thread::scope`]-based worker pool and reassembles the results
+//! in submission order:
+//!
+//! * [`run_jobs`] / [`run_jobs_with`] — the generic fan-out: any
+//!   `Sync` job type, any `Send` result, order-preserving.
+//! * [`ExperimentSpec`] → [`ExperimentResult`] — the machine-level job:
+//!   one full-system configuration, warmed up and measured, with
+//!   host-side throughput counters
+//!   ([`firefly_core::stats::HostCounters`]) captured per job.
+//! * [`run_experiments`] / [`run_experiments_with`] — a spec grid in,
+//!   a [`HarnessRun`] out (results + timings + the harness's own
+//!   speedup), JSON-emittable via [`HarnessRun::to_json`].
+//!
+//! # Determinism
+//!
+//! Every job carries its own seed and owns all of its state (machine,
+//! RNGs, statistics); the pool shares nothing but the job list and the
+//! result slots. Results are written back by job index, so the output
+//! is **bit-identical for any worker count and any scheduling order**
+//! — `tests/harness.rs` at the workspace root asserts this, down to
+//! the formatted sweep text. Wall-clock counters live *outside*
+//! [`ExperimentResult`] (in [`CompletedExperiment::host`]) precisely so
+//! the deterministic payload stays comparable with `==`.
+//!
+//! # Worker count
+//!
+//! [`worker_count`] honours the `FIREFLY_JOBS` environment variable
+//! (any positive integer) and otherwise uses
+//! [`std::thread::available_parallelism`].
+//!
+//! # Examples
+//!
+//! ```
+//! use firefly_sim::harness::{run_experiments_with, ExperimentSpec};
+//! use firefly_core::ProtocolKind;
+//!
+//! let specs: Vec<ExperimentSpec> = [1usize, 2]
+//!     .iter()
+//!     .map(|&cpus| {
+//!         ExperimentSpec::new(format!("np{cpus}"), cpus)
+//!             .protocol(ProtocolKind::Firefly)
+//!             .seed(7)
+//!             .window(5_000, 10_000)
+//!     })
+//!     .collect();
+//! let run = run_experiments_with(2, specs);
+//! assert_eq!(run.jobs.len(), 2);
+//! assert!(run.jobs[1].result.measurement.bus_load > 0.0);
+//! assert!(run.speedup > 0.0);
+//! ```
+
+use crate::machine::{FireflyBuilder, Workload};
+use crate::measure::Measurement;
+use firefly_core::stats::HostCounters;
+use firefly_core::{CacheGeometry, MachineVariant, ProtocolKind};
+use firefly_cpu::CpuConfig;
+use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The worker-pool width: `FIREFLY_JOBS` if set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`] (1 if unknown).
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("FIREFLY_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+        eprintln!("FIREFLY_JOBS={v:?} is not a positive integer; using available parallelism");
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f` over `jobs` on [`worker_count`] workers. See [`run_jobs_with`].
+pub fn run_jobs<J, R, F>(jobs: &[J], f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    run_jobs_with(worker_count(), jobs, f)
+}
+
+/// Runs `f` over every job on a scoped pool of `workers` threads,
+/// returning results in job order (index `i` of the output is job `i`'s
+/// result, regardless of which worker ran it or when it finished).
+///
+/// Work is distributed by an atomic cursor (work stealing at job
+/// granularity), so uneven job costs — an 8-CPU simulation next to a
+/// 1-CPU one — still pack tightly.
+///
+/// # Panics
+///
+/// Panics if any job panics (the panic is propagated once all workers
+/// have stopped).
+pub fn run_jobs_with<J, R, F>(workers: usize, jobs: &[J], f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    let workers = workers.max(1).min(jobs.len());
+    if workers <= 1 {
+        return jobs.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let result = f(job);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("scope joined every worker, so every slot is filled")
+        })
+        .collect()
+}
+
+/// One experiment: a full machine configuration plus its measurement
+/// window. Construct with [`ExperimentSpec::new`] and the builder-style
+/// setters; run a grid of them with [`run_experiments`].
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ExperimentSpec {
+    /// Display label ("NP=4", "64 KB, 16-byte lines", …).
+    pub label: String,
+    /// Machine generation.
+    pub variant: MachineVariant,
+    /// Processor count (1..=14).
+    pub cpus: usize,
+    /// Coherence protocol.
+    pub protocol: ProtocolKind,
+    /// Cache-geometry override (`None` = the variant's default).
+    pub cache: Option<CacheGeometry>,
+    /// Processor-configuration override (e.g. prefetch enabled).
+    pub cpu_config: Option<CpuConfig>,
+    /// What the processors execute.
+    pub workload: Workload,
+    /// Attach the I/O system to port 0.
+    pub io: bool,
+    /// RNG seed; results are a pure function of the spec including it.
+    pub seed: u64,
+    /// Warm-up bus cycles before the window opens.
+    pub warmup: u64,
+    /// Measurement-window bus cycles.
+    pub window: u64,
+}
+
+impl ExperimentSpec {
+    /// A MicroVAX spec with the calibrated workload, Firefly protocol,
+    /// and a 200k/400k-cycle measurement window.
+    pub fn new(label: impl Into<String>, cpus: usize) -> Self {
+        ExperimentSpec {
+            label: label.into(),
+            variant: MachineVariant::MicroVax,
+            cpus,
+            protocol: ProtocolKind::Firefly,
+            cache: None,
+            cpu_config: None,
+            workload: Workload::default(),
+            io: false,
+            seed: 0xf1ef1e,
+            warmup: 200_000,
+            window: 400_000,
+        }
+    }
+
+    /// Selects the machine generation.
+    pub fn variant(mut self, variant: MachineVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Selects the coherence protocol.
+    pub fn protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Overrides the cache geometry.
+    pub fn cache(mut self, cache: CacheGeometry) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Overrides the processor configuration.
+    pub fn cpu_config(mut self, cfg: CpuConfig) -> Self {
+        self.cpu_config = Some(cfg);
+        self
+    }
+
+    /// Sets the workload.
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Attaches the I/O system.
+    pub fn with_io(mut self) -> Self {
+        self.io = true;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets warm-up and measurement-window lengths (bus cycles).
+    pub fn window(mut self, warmup: u64, window: u64) -> Self {
+        self.warmup = warmup;
+        self.window = window;
+        self
+    }
+
+    /// The [`FireflyBuilder`] this spec describes.
+    pub fn builder(&self) -> FireflyBuilder {
+        let mut b = match self.variant {
+            MachineVariant::MicroVax => FireflyBuilder::microvax(self.cpus),
+            MachineVariant::CVax => FireflyBuilder::cvax(self.cpus),
+        }
+        .protocol(self.protocol)
+        .workload(self.workload)
+        .seed(self.seed);
+        if let Some(c) = self.cache {
+            b = b.cache(c);
+        }
+        if let Some(c) = self.cpu_config {
+            b = b.cpu_config(c);
+        }
+        if self.io {
+            b = b.with_io();
+        }
+        b
+    }
+
+    /// Builds the machine, runs warm-up + window, and returns the
+    /// deterministic measurement together with host-side counters.
+    pub fn run(&self) -> CompletedExperiment {
+        let start = Instant::now();
+        let mut machine = self.builder().build();
+        let measurement = machine.measure(self.warmup, self.window);
+        let instructions: u64 = machine.processors().iter().map(|p| p.stats().instructions).sum();
+        let host = HostCounters {
+            wall_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            instructions,
+            sim_cycles: self.warmup + self.window,
+        };
+        CompletedExperiment {
+            result: ExperimentResult {
+                label: self.label.clone(),
+                cpus: self.cpus,
+                protocol: self.protocol,
+                seed: self.seed,
+                measurement,
+            },
+            host,
+        }
+    }
+}
+
+/// The deterministic outcome of one [`ExperimentSpec`]: everything here
+/// is a pure function of the spec, so equal specs compare equal with
+/// `==` no matter where or when they ran.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ExperimentResult {
+    /// The spec's label.
+    pub label: String,
+    /// Processor count.
+    pub cpus: usize,
+    /// Coherence protocol.
+    pub protocol: ProtocolKind,
+    /// The seed the job ran with.
+    pub seed: u64,
+    /// The measurement over the spec's window.
+    pub measurement: Measurement,
+}
+
+/// An [`ExperimentResult`] plus the host-side counters of the job that
+/// produced it (which are *not* deterministic and therefore kept out of
+/// the result).
+#[derive(Clone, Debug, Serialize)]
+pub struct CompletedExperiment {
+    /// The deterministic payload.
+    pub result: ExperimentResult,
+    /// Host wall-clock and throughput counters for this job.
+    pub host: HostCounters,
+}
+
+/// A completed grid: per-job results and the harness's own performance
+/// accounting.
+#[derive(Clone, Debug, Serialize)]
+pub struct HarnessRun {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock nanoseconds for the whole grid.
+    pub wall_ns: u64,
+    /// Σ per-job wall-clock ÷ grid wall-clock — the parallel speedup
+    /// actually achieved (≈ `workers` when jobs pack well).
+    pub speedup: f64,
+    /// Per-job outcomes, in spec order.
+    pub jobs: Vec<CompletedExperiment>,
+}
+
+impl HarnessRun {
+    /// The deterministic results, in spec order.
+    pub fn results(&self) -> impl Iterator<Item = &ExperimentResult> {
+        self.jobs.iter().map(|j| &j.result)
+    }
+
+    /// Aggregated host counters over all jobs (`wall_ns` is the *sum*
+    /// of per-job wall time — CPU time, roughly — not the elapsed time;
+    /// compare with [`HarnessRun::wall_ns`] for the speedup).
+    pub fn total_host(&self) -> HostCounters {
+        let mut total = HostCounters::default();
+        for j in &self.jobs {
+            let mut h = j.host;
+            std::mem::swap(&mut total, &mut h);
+            total += h;
+        }
+        total
+    }
+
+    /// A one-line human summary of the harness's own performance.
+    pub fn summary(&self) -> String {
+        let total = self.total_host();
+        format!(
+            "harness: {} job(s) on {} worker(s) in {:.2}s \
+             (busy {:.2}s, speedup {:.2}x, {:.1}M simulated instr/s)",
+            self.jobs.len(),
+            self.workers,
+            self.wall_ns as f64 * 1e-9,
+            total.wall_ns as f64 * 1e-9,
+            self.speedup,
+            total.instructions as f64 / (self.wall_ns.max(1) as f64 * 1e-9) / 1e6,
+        )
+    }
+
+    /// The run as a JSON document (schema documented in the README's
+    /// "Running the evaluation in parallel" section).
+    pub fn to_json(&self) -> String {
+        Serialize::to_json(self)
+    }
+}
+
+/// Runs a spec grid on [`worker_count`] workers.
+pub fn run_experiments(specs: Vec<ExperimentSpec>) -> HarnessRun {
+    run_experiments_with(worker_count(), specs)
+}
+
+/// Runs a spec grid on `workers` workers. Results come back in spec
+/// order and are bit-identical for every `workers` value.
+pub fn run_experiments_with(workers: usize, specs: Vec<ExperimentSpec>) -> HarnessRun {
+    let start = Instant::now();
+    let jobs = run_jobs_with(workers, &specs, ExperimentSpec::run);
+    let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let busy_ns: u64 = jobs.iter().map(|j| j.host.wall_ns).sum();
+    HarnessRun {
+        workers: workers.max(1).min(specs.len().max(1)),
+        wall_ns,
+        speedup: busy_ns as f64 / wall_ns.max(1) as f64,
+        jobs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_jobs_preserves_order() {
+        let jobs: Vec<u64> = (0..64).collect();
+        let out = run_jobs_with(8, &jobs, |&j| j * j);
+        assert_eq!(out, jobs.iter().map(|j| j * j).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_jobs_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(run_jobs_with(4, &empty, |&j| j).is_empty());
+        assert_eq!(run_jobs_with(4, &[9u32], |&j| j + 1), vec![10]);
+    }
+
+    #[test]
+    fn uneven_jobs_all_complete() {
+        // Job cost varies 100x; the atomic cursor must still cover all.
+        let jobs: Vec<usize> = (0..40).map(|i| if i % 7 == 0 { 200_000 } else { 2_000 }).collect();
+        let out = run_jobs_with(5, &jobs, |&n| (0..n).map(|i| i as u64).sum::<u64>());
+        for (i, (&n, &got)) in jobs.iter().zip(&out).enumerate() {
+            assert_eq!(got, (n as u64 * (n as u64 - 1)) / 2, "job {i}");
+        }
+    }
+
+    #[test]
+    fn experiment_results_identical_across_worker_counts() {
+        let grid = || {
+            vec![
+                ExperimentSpec::new("a", 1).seed(3).window(5_000, 10_000),
+                ExperimentSpec::new("b", 2).seed(3).window(5_000, 10_000),
+                ExperimentSpec::new("c", 2)
+                    .protocol(ProtocolKind::Dragon)
+                    .seed(4)
+                    .window(5_000, 10_000),
+            ]
+        };
+        let serial = run_experiments_with(1, grid());
+        let parallel = run_experiments_with(4, grid());
+        let a: Vec<_> = serial.results().collect();
+        let b: Vec<_> = parallel.results().collect();
+        assert_eq!(a, b, "results must not depend on the worker count");
+    }
+
+    #[test]
+    fn spec_builder_round_trips_configuration() {
+        let spec = ExperimentSpec::new("x", 3)
+            .variant(MachineVariant::CVax)
+            .protocol(ProtocolKind::Illinois)
+            .seed(9)
+            .window(1_000, 2_000);
+        let m = spec.builder().build();
+        assert_eq!(m.cpus(), 3);
+        assert_eq!(m.memory().protocol_kind(), ProtocolKind::Illinois);
+        assert_eq!(m.memory().config().memory_bytes(), 128 << 20);
+    }
+
+    #[test]
+    fn completed_experiment_carries_host_counters() {
+        let done = ExperimentSpec::new("h", 1).window(2_000, 4_000).run();
+        assert_eq!(done.host.sim_cycles, 6_000);
+        assert!(done.host.instructions > 0);
+        assert!(done.host.wall_ns > 0);
+        assert!(done.host.instructions_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn harness_json_has_the_documented_shape() {
+        let run = run_experiments_with(2, vec![ExperimentSpec::new("j", 1).window(1_000, 2_000)]);
+        let json = run.to_json();
+        for key in [
+            "\"workers\":",
+            "\"speedup\":",
+            "\"jobs\":",
+            "\"measurement\":",
+            "\"host\":",
+            "\"wall_ns\":",
+            "\"label\":\"j\"",
+            "\"protocol\":\"Firefly\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+}

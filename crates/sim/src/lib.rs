@@ -19,12 +19,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod harness;
 pub mod machine;
 pub mod measure;
 pub mod sweep;
 pub mod table2;
 
+pub use harness::{
+    run_experiments, run_experiments_with, run_jobs, run_jobs_with, worker_count,
+    CompletedExperiment, ExperimentResult, ExperimentSpec, HarnessRun,
+};
 pub use machine::{Firefly, FireflyBuilder, Workload};
 pub use measure::Measurement;
-pub use sweep::{scaling_sweep, ScalingPoint};
+pub use sweep::{
+    format_sweep, scaling_sweep, scaling_sweep_on, scaling_sweep_with, ScalingPoint, SweepRun,
+};
 pub use table2::{table2_report, Table2};

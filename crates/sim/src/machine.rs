@@ -10,7 +10,7 @@ use firefly_trace::{LocalityParams, MultiprogramWorkload, RefStream, SyntheticWo
 use std::fmt;
 
 /// What the processors execute.
-#[derive(Copy, Clone, PartialEq, Debug)]
+#[derive(Copy, Clone, PartialEq, Debug, serde::Serialize)]
 pub enum Workload {
     /// Each processor runs the calibrated synthetic locality stream with
     /// the given parameters (disjoint private regions, common shared
@@ -176,12 +176,10 @@ impl FireflyBuilder {
         });
 
         let streams: Vec<Box<dyn RefStream>> = match self.workload {
-            Workload::Synthetic(params) => {
-                SyntheticWorkload::fleet(self.cpus, params, self.seed)
-                    .into_iter()
-                    .map(|w| Box::new(w) as Box<dyn RefStream>)
-                    .collect()
-            }
+            Workload::Synthetic(params) => SyntheticWorkload::fleet(self.cpus, params, self.seed)
+                .into_iter()
+                .map(|w| Box::new(w) as Box<dyn RefStream>)
+                .collect(),
             Workload::Multiprogram { processes, quantum, params } => (0..self.cpus)
                 .map(|i| {
                     Box::new(MultiprogramWorkload::new(
@@ -203,11 +201,7 @@ impl FireflyBuilder {
         Firefly {
             sys,
             processors,
-            io: if self.io {
-                Some(IoSystem::on_port(PortId::new(self.cpus)))
-            } else {
-                None
-            },
+            io: if self.io { Some(IoSystem::on_port(PortId::new(self.cpus))) } else { None },
             cpu_cfg,
         }
     }

@@ -1,6 +1,12 @@
 //! Processor-count sweeps: simulation versus the §5.2 analytic model.
+//!
+//! Sweep points are independent machine configurations, so they run on
+//! the parallel [`crate::harness`]; the emitted numbers are a pure
+//! function of the configuration and do not depend on the worker count.
 
-use crate::machine::{FireflyBuilder, Workload};
+use crate::harness::{
+    run_experiments_with, worker_count, ExperimentResult, ExperimentSpec, HarnessRun,
+};
 use crate::measure::Measurement;
 use firefly_core::{CacheGeometry, ProtocolKind};
 use serde::{Deserialize, Serialize};
@@ -34,12 +40,81 @@ impl fmt::Display for ScalingPoint {
     }
 }
 
+/// A finished sweep: the Table-1 points plus the harness accounting of
+/// the run that produced them (worker count, wall time, speedup).
+#[derive(Clone, Debug, Serialize)]
+pub struct SweepRun {
+    /// The Table-1 rows, one per requested processor count.
+    pub points: Vec<ScalingPoint>,
+    /// How the harness executed the grid.
+    pub harness: HarnessRun,
+}
+
+/// The experiment grid behind a scaling sweep: one spec per processor
+/// count, identical otherwise.
+pub fn scaling_specs(
+    counts: &[usize],
+    protocol: ProtocolKind,
+    cache: Option<CacheGeometry>,
+    seed: u64,
+    warmup: u64,
+    window: u64,
+) -> Vec<ExperimentSpec> {
+    counts
+        .iter()
+        .map(|&cpus| {
+            let mut spec = ExperimentSpec::new(format!("NP={cpus}"), cpus)
+                .protocol(protocol)
+                .seed(seed)
+                .window(warmup, window);
+            if let Some(c) = cache {
+                spec = spec.cache(c);
+            }
+            spec
+        })
+        .collect()
+}
+
+fn scaling_point(result: &ExperimentResult, base_instr_rate_k: f64) -> ScalingPoint {
+    let m = result.measurement;
+    let rp =
+        if base_instr_rate_k == 0.0 { 0.0 } else { m.instructions_per_cpu_k / base_instr_rate_k };
+    ScalingPoint {
+        cpus: result.cpus,
+        load: m.bus_load,
+        tpi: m.tpi,
+        relative_performance: rp,
+        total_performance: rp * result.cpus as f64,
+        measurement: m,
+    }
+}
+
+/// Runs a scaling sweep on `workers` harness workers, returning both the
+/// points and the harness accounting. The points are bit-identical for
+/// every `workers` value; only [`SweepRun::harness`] timing differs.
+#[allow(clippy::too_many_arguments)]
+pub fn scaling_sweep_run(
+    workers: usize,
+    counts: &[usize],
+    protocol: ProtocolKind,
+    cache: Option<CacheGeometry>,
+    seed: u64,
+    warmup: u64,
+    window: u64,
+    base_instr_rate_k: f64,
+) -> SweepRun {
+    let run =
+        run_experiments_with(workers, scaling_specs(counts, protocol, cache, seed, warmup, window));
+    let points = run.results().map(|r| scaling_point(r, base_instr_rate_k)).collect();
+    SweepRun { points, harness: run }
+}
+
 /// Sweeps processor count over `counts`, measuring each configuration
 /// with the same per-CPU workload — the simulated Table 1.
 ///
 /// `base_instr_rate_k` normalizes RP; pass the measured 1-CPU
 /// instruction rate (or use [`scaling_sweep`] which measures it for
-/// you).
+/// you). Points run in parallel on [`worker_count`] harness workers.
 pub fn scaling_sweep_with(
     counts: &[usize],
     protocol: ProtocolKind,
@@ -49,33 +124,17 @@ pub fn scaling_sweep_with(
     window: u64,
     base_instr_rate_k: f64,
 ) -> Vec<ScalingPoint> {
-    counts
-        .iter()
-        .map(|&cpus| {
-            let mut b = FireflyBuilder::microvax(cpus)
-                .protocol(protocol)
-                .seed(seed)
-                .workload(Workload::default());
-            if let Some(c) = cache {
-                b = b.cache(c);
-            }
-            let mut machine = b.build();
-            let m = machine.measure(warmup, window);
-            let rp = if base_instr_rate_k == 0.0 {
-                0.0
-            } else {
-                m.instructions_per_cpu_k / base_instr_rate_k
-            };
-            ScalingPoint {
-                cpus,
-                load: m.bus_load,
-                tpi: m.tpi,
-                relative_performance: rp,
-                total_performance: rp * cpus as f64,
-                measurement: m,
-            }
-        })
-        .collect()
+    scaling_sweep_run(
+        worker_count(),
+        counts,
+        protocol,
+        cache,
+        seed,
+        warmup,
+        window,
+        base_instr_rate_k,
+    )
+    .points
 }
 
 /// [`scaling_sweep_with`] normalized against an ideal (zero-load) single
@@ -89,14 +148,29 @@ pub fn scaling_sweep(
     warmup: u64,
     window: u64,
 ) -> Vec<ScalingPoint> {
+    scaling_sweep_on(worker_count(), counts, protocol, seed, warmup, window).points
+}
+
+/// [`scaling_sweep`] with an explicit harness worker count, returning
+/// the harness accounting alongside the points (used by the `scaling`
+/// bin to report the harness's own speedup and by the determinism
+/// tests).
+pub fn scaling_sweep_on(
+    workers: usize,
+    counts: &[usize],
+    protocol: ProtocolKind,
+    seed: u64,
+    warmup: u64,
+    window: u64,
+) -> SweepRun {
     // Measure the 1-CPU machine, then correct its small self-induced bus
     // delay out to get the no-wait-state baseline rate.
-    let one = scaling_sweep_with(&[1], protocol, None, seed, warmup, window, 1.0);
-    let m1 = &one[0].measurement;
+    let one = scaling_sweep_run(1, &[1], protocol, None, seed, warmup, window, 1.0);
+    let m1 = &one.points[0].measurement;
     // instr_rate ∝ 1/TPI: scale measured rate up by TPI(measured)/base.
     let base_tpi = 11.9;
     let base_rate = m1.instructions_per_cpu_k * (m1.tpi / base_tpi);
-    scaling_sweep_with(counts, protocol, None, seed, warmup, window, base_rate)
+    scaling_sweep_run(workers, counts, protocol, None, seed, warmup, window, base_rate)
 }
 
 /// Formats a sweep as a Table 1-shaped block.
@@ -141,10 +215,7 @@ mod tests {
         assert_eq!(pts.len(), 3);
         assert!(pts[1].load > pts[0].load && pts[2].load > pts[1].load, "load grows");
         assert!(pts[1].tpi > pts[0].tpi && pts[2].tpi > pts[1].tpi, "TPI grows");
-        assert!(
-            pts[2].total_performance > pts[1].total_performance,
-            "TP still increases at 8"
-        );
+        assert!(pts[2].total_performance > pts[1].total_performance, "TP still increases at 8");
         let gain_1_to_4 = pts[1].total_performance - pts[0].total_performance;
         let gain_4_to_8 = pts[2].total_performance - pts[1].total_performance;
         assert!(
@@ -159,5 +230,13 @@ mod tests {
         let s = format_sweep(&pts);
         assert_eq!(s.lines().count(), 5);
         assert!(s.contains("TP (total performance):"));
+    }
+
+    #[test]
+    fn sweep_points_identical_across_worker_counts() {
+        let serial = scaling_sweep_on(1, &[1, 2, 3], ProtocolKind::Firefly, 11, 20_000, 40_000);
+        let parallel = scaling_sweep_on(4, &[1, 2, 3], ProtocolKind::Firefly, 11, 20_000, 40_000);
+        assert_eq!(serial.points, parallel.points);
+        assert_eq!(format_sweep(&serial.points), format_sweep(&parallel.points));
     }
 }

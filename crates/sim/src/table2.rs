@@ -54,11 +54,7 @@ impl fmt::Display for Table2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Table 2: Firefly Measured Performance (K refs/sec)")?;
         writeln!(f)?;
-        writeln!(
-            f,
-            "{:<34}{:>10}{:>10}{:>12}{:>10}",
-            "", "One-CPU", "", "Five-CPU", ""
-        )?;
+        writeln!(f, "{:<34}{:>10}{:>10}{:>12}{:>10}", "", "One-CPU", "", "Five-CPU", "")?;
         writeln!(
             f,
             "{:<34}{:>10}{:>10}{:>12}{:>10}",
@@ -87,7 +83,13 @@ impl fmt::Display for Table2 {
         writeln!(
             f,
             "{:<34}{:>10}{:>7.0} (L={:.2}){:>5}{:>7.0} (L={:.2})",
-            "Actual MBus Total References:", "", a1.mbus_total_k, a1.bus_load, "", a5.mbus_total_k, a5.bus_load
+            "Actual MBus Total References:",
+            "",
+            a1.mbus_total_k,
+            a1.bus_load,
+            "",
+            a5.mbus_total_k,
+            a5.bus_load
         )?;
         writeln!(f, "MBus References, Per CPU:")?;
         writeln!(

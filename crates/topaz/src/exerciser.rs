@@ -80,7 +80,7 @@ impl ExerciserConfig {
             ThreadOp::Signal(c_signal),
             ThreadOp::Compute { instructions: self.compute_instructions / 2 },
         ];
-        if self.wait_every > 0 && thread_index % self.wait_every == 0 {
+        if self.wait_every > 0 && thread_index.is_multiple_of(self.wait_every) {
             ops.push(ThreadOp::Wait(c_wait));
         }
         ops.push(ThreadOp::Yield);
@@ -128,7 +128,11 @@ pub struct ExerciserReport {
 impl fmt::Display for ExerciserReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}-CPU exerciser ({} cycles):", self.cpus, self.cycles)?;
-        writeln!(f, "  per CPU: reads {:.0}K/s  writes {:.0}K/s  total {:.0}K/s", self.reads_k, self.writes_k, self.total_k)?;
+        writeln!(
+            f,
+            "  per CPU: reads {:.0}K/s  writes {:.0}K/s  total {:.0}K/s",
+            self.reads_k, self.writes_k, self.total_k
+        )?;
         writeln!(f, "  MBus: total {:.0}K/s (L={:.2})", self.mbus_total_k, self.bus_load)?;
         writeln!(
             f,
@@ -177,10 +181,9 @@ pub fn run_exerciser(
 
     // Per-CPU averages over the window.
     let mut d = CacheStats::default();
-    for p in 0..cpus {
-        let mut after = *m.memory().cache_stats(PortId::new(p));
+    for (p, before) in cache_before.iter().enumerate() {
         // Subtract the warm-up portion field by field via the diff trick.
-        let before = cache_before[p];
+        let mut after = *m.memory().cache_stats(PortId::new(p));
         after.cpu_reads -= before.cpu_reads;
         after.cpu_writes -= before.cpu_writes;
         after.read_hits -= before.read_hits;

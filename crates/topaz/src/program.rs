@@ -138,10 +138,7 @@ mod tests {
 
     #[test]
     fn op_at_wraps() {
-        let s = Script::new(vec![
-            ThreadOp::Compute { instructions: 1 },
-            ThreadOp::Yield,
-        ]);
+        let s = Script::new(vec![ThreadOp::Compute { instructions: 1 }, ThreadOp::Yield]);
         assert_eq!(s.op_at(0), ThreadOp::Compute { instructions: 1 });
         assert_eq!(s.op_at(3), ThreadOp::Yield);
     }

@@ -17,8 +17,8 @@
 //! saturates.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// RPC pipeline timing parameters.
 #[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
@@ -126,7 +126,11 @@ pub fn simulate(cfg: &RpcConfig, threads: usize, calls: u64) -> RpcRun {
     // Heap keys: (time in ns as u64, tiebreak seq, stage, thread).
     let mut events: BinaryHeap<Reverse<(u64, u64, Stage, usize)>> = BinaryHeap::new();
     let mut seq = 0u64;
-    let push = |h: &mut BinaryHeap<Reverse<(u64, u64, Stage, usize)>>, t_us: f64, st, thr, seq: &mut u64| {
+    let push = |h: &mut BinaryHeap<Reverse<(u64, u64, Stage, usize)>>,
+                t_us: f64,
+                st,
+                thr,
+                seq: &mut u64| {
         *seq += 1;
         h.push(Reverse(((t_us * 1000.0) as u64, *seq, st, thr)));
     };
@@ -210,7 +214,11 @@ mod tests {
             "3-thread bandwidth {:.2} Mb/s",
             run.payload_mbps
         );
-        assert!((2.0..=3.0).contains(&run.mean_outstanding), "outstanding {:.2}", run.mean_outstanding);
+        assert!(
+            (2.0..=3.0).contains(&run.mean_outstanding),
+            "outstanding {:.2}",
+            run.mean_outstanding
+        );
     }
 
     #[test]

@@ -126,7 +126,9 @@ struct ThreadGen {
 impl ThreadGen {
     fn new(t: ThreadId, seed: u64) -> Self {
         let mut g = ThreadGen {
-            rng: SmallRng::seed_from_u64(seed ^ (t.index() as u64).wrapping_mul(0x2545_f491_4f6c_dd1d)),
+            rng: SmallRng::seed_from_u64(
+                seed ^ (t.index() as u64).wrapping_mul(0x2545_f491_4f6c_dd1d),
+            ),
             body_start: 0,
             body_len: 1,
             body_pos: 0,
@@ -425,7 +427,7 @@ impl TopazMachine {
         hook(&mut self.sys);
         self.sys.step();
         self.cycle += 1;
-        if self.cycle % 64 == 0 {
+        if self.cycle.is_multiple_of(64) {
             self.sweep_timeouts();
         }
     }
@@ -772,50 +774,114 @@ impl TopazMachine {
             }
             ThreadOp::Lock(m) => {
                 // Interlocked test-and-set traffic on the lock word.
-                e.refq.push_back(QueuedRef { addr: layout::mutex_word(m), write: false, gap_before: 0 });
-                e.refq.push_back(QueuedRef { addr: layout::mutex_word(m), write: true, gap_before: 0 });
+                e.refq.push_back(QueuedRef {
+                    addr: layout::mutex_word(m),
+                    write: false,
+                    gap_before: 0,
+                });
+                e.refq.push_back(QueuedRef {
+                    addr: layout::mutex_word(m),
+                    write: true,
+                    gap_before: 0,
+                });
                 e.commit = Commit::LockAttempt(m);
             }
             ThreadOp::Unlock(m) => {
-                e.refq.push_back(QueuedRef { addr: layout::mutex_word(m), write: true, gap_before: 0 });
+                e.refq.push_back(QueuedRef {
+                    addr: layout::mutex_word(m),
+                    write: true,
+                    gap_before: 0,
+                });
                 e.commit = Commit::Release(m);
             }
             ThreadOp::Wait(c) => {
-                e.refq.push_back(QueuedRef { addr: layout::cond_word(c), write: false, gap_before: 0 });
-                e.refq.push_back(QueuedRef { addr: layout::cond_word(c), write: true, gap_before: 0 });
+                e.refq.push_back(QueuedRef {
+                    addr: layout::cond_word(c),
+                    write: false,
+                    gap_before: 0,
+                });
+                e.refq.push_back(QueuedRef {
+                    addr: layout::cond_word(c),
+                    write: true,
+                    gap_before: 0,
+                });
                 e.commit = Commit::WaitBlock(c);
             }
             ThreadOp::Signal(c) => {
-                e.refq.push_back(QueuedRef { addr: layout::cond_word(c), write: false, gap_before: 0 });
-                e.refq.push_back(QueuedRef { addr: layout::cond_word(c), write: true, gap_before: 0 });
+                e.refq.push_back(QueuedRef {
+                    addr: layout::cond_word(c),
+                    write: false,
+                    gap_before: 0,
+                });
+                e.refq.push_back(QueuedRef {
+                    addr: layout::cond_word(c),
+                    write: true,
+                    gap_before: 0,
+                });
                 e.commit = Commit::SignalWake(c, false);
             }
             ThreadOp::Broadcast(c) => {
-                e.refq.push_back(QueuedRef { addr: layout::cond_word(c), write: false, gap_before: 0 });
-                e.refq.push_back(QueuedRef { addr: layout::cond_word(c), write: true, gap_before: 0 });
+                e.refq.push_back(QueuedRef {
+                    addr: layout::cond_word(c),
+                    write: false,
+                    gap_before: 0,
+                });
+                e.refq.push_back(QueuedRef {
+                    addr: layout::cond_word(c),
+                    write: true,
+                    gap_before: 0,
+                });
                 e.commit = Commit::SignalWake(c, true);
             }
             ThreadOp::Yield => {
-                e.refq.push_back(QueuedRef { addr: layout::sched_word(cpu as u32), write: false, gap_before: 0 });
+                e.refq.push_back(QueuedRef {
+                    addr: layout::sched_word(cpu as u32),
+                    write: false,
+                    gap_before: 0,
+                });
                 e.commit = Commit::YieldNow;
             }
             ThreadOp::SemP(sm) => {
-                e.refq.push_back(QueuedRef { addr: layout::sem_word(sm), write: false, gap_before: 0 });
-                e.refq.push_back(QueuedRef { addr: layout::sem_word(sm), write: true, gap_before: 0 });
+                e.refq.push_back(QueuedRef {
+                    addr: layout::sem_word(sm),
+                    write: false,
+                    gap_before: 0,
+                });
+                e.refq.push_back(QueuedRef {
+                    addr: layout::sem_word(sm),
+                    write: true,
+                    gap_before: 0,
+                });
                 e.commit = Commit::SemDown(sm);
             }
             ThreadOp::SemV(sm) => {
-                e.refq.push_back(QueuedRef { addr: layout::sem_word(sm), write: false, gap_before: 0 });
-                e.refq.push_back(QueuedRef { addr: layout::sem_word(sm), write: true, gap_before: 0 });
+                e.refq.push_back(QueuedRef {
+                    addr: layout::sem_word(sm),
+                    write: false,
+                    gap_before: 0,
+                });
+                e.refq.push_back(QueuedRef {
+                    addr: layout::sem_word(sm),
+                    write: true,
+                    gap_before: 0,
+                });
                 e.commit = Commit::SemUp(sm);
             }
             ThreadOp::Fork(sid) => {
                 // The Fork path touches the scheduler structures.
-                e.refq.push_back(QueuedRef { addr: layout::sched_word(64 + cpu as u32), write: true, gap_before: 0 });
+                e.refq.push_back(QueuedRef {
+                    addr: layout::sched_word(64 + cpu as u32),
+                    write: true,
+                    gap_before: 0,
+                });
                 e.commit = Commit::ForkChild(sid);
             }
             ThreadOp::JoinChildren => {
-                e.refq.push_back(QueuedRef { addr: layout::sched_word(128 + cpu as u32), write: false, gap_before: 0 });
+                e.refq.push_back(QueuedRef {
+                    addr: layout::sched_word(128 + cpu as u32),
+                    write: false,
+                    gap_before: 0,
+                });
                 e.commit = Commit::JoinWait;
             }
             ThreadOp::Exit => {
@@ -902,10 +968,7 @@ mod tests {
         assert!(m.all_exited());
         // Every CPU did work.
         for p in 0..4 {
-            assert!(
-                m.memory().cache_stats(PortId::new(p)).cpu_refs() > 1_000,
-                "CPU {p} sat idle"
-            );
+            assert!(m.memory().cache_stats(PortId::new(p)).cpu_refs() > 1_000, "CPU {p} sat idle");
         }
     }
 
@@ -1116,9 +1179,7 @@ mod tests {
             ]));
         }
         m.run(300_000);
-        let wt: u64 = (0..2)
-            .map(|p| m.memory().cache_stats(PortId::new(p)).wt_shared)
-            .sum();
+        let wt: u64 = (0..2).map(|p| m.memory().cache_stats(PortId::new(p)).wt_shared).sum();
         assert!(wt > 10, "shared writes must write through with MShared: {wt}");
     }
 

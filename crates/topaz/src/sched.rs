@@ -67,10 +67,7 @@ impl Scheduler {
 
     /// Makes a thread runnable.
     pub fn enqueue(&mut self, t: ThreadId, last_cpu: Option<usize>) {
-        debug_assert!(
-            !self.ready.iter().any(|&(q, _)| q == t),
-            "{t} enqueued twice"
-        );
+        debug_assert!(!self.ready.iter().any(|&(q, _)| q == t), "{t} enqueued twice");
         self.ready.push_back((t, last_cpu));
     }
 
@@ -97,10 +94,8 @@ impl Scheduler {
             MigrationPolicy::AvoidMigration => {
                 // Prefer an affine (or never-run) thread; otherwise steal
                 // only once patience runs out.
-                let affine = self
-                    .ready
-                    .iter()
-                    .position(|&(_, last)| last.is_none() || last == Some(cpu));
+                let affine =
+                    self.ready.iter().position(|&(_, last)| last.is_none() || last == Some(cpu));
                 match affine {
                     Some(i) => Some(i),
                     None if self.idle[cpu] >= self.steal_patience => Some(0),

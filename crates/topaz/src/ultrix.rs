@@ -119,11 +119,7 @@ pub fn syscall_comparison(
     }
     let native_cycles = native.cycle() as f64 / f64::from(calls);
 
-    SyscallComparison {
-        service_instructions,
-        emulated_cycles: emulated,
-        native_cycles,
-    }
+    SyscallComparison { service_instructions, emulated_cycles: emulated, native_cycles }
 }
 
 #[cfg(test)]

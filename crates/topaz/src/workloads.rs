@@ -35,7 +35,7 @@ pub fn parallel_make(cfg: TopazConfig, jobs: usize, instructions_per_job: u32) -
     ]));
     // make itself: parse the Makefile, fork the compilations, join, link.
     let mut driver = vec![ThreadOp::Compute { instructions: 50 }];
-    driver.extend(std::iter::repeat(ThreadOp::Fork(compile)).take(jobs));
+    driver.extend(std::iter::repeat_n(ThreadOp::Fork(compile), jobs));
     driver.push(ThreadOp::JoinChildren);
     driver.push(ThreadOp::Compute { instructions: 100 }); // "link"
     driver.push(ThreadOp::Exit);
@@ -61,11 +61,16 @@ pub fn parallel_make_elapsed(cfg: TopazConfig, jobs: usize, instructions_per_job
 
 /// The make speedup curve: elapsed single-CPU time over elapsed
 /// `cpus`-CPU time for the same job set.
-pub fn parallel_make_speedup(jobs: usize, instructions_per_job: u32, cpus: &[usize]) -> Vec<(usize, f64)> {
+pub fn parallel_make_speedup(
+    jobs: usize,
+    instructions_per_job: u32,
+    cpus: &[usize],
+) -> Vec<(usize, f64)> {
     let base = parallel_make_elapsed(TopazConfig::microvax(1), jobs, instructions_per_job) as f64;
     cpus.iter()
         .map(|&n| {
-            let t = parallel_make_elapsed(TopazConfig::microvax(n), jobs, instructions_per_job) as f64;
+            let t =
+                parallel_make_elapsed(TopazConfig::microvax(n), jobs, instructions_per_job) as f64;
             (n, base / t)
         })
         .collect()

@@ -212,10 +212,7 @@ mod tests {
             150_000,
             300_000,
         );
-        assert!(
-            pts[1].miss_rate < pts[0].miss_rate,
-            "16-byte lines beat 4-byte at 16 KB: {pts:?}"
-        );
+        assert!(pts[1].miss_rate < pts[0].miss_rate, "16-byte lines beat 4-byte at 16 KB: {pts:?}");
     }
 
     /// The calibration targets reproduce through this instrument too:
@@ -223,12 +220,8 @@ mod tests {
     #[test]
     fn paper_calibration_visible() {
         let mut s = stream();
-        let pts = miss_ratio_curve(
-            &mut s,
-            &[CacheGeometry::new(4096, 1).unwrap()],
-            200_000,
-            400_000,
-        );
+        let pts =
+            miss_ratio_curve(&mut s, &[CacheGeometry::new(4096, 1).unwrap()], 200_000, 400_000);
         assert!((0.15..=0.25).contains(&pts[0].miss_rate), "{}", pts[0]);
         // TagSim is pure write-back (a line written once stays dirty), so
         // its D runs above the Firefly protocol's 0.25 — write-throughs

@@ -127,7 +127,10 @@ mod tests {
             let b = r.addr.byte();
             let private = (crate::synth::PRIVATE_BASE.byte()..).contains(&b);
             if private {
-                assert_eq!((b - crate::synth::PRIVATE_BASE.byte()) / PRIVATE_STRIDE, (base - crate::synth::PRIVATE_BASE.byte()) / PRIVATE_STRIDE);
+                assert_eq!(
+                    (b - crate::synth::PRIVATE_BASE.byte()) / PRIVATE_STRIDE,
+                    (base - crate::synth::PRIVATE_BASE.byte()) / PRIVATE_STRIDE
+                );
             }
         }
     }
@@ -148,7 +151,8 @@ mod tests {
                 let r = stream.next_ref();
                 sim.access(0, r.kind.proc_op(), r.addr);
             }
-            (sim.stats().misses() - warm.misses()) as f64 / (sim.stats().refs() - warm.refs()) as f64
+            (sim.stats().misses() - warm.misses()) as f64
+                / (sim.stats().refs() - warm.refs()) as f64
         };
         let mut single = SyntheticWorkload::fleet(1, params, 3).remove(0);
         let m_single = measure(&mut single);

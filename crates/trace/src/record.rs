@@ -99,10 +99,8 @@ impl Trace {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            t.entries.push(parse_line(line).map_err(|what| ParseTraceError {
-                line: lineno + 1,
-                what,
-            })?);
+            t.entries
+                .push(parse_line(line).map_err(|what| ParseTraceError { line: lineno + 1, what })?);
         }
         Ok(t)
     }
@@ -177,11 +175,8 @@ impl<'a> IntoIterator for &'a Trace {
 
 fn parse_line(line: &str) -> Result<TraceEntry, String> {
     let mut it = line.split_whitespace();
-    let cpu: u8 = it
-        .next()
-        .ok_or("missing cpu field")?
-        .parse()
-        .map_err(|_| "bad cpu field".to_string())?;
+    let cpu: u8 =
+        it.next().ok_or("missing cpu field")?.parse().map_err(|_| "bad cpu field".to_string())?;
     let kind_str = it.next().ok_or("missing kind field")?;
     let kind = kind_str
         .chars()

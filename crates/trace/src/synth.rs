@@ -116,7 +116,9 @@ impl LocalityParams {
                 return Err(format!("{name} must be in [0,1], got {p}"));
             }
         }
-        for (name, m) in [("mean_body_words", self.mean_body_words), ("mean_iterations", self.mean_iterations)] {
+        for (name, m) in
+            [("mean_body_words", self.mean_body_words), ("mean_iterations", self.mean_iterations)]
+        {
             if m < 1.0 {
                 return Err(format!("{name} must be >= 1, got {m}"));
             }
@@ -250,7 +252,15 @@ impl SyntheticWorkload {
                 let cold = Addr::new(
                     base + (params.instr_region_words + params.hot_words + params.warm_words) * 4,
                 );
-                SyntheticWorkload::new(params, instr, hot, warm, cold, SHARED_BASE, seed ^ (cpu as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                SyntheticWorkload::new(
+                    params,
+                    instr,
+                    hot,
+                    warm,
+                    cold,
+                    SHARED_BASE,
+                    seed ^ (cpu as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                )
             })
             .collect()
     }

@@ -25,7 +25,10 @@ fn main() -> Result<(), firefly::core::Error> {
     for (i, chunk) in text.chunks(4).enumerate() {
         let mut w = [0u8; 4];
         w[..chunk.len()].copy_from_slice(chunk);
-        sys.run_to_completion(cpu, Request::write(text_addr.add_words(i as u32), u32::from_be_bytes(w)))?;
+        sys.run_to_completion(
+            cpu,
+            Request::write(text_addr.add_words(i as u32), u32::from_be_bytes(w)),
+        )?;
     }
 
     // Enqueue three commands: clear a band, draw a filled box, paint text.

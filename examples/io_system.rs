@@ -62,8 +62,6 @@ fn main() -> Result<(), firefly::core::Error> {
             run.threads, run.payload_mbps, run.mean_outstanding
         );
     }
-    println!(
-        "  paper: \"4.6 megabits per second using an average of three concurrent threads\""
-    );
+    println!("  paper: \"4.6 megabits per second using an average of three concurrent threads\"");
     Ok(())
 }

@@ -30,10 +30,7 @@ fn main() {
         m.stats().dispatches
     );
     for p in 0..3 {
-        println!(
-            "  CPU {p}: {:>8} references",
-            m.memory().cache_stats(PortId::new(p)).cpu_refs()
-        );
+        println!("  CPU {p}: {:>8} references", m.memory().cache_stats(PortId::new(p)).cpu_refs());
     }
 
     println!("\n=== concurrent garbage collection (§6) ===\n");

@@ -18,7 +18,8 @@ fn processors_and_io_share_the_machine() {
     {
         let io = m.io_mut().unwrap();
         for lba in 0..4 {
-            io.disk_mut().submit(DiskRequest::Read { lba, addr: Addr::new(0x0050_0000 + lba * 512) });
+            io.disk_mut()
+                .submit(DiskRequest::Read { lba, addr: Addr::new(0x0050_0000 + lba * 512) });
         }
         io.deqna_mut().enqueue_tx(Addr::new(0x0052_0000), 512);
         io.deqna_mut().kick();

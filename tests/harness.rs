@@ -1,0 +1,118 @@
+//! Deterministic-replay tests for the parallel experiment harness: the
+//! same experiment grid must produce bit-identical results (values *and*
+//! ordering) at any worker-pool width.
+
+use firefly::core::{CacheGeometry, ProtocolKind};
+use firefly::sim::harness::{run_experiments_with, run_jobs_with, ExperimentSpec};
+use firefly::sim::sweep::{format_sweep, scaling_sweep_on};
+use serde::Serialize;
+
+/// A mixed grid: varying CPU counts, protocols, geometries, and seeds.
+fn mixed_grid() -> Vec<ExperimentSpec> {
+    let mut specs = Vec::new();
+    for cpus in [1usize, 2, 3] {
+        specs.push(ExperimentSpec::new(format!("np{cpus}"), cpus).seed(11).window(10_000, 20_000));
+    }
+    for kind in [ProtocolKind::Dragon, ProtocolKind::Illinois, ProtocolKind::WriteOnce] {
+        specs.push(
+            ExperimentSpec::new(format!("{kind:?}"), 2)
+                .protocol(kind)
+                .seed(23)
+                .window(10_000, 20_000),
+        );
+    }
+    specs.push(
+        ExperimentSpec::new("big-cache", 2)
+            .cache(CacheGeometry::new(16384, 1).unwrap())
+            .seed(31)
+            .window(10_000, 20_000),
+    );
+    specs
+}
+
+/// Bit-identical `ExperimentResult`s — including their order — at one
+/// worker versus many, and again on a repeated parallel run (no
+/// run-to-run scheduling sensitivity).
+#[test]
+fn experiment_grid_is_bit_identical_across_worker_counts() {
+    let serial = run_experiments_with(1, mixed_grid());
+    let parallel = run_experiments_with(8, mixed_grid());
+    let parallel_again = run_experiments_with(3, mixed_grid());
+
+    let a: Vec<_> = serial.results().collect();
+    let b: Vec<_> = parallel.results().collect();
+    let c: Vec<_> = parallel_again.results().collect();
+    assert_eq!(a, b, "1 worker vs 8 workers diverged");
+    assert_eq!(b, c, "8 workers vs 3 workers diverged");
+
+    // The deterministic payload serializes identically too.
+    for (x, y) in serial.jobs.iter().zip(&parallel.jobs) {
+        assert_eq!(x.result.to_json(), y.result.to_json());
+    }
+}
+
+/// The acceptance benchmark: a scaling sweep over 1..=8 CPUs renders a
+/// byte-identical Table-1 block at 1 worker and N workers, while the
+/// harness reports its own throughput counters.
+#[test]
+fn scaling_sweep_formats_identically_at_any_width() {
+    let counts: Vec<usize> = (1..=8).collect();
+    let serial = scaling_sweep_on(1, &counts, ProtocolKind::Firefly, 42, 40_000, 80_000);
+    let parallel = scaling_sweep_on(8, &counts, ProtocolKind::Firefly, 42, 40_000, 80_000);
+
+    assert_eq!(
+        format_sweep(&serial.points),
+        format_sweep(&parallel.points),
+        "formatted sweep must be byte-identical at 1 vs 8 workers"
+    );
+
+    // The harness accounts for its own execution: wall time, per-job
+    // busy time, and the speedup it achieved.
+    for run in [&serial, &parallel] {
+        assert!(run.harness.wall_ns > 0);
+        assert!(run.harness.speedup > 0.0);
+        let total = run.harness.total_host();
+        assert!(total.instructions > 0, "jobs report instruction counts");
+        assert!(total.wall_ns >= run.harness.jobs.len() as u64, "jobs report wall time");
+        assert!(total.instructions_per_sec() > 0.0);
+    }
+    assert_eq!(serial.harness.workers, 1);
+    assert_eq!(parallel.harness.workers, 8);
+    // With a single worker the pool adds no concurrency: busy ≈ wall,
+    // so the measured speedup cannot meaningfully exceed 1.
+    assert!(serial.harness.speedup < 1.5, "serial speedup {:.2}", serial.harness.speedup);
+}
+
+/// The generic pool preserves submission order even when later jobs
+/// finish long before earlier ones.
+#[test]
+fn job_order_is_submission_order_not_completion_order() {
+    // Front-load the expensive jobs so cheap ones finish first.
+    let jobs: Vec<u64> = (0..32).map(|i| if i < 4 { 400_000 } else { 100 }).collect();
+    let results = run_jobs_with(8, &jobs, |&n| {
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        (n, acc)
+    });
+    for (i, (n, _)) in results.iter().enumerate() {
+        assert_eq!(*n, jobs[i], "slot {i} holds the wrong job's result");
+    }
+}
+
+/// `FIREFLY_JOBS` is read by `worker_count`, but an explicit width in
+/// `run_experiments_with` always wins — so tests pinning widths are
+/// immune to the environment.
+#[test]
+fn explicit_width_overrides_environment() {
+    let run = run_experiments_with(
+        2,
+        vec![
+            ExperimentSpec::new("w", 1).window(2_000, 4_000),
+            ExperimentSpec::new("x", 1).seed(5).window(2_000, 4_000),
+        ],
+    );
+    assert_eq!(run.workers, 2);
+    assert_eq!(run.jobs.len(), 2);
+}

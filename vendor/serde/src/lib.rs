@@ -1,0 +1,212 @@
+//! A vendored, dependency-free stand-in for `serde`, used because this
+//! build environment has no access to crates.io.
+//!
+//! It deliberately collapses serde's serializer abstraction to the one
+//! format this workspace emits — JSON:
+//!
+//! * [`Serialize`] has a single method, [`Serialize::serialize_json`],
+//!   which appends the value's JSON encoding to a buffer.
+//!   [`Serialize::to_json`] is the convenience entry point.
+//! * [`Deserialize`] is a marker trait (nothing in the workspace parses;
+//!   the derive exists so `#[derive(Deserialize)]` keeps compiling).
+//! * `#[derive(Serialize, Deserialize)]` comes from the sibling
+//!   `serde_derive` stub: structs become JSON objects, newtype structs
+//!   are transparent, tuple structs become arrays, and enums are encoded
+//!   as their `Debug` rendering in a JSON string (all derived enums in
+//!   this workspace are field-less, where `Debug` equals the variant
+//!   name — exactly serde's external representation).
+//!
+//! Non-finite floats (`Measurement::read_write_ratio` can be `inf`)
+//! encode as `null`, matching `serde_json`'s behaviour.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can append their JSON encoding to a buffer.
+pub trait Serialize {
+    /// Appends this value's JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut String);
+
+    /// This value's JSON encoding as an owned string.
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.serialize_json(&mut s);
+        s
+    }
+}
+
+/// Marker for types that claim a deserializable wire shape.
+pub trait Deserialize: Sized {}
+
+macro_rules! int_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(&mut [0u8; 40], *self as i128));
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+int_serialize!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Formats an integer without allocating (shared by every int impl).
+fn itoa_buf(buf: &mut [u8; 40], mut v: i128) -> &str {
+    let neg = v < 0;
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10).unsigned_abs() as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if neg {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    std::str::from_utf8(&buf[i..]).expect("ascii digits")
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_f64(out, *self);
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_f64(out, f64::from(*self));
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_str(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_str(out, self);
+    }
+}
+impl Deserialize for String {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.serialize_json(out),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+/// JSON encoding primitives used by the derive expansion.
+pub mod json {
+    use std::fmt::Write as _;
+
+    /// Writes `s` as a JSON string literal (quoted, escaped).
+    pub fn write_str(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Writes a float; non-finite values encode as `null` (JSON has no
+    /// `Infinity`/`NaN`), matching `serde_json`.
+    pub fn write_f64(out: &mut String, v: f64) {
+        if v.is_finite() {
+            // `{:?}` is Rust's shortest round-trip float formatting.
+            let _ = write!(out, "{v:?}");
+        } else {
+            out.push_str("null");
+        }
+    }
+
+    /// Writes `value`'s `Debug` rendering as a JSON string (the derive's
+    /// encoding for enums).
+    pub fn write_debug_str(out: &mut String, value: &dyn std::fmt::Debug) {
+        write_str(out, &format!("{value:?}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    #[test]
+    fn primitives_encode() {
+        assert_eq!(42u32.to_json(), "42");
+        assert_eq!((-7i32).to_json(), "-7");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(f64::INFINITY.to_json(), "null");
+        assert_eq!("a\"b\n".to_json(), "\"a\\\"b\\n\"");
+        assert_eq!(vec![1u32, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!(Option::<u32>::None.to_json(), "null");
+        assert_eq!(Some(3u32).to_json(), "3");
+    }
+
+    #[test]
+    fn extreme_ints_encode() {
+        assert_eq!(u64::MAX.to_json(), u64::MAX.to_string());
+        assert_eq!(i64::MIN.to_json(), i64::MIN.to_string());
+    }
+}

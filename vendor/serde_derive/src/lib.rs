@@ -1,0 +1,221 @@
+//! Vendored stand-in for `serde_derive` (no crates.io access in this
+//! build environment). Implements `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` against the vendored `serde` stub with a
+//! hand-rolled token walk instead of `syn`:
+//!
+//! * named-field structs → JSON objects (field order preserved);
+//! * newtype structs → transparent (the inner value's encoding);
+//! * other tuple structs → JSON arrays;
+//! * unit structs → `null`;
+//! * enums → the `Debug` rendering in a JSON string (all derived enums
+//!   in this workspace are field-less, where that equals serde's
+//!   external tagging);
+//! * `Deserialize` → an empty marker impl.
+//!
+//! Generic types are not supported (the workspace derives none).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the token walk learned about the deriving type.
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// `struct S { a: _, b: _ }` — field names in declaration order.
+    Struct(Vec<String>),
+    /// `struct S(_, _);` — arity.
+    Tuple(usize),
+    /// `struct S;`
+    Unit,
+    /// Any `enum`.
+    Enum,
+}
+
+/// Skips one attribute (`#` already consumed ⇒ expect `[...]`).
+fn skip_attr_body<I: Iterator<Item = TokenTree>>(iter: &mut I) {
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+        other => panic!("expected attribute body, found {other:?}"),
+    }
+}
+
+fn parse(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    // Outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                skip_attr_body(&mut iter);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                // `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(&iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("the vendored serde_derive does not support generic type `{name}`");
+    }
+    let kind = match keyword.as_str() {
+        "enum" => Kind::Enum,
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        kw => panic!("cannot derive for `{kw}`"),
+    };
+    Input { name, kind }
+}
+
+/// Field names of a braced struct body: skip attributes and visibility,
+/// take the ident before each top-level `:`, then skip to the comma.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Leading attributes / visibility of the next field.
+        match iter.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                skip_attr_body(&mut iter);
+                continue;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => panic!("expected field name, found {other:?}"),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        // Skip the type: in a *token tree* walk, generics' `<`/`>` are
+        // plain puncts, but commas inside them only occur within
+        // `Group`s for the types this workspace derives (no bare
+        // `HashMap<K, V>` fields). Track angle depth to stay safe.
+        let mut angle = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => {
+                    iter.next();
+                    break;
+                }
+                _ => {}
+            }
+            iter.next();
+        }
+    }
+    fields
+}
+
+/// Arity of a tuple-struct body: count top-level commas.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut saw_any = false;
+    let mut angle = 0i32;
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                arity += 1;
+                saw_any = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_any = true;
+    }
+    arity + usize::from(saw_any)
+}
+
+/// `#[derive(Serialize)]`: emits a JSON-rendering `serde::Serialize`
+/// impl as described in the crate docs.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Input { name, kind } = parse(input);
+    let body = match kind {
+        Kind::Struct(fields) => {
+            let mut b = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                b.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                     ::serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            b.push_str("out.push('}');");
+            b
+        }
+        Kind::Tuple(1) => "::serde::Serialize::serialize_json(&self.0, out);".to_string(),
+        Kind::Tuple(n) => {
+            let mut b = String::from("out.push('[');\n");
+            for i in 0..n {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                b.push_str(&format!("::serde::Serialize::serialize_json(&self.{i}, out);\n"));
+            }
+            b.push_str("out.push(']');");
+            b
+        }
+        Kind::Unit => "out.push_str(\"null\");".to_string(),
+        Kind::Enum => "::serde::json::write_debug_str(out, self);".to_string(),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut String) {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]`: emits the marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Input { name, .. } = parse(input);
+    format!("#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
