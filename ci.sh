@@ -22,4 +22,7 @@ cargo test -q
 echo "== cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "== fault_sweep --smoke"
+cargo run --release -p firefly-bench --bin fault_sweep -- --smoke
+
 echo "ci.sh: all checks passed"

@@ -1,0 +1,235 @@
+//! Fault-injection sweep: fault rate × coherence protocol on the
+//! full-system simulator, with the recovery machinery turned on.
+//!
+//! The Firefly's hardware fault story is thin but real: "the M-bus and
+//! the memory are protected by parity" (§2), `MShared` is a wired-OR
+//! that any card can glitch, and the QBus devices time out and retry.
+//! This sweep injects a *correctable-only* plan — bus parity, dropped
+//! and spurious `MShared`, arbitration stalls, single-bit ECC, tag
+//! parity — at increasing rates across all six protocols and reports
+//! what the recovery paths absorbed: corrections, scrubs, bus retries,
+//! and the throughput cost relative to the fault-free baseline. A
+//! second section turns on double-bit ECC (uncorrectable) and shows the
+//! machine shedding processors instead of crashing.
+//!
+//! Flags: `--seed N` reseeds every fault plan (the sweep is a pure
+//! function of the seed — same seed, bit-identical output for any
+//! worker count); `--smoke` shrinks the windows for CI; `--json` emits
+//! the grid as one JSON document.
+
+use firefly_bench::report;
+use firefly_core::fault::FaultConfig;
+use firefly_core::protocol::ProtocolKind;
+use firefly_core::stats::FaultStats;
+use firefly_sim::harness::run_jobs;
+use firefly_sim::machine::FireflyBuilder;
+use serde::Serialize;
+
+/// One (protocol, rate) cell of the sweep grid.
+#[derive(Clone, Debug, Serialize)]
+struct SweepCell {
+    protocol: ProtocolKind,
+    rate_ppm: u32,
+    injected: u64,
+    recovered: u64,
+    corrected: u64,
+    scrubs: u64,
+    bus_retries: u64,
+    parity_errors: u64,
+    uncorrected: u64,
+    instructions: u64,
+    /// Instructions relative to the same protocol's zero-rate run.
+    throughput_ratio: f64,
+}
+
+/// The uncorrectable-fault demonstration: graceful degradation.
+#[derive(Clone, Debug, Serialize)]
+struct DegradeCell {
+    rate_ppm: u32,
+    uncorrected: u64,
+    cpus_offlined: u64,
+    online: usize,
+    errors: usize,
+    instructions: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct SweepReport {
+    seed: u64,
+    cpus: usize,
+    warmup: u64,
+    window: u64,
+    sweep: Vec<SweepCell>,
+    degradation: Vec<DegradeCell>,
+}
+
+const CPUS: usize = 4;
+
+/// Derives a per-cell plan seed so no two cells share fault streams.
+fn cell_seed(base: u64, proto: usize, rate: u32) -> u64 {
+    base ^ (proto as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ u64::from(rate).rotate_left(17)
+}
+
+/// Runs one cell and returns (fault stats, instructions in the window).
+fn run_cell(
+    plan: FaultConfig,
+    protocol: ProtocolKind,
+    warmup: u64,
+    window: u64,
+) -> (FaultStats, u64) {
+    let mut m =
+        FireflyBuilder::microvax(CPUS).protocol(protocol).seed(0xf1ef1e).faults(plan).build();
+    m.run(warmup);
+    let before: u64 = m.processors().iter().map(|p| p.stats().instructions).sum();
+    let warm = m.fault_stats();
+    m.run(window);
+    let after: u64 = m.processors().iter().map(|p| p.stats().instructions).sum();
+    (m.fault_stats().delta(&warm), after - before)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut seed = 0x00f1_f0fa_u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--seed" {
+            let v = it.next().expect("--seed takes a value");
+            seed = parse_seed(v);
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            seed = parse_seed(v);
+        }
+    }
+
+    let (warmup, window) = if smoke { (2_000, 6_000) } else { (20_000, 60_000) };
+    let rates: &[u32] = if smoke { &[0, 50_000] } else { &[0, 1_000, 10_000, 50_000] };
+
+    // Every (protocol, rate) cell is an independent machine: fan out.
+    let grid: Vec<(usize, ProtocolKind, u32)> = ProtocolKind::ALL
+        .into_iter()
+        .enumerate()
+        .flat_map(|(pi, k)| rates.iter().map(move |&r| (pi, k, r)))
+        .collect();
+    let raw = run_jobs(&grid, |&(pi, kind, rate)| {
+        let plan = FaultConfig::correctable(cell_seed(seed, pi, rate), rate);
+        run_cell(plan, kind, warmup, window)
+    });
+
+    // The zero-rate cell of each protocol is its throughput baseline.
+    let mut cells = Vec::new();
+    for (pi, kind) in ProtocolKind::ALL.into_iter().enumerate() {
+        let base_instr = raw[pi * rates.len()].1.max(1);
+        for (ri, &rate) in rates.iter().enumerate() {
+            let (f, instr) = &raw[pi * rates.len() + ri];
+            cells.push(SweepCell {
+                protocol: kind,
+                rate_ppm: rate,
+                injected: f.total_injected(),
+                recovered: f.total_recovered(),
+                corrected: f.ecc_corrected,
+                scrubs: f.scrubs,
+                bus_retries: f.bus_retries,
+                parity_errors: f.parity_errors,
+                uncorrected: f.ecc_uncorrected,
+                instructions: *instr,
+                throughput_ratio: *instr as f64 / base_instr as f64,
+            });
+        }
+    }
+
+    // Graceful degradation: double-bit ECC offlines processors, the
+    // survivors keep executing.
+    let degrade_rates: &[u32] = if smoke { &[1_000] } else { &[200, 1_000] };
+    let degradation = run_jobs(degrade_rates, |&rate| {
+        let plan = FaultConfig {
+            seed: seed ^ 0xdead_beef,
+            ecc_double_ppm: rate,
+            ..FaultConfig::default()
+        };
+        let mut m = FireflyBuilder::microvax(CPUS).seed(0xf1ef1e).faults(plan).build();
+        m.run(warmup + window);
+        let f = m.fault_stats();
+        DegradeCell {
+            rate_ppm: rate,
+            uncorrected: f.ecc_uncorrected,
+            cpus_offlined: f.cpus_offlined,
+            online: m.memory().online_count(),
+            errors: m.drain_fault_errors().len(),
+            instructions: m.processors().iter().map(|p| p.stats().instructions).sum(),
+        }
+    });
+
+    if report::json_requested() {
+        report::emit_json(&SweepReport {
+            seed,
+            cpus: CPUS,
+            warmup,
+            window,
+            sweep: cells,
+            degradation,
+        });
+        return;
+    }
+
+    report::section(&format!(
+        "fault sweep: correctable plan x protocol ({CPUS} CPUs, seed {seed:#x}, {window} cycles)"
+    ));
+    println!(
+        "  {:<14} {:>9} {:>9} {:>10} {:>9} {:>8} {:>8} {:>7} {:>12}",
+        "protocol",
+        "rate ppm",
+        "injected",
+        "recovered",
+        "ecc corr",
+        "scrubs",
+        "retries",
+        "parity",
+        "throughput"
+    );
+    for c in &cells {
+        println!(
+            "  {:<14} {:>9} {:>9} {:>10} {:>9} {:>8} {:>8} {:>7} {:>11.1}%",
+            c.protocol.name(),
+            c.rate_ppm,
+            c.injected,
+            c.recovered,
+            c.corrected,
+            c.scrubs,
+            c.bus_retries,
+            c.parity_errors,
+            c.throughput_ratio * 100.0,
+        );
+        assert_eq!(c.uncorrected, 0, "a correctable-only plan never loses data");
+    }
+    println!(
+        "\nreading: every injected fault is paired with a recovery — single-bit ECC is\n\
+         corrected and scrubbed, parity and MShared glitches retry the bus transaction\n\
+         with bounded backoff, tag flips invalidate-and-refetch. Throughput bends, it\n\
+         does not break."
+    );
+
+    report::section("graceful degradation: double-bit ECC offlines the initiator");
+    println!(
+        "  {:>9} {:>12} {:>9} {:>7} {:>7} {:>13}",
+        "rate ppm", "uncorrected", "offlined", "online", "errors", "instructions"
+    );
+    for d in &degradation {
+        println!(
+            "  {:>9} {:>12} {:>9} {:>7} {:>7} {:>13}",
+            d.rate_ppm, d.uncorrected, d.cpus_offlined, d.online, d.errors, d.instructions
+        );
+        assert!(d.instructions > 0, "the machine keeps executing while degraded");
+    }
+    println!(
+        "\nreading: each uncorrectable word machine-checks the consuming processor — the\n\
+         {CPUS}-CPU machine sheds it and degrades to the survivors rather than crashing,\n\
+         the multiprocessor counterpart of the paper's parity-protected MBus and memory."
+    );
+}
+
+fn parse_seed(v: &str) -> u64 {
+    let v = v.trim();
+    let parsed =
+        if let Some(hex) = v.strip_prefix("0x") { u64::from_str_radix(hex, 16) } else { v.parse() };
+    parsed.unwrap_or_else(|_| panic!("--seed wants an integer, got {v:?}"))
+}

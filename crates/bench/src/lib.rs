@@ -25,6 +25,7 @@
 //! | `parallel_make` | §6 — the parallel make speedup curve |
 //! | `file_streaming` | §6 — file-system read-ahead depth vs throughput |
 //! | `syscall_emulation` | footnote 5 — Ultrix emulation overhead vs service length |
+//! | `fault_sweep` | §2 robustness — fault rate × protocol, recovery counters, N→N−1 degradation |
 //!
 //! The Criterion microbenchmarks (`cargo bench -p firefly-bench`) cover
 //! the simulator's own hot paths: protocol decision tables, the cycle

@@ -12,6 +12,7 @@
 //! | MBus | 10 MB/s, 400 ns per 4-byte transfer | unchanged |
 
 use crate::error::Error;
+use crate::fault::FaultConfig;
 use serde::{Deserialize, Serialize};
 
 /// The largest line size (in words) the simulator supports.
@@ -200,6 +201,7 @@ pub struct SystemConfig {
     cache: CacheGeometry,
     memory_bytes: u64,
     trace_bus: bool,
+    faults: FaultConfig,
 }
 
 impl SystemConfig {
@@ -216,6 +218,7 @@ impl SystemConfig {
             cache: CacheGeometry::microvax(),
             memory_bytes: 16 << 20,
             trace_bus: false,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -232,6 +235,7 @@ impl SystemConfig {
             cache: CacheGeometry::cvax(),
             memory_bytes: 128 << 20,
             trace_bus: false,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -268,6 +272,15 @@ impl SystemConfig {
         self
     }
 
+    /// Installs a fault-injection plan (see [`crate::fault`]).
+    ///
+    /// The default plan has every rate at zero, which leaves the system
+    /// bit-identical to one built without this call.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// The hardware generation.
     pub const fn variant(&self) -> MachineVariant {
         self.variant
@@ -291,6 +304,11 @@ impl SystemConfig {
     /// Whether bus-event tracing is enabled.
     pub const fn trace_bus(&self) -> bool {
         self.trace_bus
+    }
+
+    /// The fault-injection plan (all rates zero by default).
+    pub const fn faults(&self) -> FaultConfig {
+        self.faults
     }
 
     /// Number of memory modules implied by the memory size.
@@ -363,6 +381,15 @@ mod tests {
         assert_eq!(cfg.memory_modules(), 4);
         let cfg = SystemConfig::cvax(4).with_memory_mb(128);
         assert_eq!(cfg.memory_modules(), 4);
+    }
+
+    #[test]
+    fn fault_plan_defaults_off_and_installs() {
+        let cfg = SystemConfig::microvax(2);
+        assert!(cfg.faults().is_disabled());
+        let cfg = cfg.with_faults(crate::fault::FaultConfig::correctable(9, 100));
+        assert_eq!(cfg.faults().seed, 9);
+        assert_eq!(cfg.faults().ecc_single_ppm, 100);
     }
 
     #[test]

@@ -23,6 +23,21 @@ pub enum Error {
     /// The simulator detected a coherence violation (a bug, or a
     /// deliberately broken protocol under test).
     CoherenceViolation(String),
+    /// An MBus transaction failed its parity check even after the bounded
+    /// retry sequence (the real machine checked parity on the MBus, §2).
+    BusParity,
+    /// A double-bit memory error that ECC could detect but not correct.
+    EccUncorrectable {
+        /// The address whose data was lost.
+        addr: crate::Addr,
+    },
+    /// A device-level operation exhausted its timeout/retry budget.
+    DeviceTimeout {
+        /// The device that timed out (e.g. `"dma"`, `"rqdx3"`).
+        device: &'static str,
+    },
+    /// The addressed port has been offlined after an unrecoverable fault.
+    PortOffline(crate::PortId),
 }
 
 impl fmt::Display for Error {
@@ -35,6 +50,14 @@ impl fmt::Display for Error {
             Error::PortBusy(p) => write!(f, "port {p} already has an outstanding request"),
             Error::NoSuchPort(p) => write!(f, "port {p} does not exist in this system"),
             Error::CoherenceViolation(msg) => write!(f, "coherence violation: {msg}"),
+            Error::BusParity => write!(f, "MBus parity error persisted past the retry limit"),
+            Error::EccUncorrectable { addr } => {
+                write!(f, "uncorrectable (double-bit) memory error at {addr}")
+            }
+            Error::DeviceTimeout { device } => {
+                write!(f, "device {device} timed out past its retry budget")
+            }
+            Error::PortOffline(p) => write!(f, "port {p} has been offlined"),
         }
     }
 }
@@ -52,6 +75,11 @@ mod tests {
         assert_eq!(e.to_string(), "address 0x02000000 is beyond installed memory (16 MB)");
         assert!(Error::PortBusy(PortId::new(3)).to_string().contains("P3"));
         assert!(Error::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(Error::BusParity.to_string().contains("parity"));
+        let e = Error::EccUncorrectable { addr: Addr::new(0x40) };
+        assert_eq!(e.to_string(), "uncorrectable (double-bit) memory error at 0x00000040");
+        assert!(Error::DeviceTimeout { device: "rqdx3" }.to_string().contains("rqdx3"));
+        assert!(Error::PortOffline(PortId::new(2)).to_string().contains("P2"));
     }
 
     #[test]

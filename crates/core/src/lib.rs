@@ -27,6 +27,10 @@
 //!   (Figure 4 of the paper).
 //! * [`memory`] — master/slave main-memory modules with a sparse backing
 //!   store (4 MB modules on the MicroVAX Firefly, 32 MB on the CVAX).
+//! * [`fault`] — a deterministic, seed-reproducible fault-injection plan
+//!   modelling the failure modes the real hardware guarded against (MBus
+//!   parity, `MShared` glitches, memory ECC, device timeouts), paired with
+//!   the recovery paths that keep the machine running.
 //! * [`system`] — the composition: N caches snooping one bus in front of
 //!   main memory, stepped one bus cycle at a time, with processor- and
 //!   DMA-side ports.
@@ -77,6 +81,7 @@ pub mod cache;
 pub mod check;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod memory;
 pub mod protocol;
 pub mod refsim;

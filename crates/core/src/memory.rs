@@ -13,6 +13,7 @@
 use crate::addr::{Addr, LineId};
 use crate::cache::LineData;
 use crate::error::Error;
+use crate::fault::EccInjector;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -41,6 +42,8 @@ pub struct Memory {
     writes: u64,
     /// Per-module (reads, writes) — module 0 is the master.
     module_traffic: Vec<(u64, u64)>,
+    /// Memory ECC fault model; `None` when injection is disabled.
+    ecc: Option<EccInjector>,
 }
 
 impl Memory {
@@ -67,7 +70,34 @@ impl Memory {
             reads: 0,
             writes: 0,
             module_traffic: vec![(0, 0); modules],
+            ecc: None,
         }
+    }
+
+    /// Installs the memory-side ECC fault model (see [`crate::fault`]).
+    /// A `None` injector (both ECC rates zero) leaves reads untouched.
+    pub fn install_ecc(&mut self, ecc: Option<EccInjector>) {
+        self.ecc = ecc;
+    }
+
+    /// Single-bit ECC events corrected in flight.
+    pub fn ecc_corrected(&self) -> u64 {
+        self.ecc.as_ref().map_or(0, EccInjector::corrected)
+    }
+
+    /// Double-bit ECC events detected but not correctable.
+    pub fn ecc_uncorrected(&self) -> u64 {
+        self.ecc.as_ref().map_or(0, EccInjector::uncorrected)
+    }
+
+    /// Scrubber rewrites performed after corrected events.
+    pub fn ecc_scrubs(&self) -> u64 {
+        self.ecc.as_ref().map_or(0, EccInjector::scrubs)
+    }
+
+    /// Takes the accumulated [`Error::EccUncorrectable`] records.
+    pub fn drain_ecc_errors(&mut self) -> Vec<Error> {
+        self.ecc.as_mut().map_or_else(Vec::new, EccInjector::drain_errors)
     }
 
     /// Number of storage modules.
@@ -113,15 +143,20 @@ impl Memory {
         }
     }
 
-    /// Reads the 32-bit word containing `addr`.
+    /// Reads the 32-bit word containing `addr`, filtered through the ECC
+    /// fault model when one is installed.
     pub fn read_word(&mut self, addr: Addr) -> u32 {
         self.reads += 1;
         let module = self.module_of(addr);
         self.module_traffic[module].0 += 1;
         let w = addr.word_index();
-        match self.pages.get(&(w / PAGE_WORDS as u32)) {
+        let word = match self.pages.get(&(w / PAGE_WORDS as u32)) {
             Some(page) => page[w as usize % PAGE_WORDS],
             None => 0,
+        };
+        match &mut self.ecc {
+            Some(ecc) => ecc.apply(addr, word),
+            None => word,
         }
     }
 
@@ -264,6 +299,26 @@ mod tests {
         assert_eq!(m.module_traffic(0), (0, 1));
         assert_eq!(m.module_traffic(1), (1, 1));
         assert_eq!(m.module_traffic(2), (0, 0));
+    }
+
+    #[test]
+    fn ecc_injection_hooks_into_reads() {
+        use crate::fault::{EccInjector, FaultConfig, PPM};
+        let mut m = Memory::new(1 << 20);
+        m.write_word(Addr::new(0x40), 0x1234);
+        let cfg = FaultConfig { seed: 1, ecc_single_ppm: PPM, ..FaultConfig::default() };
+        m.install_ecc(EccInjector::from_config(&cfg));
+        assert_eq!(m.read_word(Addr::new(0x40)), 0x1234, "single-bit events are corrected");
+        assert_eq!(m.ecc_corrected(), 1);
+        assert_eq!(m.ecc_scrubs(), 1);
+        assert!(m.drain_ecc_errors().is_empty());
+
+        let cfg = FaultConfig { seed: 1, ecc_double_ppm: PPM, ..FaultConfig::default() };
+        m.install_ecc(EccInjector::from_config(&cfg));
+        assert_ne!(m.read_word(Addr::new(0x40)), 0x1234, "double-bit events corrupt the word");
+        assert_eq!(m.ecc_uncorrected(), 1);
+        assert_eq!(m.drain_ecc_errors().len(), 1);
+        assert_eq!(m.peek_word(Addr::new(0x40)), 0x1234, "the stored cell is untouched");
     }
 
     #[test]

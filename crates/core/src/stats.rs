@@ -228,6 +228,114 @@ impl BusStats {
     }
 }
 
+/// Fault-injection and recovery counters (see [`crate::fault`]).
+///
+/// Each counter pairs an injected fault class with the recovery action
+/// that absorbed it, so a sweep can report *corrected / retried /
+/// uncorrected* totals the way the real machine's error logs would.
+///
+/// # Examples
+///
+/// ```
+/// use firefly_core::stats::FaultStats;
+///
+/// let mut f = FaultStats { ecc_corrected: 3, ..Default::default() };
+/// f += FaultStats { ecc_corrected: 2, bus_retries: 1, ..Default::default() };
+/// assert_eq!(f.ecc_corrected, 5);
+/// assert_eq!(f.total_injected(), 5, "retries are recoveries, not injections");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// `MShared` assertions lost on the wired-OR (detected, retried).
+    pub mshared_drops: u64,
+    /// Spurious `MShared` assertions (conservatively honored).
+    pub mshared_spurious: u64,
+    /// Arbitration grants withheld for a cycle.
+    pub arb_stalls: u64,
+    /// Data-cycle parity errors on MBus transfers.
+    pub parity_errors: u64,
+    /// MBus transactions aborted and reissued (parity or `MShared` drop).
+    pub bus_retries: u64,
+    /// Single-bit memory ECC events corrected in flight.
+    pub ecc_corrected: u64,
+    /// Double-bit memory ECC events (detected, not correctable).
+    pub ecc_uncorrected: u64,
+    /// Scrubber rewrites after corrected ECC events.
+    pub scrubs: u64,
+    /// Cache tag-parity hits recovered by invalidate-and-refetch.
+    pub tag_flips: u64,
+    /// DMA word transfers that timed out and backed off.
+    pub dma_timeouts: u64,
+    /// Device-level retries (DMA backoffs plus disk re-seeks).
+    pub device_retries: u64,
+    /// DEQNA receive packets dropped on the wire.
+    pub packets_dropped: u64,
+    /// RQDX3 soft read errors recovered by re-seeking.
+    pub disk_read_errors: u64,
+    /// Processors offlined after uncorrectable faults.
+    pub cpus_offlined: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected (every class, before recovery).
+    pub fn total_injected(&self) -> u64 {
+        self.mshared_drops
+            + self.mshared_spurious
+            + self.arb_stalls
+            + self.parity_errors
+            + self.ecc_corrected
+            + self.ecc_uncorrected
+            + self.tag_flips
+            + self.dma_timeouts
+            + self.packets_dropped
+            + self.disk_read_errors
+    }
+
+    /// Faults whose recovery fully restored the fault-free outcome.
+    pub fn total_recovered(&self) -> u64 {
+        self.total_injected() - self.ecc_uncorrected - self.packets_dropped
+    }
+
+    /// The counter increments since `earlier`.
+    pub fn delta(&self, earlier: &FaultStats) -> FaultStats {
+        FaultStats {
+            mshared_drops: self.mshared_drops - earlier.mshared_drops,
+            mshared_spurious: self.mshared_spurious - earlier.mshared_spurious,
+            arb_stalls: self.arb_stalls - earlier.arb_stalls,
+            parity_errors: self.parity_errors - earlier.parity_errors,
+            bus_retries: self.bus_retries - earlier.bus_retries,
+            ecc_corrected: self.ecc_corrected - earlier.ecc_corrected,
+            ecc_uncorrected: self.ecc_uncorrected - earlier.ecc_uncorrected,
+            scrubs: self.scrubs - earlier.scrubs,
+            tag_flips: self.tag_flips - earlier.tag_flips,
+            dma_timeouts: self.dma_timeouts - earlier.dma_timeouts,
+            device_retries: self.device_retries - earlier.device_retries,
+            packets_dropped: self.packets_dropped - earlier.packets_dropped,
+            disk_read_errors: self.disk_read_errors - earlier.disk_read_errors,
+            cpus_offlined: self.cpus_offlined - earlier.cpus_offlined,
+        }
+    }
+}
+
+impl AddAssign for FaultStats {
+    fn add_assign(&mut self, o: Self) {
+        self.mshared_drops += o.mshared_drops;
+        self.mshared_spurious += o.mshared_spurious;
+        self.arb_stalls += o.arb_stalls;
+        self.parity_errors += o.parity_errors;
+        self.bus_retries += o.bus_retries;
+        self.ecc_corrected += o.ecc_corrected;
+        self.ecc_uncorrected += o.ecc_uncorrected;
+        self.scrubs += o.scrubs;
+        self.tag_flips += o.tag_flips;
+        self.dma_timeouts += o.dma_timeouts;
+        self.device_retries += o.device_retries;
+        self.packets_dropped += o.packets_dropped;
+        self.disk_read_errors += o.disk_read_errors;
+        self.cpus_offlined += o.cpus_offlined;
+    }
+}
+
 /// Host-side performance counters for one simulation job: how fast the
 /// *simulator itself* ran, as opposed to what the simulated machine did.
 ///
@@ -324,6 +432,23 @@ mod tests {
         let s = BusStats { busy_cycles: 40, total_cycles: 100, ..Default::default() };
         assert!((s.load() - 0.4).abs() < 1e-12);
         assert_eq!(BusStats::default().load(), 0.0);
+    }
+
+    #[test]
+    fn fault_stats_totals_and_delta() {
+        let early = FaultStats { ecc_corrected: 2, bus_retries: 1, ..Default::default() };
+        let late = FaultStats {
+            ecc_corrected: 5,
+            ecc_uncorrected: 1,
+            bus_retries: 4,
+            packets_dropped: 2,
+            ..Default::default()
+        };
+        let d = late.delta(&early);
+        assert_eq!(d.ecc_corrected, 3);
+        assert_eq!(d.bus_retries, 3);
+        assert_eq!(late.total_injected(), 8);
+        assert_eq!(late.total_recovered(), 5);
     }
 
     #[test]

@@ -292,11 +292,15 @@ impl fmt::Debug for Processor {
 /// Runs `processors` against `sys` for `cycles` bus cycles.
 ///
 /// The canonical driver loop: each processor ticks once, then the memory
-/// system steps once.
+/// system steps once. Processors whose port has been machine-checked
+/// offline ([`MemSystem::offline_cpu`]) are frozen rather than ticked,
+/// so an N-CPU run degrades to N−1 instead of aborting.
 pub fn drive(processors: &mut [Processor], sys: &mut MemSystem, cycles: u64) {
     for _ in 0..cycles {
         for p in processors.iter_mut() {
-            p.tick(sys);
+            if sys.is_online(p.port()) {
+                p.tick(sys);
+            }
         }
         sys.step();
     }

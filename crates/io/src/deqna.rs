@@ -11,6 +11,7 @@
 //! routine." — modeled here by [`Deqna::kick`].
 
 use crate::dma::{DmaCompletion, DmaOp};
+use firefly_core::fault::{site, FaultConfig, FaultSite};
 use firefly_core::Addr;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -100,6 +101,18 @@ pub struct Deqna {
     /// Transmit-complete interrupt flag.
     tx_interrupt: bool,
     stats: DeqnaStats,
+    /// Wire-level packet-loss fault model.
+    faults: Option<WireFaults>,
+}
+
+/// Ethernet packet-loss fault state. Loss is inherently uncorrectable at
+/// this layer — retransmission belongs to the protocols above — so the
+/// controller only counts it.
+#[derive(Debug)]
+struct WireFaults {
+    site: FaultSite,
+    drop_ppm: u32,
+    dropped: u64,
 }
 
 impl Deqna {
@@ -116,7 +129,28 @@ impl Deqna {
             rx_interrupt: false,
             tx_interrupt: false,
             stats: DeqnaStats::default(),
+            faults: None,
         }
+    }
+
+    /// Installs the wire packet-loss fault model. A zero
+    /// `packet_drop_ppm` rate leaves the controller untouched.
+    pub fn install_faults(&mut self, cfg: &FaultConfig) {
+        self.faults = if cfg.packet_drop_ppm == 0 {
+            None
+        } else {
+            Some(WireFaults {
+                site: FaultSite::new(cfg.seed, site::DEQNA),
+                drop_ppm: cfg.packet_drop_ppm,
+                dropped: 0,
+            })
+        };
+    }
+
+    /// Packets lost on the simulated wire by the fault model (distinct
+    /// from [`DeqnaStats::rx_dropped`], buffer exhaustion).
+    pub fn wire_dropped(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.dropped)
     }
 
     /// Enqueues a transmit of `bytes` starting at `addr` (any processor
@@ -140,7 +174,15 @@ impl Deqna {
     }
 
     /// Delivers a packet from the wire (a peer model or test calls this).
+    /// The packet-loss fault model may eat it before the controller ever
+    /// sees it.
     pub fn deliver(&mut self, packet: Packet) {
+        if let Some(f) = &mut self.faults {
+            if f.site.fires(f.drop_ppm) {
+                f.dropped += 1;
+                return;
+            }
+        }
         self.rx_pending.push_back(packet);
     }
 
@@ -391,5 +433,26 @@ mod tests {
     fn empty_tx_rejected() {
         let mut d = Deqna::new();
         d.enqueue_tx(Addr::new(0), 0);
+    }
+
+    #[test]
+    fn wire_faults_drop_packets_before_the_controller() {
+        use firefly_core::fault::{FaultConfig, PPM};
+        let mut d = Deqna::new();
+        d.install_faults(&FaultConfig { seed: 2, packet_drop_ppm: PPM, ..Default::default() });
+        d.post_rx_buffer(Addr::new(0x8000), 128);
+        d.deliver(Packet::zeroed(12));
+        run(&mut d, |_| 0, 200);
+        assert_eq!(d.wire_dropped(), 1);
+        assert_eq!(d.stats().rx_packets, 0);
+        assert_eq!(d.stats().rx_dropped, 0, "wire loss is not buffer exhaustion");
+        // Zero rate is a no-op install.
+        let mut d = Deqna::new();
+        d.install_faults(&FaultConfig { seed: 2, ..Default::default() });
+        d.post_rx_buffer(Addr::new(0x8000), 128);
+        d.deliver(Packet::zeroed(12));
+        run(&mut d, |_| 0, 200);
+        assert_eq!(d.stats().rx_packets, 1);
+        assert_eq!(d.wire_dropped(), 0);
     }
 }

@@ -9,14 +9,31 @@
 //! moves a word per 400 ns, so a saturated QBus moves roughly a word per
 //! 1.3 µs.
 
+use firefly_core::fault::{site, FaultConfig, FaultSite};
 use firefly_core::system::{MemSystem, Request};
-use firefly_core::{Addr, PortId};
+use firefly_core::{Addr, Error, PortId};
 use std::collections::VecDeque;
 use std::fmt;
 
 /// Cycles (100 ns) between QBus word transfers at full load: ≈30% of
 /// the MBus's one-word-per-4-cycles bandwidth.
 pub const DEFAULT_CYCLES_PER_WORD: u64 = 13;
+
+/// Consecutive timeouts after which a transfer stops retrying, logs
+/// [`Error::DeviceTimeout`], and is forced through.
+pub const MAX_DEVICE_RETRIES: u8 = 6;
+
+/// QBus timeout fault state (see [`firefly_core::fault`]).
+#[derive(Debug)]
+struct DmaFaults {
+    site: FaultSite,
+    timeout_ppm: u32,
+    /// Consecutive timeouts for the word at the head of the queue.
+    attempt: u8,
+    timeouts: u64,
+    retries: u64,
+    errors: Vec<Error>,
+}
 
 /// One queued DMA word operation (addresses already QBus-translated).
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -66,6 +83,7 @@ pub struct DmaEngine {
     in_flight: Option<DmaOp>,
     words_read: u64,
     words_written: u64,
+    faults: Option<DmaFaults>,
 }
 
 impl DmaEngine {
@@ -102,7 +120,41 @@ impl DmaEngine {
             in_flight: None,
             words_read: 0,
             words_written: 0,
+            faults: None,
         }
+    }
+
+    /// Installs the QBus timeout fault model. A zero `dma_timeout_ppm`
+    /// rate leaves the engine untouched.
+    pub fn install_faults(&mut self, cfg: &FaultConfig) {
+        self.faults = if cfg.dma_timeout_ppm == 0 {
+            None
+        } else {
+            Some(DmaFaults {
+                site: FaultSite::new(cfg.seed, site::DMA),
+                timeout_ppm: cfg.dma_timeout_ppm,
+                attempt: 0,
+                timeouts: 0,
+                retries: 0,
+                errors: Vec::new(),
+            })
+        };
+    }
+
+    /// Injected QBus timeouts so far.
+    pub fn timeouts(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.timeouts)
+    }
+
+    /// Timed-out words retried (with backoff) rather than abandoned.
+    pub fn device_retries(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.retries)
+    }
+
+    /// Takes the accumulated [`Error::DeviceTimeout`] records (transfers
+    /// whose retry budget ran out).
+    pub fn drain_fault_errors(&mut self) -> Vec<Error> {
+        self.faults.as_mut().map_or_else(Vec::new, |f| std::mem::take(&mut f.errors))
     }
 
     /// Queues an operation.
@@ -158,6 +210,24 @@ impl DmaEngine {
             return None;
         }
         if let Some(op) = self.queue.pop_front() {
+            // QBus timeout fault: the word fails to issue and retries
+            // after an exponential backoff. Past the retry budget the
+            // hard error is logged and the word is forced through — a
+            // wedged engine would stall every transfer queued behind it.
+            if let Some(f) = &mut self.faults {
+                if f.site.fires(f.timeout_ppm) {
+                    f.timeouts += 1;
+                    f.attempt += 1;
+                    if f.attempt <= MAX_DEVICE_RETRIES {
+                        f.retries += 1;
+                        self.countdown = self.cycles_per_word << f.attempt;
+                        self.queue.push_front(op);
+                        return None;
+                    }
+                    f.errors.push(Error::DeviceTimeout { device: "dma" });
+                }
+                f.attempt = 0;
+            }
             let req = match op {
                 DmaOp::Read { addr, .. } => Request::dma_read(addr),
                 DmaOp::Write { addr, value, .. } => Request::dma_write(addr, value),
@@ -276,5 +346,46 @@ mod tests {
     #[should_panic(expected = "pacing")]
     fn zero_pacing_rejected() {
         let _ = DmaEngine::with_pacing(0);
+    }
+
+    #[test]
+    fn timeouts_retry_with_backoff_and_still_complete() {
+        use firefly_core::fault::{FaultConfig, PPM};
+        let mut s = sys();
+        let mut dma = DmaEngine::with_pacing(1);
+        // Every issue times out: each word burns its full retry budget,
+        // logs a hard error, and is then forced through.
+        dma.install_faults(&FaultConfig {
+            seed: 7,
+            dma_timeout_ppm: PPM,
+            ..FaultConfig::default()
+        });
+        dma.enqueue(DmaOp::Write { addr: Addr::new(0x100), value: 9, tag: 1 });
+        dma.enqueue(DmaOp::Read { addr: Addr::new(0x100), tag: 2 });
+        let done = drain(&mut dma, &mut s, 5_000);
+        assert_eq!(done.len(), 2, "transfers survive a 100% timeout rate");
+        assert_eq!(done[1].value, 9);
+        assert_eq!(dma.device_retries(), 2 * u64::from(MAX_DEVICE_RETRIES));
+        assert_eq!(dma.timeouts(), 2 * (u64::from(MAX_DEVICE_RETRIES) + 1));
+        assert_eq!(dma.drain_fault_errors().len(), 2, "one exhausted budget per word");
+        assert!(dma.drain_fault_errors().is_empty(), "drain empties the log");
+    }
+
+    #[test]
+    fn zero_timeout_rate_changes_nothing() {
+        let run = |install: bool| {
+            let mut s = sys();
+            let mut dma = DmaEngine::with_pacing(3);
+            if install {
+                let cfg = firefly_core::fault::FaultConfig { seed: 5, ..Default::default() };
+                dma.install_faults(&cfg);
+            }
+            for i in 0..8u32 {
+                dma.enqueue(DmaOp::Write { addr: Addr::new(0x200 + i * 4), value: i, tag: i });
+            }
+            let done = drain(&mut dma, &mut s, 2_000);
+            (done, s.cycle())
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -12,7 +12,10 @@ use crate::dma::{DmaEngine, DmaOp};
 use crate::mdc::Mdc;
 use crate::qbus::QBus;
 use crate::rqdx3::Rqdx3;
+use firefly_core::fault::FaultConfig;
+use firefly_core::stats::FaultStats;
 use firefly_core::system::MemSystem;
+use firefly_core::Error;
 use std::fmt;
 
 /// Which device a tagged DMA word belongs to.
@@ -163,6 +166,36 @@ impl IoSystem {
     /// The shared DMA engine (for traffic statistics).
     pub fn dma(&self) -> &DmaEngine {
         &self.dma
+    }
+
+    /// Installs the device-level fault models (QBus timeouts, DEQNA
+    /// packet loss, RQDX3 media read errors) from one plan. Zero-rate
+    /// classes are no-ops, so the same [`FaultConfig`] that drives the
+    /// memory system can be passed straight through.
+    pub fn install_faults(&mut self, cfg: &FaultConfig) {
+        self.dma.install_faults(cfg);
+        self.deqna.install_faults(cfg);
+        self.disk.install_faults(cfg);
+    }
+
+    /// Device-side fault and recovery counters (the memory-system
+    /// counters live in [`MemSystem::fault_stats`]).
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            dma_timeouts: self.dma.timeouts(),
+            device_retries: self.dma.device_retries() + self.disk.read_retries(),
+            packets_dropped: self.deqna.wire_dropped(),
+            disk_read_errors: self.disk.read_errors(),
+            ..FaultStats::default()
+        }
+    }
+
+    /// Takes the structured errors from every device (exhausted retry
+    /// budgets surface as [`Error::DeviceTimeout`]).
+    pub fn drain_fault_errors(&mut self) -> Vec<Error> {
+        let mut errors = self.dma.drain_fault_errors();
+        errors.extend(self.disk.drain_fault_errors());
+        errors
     }
 
     /// Advances the whole I/O system one bus cycle. Call once per

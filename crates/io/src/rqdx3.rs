@@ -10,7 +10,8 @@
 //! neither does this model.
 
 use crate::dma::{DmaCompletion, DmaOp};
-use firefly_core::Addr;
+use firefly_core::fault::{site, FaultConfig, FaultSite};
+use firefly_core::{Addr, Error};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -98,6 +99,19 @@ enum DiskState {
     },
 }
 
+/// Media read-error fault state: a failed sector read costs one extra
+/// rotation and a retry, like a real drive's ECC retry loop.
+#[derive(Debug)]
+struct DiskFaults {
+    site: FaultSite,
+    read_error_ppm: u32,
+    /// Consecutive failed attempts on the current request.
+    attempt: u8,
+    read_errors: u64,
+    retries: u64,
+    errors: Vec<Error>,
+}
+
 /// The disk controller plus its drive.
 pub struct Rqdx3 {
     timing: DiskTiming,
@@ -107,6 +121,7 @@ pub struct Rqdx3 {
     head_cylinder: u32,
     interrupt: bool,
     stats: DiskStats,
+    faults: Option<DiskFaults>,
 }
 
 impl Rqdx3 {
@@ -125,7 +140,41 @@ impl Rqdx3 {
             head_cylinder: 0,
             interrupt: false,
             stats: DiskStats::default(),
+            faults: None,
         }
+    }
+
+    /// Installs the media read-error fault model. A zero
+    /// `disk_read_error_ppm` rate leaves the controller untouched.
+    pub fn install_faults(&mut self, cfg: &FaultConfig) {
+        self.faults = if cfg.disk_read_error_ppm == 0 {
+            None
+        } else {
+            Some(DiskFaults {
+                site: FaultSite::new(cfg.seed, site::RQDX3),
+                read_error_ppm: cfg.disk_read_error_ppm,
+                attempt: 0,
+                read_errors: 0,
+                retries: 0,
+                errors: Vec::new(),
+            })
+        };
+    }
+
+    /// Injected media read errors so far.
+    pub fn read_errors(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.read_errors)
+    }
+
+    /// Failed reads recovered by waiting a rotation and retrying.
+    pub fn read_retries(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.retries)
+    }
+
+    /// Takes the accumulated [`Error::DeviceTimeout`] records (reads
+    /// whose retry budget ran out).
+    pub fn drain_fault_errors(&mut self) -> Vec<Error> {
+        self.faults.as_mut().map_or_else(Vec::new, |f| std::mem::take(&mut f.errors))
     }
 
     /// Queues a request.
@@ -183,6 +232,28 @@ impl Rqdx3 {
                 *cycles = cycles.saturating_sub(1);
                 if *cycles == 0 {
                     let req = *req;
+                    // Media read-error fault: the sector fails its ECC
+                    // check as the head reaches it; the drive waits one
+                    // full rotation and tries again. Past the retry
+                    // budget the error is logged and the (possibly
+                    // marginal) data is transferred anyway.
+                    if let Some(f) = &mut self.faults {
+                        if matches!(req, DiskRequest::Read { .. }) {
+                            if f.site.fires(f.read_error_ppm) {
+                                f.read_errors += 1;
+                                f.attempt += 1;
+                                if f.attempt <= crate::dma::MAX_DEVICE_RETRIES {
+                                    f.retries += 1;
+                                    let extra = self.timing.rotation;
+                                    self.stats.mechanical_cycles += extra;
+                                    self.state = DiskState::Seeking { req, cycles: extra };
+                                    return;
+                                }
+                                f.errors.push(Error::DeviceTimeout { device: "rqdx3" });
+                            }
+                            f.attempt = 0;
+                        }
+                    }
                     self.state = DiskState::Transferring { req, word: 0, staged: Vec::new() };
                 }
             }
@@ -364,5 +435,41 @@ mod tests {
         let data: Vec<u32> = (0..BLOCK_WORDS).collect();
         d.load_block(7, &data);
         assert_eq!(d.peek_block_word(7, 100), 100);
+    }
+
+    #[test]
+    fn read_errors_reseek_and_still_deliver() {
+        use firefly_core::fault::{FaultConfig, PPM};
+        // Fast mechanics so a 100% read-error rate stays cheap to run.
+        let timing = DiskTiming { overhead: 10, seek_per_cylinder: 1, rotation: 50, transfer: 10 };
+        let mut d = Rqdx3::with_timing(timing);
+        d.install_faults(&FaultConfig { seed: 4, disk_read_error_ppm: PPM, ..Default::default() });
+        let data: Vec<u32> = (0..BLOCK_WORDS).map(|w| w * 2).collect();
+        d.load_block(3, &data);
+        d.submit(DiskRequest::Read { lba: 3, addr: Addr::new(0x1000) });
+        let mut seen = Vec::new();
+        run(
+            &mut d,
+            |op| {
+                if let DmaOp::Write { value, .. } = op {
+                    seen.push(*value);
+                }
+                0
+            },
+            100_000,
+        );
+        assert_eq!(d.stats().reads, 1, "the read completes despite a 100% error rate");
+        assert_eq!(seen[10], 20, "retried data is intact");
+        let budget = u64::from(crate::dma::MAX_DEVICE_RETRIES);
+        assert_eq!(d.read_retries(), budget);
+        assert_eq!(d.read_errors(), budget + 1);
+        assert_eq!(d.drain_fault_errors().len(), 1, "the exhausted budget was logged");
+
+        // Writes never draw the read-error site.
+        d.submit(DiskRequest::Write { lba: 9, addr: Addr::new(0x2000) });
+        let before = d.read_errors();
+        run(&mut d, |_| 1, 100_000);
+        assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.read_errors(), before);
     }
 }

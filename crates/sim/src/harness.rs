@@ -10,6 +10,9 @@
 //!
 //! * [`run_jobs`] / [`run_jobs_with`] — the generic fan-out: any
 //!   `Sync` job type, any `Send` result, order-preserving.
+//! * [`run_jobs_catch_with`] — the same fan-out with per-job panic
+//!   isolation: a panicking job becomes `Err(message)` in its slot and
+//!   the rest of the grid still completes.
 //! * [`ExperimentSpec`] → [`ExperimentResult`] — the machine-level job:
 //!   one full-system configuration, warmed up and measured, with
 //!   host-side throughput counters
@@ -58,10 +61,12 @@
 
 use crate::machine::{FireflyBuilder, Workload};
 use crate::measure::Measurement;
+use firefly_core::fault::FaultConfig;
 use firefly_core::stats::HostCounters;
 use firefly_core::{CacheGeometry, MachineVariant, ProtocolKind};
 use firefly_cpu::CpuConfig;
 use serde::Serialize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -100,28 +105,68 @@ where
 ///
 /// # Panics
 ///
-/// Panics if any job panics (the panic is propagated once all workers
-/// have stopped).
+/// Panics if any job panics: every job is still isolated with
+/// [`run_jobs_catch_with`], so the whole grid completes first, then the
+/// earliest failure (by job index) is re-raised with its original
+/// message.
 pub fn run_jobs_with<J, R, F>(workers: usize, jobs: &[J], f: F) -> Vec<R>
 where
     J: Sync,
     R: Send,
     F: Fn(&J) -> R + Sync,
 {
+    run_jobs_catch_with(workers, jobs, f)
+        .into_iter()
+        .enumerate()
+        .map(|(i, outcome)| match outcome {
+            Ok(r) => r,
+            Err(msg) => panic!("job {i} panicked: {msg}"),
+        })
+        .collect()
+}
+
+/// Like [`run_jobs_with`], but each job runs under
+/// [`std::panic::catch_unwind`]: a panicking job becomes
+/// `Err(panic message)` in its slot while every other job still runs to
+/// completion. One faulty configuration therefore cannot take down a
+/// whole sweep, and the outcome vector is deterministic — same jobs,
+/// same `Ok`/`Err` pattern — for any worker count.
+pub fn run_jobs_catch_with<J, R, F>(workers: usize, jobs: &[J], f: F) -> Vec<Result<R, String>>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    let catch = |job: &J| {
+        catch_unwind(AssertUnwindSafe(|| f(job))).map_err(|payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            }
+        })
+    };
+
     let workers = workers.max(1).min(jobs.len());
     if workers <= 1 {
-        return jobs.iter().map(f).collect();
+        return jobs.iter().map(catch).collect();
     }
 
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<R, String>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(i) else { break };
-                let result = f(job);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                let result = catch(job);
+                // `catch` never unwinds, so the lock can only be held by
+                // a writer that completed; recover from a stale poison
+                // flag rather than losing the grid.
+                *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
             });
         }
     });
@@ -129,7 +174,7 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .expect("scope joined every worker, so every slot is filled")
         })
         .collect()
@@ -156,6 +201,8 @@ pub struct ExperimentSpec {
     pub workload: Workload,
     /// Attach the I/O system to port 0.
     pub io: bool,
+    /// Deterministic fault-injection plan (`None` = fault-free).
+    pub faults: Option<FaultConfig>,
     /// RNG seed; results are a pure function of the spec including it.
     pub seed: u64,
     /// Warm-up bus cycles before the window opens.
@@ -177,6 +224,7 @@ impl ExperimentSpec {
             cpu_config: None,
             workload: Workload::default(),
             io: false,
+            faults: None,
             seed: 0xf1ef1e,
             warmup: 200_000,
             window: 400_000,
@@ -219,6 +267,12 @@ impl ExperimentSpec {
         self
     }
 
+    /// Installs a deterministic fault-injection plan.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Sets the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -250,6 +304,9 @@ impl ExperimentSpec {
         if self.io {
             b = b.with_io();
         }
+        if let Some(f) = self.faults {
+            b = b.faults(f);
+        }
         b
     }
 
@@ -272,8 +329,27 @@ impl ExperimentSpec {
                 protocol: self.protocol,
                 seed: self.seed,
                 measurement,
+                failed: None,
             },
             host,
+        }
+    }
+
+    /// The placeholder outcome for a job that panicked: a zeroed
+    /// measurement with the panic message in
+    /// [`ExperimentResult::failed`], so a sweep stays rectangular and
+    /// deterministic even when one configuration dies.
+    fn failed(&self, message: String) -> CompletedExperiment {
+        CompletedExperiment {
+            result: ExperimentResult {
+                label: self.label.clone(),
+                cpus: self.cpus,
+                protocol: self.protocol,
+                seed: self.seed,
+                measurement: Measurement::default(),
+                failed: Some(message),
+            },
+            host: HostCounters::default(),
         }
     }
 }
@@ -291,8 +367,12 @@ pub struct ExperimentResult {
     pub protocol: ProtocolKind,
     /// The seed the job ran with.
     pub seed: u64,
-    /// The measurement over the spec's window.
+    /// The measurement over the spec's window (all-zero when the job
+    /// failed).
     pub measurement: Measurement,
+    /// `Some(panic message)` when the job panicked instead of
+    /// completing; `None` for a healthy run.
+    pub failed: Option<String>,
 }
 
 /// An [`ExperimentResult`] plus the host-side counters of the job that
@@ -368,10 +448,17 @@ pub fn run_experiments(specs: Vec<ExperimentSpec>) -> HarnessRun {
 }
 
 /// Runs a spec grid on `workers` workers. Results come back in spec
-/// order and are bit-identical for every `workers` value.
+/// order and are bit-identical for every `workers` value. A job that
+/// panics is isolated: its slot carries a zeroed measurement with
+/// [`ExperimentResult::failed`] set, and every other job still
+/// completes.
 pub fn run_experiments_with(workers: usize, specs: Vec<ExperimentSpec>) -> HarnessRun {
     let start = Instant::now();
-    let jobs = run_jobs_with(workers, &specs, ExperimentSpec::run);
+    let jobs = run_jobs_catch_with(workers, &specs, ExperimentSpec::run)
+        .into_iter()
+        .zip(&specs)
+        .map(|(outcome, spec)| outcome.unwrap_or_else(|msg| spec.failed(msg)))
+        .collect::<Vec<_>>();
     let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let busy_ns: u64 = jobs.iter().map(|j| j.host.wall_ns).sum();
     HarnessRun {
@@ -472,5 +559,88 @@ mod tests {
     #[test]
     fn worker_count_is_positive() {
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_the_rest_complete() {
+        let jobs: Vec<u32> = (0..16).collect();
+        let out = run_jobs_catch_with(4, &jobs, |&j| {
+            assert!(j != 5, "job five exploded");
+            j * 10
+        });
+        for (i, outcome) in out.iter().enumerate() {
+            if i == 5 {
+                let msg = outcome.as_ref().unwrap_err();
+                assert!(msg.contains("job five exploded"), "got {msg:?}");
+            } else {
+                assert_eq!(outcome.as_ref().unwrap(), &(i as u32 * 10));
+            }
+        }
+    }
+
+    #[test]
+    fn catch_outcomes_match_across_worker_counts() {
+        let jobs: Vec<u32> = (0..12).collect();
+        let run = |workers| {
+            run_jobs_catch_with(workers, &jobs, |&j| {
+                assert!(j % 5 != 3, "bad job {j}");
+                j + 1
+            })
+        };
+        assert_eq!(run(1), run(6), "Ok/Err pattern must not depend on the worker count");
+    }
+
+    #[test]
+    #[should_panic(expected = "job five exploded")]
+    fn run_jobs_with_still_propagates_the_first_failure() {
+        let jobs: Vec<u32> = (0..8).collect();
+        let _ = run_jobs_with(3, &jobs, |&j| {
+            assert!(j != 5, "job five exploded");
+            j
+        });
+    }
+
+    #[test]
+    fn failed_experiment_yields_a_structured_slot_not_a_crash() {
+        // cpus = 0 panics inside FireflyBuilder::microvax, i.e. inside
+        // the job — the grid must absorb it.
+        let grid = || {
+            vec![
+                ExperimentSpec::new("ok", 1).seed(2).window(1_000, 2_000),
+                ExperimentSpec::new("bad", 0),
+                ExperimentSpec::new("also-ok", 2).seed(2).window(1_000, 2_000),
+            ]
+        };
+        let serial = run_experiments_with(1, grid());
+        let parallel = run_experiments_with(3, grid());
+        for run in [&serial, &parallel] {
+            assert_eq!(run.jobs.len(), 3);
+            assert!(run.jobs[0].result.failed.is_none());
+            assert!(run.jobs[2].result.failed.is_none());
+            let failed = run.jobs[1].result.failed.as_ref().expect("bad spec fails");
+            assert!(failed.contains("1..=14"), "panic message survives: {failed:?}");
+            assert_eq!(run.jobs[1].result.measurement, Measurement::default());
+            assert_eq!(run.jobs[1].result.label, "bad");
+        }
+        let a: Vec<_> = serial.results().collect();
+        let b: Vec<_> = parallel.results().collect();
+        assert_eq!(a, b, "failure slots are deterministic across worker counts");
+    }
+
+    #[test]
+    fn spec_fault_plan_reaches_the_machine_and_stays_deterministic() {
+        let spec = || {
+            ExperimentSpec::new("faulty", 2)
+                .seed(6)
+                .faults(FaultConfig::correctable(0xcafe, 30_000))
+                .window(5_000, 10_000)
+        };
+        let serial = run_experiments_with(1, vec![spec(), spec()]);
+        let r: Vec<_> = serial.results().collect();
+        assert_eq!(r[0], r[1], "same faulty spec, same result");
+        assert!(r[0].failed.is_none(), "correctable faults never kill a job");
+        // And the plan actually perturbs the run relative to fault-free.
+        let clean = ExperimentSpec::new("clean", 2).seed(6).window(5_000, 10_000).run();
+        assert_ne!(clean.result.measurement, r[0].measurement);
     }
 }

@@ -1,8 +1,10 @@
 //! The machine builder and the assembled Firefly.
 
 use firefly_core::config::SystemConfig;
+use firefly_core::fault::FaultConfig;
+use firefly_core::stats::FaultStats;
 use firefly_core::system::MemSystem;
-use firefly_core::{CacheGeometry, MachineVariant, PortId, ProtocolKind};
+use firefly_core::{CacheGeometry, Error, MachineVariant, PortId, ProtocolKind};
 use firefly_cpu::processor::{drive, Processor};
 use firefly_cpu::CpuConfig;
 use firefly_io::IoSystem;
@@ -60,6 +62,7 @@ pub struct FireflyBuilder {
     io: bool,
     seed: u64,
     trace_bus: bool,
+    faults: FaultConfig,
 }
 
 impl FireflyBuilder {
@@ -82,6 +85,7 @@ impl FireflyBuilder {
             io: false,
             seed: 0xf1ef1e,
             trace_bus: false,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -149,6 +153,15 @@ impl FireflyBuilder {
         self
     }
 
+    /// Installs a fault-injection plan (see [`firefly_core::fault`]).
+    /// The plan drives the memory system's bus/ECC/tag fault sites and,
+    /// when I/O is attached, the device-level sites too. The default
+    /// (all-zero) plan leaves the machine bit-identical.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Assembles the machine.
     ///
     /// # Panics
@@ -164,7 +177,8 @@ impl FireflyBuilder {
             MachineVariant::CVax => SystemConfig::cvax(ports),
         }
         .with_memory_mb(self.memory_mb)
-        .with_bus_trace(self.trace_bus);
+        .with_bus_trace(self.trace_bus)
+        .with_faults(self.faults);
         if let Some(cache) = self.cache {
             sys_cfg = sys_cfg.with_cache(cache);
         }
@@ -198,12 +212,14 @@ impl FireflyBuilder {
             .map(|(i, s)| Processor::new(PortId::new(i), cpu_cfg, s, self.seed ^ i as u64))
             .collect();
 
-        Firefly {
-            sys,
-            processors,
-            io: if self.io { Some(IoSystem::on_port(PortId::new(self.cpus))) } else { None },
-            cpu_cfg,
-        }
+        let io = if self.io {
+            let mut io = IoSystem::on_port(PortId::new(self.cpus));
+            io.install_faults(&self.faults);
+            Some(io)
+        } else {
+            None
+        };
+        Firefly { sys, processors, io, cpu_cfg }
     }
 }
 
@@ -251,20 +267,45 @@ impl Firefly {
         self.io.as_mut()
     }
 
-    /// Runs the machine for `cycles` bus cycles.
+    /// Runs the machine for `cycles` bus cycles. Processors whose port
+    /// has been machine-checked offline are frozen rather than ticked,
+    /// so a degraded machine keeps running on the survivors.
     pub fn run(&mut self, cycles: u64) {
         match &mut self.io {
             None => drive(&mut self.processors, &mut self.sys, cycles),
             Some(io) => {
                 for _ in 0..cycles {
                     for p in self.processors.iter_mut() {
-                        p.tick(&mut self.sys);
+                        if self.sys.is_online(p.port()) {
+                            p.tick(&mut self.sys);
+                        }
                     }
                     io.tick(&mut self.sys);
                     self.sys.step();
                 }
             }
         }
+    }
+
+    /// Combined fault-injection and recovery counters: the memory
+    /// system's (bus, ECC, tags, offlinings) merged with the attached
+    /// devices' (QBus timeouts, packet loss, disk read errors).
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut f = self.sys.fault_stats();
+        if let Some(io) = &self.io {
+            f += io.fault_stats();
+        }
+        f
+    }
+
+    /// Takes the structured errors surfaced by uncorrectable faults from
+    /// the memory system and every attached device.
+    pub fn drain_fault_errors(&mut self) -> Vec<Error> {
+        let mut errors = self.sys.drain_fault_errors();
+        if let Some(io) = &mut self.io {
+            errors.extend(io.drain_fault_errors());
+        }
+        errors
     }
 
     /// Warm-up then measure: returns a [`crate::Measurement`] over the
@@ -389,5 +430,50 @@ mod tests {
     #[should_panic(expected = "1..=14")]
     fn too_many_cpus_rejected() {
         let _ = FireflyBuilder::microvax(15);
+    }
+
+    #[test]
+    fn builder_installs_a_fault_plan_end_to_end() {
+        let plan = FaultConfig::correctable(0xfab1e, 40_000);
+        let mut m = FireflyBuilder::microvax(3).seed(7).with_io().faults(plan).build();
+        m.run(60_000);
+        let f = m.fault_stats();
+        assert!(f.total_injected() > 0, "a 4% plan fires within 60k cycles: {f:?}");
+        assert_eq!(f.ecc_uncorrected, 0, "correctable plan never loses data");
+        assert_eq!(f.cpus_offlined, 0);
+        assert!(m.drain_fault_errors().is_empty(), "correctable faults surface no errors");
+    }
+
+    #[test]
+    fn uncorrectable_plan_degrades_without_panicking() {
+        let plan = FaultConfig { seed: 0xdead, ecc_double_ppm: 2_000, ..FaultConfig::default() };
+        let mut m = FireflyBuilder::microvax(4).seed(11).faults(plan).build();
+        m.run(20_000);
+        let f = m.fault_stats();
+        assert!(f.ecc_uncorrected > 0, "2000 ppm double-bit faults fire in 20k cycles");
+        assert!(f.cpus_offlined > 0, "uncorrectable ECC machine-checks the initiator");
+        let online = m.memory().online_count();
+        assert!((1..4).contains(&online), "the machine degrades to survivors, got {online}");
+        let errors = m.drain_fault_errors();
+        assert!(
+            errors.iter().any(|e| matches!(e, Error::EccUncorrectable { .. })),
+            "errors: {errors:?}"
+        );
+        // The degraded machine keeps running on the remaining CPUs.
+        let before = m.memory().bus_stats().ops();
+        m.run(20_000);
+        assert!(m.memory().bus_stats().ops() > before, "survivors still make bus references");
+    }
+
+    #[test]
+    fn fault_injection_is_seed_reproducible_at_machine_level() {
+        let run = |seed| {
+            let plan = FaultConfig::correctable(seed, 30_000);
+            let mut m = FireflyBuilder::microvax(3).seed(5).with_io().faults(plan).build();
+            m.run(50_000);
+            (m.memory().bus_stats().ops(), m.fault_stats())
+        };
+        assert_eq!(run(0xabc), run(0xabc));
+        assert_ne!(run(0xabc).1, run(0xabd).1);
     }
 }

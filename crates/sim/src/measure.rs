@@ -81,7 +81,7 @@ impl Snapshot {
 
 /// Reference-rate measurements over a window, per-CPU in K/s (the
 /// paper's Table 2 unit).
-#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Default, PartialEq, Debug, Serialize, Deserialize)]
 pub struct Measurement {
     /// Processors measured.
     pub cpus: usize,
