@@ -25,4 +25,10 @@ cargo test --workspace -q
 echo "== fault_sweep --smoke"
 cargo run --release -p firefly-bench --bin fault_sweep -- --smoke
 
+echo "== trace smoke: protocol_compare --smoke --trace + trace_check"
+trace_file="$(mktemp /tmp/firefly-trace.XXXXXX.json)"
+trap 'rm -f "$trace_file"' EXIT
+cargo run --release -p firefly-bench --bin protocol_compare -- --smoke --trace "$trace_file"
+cargo run --release -p firefly-bench --bin trace_check -- "$trace_file"
+
 echo "ci.sh: all checks passed"

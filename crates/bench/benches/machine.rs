@@ -20,6 +20,22 @@ fn bench_machine(c: &mut Criterion) {
     }
     group.finish();
 
+    // The tracing-disabled path must cost nothing: "off" here is the
+    // regression gate for the event layer (compare against "on" to see
+    // the price of a live ring).
+    let mut group = c.benchmark_group("machine_tracing");
+    group.sample_size(20);
+    for (label, capacity) in [("off", 0usize), ("on", 1 << 16)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &capacity, |b, &capacity| {
+            let mut m = FireflyBuilder::microvax(4).seed(1).trace_events(capacity).build();
+            b.iter(|| {
+                m.run(10_000);
+                black_box(m.take_events().len())
+            });
+        });
+    }
+    group.finish();
+
     let mut group = c.benchmark_group("exerciser");
     group.sample_size(10);
     group.bench_function("table2_5cpu_100k_cycles", |b| {

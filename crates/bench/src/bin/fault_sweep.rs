@@ -15,9 +15,11 @@
 //! Flags: `--seed N` reseeds every fault plan (the sweep is a pure
 //! function of the seed — same seed, bit-identical output for any
 //! worker count); `--smoke` shrinks the windows for CI; `--json` emits
-//! the grid as one JSON document.
+//! the grid as one JSON document; `--trace <file>` captures one traced
+//! run under the correctable plan — the fault-injected/recovered events
+//! land in the Chrome trace alongside the bus transactions they hit.
 
-use firefly_bench::report;
+use firefly_bench::{report, tracing};
 use firefly_core::fault::FaultConfig;
 use firefly_core::protocol::ProtocolKind;
 use firefly_core::stats::FaultStats;
@@ -103,6 +105,11 @@ fn main() {
 
     let (warmup, window) = if smoke { (2_000, 6_000) } else { (20_000, 60_000) };
     let rates: &[u32] = if smoke { &[0, 50_000] } else { &[0, 1_000, 10_000, 50_000] };
+
+    if let Some(opts) = tracing::requested() {
+        let plan = FaultConfig::correctable(seed, *rates.last().expect("nonempty rates"));
+        tracing::capture(&opts, CPUS, ProtocolKind::Firefly, Some(plan), warmup + window);
+    }
 
     // Every (protocol, rate) cell is an independent machine: fan out.
     let grid: Vec<(usize, ProtocolKind, u32)> = ProtocolKind::ALL

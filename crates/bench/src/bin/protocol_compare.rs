@@ -10,9 +10,10 @@
 //! Every (protocol, sharing) and (protocol, NP) cell is an independent
 //! reference-level simulation, so both grids fan out across the
 //! experiment harness's worker pool. Pass `--json` for the grids as
-//! JSON.
+//! JSON, `--smoke` for CI-sized grids, and `--trace <file>` to also
+//! capture one cycle-level Firefly run as Chrome trace-event JSON.
 
-use firefly_bench::report;
+use firefly_bench::{report, tracing};
 use firefly_core::protocol::ProtocolKind;
 use firefly_core::refsim::{CostModel, RefSim};
 use firefly_core::CacheGeometry;
@@ -88,8 +89,8 @@ fn run(kind: ProtocolKind, cpus: usize, sharing: f64, refs: usize) -> (f64, f64,
 /// (Archibald & Baer's figure of merit, computed with the paper's
 /// queue model). One reference-level run supplies both the fixed-point
 /// load and the bus-ops-per-instruction it recomputes TPI from.
-fn total_performance(kind: ProtocolKind, cpus: usize, sharing: f64) -> (f64, f64) {
-    let (bpr, _, load) = run(kind, cpus, sharing, 40_000);
+fn total_performance(kind: ProtocolKind, cpus: usize, sharing: f64, refs: usize) -> (f64, f64) {
+    let (bpr, _, load) = run(kind, cpus, sharing, refs);
     let model = CostModel::default();
     let opi = bpr * model.refs_per_instruction;
     let tpi = model.base_tpi + opi * model.ticks_per_bus_op / (1.0 - load.min(0.94)) + 0.852 * load;
@@ -97,8 +98,17 @@ fn total_performance(kind: ProtocolKind, cpus: usize, sharing: f64) -> (f64, f64
 }
 
 fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let (sharing_refs, perf_refs) = if smoke { (3_000, 2_000) } else { (60_000, 40_000) };
     let sharing_levels = [0.0, 0.05, 0.1, 0.2, 0.33, 0.5];
     let counts = [2usize, 4, 6, 8];
+
+    // The grids are reference-level; a `--trace` request additionally
+    // captures one cycle-level Firefly run so the bus/coherence events
+    // have real MBus timing behind them.
+    if let Some(opts) = tracing::requested() {
+        tracing::capture(&opts, 4, ProtocolKind::Firefly, None, if smoke { 8_000 } else { 50_000 });
+    }
 
     // Both grids are embarrassingly parallel: every cell owns its fleet
     // and its reference simulator.
@@ -107,7 +117,7 @@ fn main() {
         .flat_map(|&s| ProtocolKind::ALL.into_iter().map(move |k| (s, k)))
         .collect();
     let sharing_cells = run_jobs(&sharing_grid, |&(sharing, kind)| {
-        let (bpr, miss, load) = run(kind, 4, sharing, 60_000);
+        let (bpr, miss, load) = run(kind, 4, sharing, sharing_refs);
         SharingCell {
             protocol: kind,
             sharing,
@@ -122,7 +132,7 @@ fn main() {
         .flat_map(|k| counts.into_iter().map(move |n| (k, n)))
         .collect();
     let perf_cells = run_jobs(&perf_grid, |&(kind, n)| {
-        let (load, tp) = total_performance(kind, n, 0.10);
+        let (load, tp) = total_performance(kind, n, 0.10, perf_refs);
         PerformanceCell { protocol: kind, cpus: n, est_bus_load: load, total_performance: tp }
     });
 

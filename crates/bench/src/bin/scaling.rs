@@ -5,9 +5,10 @@
 //! The simulation points run in parallel on the experiment harness
 //! (`FIREFLY_JOBS` controls the worker count); the numbers are
 //! bit-identical at any width. Pass `--json` for the full harness run
-//! as JSON.
+//! as JSON, or `--trace <file>` to also capture one traced 8-CPU run
+//! as Chrome trace-event JSON.
 
-use firefly_bench::report;
+use firefly_bench::{report, tracing};
 use firefly_core::ProtocolKind;
 use firefly_model::{format_table1, Params};
 use firefly_sim::harness::worker_count;
@@ -16,6 +17,10 @@ use firefly_sim::sweep::{format_sweep, scaling_sweep_on};
 fn main() {
     let p = Params::microvax();
     let counts = [1, 2, 4, 6, 8, 10, 12];
+
+    if let Some(opts) = tracing::requested() {
+        tracing::capture(&opts, 8, ProtocolKind::Firefly, None, 50_000);
+    }
 
     let run =
         scaling_sweep_on(worker_count(), &counts, ProtocolKind::Firefly, 42, 200_000, 400_000);

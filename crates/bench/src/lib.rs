@@ -61,3 +61,151 @@ pub mod report {
         println!("{}", value.to_json());
     }
 }
+
+/// Shared `--trace` support for the experiment binaries.
+///
+/// Any binary that accepts the flag runs its experiment as usual, then
+/// captures one representative cycle-level run with event tracing
+/// enabled and writes the Chrome trace-event JSON (load it in
+/// `chrome://tracing` or Perfetto) to the given path:
+///
+/// ```text
+/// cargo run --release -p firefly-bench --bin protocol_compare -- \
+///     --trace /tmp/firefly.json --trace-limit 100000
+/// ```
+pub mod tracing {
+    use firefly_core::events::chrome_trace;
+    use firefly_core::fault::FaultConfig;
+    use firefly_core::ProtocolKind;
+    use firefly_sim::machine::FireflyBuilder;
+
+    /// Where to write the trace and how many events to keep.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct TraceOpts {
+        /// Output path for the Chrome trace-event JSON.
+        pub path: String,
+        /// Event-ring capacity (`--trace-limit`, default 65 536); when a
+        /// run emits more events than this, the oldest are dropped.
+        pub limit: usize,
+    }
+
+    /// Parses `--trace <path>` / `--trace=<path>` and the optional
+    /// `--trace-limit N` / `--trace-limit=N` from the process arguments.
+    /// Returns `None` when `--trace` was not given.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--trace` is missing its path or `--trace-limit` is
+    /// not a positive integer — flag misuse should fail loudly, not
+    /// silently skip the trace.
+    pub fn requested() -> Option<TraceOpts> {
+        parse(std::env::args().skip(1))
+    }
+
+    fn parse(args: impl Iterator<Item = String>) -> Option<TraceOpts> {
+        let mut path = None;
+        let mut limit = 65_536usize;
+        let mut it = args;
+        while let Some(a) = it.next() {
+            if a == "--trace" {
+                path = Some(it.next().expect("--trace takes an output path"));
+            } else if let Some(p) = a.strip_prefix("--trace=") {
+                path = Some(p.to_string());
+            } else if a == "--trace-limit" {
+                limit = parse_limit(&it.next().expect("--trace-limit takes a value"));
+            } else if let Some(v) = a.strip_prefix("--trace-limit=") {
+                limit = parse_limit(v);
+            }
+        }
+        path.map(|path| TraceOpts { path, limit })
+    }
+
+    fn parse_limit(v: &str) -> usize {
+        let n: usize = v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("--trace-limit wants an integer, got {v:?}"));
+        assert!(n > 0, "--trace-limit must be positive");
+        n
+    }
+
+    /// Runs one traced cycle-level machine — `cpus` processors,
+    /// `protocol`, an optional fault plan — for `cycles` bus cycles and
+    /// writes the Chrome trace-event JSON to `opts.path`. Prints a
+    /// one-line confirmation with the event count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace file cannot be written.
+    pub fn capture(
+        opts: &TraceOpts,
+        cpus: usize,
+        protocol: ProtocolKind,
+        faults: Option<FaultConfig>,
+        cycles: u64,
+    ) {
+        let mut b = FireflyBuilder::microvax(cpus)
+            .protocol(protocol)
+            .seed(0xf1ef1e)
+            .trace_events(opts.limit);
+        if let Some(plan) = faults {
+            b = b.faults(plan);
+        }
+        let mut m = b.build();
+        m.run(cycles);
+        let events = m.take_events();
+        let json = chrome_trace(&events);
+        std::fs::write(&opts.path, &json)
+            .unwrap_or_else(|e| panic!("cannot write trace to {}: {e}", opts.path));
+        println!(
+            "trace: wrote {} event(s) from a {cpus}-CPU {} run over {cycles} cycles to {}",
+            events.len(),
+            protocol.name(),
+            opts.path
+        );
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn argv(args: &[&str]) -> std::vec::IntoIter<String> {
+            args.iter().map(|s| s.to_string()).collect::<Vec<_>>().into_iter()
+        }
+
+        #[test]
+        fn parse_recognises_both_flag_spellings() {
+            assert_eq!(parse(argv(&[])), None);
+            assert_eq!(parse(argv(&["--json"])), None);
+            assert_eq!(
+                parse(argv(&["--trace", "/tmp/t.json"])),
+                Some(TraceOpts { path: "/tmp/t.json".into(), limit: 65_536 })
+            );
+            assert_eq!(
+                parse(argv(&["--trace=/tmp/t.json", "--trace-limit=128"])),
+                Some(TraceOpts { path: "/tmp/t.json".into(), limit: 128 })
+            );
+            assert_eq!(
+                parse(argv(&["--smoke", "--trace", "x", "--trace-limit", "9"])),
+                Some(TraceOpts { path: "x".into(), limit: 9 })
+            );
+        }
+
+        #[test]
+        #[should_panic(expected = "--trace-limit must be positive")]
+        fn zero_limit_is_rejected() {
+            let _ = parse(argv(&["--trace", "x", "--trace-limit", "0"]));
+        }
+
+        #[test]
+        fn capture_writes_a_validating_trace() {
+            let path = std::env::temp_dir().join("firefly-bench-capture-test.json");
+            let opts = TraceOpts { path: path.to_string_lossy().into_owned(), limit: 4096 };
+            capture(&opts, 2, ProtocolKind::Firefly, None, 5_000);
+            let json = std::fs::read_to_string(&path).expect("trace written");
+            firefly_core::events::validate_json(&json).expect("valid JSON");
+            assert!(json.contains("\"traceEvents\""));
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}

@@ -147,7 +147,10 @@ pub fn waveform(records: &[TransactionRecord]) -> String {
     if records.is_empty() {
         return String::from("(no transactions)\n");
     }
-    let start = records[0].start_cycle;
+    // The log is normally in start order, but callers may pass merged or
+    // reordered records (e.g. reconstructed from an event stream), so the
+    // window must span the min..max rather than trusting records[0].
+    let start = records.iter().map(|r| r.start_cycle).min().expect("nonempty");
     let end = records.iter().map(|r| r.start_cycle + 4).max().expect("nonempty");
     let width = (end - start) as usize;
     let mut addr = vec![b'_'; width];
@@ -469,6 +472,37 @@ mod tests {
         let mshared = lines[4].strip_prefix("MSHARED  ").unwrap();
         assert_eq!(&mshared[2..3], "*", "MShared in cycle 3");
         assert_eq!(&mshared[6..7], "_", "not asserted for op 2");
+    }
+
+    #[test]
+    fn waveform_accepts_out_of_order_records() {
+        // Regression: the window start used to be records[0].start_cycle,
+        // so a record earlier than the first entry underflowed the column
+        // offset (debug panic, wild index in release).
+        let recs = [
+            TransactionRecord {
+                start_cycle: 8,
+                initiator: PortId::new(1),
+                op: BusOp::Write,
+                line: LineId::from_raw(2),
+                mshared: false,
+                source: DataSource::NotApplicable,
+            },
+            TransactionRecord {
+                start_cycle: 0,
+                initiator: PortId::new(0),
+                op: BusOp::Read,
+                line: LineId::from_raw(1),
+                mshared: true,
+                source: DataSource::Memory,
+            },
+        ];
+        let w = waveform(&recs);
+        let sorted = [recs[1], recs[0]];
+        assert_eq!(w, waveform(&sorted), "order must not matter");
+        let maddr = w.lines().nth(2).unwrap().strip_prefix("MADDR    ").unwrap();
+        assert_eq!(&maddr[0..1], "A");
+        assert_eq!(&maddr[8..9], "A");
     }
 
     #[test]

@@ -201,6 +201,7 @@ pub struct SystemConfig {
     cache: CacheGeometry,
     memory_bytes: u64,
     trace_bus: bool,
+    event_trace: usize,
     faults: FaultConfig,
 }
 
@@ -218,6 +219,7 @@ impl SystemConfig {
             cache: CacheGeometry::microvax(),
             memory_bytes: 16 << 20,
             trace_bus: false,
+            event_trace: 0,
             faults: FaultConfig::default(),
         }
     }
@@ -235,6 +237,7 @@ impl SystemConfig {
             cache: CacheGeometry::cvax(),
             memory_bytes: 128 << 20,
             trace_bus: false,
+            event_trace: 0,
             faults: FaultConfig::default(),
         }
     }
@@ -272,6 +275,14 @@ impl SystemConfig {
         self
     }
 
+    /// Enables structured event tracing (see [`crate::events`]) into a
+    /// ring buffer of at most `capacity` events. Zero — the default —
+    /// disables tracing entirely, leaving the hot path untouched.
+    pub fn with_event_trace(mut self, capacity: usize) -> Self {
+        self.event_trace = capacity;
+        self
+    }
+
     /// Installs a fault-injection plan (see [`crate::fault`]).
     ///
     /// The default plan has every rate at zero, which leaves the system
@@ -304,6 +315,11 @@ impl SystemConfig {
     /// Whether bus-event tracing is enabled.
     pub const fn trace_bus(&self) -> bool {
         self.trace_bus
+    }
+
+    /// Event-ring capacity for structured tracing (0 = disabled).
+    pub const fn event_trace(&self) -> usize {
+        self.event_trace
     }
 
     /// The fault-injection plan (all rates zero by default).

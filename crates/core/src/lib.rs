@@ -38,7 +38,10 @@
 //!   style of Archibald & Baer, for wide protocol-comparison sweeps.
 //! * [`check`] — a coherence invariant checker used by the property tests.
 //! * [`stats`] — the event counters that reproduce the measurement
-//!   categories of Table 2 of the paper.
+//!   categories of Table 2 of the paper, plus latency histograms.
+//! * [`events`] — cycle-stamped event tracing (the software stand-in for
+//!   the paper's per-cache hardware event counter) with Chrome-trace and
+//!   text-timeline exporters.
 //!
 //! ## Quick example
 //!
@@ -81,6 +84,7 @@ pub mod cache;
 pub mod check;
 pub mod config;
 pub mod error;
+pub mod events;
 pub mod fault;
 pub mod memory;
 pub mod protocol;

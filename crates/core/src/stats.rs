@@ -108,31 +108,36 @@ impl CacheStats {
 
     /// The counter increments since `earlier` (for measurement windows).
     ///
+    /// Saturates to zero per field in release builds if the snapshots
+    /// are misordered, rather than wrapping.
+    ///
     /// # Panics
     ///
     /// Panics (in debug builds) if `earlier` is not actually earlier.
     pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
         debug_assert!(self.cpu_refs() >= earlier.cpu_refs(), "delta against a later snapshot");
         CacheStats {
-            cpu_reads: self.cpu_reads - earlier.cpu_reads,
-            cpu_writes: self.cpu_writes - earlier.cpu_writes,
-            read_hits: self.read_hits - earlier.read_hits,
-            write_hits: self.write_hits - earlier.write_hits,
-            read_misses: self.read_misses - earlier.read_misses,
-            write_misses: self.write_misses - earlier.write_misses,
-            dma_reads: self.dma_reads - earlier.dma_reads,
-            dma_writes: self.dma_writes - earlier.dma_writes,
-            bus_reads: self.bus_reads - earlier.bus_reads,
-            bus_read_owned: self.bus_read_owned - earlier.bus_read_owned,
-            wt_shared: self.wt_shared - earlier.wt_shared,
-            wt_unshared: self.wt_unshared - earlier.wt_unshared,
-            victim_writes: self.victim_writes - earlier.victim_writes,
-            updates_sent: self.updates_sent - earlier.updates_sent,
-            invalidates_sent: self.invalidates_sent - earlier.invalidates_sent,
-            updates_absorbed: self.updates_absorbed - earlier.updates_absorbed,
-            invalidations_taken: self.invalidations_taken - earlier.invalidations_taken,
-            supplies: self.supplies - earlier.supplies,
-            probe_stalls: self.probe_stalls - earlier.probe_stalls,
+            cpu_reads: self.cpu_reads.saturating_sub(earlier.cpu_reads),
+            cpu_writes: self.cpu_writes.saturating_sub(earlier.cpu_writes),
+            read_hits: self.read_hits.saturating_sub(earlier.read_hits),
+            write_hits: self.write_hits.saturating_sub(earlier.write_hits),
+            read_misses: self.read_misses.saturating_sub(earlier.read_misses),
+            write_misses: self.write_misses.saturating_sub(earlier.write_misses),
+            dma_reads: self.dma_reads.saturating_sub(earlier.dma_reads),
+            dma_writes: self.dma_writes.saturating_sub(earlier.dma_writes),
+            bus_reads: self.bus_reads.saturating_sub(earlier.bus_reads),
+            bus_read_owned: self.bus_read_owned.saturating_sub(earlier.bus_read_owned),
+            wt_shared: self.wt_shared.saturating_sub(earlier.wt_shared),
+            wt_unshared: self.wt_unshared.saturating_sub(earlier.wt_unshared),
+            victim_writes: self.victim_writes.saturating_sub(earlier.victim_writes),
+            updates_sent: self.updates_sent.saturating_sub(earlier.updates_sent),
+            invalidates_sent: self.invalidates_sent.saturating_sub(earlier.invalidates_sent),
+            updates_absorbed: self.updates_absorbed.saturating_sub(earlier.updates_absorbed),
+            invalidations_taken: self
+                .invalidations_taken
+                .saturating_sub(earlier.invalidations_taken),
+            supplies: self.supplies.saturating_sub(earlier.supplies),
+            probe_stalls: self.probe_stalls.saturating_sub(earlier.probe_stalls),
         }
     }
 }
@@ -211,19 +216,27 @@ impl BusStats {
     }
 
     /// The counter increments since `earlier`.
+    ///
+    /// Saturates to zero per field in release builds if the snapshots
+    /// are misordered, rather than wrapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `earlier` is not actually earlier.
     pub fn delta(&self, earlier: &BusStats) -> BusStats {
+        debug_assert!(self.total_cycles >= earlier.total_cycles, "delta against a later snapshot");
         BusStats {
-            busy_cycles: self.busy_cycles - earlier.busy_cycles,
-            total_cycles: self.total_cycles - earlier.total_cycles,
-            reads: self.reads - earlier.reads,
-            read_owned: self.read_owned - earlier.read_owned,
-            writes: self.writes - earlier.writes,
-            write_backs: self.write_backs - earlier.write_backs,
-            updates: self.updates - earlier.updates,
-            invalidates: self.invalidates - earlier.invalidates,
-            mshared_asserted: self.mshared_asserted - earlier.mshared_asserted,
-            cache_supplied: self.cache_supplied - earlier.cache_supplied,
-            memory_supplied: self.memory_supplied - earlier.memory_supplied,
+            busy_cycles: self.busy_cycles.saturating_sub(earlier.busy_cycles),
+            total_cycles: self.total_cycles.saturating_sub(earlier.total_cycles),
+            reads: self.reads.saturating_sub(earlier.reads),
+            read_owned: self.read_owned.saturating_sub(earlier.read_owned),
+            writes: self.writes.saturating_sub(earlier.writes),
+            write_backs: self.write_backs.saturating_sub(earlier.write_backs),
+            updates: self.updates.saturating_sub(earlier.updates),
+            invalidates: self.invalidates.saturating_sub(earlier.invalidates),
+            mshared_asserted: self.mshared_asserted.saturating_sub(earlier.mshared_asserted),
+            cache_supplied: self.cache_supplied.saturating_sub(earlier.cache_supplied),
+            memory_supplied: self.memory_supplied.saturating_sub(earlier.memory_supplied),
         }
     }
 }
@@ -297,22 +310,33 @@ impl FaultStats {
     }
 
     /// The counter increments since `earlier`.
+    ///
+    /// Saturates to zero per field in release builds if the snapshots
+    /// are misordered, rather than wrapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `earlier` is not actually earlier.
     pub fn delta(&self, earlier: &FaultStats) -> FaultStats {
+        debug_assert!(
+            self.total_injected() >= earlier.total_injected(),
+            "delta against a later snapshot"
+        );
         FaultStats {
-            mshared_drops: self.mshared_drops - earlier.mshared_drops,
-            mshared_spurious: self.mshared_spurious - earlier.mshared_spurious,
-            arb_stalls: self.arb_stalls - earlier.arb_stalls,
-            parity_errors: self.parity_errors - earlier.parity_errors,
-            bus_retries: self.bus_retries - earlier.bus_retries,
-            ecc_corrected: self.ecc_corrected - earlier.ecc_corrected,
-            ecc_uncorrected: self.ecc_uncorrected - earlier.ecc_uncorrected,
-            scrubs: self.scrubs - earlier.scrubs,
-            tag_flips: self.tag_flips - earlier.tag_flips,
-            dma_timeouts: self.dma_timeouts - earlier.dma_timeouts,
-            device_retries: self.device_retries - earlier.device_retries,
-            packets_dropped: self.packets_dropped - earlier.packets_dropped,
-            disk_read_errors: self.disk_read_errors - earlier.disk_read_errors,
-            cpus_offlined: self.cpus_offlined - earlier.cpus_offlined,
+            mshared_drops: self.mshared_drops.saturating_sub(earlier.mshared_drops),
+            mshared_spurious: self.mshared_spurious.saturating_sub(earlier.mshared_spurious),
+            arb_stalls: self.arb_stalls.saturating_sub(earlier.arb_stalls),
+            parity_errors: self.parity_errors.saturating_sub(earlier.parity_errors),
+            bus_retries: self.bus_retries.saturating_sub(earlier.bus_retries),
+            ecc_corrected: self.ecc_corrected.saturating_sub(earlier.ecc_corrected),
+            ecc_uncorrected: self.ecc_uncorrected.saturating_sub(earlier.ecc_uncorrected),
+            scrubs: self.scrubs.saturating_sub(earlier.scrubs),
+            tag_flips: self.tag_flips.saturating_sub(earlier.tag_flips),
+            dma_timeouts: self.dma_timeouts.saturating_sub(earlier.dma_timeouts),
+            device_retries: self.device_retries.saturating_sub(earlier.device_retries),
+            packets_dropped: self.packets_dropped.saturating_sub(earlier.packets_dropped),
+            disk_read_errors: self.disk_read_errors.saturating_sub(earlier.disk_read_errors),
+            cpus_offlined: self.cpus_offlined.saturating_sub(earlier.cpus_offlined),
         }
     }
 }
@@ -390,6 +414,193 @@ impl AddAssign for HostCounters {
     }
 }
 
+/// Number of power-of-two buckets in a [`Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A fixed-footprint latency histogram with power-of-two buckets.
+///
+/// Bucket 0 holds the value 0; bucket `b` (for `b ≥ 1`) holds values in
+/// `[2^(b-1), 2^b)`, with everything at or above `2^30` clamped into the
+/// last bucket. Recording is two adds and a handful of compares — cheap
+/// enough to stay on unconditionally, and entirely deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use firefly_core::stats::Histogram;
+///
+/// let mut h = Histogram::default();
+/// for v in [4, 5, 6, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.min(), 4);
+/// assert_eq!(h.max(), 100);
+/// assert!((h.mean() - 28.75).abs() < 1e-12);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { counts: [0; HISTOGRAM_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    fn bucket(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (`q` in 0..=1): the inclusive
+    /// top of the first bucket whose cumulative count reaches `q`,
+    /// clamped to the observed maximum. Zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                let top = if b == 0 { 0 } else { (1u64 << b) - 1 };
+                return top.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Per-bucket counts (bucket `b` covers `[2^(b-1), 2^b)`; bucket 0
+    /// is the value 0).
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.counts
+    }
+
+    /// One-line summary: `n=… mean=… min=… p50<=… p99<=… max=…`.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={:.1} min={} p50<={} p99<={} max={}",
+            self.count,
+            self.mean(),
+            self.min(),
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.max
+        )
+    }
+}
+
+impl AddAssign for Histogram {
+    fn add_assign(&mut self, o: Self) {
+        for (a, b) in self.counts.iter_mut().zip(o.counts.iter()) {
+            *a += b;
+        }
+        self.count += o.count;
+        self.sum += o.sum;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+    }
+}
+
+/// Latency histograms in MBus cycles — the distributions behind the
+/// paper's averaged miss-penalty and bus-contention numbers.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Cycles from issue to completion for processor accesses that
+    /// missed in the cache.
+    pub miss_penalty: Histogram,
+    /// Cycles a granted transaction waited from first bus request to
+    /// the grant (arbitration + bus-busy time).
+    pub bus_wait: Histogram,
+    /// Cycles from issue to completion for DMA accesses.
+    pub dma_service: Histogram,
+}
+
+impl LatencyStats {
+    /// Multi-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "miss penalty  {}\nbus wait      {}\ndma service   {}",
+            self.miss_penalty.summary(),
+            self.bus_wait.summary(),
+            self.dma_service.summary()
+        )
+    }
+}
+
+impl AddAssign for LatencyStats {
+    fn add_assign(&mut self, o: Self) {
+        self.miss_penalty += o.miss_penalty;
+        self.bus_wait += o.bus_wait;
+        self.dma_service += o.dma_service;
+    }
+}
+
+/// One host-timing span within a harness job: which stage of the job
+/// ran, when it started relative to the job start, and how long it took.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct HostSpan {
+    /// Stage name (`build`, `warmup`, `window`, …).
+    pub name: String,
+    /// Host nanoseconds from job start to stage start.
+    pub start_ns: u64,
+    /// Host nanoseconds the stage took.
+    pub dur_ns: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,6 +660,125 @@ mod tests {
         assert_eq!(d.bus_retries, 3);
         assert_eq!(late.total_injected(), 8);
         assert_eq!(late.total_recovered(), 5);
+    }
+
+    // Regression for the delta bugfix sweep: a misordered snapshot pair
+    // must trip the debug assertion instead of silently wrapping…
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "later snapshot")]
+    fn bus_delta_misordered_panics_in_debug() {
+        let early = BusStats { total_cycles: 10, ..Default::default() };
+        let late = BusStats { total_cycles: 50, ..Default::default() };
+        let _ = early.delta(&late);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "later snapshot")]
+    fn fault_delta_misordered_panics_in_debug() {
+        let early = FaultStats { tag_flips: 1, ..Default::default() };
+        let late = FaultStats { tag_flips: 7, ..Default::default() };
+        let _ = early.delta(&late);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "later snapshot")]
+    fn cache_delta_misordered_panics_in_debug() {
+        let early = CacheStats { cpu_reads: 1, ..Default::default() };
+        let late = CacheStats { cpu_reads: 9, ..Default::default() };
+        let _ = early.delta(&late);
+    }
+
+    // …and a pair that passes the guard field but would wrap another
+    // field saturates to zero in every build profile (before the fix,
+    // these wrapped to u64::MAX - k).
+    #[test]
+    fn bus_delta_saturates_instead_of_wrapping() {
+        let early = BusStats { total_cycles: 10, reads: 5, ..Default::default() };
+        let late = BusStats { total_cycles: 10, reads: 3, ..Default::default() };
+        let d = late.delta(&early);
+        assert_eq!(d.reads, 0, "saturating, not wrapping");
+        assert_eq!(d.total_cycles, 0);
+    }
+
+    #[test]
+    fn fault_delta_saturates_instead_of_wrapping() {
+        let early = FaultStats { tag_flips: 2, bus_retries: 9, ..Default::default() };
+        let late = FaultStats { tag_flips: 2, bus_retries: 4, ..Default::default() };
+        let d = late.delta(&early);
+        assert_eq!(d.bus_retries, 0, "saturating, not wrapping");
+    }
+
+    #[test]
+    fn cache_delta_saturates_instead_of_wrapping() {
+        let early = CacheStats { cpu_reads: 3, supplies: 8, ..Default::default() };
+        let late = CacheStats { cpu_reads: 3, supplies: 2, ..Default::default() };
+        let d = late.delta(&early);
+        assert_eq!(d.supplies, 0, "saturating, not wrapping");
+    }
+
+    #[test]
+    fn histogram_empty_is_all_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        let b = h.buckets();
+        assert_eq!(b[0], 1, "bucket 0 holds the value 0");
+        assert_eq!(b[1], 1, "bucket 1 holds [1,2)");
+        assert_eq!(b[2], 2, "bucket 2 holds [2,4)");
+        assert_eq!(b[3], 1, "bucket 3 holds [4,8)");
+    }
+
+    #[test]
+    fn histogram_quantile_bounds_the_samples() {
+        let mut h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(1.0), 100, "clamped to the observed max");
+        let p50 = h.quantile(0.5);
+        assert!((32..=100).contains(&p50), "p50 of 1..=100 in bucket terms, got {p50}");
+        assert!(h.summary().contains("n=100"));
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let mut a = Histogram::default();
+        a.record(3);
+        let mut b = Histogram::default();
+        b.record(300);
+        a += b;
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 3);
+        assert_eq!(a.max(), 300);
+        assert_eq!(a.sum(), 303);
+    }
+
+    #[test]
+    fn latency_stats_summary_names_all_three() {
+        let mut l = LatencyStats::default();
+        l.miss_penalty.record(12);
+        l.bus_wait.record(4);
+        l.dma_service.record(9);
+        let s = l.summary();
+        assert!(s.contains("miss penalty"));
+        assert!(s.contains("bus wait"));
+        assert!(s.contains("dma service"));
     }
 
     #[test]

@@ -20,13 +20,14 @@ use crate::bus::{Bus, DataSource, Payload, Transaction, TransactionRecord};
 use crate::cache::{Cache, LineData};
 use crate::config::SystemConfig;
 use crate::error::Error;
+use crate::events::{Event, EventKind, EventRing, EventSink, FaultClass};
 use crate::fault::{site, EccInjector, FaultConfig, FaultSite};
 use crate::memory::Memory;
 use crate::protocol::{
     BusOp, LineState, ProcOp, Protocol, ProtocolKind, SnoopResponse, WriteHitEffect,
     WriteMissPolicy,
 };
-use crate::stats::{BusStats, CacheStats, FaultStats};
+use crate::stats::{BusStats, CacheStats, FaultStats, LatencyStats};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -140,6 +141,9 @@ struct Pending {
     probe_stalled: bool,
     /// Aborted bus attempts so far (parity / `MShared` glitches).
     retries: u8,
+    /// Cycle at which the bus request line was last raised (feeds the
+    /// bus-acquisition-wait histogram at grant time).
+    requested: u64,
     status: Status,
 }
 
@@ -214,6 +218,21 @@ pub struct MemSystem {
     /// coherence-domain purge (deferred while a transaction is on the
     /// wires, since its snoopers must stay resident).
     purge_queue: Vec<usize>,
+    /// Structured trace events (`None` when tracing is disabled, so the
+    /// hot path pays one branch).
+    events: Option<EventRing>,
+    /// Latency histograms (always on: recording is a few integer ops).
+    lat: LatencyStats,
+}
+
+/// Pushes an event into the ring when tracing is enabled. A free
+/// function rather than a method so emit points can run while other
+/// fields of the system are mutably borrowed.
+#[inline]
+fn emit_into(events: &mut Option<EventRing>, cycle: u64, kind: EventKind) {
+    if let Some(ring) = events {
+        ring.emit(Event { cycle, kind });
+    }
 }
 
 impl MemSystem {
@@ -250,6 +269,11 @@ impl MemSystem {
             txn_fault: false,
             deferred: Vec::new(),
             purge_queue: Vec::new(),
+            events: match cfg.event_trace() {
+                0 => None,
+                cap => Some(EventRing::new(cap)),
+            },
+            lat: LatencyStats::default(),
             cfg,
             cycle: 0,
             txn_start: 0,
@@ -307,16 +331,36 @@ impl MemSystem {
         // what keeps this fault class value-safe.
         if let Some(f) = &mut self.faults {
             if req.kind == AccessKind::Cpu && f.tags[port.index()].fires(f.cfg.tag_flip_ppm) {
-                let clean: Vec<LineId> = self.ports[port.index()]
+                let clean: Vec<(LineId, LineState)> = self.ports[port.index()]
                     .cache
                     .iter_resident()
                     .filter(|(_, s, _)| !s.is_owner())
-                    .map(|(l, _, _)| l)
+                    .map(|(l, s, _)| (l, s))
                     .collect();
                 if !clean.is_empty() {
-                    let victim = clean[f.tags[port.index()].pick(clean.len())];
+                    let (victim, vstate) = clean[f.tags[port.index()].pick(clean.len())];
                     self.ports[port.index()].cache.evict(victim);
                     self.fstats.tag_flips += 1;
+                    emit_into(
+                        &mut self.events,
+                        self.cycle,
+                        EventKind::FaultInjected { class: FaultClass::TagFlip },
+                    );
+                    emit_into(
+                        &mut self.events,
+                        self.cycle,
+                        EventKind::Transition {
+                            port,
+                            line: victim,
+                            from: vstate,
+                            to: LineState::Invalid,
+                        },
+                    );
+                    emit_into(
+                        &mut self.events,
+                        self.cycle,
+                        EventKind::FaultRecovered { class: FaultClass::TagFlip },
+                    );
                 }
             }
         }
@@ -350,6 +394,7 @@ impl MemSystem {
             bus_ops: 0,
             probe_stalled: false,
             retries: 0,
+            requested: self.cycle,
             status: Status::Finishing { at: u64::MAX }, // placeholder
         });
         self.try_progress(port.index());
@@ -364,6 +409,15 @@ impl MemSystem {
             if let Status::Finishing { at } = p.status {
                 if self.cycle >= at {
                     let p = ctl.pending.take().expect("checked above");
+                    // Latency distributions for the metrics layer: miss
+                    // penalty over all misses, service time for DMA.
+                    let latency = at - p.issued;
+                    if !p.hit {
+                        self.lat.miss_penalty.record(latency);
+                    }
+                    if p.req.kind == AccessKind::Dma {
+                        self.lat.dma_service.record(latency);
+                    }
                     return Some(AccessResult {
                         value: p.value,
                         hit: p.hit,
@@ -405,8 +459,18 @@ impl MemSystem {
             while let Some(port) = self.bus.arbitrate() {
                 match self.build_grant(port.index()) {
                     Some((op, line, payload)) => {
+                        let waited = self.ports[port.index()]
+                            .pending
+                            .as_ref()
+                            .map_or(0, |p| self.cycle.saturating_sub(p.requested));
+                        self.lat.bus_wait.record(waited);
                         self.bus.begin(port, op, line, payload);
                         self.txn_start = self.cycle;
+                        emit_into(
+                            &mut self.events,
+                            self.cycle,
+                            EventKind::BusIssued { initiator: port, op, line },
+                        );
                         break;
                     }
                     None => {
@@ -435,15 +499,29 @@ impl MemSystem {
                         // invariant 5 only tolerates stale-*true*).
                         self.fstats.mshared_drops += 1;
                         self.txn_fault = true;
+                        emit_into(
+                            &mut self.events,
+                            self.cycle,
+                            EventKind::FaultInjected { class: FaultClass::MSharedDrop },
+                        );
                     } else if !mshared && f.mshared.fires(f.cfg.mshared_spurious_ppm) {
                         // A spurious assertion is honored conservatively:
                         // treating an unshared line as shared is always
                         // safe, merely slower.
                         self.fstats.mshared_spurious += 1;
                         mshared = true;
+                        emit_into(
+                            &mut self.events,
+                            self.cycle,
+                            EventKind::FaultInjected { class: FaultClass::MSharedSpurious },
+                        );
                     }
                 }
                 self.bus.set_mshared(mshared);
+                if mshared {
+                    let line = self.bus.current().expect("bus busy").line;
+                    emit_into(&mut self.events, self.cycle, EventKind::MSharedAsserted { line });
+                }
             }
             if let Some(txn) = self.bus.tick() {
                 let mut aborted = std::mem::take(&mut self.txn_fault);
@@ -456,6 +534,11 @@ impl MemSystem {
                         // transaction aborts and retries.
                         self.fstats.parity_errors += 1;
                         aborted = true;
+                        emit_into(
+                            &mut self.events,
+                            self.cycle,
+                            EventKind::FaultInjected { class: FaultClass::BusParity },
+                        );
                     }
                 }
                 if aborted {
@@ -486,6 +569,11 @@ impl MemSystem {
         if let Some(f) = &mut self.faults {
             if f.arbiter.fires(f.cfg.arb_stall_ppm) {
                 self.fstats.arb_stalls += 1;
+                emit_into(
+                    &mut self.events,
+                    self.cycle,
+                    EventKind::FaultInjected { class: FaultClass::ArbStall },
+                );
                 return true;
             }
         }
@@ -502,9 +590,35 @@ impl MemSystem {
             .pending
             .as_ref()
             .is_some_and(|p| p.req.kind == AccessKind::Cpu);
+        // The memory-side ECC counters are cumulative; the delta across
+        // finish_transaction attributes corrected events to this
+        // transaction for the trace. Only sampled when tracing is on.
+        let corrected_before = if self.events.is_some() { self.memory.ecc_corrected() } else { 0 };
         self.finish_transaction(txn);
+        if self.events.is_some() {
+            let corrected = self.memory.ecc_corrected().saturating_sub(corrected_before);
+            for _ in 0..corrected {
+                emit_into(
+                    &mut self.events,
+                    self.cycle,
+                    EventKind::FaultInjected { class: FaultClass::EccCorrected },
+                );
+                emit_into(
+                    &mut self.events,
+                    self.cycle,
+                    EventKind::FaultRecovered { class: FaultClass::EccCorrected },
+                );
+            }
+        }
         let errs = self.memory.drain_ecc_errors();
         if !errs.is_empty() {
+            for _ in &errs {
+                emit_into(
+                    &mut self.events,
+                    self.cycle,
+                    EventKind::FaultInjected { class: FaultClass::EccUncorrectable },
+                );
+            }
             self.fault_errors.extend(errs);
             if was_cpu {
                 let _ = self.offline_cpu(initiator);
@@ -535,6 +649,11 @@ impl MemSystem {
             return;
         }
         self.fstats.bus_retries += 1;
+        emit_into(
+            &mut self.events,
+            self.cycle,
+            EventKind::FaultRecovered { class: FaultClass::BusRetry },
+        );
         let backoff = 1u64 << retries.min(6);
         self.deferred.push((self.cycle + backoff, port));
     }
@@ -612,6 +731,40 @@ impl MemSystem {
         self.bus.clear_log();
     }
 
+    /// Whether structured event tracing is enabled
+    /// (see [`SystemConfig::with_event_trace`]).
+    pub fn events_enabled(&self) -> bool {
+        self.events.is_some()
+    }
+
+    /// The structured trace events captured so far, oldest first (empty
+    /// when tracing is disabled). The ring is left intact.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.as_ref().map(EventRing::snapshot).unwrap_or_default()
+    }
+
+    /// Drains the structured trace events, oldest first.
+    pub fn take_events(&mut self) -> Vec<Event> {
+        self.events.as_mut().map(EventRing::take).unwrap_or_default()
+    }
+
+    /// Events discarded because the trace ring was full.
+    pub fn events_dropped(&self) -> u64 {
+        self.events.as_ref().map_or(0, EventRing::dropped)
+    }
+
+    /// Records an externally generated event (scheduler, devices) with
+    /// the current bus cycle. A no-op when tracing is disabled.
+    pub fn emit_event(&mut self, kind: EventKind) {
+        emit_into(&mut self.events, self.cycle, kind);
+    }
+
+    /// The latency histograms: miss penalty, bus-acquisition wait, and
+    /// DMA service time, in bus cycles.
+    pub fn latency_stats(&self) -> &LatencyStats {
+        &self.lat
+    }
+
     /// The state of `line` in `port`'s cache.
     pub fn peek_state(&self, port: PortId, line: LineId) -> LineState {
         self.ports[port.index()].cache.state_of(line)
@@ -661,6 +814,7 @@ impl MemSystem {
             self.offline[port.index()] = true;
             self.has_offline = true;
             self.fstats.cpus_offlined += 1;
+            emit_into(&mut self.events, self.cycle, EventKind::CpuOffline { port });
             // The port leaves the coherence domain: written-back owners
             // keep their data reachable, everything else is dropped (in
             // particular any line poisoned by the fault that killed it).
@@ -819,6 +973,18 @@ impl MemSystem {
                         WriteHitEffect::Silent(next) => {
                             self.ports[port].cache.write_word(req.addr, req.value);
                             self.ports[port].cache.set_state(line, next);
+                            if next != state {
+                                emit_into(
+                                    &mut self.events,
+                                    self.cycle,
+                                    EventKind::Transition {
+                                        port: PortId::new(port),
+                                        line,
+                                        from: state,
+                                        to: next,
+                                    },
+                                );
+                            }
                             self.finish(port, 0);
                             None
                         }
@@ -869,7 +1035,10 @@ impl MemSystem {
     /// the bus request line.
     fn try_progress(&mut self, port: usize) {
         if let Some(purpose) = self.plan_local(port) {
-            self.ports[port].pending.as_mut().expect("pending").status = Status::WaitBus(purpose);
+            let cycle = self.cycle;
+            let p = self.ports[port].pending.as_mut().expect("pending");
+            p.status = Status::WaitBus(purpose);
+            p.requested = cycle;
             self.bus.request(PortId::new(port));
         }
     }
@@ -974,6 +1143,19 @@ impl MemSystem {
             (None, DataSource::NotApplicable)
         };
         self.bus.record_completion(&txn, self.txn_start, source);
+        // Stamped with the start cycle so exporters render the full
+        // four-cycle Figure 4 span.
+        emit_into(
+            &mut self.events,
+            self.txn_start,
+            EventKind::BusCompleted {
+                initiator: txn.initiator,
+                op: txn.op,
+                line,
+                mshared: txn.mshared,
+                source,
+            },
+        );
 
         // Memory effects of the payload.
         if txn.op.updates_memory() {
@@ -1004,7 +1186,8 @@ impl MemSystem {
             if resp.supply {
                 ctl.cache.stats_mut().supplies += 1;
             }
-            if ctl.cache.state_of(line).is_valid() {
+            let before = ctl.cache.state_of(line);
+            if before.is_valid() {
                 if resp.next == LineState::Invalid {
                     ctl.cache.evict(line);
                     if invalidating {
@@ -1012,6 +1195,18 @@ impl MemSystem {
                     }
                 } else {
                     ctl.cache.set_state(line, resp.next);
+                }
+                if resp.next != before {
+                    emit_into(
+                        &mut self.events,
+                        self.cycle,
+                        EventKind::Transition {
+                            port: PortId::new(p),
+                            line,
+                            from: before,
+                            to: resp.next,
+                        },
+                    );
                 }
             }
         }
@@ -1040,7 +1235,18 @@ impl MemSystem {
             OpPurpose::VictimWriteBack { victim } => {
                 let cache = &mut self.ports[port].cache;
                 cache.stats_mut().victim_writes += 1;
+                let vstate = cache.state_of(victim);
                 cache.evict(victim);
+                emit_into(
+                    &mut self.events,
+                    self.cycle,
+                    EventKind::Transition {
+                        port: txn.initiator,
+                        line: victim,
+                        from: vstate,
+                        to: LineState::Invalid,
+                    },
+                );
                 // The slot is free: plan the fill.
                 self.try_progress(port);
             }
@@ -1050,6 +1256,16 @@ impl MemSystem {
                 if install {
                     let state = self.protocol.read_fill_state(txn.mshared);
                     self.ports[port].cache.fill(line, d, state);
+                    emit_into(
+                        &mut self.events,
+                        self.cycle,
+                        EventKind::Transition {
+                            port: txn.initiator,
+                            line,
+                            from: LineState::Invalid,
+                            to: state,
+                        },
+                    );
                 }
                 if req.op == ProcOp::Read {
                     self.ports[port].pending.as_mut().expect("pending").value = d.get(offset);
@@ -1066,6 +1282,16 @@ impl MemSystem {
                 d.set(offset, req.value);
                 let state = self.protocol.exclusive_fill_state();
                 self.ports[port].cache.fill(line, d, state);
+                emit_into(
+                    &mut self.events,
+                    self.cycle,
+                    EventKind::Transition {
+                        port: txn.initiator,
+                        line,
+                        from: LineState::Invalid,
+                        to: state,
+                    },
+                );
                 self.finish(port, miss_extra);
             }
             OpPurpose::WriteThroughMiss { allocate } => {
@@ -1081,6 +1307,16 @@ impl MemSystem {
                     debug_assert_eq!(self.cfg.cache().line_words(), 1);
                     let state = self.protocol.write_through_fill_state(txn.mshared);
                     self.ports[port].cache.fill(line, LineData::from_word(req.value), state);
+                    emit_into(
+                        &mut self.events,
+                        self.cycle,
+                        EventKind::Transition {
+                            port: txn.initiator,
+                            line,
+                            from: LineState::Invalid,
+                            to: state,
+                        },
+                    );
                 }
                 self.finish(port, miss_extra);
             }
@@ -1090,6 +1326,13 @@ impl MemSystem {
                 self.ports[port].cache.write_word(req.addr, req.value);
                 let next = self.protocol.after_write_bus(prev, txn.op, txn.mshared);
                 self.ports[port].cache.set_state(line, next);
+                if next != prev {
+                    emit_into(
+                        &mut self.events,
+                        self.cycle,
+                        EventKind::Transition { port: txn.initiator, line, from: prev, to: next },
+                    );
+                }
                 let stats = self.ports[port].cache.stats_mut();
                 match txn.op {
                     BusOp::Write => {

@@ -62,7 +62,7 @@
 use crate::machine::{FireflyBuilder, Workload};
 use crate::measure::Measurement;
 use firefly_core::fault::FaultConfig;
-use firefly_core::stats::HostCounters;
+use firefly_core::stats::{HostCounters, HostSpan};
 use firefly_core::{CacheGeometry, MachineVariant, ProtocolKind};
 use firefly_cpu::CpuConfig;
 use serde::Serialize;
@@ -314,11 +314,31 @@ impl ExperimentSpec {
     /// deterministic measurement together with host-side counters.
     pub fn run(&self) -> CompletedExperiment {
         let start = Instant::now();
+        let elapsed_ns =
+            |since: Instant| u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let span = |name: &str, from: Instant, opened_at: Instant| HostSpan {
+            name: name.to_string(),
+            start_ns: u64::try_from((opened_at - from).as_nanos()).unwrap_or(u64::MAX),
+            dur_ns: elapsed_ns(opened_at),
+        };
+
+        let build_at = Instant::now();
         let mut machine = self.builder().build();
-        let measurement = machine.measure(self.warmup, self.window);
+        let build_span = span("build", start, build_at);
+
+        let warmup_at = Instant::now();
+        machine.run(self.warmup);
+        let warmup_span = span("warmup", start, warmup_at);
+
+        let window_at = Instant::now();
+        let snap = crate::measure::Snapshot::take(&machine);
+        machine.run(self.window);
+        let measurement = snap.finish(&machine, self.window);
+        let window_span = span("window", start, window_at);
+
         let instructions: u64 = machine.processors().iter().map(|p| p.stats().instructions).sum();
         let host = HostCounters {
-            wall_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            wall_ns: elapsed_ns(start),
             instructions,
             sim_cycles: self.warmup + self.window,
         };
@@ -332,6 +352,7 @@ impl ExperimentSpec {
                 failed: None,
             },
             host,
+            spans: vec![build_span, warmup_span, window_span],
         }
     }
 
@@ -350,6 +371,7 @@ impl ExperimentSpec {
                 failed: Some(message),
             },
             host: HostCounters::default(),
+            spans: Vec::new(),
         }
     }
 }
@@ -384,6 +406,11 @@ pub struct CompletedExperiment {
     pub result: ExperimentResult,
     /// Host wall-clock and throughput counters for this job.
     pub host: HostCounters,
+    /// Host-timing spans for the job's build, warm-up, and measurement
+    /// stages (empty for a job that panicked). Like
+    /// [`CompletedExperiment::host`], these are wall-clock readings and
+    /// therefore *not* deterministic.
+    pub spans: Vec<HostSpan>,
 }
 
 /// A completed grid: per-job results and the harness's own performance
@@ -536,6 +563,24 @@ mod tests {
         assert!(done.host.instructions > 0);
         assert!(done.host.wall_ns > 0);
         assert!(done.host.instructions_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn completed_experiment_carries_stage_spans() {
+        let done = ExperimentSpec::new("s", 1).window(2_000, 4_000).run();
+        let names: Vec<&str> = done.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["build", "warmup", "window"]);
+        // Stages open in order and the spans nest inside the job's wall
+        // time.
+        for pair in done.spans.windows(2) {
+            assert!(pair[0].start_ns <= pair[1].start_ns);
+        }
+        for s in &done.spans {
+            assert!(s.start_ns.saturating_add(s.dur_ns) <= done.host.wall_ns, "{s:?}");
+        }
+        // A panicked job carries no spans.
+        let failed = ExperimentSpec::new("bad", 0).failed("boom".into());
+        assert!(failed.spans.is_empty());
     }
 
     #[test]

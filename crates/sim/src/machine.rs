@@ -62,6 +62,7 @@ pub struct FireflyBuilder {
     io: bool,
     seed: u64,
     trace_bus: bool,
+    trace_events: usize,
     faults: FaultConfig,
 }
 
@@ -85,6 +86,7 @@ impl FireflyBuilder {
             io: false,
             seed: 0xf1ef1e,
             trace_bus: false,
+            trace_events: 0,
             faults: FaultConfig::default(),
         }
     }
@@ -153,6 +155,14 @@ impl FireflyBuilder {
         self
     }
 
+    /// Enables structured event tracing (see [`firefly_core::events`])
+    /// into a ring of at most `capacity` events. Zero — the default —
+    /// keeps tracing off and the hot path untouched.
+    pub fn trace_events(mut self, capacity: usize) -> Self {
+        self.trace_events = capacity;
+        self
+    }
+
     /// Installs a fault-injection plan (see [`firefly_core::fault`]).
     /// The plan drives the memory system's bus/ECC/tag fault sites and,
     /// when I/O is attached, the device-level sites too. The default
@@ -178,6 +188,7 @@ impl FireflyBuilder {
         }
         .with_memory_mb(self.memory_mb)
         .with_bus_trace(self.trace_bus)
+        .with_event_trace(self.trace_events)
         .with_faults(self.faults);
         if let Some(cache) = self.cache {
             sys_cfg = sys_cfg.with_cache(cache);
@@ -308,6 +319,17 @@ impl Firefly {
         errors
     }
 
+    /// The structured trace events captured so far (empty unless built
+    /// with [`FireflyBuilder::trace_events`]). Leaves the ring intact.
+    pub fn events(&self) -> Vec<firefly_core::events::Event> {
+        self.sys.events()
+    }
+
+    /// Drains the structured trace events captured so far.
+    pub fn take_events(&mut self) -> Vec<firefly_core::events::Event> {
+        self.sys.take_events()
+    }
+
     /// Warm-up then measure: returns a [`crate::Measurement`] over the
     /// measurement window.
     pub fn measure(&mut self, warmup_cycles: u64, measure_cycles: u64) -> crate::Measurement {
@@ -424,6 +446,22 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn event_tracing_captures_bus_and_transitions() {
+        use firefly_core::events::EventKind;
+        let mut m = FireflyBuilder::microvax(2).seed(3).trace_events(4096).build();
+        m.run(5_000);
+        let evts = m.events();
+        assert!(evts.iter().any(|e| matches!(e.kind, EventKind::BusCompleted { .. })));
+        assert!(evts.iter().any(|e| matches!(e.kind, EventKind::Transition { .. })));
+        assert!(!m.take_events().is_empty());
+        assert!(m.events().is_empty(), "take drains the ring");
+        // Untraced machines stay silent and free.
+        let mut m = FireflyBuilder::microvax(2).seed(3).build();
+        m.run(1_000);
+        assert!(m.events().is_empty());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::layout;
 use crate::program::{Script, ScriptId, ThreadOp};
 use crate::sched::{MigrationPolicy, Scheduler};
 use firefly_core::config::SystemConfig;
+use firefly_core::events::{Event, EventKind};
 use firefly_core::system::{MemSystem, Request};
 use firefly_core::{Addr, MachineVariant, PortId, ProtocolKind};
 use firefly_cpu::CpuConfig;
@@ -48,6 +49,11 @@ pub struct TopazConfig {
     /// engine when an I/O system shares the machine — see
     /// [`TopazMachine::step_with`]).
     pub extra_ports: usize,
+    /// Event-trace ring capacity (0 disables tracing). When enabled the
+    /// memory system records structured bus/coherence/fault events and
+    /// the runtime adds scheduler context switches; drain them with
+    /// [`TopazMachine::take_events`].
+    pub trace_events: usize,
     /// RNG seed (everything downstream is deterministic given this).
     pub seed: u64,
 }
@@ -65,6 +71,7 @@ impl TopazConfig {
             wait_timeout_cycles: 20_000,
             shared_buffer_words: 2048,
             extra_ports: 0,
+            trace_events: 0,
             seed: 0xf1ef,
         }
     }
@@ -310,7 +317,8 @@ impl TopazMachine {
         let sys_cfg = match cfg.cpu.variant {
             MachineVariant::MicroVax => SystemConfig::microvax(ports),
             MachineVariant::CVax => SystemConfig::cvax(ports),
-        };
+        }
+        .with_event_trace(cfg.trace_events);
         let sys = MemSystem::new(sys_cfg, cfg.protocol).expect("valid Topaz configuration");
         let engines = (0..cfg.cpus)
             .map(|i| Engine {
@@ -462,15 +470,35 @@ impl TopazMachine {
         self.sched.migrations()
     }
 
+    /// The structured trace events captured so far — bus, coherence,
+    /// fault, *and* scheduler context-switch events interleaved on the
+    /// same cycle clock. Empty unless [`TopazConfig::trace_events`] is
+    /// non-zero. Leaves the ring intact.
+    pub fn events(&self) -> Vec<Event> {
+        self.sys.events()
+    }
+
+    /// Drains the structured trace events captured so far.
+    pub fn take_events(&mut self) -> Vec<Event> {
+        self.sys.take_events()
+    }
+
     // ---- engine internals -----------------------------------------------
 
     fn tick_engine(&mut self, cpu: usize) {
         // Dispatch if idle.
         if self.engines[cpu].current.is_none() {
             match self.sched.dispatch(cpu) {
-                Some((t, _migrated)) => {
+                Some((t, migrated)) => {
                     self.stats.dispatches += 1;
                     self.stats.migrations = self.sched.migrations();
+                    if self.sys.events_enabled() {
+                        self.sys.emit_event(EventKind::ContextSwitch {
+                            cpu: cpu as u32,
+                            thread: t.index() as u32,
+                            migrated,
+                        });
+                    }
                     let th = &mut self.threads[t.index()];
                     th.status = Status::Running(cpu);
                     th.last_cpu = Some(cpu);
@@ -970,6 +998,40 @@ mod tests {
         for p in 0..4 {
             assert!(m.memory().cache_stats(PortId::new(p)).cpu_refs() > 1_000, "CPU {p} sat idle");
         }
+    }
+
+    #[test]
+    fn tracing_captures_context_switches_on_the_bus_clock() {
+        let mut cfg = TopazConfig::microvax(2);
+        cfg.trace_events = 1 << 17;
+        let mut m = TopazMachine::new(cfg);
+        for _ in 0..3 {
+            m.spawn(compute_exit(1_000));
+        }
+        m.run(150_000);
+        assert!(m.all_exited());
+        assert_eq!(m.memory().events_dropped(), 0, "ring sized for the whole run");
+        let events = m.events();
+        let switches: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::ContextSwitch { cpu, thread, .. } => Some((e.cycle, cpu, thread)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(switches.len() as u64, m.stats().dispatches);
+        assert!(switches.iter().any(|&(_, cpu, _)| cpu == 1), "second CPU dispatched");
+        assert!(
+            events.iter().any(|e| matches!(e.kind, EventKind::BusCompleted { .. })),
+            "scheduler events interleave with bus traffic"
+        );
+        // Draining empties the ring; an untraced machine records nothing.
+        assert!(!m.take_events().is_empty());
+        assert!(m.events().is_empty());
+        let mut plain = TopazMachine::new(TopazConfig::microvax(1));
+        plain.spawn(compute_exit(100));
+        plain.run(20_000);
+        assert!(plain.events().is_empty());
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! Event tracing: run a small traced machine under a correctable fault
+//! plan and print the human-readable timeline — the MBus waveform plus
+//! every structured event on its cycle — and the latency histograms.
+//!
+//! ```sh
+//! cargo run --release --example trace_timeline
+//! ```
+//!
+//! For the machine-readable form of the same stream, write
+//! `firefly::core::events::chrome_trace(&events)` to a file and load it
+//! in `chrome://tracing` or Perfetto (the benchmark binaries do exactly
+//! that under `--trace <file>`).
+
+use firefly::core::events::{timeline, EventKind};
+use firefly::core::fault::FaultConfig;
+use firefly::sim::FireflyBuilder;
+
+fn main() {
+    // Two processors, a deliberately noisy correctable fault plan, and
+    // an event ring large enough for the whole run.
+    let mut machine = FireflyBuilder::microvax(2)
+        .seed(42)
+        .faults(FaultConfig::correctable(0xf1ef, 40_000))
+        .trace_events(1 << 16)
+        .build();
+    machine.run(2_000);
+
+    let events = machine.take_events();
+    let injected =
+        events.iter().filter(|e| matches!(e.kind, EventKind::FaultInjected { .. })).count();
+    println!(
+        "captured {} event(s) over 2000 cycles ({} fault injection(s));\n\
+         the first 40 cycles of the timeline:\n",
+        events.len(),
+        injected
+    );
+
+    // Show the head of the stream: the waveform header plus everything
+    // that happened in the first 40 bus cycles.
+    let head: Vec<_> = events.iter().filter(|e| e.cycle < 40).cloned().collect();
+    println!("{}", timeline(&head));
+
+    println!("latency distributions (MBus cycles):");
+    println!("{}", machine.memory().latency_stats().summary());
+}
