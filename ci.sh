@@ -25,6 +25,9 @@ cargo test --workspace -q
 echo "== fault_sweep --smoke"
 cargo run --release -p firefly-bench --bin fault_sweep -- --smoke
 
+echo "== model_check --smoke"
+cargo run --release -p firefly-bench --bin model_check -- --smoke
+
 echo "== trace smoke: protocol_compare --smoke --trace + trace_check"
 trace_file="$(mktemp /tmp/firefly-trace.XXXXXX.json)"
 trap 'rm -f "$trace_file"' EXIT

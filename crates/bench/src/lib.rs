@@ -26,6 +26,7 @@
 //! | `file_streaming` | §6 — file-system read-ahead depth vs throughput |
 //! | `syscall_emulation` | footnote 5 — Ultrix emulation overhead vs service length |
 //! | `fault_sweep` | §2 robustness — fault rate × protocol, recovery counters, N→N−1 degradation |
+//! | `model_check` | §3 coherence — exhaustive small-config state enumeration, litmus suite, mutation smoke |
 //!
 //! The Criterion microbenchmarks (`cargo bench -p firefly-bench`) cover
 //! the simulator's own hot paths: protocol decision tables, the cycle

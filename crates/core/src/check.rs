@@ -17,14 +17,28 @@
 //!    them may be in an exclusive state (the `Shared` tag may be stale-
 //!    *true*, never stale-*false*).
 //!
+//! [`CoherenceChecker::check_serialized`] adds the *serialization*
+//! invariants on top, given an external oracle of last-written values
+//! (the MBus serializes all traffic, so "the last write" is well
+//! defined):
+//!
+//! 6. **Write serialization** — every cached copy of a written word holds
+//!    the oracle value; no cache may see an older write once the bus has
+//!    carried a newer one.
+//! 7. **Single-writer order** — when no cache owns the line, main memory
+//!    itself holds the oracle value (a dirty owner is the only licence
+//!    for memory to lag).
+//!
 //! The property tests run millions of random accesses through every
-//! protocol and call [`CoherenceChecker::check`] at quiescent points.
+//! protocol and call [`CoherenceChecker::check`] at quiescent points;
+//! the model checker (`firefly-mc`) calls both entry points at *every*
+//! reachable state of small configurations.
 
 use crate::error::Error;
 use crate::protocol::LineState;
 use crate::system::MemSystem;
-use crate::{LineId, PortId};
-use std::collections::HashMap;
+use crate::{Addr, LineId, PortId};
+use std::collections::{BTreeMap, HashMap};
 
 /// Checks the coherence invariants of a quiescent [`MemSystem`].
 ///
@@ -129,6 +143,69 @@ impl CoherenceChecker {
         }
         Ok(())
     }
+
+    /// Verifies all quiescent invariants *plus* the serialization
+    /// invariants against `oracle`, a map from word-aligned address to
+    /// the value of the last write the bus carried to that word (or its
+    /// initial value if never written).
+    ///
+    /// A `BTreeMap` rather than a `HashMap` so the first reported
+    /// violation is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CoherenceViolation`] describing the first
+    /// violated invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system is not [quiescent](MemSystem::is_quiescent).
+    pub fn check_serialized(
+        &self,
+        sys: &MemSystem,
+        oracle: &BTreeMap<Addr, u32>,
+    ) -> Result<(), Error> {
+        self.check(sys)?;
+        let line_words = sys.config().cache().line_words();
+
+        for (&addr, &want) in oracle {
+            let line = LineId::containing(addr, line_words);
+            let offset = line.word_offset(addr, line_words);
+            let mut dirty_somewhere = false;
+
+            // (6) write serialization: every cached copy sees the last
+            // write — there is no state in which one cache still serves
+            // an overwritten value.
+            for p in 0..sys.port_count() {
+                let port = PortId::new(p);
+                if let Some(data) = sys.peek_line(port, line) {
+                    let got = data.get(offset);
+                    if got != want {
+                        return Err(Error::CoherenceViolation(format!(
+                            "write serialization: {addr} cached by P{p} as {got:#x} \
+                             but the last serialized write was {want:#x}"
+                        )));
+                    }
+                    if sys.peek_state(port, line).is_dirty() {
+                        dirty_somewhere = true;
+                    }
+                }
+            }
+
+            // (7) single-writer order: memory may lag the last write only
+            // while a dirty owner stands ready to supply/write it back.
+            if !dirty_somewhere {
+                let mem = sys.peek_memory_word(addr);
+                if mem != want {
+                    return Err(Error::CoherenceViolation(format!(
+                        "single-writer order: no cache owns {addr} yet memory holds \
+                         {mem:#x} instead of the last serialized write {want:#x}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -193,5 +270,32 @@ mod tests {
     fn empty_system_is_coherent() {
         let sys = MemSystem::new(SystemConfig::microvax(2), ProtocolKind::Firefly).unwrap();
         CoherenceChecker::new().check(&sys).unwrap();
+    }
+
+    /// The serialization invariants hold at every step of a ping-ponged
+    /// write pattern, under every protocol.
+    #[test]
+    fn serialized_invariants_hold_per_step() {
+        for kind in ProtocolKind::ALL {
+            let mut sys = MemSystem::new(SystemConfig::microvax(3), kind).unwrap();
+            let checker = CoherenceChecker::new();
+            let mut oracle = BTreeMap::new();
+            for round in 0u32..60 {
+                let word = round % 4;
+                let addr = Addr::from_word_index(word);
+                let port = PortId::new((round as usize) % 3);
+                if round % 3 == 0 {
+                    sys.run_to_completion(port, Request::write(addr, round + 1)).unwrap();
+                    oracle.insert(addr, round + 1);
+                } else {
+                    let got = sys.run_to_completion(port, Request::read(addr)).unwrap().value;
+                    let want = oracle.get(&addr).copied().unwrap_or(0);
+                    assert_eq!(got, want, "{kind:?}: read-your-writes broken at round {round}");
+                }
+                checker
+                    .check_serialized(&sys, &oracle)
+                    .unwrap_or_else(|e| panic!("{kind:?} round {round}: {e}"));
+            }
+        }
     }
 }

@@ -243,6 +243,29 @@ impl MemSystem {
     /// Returns [`Error::InvalidConfig`] if the configuration is
     /// internally inconsistent.
     pub fn new(cfg: SystemConfig, protocol: ProtocolKind) -> Result<Self, Error> {
+        let tables = protocol.build();
+        Self::with_protocol(cfg, protocol, tables)
+    }
+
+    /// Builds a memory system driving caller-supplied protocol tables
+    /// instead of `kind`'s canonical ones.
+    ///
+    /// This is a verification hook: the model checker's mutation pass
+    /// (`firefly-mc`) wraps the canonical tables with recording or
+    /// deliberately corrupted entries and runs them through the *real*
+    /// engine, so a mutant that survives proves the checker vacuous, not
+    /// the engine wrong. `kind` is still reported as the nominal
+    /// [`protocol_kind`](Self::protocol_kind).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the configuration is
+    /// internally inconsistent.
+    pub fn with_protocol(
+        cfg: SystemConfig,
+        kind: ProtocolKind,
+        tables: Box<dyn Protocol>,
+    ) -> Result<Self, Error> {
         let ports = (0..cfg.ports())
             .map(|_| PortCtl { cache: Cache::new(cfg.cache()), pending: None })
             .collect();
@@ -252,8 +275,8 @@ impl MemSystem {
         Ok(MemSystem {
             bus: Bus::new(cfg.ports(), cfg.trace_bus()),
             memory,
-            protocol: protocol.build(),
-            protocol_kind: protocol,
+            protocol: tables,
+            protocol_kind: kind,
             ports,
             ipi_pending: vec![false; cfg.ports()],
             ipi_sent: 0,

@@ -1,0 +1,441 @@
+//! Mutation testing for the model checker itself.
+//!
+//! A checker that never fires is indistinguishable from a correct
+//! protocol; this module guards against that vacuity by flipping one
+//! entry of a protocol's transition tables at a time and asserting the
+//! explorer *catches* every mutant. Mutants drive the real cycle
+//! engine through [`MemSystem::with_protocol`]
+//! (`firefly_core::system::MemSystem::with_protocol`), so a surviving
+//! mutant indicts the checker, not a re-model of the engine.
+//!
+//! Two passes keep the kill guarantee honest:
+//!
+//! 1. **Record** — an exhaustive run with the canonical tables wrapped
+//!    in a [recording shim](record_exercise) notes which table entries
+//!    the configuration actually exercises.
+//! 2. **Mutate** — [`mutations_for`] generates mutants *only* on
+//!    exercised entries, and only mutation shapes whose first exercise
+//!    provably breaks an invariant (e.g. dropping a snooper's `MShared`
+//!    assertion is generated only when the requester's not-shared fill
+//!    is an exclusive state and the snooper survives the snoop — the
+//!    exact conditions under which a stale-*false* `Shared` bit
+//!    manifests as an exclusivity violation). Entries the small
+//!    configuration never reaches generate nothing, so every generated
+//!    mutant must die.
+
+use crate::explore::{explore_with, McConfig, McReport};
+use firefly_core::protocol::{
+    BusOp, LineState, Protocol, ProtocolKind, SnoopResponse, WriteHitEffect, WriteMissPolicy,
+};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// The bus vocabulary in canonical order (for log indexing).
+const OPS: [BusOp; 6] = [
+    BusOp::Read,
+    BusOp::ReadOwned,
+    BusOp::Write,
+    BusOp::WriteBack,
+    BusOp::Update,
+    BusOp::Invalidate,
+];
+
+fn state_index(s: LineState) -> u8 {
+    LineState::ALL.iter().position(|&x| x == s).expect("LineState::ALL is exhaustive") as u8
+}
+
+fn op_index(op: BusOp) -> u8 {
+    OPS.iter().position(|&x| x == op).expect("OPS is exhaustive") as u8
+}
+
+/// Which transition-table entries an exploration exercised.
+#[derive(Clone, Debug, Default)]
+pub struct ExerciseLog {
+    /// `read_fill_state(shared)` calls, indexed by `shared`.
+    pub read_fill_shared: [bool; 2],
+    /// `write_hit(state)` calls, indexed by state.
+    pub write_hit: [bool; 5],
+    /// `after_write_bus(state, op, shared)` calls.
+    pub after_write: BTreeSet<(u8, u8, bool)>,
+    /// `snoop(state, op)` calls (the engine only consults valid states).
+    pub snoop: BTreeSet<(u8, u8)>,
+}
+
+/// Canonical tables wrapped with exercise recording.
+#[derive(Debug)]
+struct Recorder {
+    inner: Box<dyn Protocol>,
+    log: Arc<Mutex<ExerciseLog>>,
+}
+
+impl Protocol for Recorder {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn states(&self) -> &'static [LineState] {
+        self.inner.states()
+    }
+    fn read_fill_state(&self, shared: bool) -> LineState {
+        self.log.lock().unwrap().read_fill_shared[usize::from(shared)] = true;
+        self.inner.read_fill_state(shared)
+    }
+    fn write_miss_policy(&self) -> WriteMissPolicy {
+        self.inner.write_miss_policy()
+    }
+    fn exclusive_fill_state(&self) -> LineState {
+        self.inner.exclusive_fill_state()
+    }
+    fn write_through_fill_state(&self, shared: bool) -> LineState {
+        self.inner.write_through_fill_state(shared)
+    }
+    fn write_hit(&self, state: LineState) -> WriteHitEffect {
+        self.log.lock().unwrap().write_hit[state_index(state) as usize] = true;
+        self.inner.write_hit(state)
+    }
+    fn after_write_bus(&self, state: LineState, op: BusOp, shared: bool) -> LineState {
+        self.log.lock().unwrap().after_write.insert((state_index(state), op_index(op), shared));
+        self.inner.after_write_bus(state, op, shared)
+    }
+    fn snoop(&self, state: LineState, op: BusOp) -> SnoopResponse {
+        self.log.lock().unwrap().snoop.insert((state_index(state), op_index(op)));
+        self.inner.snoop(state, op)
+    }
+}
+
+/// Runs an exhaustive exploration of `cfg` with recording tables and
+/// returns what it exercised (plus the clean report, which callers
+/// should assert is violation-free).
+pub fn record_exercise(cfg: &McConfig) -> (ExerciseLog, McReport) {
+    let log = Arc::new(Mutex::new(ExerciseLog::default()));
+    let kind = cfg.protocol;
+    let factory = {
+        let log = Arc::clone(&log);
+        move || -> Box<dyn Protocol> {
+            Box::new(Recorder { inner: kind.build(), log: Arc::clone(&log) })
+        }
+    };
+    let report = explore_with(cfg, Some(&factory));
+    let snapshot = log.lock().unwrap().clone();
+    (snapshot, report)
+}
+
+/// One single-entry corruption of a protocol's transition tables.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Mutation {
+    /// `read_fill_state` *ignores* the `MShared` response and always
+    /// consults the not-shared entry — the stale-false fill: exclusive
+    /// while another cache holds the line.
+    ReadFillIgnoreShared,
+    /// A silent dirtying write hit leaves the line marked *clean*
+    /// (write-back responsibility silently dropped).
+    WriteHitSilentClean {
+        /// The write-hit state whose entry is corrupted.
+        state: LineState,
+    },
+    /// The snooper matching `(state, op)` no longer asserts `MShared` —
+    /// the wired-OR reads stale-*false* while the snooper keeps its
+    /// copy.
+    SnoopDropShared {
+        /// Snooper state of the corrupted entry.
+        state: LineState,
+        /// Observed bus op of the corrupted entry.
+        op: BusOp,
+    },
+    /// The snooper matching `(state, op)` transitions to
+    /// [`LineState::DirtyExclusive`] instead of its table state.
+    SnoopForceDirtyExclusive {
+        /// Snooper state of the corrupted entry.
+        state: LineState,
+        /// Observed bus op of the corrupted entry.
+        op: BusOp,
+    },
+    /// `after_write_bus` for `(state, op)` *ignores* the `MShared`
+    /// response and always consults the not-shared entry — the writer
+    /// goes exclusive while sharers hold the line.
+    AfterWriteIgnoreShared {
+        /// Writer state of the corrupted entry.
+        state: LineState,
+        /// Write-hit bus op of the corrupted entry.
+        op: BusOp,
+    },
+}
+
+impl fmt::Display for Mutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mutation::ReadFillIgnoreShared => write!(f, "read_fill: ignore MShared"),
+            Mutation::WriteHitSilentClean { state } => {
+                write!(f, "write_hit({}): silent dirty -> silent clean", state.short())
+            }
+            Mutation::SnoopDropShared { state, op } => {
+                write!(f, "snoop({}, {op}): drop MShared assert", state.short())
+            }
+            Mutation::SnoopForceDirtyExclusive { state, op } => {
+                write!(f, "snoop({}, {op}): force next state D", state.short())
+            }
+            Mutation::AfterWriteIgnoreShared { state, op } => {
+                write!(f, "after_write_bus({}, {op}): ignore MShared", state.short())
+            }
+        }
+    }
+}
+
+/// Canonical tables with one [`Mutation`] applied.
+#[derive(Debug)]
+struct Mutant {
+    inner: Box<dyn Protocol>,
+    mutation: Mutation,
+}
+
+impl Protocol for Mutant {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn states(&self) -> &'static [LineState] {
+        self.inner.states()
+    }
+    fn read_fill_state(&self, shared: bool) -> LineState {
+        match self.mutation {
+            // "Ignore" rather than "invert": the mutant's behavior
+            // diverges only on shared=true calls, so its first
+            // divergence is exactly the exercised entry the kill proof
+            // reasons about.
+            Mutation::ReadFillIgnoreShared => self.inner.read_fill_state(false),
+            _ => self.inner.read_fill_state(shared),
+        }
+    }
+    fn write_miss_policy(&self) -> WriteMissPolicy {
+        self.inner.write_miss_policy()
+    }
+    fn exclusive_fill_state(&self) -> LineState {
+        self.inner.exclusive_fill_state()
+    }
+    fn write_through_fill_state(&self, shared: bool) -> LineState {
+        self.inner.write_through_fill_state(shared)
+    }
+    fn write_hit(&self, state: LineState) -> WriteHitEffect {
+        match self.mutation {
+            Mutation::WriteHitSilentClean { state: s } if s == state => {
+                WriteHitEffect::Silent(LineState::CleanExclusive)
+            }
+            _ => self.inner.write_hit(state),
+        }
+    }
+    fn after_write_bus(&self, state: LineState, op: BusOp, shared: bool) -> LineState {
+        match self.mutation {
+            Mutation::AfterWriteIgnoreShared { state: s, op: o } if s == state && o == op => {
+                self.inner.after_write_bus(state, op, false)
+            }
+            _ => self.inner.after_write_bus(state, op, shared),
+        }
+    }
+    fn snoop(&self, state: LineState, op: BusOp) -> SnoopResponse {
+        let r = self.inner.snoop(state, op);
+        match self.mutation {
+            Mutation::SnoopDropShared { state: s, op: o } if s == state && o == op => {
+                SnoopResponse { assert_shared: false, ..r }
+            }
+            Mutation::SnoopForceDirtyExclusive { state: s, op: o } if s == state && o == op => {
+                SnoopResponse { next: LineState::DirtyExclusive, ..r }
+            }
+            _ => r,
+        }
+    }
+}
+
+/// Builds `kind`'s canonical tables with `mutation` applied.
+pub fn mutant_tables(kind: ProtocolKind, mutation: Mutation) -> Box<dyn Protocol> {
+    Box::new(Mutant { inner: kind.build(), mutation })
+}
+
+/// True when every snooper that asserts `MShared` on `op` also keeps
+/// its copy — the precondition for a dropped/ignored assertion to
+/// leave a stale-*false* `Shared` bit behind.
+fn sharers_survive(p: &dyn Protocol, op: BusOp) -> bool {
+    // Probe only the protocol's declared states: tables are entitled to
+    // reject states they never produce.
+    p.states().iter().all(|&s| {
+        let r = p.snoop(s, op);
+        !r.assert_shared || r.next.is_valid()
+    })
+}
+
+/// True when every write-hit that takes `op` to the bus lands in a
+/// non-shared (exclusive) state under a not-shared `MShared` response.
+fn write_hits_go_exclusive(p: &dyn Protocol, op: BusOp) -> bool {
+    p.states().iter().filter(|s| s.is_valid()).all(|&w| match p.write_hit(w) {
+        WriteHitEffect::Bus(o) if o == op => !p.after_write_bus(w, op, false).is_shared(),
+        _ => true,
+    })
+}
+
+/// Generates every guaranteed-detectable single-entry mutation of
+/// `kind`'s tables whose entry `log` shows was exercised.
+///
+/// Each generation rule encodes a proof sketch that the mutant's first
+/// exercise breaks an invariant at the very next per-step check, so a
+/// mutant surviving [`explore_with`] at the recording configuration is
+/// always a checker bug, never an unlucky configuration.
+pub fn mutations_for(kind: ProtocolKind, log: &ExerciseLog) -> Vec<Mutation> {
+    let p = kind.build();
+    let mut out = Vec::new();
+
+    // Stale-false fill: a shared fill was observed, and the inverted
+    // response would install an exclusive copy while the (surviving)
+    // snooper still holds the line — exclusivity violation.
+    if log.read_fill_shared[1] {
+        let unshared = p.read_fill_state(false);
+        if unshared != p.read_fill_state(true)
+            && !unshared.is_shared()
+            && sharers_survive(p.as_ref(), BusOp::Read)
+        {
+            out.push(Mutation::ReadFillIgnoreShared);
+        }
+    }
+
+    // Dropped write-back responsibility: a silent write hit that should
+    // dirty the line leaves it clean — the line now disagrees with
+    // memory while claiming cleanliness (clean-consistency violation).
+    for &s in p.states() {
+        if s.is_valid() && log.write_hit[state_index(s) as usize] {
+            if let WriteHitEffect::Silent(next) = p.write_hit(s) {
+                if next.is_dirty() {
+                    out.push(Mutation::WriteHitSilentClean { state: s });
+                }
+            }
+        }
+    }
+
+    for &(si, oi) in &log.snoop {
+        let s = LineState::ALL[si as usize];
+        let op = OPS[oi as usize];
+        if !s.is_valid() {
+            continue;
+        }
+        let r = p.snoop(s, op);
+
+        // Stale-false MShared: only generated when the initiator's
+        // not-shared outcome is exclusive while this snooper keeps its
+        // copy, so the drop *must* manifest as an exclusivity breach.
+        if r.assert_shared && r.next.is_valid() {
+            let detectable = match op {
+                BusOp::Read => {
+                    let f = p.read_fill_state(false);
+                    f != p.read_fill_state(true) && !f.is_shared()
+                }
+                BusOp::Write => {
+                    let miss_ok = match p.write_miss_policy() {
+                        WriteMissPolicy::WriteThrough { allocate } => {
+                            allocate && !p.write_through_fill_state(false).is_shared()
+                        }
+                        _ => true,
+                    };
+                    miss_ok && write_hits_go_exclusive(p.as_ref(), BusOp::Write)
+                }
+                BusOp::Update => write_hits_go_exclusive(p.as_ref(), BusOp::Update),
+                _ => false,
+            };
+            if detectable {
+                out.push(Mutation::SnoopDropShared { state: s, op });
+            }
+        }
+
+        // A snooper that usurps ownership: the initiator of any of
+        // these ops either holds the line afterwards (dual copy with an
+        // exclusive claimant) or wrote memory the usurper now shadows
+        // with stale dirty data (write-serialization breach).
+        let usurpable = matches!(
+            op,
+            BusOp::Read | BusOp::ReadOwned | BusOp::Write | BusOp::Update | BusOp::Invalidate
+        );
+        if usurpable && r.next != LineState::DirtyExclusive {
+            out.push(Mutation::SnoopForceDirtyExclusive { state: s, op });
+        }
+    }
+
+    // Stale-false on the write path: the writer saw MShared asserted,
+    // and the inverted table entry sends it to an exclusive state while
+    // the asserting snoopers survive.
+    for &(wi, oi, shared) in &log.after_write {
+        if !shared {
+            continue;
+        }
+        let w = LineState::ALL[wi as usize];
+        let op = OPS[oi as usize];
+        let not_shared = p.after_write_bus(w, op, false);
+        if not_shared != p.after_write_bus(w, op, true)
+            && !not_shared.is_shared()
+            && sharers_survive(p.as_ref(), op)
+        {
+            out.push(Mutation::AfterWriteIgnoreShared { state: w, op });
+        }
+    }
+    out
+}
+
+/// The fate of one mutant.
+#[derive(Clone, Debug)]
+pub struct MutationOutcome {
+    /// The mutation applied.
+    pub mutation: Mutation,
+    /// Whether the explorer caught it (every generated mutant must be).
+    pub caught: bool,
+    /// The minimized counterexample path when caught.
+    pub violation: Option<crate::explore::McViolation>,
+}
+
+/// The full mutation-testing pass for one configuration: record, then
+/// kill. Returns the clean-run report and one outcome per mutant.
+///
+/// # Panics
+///
+/// Panics if `cfg.values < 2` — a single-value domain cannot
+/// distinguish an overwrite from a refill, voiding several kill proofs.
+pub fn mutation_smoke(cfg: &McConfig) -> (McReport, Vec<MutationOutcome>) {
+    assert!(cfg.values >= 2, "mutation testing needs a value domain of at least 2");
+    assert!(
+        cfg.caches == 2,
+        "mutation kill proofs assume a 2-cache configuration (sole MShared asserter)"
+    );
+    let kind = cfg.protocol;
+    let (log, clean) = record_exercise(cfg);
+    let outcomes = mutations_for(kind, &log)
+        .into_iter()
+        .map(|mutation| {
+            let factory = move || mutant_tables(kind, mutation);
+            let report = explore_with(cfg, Some(&factory));
+            MutationOutcome {
+                mutation,
+                caught: report.violation.is_some(),
+                violation: report.violation,
+            }
+        })
+        .collect();
+    (clean, outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_run_is_clean_and_exercises_tables() {
+        let cfg = McConfig::new(ProtocolKind::Firefly).with_depth(6);
+        let (log, report) = record_exercise(&cfg);
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(log.read_fill_shared[0] && log.read_fill_shared[1]);
+        assert!(!log.snoop.is_empty());
+        assert!(log.write_hit.iter().any(|&b| b));
+    }
+
+    #[test]
+    fn firefly_generates_multiple_mutation_kinds() {
+        let cfg = McConfig::new(ProtocolKind::Firefly).with_depth(6);
+        let (log, _) = record_exercise(&cfg);
+        let muts = mutations_for(ProtocolKind::Firefly, &log);
+        assert!(muts.contains(&Mutation::ReadFillIgnoreShared));
+        assert!(muts.iter().any(|m| matches!(m, Mutation::WriteHitSilentClean { .. })));
+        assert!(muts.iter().any(|m| matches!(m, Mutation::SnoopForceDirtyExclusive { .. })));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the litmus DSL: `parse ∘ render` is the identity
+//! on parse's image, the parser never panics on mutilated input, the
+//! interleaving enumerator matches the multinomial count, and the
+//! runner holds every invariant on arbitrary generated programs.
+
+use firefly_core::protocol::ProtocolKind;
+use firefly_mc::litmus::{interleavings, parse, render, run};
+use proptest::prelude::*;
+
+const LOCS: [&str; 3] = ["x", "y", "z"];
+
+/// One generated instruction: `(is_write, loc, value, reg)`.
+type OpSpec = (bool, u8, u32, u8);
+
+fn op_strategy() -> impl Strategy<Value = OpSpec> {
+    (any::<bool>(), 0u8..3, 0u32..4, 0u8..4)
+}
+
+fn programs_strategy() -> impl Strategy<Value = Vec<Vec<OpSpec>>> {
+    prop::collection::vec(prop::collection::vec(op_strategy(), 1..4), 1..4)
+}
+
+/// Renders generated specs as DSL text. Returns the text and the
+/// registers bound by reads (for forbid clauses).
+fn to_text(name: u32, programs: &[Vec<OpSpec>], forbids: &[Vec<(usize, u32)>]) -> String {
+    let mut text = format!("test t{name}\n");
+    let mut bound = Vec::new();
+    for (cpu, prog) in programs.iter().enumerate() {
+        let ops: Vec<String> = prog
+            .iter()
+            .map(|&(is_write, loc, value, reg)| {
+                if is_write {
+                    format!("W {} {value}", LOCS[loc as usize])
+                } else {
+                    let reg = format!("r{reg}");
+                    bound.push(reg.clone());
+                    format!("R {} -> {reg}", LOCS[loc as usize])
+                }
+            })
+            .collect();
+        text.push_str(&format!("cpu {cpu}: {}\n", ops.join(" ; ")));
+    }
+    if !bound.is_empty() {
+        for clause in forbids {
+            let conds: Vec<String> = clause
+                .iter()
+                .map(|&(pick, val)| format!("{} = {val}", bound[pick % bound.len()]))
+                .collect();
+            text.push_str(&format!("forbid {}\n", conds.join(" & ")));
+        }
+    }
+    text
+}
+
+fn forbids_strategy() -> impl Strategy<Value = Vec<Vec<(usize, u32)>>> {
+    prop::collection::vec(prop::collection::vec((0usize..8, 0u32..4), 1..3), 0..3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `parse(render(t))` reproduces `t` exactly — names, programs,
+    /// location numbering, and forbid clauses all survive.
+    #[test]
+    fn parse_render_round_trips(
+        name in 0u32..1000,
+        programs in programs_strategy(),
+        forbids in forbids_strategy(),
+    ) {
+        let text = to_text(name, &programs, &forbids);
+        let t1 = parse(&text).unwrap_or_else(|e| panic!("generated text must parse: {e}\n{text}"));
+        let t2 = parse(&render(&t1)).expect("rendered text must parse");
+        prop_assert_eq!(&t1, &t2, "round trip diverged");
+        prop_assert_eq!(render(&t1), render(&t2), "canonical form is not a fixpoint");
+    }
+
+    /// Mutilating a valid test byte-by-byte never panics the parser —
+    /// it either still parses or returns a line-numbered error.
+    #[test]
+    fn parser_survives_mutilation(
+        name in 0u32..1000,
+        programs in programs_strategy(),
+        edits in prop::collection::vec((any::<usize>(), 0u8..0x60), 1..12),
+    ) {
+        let mut bytes = to_text(name, &programs, &[]).into_bytes();
+        for &(pos, b) in &edits {
+            let i = pos % bytes.len();
+            bytes[i] = b + 0x20; // printable ASCII
+        }
+        if let Ok(noisy) = String::from_utf8(bytes) {
+            let _ = parse(&noisy); // must not panic
+        }
+    }
+
+    /// The enumerator produces exactly the multinomial number of
+    /// order-preserving interleavings, all distinct.
+    #[test]
+    fn interleaving_count_is_multinomial(
+        name in 0u32..1000,
+        programs in programs_strategy(),
+    ) {
+        let t = parse(&to_text(name, &programs, &[])).expect("generated text must parse");
+        let lens: Vec<usize> = t.programs.iter().map(Vec::len).collect();
+        let mut expect = 1usize;
+        let mut seen = 0usize;
+        for &l in &lens {
+            for k in 1..=l {
+                seen += 1;
+                expect = expect * seen / k; // binomial(seen, k) stays integral
+            }
+        }
+        let all = interleavings(&t);
+        prop_assert_eq!(all.len(), expect, "count mismatch for lens {:?}", lens);
+        let distinct: std::collections::BTreeSet<_> = all.iter().collect();
+        prop_assert_eq!(distinct.len(), all.len(), "duplicate interleavings");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Arbitrary generated programs (forbid clauses stripped — random
+    /// clauses may name perfectly legal outcomes) hold every invariant
+    /// under every interleaving, cross-checked against the reference
+    /// simulator.
+    #[test]
+    fn runner_holds_invariants_on_random_programs(
+        name in 0u32..1000,
+        programs in programs_strategy(),
+    ) {
+        let t = parse(&to_text(name, &programs, &[])).expect("generated text must parse");
+        for kind in [ProtocolKind::Firefly, ProtocolKind::Berkeley] {
+            let out = run(&t, kind);
+            prop_assert!(
+                out.violation.is_none(),
+                "{:?}: {:?}",
+                kind,
+                out.violation.map(|v| v.message)
+            );
+        }
+    }
+}

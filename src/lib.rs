@@ -20,6 +20,7 @@
 //! | [`io`] | `firefly-io` | QBus, DMA, Ethernet, disk, display (MDC) |
 //! | [`model`] | `firefly-model` | the §5.2 queuing model (Table 1) |
 //! | [`sim`] | `firefly-sim` | machine builder & measurement harness |
+//! | [`mc`] | `firefly-mc` | exhaustive model checker, litmus tests, mutation smoke |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@
 pub use firefly_core as core;
 pub use firefly_cpu as cpu;
 pub use firefly_io as io;
+pub use firefly_mc as mc;
 pub use firefly_model as model;
 pub use firefly_sim as sim;
 pub use firefly_topaz as topaz;

@@ -5,6 +5,12 @@
 //! The oracle works because the MBus serializes everything: when
 //! accesses are issued one at a time (`run_to_completion`), the memory
 //! system must behave exactly like a flat array — for *every* protocol.
+//!
+//! The invariant battery runs at **every step**, not just quiescence:
+//! `check_serialized` adds write-serialization and single-writer-order
+//! checks against the same oracle the reads are verified with, so a
+//! transient violation between accesses pins the exact access that
+//! introduced it rather than surfacing (or washing out) at the end.
 
 use firefly::core::check::CoherenceChecker;
 use firefly::core::config::SystemConfig;
@@ -12,7 +18,7 @@ use firefly::core::protocol::ProtocolKind;
 use firefly::core::system::{MemSystem, Request};
 use firefly::core::{Addr, CacheGeometry, PortId};
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One scripted access.
 #[derive(Clone, Copy, Debug)]
@@ -33,32 +39,34 @@ fn access_strategy(cpus: usize, words: u32) -> impl Strategy<Value = Access> {
 }
 
 /// Runs a script through a real memory system and checks every read
-/// against the flat-memory oracle, plus the invariants at the end.
+/// against the flat-memory oracle, plus the full invariant battery
+/// (structural + serialization) after **every** access.
 fn check_against_oracle(kind: ProtocolKind, accesses: &[Access], cpus: usize) {
     // A tiny cache forces heavy conflict/victim traffic.
     let cfg = SystemConfig::microvax(cpus).with_cache(CacheGeometry::new(16, 1).unwrap());
     let mut sys = MemSystem::new(cfg, kind).unwrap();
-    let mut oracle: HashMap<u32, u32> = HashMap::new();
+    let checker = CoherenceChecker::new();
+    let mut oracle: BTreeMap<Addr, u32> = BTreeMap::new();
 
     for (i, a) in accesses.iter().enumerate() {
         let addr = Addr::from_word_index(a.word);
         let port = PortId::new(a.cpu);
         if a.write {
             sys.run_to_completion(port, Request::write(addr, a.value)).unwrap();
-            oracle.insert(a.word, a.value);
+            oracle.insert(addr, a.value);
         } else {
             let r = sys.run_to_completion(port, Request::read(addr)).unwrap();
-            let expect = oracle.get(&a.word).copied().unwrap_or(0);
+            let expect = oracle.get(&addr).copied().unwrap_or(0);
             assert_eq!(
                 r.value, expect,
                 "{kind:?}: access #{i} read {:?} got {:#x}, oracle says {expect:#x}",
                 a, r.value
             );
         }
+        checker
+            .check_serialized(&sys, &oracle)
+            .unwrap_or_else(|e| panic!("{kind:?}: invariant violated at access #{i} ({a:?}): {e}"));
     }
-    CoherenceChecker::new()
-        .check(&sys)
-        .unwrap_or_else(|e| panic!("{kind:?}: invariant violated after script: {e}"));
 }
 
 proptest! {
@@ -120,6 +128,7 @@ proptest! {
             let cfg = SystemConfig::microvax(4)
                 .with_cache(CacheGeometry::new(16, 1).unwrap());
             let mut sys = MemSystem::new(cfg, kind).unwrap();
+            let checker = CoherenceChecker::new();
             for round in &rounds {
                 for (cpu, &(write, word, value)) in round.iter().enumerate() {
                     let addr = Addr::from_word_index(word);
@@ -140,10 +149,10 @@ proptest! {
                     }
                 }
                 prop_assert_eq!(done, 4, "{:?}: accesses wedged", kind);
+                // Invariants must hold at every drained round, not just
+                // at the end of the script.
+                checker.check(&sys).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
             }
-            CoherenceChecker::new()
-                .check(&sys)
-                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
         }
     }
 }
@@ -182,18 +191,21 @@ fn multiword_lines_match_oracle() {
     for kind in [ProtocolKind::Firefly, ProtocolKind::Illinois, ProtocolKind::Dragon] {
         let cfg = SystemConfig::microvax(3).with_cache(CacheGeometry::new(8, 4).unwrap());
         let mut sys = MemSystem::new(cfg, kind).unwrap();
-        let mut oracle = HashMap::new();
-        for a in &accesses {
+        let checker = CoherenceChecker::new();
+        let mut oracle: BTreeMap<Addr, u32> = BTreeMap::new();
+        for (i, a) in accesses.iter().enumerate() {
             let addr = Addr::from_word_index(a.word);
             let port = PortId::new(a.cpu);
             if a.write {
                 sys.run_to_completion(port, Request::write(addr, a.value)).unwrap();
-                oracle.insert(a.word, a.value);
+                oracle.insert(addr, a.value);
             } else {
                 let r = sys.run_to_completion(port, Request::read(addr)).unwrap();
-                assert_eq!(r.value, oracle.get(&a.word).copied().unwrap_or(0), "{kind:?}");
+                assert_eq!(r.value, oracle.get(&addr).copied().unwrap_or(0), "{kind:?}");
             }
+            checker
+                .check_serialized(&sys, &oracle)
+                .unwrap_or_else(|e| panic!("{kind:?}: access #{i}: {e}"));
         }
-        CoherenceChecker::new().check(&sys).unwrap();
     }
 }
