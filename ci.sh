@@ -28,6 +28,17 @@ cargo run --release -p firefly-bench --bin fault_sweep -- --smoke
 echo "== model_check --smoke"
 cargo run --release -p firefly-bench --bin model_check -- --smoke
 
+echo "== soak --smoke (chaos kill/restore + resume equivalence)"
+cargo run --release -p firefly-bench --bin soak -- --smoke
+
+echo "== checkpoint/resume equivalence gate (deterministic across widths)"
+a="$(FIREFLY_JOBS=1 cargo run --release -q -p firefly-bench --bin soak -- --smoke --json)"
+b="$(FIREFLY_JOBS=4 cargo run --release -q -p firefly-bench --bin soak -- --smoke --json)"
+if [ "$a" != "$b" ]; then
+    echo "soak --smoke --json differs between FIREFLY_JOBS=1 and 4" >&2
+    exit 1
+fi
+
 echo "== trace smoke: protocol_compare --smoke --trace + trace_check"
 trace_file="$(mktemp /tmp/firefly-trace.XXXXXX.json)"
 trap 'rm -f "$trace_file"' EXIT

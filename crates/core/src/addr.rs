@@ -201,6 +201,16 @@ impl PortId {
         PortId(n as u8)
     }
 
+    /// Decodes a snapshot byte, rejecting out-of-range values instead of
+    /// panicking on corrupt input.
+    pub(crate) fn from_snap(n: u8) -> Result<Self, crate::error::Error> {
+        if n < 16 {
+            Ok(PortId(n))
+        } else {
+            Err(crate::error::Error::SnapshotCorrupt(format!("invalid port id {n}")))
+        }
+    }
+
     /// The port's index, usable for indexing per-port tables.
     pub const fn index(self) -> usize {
         self.0 as usize

@@ -23,7 +23,9 @@
 
 use crate::addr::{LineId, PortId};
 use crate::cache::LineData;
+use crate::error::Error;
 use crate::protocol::BusOp;
+use crate::snapshot::{SnapReader, SnapWriter};
 use crate::stats::BusStats;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -55,6 +57,54 @@ pub enum DataSource {
     Cache(PortId),
 }
 
+impl Payload {
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        match self {
+            Payload::None => w.u8(0),
+            Payload::Word { offset, value } => {
+                w.u8(1);
+                w.u8(*offset);
+                w.u32(*value);
+            }
+            Payload::Line(d) => {
+                w.u8(2);
+                d.save(w);
+            }
+        }
+    }
+
+    pub(crate) fn load(r: &mut SnapReader<'_>) -> Result<Self, Error> {
+        Ok(match r.u8()? {
+            0 => Payload::None,
+            1 => Payload::Word { offset: r.u8()?, value: r.u32()? },
+            2 => Payload::Line(LineData::load(r)?),
+            t => return Err(Error::SnapshotCorrupt(format!("invalid Payload tag {t}"))),
+        })
+    }
+}
+
+impl DataSource {
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        match self {
+            DataSource::NotApplicable => w.u8(0),
+            DataSource::Memory => w.u8(1),
+            DataSource::Cache(p) => {
+                w.u8(2);
+                w.u8(p.index() as u8);
+            }
+        }
+    }
+
+    pub(crate) fn load(r: &mut SnapReader<'_>) -> Result<Self, Error> {
+        Ok(match r.u8()? {
+            0 => DataSource::NotApplicable,
+            1 => DataSource::Memory,
+            2 => DataSource::Cache(PortId::from_snap(r.u8()?)?),
+            t => return Err(Error::SnapshotCorrupt(format!("invalid DataSource tag {t}"))),
+        })
+    }
+}
+
 /// An in-flight bus transaction.
 #[derive(Clone, Debug)]
 pub struct Transaction {
@@ -70,6 +120,28 @@ pub struct Transaction {
     pub cycles_done: u8,
     /// The wired-OR `MShared` response (valid after cycle 3).
     pub mshared: bool,
+}
+
+impl Transaction {
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        w.u8(self.initiator.index() as u8);
+        w.u8(self.op.snap_tag());
+        w.u32(self.line.raw());
+        self.payload.save(w);
+        w.u8(self.cycles_done);
+        w.bool(self.mshared);
+    }
+
+    pub(crate) fn load(r: &mut SnapReader<'_>) -> Result<Self, Error> {
+        Ok(Transaction {
+            initiator: PortId::from_snap(r.u8()?)?,
+            op: BusOp::from_snap_tag(r.u8()?)?,
+            line: LineId::from_raw(r.u32()?),
+            payload: Payload::load(r)?,
+            cycles_done: r.u8()?,
+            mshared: r.bool()?,
+        })
+    }
 }
 
 /// A completed transaction, as recorded in the bus event log.
@@ -341,6 +413,73 @@ impl Bus {
         if let Some(log) = &mut self.log {
             log.clear();
         }
+    }
+
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.requests.len());
+        for &req in &self.requests {
+            w.bool(req);
+        }
+        match &self.current {
+            None => w.bool(false),
+            Some(txn) => {
+                w.bool(true);
+                txn.save(w);
+            }
+        }
+        self.stats.save(w);
+        match &self.log {
+            None => w.bool(false),
+            Some(log) => {
+                w.bool(true);
+                w.usize(log.len());
+                for rec in log {
+                    w.u64(rec.start_cycle);
+                    w.u8(rec.initiator.index() as u8);
+                    w.u8(rec.op.snap_tag());
+                    w.u32(rec.line.raw());
+                    w.bool(rec.mshared);
+                    rec.source.save(w);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), Error> {
+        let ports = r.usize()?;
+        if ports != self.requests.len() {
+            return Err(Error::SnapshotCorrupt(format!(
+                "snapshot has {ports} bus ports, system has {}",
+                self.requests.len()
+            )));
+        }
+        for req in &mut self.requests {
+            *req = r.bool()?;
+        }
+        self.current = if r.bool()? { Some(Transaction::load(r)?) } else { None };
+        self.stats = BusStats::load_snap(r)?;
+        let traced = r.bool()?;
+        if traced != self.log.is_some() {
+            return Err(Error::SnapshotCorrupt(
+                "snapshot bus-trace setting does not match the configuration".into(),
+            ));
+        }
+        if let Some(log) = &mut self.log {
+            let n = r.usize()?;
+            log.clear();
+            log.reserve(n);
+            for _ in 0..n {
+                log.push(TransactionRecord {
+                    start_cycle: r.u64()?,
+                    initiator: PortId::from_snap(r.u8()?)?,
+                    op: BusOp::from_snap_tag(r.u8()?)?,
+                    line: LineId::from_raw(r.u32()?),
+                    mshared: r.bool()?,
+                    source: DataSource::load(r)?,
+                });
+            }
+        }
+        Ok(())
     }
 }
 

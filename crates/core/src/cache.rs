@@ -13,7 +13,9 @@
 
 use crate::addr::{Addr, LineId};
 use crate::config::{CacheGeometry, MAX_LINE_WORDS};
+use crate::error::Error;
 use crate::protocol::LineState;
+use crate::snapshot::{SnapReader, SnapWriter};
 use crate::stats::CacheStats;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -106,6 +108,25 @@ impl LineData {
     /// The line's words as a slice.
     pub fn as_slice(&self) -> &[u32] {
         &self.words[..self.len()]
+    }
+
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        w.u8(self.len);
+        for &word in self.as_slice() {
+            w.u32(word);
+        }
+    }
+
+    pub(crate) fn load(r: &mut SnapReader<'_>) -> Result<Self, Error> {
+        let len = r.u8()? as usize;
+        if !(1..=MAX_LINE_WORDS).contains(&len) {
+            return Err(Error::SnapshotCorrupt(format!("invalid line length {len}")));
+        }
+        let mut d = LineData::zeroed(len);
+        for i in 0..len {
+            d.set(i, r.u32()?);
+        }
+        Ok(d)
     }
 }
 
@@ -309,6 +330,40 @@ impl Cache {
         for slot in &mut self.slots {
             slot.state = LineState::Invalid;
         }
+    }
+
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        self.stats.save(w);
+        w.usize(self.slots.len());
+        for slot in &self.slots {
+            w.u8(slot.state.snap_tag());
+            w.u32(slot.tag);
+            slot.data.save(w);
+        }
+    }
+
+    pub(crate) fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), Error> {
+        self.stats = CacheStats::load(r)?;
+        let n = r.usize()?;
+        if n != self.slots.len() {
+            return Err(Error::SnapshotCorrupt(format!(
+                "snapshot has {n} cache slots, geometry has {}",
+                self.slots.len()
+            )));
+        }
+        for slot in &mut self.slots {
+            slot.state = LineState::from_snap_tag(r.u8()?)?;
+            slot.tag = r.u32()?;
+            slot.data = LineData::load(r)?;
+            if slot.data.len() != self.geometry.line_words() {
+                return Err(Error::SnapshotCorrupt(format!(
+                    "snapshot line holds {} words, geometry wants {}",
+                    slot.data.len(),
+                    self.geometry.line_words()
+                )));
+            }
+        }
+        Ok(())
     }
 }
 

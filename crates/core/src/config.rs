@@ -253,18 +253,37 @@ impl SystemConfig {
     /// # Panics
     ///
     /// Panics if the size exceeds the variant's physical limit
-    /// (16 MB MicroVAX, 128 MB CVAX) or is zero.
-    pub fn with_memory_mb(mut self, mb: u64) -> Self {
+    /// (16 MB MicroVAX, 128 MB CVAX) or is zero. For a non-panicking
+    /// variant suited to untrusted input, see
+    /// [`try_with_memory_mb`](SystemConfig::try_with_memory_mb).
+    pub fn with_memory_mb(self, mb: u64) -> Self {
+        match self.try_with_memory_mb(mb) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Sets main memory size in megabytes, rejecting invalid sizes with
+    /// [`Error::InvalidConfig`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the size is zero or exceeds
+    /// the variant's physical limit (16 MB MicroVAX, 128 MB CVAX).
+    pub fn try_with_memory_mb(mut self, mb: u64) -> Result<Self, Error> {
         let bytes = mb << 20;
-        assert!(bytes > 0, "memory size must be nonzero");
-        assert!(
-            bytes <= self.variant.max_memory_bytes(),
-            "{:?} supports at most {} MB of physical memory, got {mb} MB",
-            self.variant,
-            self.variant.max_memory_bytes() >> 20,
-        );
+        if bytes == 0 {
+            return Err(Error::InvalidConfig("memory size must be nonzero".to_string()));
+        }
+        if bytes > self.variant.max_memory_bytes() {
+            return Err(Error::InvalidConfig(format!(
+                "{:?} supports at most {} MB of physical memory, got {mb} MB",
+                self.variant,
+                self.variant.max_memory_bytes() >> 20,
+            )));
+        }
         self.memory_bytes = bytes;
-        self
+        Ok(self)
     }
 
     /// Enables recording of per-cycle bus events (for timing diagrams).
@@ -330,6 +349,49 @@ impl SystemConfig {
     /// Number of memory modules implied by the memory size.
     pub fn memory_modules(&self) -> usize {
         self.memory_bytes.div_ceil(self.variant.module_bytes()) as usize
+    }
+
+    pub(crate) fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.u8(match self.variant {
+            MachineVariant::MicroVax => 0,
+            MachineVariant::CVax => 1,
+        });
+        w.usize(self.ports);
+        w.usize(self.cache.lines);
+        w.usize(self.cache.line_words);
+        w.u64(self.memory_bytes);
+        w.bool(self.trace_bus);
+        w.usize(self.event_trace);
+        self.faults.save_config(w);
+    }
+
+    pub(crate) fn load(r: &mut crate::snapshot::SnapReader<'_>) -> Result<Self, Error> {
+        let variant = match r.u8()? {
+            0 => MachineVariant::MicroVax,
+            1 => MachineVariant::CVax,
+            t => {
+                return Err(Error::SnapshotCorrupt(format!("invalid machine variant tag {t}")));
+            }
+        };
+        let ports = r.usize()?;
+        if !(1..=16).contains(&ports) {
+            return Err(Error::SnapshotCorrupt(format!("invalid port count {ports}")));
+        }
+        let cache = CacheGeometry::new(r.usize()?, r.usize()?)
+            .map_err(|e| Error::SnapshotCorrupt(format!("bad cache geometry: {e}")))?;
+        let memory_bytes = r.u64()?;
+        if memory_bytes == 0 || memory_bytes > variant.max_memory_bytes() {
+            return Err(Error::SnapshotCorrupt(format!("invalid memory size {memory_bytes}")));
+        }
+        Ok(SystemConfig {
+            variant,
+            ports,
+            cache,
+            memory_bytes,
+            trace_bus: r.bool()?,
+            event_trace: r.usize()?,
+            faults: crate::fault::FaultConfig::load_config(r)?,
+        })
     }
 }
 

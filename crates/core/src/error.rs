@@ -38,6 +38,18 @@ pub enum Error {
     },
     /// The addressed port has been offlined after an unrecoverable fault.
     PortOffline(crate::PortId),
+    /// A snapshot was written by an incompatible codec version.
+    SnapshotVersion {
+        /// The version recorded in the snapshot header.
+        found: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
+    /// A snapshot failed structural validation (bad magic, truncation,
+    /// checksum mismatch, or an out-of-range encoded value).
+    SnapshotCorrupt(String),
+    /// The machine holds state the snapshot codec does not cover.
+    SnapshotUnsupported(&'static str),
 }
 
 impl fmt::Display for Error {
@@ -58,6 +70,16 @@ impl fmt::Display for Error {
                 write!(f, "device {device} timed out past its retry budget")
             }
             Error::PortOffline(p) => write!(f, "port {p} has been offlined"),
+            Error::SnapshotVersion { found, supported } => {
+                write!(
+                    f,
+                    "snapshot version {found} is not supported (this build reads {supported})"
+                )
+            }
+            Error::SnapshotCorrupt(msg) => write!(f, "snapshot corrupt: {msg}"),
+            Error::SnapshotUnsupported(what) => {
+                write!(f, "snapshot does not cover {what}")
+            }
         }
     }
 }
@@ -80,6 +102,10 @@ mod tests {
         assert_eq!(e.to_string(), "uncorrectable (double-bit) memory error at 0x00000040");
         assert!(Error::DeviceTimeout { device: "rqdx3" }.to_string().contains("rqdx3"));
         assert!(Error::PortOffline(PortId::new(2)).to_string().contains("P2"));
+        let e = Error::SnapshotVersion { found: 9, supported: 1 };
+        assert_eq!(e.to_string(), "snapshot version 9 is not supported (this build reads 1)");
+        assert!(Error::SnapshotCorrupt("bad magic".into()).to_string().contains("bad magic"));
+        assert!(Error::SnapshotUnsupported("io state").to_string().contains("io state"));
     }
 
     #[test]

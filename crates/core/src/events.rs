@@ -51,6 +51,9 @@ pub enum FaultClass {
     EccUncorrectable,
     /// A failed bus transaction was retried by the initiator.
     BusRetry,
+    /// A watchdog budget expired on a starved bus requester or a wedged
+    /// device, and the escalation path (backoff, then machine-check) ran.
+    Watchdog,
 }
 
 impl FaultClass {
@@ -65,7 +68,41 @@ impl FaultClass {
             FaultClass::EccCorrected => "ecc-corrected",
             FaultClass::EccUncorrectable => "ecc-uncorrectable",
             FaultClass::BusRetry => "bus-retry",
+            FaultClass::Watchdog => "watchdog",
         }
+    }
+
+    pub(crate) fn snap_tag(self) -> u8 {
+        match self {
+            FaultClass::MSharedDrop => 0,
+            FaultClass::MSharedSpurious => 1,
+            FaultClass::ArbStall => 2,
+            FaultClass::BusParity => 3,
+            FaultClass::TagFlip => 4,
+            FaultClass::EccCorrected => 5,
+            FaultClass::EccUncorrectable => 6,
+            FaultClass::BusRetry => 7,
+            FaultClass::Watchdog => 8,
+        }
+    }
+
+    pub(crate) fn from_snap_tag(t: u8) -> Result<Self, crate::error::Error> {
+        Ok(match t {
+            0 => FaultClass::MSharedDrop,
+            1 => FaultClass::MSharedSpurious,
+            2 => FaultClass::ArbStall,
+            3 => FaultClass::BusParity,
+            4 => FaultClass::TagFlip,
+            5 => FaultClass::EccCorrected,
+            6 => FaultClass::EccUncorrectable,
+            7 => FaultClass::BusRetry,
+            8 => FaultClass::Watchdog,
+            _ => {
+                return Err(crate::error::Error::SnapshotCorrupt(format!(
+                    "invalid FaultClass tag {t}"
+                )))
+            }
+        })
     }
 }
 
@@ -138,6 +175,91 @@ pub enum EventKind {
         /// Whether the thread last ran on a different CPU.
         migrated: bool,
     },
+}
+
+impl EventKind {
+    pub(crate) fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        match *self {
+            EventKind::BusIssued { initiator, op, line } => {
+                w.u8(0);
+                w.u8(initiator.index() as u8);
+                w.u8(op.snap_tag());
+                w.u32(line.raw());
+            }
+            EventKind::BusCompleted { initiator, op, line, mshared, source } => {
+                w.u8(1);
+                w.u8(initiator.index() as u8);
+                w.u8(op.snap_tag());
+                w.u32(line.raw());
+                w.bool(mshared);
+                source.save(w);
+            }
+            EventKind::MSharedAsserted { line } => {
+                w.u8(2);
+                w.u32(line.raw());
+            }
+            EventKind::Transition { port, line, from, to } => {
+                w.u8(3);
+                w.u8(port.index() as u8);
+                w.u32(line.raw());
+                w.u8(from.snap_tag());
+                w.u8(to.snap_tag());
+            }
+            EventKind::FaultInjected { class } => {
+                w.u8(4);
+                w.u8(class.snap_tag());
+            }
+            EventKind::FaultRecovered { class } => {
+                w.u8(5);
+                w.u8(class.snap_tag());
+            }
+            EventKind::CpuOffline { port } => {
+                w.u8(6);
+                w.u8(port.index() as u8);
+            }
+            EventKind::ContextSwitch { cpu, thread, migrated } => {
+                w.u8(7);
+                w.u32(cpu);
+                w.u32(thread);
+                w.bool(migrated);
+            }
+        }
+    }
+
+    pub(crate) fn load(
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<Self, crate::error::Error> {
+        Ok(match r.u8()? {
+            0 => EventKind::BusIssued {
+                initiator: PortId::from_snap(r.u8()?)?,
+                op: BusOp::from_snap_tag(r.u8()?)?,
+                line: LineId::from_raw(r.u32()?),
+            },
+            1 => EventKind::BusCompleted {
+                initiator: PortId::from_snap(r.u8()?)?,
+                op: BusOp::from_snap_tag(r.u8()?)?,
+                line: LineId::from_raw(r.u32()?),
+                mshared: r.bool()?,
+                source: DataSource::load(r)?,
+            },
+            2 => EventKind::MSharedAsserted { line: LineId::from_raw(r.u32()?) },
+            3 => EventKind::Transition {
+                port: PortId::from_snap(r.u8()?)?,
+                line: LineId::from_raw(r.u32()?),
+                from: LineState::from_snap_tag(r.u8()?)?,
+                to: LineState::from_snap_tag(r.u8()?)?,
+            },
+            4 => EventKind::FaultInjected { class: FaultClass::from_snap_tag(r.u8()?)? },
+            5 => EventKind::FaultRecovered { class: FaultClass::from_snap_tag(r.u8()?)? },
+            6 => EventKind::CpuOffline { port: PortId::from_snap(r.u8()?)? },
+            7 => EventKind::ContextSwitch { cpu: r.u32()?, thread: r.u32()?, migrated: r.bool()? },
+            t => {
+                return Err(crate::error::Error::SnapshotCorrupt(format!(
+                    "invalid EventKind tag {t}"
+                )))
+            }
+        })
+    }
 }
 
 /// One trace event: an [`EventKind`] stamped with the MBus cycle at
@@ -222,6 +344,43 @@ impl EventRing {
     /// Drains the held events, oldest first.
     pub fn take(&mut self) -> Vec<Event> {
         self.buf.drain(..).collect()
+    }
+
+    pub(crate) fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.usize(self.capacity);
+        w.u64(self.dropped);
+        w.usize(self.buf.len());
+        for ev in &self.buf {
+            w.u64(ev.cycle);
+            ev.kind.save(w);
+        }
+    }
+
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::error::Error> {
+        let cap = r.usize()?;
+        if cap != self.capacity {
+            return Err(crate::error::Error::SnapshotCorrupt(format!(
+                "event ring capacity {cap} does not match the configuration's {}",
+                self.capacity
+            )));
+        }
+        self.dropped = r.u64()?;
+        let len = r.usize()?;
+        if len > cap {
+            return Err(crate::error::Error::SnapshotCorrupt(format!(
+                "event ring holds {len} events but its capacity is {cap}"
+            )));
+        }
+        self.buf.clear();
+        for _ in 0..len {
+            let cycle = r.u64()?;
+            let kind = EventKind::load(r)?;
+            self.buf.push_back(Event { cycle, kind });
+        }
+        Ok(())
     }
 }
 

@@ -30,6 +30,7 @@
 //! cycle-accurate result bit-identical to a run with no plan at all.
 
 use crate::error::Error;
+use crate::snapshot::{SnapReader, SnapWriter};
 use crate::Addr;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -130,6 +131,41 @@ impl FaultConfig {
             disk_read_error_ppm: rate_ppm,
         }
     }
+
+    /// Serializes the plan for embedding in a snapshot.
+    pub(crate) fn save_config(&self, w: &mut SnapWriter) {
+        w.u64(self.seed);
+        for ppm in [
+            self.mshared_drop_ppm,
+            self.mshared_spurious_ppm,
+            self.arb_stall_ppm,
+            self.bus_parity_ppm,
+            self.ecc_single_ppm,
+            self.ecc_double_ppm,
+            self.tag_flip_ppm,
+            self.dma_timeout_ppm,
+            self.packet_drop_ppm,
+            self.disk_read_error_ppm,
+        ] {
+            w.u32(ppm);
+        }
+    }
+
+    pub(crate) fn load_config(r: &mut SnapReader<'_>) -> Result<Self, Error> {
+        Ok(FaultConfig {
+            seed: r.u64()?,
+            mshared_drop_ppm: r.u32()?,
+            mshared_spurious_ppm: r.u32()?,
+            arb_stall_ppm: r.u32()?,
+            bus_parity_ppm: r.u32()?,
+            ecc_single_ppm: r.u32()?,
+            ecc_double_ppm: r.u32()?,
+            tag_flip_ppm: r.u32()?,
+            dma_timeout_ppm: r.u32()?,
+            packet_drop_ppm: r.u32()?,
+            disk_read_error_ppm: r.u32()?,
+        })
+    }
 }
 
 /// Mixes the plan seed with a site identifier so each site gets an
@@ -210,6 +246,27 @@ impl FaultSite {
         assert!(n > 0, "pick from an empty set");
         self.rng.gen_range(0..n)
     }
+
+    /// Serializes the site's raw generator words for checkpointing.
+    ///
+    /// The stream *position* is part of the machine state: re-seeding on
+    /// restore would replay or skip fault draws and break
+    /// resume-equivalence.
+    pub fn save(&self, w: &mut SnapWriter) {
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+    }
+
+    /// Rebuilds a site from state captured by [`save`](FaultSite::save).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SnapshotCorrupt`] on truncation.
+    pub fn load(r: &mut SnapReader<'_>) -> Result<Self, Error> {
+        let s = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        Ok(FaultSite { rng: SmallRng::from_state(s) })
+    }
 }
 
 /// The memory-side ECC model: a fault site plus correction bookkeeping.
@@ -285,6 +342,36 @@ impl EccInjector {
     /// Takes the accumulated uncorrectable-error records.
     pub fn drain_errors(&mut self) -> Vec<Error> {
         std::mem::take(&mut self.errors)
+    }
+
+    /// Serializes the mutable state (stream position, counters, pending
+    /// errors); the rates come from the plan at rebuild time.
+    pub(crate) fn save_state(&self, w: &mut SnapWriter) {
+        self.site.save(w);
+        w.u64(self.corrected);
+        w.u64(self.uncorrected);
+        w.u64(self.scrubs);
+        w.usize(self.errors.len());
+        for e in &self.errors {
+            match e {
+                Error::EccUncorrectable { addr } => w.u32(addr.byte()),
+                other => unreachable!("ECC injector only records EccUncorrectable, saw {other:?}"),
+            }
+        }
+    }
+
+    /// Restores state captured by [`save_state`](EccInjector::save_state)
+    /// into an injector freshly built from the same plan.
+    pub(crate) fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), Error> {
+        self.site = FaultSite::load(r)?;
+        self.corrected = r.u64()?;
+        self.uncorrected = r.u64()?;
+        self.scrubs = r.u64()?;
+        let n = r.usize()?;
+        self.errors = (0..n)
+            .map(|_| Ok(Error::EccUncorrectable { addr: Addr::new(r.u32()?) }))
+            .collect::<Result<_, Error>>()?;
+        Ok(())
     }
 }
 
@@ -368,6 +455,50 @@ mod tests {
         assert_eq!(ecc.uncorrected(), 1);
         assert_eq!(ecc.drain_errors(), vec![Error::EccUncorrectable { addr }]);
         assert!(ecc.drain_errors().is_empty(), "drain empties the log");
+    }
+
+    #[test]
+    fn site_snapshot_resumes_the_exact_stream() {
+        let mut live = FaultSite::new(3, site::MSHARED);
+        for _ in 0..137 {
+            let _ = live.fires(40_000);
+        }
+        let mut w = SnapWriter::new();
+        live.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = FaultSite::load(&mut SnapReader::new(&bytes)).unwrap();
+        for _ in 0..1000 {
+            assert_eq!(live.fires(40_000), restored.fires(40_000));
+        }
+    }
+
+    #[test]
+    fn ecc_injector_state_roundtrip() {
+        let cfg = FaultConfig {
+            seed: 4,
+            ecc_single_ppm: 300_000,
+            ecc_double_ppm: 300_000,
+            ..FaultConfig::default()
+        };
+        let mut live = EccInjector::from_config(&cfg).unwrap();
+        for i in 0..200u32 {
+            let _ = live.apply(Addr::from_word_index(i), i);
+        }
+        let mut w = SnapWriter::new();
+        live.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = EccInjector::from_config(&cfg).unwrap();
+        restored.load_state(&mut SnapReader::new(&bytes)).unwrap();
+        assert_eq!(restored.corrected(), live.corrected());
+        assert_eq!(restored.uncorrected(), live.uncorrected());
+        for i in 0..200u32 {
+            assert_eq!(
+                live.apply(Addr::from_word_index(i), i),
+                restored.apply(Addr::from_word_index(i), i),
+                "restored injector must continue the identical schedule"
+            );
+        }
+        assert_eq!(live.drain_errors(), restored.drain_errors());
     }
 
     #[test]

@@ -42,6 +42,9 @@
 //! * [`events`] — cycle-stamped event tracing (the software stand-in for
 //!   the paper's per-cache hardware event counter) with Chrome-trace and
 //!   text-timeline exporters.
+//! * [`snapshot`] — a versioned, dependency-free binary codec for
+//!   checkpoint/restore: a run checkpointed at cycle C and resumed is
+//!   bit-identical to the uninterrupted run.
 //!
 //! ## Quick example
 //!
@@ -89,6 +92,7 @@ pub mod fault;
 pub mod memory;
 pub mod protocol;
 pub mod refsim;
+pub mod snapshot;
 pub mod stats;
 pub mod system;
 

@@ -14,6 +14,7 @@ use crate::addr::{Addr, LineId};
 use crate::cache::LineData;
 use crate::error::Error;
 use crate::fault::EccInjector;
+use crate::snapshot::{SnapReader, SnapWriter};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -212,6 +213,81 @@ impl Memory {
     /// Number of 4 KB pages actually materialized.
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.bytes);
+        w.u64(self.module_bytes);
+        w.u64(self.reads);
+        w.u64(self.writes);
+        w.usize(self.module_traffic.len());
+        for &(r, wr) in &self.module_traffic {
+            w.u64(r);
+            w.u64(wr);
+        }
+        // Sparse image, pages sorted by index so the encoding is canonical
+        // (save → restore → save must be byte-identical).
+        let mut keys: Vec<u32> = self.pages.keys().copied().collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for k in keys {
+            w.u32(k);
+            for &word in self.pages[&k].iter() {
+                w.u32(word);
+            }
+        }
+        match &self.ecc {
+            None => w.bool(false),
+            Some(ecc) => {
+                w.bool(true);
+                ecc.save_state(w);
+            }
+        }
+    }
+
+    pub(crate) fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), Error> {
+        let (bytes, module_bytes) = (r.u64()?, r.u64()?);
+        if bytes != self.bytes || module_bytes != self.module_bytes {
+            return Err(Error::SnapshotCorrupt(format!(
+                "snapshot memory geometry {bytes}/{module_bytes} does not match \
+                 configured {}/{}",
+                self.bytes, self.module_bytes
+            )));
+        }
+        self.reads = r.u64()?;
+        self.writes = r.u64()?;
+        let modules = r.usize()?;
+        if modules != self.module_traffic.len() {
+            return Err(Error::SnapshotCorrupt(format!(
+                "snapshot has {modules} memory modules, system has {}",
+                self.module_traffic.len()
+            )));
+        }
+        for t in &mut self.module_traffic {
+            *t = (r.u64()?, r.u64()?);
+        }
+        let n_pages = r.usize()?;
+        self.pages.clear();
+        for _ in 0..n_pages {
+            let key = r.u32()?;
+            let mut page = Box::new([0u32; PAGE_WORDS]);
+            for word in page.iter_mut() {
+                *word = r.u32()?;
+            }
+            if self.pages.insert(key, page).is_some() {
+                return Err(Error::SnapshotCorrupt(format!("duplicate memory page {key}")));
+            }
+        }
+        let has_ecc = r.bool()?;
+        if has_ecc != self.ecc.is_some() {
+            return Err(Error::SnapshotCorrupt(
+                "snapshot ECC-injector presence does not match the fault plan".into(),
+            ));
+        }
+        if let Some(ecc) = &mut self.ecc {
+            ecc.load_state(r)?;
+        }
+        Ok(())
     }
 }
 

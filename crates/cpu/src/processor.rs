@@ -13,8 +13,9 @@
 
 use crate::config::CpuConfig;
 use crate::icache::ICache;
+use firefly_core::snapshot::{SnapReader, SnapWriter};
 use firefly_core::system::{MemSystem, Request};
-use firefly_core::{Addr, PortId};
+use firefly_core::{Addr, Error, PortId};
 use firefly_trace::{MemRef, RefKind, RefStream};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -279,6 +280,138 @@ impl Processor {
     }
 }
 
+fn save_kind(k: RefKind, w: &mut SnapWriter) {
+    w.u8(match k {
+        RefKind::InstrRead => 0,
+        RefKind::DataRead => 1,
+        RefKind::DataWrite => 2,
+    });
+}
+
+fn load_kind(r: &mut SnapReader<'_>) -> Result<RefKind, Error> {
+    match r.u8()? {
+        0 => Ok(RefKind::InstrRead),
+        1 => Ok(RefKind::DataRead),
+        2 => Ok(RefKind::DataWrite),
+        t => Err(Error::SnapshotCorrupt(format!("invalid ref kind tag {t}"))),
+    }
+}
+
+impl Processor {
+    /// Serializes the processor's complete dynamic state — RNG, execution
+    /// state, fractional-cycle accumulators, counters, on-chip cache, and
+    /// the reference stream — for a machine checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SnapshotUnsupported`] if the reference stream
+    /// does not implement
+    /// [`RefStream::save_state`].
+    pub fn save_state(&self, w: &mut SnapWriter) -> Result<(), Error> {
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        match &self.state {
+            State::Computing { cycles_left } => {
+                w.u8(0);
+                w.u64(*cycles_left);
+            }
+            State::WaitingMem { kind, is_prefetch } => {
+                w.u8(1);
+                save_kind(*kind, w);
+                w.bool(*is_prefetch);
+            }
+        }
+        match &self.pending {
+            Some(r) => {
+                w.bool(true);
+                w.u32(r.addr.byte());
+                save_kind(r.kind, w);
+            }
+            None => w.bool(false),
+        }
+        w.f64(self.carry);
+        w.f64(self.refund);
+        w.u32(self.last_addr.byte());
+        w.f64(self.instr_carry);
+        w.f64(self.ema_latency);
+        let s = &self.stats;
+        for c in [
+            s.instructions,
+            s.ifetches,
+            s.data_reads,
+            s.data_writes,
+            s.icache_hits,
+            s.wasted_prefetches,
+            s.cycles,
+            s.memory_wait_cycles,
+        ] {
+            w.u64(c);
+        }
+        match &self.icache {
+            Some(ic) => {
+                w.bool(true);
+                ic.save(w);
+            }
+            None => w.bool(false),
+        }
+        self.stream.save_state(w)
+    }
+
+    /// Restores state captured by [`Processor::save_state`] into a
+    /// processor built with the same configuration, port, and stream
+    /// constructor arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SnapshotCorrupt`] for out-of-range payloads or an
+    /// on-chip-cache presence mismatch, and
+    /// [`Error::SnapshotUnsupported`] if the stream cannot restore.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), Error> {
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = r.u64()?;
+        }
+        self.rng = SmallRng::from_state(rng_state);
+        self.state = match r.u8()? {
+            0 => State::Computing { cycles_left: r.u64()? },
+            1 => State::WaitingMem { kind: load_kind(r)?, is_prefetch: r.bool()? },
+            t => return Err(Error::SnapshotCorrupt(format!("invalid cpu state tag {t}"))),
+        };
+        self.pending = if r.bool()? {
+            Some(MemRef { addr: Addr::new(r.u32()?), kind: load_kind(r)? })
+        } else {
+            None
+        };
+        self.carry = r.f64()?;
+        self.refund = r.f64()?;
+        self.last_addr = Addr::new(r.u32()?);
+        self.instr_carry = r.f64()?;
+        self.ema_latency = r.f64()?;
+        self.stats = CpuStats {
+            instructions: r.u64()?,
+            ifetches: r.u64()?,
+            data_reads: r.u64()?,
+            data_writes: r.u64()?,
+            icache_hits: r.u64()?,
+            wasted_prefetches: r.u64()?,
+            cycles: r.u64()?,
+            memory_wait_cycles: r.u64()?,
+        };
+        let has_icache = r.bool()?;
+        match (&mut self.icache, has_icache) {
+            (Some(ic), true) => ic.load(r)?,
+            (None, false) => {}
+            _ => {
+                return Err(Error::SnapshotCorrupt(
+                    "on-chip i-cache presence differs between snapshot and processor".into(),
+                ))
+            }
+        }
+        self.stream.load_state(r)
+    }
+}
+
 impl fmt::Debug for Processor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Processor")
@@ -464,6 +597,63 @@ mod tests {
         let (tpi5, load5) = tpi_of(5);
         assert!(tpi5 > tpi1 + 0.3, "5-CPU TPI {tpi5:.2} vs 1-CPU {tpi1:.2}");
         assert!(load5 > load1 * 3.0, "bus load {load1:.2} -> {load5:.2}");
+    }
+
+    /// Checkpoint a processor+memory system mid-run and resume into fresh
+    /// twins: the continuation must be bit-identical to the uninterrupted
+    /// run (stats, cycle count, and a fresh snapshot of each side).
+    #[test]
+    fn snapshot_resume_is_bit_identical() {
+        for cfg in [
+            CpuConfig::microvax().with_prefetch(PrefetchConfig::microvax_chip()),
+            CpuConfig::cvax(),
+        ] {
+            let (mut cpus, mut sys) = build(3, cfg, LocalityParams::paper_calibrated());
+            drive(&mut cpus, &mut sys, 50_000);
+            let sys_bytes = sys.save_snapshot();
+            let cpu_bytes: Vec<Vec<u8>> = cpus
+                .iter()
+                .map(|p| {
+                    let mut w = firefly_core::snapshot::SnapWriter::new();
+                    p.save_state(&mut w).expect("save");
+                    w.into_bytes()
+                })
+                .collect();
+
+            // Twins built with different seeds: every divergence must be
+            // erased by the restore.
+            let mut sys2 = MemSystem::restore(&sys_bytes).expect("restore");
+            let fleet = SyntheticWorkload::fleet(3, LocalityParams::paper_calibrated(), 17);
+            let mut cpus2: Vec<Processor> = fleet
+                .into_iter()
+                .enumerate()
+                .map(|(i, w)| Processor::new(PortId::new(i), cfg, Box::new(w), 9_000 + i as u64))
+                .collect();
+            for (p, bytes) in cpus2.iter_mut().zip(&cpu_bytes) {
+                p.load_state(&mut firefly_core::snapshot::SnapReader::new(bytes)).expect("load");
+            }
+
+            drive(&mut cpus, &mut sys, 50_000);
+            drive(&mut cpus2, &mut sys2, 50_000);
+            for (a, b) in cpus.iter().zip(&cpus2) {
+                assert_eq!(a.stats(), b.stats());
+            }
+            assert_eq!(sys.cycle(), sys2.cycle());
+            assert_eq!(sys.save_snapshot(), sys2.save_snapshot());
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_icache_presence_mismatch() {
+        let (cpus, _sys) = build(1, CpuConfig::cvax(), LocalityParams::paper_calibrated());
+        let mut w = firefly_core::snapshot::SnapWriter::new();
+        cpus[0].save_state(&mut w).expect("save");
+        let bytes = w.into_bytes();
+        let (mut plain, _sys) = build(1, CpuConfig::microvax(), LocalityParams::paper_calibrated());
+        let err = plain[0]
+            .load_state(&mut firefly_core::snapshot::SnapReader::new(&bytes))
+            .expect_err("presence mismatch");
+        assert!(matches!(err, firefly_core::Error::SnapshotCorrupt(_)), "{err}");
     }
 
     #[test]

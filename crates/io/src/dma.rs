@@ -9,6 +9,7 @@
 //! moves a word per 400 ns, so a saturated QBus moves roughly a word per
 //! 1.3 µs.
 
+use firefly_core::events::{EventKind, FaultClass};
 use firefly_core::fault::{site, FaultConfig, FaultSite};
 use firefly_core::system::{MemSystem, Request};
 use firefly_core::{Addr, Error, PortId};
@@ -22,6 +23,10 @@ pub const DEFAULT_CYCLES_PER_WORD: u64 = 13;
 /// Consecutive timeouts after which a transfer stops retrying, logs
 /// [`Error::DeviceTimeout`], and is forced through.
 pub const MAX_DEVICE_RETRIES: u8 = 6;
+
+/// Watchdog trips after which a wedged word is abandoned (with an
+/// [`Error::DeviceTimeout`]) instead of retried through a device reset.
+pub const MAX_WATCHDOG_RESETS: u8 = 3;
 
 /// QBus timeout fault state (see [`firefly_core::fault`]).
 #[derive(Debug)]
@@ -84,6 +89,23 @@ pub struct DmaEngine {
     words_read: u64,
     words_written: u64,
     faults: Option<DmaFaults>,
+    /// Cycles an in-flight word may go unacknowledged before the
+    /// watchdog resets the device. `None` disables the watchdog.
+    watchdog: Option<u64>,
+    /// Cycles the current in-flight word has been outstanding.
+    age: u64,
+    /// Consecutive watchdog resets for the word at the head of the line.
+    wd_attempts: u8,
+    /// Watchdog trips so far (resets plus abandonments).
+    wd_trips: u64,
+    /// Test hook: the device stops acknowledging completions.
+    wedged: bool,
+    /// A watchdog-abandoned word is still outstanding at the memory
+    /// system; its stale completion must be drained before the next
+    /// issue (the port allows one outstanding access).
+    discard: bool,
+    /// Hard [`Error::DeviceTimeout`] records from exhausted watchdogs.
+    wd_errors: Vec<Error>,
 }
 
 impl DmaEngine {
@@ -121,7 +143,41 @@ impl DmaEngine {
             words_read: 0,
             words_written: 0,
             faults: None,
+            watchdog: None,
+            age: 0,
+            wd_attempts: 0,
+            wd_trips: 0,
+            wedged: false,
+            discard: false,
+            wd_errors: Vec::new(),
         }
+    }
+
+    /// Arms (or with `None` disarms) the device watchdog: an in-flight
+    /// word unacknowledged for more than `budget` cycles resets the
+    /// device and retries, with the patience doubling on each
+    /// consecutive reset; after [`MAX_WATCHDOG_RESETS`] the word is
+    /// abandoned with an [`Error::DeviceTimeout`] so the engine degrades
+    /// instead of hanging the transfer queue forever.
+    pub fn set_watchdog(&mut self, budget: Option<u64>) {
+        self.watchdog = budget;
+    }
+
+    /// Watchdog trips so far (device resets plus abandonments).
+    pub fn watchdog_trips(&self) -> u64 {
+        self.wd_trips
+    }
+
+    /// Test hook: wedges the device — it stops acknowledging
+    /// completions, as a hung controller would. Only a watchdog reset
+    /// (or [`DmaEngine::unwedge`]) recovers it.
+    pub fn wedge(&mut self) {
+        self.wedged = true;
+    }
+
+    /// Test hook: un-wedges the device by hand.
+    pub fn unwedge(&mut self) {
+        self.wedged = false;
     }
 
     /// Installs the QBus timeout fault model. A zero `dma_timeout_ppm`
@@ -152,9 +208,13 @@ impl DmaEngine {
     }
 
     /// Takes the accumulated [`Error::DeviceTimeout`] records (transfers
-    /// whose retry budget ran out).
+    /// whose retry budget ran out, or words the watchdog abandoned).
     pub fn drain_fault_errors(&mut self) -> Vec<Error> {
-        self.faults.as_mut().map_or_else(Vec::new, |f| std::mem::take(&mut f.errors))
+        let mut out = std::mem::take(&mut self.wd_errors);
+        if let Some(f) = &mut self.faults {
+            out.append(&mut f.errors);
+        }
+        out
     }
 
     /// Queues an operation.
@@ -167,9 +227,10 @@ impl DmaEngine {
         self.queue.len() + usize::from(self.in_flight.is_some())
     }
 
-    /// Whether the engine has nothing queued or in flight.
+    /// Whether the engine has nothing queued or in flight (including an
+    /// abandoned word whose stale completion is still being drained).
     pub fn is_idle(&self) -> bool {
-        self.backlog() == 0
+        self.backlog() == 0 && !self.discard
     }
 
     /// Words read from memory so far.
@@ -189,21 +250,36 @@ impl DmaEngine {
         // The pacing interval runs concurrently with the in-flight word:
         // it spaces *issues*, it is not a post-completion delay.
         self.countdown = self.countdown.saturating_sub(1);
-        if let Some(op) = self.in_flight {
-            if let Some(result) = sys.poll(self.port) {
-                self.in_flight = None;
-                let done = match op {
-                    DmaOp::Read { addr, tag } => {
-                        self.words_read += 1;
-                        DmaCompletion { addr, value: result.value, was_read: true, tag }
-                    }
-                    DmaOp::Write { addr, value, tag } => {
-                        self.words_written += 1;
-                        DmaCompletion { addr, value, was_read: false, tag }
-                    }
-                };
-                return Some(done);
+        if self.discard {
+            // A watchdog-abandoned word is still outstanding at the
+            // memory system; its completion belongs to nobody. Drain it
+            // before anything else may issue on this port.
+            if sys.poll(self.port).is_some() {
+                self.discard = false;
             }
+            return None;
+        }
+        if let Some(op) = self.in_flight {
+            if !self.wedged {
+                if let Some(result) = sys.poll(self.port) {
+                    self.in_flight = None;
+                    self.age = 0;
+                    self.wd_attempts = 0;
+                    let done = match op {
+                        DmaOp::Read { addr, tag } => {
+                            self.words_read += 1;
+                            DmaCompletion { addr, value: result.value, was_read: true, tag }
+                        }
+                        DmaOp::Write { addr, value, tag } => {
+                            self.words_written += 1;
+                            DmaCompletion { addr, value, was_read: false, tag }
+                        }
+                    };
+                    return Some(done);
+                }
+            }
+            self.age += 1;
+            self.check_watchdog(sys);
             return None;
         }
         if self.countdown > 0 {
@@ -234,9 +310,42 @@ impl DmaEngine {
             };
             sys.begin(self.port, req).unwrap_or_else(|e| panic!("DMA issue failed: {e}"));
             self.in_flight = Some(op);
+            self.age = 0;
             self.countdown = self.cycles_per_word;
         }
         None
+    }
+
+    /// Fires the watchdog when the in-flight word has outlived its
+    /// (backed-off) patience: resets the device and retries the word,
+    /// or abandons it once the reset budget is exhausted.
+    fn check_watchdog(&mut self, sys: &mut MemSystem) {
+        let Some(budget) = self.watchdog else { return };
+        // Bounded exponential backoff: each consecutive reset doubles
+        // the patience before the next trip.
+        let patience = budget << self.wd_attempts.min(6);
+        if self.age <= patience {
+            return;
+        }
+        let op = self.in_flight.take().expect("watchdog only runs with a word in flight");
+        self.wd_trips += 1;
+        self.age = 0;
+        // Device reset clears the wedge; the request already issued to
+        // the memory system cannot be recalled, so its completion is
+        // drained and discarded before the port is reused.
+        self.wedged = false;
+        self.discard = true;
+        sys.emit_event(EventKind::FaultInjected { class: FaultClass::Watchdog });
+        if self.wd_attempts < MAX_WATCHDOG_RESETS {
+            self.wd_attempts += 1;
+            self.queue.push_front(op);
+            self.countdown = self.cycles_per_word << self.wd_attempts;
+        } else {
+            // Degrade, don't hang: drop the word and let the queue
+            // behind it proceed.
+            self.wd_attempts = 0;
+            self.wd_errors.push(Error::DeviceTimeout { device: "dma" });
+        }
     }
 }
 
@@ -369,6 +478,72 @@ mod tests {
         assert_eq!(dma.timeouts(), 2 * (u64::from(MAX_DEVICE_RETRIES) + 1));
         assert_eq!(dma.drain_fault_errors().len(), 2, "one exhausted budget per word");
         assert!(dma.drain_fault_errors().is_empty(), "drain empties the log");
+    }
+
+    #[test]
+    fn watchdog_resets_a_transient_wedge_and_the_word_completes() {
+        let mut s = sys();
+        let mut dma = DmaEngine::with_pacing(1);
+        dma.set_watchdog(Some(16));
+        dma.enqueue(DmaOp::Write { addr: Addr::new(0x300), value: 5, tag: 9 });
+        let mut done = Vec::new();
+        for i in 0..400 {
+            if i == 3 {
+                dma.wedge(); // the controller hangs once, mid-transfer
+            }
+            if let Some(c) = dma.tick(&mut s) {
+                done.push(c);
+            }
+            s.step();
+        }
+        assert_eq!(dma.watchdog_trips(), 1, "one device reset recovers a transient wedge");
+        assert_eq!(done.len(), 1);
+        assert_eq!((done[0].value, done[0].tag), (5, 9));
+        assert!(dma.drain_fault_errors().is_empty(), "no hard error for a recovered word");
+        assert!(dma.is_idle());
+    }
+
+    #[test]
+    fn watchdog_abandons_a_dead_device_word_and_degrades() {
+        let cfg = SystemConfig::microvax(2).with_event_trace(256);
+        let mut s = MemSystem::new(cfg, ProtocolKind::Firefly).unwrap();
+        let mut dma = DmaEngine::with_pacing(1);
+        dma.set_watchdog(Some(8));
+        dma.enqueue(DmaOp::Write { addr: Addr::new(0x400), value: 1, tag: 0 });
+        dma.enqueue(DmaOp::Write { addr: Addr::new(0x404), value: 2, tag: 1 });
+        let mut done = Vec::new();
+        let mut dead = true;
+        for _ in 0..4_000 {
+            if dead {
+                dma.wedge(); // re-wedge after every reset: the device is gone
+            }
+            if let Some(c) = dma.tick(&mut s) {
+                done.push(c);
+            }
+            s.step();
+            if dma.watchdog_trips() > u64::from(MAX_WATCHDOG_RESETS) {
+                dead = false; // the dead word was abandoned; device replaced
+            }
+        }
+        assert_eq!(
+            dma.watchdog_trips(),
+            u64::from(MAX_WATCHDOG_RESETS) + 1,
+            "escalating resets, then abandonment"
+        );
+        let errors = dma.drain_fault_errors();
+        assert!(
+            matches!(errors.as_slice(), [Error::DeviceTimeout { device: "dma" }]),
+            "abandonment records the hard error: {errors:?}"
+        );
+        assert_eq!(done.len(), 1, "the queue drains past the dead word");
+        assert_eq!(done[0].tag, 1);
+        assert!(dma.is_idle(), "the engine degrades rather than hangs");
+        let wd_events = s
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::FaultInjected { class: FaultClass::Watchdog }))
+            .count();
+        assert_eq!(wd_events as u64, dma.watchdog_trips(), "every trip is a machine-check event");
     }
 
     #[test]

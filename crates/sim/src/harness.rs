@@ -85,6 +85,17 @@ pub fn worker_count() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Renders a [`catch_unwind`] payload as the panic message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs `f` over `jobs` on [`worker_count`] workers. See [`run_jobs_with`].
 pub fn run_jobs<J, R, F>(jobs: &[J], f: F) -> Vec<R>
 where
@@ -137,17 +148,7 @@ where
     R: Send,
     F: Fn(&J) -> R + Sync,
 {
-    let catch = |job: &J| {
-        catch_unwind(AssertUnwindSafe(|| f(job))).map_err(|payload| {
-            if let Some(s) = payload.downcast_ref::<&str>() {
-                (*s).to_string()
-            } else if let Some(s) = payload.downcast_ref::<String>() {
-                s.clone()
-            } else {
-                "non-string panic payload".to_string()
-            }
-        })
-    };
+    let catch = |job: &J| catch_unwind(AssertUnwindSafe(|| f(job))).map_err(panic_message);
 
     let workers = workers.max(1).min(jobs.len());
     if workers <= 1 {
@@ -209,6 +210,13 @@ pub struct ExperimentSpec {
     pub warmup: u64,
     /// Measurement-window bus cycles.
     pub window: u64,
+    /// Checkpoint interval in bus cycles (`None` = no checkpointing).
+    /// When set, the job snapshots the machine every interval and a
+    /// panicking run is retried **once** from its last checkpoint
+    /// instead of losing the whole window; chunk boundaries are
+    /// deterministic, so results stay bit-identical with and without a
+    /// crash.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl ExperimentSpec {
@@ -228,7 +236,15 @@ impl ExperimentSpec {
             seed: 0xf1ef1e,
             warmup: 200_000,
             window: 400_000,
+            checkpoint_every: None,
         }
+    }
+
+    /// Enables periodic checkpointing every `cycles` bus cycles (see
+    /// [`ExperimentSpec::checkpoint_every`]).
+    pub fn checkpoint(mut self, cycles: u64) -> Self {
+        self.checkpoint_every = Some(cycles);
+        self
     }
 
     /// Selects the machine generation.
@@ -311,8 +327,17 @@ impl ExperimentSpec {
     }
 
     /// Builds the machine, runs warm-up + window, and returns the
-    /// deterministic measurement together with host-side counters.
+    /// deterministic measurement together with host-side counters. With
+    /// [`ExperimentSpec::checkpoint_every`] set, the run is chunked and
+    /// a crash resumes once from the last checkpoint.
     pub fn run(&self) -> CompletedExperiment {
+        match self.checkpoint_every {
+            None => self.run_plain(),
+            Some(k) => self.run_checkpointed(k, None),
+        }
+    }
+
+    fn run_plain(&self) -> CompletedExperiment {
         let start = Instant::now();
         let elapsed_ns =
             |since: Instant| u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -350,9 +375,107 @@ impl ExperimentSpec {
                 seed: self.seed,
                 measurement,
                 failed: None,
+                last_checkpoint: None,
             },
             host,
             spans: vec![build_span, warmup_span, window_span],
+        }
+    }
+
+    /// The checkpointed run: warm-up + window in chunks of at most `k`
+    /// cycles (always aligned to the warm-up boundary so the window
+    /// opens at exactly the same cycle as an unchunked run), a machine
+    /// snapshot after every healthy chunk, and a single retry from the
+    /// last snapshot when a chunk panics. `sabotage(cycles_done)` is a
+    /// test hook invoked inside the protected region after every chunk.
+    fn run_checkpointed(&self, k: u64, sabotage: Option<&dyn Fn(u64)>) -> CompletedExperiment {
+        let start = Instant::now();
+        let elapsed_ns =
+            |since: Instant| u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+        let build_at = Instant::now();
+        let mut machine = self.builder().build();
+        let build_span = HostSpan {
+            name: "build".to_string(),
+            start_ns: u64::try_from((build_at - start).as_nanos()).unwrap_or(u64::MAX),
+            dur_ns: elapsed_ns(build_at),
+        };
+
+        let k = k.max(1);
+        let total = self.warmup + self.window;
+        let mut done = 0u64;
+        let mut checkpoint: Option<(u64, Vec<u8>)> = None;
+        let mut baseline: Option<crate::measure::Snapshot> = None;
+        let mut crashed: Option<String> = None;
+        let mut retried = false;
+        let run_at = Instant::now();
+        while done < total {
+            if done == self.warmup && baseline.is_none() {
+                baseline = Some(crate::measure::Snapshot::take(&machine));
+            }
+            let step =
+                if done < self.warmup { k.min(self.warmup - done) } else { k.min(total - done) };
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                machine.run(step);
+                if let Some(hook) = sabotage {
+                    hook(done + step);
+                }
+            }));
+            match outcome {
+                Ok(()) => {
+                    done += step;
+                    // An unsnapshottable machine (I/O attached) simply
+                    // runs on without crash protection.
+                    if let Ok(bytes) = machine.save_snapshot() {
+                        checkpoint = Some((done, bytes));
+                    }
+                }
+                Err(payload) => {
+                    let msg = panic_message(payload);
+                    if retried {
+                        crashed = Some(msg);
+                        break;
+                    }
+                    retried = true;
+                    // The panicked machine is suspect; rebuild and
+                    // resume from the last good checkpoint (or from
+                    // scratch when none was taken yet).
+                    machine = self.builder().build();
+                    done = match &checkpoint {
+                        Some((cycle, bytes)) if machine.load_snapshot(bytes).is_ok() => *cycle,
+                        _ => 0,
+                    };
+                    if done < self.warmup {
+                        baseline = None;
+                    }
+                }
+            }
+        }
+        let run_span = HostSpan {
+            name: "run".to_string(),
+            start_ns: u64::try_from((run_at - start).as_nanos()).unwrap_or(u64::MAX),
+            dur_ns: elapsed_ns(run_at),
+        };
+        let last_checkpoint = checkpoint.as_ref().map(|(cycle, _)| *cycle);
+
+        let measurement = match (&crashed, baseline) {
+            (None, Some(snap)) => snap.finish(&machine, self.window),
+            _ => Measurement::default(),
+        };
+        let instructions: u64 = machine.processors().iter().map(|p| p.stats().instructions).sum();
+        let host = HostCounters { wall_ns: elapsed_ns(start), instructions, sim_cycles: done };
+        CompletedExperiment {
+            result: ExperimentResult {
+                label: self.label.clone(),
+                cpus: self.cpus,
+                protocol: self.protocol,
+                seed: self.seed,
+                measurement,
+                failed: crashed,
+                last_checkpoint,
+            },
+            host,
+            spans: vec![build_span, run_span],
         }
     }
 
@@ -369,6 +492,7 @@ impl ExperimentSpec {
                 seed: self.seed,
                 measurement: Measurement::default(),
                 failed: Some(message),
+                last_checkpoint: None,
             },
             host: HostCounters::default(),
             spans: Vec::new(),
@@ -395,6 +519,11 @@ pub struct ExperimentResult {
     /// `Some(panic message)` when the job panicked instead of
     /// completing; `None` for a healthy run.
     pub failed: Option<String>,
+    /// Cycle of the job's last machine checkpoint (`None` unless
+    /// [`ExperimentSpec::checkpoint_every`] was set and at least one
+    /// snapshot was taken). For a failed job this is the resume point a
+    /// triage run can restart from.
+    pub last_checkpoint: Option<u64>,
 }
 
 /// An [`ExperimentResult`] plus the host-side counters of the job that
@@ -670,6 +799,49 @@ mod tests {
         let a: Vec<_> = serial.results().collect();
         let b: Vec<_> = parallel.results().collect();
         assert_eq!(a, b, "failure slots are deterministic across worker counts");
+    }
+
+    #[test]
+    fn checkpointed_run_matches_the_plain_run_bit_for_bit() {
+        let spec = ExperimentSpec::new("ck", 2).seed(8).window(6_000, 12_000);
+        let plain = spec.clone().run();
+        let chunked = spec.checkpoint(4_000).run();
+        assert_eq!(chunked.result.measurement, plain.result.measurement);
+        assert!(chunked.result.failed.is_none());
+        assert_eq!(chunked.result.last_checkpoint, Some(18_000));
+    }
+
+    #[test]
+    fn crashed_chunk_resumes_from_the_last_checkpoint() {
+        use std::cell::Cell;
+        let spec = ExperimentSpec::new("crash", 2).seed(8).window(6_000, 12_000);
+        let clean = spec.clone().checkpoint(4_000).run();
+
+        // One transient crash two chunks into the window: the job must
+        // resume from the 10_000-cycle checkpoint and finish with a
+        // measurement identical to the crash-free run.
+        let fired = Cell::new(false);
+        let sabotage = |cycles: u64| {
+            if cycles >= 14_000 && !fired.replace(true) {
+                panic!("transient fault at {cycles}");
+            }
+        };
+        let survived = spec.clone().checkpoint(4_000).run_checkpointed(4_000, Some(&sabotage));
+        assert!(survived.result.failed.is_none(), "{:?}", survived.result.failed);
+        assert_eq!(survived.result.measurement, clean.result.measurement);
+
+        // A persistent crash exhausts the single retry: the panic
+        // message and the resume point are both captured for triage.
+        let always = |cycles: u64| {
+            if cycles >= 14_000 {
+                panic!("persistent fault at {cycles}");
+            }
+        };
+        let dead = spec.checkpoint(4_000).run_checkpointed(4_000, Some(&always));
+        let msg = dead.result.failed.as_ref().expect("persistent crash fails the job");
+        assert!(msg.contains("persistent fault"), "{msg:?}");
+        assert_eq!(dead.result.last_checkpoint, Some(10_000), "triage knows the resume point");
+        assert_eq!(dead.result.measurement, Measurement::default());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use firefly_core::config::SystemConfig;
 use firefly_core::fault::FaultConfig;
+use firefly_core::snapshot::{SnapWriter, SnapshotBuilder, SnapshotFile};
 use firefly_core::stats::FaultStats;
 use firefly_core::system::MemSystem;
 use firefly_core::{CacheGeometry, Error, MachineVariant, PortId, ProtocolKind};
@@ -330,6 +331,75 @@ impl Firefly {
         self.sys.take_events()
     }
 
+    /// Serializes the complete machine state — memory system and every
+    /// processor, including their reference streams and RNGs — into a
+    /// self-describing checkpoint image. A machine restored from it with
+    /// [`Firefly::load_snapshot`] continues **bit-identically** to the
+    /// uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SnapshotUnsupported`] when the I/O system is
+    /// attached (device state is not checkpointable), or when a
+    /// processor's reference stream cannot serialize itself.
+    pub fn save_snapshot(&self) -> Result<Vec<u8>, Error> {
+        if self.io.is_some() {
+            return Err(Error::SnapshotUnsupported("io system state"));
+        }
+        let mut b = SnapshotBuilder::new();
+        let mut w = SnapWriter::new();
+        w.usize(self.processors.len());
+        b.section("machine", w.into_bytes());
+        let mut w = SnapWriter::new();
+        w.bytes(&self.sys.save_snapshot());
+        b.section("memsys", w.into_bytes());
+        for (i, p) in self.processors.iter().enumerate() {
+            let mut w = SnapWriter::new();
+            p.save_state(&mut w)?;
+            b.section(&format!("cpu{i}"), w.into_bytes());
+        }
+        Ok(b.finish())
+    }
+
+    /// Restores a checkpoint taken with [`Firefly::save_snapshot`] into
+    /// this machine, which must have been built from the same
+    /// configuration (any seed — every seeded stream is overwritten).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SnapshotCorrupt`] / [`Error::SnapshotVersion`]
+    /// for damaged or version-skewed images, and
+    /// [`Error::SnapshotCorrupt`] when the image's shape (CPU count,
+    /// cache geometry, memory size) does not match this machine.
+    pub fn load_snapshot(&mut self, bytes: &[u8]) -> Result<(), Error> {
+        if self.io.is_some() {
+            return Err(Error::SnapshotUnsupported("io system state"));
+        }
+        let file = SnapshotFile::parse(bytes)?;
+        let mut r = file.section("machine")?;
+        let cpus = r.usize()?;
+        if cpus != self.processors.len() {
+            return Err(Error::SnapshotCorrupt(format!(
+                "snapshot has {cpus} CPUs, machine has {}",
+                self.processors.len()
+            )));
+        }
+        r.expect_end()?;
+        let mut r = file.section("memsys")?;
+        let sys = MemSystem::restore(r.bytes()?)?;
+        r.expect_end()?;
+        // The memory system is fully validated above; processor loads
+        // mutate in place, so on a processor-level error the machine
+        // must be discarded (rebuild and retry, as the harness does).
+        for (i, p) in self.processors.iter_mut().enumerate() {
+            let mut r = file.section(&format!("cpu{i}"))?;
+            p.load_state(&mut r)?;
+            r.expect_end()?;
+        }
+        self.sys = sys;
+        Ok(())
+    }
+
     /// Warm-up then measure: returns a [`crate::Measurement`] over the
     /// measurement window.
     pub fn measure(&mut self, warmup_cycles: u64, measure_cycles: u64) -> crate::Measurement {
@@ -501,6 +571,59 @@ mod tests {
         let before = m.memory().bus_stats().ops();
         m.run(20_000);
         assert!(m.memory().bus_stats().ops() > before, "survivors still make bus references");
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical_for_both_workloads() {
+        for workload in [
+            Workload::default(),
+            Workload::Multiprogram {
+                processes: 3,
+                quantum: 2_000,
+                params: LocalityParams::paper_calibrated(),
+            },
+        ] {
+            let build = |seed| {
+                FireflyBuilder::microvax(3)
+                    .workload(workload)
+                    .protocol(ProtocolKind::Dragon)
+                    .seed(seed)
+                    .trace_events(512)
+                    .faults(FaultConfig::correctable(0xf00d, 25_000))
+                    .build()
+            };
+            let mut m = build(7);
+            m.run(30_000);
+            let snap = m.save_snapshot().expect("snapshot");
+            // Same builder, *different* seed: restore must erase it all.
+            let mut twin = build(999);
+            twin.load_snapshot(&snap).expect("load");
+            m.run(30_000);
+            twin.run(30_000);
+            assert_eq!(m.memory().cycle(), twin.memory().cycle());
+            assert_eq!(m.events(), twin.events());
+            assert_eq!(m.fault_stats(), twin.fault_stats());
+            assert_eq!(
+                m.save_snapshot().unwrap(),
+                twin.save_snapshot().unwrap(),
+                "continuations are byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_io_machines_and_shape_mismatches() {
+        let m = FireflyBuilder::microvax(2).with_io().build();
+        assert!(matches!(m.save_snapshot(), Err(Error::SnapshotUnsupported(_))));
+
+        let m2 = FireflyBuilder::microvax(2).build();
+        let snap = m2.save_snapshot().unwrap();
+        let mut wrong = FireflyBuilder::microvax(3).build();
+        assert!(matches!(wrong.load_snapshot(&snap), Err(Error::SnapshotCorrupt(_))));
+        assert!(matches!(
+            FireflyBuilder::microvax(2).build().load_snapshot(b"junk"),
+            Err(Error::SnapshotCorrupt(_))
+        ));
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!   processor takes the oldest runnable thread.
 
 use crate::ids::ThreadId;
+use firefly_core::snapshot::{SnapReader, SnapWriter};
+use firefly_core::Error;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -123,6 +125,80 @@ impl Scheduler {
     pub fn migrations(&self) -> u64 {
         self.migrations
     }
+
+    /// Serializes the ready queue, per-CPU idle counters, and dispatch
+    /// statistics for a machine checkpoint.
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self.policy {
+            MigrationPolicy::AvoidMigration => 0,
+            MigrationPolicy::FreeMigration => 1,
+        });
+        w.u64(self.steal_patience);
+        w.usize(self.ready.len());
+        for &(t, last) in &self.ready {
+            w.u32(t.index() as u32);
+            match last {
+                Some(cpu) => {
+                    w.bool(true);
+                    w.usize(cpu);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.usize(self.idle.len());
+        for &i in &self.idle {
+            w.u64(i);
+        }
+        w.u64(self.dispatches);
+        w.u64(self.migrations);
+    }
+
+    /// Restores state captured by [`Scheduler::save`] into a scheduler
+    /// built for the same machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SnapshotCorrupt`] if the policy tag is invalid,
+    /// the CPU count differs, or a recorded last-CPU is out of range.
+    pub fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), Error> {
+        let policy = match r.u8()? {
+            0 => MigrationPolicy::AvoidMigration,
+            1 => MigrationPolicy::FreeMigration,
+            t => return Err(Error::SnapshotCorrupt(format!("invalid policy tag {t}"))),
+        };
+        let steal_patience = r.u64()?;
+        let n = r.usize()?;
+        let mut ready = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let t = ThreadId::new(r.u32()?);
+            let last = if r.bool()? {
+                let cpu = r.usize()?;
+                if cpu >= self.idle.len() {
+                    return Err(Error::SnapshotCorrupt(format!("last CPU {cpu} out of range")));
+                }
+                Some(cpu)
+            } else {
+                None
+            };
+            ready.push_back((t, last));
+        }
+        let cpus = r.usize()?;
+        if cpus != self.idle.len() {
+            return Err(Error::SnapshotCorrupt(format!(
+                "snapshot has {cpus} CPUs, scheduler has {}",
+                self.idle.len()
+            )));
+        }
+        for i in &mut self.idle {
+            *i = r.u64()?;
+        }
+        self.policy = policy;
+        self.steal_patience = steal_patience;
+        self.ready = ready;
+        self.dispatches = r.u64()?;
+        self.migrations = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -177,5 +253,37 @@ mod tests {
         let mut s = Scheduler::new(1, MigrationPolicy::FreeMigration, 0);
         assert!(s.dispatch(0).is_none());
         assert_eq!(s.runnable(), 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_queue_order_and_patience() {
+        let mut s = Scheduler::new(3, MigrationPolicy::AvoidMigration, 10);
+        s.enqueue(ThreadId::new(1), Some(0));
+        s.enqueue(ThreadId::new(3), Some(2));
+        let _ = s.dispatch(0); // t1, affine
+        for _ in 0..7 {
+            s.note_idle(1);
+        }
+        let mut w = SnapWriter::new();
+        s.save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut twin = Scheduler::new(3, MigrationPolicy::FreeMigration, 999);
+        twin.load(&mut SnapReader::new(&bytes)).expect("load");
+        assert_eq!(twin.runnable(), s.runnable());
+        assert_eq!(twin.dispatches(), s.dispatches());
+        // Identical future behaviour: CPU 1's partial patience resumes.
+        for side in [&mut s, &mut twin] {
+            assert!(side.dispatch(1).is_none(), "t3 is foreign, patience not expired");
+            for _ in 0..3 {
+                side.note_idle(1);
+            }
+            assert_eq!(side.dispatch(1), Some((ThreadId::new(3), true)), "steal at 10 idles");
+        }
+        assert_eq!(twin.migrations(), s.migrations());
+
+        // Machine-shape mismatch is rejected.
+        let mut wrong = Scheduler::new(2, MigrationPolicy::AvoidMigration, 10);
+        assert!(matches!(wrong.load(&mut SnapReader::new(&bytes)), Err(Error::SnapshotCorrupt(_))));
     }
 }

@@ -25,6 +25,7 @@
 //! * [`record`] — trace capture and replay with a compact text codec.
 //! * [`analyze`] — miss-ratio-curve measurement across cache geometries
 //!   (the instrument behind footnote 4's design discussion).
+//! * [`snapdump`] — a text debug form for binary machine snapshots.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -33,6 +34,7 @@ pub mod analyze;
 pub mod multiprogram;
 pub mod record;
 pub mod refs;
+pub mod snapdump;
 pub mod synth;
 
 pub use analyze::{miss_ratio_curve, GeometryPoint};

@@ -13,7 +13,8 @@
 
 use crate::refs::{MemRef, RefStream};
 use crate::synth::{LocalityParams, SyntheticWorkload, PRIVATE_STRIDE};
-use firefly_core::Addr;
+use firefly_core::snapshot::{SnapReader, SnapWriter};
+use firefly_core::{Addr, Error};
 
 /// Round-robin context switching over several synthetic processes.
 ///
@@ -90,6 +91,38 @@ impl RefStream for MultiprogramWorkload {
         self.refs_in_quantum += 1;
         self.processes[self.current].next_ref()
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), Error> {
+        w.usize(self.processes.len());
+        for p in &self.processes {
+            p.save_state(w)?;
+        }
+        w.usize(self.current);
+        w.u64(self.refs_in_quantum);
+        w.u64(self.switches);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), Error> {
+        let n = r.usize()?;
+        if n != self.processes.len() {
+            return Err(Error::SnapshotCorrupt(format!(
+                "snapshot has {n} processes, stream has {}",
+                self.processes.len()
+            )));
+        }
+        for p in &mut self.processes {
+            p.load_state(r)?;
+        }
+        let current = r.usize()?;
+        if current >= self.processes.len() {
+            return Err(Error::SnapshotCorrupt(format!("process index {current} out of range")));
+        }
+        self.current = current;
+        self.refs_in_quantum = r.u64()?;
+        self.switches = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +166,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn snapshot_resumes_across_context_switches() {
+        let params = LocalityParams::paper_calibrated();
+        let mut a = MultiprogramWorkload::new(3, 250, params, 5);
+        for _ in 0..1_000 {
+            let _ = a.next_ref();
+        }
+        let mut w = SnapWriter::new();
+        a.save_state(&mut w).expect("save");
+        let bytes = w.into_bytes();
+        let mut b = MultiprogramWorkload::new(3, 250, params, 5);
+        b.load_state(&mut SnapReader::new(&bytes)).expect("load");
+        assert_eq!(b.context_switches(), a.context_switches());
+        for i in 0..2_000 {
+            assert_eq!(a.next_ref(), b.next_ref(), "ref {i}");
+        }
+        // Process-count mismatch is rejected, not silently misapplied.
+        let mut c = MultiprogramWorkload::new(4, 250, params, 5);
+        assert!(matches!(
+            c.load_state(&mut SnapReader::new(&bytes)),
+            Err(Error::SnapshotCorrupt(_))
+        ));
     }
 
     /// The Table 2 mechanism: rapid context switching raises the miss

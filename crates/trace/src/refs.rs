@@ -1,7 +1,8 @@
 //! Reference types and the stream abstraction.
 
 use firefly_core::protocol::ProcOp;
-use firefly_core::Addr;
+use firefly_core::snapshot::{SnapReader, SnapWriter};
+use firefly_core::{Addr, Error};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -111,6 +112,57 @@ pub trait RefStream {
     {
         TakeRefs { stream: self, remaining: n }
     }
+
+    /// Serializes the stream's dynamic state for a machine checkpoint.
+    ///
+    /// A stream restored onto a freshly built twin (same constructor
+    /// arguments) via [`load_state`](RefStream::load_state) must produce
+    /// the identical future reference sequence.
+    ///
+    /// # Errors
+    ///
+    /// The default implementation returns [`Error::SnapshotUnsupported`]:
+    /// streams that cannot checkpoint (external trace files, ad-hoc test
+    /// streams) make the whole machine snapshot fail loudly instead of
+    /// resuming from silently wrong state.
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), Error> {
+        let _ = w;
+        Err(Error::SnapshotUnsupported("this reference stream"))
+    }
+
+    /// Restores state captured by [`save_state`](RefStream::save_state)
+    /// into a stream built with the same constructor arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SnapshotUnsupported`] by default, and
+    /// [`Error::SnapshotCorrupt`] for out-of-range payloads.
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), Error> {
+        let _ = r;
+        Err(Error::SnapshotUnsupported("this reference stream"))
+    }
+}
+
+/// Writes a [`MemRef`] through the snapshot codec.
+pub(crate) fn save_ref(r: MemRef, w: &mut SnapWriter) {
+    w.u32(r.addr.byte());
+    w.u8(match r.kind {
+        RefKind::InstrRead => 0,
+        RefKind::DataRead => 1,
+        RefKind::DataWrite => 2,
+    });
+}
+
+/// Reads a [`MemRef`] written by [`save_ref`].
+pub(crate) fn load_ref(r: &mut SnapReader<'_>) -> Result<MemRef, Error> {
+    let addr = Addr::new(r.u32()?);
+    let kind = match r.u8()? {
+        0 => RefKind::InstrRead,
+        1 => RefKind::DataRead,
+        2 => RefKind::DataWrite,
+        t => return Err(Error::SnapshotCorrupt(format!("invalid ref kind tag {t}"))),
+    };
+    Ok(MemRef { addr, kind })
 }
 
 /// Iterator over a bounded prefix of a stream.

@@ -22,7 +22,8 @@
 //! sees the paper's M ≈ 0.2 and D ≈ 0.25.
 
 use crate::refs::{MemRef, RefStream, VaxMix};
-use firefly_core::Addr;
+use firefly_core::snapshot::{SnapReader, SnapWriter};
+use firefly_core::{Addr, Error};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -347,6 +348,41 @@ impl RefStream for SyntheticWorkload {
             self.generate_instruction();
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), Error> {
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        w.u32(self.body_start);
+        w.u32(self.body_len);
+        w.u32(self.body_pos);
+        w.u32(self.iterations_left);
+        w.usize(self.queue.len());
+        for &r in &self.queue {
+            crate::refs::save_ref(r, w);
+        }
+        w.u64(self.instructions);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), Error> {
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.u64()?;
+        }
+        self.rng = SmallRng::from_state(s);
+        self.body_start = r.u32()?;
+        self.body_len = r.u32()?;
+        self.body_pos = r.u32()?;
+        self.iterations_left = r.u32()?;
+        let n = r.usize()?;
+        self.queue.clear();
+        for _ in 0..n {
+            self.queue.push_back(crate::refs::load_ref(r)?);
+        }
+        self.instructions = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -462,6 +498,27 @@ mod tests {
     #[should_panic(expected = "do not fit")]
     fn fleet_rejects_too_many_cpus() {
         let _ = SyntheticWorkload::fleet(15, LocalityParams::paper_calibrated(), 0);
+    }
+
+    #[test]
+    fn snapshot_resumes_the_exact_reference_sequence() {
+        let p = LocalityParams::paper_calibrated();
+        let mut a = SyntheticWorkload::fleet(1, p, 11).remove(0);
+        for _ in 0..5_000 {
+            let _ = a.next_ref();
+        }
+        let mut w = SnapWriter::new();
+        a.save_state(&mut w).expect("synthetic streams snapshot");
+        let bytes = w.into_bytes();
+        // Restore into a freshly built twin mid-queue.
+        let mut b = SyntheticWorkload::fleet(1, p, 999).remove(0);
+        let mut r = SnapReader::new(&bytes);
+        b.load_state(&mut r).expect("load");
+        r.expect_end().expect("fully consumed");
+        assert_eq!(b.instructions(), a.instructions());
+        for i in 0..10_000 {
+            assert_eq!(a.next_ref(), b.next_ref(), "ref {i}");
+        }
     }
 
     #[test]

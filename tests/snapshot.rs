@@ -1,0 +1,199 @@
+//! Crash-consistency acceptance tests for the snapshot subsystem.
+//!
+//! The contract under test: a machine checkpointed at cycle C and
+//! resumed from that snapshot is **bit-identical** to the uninterrupted
+//! run — same cycle count, same serialized statistics, same event
+//! trace, same bytes when re-snapshotted — for every coherence
+//! protocol, with an active fault-injection plan. A snapshot that does
+//! not satisfy this is not a checkpoint, it is a guess.
+//!
+//! Alongside the equivalence gate:
+//! * `restore(save(s))` is a fixed point at arbitrary (including
+//!   mid-transaction) points of a random request stream, and
+//! * version-skewed or corrupted images are rejected with structured
+//!   errors — never a panic, never a silently wrong machine.
+
+use firefly::core::config::SystemConfig;
+use firefly::core::fault::FaultConfig;
+use firefly::core::protocol::ProtocolKind;
+use firefly::core::snapshot::{crc32, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+use firefly::core::system::{MemSystem, Request};
+use firefly::core::{Addr, CacheGeometry, Error, PortId};
+use firefly::sim::FireflyBuilder;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Serializes every statistics surface of a machine to one JSON string,
+/// so "the stats are identical" is a byte comparison, not a field-by-
+/// field sample.
+fn stats_json(machine: &firefly::sim::Firefly) -> String {
+    let mut parts = Vec::new();
+    parts.push(machine.memory().bus_stats().to_json());
+    parts.push(machine.fault_stats().to_json());
+    for p in machine.processors() {
+        parts.push(p.stats().to_json());
+    }
+    parts.join(",")
+}
+
+/// The ISSUE acceptance gate: for all six protocols, checkpoint at
+/// cycle C under a nonzero fault plan, resume into a differently-seeded
+/// twin, and demand byte-identical stats JSON, event-trace bytes, and
+/// re-snapshot images after both sides run the same distance.
+#[test]
+fn resume_is_bit_identical_for_every_protocol() {
+    for kind in ProtocolKind::ALL {
+        let build = |seed: u64| {
+            FireflyBuilder::microvax(3)
+                .protocol(kind)
+                .seed(seed)
+                .trace_events(512)
+                .faults(FaultConfig::correctable(0x5eed_0001, 20_000))
+                .build()
+        };
+
+        let mut machine = build(7);
+        machine.run(40_000);
+        let snap = machine.save_snapshot().unwrap_or_else(|e| panic!("{kind:?}: save: {e}"));
+
+        // The twin is built with a different seed: every RNG stream it
+        // would have used must be overwritten by the snapshot.
+        let mut twin = build(0xdead_beef);
+        twin.load_snapshot(&snap).unwrap_or_else(|e| panic!("{kind:?}: load: {e}"));
+
+        machine.run(40_000);
+        twin.run(40_000);
+
+        assert_eq!(machine.memory().cycle(), twin.memory().cycle(), "{kind:?}: cycle diverged");
+        assert_eq!(stats_json(&machine), stats_json(&twin), "{kind:?}: stats JSON diverged");
+        assert_eq!(
+            format!("{:?}", machine.events()),
+            format!("{:?}", twin.events()),
+            "{kind:?}: event trace diverged"
+        );
+        assert!(
+            machine.fault_stats().total_injected() > 0,
+            "{kind:?}: fault plan never fired — the test is not exercising fault state"
+        );
+        assert_eq!(
+            machine.save_snapshot().unwrap(),
+            twin.save_snapshot().unwrap(),
+            "{kind:?}: re-snapshot bytes diverged"
+        );
+    }
+}
+
+/// `save(restore(save(s))) == save(s)` at arbitrary cut points of a
+/// seeded random request stream — including points where bus
+/// transactions are mid-flight — and the restored system finishes the
+/// stream with identical read values.
+#[test]
+fn restore_of_save_is_a_fixed_point_mid_stream() {
+    let (cpus, words) = (4, 64);
+    for kind in ProtocolKind::ALL {
+        let cfg = SystemConfig::microvax(cpus).with_cache(CacheGeometry::new(16, 2).unwrap());
+        let mut sys = MemSystem::new(cfg, kind).unwrap();
+        let mut rng = SmallRng::seed_from_u64(0xf1f0 ^ kind as u64);
+
+        for i in 0..400 {
+            let port = PortId::new(rng.gen_range(0..cpus));
+            let addr = Addr::from_word_index(rng.gen_range(0..words));
+            let req = if rng.gen_bool(0.4) {
+                Request::write(addr, rng.gen())
+            } else {
+                Request::read(addr)
+            };
+            if rng.gen_bool(0.15) {
+                // Cut mid-transaction: issue, advance a few cycles, and
+                // snapshot with the bus transaction still in flight.
+                sys.begin(port, req).unwrap();
+                for _ in 0..rng.gen_range(1..6) {
+                    sys.step();
+                }
+                let snap = sys.save_snapshot();
+                let restored = MemSystem::restore(&snap)
+                    .unwrap_or_else(|e| panic!("{kind:?}: restore at access #{i}: {e}"));
+                assert_eq!(
+                    restored.save_snapshot(),
+                    snap,
+                    "{kind:?}: save∘restore is not a fixed point at access #{i}"
+                );
+                sys = restored;
+                // Drain the in-flight access on the restored system.
+                while sys.poll(port).is_none() {
+                    sys.step();
+                }
+            } else {
+                sys.run_to_completion(port, req).unwrap();
+            }
+        }
+
+        // A quiescent-point cut, for symmetry with the mid-flight cuts.
+        assert!(sys.is_quiescent());
+        let snap = sys.save_snapshot();
+        let restored = MemSystem::restore(&snap).unwrap();
+        assert_eq!(restored.save_snapshot(), snap, "{kind:?}: quiescent fixed point");
+    }
+}
+
+/// Patches the little-endian version word of a valid image and repairs
+/// the trailing CRC so only the version differs.
+fn with_version(image: &[u8], version: u32) -> Vec<u8> {
+    let mut bytes = image.to_vec();
+    let body_len = bytes.len() - 4;
+    bytes[4..8].copy_from_slice(&version.to_le_bytes());
+    let crc = crc32(&bytes[..body_len]);
+    let at = bytes.len() - 4;
+    bytes[at..].copy_from_slice(&crc.to_le_bytes());
+    bytes
+}
+
+/// Pinned regressions: skewed, corrupted, truncated, and garbage images
+/// must come back as structured errors, never panics.
+#[test]
+fn version_skew_and_corruption_are_rejected_with_structured_errors() {
+    let cfg = SystemConfig::microvax(2);
+    let mut sys = MemSystem::new(cfg, ProtocolKind::Firefly).unwrap();
+    sys.run_to_completion(PortId::new(0), Request::write(Addr::from_word_index(3), 99)).unwrap();
+    let image = sys.save_snapshot();
+    assert_eq!(&image[..4], &SNAPSHOT_MAGIC, "image must lead with the FFSN magic");
+
+    // A future version is refused with both versions reported.
+    match MemSystem::restore(&with_version(&image, 999)) {
+        Err(Error::SnapshotVersion { found, supported }) => {
+            assert_eq!(found, 999);
+            assert_eq!(supported, SNAPSHOT_VERSION);
+        }
+        other => panic!("version skew: expected SnapshotVersion, got {other:?}"),
+    }
+
+    // A flipped payload byte fails the CRC before any field is decoded.
+    let mut corrupt = image.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x40;
+    assert!(
+        matches!(MemSystem::restore(&corrupt), Err(Error::SnapshotCorrupt(_))),
+        "bit flip must fail the checksum"
+    );
+
+    // Truncations at every prefix length are errors, not panics.
+    for cut in 0..image.len() {
+        assert!(
+            MemSystem::restore(&image[..cut]).is_err(),
+            "truncation to {cut} bytes must be rejected"
+        );
+    }
+
+    // Arbitrary garbage is rejected too.
+    let garbage: Vec<u8> = (0u32..64).map(|i| (i * 37) as u8).collect();
+    assert!(MemSystem::restore(&garbage).is_err());
+
+    // The machine-level loader refuses a snapshot from a different
+    // machine shape rather than restoring half a machine.
+    let mut machine = FireflyBuilder::microvax(2).build();
+    machine.run(1_000);
+    let snap = machine.save_snapshot().unwrap();
+    let mut wrong_shape = FireflyBuilder::microvax(3).build();
+    assert!(wrong_shape.load_snapshot(&snap).is_err(), "CPU-count mismatch must be rejected");
+}

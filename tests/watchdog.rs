@@ -1,0 +1,151 @@
+//! Watchdog acceptance tests: wedged devices and starved bus
+//! requesters must trip a timeout within the configured budget, surface
+//! a structured [`Error::DeviceTimeout`] plus machine-check events in
+//! the trace, and leave the machine *degraded but running* — never
+//! hung. These mirror the crate-level unit tests at the integration
+//! boundary, driving only public facade APIs.
+
+use firefly::core::config::SystemConfig;
+use firefly::core::events::{EventKind, FaultClass};
+use firefly::core::protocol::ProtocolKind;
+use firefly::core::system::{MemSystem, Request};
+use firefly::core::{Addr, Error, PortId};
+use firefly::io::dma::{DmaOp, MAX_WATCHDOG_RESETS};
+use firefly::io::DmaEngine;
+
+fn traced_sys(cpus: usize) -> MemSystem {
+    let cfg = SystemConfig::microvax(cpus).with_event_trace(512);
+    MemSystem::new(cfg, ProtocolKind::Firefly).unwrap()
+}
+
+/// A DMA controller that hangs permanently mid-transfer: the watchdog
+/// walks the escalation ladder (reset + backoff), abandons the word
+/// after [`MAX_WATCHDOG_RESETS`], records the hard error, and keeps the
+/// queue draining behind it.
+#[test]
+fn wedged_dma_device_times_out_and_the_engine_degrades() {
+    let mut sys = traced_sys(2);
+    let mut dma = DmaEngine::with_pacing(1);
+    dma.set_watchdog(Some(8));
+    dma.enqueue(DmaOp::Write { addr: Addr::new(0x40), value: 7, tag: 0 });
+    dma.enqueue(DmaOp::Write { addr: Addr::new(0x44), value: 8, tag: 1 });
+
+    let mut completed = Vec::new();
+    let mut dead = true;
+    for _ in 0..4_000 {
+        if dead {
+            dma.wedge(); // the device never answers, despite every reset
+        }
+        if let Some(c) = dma.tick(&mut sys) {
+            completed.push(c);
+        }
+        sys.step();
+        if dma.watchdog_trips() > u64::from(MAX_WATCHDOG_RESETS) {
+            dead = false; // word abandoned; the replacement device works
+        }
+    }
+
+    assert_eq!(
+        dma.watchdog_trips(),
+        u64::from(MAX_WATCHDOG_RESETS) + 1,
+        "bounded escalation: {MAX_WATCHDOG_RESETS} resets, then abandonment"
+    );
+    let errors = dma.drain_fault_errors();
+    assert!(
+        matches!(errors.as_slice(), [Error::DeviceTimeout { device: "dma" }]),
+        "the abandoned word surfaces as a structured error: {errors:?}"
+    );
+    assert_eq!(completed.len(), 1, "the queue drains past the dead word");
+    assert_eq!(completed[0].tag, 1);
+    assert!(dma.is_idle(), "degraded, not hung");
+    let machine_checks = sys
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::FaultInjected { class: FaultClass::Watchdog }))
+        .count() as u64;
+    assert_eq!(machine_checks, dma.watchdog_trips(), "every trip is a machine-check event");
+}
+
+/// A transient wedge is invisible at the workload level: one watchdog
+/// reset, the word completes, no hard error.
+#[test]
+fn transient_dma_wedge_recovers_without_a_hard_error() {
+    let mut sys = traced_sys(2);
+    let mut dma = DmaEngine::with_pacing(1);
+    dma.set_watchdog(Some(16));
+    dma.enqueue(DmaOp::Write { addr: Addr::new(0x80), value: 3, tag: 4 });
+
+    let mut completed = Vec::new();
+    for i in 0..400 {
+        if i == 3 {
+            dma.wedge();
+        }
+        if let Some(c) = dma.tick(&mut sys) {
+            completed.push(c);
+        }
+        sys.step();
+    }
+    assert_eq!(dma.watchdog_trips(), 1);
+    assert_eq!(completed.len(), 1);
+    assert_eq!((completed[0].value, completed[0].tag), (3, 4));
+    assert!(dma.drain_fault_errors().is_empty(), "a recovered word is not an error");
+}
+
+/// A bus port starved by a monopolist under fixed-priority arbitration
+/// trips the bus watchdog within budget: backoff escalation, then a
+/// machine check that takes the starved CPU offline. The rest of the
+/// machine keeps running at N−1.
+#[test]
+fn starved_bus_requester_machine_checks_and_the_machine_runs_on() {
+    let mut sys = traced_sys(2);
+    sys.set_watchdog(Some(16));
+
+    // Share a line, then put port 0 in a write-hit loop on it. With
+    // lowest-port-first arbitration, port 1's unrelated read never wins.
+    let hot = Addr::from_word_index(0);
+    sys.run_to_completion(PortId::new(1), Request::read(hot)).unwrap();
+    sys.run_to_completion(PortId::new(0), Request::read(hot)).unwrap();
+    sys.run_to_completion(PortId::new(0), Request::write(hot, 1)).unwrap();
+
+    sys.begin(PortId::new(0), Request::write(hot, 2)).unwrap();
+    sys.begin(PortId::new(1), Request::read(Addr::from_word_index(500))).unwrap();
+    for _ in 0..2_000 {
+        sys.step();
+        if sys.poll(PortId::new(0)).is_some() {
+            sys.begin(PortId::new(0), Request::write(hot, 3)).unwrap();
+        }
+        if !sys.is_online(PortId::new(1)) {
+            break;
+        }
+    }
+
+    assert!(!sys.is_online(PortId::new(1)), "the starved port machine-checked within budget");
+    assert_eq!(sys.online_count(), 1, "N−1 degradation, not a wedged machine");
+    assert!(sys.watchdog_trips() >= 3, "backoff escalation preceded the machine check");
+    assert!(
+        sys.fault_errors().iter().any(|e| matches!(e, Error::DeviceTimeout { device: "mbus" })),
+        "starvation surfaced as a structured timeout error"
+    );
+    let events = sys.events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::FaultInjected { class: FaultClass::Watchdog })),
+        "watchdog trips are in the event trace"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::CpuOffline { port } if port.index() == 1)),
+        "the machine check is in the event trace"
+    );
+
+    // The survivor still completes new work: degraded, not hung.
+    for _ in 0..100 {
+        if sys.poll(PortId::new(0)).is_some() {
+            break;
+        }
+        sys.step();
+    }
+    sys.run_to_completion(PortId::new(0), Request::read(Addr::from_word_index(9))).unwrap();
+}

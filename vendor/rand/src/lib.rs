@@ -158,6 +158,22 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl SmallRng {
+        /// The generator's raw internal state, for checkpointing.
+        ///
+        /// Restoring via [`SmallRng::from_state`] reproduces the exact
+        /// output stream from this point.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured
+        /// [`state`](SmallRng::state).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl SeedableRng for SmallRng {
         fn seed_from_u64(seed: u64) -> Self {
             // SplitMix64 expansion, as recommended by the xoshiro authors.
