@@ -39,6 +39,10 @@ if [ "$a" != "$b" ]; then
     exit 1
 fi
 
+echo "== bench: engine_bench --smoke -> BENCH_6.json + schema check"
+cargo run --release -p firefly-bench --bin engine_bench -- --smoke --out BENCH_6.json
+cargo run --release -p firefly-bench --bin bench_check -- BENCH_6.json
+
 echo "== trace smoke: protocol_compare --smoke --trace + trace_check"
 trace_file="$(mktemp /tmp/firefly-trace.XXXXXX.json)"
 trap 'rm -f "$trace_file"' EXIT

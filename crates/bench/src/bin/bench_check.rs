@@ -1,0 +1,86 @@
+//! CI guard for `BENCH_6.json`: verifies the engine-bench report is
+//! well-formed and that its headline speedup meets its own target.
+//!
+//! Usage: `bench_check <BENCH_6.json>`. Exits 0 when the file parses as
+//! JSON (via the simulator's own dependency-free validator,
+//! [`firefly_core::events::validate_json`]), carries every schema key
+//! the BENCH trajectory promises (see EXPERIMENTS.md), and records
+//! `headline_speedup >= target_speedup` with `"pass":true`. Prints the
+//! failure and exits 1 otherwise.
+
+use std::process::ExitCode;
+
+/// Keys every BENCH_6 document must carry (compact `"key":` spelling,
+/// as the workspace serializer emits them).
+const REQUIRED_KEYS: &[&str] = &[
+    "\"bench\":\"BENCH_6\"",
+    "\"seed\":",
+    "\"smoke\":",
+    "\"target_speedup\":",
+    "\"headline_speedup\":",
+    "\"sweep\":[",
+    "\"config\":",
+    "\"cpus\":",
+    "\"cycles\":",
+    "\"ticked_cycles_per_sec\":",
+    "\"event_cycles_per_sec\":",
+    "\"speedup\":",
+    "\"events_per_sec\":",
+    "\"soak\":{",
+    "\"restores_per_sec\":",
+    "\"pass\":",
+];
+
+/// Extracts the number following `"key":` — enough of a scanner for the
+/// flat numeric fields this schema puts at the top level.
+fn number_after(text: &str, key: &str) -> Result<f64, String> {
+    let at = text.find(key).ok_or_else(|| format!("missing {key}"))?;
+    let rest = &text[at + key.len()..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().map_err(|_| format!("{key} is not a number: {:?}", &rest[..end]))
+}
+
+fn check(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    firefly_core::events::validate_json(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    for key in REQUIRED_KEYS {
+        if !text.contains(key) {
+            return Err(format!("{path}: missing required key {key}"));
+        }
+    }
+    let headline = number_after(&text, "\"headline_speedup\":")?;
+    let target = number_after(&text, "\"target_speedup\":")?;
+    if !headline.is_finite() || headline <= 0.0 {
+        return Err(format!("{path}: headline_speedup {headline} is not a positive number"));
+    }
+    if headline < target {
+        return Err(format!("{path}: headline_speedup {headline:.2} < target {target:.0}"));
+    }
+    if !text.contains("\"pass\":true") {
+        return Err(format!("{path}: report does not record pass:true"));
+    }
+    let points = text.matches("\"speedup\":").count();
+    if points == 0 {
+        return Err(format!("{path}: sweep has no points"));
+    }
+    Ok(format!("{points} sweep point(s), headline {headline:.1}x (target {target:.0}x)"))
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: bench_check <BENCH_6.json>");
+        return ExitCode::FAILURE;
+    };
+    match check(&path) {
+        Ok(summary) => {
+            println!("{path}: valid BENCH_6 report with {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

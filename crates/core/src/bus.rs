@@ -369,6 +369,21 @@ impl Bus {
         self.stats.total_cycles += 1;
     }
 
+    /// Accounts `n` elapsed idle cycles in one add — the batched form of
+    /// `n` [`count_cycle`](Bus::count_cycle) calls, used by the
+    /// event-driven engine when it skips an idle span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total-cycle counter would overflow. Debug builds
+    /// additionally assert the bus really is idle (no transaction in
+    /// flight, no request lines raised).
+    pub fn add_idle_cycles(&mut self, n: u64) {
+        debug_assert!(!self.is_busy() && !self.has_requests(), "add_idle_cycles on a non-idle bus");
+        self.stats.total_cycles =
+            self.stats.total_cycles.checked_add(n).expect("bus cycle counter overflow");
+    }
+
     /// Sets the wired-OR `MShared` response for the in-flight transaction.
     pub fn set_mshared(&mut self, mshared: bool) {
         if let Some(txn) = &mut self.current {

@@ -183,20 +183,69 @@ impl Memory {
     }
 
     /// Reads a whole cache line.
+    ///
+    /// Lines are size-aligned and pages are a power-of-two multiple of
+    /// every line size, so the whole line lives in one page: the page
+    /// map is probed once and the words copied out in a batch, with the
+    /// traffic counters and per-word ECC draws applied in exactly the
+    /// order the word-at-a-time path would have.
     pub fn read_line(&mut self, line: LineId, line_words: usize) -> LineData {
         let base = line.base_addr(line_words);
+        let w0 = base.word_index();
+        let slot = w0 as usize % PAGE_WORDS;
+        if slot + line_words > PAGE_WORDS {
+            // Unaligned straddle (impossible for real geometries; keep
+            // the slow path for robustness).
+            let mut data = LineData::zeroed(line_words);
+            for i in 0..line_words {
+                data.set(i, self.read_word(base.add_words(i as u32)));
+            }
+            return data;
+        }
+        self.reads += line_words as u64;
         let mut data = LineData::zeroed(line_words);
+        let page = self.pages.get(&(w0 / PAGE_WORDS as u32));
+        let (module_bytes, modules) = (self.module_bytes, self.module_traffic.len());
         for i in 0..line_words {
-            data.set(i, self.read_word(base.add_words(i as u32)));
+            let addr = base.add_words(i as u32);
+            let module = ((u64::from(addr.byte()) / module_bytes) as usize).min(modules - 1);
+            self.module_traffic[module].0 += 1;
+            let word = page.map_or(0, |p| p[slot + i]);
+            data.set(
+                i,
+                match &mut self.ecc {
+                    Some(ecc) => ecc.apply(addr, word),
+                    None => word,
+                },
+            );
         }
         data
     }
 
-    /// Writes a whole cache line.
+    /// Writes a whole cache line (batched like
+    /// [`read_line`](Memory::read_line): one page-map probe per line).
     pub fn write_line(&mut self, line: LineId, data: &LineData) {
-        let base = line.base_addr(data.len());
-        for i in 0..data.len() {
-            self.write_word(base.add_words(i as u32), data.get(i));
+        let line_words = data.len();
+        let base = line.base_addr(line_words);
+        let w0 = base.word_index();
+        let slot = w0 as usize % PAGE_WORDS;
+        if slot + line_words > PAGE_WORDS {
+            for i in 0..line_words {
+                self.write_word(base.add_words(i as u32), data.get(i));
+            }
+            return;
+        }
+        self.writes += line_words as u64;
+        let (module_bytes, modules) = (self.module_bytes, self.module_traffic.len());
+        let page = self
+            .pages
+            .entry(w0 / PAGE_WORDS as u32)
+            .or_insert_with(|| Box::new([0u32; PAGE_WORDS]));
+        for i in 0..line_words {
+            let addr = base.add_words(i as u32);
+            let module = ((u64::from(addr.byte()) / module_bytes) as usize).min(modules - 1);
+            self.module_traffic[module].1 += 1;
+            page[slot + i] = data.get(i);
         }
     }
 
@@ -232,9 +281,8 @@ impl Memory {
         w.usize(keys.len());
         for k in keys {
             w.u32(k);
-            for &word in self.pages[&k].iter() {
-                w.u32(word);
-            }
+            // Bulk word batch: byte-identical to the per-word encoding.
+            w.u32_words(&self.pages[&k][..]);
         }
         match &self.ecc {
             None => w.bool(false),
@@ -271,9 +319,7 @@ impl Memory {
         for _ in 0..n_pages {
             let key = r.u32()?;
             let mut page = Box::new([0u32; PAGE_WORDS]);
-            for word in page.iter_mut() {
-                *word = r.u32()?;
-            }
+            r.u32_words_into(&mut page[..])?;
             if self.pages.insert(key, page).is_some() {
                 return Err(Error::SnapshotCorrupt(format!("duplicate memory page {key}")));
             }

@@ -1,0 +1,297 @@
+//! A deterministic discrete-event scheduler for the simulation engines.
+//!
+//! The ticked engine pays for every 100 ns bus cycle even when nothing
+//! happens in it. The event-driven driver instead keeps one scheduled
+//! wake-up per event source — a processor's next issue cycle, a pending
+//! access's completion cycle, a deferred bus retry — in this priority
+//! queue and jumps straight to the earliest one, crediting the skipped
+//! span to the counters in one batched add.
+//!
+//! # Determinism contract
+//!
+//! Simulation results must be a pure function of the configuration and
+//! seed, independent of the engine. Two properties of this queue are
+//! load-bearing for that contract (see `DESIGN.md`):
+//!
+//! 1. **Nondecreasing order**: events pop in nondecreasing cycle order,
+//!    so a driver can never be woken "in the past" and skip work.
+//! 2. **Insertion-order ties**: events scheduled for the *same* cycle
+//!    pop in the order they were scheduled. The ticked engine services
+//!    components in a fixed order every cycle (ports by index, then the
+//!    bus); same-cycle wake-ups must replay in that same fixed order or
+//!    any state the handlers share would be touched in a different
+//!    sequence and the engines could diverge.
+//!
+//! Cancellation is by token: [`EventSched::cancel`] marks the entry dead
+//! and [`EventSched::pop`] discards dead entries lazily, so cancel +
+//! re-schedule (a watchdog pet, a bus-retry backoff extension) can never
+//! lose a wake-up or deliver a stale duplicate.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// One-multiply hasher for the scheduler's sequence numbers.
+///
+/// The liveness set is keyed by monotonically assigned `u64`s, and its
+/// insert/remove pair sits on the event engine's per-event hot path —
+/// SipHash (the `HashSet` default) costs more there than the heap
+/// operations themselves. A Fibonacci multiply mixes sequential keys
+/// more than well enough for a hash table.
+#[derive(Default)]
+struct SeqHasher(u64);
+
+impl Hasher for SeqHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+type SeqSet = HashSet<u64, BuildHasherDefault<SeqHasher>>;
+
+/// A handle to one scheduled event, used to cancel or re-arm it.
+///
+/// Tokens are unique for the lifetime of the scheduler; a token whose
+/// event already fired (or was cancelled) is simply inert.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct EventToken(u64);
+
+/// One queue entry. Ordering ignores the payload: strictly by cycle,
+/// then by scheduling sequence number, inverted so the std max-heap
+/// behaves as a min-heap.
+#[derive(Debug)]
+struct Entry<T> {
+    cycle: u64,
+    seq: u64,
+    /// Whether a token was handed out for this entry (see
+    /// [`EventSched::push`] for the tokenless fast path).
+    cancellable: bool,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cycle == other.cycle && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the smallest (cycle, seq) is the heap maximum.
+        other.cycle.cmp(&self.cycle).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The scheduler: a binary heap of `(cycle, payload)` events with
+/// deterministic same-cycle ordering and token-based cancellation.
+///
+/// # Examples
+///
+/// ```
+/// use firefly_core::sched::EventSched;
+///
+/// let mut s = EventSched::new();
+/// s.schedule(30, "late");
+/// let early = s.schedule(10, "early");
+/// s.schedule(10, "early-too");
+/// s.cancel(early);
+/// assert_eq!(s.pop(), Some((10, "early-too")));
+/// assert_eq!(s.pop(), Some((30, "late")));
+/// assert_eq!(s.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventSched<T> {
+    heap: BinaryHeap<Entry<T>>,
+    /// Sequence numbers of entries that are still live. A cancelled
+    /// entry stays in the heap until it surfaces, then is discarded.
+    live: SeqSet,
+    /// Cancelled entries still sitting in the heap. While zero — the
+    /// common case; the event drivers never cancel — [`purge`]
+    /// (`Self::purge`) is a branch, not a set lookup.
+    dead: usize,
+    /// Pending (non-cancelled) entries, cancellable or not.
+    len: usize,
+    next_seq: u64,
+}
+
+impl<T> Default for EventSched<T> {
+    fn default() -> Self {
+        EventSched::new()
+    }
+}
+
+impl<T> EventSched<T> {
+    /// An empty scheduler.
+    pub fn new() -> Self {
+        EventSched {
+            heap: BinaryHeap::new(),
+            live: SeqSet::default(),
+            dead: 0,
+            len: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `cycle`, returning a token that
+    /// can cancel it. Same-cycle events fire in `schedule` order.
+    pub fn schedule(&mut self, cycle: u64, payload: T) -> EventToken {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { cycle, seq, cancellable: true, payload });
+        self.live.insert(seq);
+        self.len += 1;
+        EventToken(seq)
+    }
+
+    /// Schedules `payload` to fire at `cycle` with no cancellation
+    /// token. Ordering is identical to [`schedule`](Self::schedule)
+    /// (same sequence-number space), but the entry never touches the
+    /// liveness set — this is the event drivers' hot path, where events
+    /// are re-armed on every fire and never cancelled.
+    pub fn push(&mut self, cycle: u64, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { cycle, seq, cancellable: false, payload });
+        self.len += 1;
+    }
+
+    /// Cancels a scheduled event. Returns `true` if the event was still
+    /// pending (it will now never fire), `false` if it had already fired
+    /// or been cancelled — so re-arming via cancel + [`schedule`]
+    /// (`EventSched::schedule`) can never double-fire.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        let was_live = self.live.remove(&token.0);
+        if was_live {
+            self.dead += 1;
+            self.len -= 1;
+        }
+        was_live
+    }
+
+    /// Drops cancelled entries from the top of the heap.
+    fn purge(&mut self) {
+        while self.dead > 0 {
+            let Some(top) = self.heap.peek() else { return };
+            if !top.cancellable || self.live.contains(&top.seq) {
+                return;
+            }
+            self.heap.pop();
+            self.dead -= 1;
+        }
+    }
+
+    /// The cycle of the earliest pending event, if any.
+    pub fn next_cycle(&mut self) -> Option<u64> {
+        self.purge();
+        self.heap.peek().map(|e| e.cycle)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        self.purge();
+        let e = self.heap.pop()?;
+        if e.cancellable {
+            self.live.remove(&e.seq);
+        }
+        self.len -= 1;
+        Some((e.cycle, e.payload))
+    }
+
+    /// Removes and returns the earliest pending event if it is due at or
+    /// before `now`.
+    pub fn pop_due(&mut self, now: u64) -> Option<(u64, T)> {
+        if self.next_cycle()? <= now {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_cycle_order() {
+        let mut s = EventSched::new();
+        s.schedule(40, 'c');
+        s.schedule(10, 'a');
+        s.schedule(25, 'b');
+        assert_eq!(s.pop(), Some((10, 'a')));
+        assert_eq!(s.pop(), Some((25, 'b')));
+        assert_eq!(s.pop(), Some((40, 'c')));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn same_cycle_is_insertion_order() {
+        let mut s = EventSched::new();
+        for i in 0..100 {
+            s.schedule(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(s.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn cancel_then_rearm_fires_exactly_once() {
+        let mut s = EventSched::new();
+        let t = s.schedule(5, "old");
+        assert!(s.cancel(t));
+        assert!(!s.cancel(t), "double-cancel is inert");
+        let t2 = s.schedule(9, "new");
+        assert_eq!(s.pop(), Some((9, "new")));
+        assert!(!s.cancel(t2), "fired events cannot be cancelled");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn pop_due_respects_the_deadline() {
+        let mut s = EventSched::new();
+        s.schedule(10, ());
+        assert_eq!(s.pop_due(9), None);
+        assert_eq!(s.pop_due(10), Some((10, ())));
+        assert_eq!(s.pop_due(u64::MAX), None);
+    }
+
+    #[test]
+    fn next_cycle_skips_cancelled_entries() {
+        let mut s = EventSched::new();
+        let early = s.schedule(1, ());
+        s.schedule(8, ());
+        assert_eq!(s.next_cycle(), Some(1));
+        s.cancel(early);
+        assert_eq!(s.next_cycle(), Some(8));
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -135,6 +135,17 @@ impl SnapWriter {
         self.buf.extend_from_slice(v);
     }
 
+    /// Appends a slice of `u32` words, little-endian, with no length
+    /// prefix: byte-identical to calling [`u32`](SnapWriter::u32) once
+    /// per word, but reserved and copied as one batch. Used for the
+    /// sparse memory image, whose pages dominate snapshot size.
+    pub fn u32_words(&mut self, words: &[u32]) {
+        self.buf.reserve(words.len() * 4);
+        for &w in words {
+            self.buf.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
     /// Appends a length-prefixed UTF-8 string.
     pub fn str(&mut self, v: &str) {
         self.bytes(v.as_bytes());
@@ -219,6 +230,22 @@ impl<'a> SnapReader<'a> {
     pub fn bytes(&mut self) -> Result<&'a [u8], Error> {
         let len = self.usize()?;
         self.take(len)
+    }
+
+    /// Fills `out` with little-endian `u32` words written by
+    /// [`SnapWriter::u32_words`] (or an equivalent per-word sequence):
+    /// one bounds check for the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::SnapshotCorrupt`] if fewer than `4 * out.len()` bytes
+    /// remain.
+    pub fn u32_words_into(&mut self, out: &mut [u32]) -> Result<(), Error> {
+        let raw = self.take(out.len() * 4)?;
+        for (dst, src) in out.iter_mut().zip(raw.chunks_exact(4)) {
+            *dst = u32::from_le_bytes(src.try_into().expect("4 bytes"));
+        }
+        Ok(())
     }
 
     /// Reads a length-prefixed UTF-8 string.

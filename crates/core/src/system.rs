@@ -596,6 +596,69 @@ impl MemSystem {
         }
     }
 
+    /// Whether a [`step`](MemSystem::step) right now would do nothing but
+    /// advance the cycle counters — no transaction on the wires, no bus
+    /// request lines raised, no deferred retry maturing, no pending
+    /// coherence-domain purge, and no port waiting on the bus.
+    ///
+    /// This is the event-driven engine's skip predicate: while it holds,
+    /// any number of steps can be replaced by one
+    /// [`advance_idle`](MemSystem::advance_idle) with bit-identical
+    /// state. Note that ports may still be counting down a *local*
+    /// completion ([`Status::Finishing`]); those have a known completion
+    /// cycle ([`completion_cycle`](MemSystem::completion_cycle)) and cap
+    /// how far the driver may jump.
+    pub fn is_idle(&self) -> bool {
+        !self.bus.is_busy()
+            && !self.bus.has_requests()
+            && self.deferred.is_empty()
+            && self.purge_queue.is_empty()
+            && self
+                .ports
+                .iter()
+                .all(|c| !matches!(c.pending, Some(Pending { status: Status::WaitBus(_), .. })))
+    }
+
+    /// The cycle at which `port`'s pending access completes locally, if
+    /// it is in the [`Status::Finishing`] countdown. `None` while the
+    /// access is still waiting on the bus (its completion cycle is not
+    /// yet known) or when nothing is pending.
+    pub fn completion_cycle(&self, port: PortId) -> Option<u64> {
+        match &self.ports[port.index()].pending {
+            Some(Pending { status: Status::Finishing { at }, .. }) => Some(*at),
+            _ => None,
+        }
+    }
+
+    /// Advances an idle system by `n` cycles in one jump: exactly the
+    /// state change of `n` consecutive [`step`](MemSystem::step) calls
+    /// while [`is_idle`](MemSystem::is_idle) holds — the cycle counter
+    /// and the bus's total-cycle counter move, nothing else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the jump would overflow the cycle counter. Debug builds
+    /// additionally assert the system is idle and that no watchdog
+    /// deadline could be jumped past.
+    pub fn advance_idle(&mut self, n: u64) {
+        debug_assert!(self.is_idle(), "advance_idle on a non-idle system");
+        // A skip must never jump past a pending watchdog deadline.
+        // Deadlines only exist for ports in `WaitBus` — which `is_idle`
+        // excludes — so assert that invariant directly: if a future
+        // change ever weakens the skip predicate, this trips instead of
+        // the watchdog silently firing late.
+        debug_assert!(
+            self.watchdog.is_none()
+                || self.ports.iter().all(|c| !matches!(
+                    c.pending,
+                    Some(Pending { status: Status::WaitBus(_), .. })
+                )),
+            "idle skip would jump past a pending watchdog deadline"
+        );
+        self.cycle = self.cycle.checked_add(n).expect("cycle counter overflow");
+        self.bus.add_idle_cycles(n);
+    }
+
     /// Arms (or disarms, with `None`) the bus-acquisition watchdog: a
     /// port left waiting for the MBus longer than `budget` cycles trips
     /// the watchdog. Each trip doubles the budget for that access
@@ -1428,16 +1491,20 @@ impl MemSystem {
     /// and prepare their snoop responses; concurrent local accesses are
     /// delayed one tick.
     fn snoop_probe(&mut self) {
-        let txn = self.bus.current().expect("bus busy").clone();
+        // Only the header fields matter to the probe; copying them out
+        // avoids cloning the whole transaction (payload included) on
+        // every snooped cycle.
+        let txn = self.bus.current().expect("bus busy");
+        let (initiator, line, op) = (txn.initiator, txn.line, txn.op);
         self.snoop.clear();
         let tick = self.cfg.variant().cycles_per_tick();
         for i in 0..self.ports.len() {
-            if i == txn.initiator.index() {
+            if i == initiator.index() {
                 continue;
             }
-            let state = self.ports[i].cache.state_of(txn.line);
+            let state = self.ports[i].cache.state_of(line);
             if state.is_valid() {
-                let resp = self.protocol.snoop(state, txn.op);
+                let resp = self.protocol.snoop(state, op);
                 self.snoop.push((i, resp));
             }
             // Tag-store interference (the paper's SP term): a hit in

@@ -13,6 +13,7 @@
 
 use crate::config::CpuConfig;
 use crate::icache::ICache;
+use firefly_core::sched::EventSched;
 use firefly_core::snapshot::{SnapReader, SnapWriter};
 use firefly_core::system::{MemSystem, Request};
 use firefly_core::{Addr, Error, PortId};
@@ -278,6 +279,42 @@ impl Processor {
             }
         }
     }
+
+    /// How many consecutive [`tick`](Processor::tick)s from now are pure
+    /// bookkeeping — counter increments with no issue, no poll success,
+    /// no RNG draw. The event-driven driver may replace that many ticks
+    /// with one [`advance_idle`](Processor::advance_idle).
+    ///
+    /// Computing: every tick with `cycles_left > 0` only decrements, so
+    /// the span is `cycles_left` (the issue happens on the tick after it
+    /// reaches zero). Waiting on memory: wait ticks are pure until the
+    /// access's known local completion cycle; while the completion cycle
+    /// is unknown (still waiting on the bus) the processor must poll
+    /// every cycle and the span is zero.
+    pub fn idle_cycles(&self, sys: &MemSystem) -> u64 {
+        match &self.state {
+            State::Computing { cycles_left } => *cycles_left,
+            State::WaitingMem { .. } => {
+                sys.completion_cycle(self.port).map_or(0, |at| at.saturating_sub(sys.cycle()))
+            }
+        }
+    }
+
+    /// Advances the processor by `n` cycles in one jump: exactly the
+    /// state change of `n` consecutive pure-bookkeeping
+    /// [`tick`](Processor::tick)s. `n` must not exceed
+    /// [`idle_cycles`](Processor::idle_cycles) (debug-asserted).
+    pub fn advance_idle(&mut self, n: u64, sys: &MemSystem) {
+        debug_assert!(
+            n <= self.idle_cycles(sys),
+            "idle skip of {n} overruns the processor's next interesting cycle"
+        );
+        self.stats.cycles += n;
+        match &mut self.state {
+            State::Computing { cycles_left } => *cycles_left -= n,
+            State::WaitingMem { .. } => self.stats.memory_wait_cycles += n,
+        }
+    }
 }
 
 fn save_kind(k: RefKind, w: &mut SnapWriter) {
@@ -437,6 +474,148 @@ pub fn drive(processors: &mut [Processor], sys: &mut MemSystem, cycles: u64) {
         }
         sys.step();
     }
+}
+
+/// Host-side counters from one [`drive_events`] call: how the engine
+/// spent the run, for performance reporting (`BENCH_6.json`). These are
+/// measurements *of* the simulator, not simulated state — they are not
+/// part of any snapshot and never affect results.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct EngineStats {
+    /// Scheduler wake-ups that came due and were re-armed.
+    pub events_fired: u64,
+    /// Idle spans jumped in one step.
+    pub idle_skips: u64,
+    /// Total cycles covered by those jumps.
+    pub cycles_skipped: u64,
+    /// Canonical ticked iterations executed (non-idle cycles).
+    pub ticked_iterations: u64,
+}
+
+impl EngineStats {
+    /// Folds another run's counters into this one.
+    pub fn absorb(&mut self, other: EngineStats) {
+        self.events_fired += other.events_fired;
+        self.idle_skips += other.idle_skips;
+        self.cycles_skipped += other.cycles_skipped;
+        self.ticked_iterations += other.ticked_iterations;
+    }
+}
+
+/// The event-driven form of [`drive`]: bit-identical results (counters,
+/// traces, histograms, snapshots), but idle spans are jumped in O(1)
+/// instead of ticked.
+///
+/// Each online processor keeps one wake-up in an
+/// [`EventSched`](firefly_core::sched::EventSched), scheduled at its
+/// next *interesting* cycle — the issue tick at the end of a compute
+/// gap, or a pending access's local completion cycle. Whenever the
+/// memory system is idle ([`MemSystem::is_idle`]) the driver jumps
+/// straight to the earliest wake-up, batching the skipped span into the
+/// counters; otherwise (a transaction on the wires, an arbitration in
+/// progress, a deferred retry or watchdog deadline possibly pending) it
+/// falls back to cycle-by-cycle ticking, which is exactly the ticked
+/// engine. A processor's wake-up is re-armed only when it comes due;
+/// absolute wake cycles are stable in between (a probe stall can push a
+/// completion *later*, which merely makes the stale wake-up fire early
+/// and re-arm — never late).
+///
+/// The scheduler itself is rebuilt from machine state on entry, so
+/// checkpoint/restore needs no scheduler section: the next-event cycle
+/// is a pure function of the snapshotted processor and memory-system
+/// state.
+pub fn drive_events(processors: &mut [Processor], sys: &mut MemSystem, cycles: u64) -> EngineStats {
+    let mut stats = EngineStats::default();
+    let Some(end) = sys.cycle().checked_add(cycles) else {
+        // Absurd horizon (would overflow the cycle counter): the ticked
+        // loop would panic on the wrap too, so just tick.
+        drive(processors, sys, cycles);
+        return stats;
+    };
+    let mut sched: EventSched<usize> = EventSched::new();
+    // Processors due *every* cycle — WaitBus, or an issue tick next
+    // cycle — are kept out of the heap in an "eager" set instead:
+    // re-arming them through the wheel would cost a pop + push per CPU
+    // per cycle during busy phases, paying heap overhead exactly when
+    // there is nothing to skip. Invariant: every online processor is
+    // either eager or holds exactly one heap entry.
+    let mut eager = vec![false; processors.len()];
+    let mut eager_count = 0usize;
+    for (i, p) in processors.iter().enumerate() {
+        if sys.is_online(p.port()) {
+            let span = p.idle_cycles(sys);
+            if span == 0 {
+                eager[i] = true;
+                eager_count += 1;
+            } else {
+                sched.push(sys.cycle().saturating_add(span), i);
+            }
+        }
+    }
+    while sys.cycle() < end {
+        let now = sys.cycle();
+        if eager_count == 0 && sys.is_idle() {
+            // Nothing can happen before the earliest wake-up (or the run
+            // horizon, whichever comes first): skip straight to it.
+            let horizon = sched.next_cycle().unwrap_or(end).min(end);
+            if horizon > now {
+                let span = horizon - now;
+                for p in processors.iter_mut() {
+                    if sys.is_online(p.port()) {
+                        p.advance_idle(span, sys);
+                    }
+                }
+                sys.advance_idle(span);
+                stats.idle_skips += 1;
+                stats.cycles_skipped += span;
+                continue;
+            }
+        }
+        // Someone is due this cycle (or the system is mid-transaction):
+        // run one canonical ticked iteration.
+        for p in processors.iter_mut() {
+            if sys.is_online(p.port()) {
+                p.tick(sys);
+            }
+        }
+        sys.step();
+        stats.ticked_iterations += 1;
+        // Eager processors rejoin the wheel once a real idle span opens
+        // (ports machine-checked offline leave both sets for good).
+        if eager_count > 0 {
+            for (i, p) in processors.iter().enumerate() {
+                if !eager[i] {
+                    continue;
+                }
+                if !sys.is_online(p.port()) {
+                    eager[i] = false;
+                    eager_count -= 1;
+                    continue;
+                }
+                let span = p.idle_cycles(sys);
+                if span > 0 {
+                    eager[i] = false;
+                    eager_count -= 1;
+                    sched.push(sys.cycle().saturating_add(span), i);
+                }
+            }
+        }
+        // Re-arm every wake-up that came due at the cycle just executed.
+        while let Some((_, i)) = sched.pop_due(now) {
+            stats.events_fired += 1;
+            let p = &processors[i];
+            if sys.is_online(p.port()) {
+                let span = p.idle_cycles(sys);
+                if span == 0 {
+                    eager[i] = true;
+                    eager_count += 1;
+                } else {
+                    sched.push(sys.cycle().saturating_add(span), i);
+                }
+            }
+        }
+    }
+    stats
 }
 
 #[cfg(test)]

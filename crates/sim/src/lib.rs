@@ -29,7 +29,7 @@ pub use harness::{
     run_experiments, run_experiments_with, run_jobs, run_jobs_with, worker_count,
     CompletedExperiment, ExperimentResult, ExperimentSpec, HarnessRun,
 };
-pub use machine::{Firefly, FireflyBuilder, Workload};
+pub use machine::{EngineMode, Firefly, FireflyBuilder, Workload};
 pub use measure::Measurement;
 pub use sweep::{
     format_sweep, scaling_sweep, scaling_sweep_on, scaling_sweep_with, ScalingPoint, SweepRun,

@@ -6,7 +6,7 @@ use firefly_core::snapshot::{SnapWriter, SnapshotBuilder, SnapshotFile};
 use firefly_core::stats::FaultStats;
 use firefly_core::system::MemSystem;
 use firefly_core::{CacheGeometry, Error, MachineVariant, PortId, ProtocolKind};
-use firefly_cpu::processor::{drive, Processor};
+use firefly_cpu::processor::{drive, drive_events, EngineStats, Processor};
 use firefly_cpu::CpuConfig;
 use firefly_io::IoSystem;
 use firefly_trace::{LocalityParams, MultiprogramWorkload, RefStream, SyntheticWorkload};
@@ -34,6 +34,38 @@ pub enum Workload {
 impl Default for Workload {
     fn default() -> Self {
         Workload::Synthetic(LocalityParams::paper_calibrated())
+    }
+}
+
+/// Which engine advances the machine. Both produce **bit-identical**
+/// results — statistics, event traces, latency histograms, snapshot
+/// bytes — on every protocol; the differential suite
+/// (`tests/engine_equivalence.rs`) holds them to it.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, serde::Serialize)]
+pub enum EngineMode {
+    /// The discrete-event engine
+    /// ([`firefly_cpu::processor::drive_events`]): idle spans are
+    /// skipped in one jump instead of ticked. The default.
+    #[default]
+    EventDriven,
+    /// The original cycle-by-cycle engine
+    /// ([`firefly_cpu::processor::drive`]), kept forever as the
+    /// reference implementation the event engine is tested against.
+    Ticked,
+}
+
+/// The `FIREFLY_ENGINE` environment override (`ticked` or `events`),
+/// letting any run — including the whole CI suite — be replayed on the
+/// reference engine without code changes.
+fn engine_override() -> Option<EngineMode> {
+    match std::env::var("FIREFLY_ENGINE") {
+        Ok(v) if v.eq_ignore_ascii_case("ticked") => Some(EngineMode::Ticked),
+        Ok(v) if v.eq_ignore_ascii_case("events") => Some(EngineMode::EventDriven),
+        Ok(v) => {
+            eprintln!("FIREFLY_ENGINE={v:?} is not \"ticked\" or \"events\"; ignoring");
+            None
+        }
+        Err(_) => None,
     }
 }
 
@@ -65,6 +97,7 @@ pub struct FireflyBuilder {
     trace_bus: bool,
     trace_events: usize,
     faults: FaultConfig,
+    engine: EngineMode,
 }
 
 impl FireflyBuilder {
@@ -89,6 +122,7 @@ impl FireflyBuilder {
             trace_bus: false,
             trace_events: 0,
             faults: FaultConfig::default(),
+            engine: EngineMode::default(),
         }
     }
 
@@ -164,6 +198,15 @@ impl FireflyBuilder {
         self
     }
 
+    /// Selects the simulation engine (overridden by the
+    /// `FIREFLY_ENGINE` environment variable when set). The default is
+    /// [`EngineMode::EventDriven`]; pass [`EngineMode::Ticked`] to run
+    /// on the cycle-by-cycle reference engine.
+    pub fn engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Installs a fault-injection plan (see [`firefly_core::fault`]).
     /// The plan drives the memory system's bus/ECC/tag fault sites and,
     /// when I/O is attached, the device-level sites too. The default
@@ -231,7 +274,8 @@ impl FireflyBuilder {
         } else {
             None
         };
-        Firefly { sys, processors, io, cpu_cfg }
+        let engine = engine_override().unwrap_or(self.engine);
+        Firefly { sys, processors, io, cpu_cfg, engine, engine_stats: EngineStats::default() }
     }
 }
 
@@ -241,6 +285,8 @@ pub struct Firefly {
     processors: Vec<Processor>,
     io: Option<IoSystem>,
     cpu_cfg: CpuConfig,
+    engine: EngineMode,
+    engine_stats: EngineStats,
 }
 
 impl Firefly {
@@ -279,12 +325,39 @@ impl Firefly {
         self.io.as_mut()
     }
 
+    /// The engine this machine runs on.
+    pub fn engine(&self) -> EngineMode {
+        self.engine
+    }
+
+    /// Accumulated host-side event-engine counters (wake-ups fired, idle
+    /// spans skipped) across every [`run`](Self::run) so far. All zero
+    /// on the ticked engine or with I/O attached. These measure the
+    /// simulator, not the machine: they are excluded from snapshots and
+    /// never influence results.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine_stats
+    }
+
     /// Runs the machine for `cycles` bus cycles. Processors whose port
     /// has been machine-checked offline are frozen rather than ticked,
     /// so a degraded machine keeps running on the survivors.
+    ///
+    /// With I/O attached the machine always runs cycle-by-cycle: the DMA
+    /// engine's pacing countdown and device watchdogs are per-cycle
+    /// state, so there are no skippable idle spans to exploit.
     pub fn run(&mut self, cycles: u64) {
         match &mut self.io {
-            None => drive(&mut self.processors, &mut self.sys, cycles),
+            None => match self.engine {
+                EngineMode::EventDriven => {
+                    self.engine_stats.absorb(drive_events(
+                        &mut self.processors,
+                        &mut self.sys,
+                        cycles,
+                    ));
+                }
+                EngineMode::Ticked => drive(&mut self.processors, &mut self.sys, cycles),
+            },
             Some(io) => {
                 for _ in 0..cycles {
                     for p in self.processors.iter_mut() {

@@ -1,0 +1,209 @@
+//! Differential equivalence suite: the event-driven engine versus the
+//! ticked reference engine.
+//!
+//! The event-driven core ([`firefly_cpu::processor::drive_events`], the
+//! default behind [`firefly::sim::EngineMode`]) skips idle spans in one
+//! jump instead of ticking them. Its contract is strict: **bit-identical
+//! results** — statistics JSON, event traces, latency histograms,
+//! snapshot bytes — on every protocol, under fault injection, and across
+//! mid-run checkpoints. These tests drive both engines from the same
+//! seed in lockstep and hold them to that contract byte for byte; any
+//! divergence means the skip predicate admitted a cycle that was not
+//! actually idle.
+
+use firefly::core::fault::FaultConfig;
+use firefly::core::protocol::ProtocolKind;
+use firefly::sim::{EngineMode, Firefly, FireflyBuilder, Workload};
+use firefly::trace::LocalityParams;
+use firefly_core::PortId;
+use serde::Serialize;
+
+/// Serializes every statistics surface of a machine to one JSON string,
+/// so "the stats are identical" is a byte comparison.
+fn stats_json(machine: &Firefly) -> String {
+    let mut parts = Vec::new();
+    parts.push(machine.memory().bus_stats().to_json());
+    parts.push(machine.fault_stats().to_json());
+    for p in machine.processors() {
+        parts.push(p.stats().to_json());
+    }
+    parts.join(",")
+}
+
+/// The latency histograms, via their Debug rendering (bin-exact).
+fn latency_debug(machine: &Firefly) -> String {
+    format!("{:?}", machine.memory().latency_stats())
+}
+
+fn build(kind: ProtocolKind, engine: EngineMode, faults: FaultConfig) -> Firefly {
+    FireflyBuilder::microvax(3)
+        .protocol(kind)
+        .seed(0xe4e4 ^ kind as u64)
+        .trace_events(2048)
+        .faults(faults)
+        .engine(engine)
+        .build()
+}
+
+/// Runs `machine` in `chunks` chunks of `chunk` cycles, returning the
+/// stats JSON after every chunk (so a divergence is localized to the
+/// chunk that introduced it, not discovered at the end).
+fn run_chunked(machine: &mut Firefly, chunk: u64, chunks: usize) -> Vec<String> {
+    (0..chunks)
+        .map(|_| {
+            machine.run(chunk);
+            stats_json(machine)
+        })
+        .collect()
+}
+
+/// The headline differential: all six protocols, both engines from the
+/// same seed, compared in lockstep every 10k cycles. 120k cycles at the
+/// paper's ~12 ticks per instruction gives each 3-CPU machine well over
+/// 10,000 memory requests.
+#[test]
+fn engines_bit_identical_on_all_six_protocols() {
+    for kind in ProtocolKind::ALL {
+        let mut ticked = build(kind, EngineMode::Ticked, FaultConfig::default());
+        let mut events = build(kind, EngineMode::EventDriven, FaultConfig::default());
+
+        let t = run_chunked(&mut ticked, 10_000, 12);
+        let e = run_chunked(&mut events, 10_000, 12);
+        for (i, (tj, ej)) in t.iter().zip(&e).enumerate() {
+            assert_eq!(tj, ej, "{kind:?}: stats JSON diverged in chunk {i}");
+        }
+
+        let refs: u64 =
+            (0..3).map(|p| ticked.memory().cache_stats(PortId::new(p)).cpu_refs()).sum();
+        assert!(refs > 10_000, "{kind:?}: only {refs} requests — the differential is too weak");
+
+        assert_eq!(
+            format!("{:?}", ticked.events()),
+            format!("{:?}", events.events()),
+            "{kind:?}: event traces diverged"
+        );
+        assert_eq!(
+            latency_debug(&ticked),
+            latency_debug(&events),
+            "{kind:?}: latency histograms diverged"
+        );
+        assert_eq!(
+            ticked.save_snapshot().unwrap(),
+            events.save_snapshot().unwrap(),
+            "{kind:?}: snapshot bytes diverged"
+        );
+    }
+}
+
+/// The same differential under an active fault plan: bus parity aborts
+/// and retry backoff, MShared glitches, arbiter stalls, and correctable
+/// ECC all perturb the schedule, and every RNG draw must land on the
+/// same cycle in both engines.
+#[test]
+fn engines_bit_identical_under_fault_injection() {
+    for kind in ProtocolKind::ALL {
+        let plan = FaultConfig::correctable(0xfau64 ^ kind as u64, 20_000);
+        let mut ticked = build(kind, EngineMode::Ticked, plan);
+        let mut events = build(kind, EngineMode::EventDriven, plan);
+
+        let t = run_chunked(&mut ticked, 10_000, 8);
+        let e = run_chunked(&mut events, 10_000, 8);
+        for (i, (tj, ej)) in t.iter().zip(&e).enumerate() {
+            assert_eq!(tj, ej, "{kind:?}: stats JSON diverged under faults in chunk {i}");
+        }
+        assert!(
+            ticked.fault_stats().total_injected() > 0,
+            "{kind:?}: the plan never fired — the test is not exercising fault schedules"
+        );
+        assert_eq!(
+            format!("{:?}", ticked.events()),
+            format!("{:?}", events.events()),
+            "{kind:?}: event traces diverged under faults"
+        );
+        assert_eq!(
+            ticked.save_snapshot().unwrap(),
+            events.save_snapshot().unwrap(),
+            "{kind:?}: snapshot bytes diverged under faults"
+        );
+    }
+}
+
+/// A checkpoint taken by one engine restores into the other: the
+/// snapshot format is engine-agnostic because the scheduler's state is
+/// derived, not stored. Each engine continues from the other's
+/// checkpoint bit-identically to the uninterrupted run.
+#[test]
+fn checkpoints_cross_engines_bit_identically() {
+    for kind in [ProtocolKind::Firefly, ProtocolKind::Berkeley, ProtocolKind::WriteThrough] {
+        let plan = FaultConfig::correctable(0xc0c0, 25_000);
+        let mut events = build(kind, EngineMode::EventDriven, plan);
+        events.run(30_000);
+        let snap = events.save_snapshot().unwrap();
+
+        // Resume the event-engine checkpoint on the ticked engine (and
+        // vice versa via the uninterrupted event machine).
+        let mut ticked = build(kind, EngineMode::Ticked, plan);
+        ticked.load_snapshot(&snap).unwrap();
+
+        events.run(30_000);
+        ticked.run(30_000);
+
+        assert_eq!(events.memory().cycle(), ticked.memory().cycle(), "{kind:?}: cycles");
+        assert_eq!(stats_json(&events), stats_json(&ticked), "{kind:?}: stats after crossover");
+        assert_eq!(
+            events.save_snapshot().unwrap(),
+            ticked.save_snapshot().unwrap(),
+            "{kind:?}: snapshots diverged after the cross-engine resume"
+        );
+    }
+}
+
+/// The multiprogram workload context-switches every quantum and streams
+/// through cold caches — a different idle-span profile (long compute
+/// gaps, bursty misses) than the steady-state synthetic stream.
+#[test]
+fn engines_agree_on_the_multiprogram_workload() {
+    let workload = Workload::Multiprogram {
+        processes: 3,
+        quantum: 1_500,
+        params: LocalityParams::paper_calibrated(),
+    };
+    let build = |engine| {
+        FireflyBuilder::microvax(4)
+            .workload(workload)
+            .protocol(ProtocolKind::Dragon)
+            .seed(0x777)
+            .engine(engine)
+            .build()
+    };
+    let mut ticked = build(EngineMode::Ticked);
+    let mut events = build(EngineMode::EventDriven);
+    ticked.run(80_000);
+    events.run(80_000);
+    assert_eq!(stats_json(&ticked), stats_json(&events));
+    assert_eq!(ticked.save_snapshot().unwrap(), events.save_snapshot().unwrap());
+}
+
+/// An idle-heavy configuration (one CPU, high hit rate, long compute
+/// gaps) is where the event engine actually skips; make sure the reached
+/// state is still identical and the cycle counters add up exactly.
+#[test]
+fn idle_heavy_single_cpu_run_is_identical() {
+    let build = |engine| {
+        FireflyBuilder::microvax(1)
+            .workload(Workload::Synthetic(LocalityParams::paper_calibrated()))
+            .seed(42)
+            .engine(engine)
+            .build()
+    };
+    let mut ticked = build(EngineMode::Ticked);
+    let mut events = build(EngineMode::EventDriven);
+    ticked.run(200_000);
+    events.run(200_000);
+    assert_eq!(ticked.memory().cycle(), 200_000);
+    assert_eq!(events.memory().cycle(), 200_000);
+    assert_eq!(ticked.memory().bus_stats().total_cycles, 200_000);
+    assert_eq!(events.memory().bus_stats().total_cycles, 200_000);
+    assert_eq!(stats_json(&ticked), stats_json(&events));
+    assert_eq!(ticked.save_snapshot().unwrap(), events.save_snapshot().unwrap());
+}

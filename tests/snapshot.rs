@@ -137,6 +137,77 @@ fn restore_of_save_is_a_fixed_point_mid_stream() {
     }
 }
 
+/// The event-driven engine's scheduler state is *derived*: every wake-up
+/// is a pure function of processor and memory-system state, so a
+/// checkpoint needs no scheduler section. This pins the consequence: a
+/// snapshot cut **between two scheduled events** (mid compute-gap, with
+/// pending local completions outstanding) restores to the same
+/// next-event cycle, and the resumed machine re-snapshots to the same
+/// bytes as the uninterrupted run.
+#[test]
+fn scheduler_state_roundtrips_between_scheduled_events() {
+    use firefly::sim::EngineMode;
+
+    /// The next-interesting-cycle the event driver would rebuild: the
+    /// earliest wake-up across the online processors (`u64::MAX` when
+    /// the machine would tick cycle-by-cycle).
+    fn next_event_cycle(machine: &firefly::sim::Firefly) -> u64 {
+        let sys = machine.memory();
+        machine
+            .processors()
+            .iter()
+            .filter(|p| sys.is_online(p.port()))
+            .map(|p| sys.cycle() + p.idle_cycles(sys))
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    for kind in [ProtocolKind::Firefly, ProtocolKind::Illinois] {
+        let build = |seed: u64| {
+            FireflyBuilder::microvax(3)
+                .protocol(kind)
+                .seed(seed)
+                .engine(EngineMode::EventDriven)
+                .build()
+        };
+        let mut machine = build(21);
+        // Walk forward from an arbitrary point until the cut lands
+        // strictly *between* two scheduled events (inside a compute gap,
+        // not on a wake-up boundary).
+        machine.run(12_345);
+        let mut guard = 0;
+        while next_event_cycle(&machine) <= machine.memory().cycle() {
+            machine.run(1);
+            guard += 1;
+            assert!(guard < 10_000, "{kind:?}: no between-events cut found");
+        }
+        let next = next_event_cycle(&machine);
+        assert!(next > machine.memory().cycle());
+
+        let snap = machine.save_snapshot().unwrap();
+        let mut twin = build(909);
+        twin.load_snapshot(&snap).unwrap();
+        assert_eq!(
+            next_event_cycle(&twin),
+            next,
+            "{kind:?}: restored machine rebuilds a different next-event cycle"
+        );
+        assert_eq!(
+            twin.save_snapshot().unwrap(),
+            snap,
+            "{kind:?}: restore must be a byte-level fixed point"
+        );
+
+        machine.run(12_345);
+        twin.run(12_345);
+        assert_eq!(
+            machine.save_snapshot().unwrap(),
+            twin.save_snapshot().unwrap(),
+            "{kind:?}: resumed run diverged from the uninterrupted one"
+        );
+    }
+}
+
 /// Patches the little-endian version word of a valid image and repairs
 /// the trailing CRC so only the version differs.
 fn with_version(image: &[u8], version: u32) -> Vec<u8> {

@@ -149,3 +149,66 @@ fn starved_bus_requester_machine_checks_and_the_machine_runs_on() {
     }
     sys.run_to_completion(PortId::new(0), Request::read(Addr::from_word_index(9))).unwrap();
 }
+
+/// Regression for the event engine's skip path (the `u64` cycle
+/// arithmetic hazard class from the `BusStats::delta` fix): an idle skip
+/// must never jump past a pending watchdog deadline. Deadlines only
+/// exist for ports waiting on the bus, so the skip predicate
+/// [`MemSystem::is_idle`] must refuse to skip while *any* port is in
+/// that state — pinned here at every cycle of a starvation window that
+/// ends in a watchdog machine check.
+#[test]
+fn idle_skip_never_jumps_a_pending_watchdog_deadline() {
+    let mut sys = traced_sys(2);
+    sys.set_watchdog(Some(16));
+
+    let hot = Addr::from_word_index(0);
+    sys.run_to_completion(PortId::new(1), Request::read(hot)).unwrap();
+    sys.run_to_completion(PortId::new(0), Request::read(hot)).unwrap();
+    sys.run_to_completion(PortId::new(0), Request::write(hot, 1)).unwrap();
+
+    // Port 1 is now starved behind port 0's write-hit loop: its watchdog
+    // deadline is pending from here until the machine check.
+    sys.begin(PortId::new(0), Request::write(hot, 2)).unwrap();
+    sys.begin(PortId::new(1), Request::read(Addr::from_word_index(500))).unwrap();
+    let mut deadline_cycles = 0u64;
+    for _ in 0..2_000 {
+        if sys.is_online(PortId::new(1)) {
+            assert!(
+                !sys.is_idle(),
+                "cycle {}: is_idle() while port 1 waits on the bus under a watchdog — \
+                 an event-engine skip here could jump its deadline",
+                sys.cycle()
+            );
+            deadline_cycles += 1;
+        }
+        sys.step();
+        if sys.poll(PortId::new(0)).is_some() {
+            sys.begin(PortId::new(0), Request::write(hot, 3)).unwrap();
+        }
+        if !sys.is_online(PortId::new(1)) {
+            break;
+        }
+    }
+    assert!(!sys.is_online(PortId::new(1)), "starvation must end in the machine check");
+    assert!(sys.watchdog_trips() >= 3, "the deadline ladder actually ran");
+    assert!(deadline_cycles > 64, "the no-skip window covered the whole starvation");
+}
+
+/// The debug guard itself: forcing an idle skip while a watchdog
+/// deadline is pending trips the `advance_idle` assertion instead of
+/// silently firing the watchdog late.
+#[test]
+#[should_panic(expected = "advance_idle on a non-idle system")]
+#[cfg(debug_assertions)]
+fn forced_skip_over_a_watchdog_deadline_asserts() {
+    let mut sys = traced_sys(2);
+    sys.set_watchdog(Some(16));
+    let hot = Addr::from_word_index(0);
+    sys.run_to_completion(PortId::new(1), Request::read(hot)).unwrap();
+    sys.run_to_completion(PortId::new(0), Request::read(hot)).unwrap();
+    sys.begin(PortId::new(1), Request::read(Addr::from_word_index(321))).unwrap();
+    // Port 1 is WaitBus: its deadline is live, the system is not idle,
+    // and a forced 1000-cycle jump must refuse.
+    sys.advance_idle(1_000);
+}
