@@ -39,9 +39,16 @@ if [ "$a" != "$b" ]; then
     exit 1
 fi
 
+echo "== rpc_bandwidth --smoke (§6 4.6 Mb/s claim)"
+cargo run --release -p firefly-bench --bin rpc_bandwidth -- --smoke > /dev/null
+
 echo "== bench: engine_bench --smoke -> BENCH_6.json + schema check"
 cargo run --release -p firefly-bench --bin engine_bench -- --smoke --out BENCH_6.json
 cargo run --release -p firefly-bench --bin bench_check -- BENCH_6.json
+
+echo "== bench: fleet --smoke -> BENCH_7.json + schema/gate check"
+cargo run --release -p firefly-bench --bin fleet -- --smoke --out BENCH_7.json
+cargo run --release -p firefly-bench --bin bench_check -- BENCH_7.json
 
 echo "== trace smoke: protocol_compare --smoke --trace + trace_check"
 trace_file="$(mktemp /tmp/firefly-trace.XXXXXX.json)"

@@ -1,19 +1,19 @@
-//! CI guard for `BENCH_6.json`: verifies the engine-bench report is
-//! well-formed and that its headline speedup meets its own target.
+//! CI guard for the BENCH trajectory reports: verifies a bench JSON is
+//! well-formed and that its headline gates hold.
 //!
-//! Usage: `bench_check <BENCH_6.json>`. Exits 0 when the file parses as
-//! JSON (via the simulator's own dependency-free validator,
+//! Usage: `bench_check <BENCH_N.json>`. The file names which bench it
+//! is (`"bench":"BENCH_6"` or `"bench":"BENCH_7"`); the matching schema
+//! and gate check runs. Exits 0 when the file parses as JSON (via the
+//! simulator's own dependency-free validator,
 //! [`firefly_core::events::validate_json`]), carries every schema key
-//! the BENCH trajectory promises (see EXPERIMENTS.md), and records
-//! `headline_speedup >= target_speedup` with `"pass":true`. Prints the
-//! failure and exits 1 otherwise.
+//! the trajectory promises (see EXPERIMENTS.md), and its gates pass
+//! with `"pass":true`. Prints the failure and exits 1 otherwise.
 
 use std::process::ExitCode;
 
 /// Keys every BENCH_6 document must carry (compact `"key":` spelling,
 /// as the workspace serializer emits them).
-const REQUIRED_KEYS: &[&str] = &[
-    "\"bench\":\"BENCH_6\"",
+const BENCH_6_KEYS: &[&str] = &[
     "\"seed\":",
     "\"smoke\":",
     "\"target_speedup\":",
@@ -31,10 +31,29 @@ const REQUIRED_KEYS: &[&str] = &[
     "\"pass\":",
 ];
 
-/// Extracts the number following `"key":` — enough of a scanner for the
-/// flat numeric fields this schema puts at the top level.
-fn number_after(text: &str, key: &str) -> Result<f64, String> {
-    let at = text.find(key).ok_or_else(|| format!("missing {key}"))?;
+/// Keys every BENCH_7 (fleet serving) document must carry.
+const BENCH_7_KEYS: &[&str] = &[
+    "\"seed\":",
+    "\"smoke\":",
+    "\"saturation\":[",
+    "\"arrivals_per_mcycle\":",
+    "\"offered_mbps\":",
+    "\"goodput_mbps\":",
+    "\"wire_utilization\":",
+    "\"storm_naive\":{",
+    "\"storm_budgeted\":{",
+    "\"baseline_mbps\":",
+    "\"recovery_fraction\":",
+    "\"oracle_violations\":",
+    "\"crash\":{",
+    "\"degraded_fraction\":",
+    "\"crash_recovery_cycles\":",
+    "\"pass\":",
+];
+
+/// Extracts the number following the first `"key":` at or after `from`.
+fn number_after_at(text: &str, from: usize, key: &str) -> Result<f64, String> {
+    let at = text[from..].find(key).ok_or_else(|| format!("missing {key}"))? + from;
     let rest = &text[at + key.len()..];
     let end = rest
         .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
@@ -42,24 +61,28 @@ fn number_after(text: &str, key: &str) -> Result<f64, String> {
     rest[..end].parse().map_err(|_| format!("{key} is not a number: {:?}", &rest[..end]))
 }
 
-fn check(path: &str) -> Result<String, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    firefly_core::events::validate_json(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
-    for key in REQUIRED_KEYS {
+fn number_after(text: &str, key: &str) -> Result<f64, String> {
+    number_after_at(text, 0, key)
+}
+
+fn require_keys(path: &str, text: &str, keys: &[&str]) -> Result<(), String> {
+    for key in keys {
         if !text.contains(key) {
             return Err(format!("{path}: missing required key {key}"));
         }
     }
-    let headline = number_after(&text, "\"headline_speedup\":")?;
-    let target = number_after(&text, "\"target_speedup\":")?;
+    Ok(())
+}
+
+fn check_bench_6(path: &str, text: &str) -> Result<String, String> {
+    require_keys(path, text, BENCH_6_KEYS)?;
+    let headline = number_after(text, "\"headline_speedup\":")?;
+    let target = number_after(text, "\"target_speedup\":")?;
     if !headline.is_finite() || headline <= 0.0 {
         return Err(format!("{path}: headline_speedup {headline} is not a positive number"));
     }
     if headline < target {
         return Err(format!("{path}: headline_speedup {headline:.2} < target {target:.0}"));
-    }
-    if !text.contains("\"pass\":true") {
-        return Err(format!("{path}: report does not record pass:true"));
     }
     let points = text.matches("\"speedup\":").count();
     if points == 0 {
@@ -68,14 +91,78 @@ fn check(path: &str) -> Result<String, String> {
     Ok(format!("{points} sweep point(s), headline {headline:.1}x (target {target:.0}x)"))
 }
 
+fn check_bench_7(path: &str, text: &str) -> Result<String, String> {
+    require_keys(path, text, BENCH_7_KEYS)?;
+    // The two storm outcomes and the crash outcome are nested objects;
+    // scan each gate's number from its own section onward (the structs
+    // serialize in declaration order: naive, budgeted, crash).
+    let naive_at = text.find("\"storm_naive\":{").expect("checked above");
+    let budgeted_at = text.find("\"storm_budgeted\":{").expect("checked above");
+    let crash_at = text.find("\"crash\":{").expect("checked above");
+    let naive_frac = number_after_at(text, naive_at, "\"recovery_fraction\":")?;
+    let budgeted_frac = number_after_at(text, budgeted_at, "\"recovery_fraction\":")?;
+    let degraded = number_after_at(text, crash_at, "\"degraded_fraction\":")?;
+    let recovery = number_after(text, "\"crash_recovery_cycles\":")?;
+    if naive_frac >= 0.5 {
+        return Err(format!(
+            "{path}: naive retries recovered {:.0}% of baseline (storm gate wants < 50%)",
+            naive_frac * 100.0
+        ));
+    }
+    if budgeted_frac < 0.9 {
+        return Err(format!(
+            "{path}: budgeted retries recovered {:.0}% of baseline (storm gate wants ≥ 90%)",
+            budgeted_frac * 100.0
+        ));
+    }
+    if degraded < 0.8 {
+        return Err(format!(
+            "{path}: post-crash goodput {:.0}% of baseline (crash gate wants ≥ 80%)",
+            degraded * 100.0
+        ));
+    }
+    if recovery < 0.0 {
+        return Err(format!("{path}: fleet never regained 80% of baseline after the kill"));
+    }
+    let oracles = text.matches("\"oracle_violations\":").count();
+    let clean_oracles = text.matches("\"oracle_violations\":0").count();
+    if clean_oracles != oracles {
+        return Err(format!("{path}: at-most-once oracle violations recorded"));
+    }
+    let cells = text.matches("\"arrivals_per_mcycle\":").count();
+    Ok(format!(
+        "{cells} saturation cell(s), naive {:.0}% / budgeted {:.0}% recovery, \
+         crash degraded {:.0}%, failover {recovery:.0} cycles",
+        naive_frac * 100.0,
+        budgeted_frac * 100.0,
+        degraded * 100.0
+    ))
+}
+
+fn check(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    firefly_core::events::validate_json(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let (which, summary) = if text.contains("\"bench\":\"BENCH_6\"") {
+        ("BENCH_6", check_bench_6(path, &text)?)
+    } else if text.contains("\"bench\":\"BENCH_7\"") {
+        ("BENCH_7", check_bench_7(path, &text)?)
+    } else {
+        return Err(format!("{path}: no recognized \"bench\" tag (BENCH_6 or BENCH_7)"));
+    };
+    if !text.contains("\"pass\":true") {
+        return Err(format!("{path}: report does not record pass:true"));
+    }
+    Ok(format!("valid {which} report with {summary}"))
+}
+
 fn main() -> ExitCode {
     let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: bench_check <BENCH_6.json>");
+        eprintln!("usage: bench_check <BENCH_N.json>");
         return ExitCode::FAILURE;
     };
     match check(&path) {
         Ok(summary) => {
-            println!("{path}: valid BENCH_6 report with {summary}");
+            println!("{path}: {summary}");
             ExitCode::SUCCESS
         }
         Err(e) => {

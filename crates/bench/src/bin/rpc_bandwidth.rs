@@ -1,33 +1,80 @@
 //! The §6 RPC claim: "The remote server can sustain a bandwidth of 4.6
 //! megabits per second using an average of three concurrent threads."
+//!
+//! Flags: `--smoke` shrinks the call count for CI; `--json` emits one
+//! machine-readable document (config, sweep, the 3-thread claim check)
+//! instead of the tables.
 
 use firefly_bench::report;
-use firefly_topaz::rpc::{bandwidth_sweep, simulate, RpcConfig};
+use firefly_topaz::rpc::{bandwidth_sweep, simulate, RpcConfig, RpcRun};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct JsonDoc {
+    smoke: bool,
+    calls: u64,
+    saturation_mbps: f64,
+    call_latency_us: f64,
+    sweep: Vec<RpcRun>,
+    three_threads: RpcRun,
+    paper_mbps: f64,
+    pass: bool,
+}
 
 fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let calls: u64 = if smoke { 2_000 } else { 10_000 };
     let cfg = RpcConfig::firefly();
-    println!("RPC data transfer, multiple outstanding calls\n");
-    println!(
-        "pipeline: client CPU {:.1} ms | wire {:.2} ms | server CPU {:.1} ms | reply {:.2} ms",
-        cfg.client_cpu_us / 1e3,
-        cfg.request_tx_us() / 1e3,
-        cfg.server_cpu_us / 1e3,
-        cfg.reply_tx_us() / 1e3
-    );
-    println!(
-        "uncontended call latency {:.1} ms; bottleneck {:.1} ms/call -> saturation {:.2} Mb/s\n",
-        cfg.call_latency_us() / 1e3,
-        cfg.bottleneck_us() / 1e3,
-        cfg.saturation_mbps()
-    );
+    let sweep = bandwidth_sweep(&cfg, 8, calls);
+    let three = simulate(&cfg, 3, calls);
+    // The paper's sustained figure, with slack for the discrete-event
+    // model's pipelining losses at small call counts.
+    let pass = three.payload_mbps >= 4.0 && three.payload_mbps <= 5.2;
 
-    println!("{:>8} {:>12} {:>18}", "threads", "Mbit/s", "mean outstanding");
-    for run in bandwidth_sweep(&cfg, 8, 10_000) {
-        println!("{:>8} {:>12.2} {:>18.2}", run.threads, run.payload_mbps, run.mean_outstanding);
+    if report::json_requested() {
+        report::emit_json(&JsonDoc {
+            smoke,
+            calls,
+            saturation_mbps: cfg.saturation_mbps(),
+            call_latency_us: cfg.call_latency_us(),
+            sweep,
+            three_threads: three,
+            paper_mbps: 4.6,
+            pass,
+        });
+    } else {
+        println!("RPC data transfer, multiple outstanding calls\n");
+        println!(
+            "pipeline: client CPU {:.1} ms | wire {:.2} ms | server CPU {:.1} ms | reply {:.2} ms",
+            cfg.client_cpu_us / 1e3,
+            cfg.request_tx_us() / 1e3,
+            cfg.server_cpu_us / 1e3,
+            cfg.reply_tx_us() / 1e3
+        );
+        println!(
+            "uncontended call latency {:.1} ms; bottleneck {:.1} ms/call -> saturation {:.2} Mb/s\n",
+            cfg.call_latency_us() / 1e3,
+            cfg.bottleneck_us() / 1e3,
+            cfg.saturation_mbps()
+        );
+
+        println!("{:>8} {:>12} {:>18}", "threads", "Mbit/s", "mean outstanding");
+        for run in &sweep {
+            println!(
+                "{:>8} {:>12.2} {:>18.2}",
+                run.threads, run.payload_mbps, run.mean_outstanding
+            );
+        }
+
+        println!();
+        report::compare("bandwidth at 3 threads (Mbit/s)", 4.6, three.payload_mbps, "Mb/s");
+        report::compare("threads to saturate", 3.0, three.mean_outstanding, "threads");
     }
-
-    let three = simulate(&cfg, 3, 10_000);
-    println!();
-    report::compare("bandwidth at 3 threads (Mbit/s)", 4.6, three.payload_mbps, "Mb/s");
-    report::compare("threads to saturate", 3.0, three.mean_outstanding, "threads");
+    if !pass {
+        eprintln!(
+            "rpc_bandwidth: 3-thread bandwidth {:.2} Mb/s is outside the paper's 4.6 Mb/s claim",
+            three.payload_mbps
+        );
+        std::process::exit(1);
+    }
 }

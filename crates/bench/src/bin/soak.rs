@@ -20,6 +20,13 @@
 //!    the continuation must be bit-identical (cycle count, fault stats,
 //!    event trace, and the next snapshot image).
 //!
+//! 3. **Fleet chaos** — a three-server RPC fleet on a lossy Ethernet
+//!    (`firefly_sim::fleet`) is driven through seeded random machine
+//!    kills and mid-flight whole-fleet snapshot/restores; after every
+//!    restore the continuation must match an uninterrupted twin
+//!    bit-for-bit, and the at-most-once oracle must stay clean
+//!    throughout.
+//!
 //! Violations are collected, not panicked on, so one bad protocol still
 //! yields the full deterministic triage table; any violation makes the
 //! process exit nonzero. Flags: `--seed N`, `--smoke` (CI sizing),
@@ -32,6 +39,7 @@ use firefly_core::fault::FaultConfig;
 use firefly_core::protocol::ProtocolKind;
 use firefly_core::system::{MemSystem, Request};
 use firefly_core::{Addr, CacheGeometry, PortId};
+use firefly_sim::fleet::{Fleet, FleetConfig};
 use firefly_sim::harness::run_jobs;
 use firefly_sim::machine::FireflyBuilder;
 use rand::rngs::SmallRng;
@@ -65,12 +73,24 @@ struct ResumeCell {
     violations: Vec<String>,
 }
 
+/// One seed's fleet-chaos outcome.
+#[derive(Clone, Debug, Serialize)]
+struct FleetCell {
+    seed: u64,
+    cycles: u64,
+    restores: u64,
+    server_kills: u64,
+    acked: u64,
+    violations: Vec<String>,
+}
+
 #[derive(Debug, Serialize)]
 struct SoakReport {
     seed: u64,
     smoke: bool,
     chaos: Vec<ChaosCell>,
     resume: Vec<ResumeCell>,
+    fleet: Vec<FleetCell>,
     violations: usize,
 }
 
@@ -258,6 +278,84 @@ fn resume_cell(kind: ProtocolKind, seed: u64, warm: u64, run: u64) -> ResumeCell
     ResumeCell { protocol: kind, cycles: warm + run, violations }
 }
 
+/// Phase 3 for one seed: a lossy-wire RPC fleet survives random server
+/// kills and mid-flight whole-fleet restores.
+fn fleet_cell(seed: u64, total_cycles: u64) -> FleetCell {
+    let cfg = FleetConfig::crash_failover(seed);
+    let mut fleet = Fleet::new(cfg);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xf1ee_7f1e_e7f1_ee70);
+    let mut cell = FleetCell {
+        seed,
+        cycles: total_cycles,
+        restores: 0,
+        server_kills: 0,
+        acked: 0,
+        violations: Vec::new(),
+    };
+
+    while fleet.cycle() < total_cycles {
+        let chunk: u64 = rng.gen_range(20_000..120_000);
+        let target = (fleet.cycle() + chunk).min(total_cycles);
+        fleet.run_until(target);
+
+        match rng.gen_range(0..4u32) {
+            // Kill a random still-online server, never the last one —
+            // a fully dead tier measures nothing.
+            0 if fleet.online_servers() > 1 => {
+                let victims: Vec<usize> =
+                    (0..cfg.servers).filter(|&i| fleet.server_online(i)).collect();
+                fleet.kill_server(victims[rng.gen_range(0..victims.len() as u64) as usize]);
+                cell.server_kills += 1;
+            }
+            // Mid-flight kill -9 + restore: serialize the whole fleet
+            // (armed retry timers, in-flight frames, backoff state and
+            // all), rebuild from the image, and require the restored
+            // fleet's continuation to match the original bit-for-bit.
+            1 => {
+                let img = fleet.save_snapshot();
+                let mut twin = Fleet::new(cfg);
+                match twin.load_snapshot(&img) {
+                    Err(e) => {
+                        cell.violations.push(format!("fleet seed {seed:#x}: restore failed: {e}"));
+                    }
+                    Ok(()) => {
+                        // The kill cost the dead-server bits too: the
+                        // snapshot must carry which machines are down.
+                        let probe = (fleet.cycle() + 60_000).min(total_cycles + 60_000);
+                        fleet.run_until(probe);
+                        twin.run_until(probe);
+                        if fleet.stats_json() != twin.stats_json() {
+                            cell.violations.push(format!(
+                                "fleet seed {seed:#x}: stats diverged after restore at {probe}"
+                            ));
+                        }
+                        if fleet.save_snapshot() != twin.save_snapshot() {
+                            cell.violations.push(format!(
+                                "fleet seed {seed:#x}: re-snapshot diverged after restore"
+                            ));
+                        }
+                        // Continue from the restored fleet: the rest of
+                        // the soak runs on the resumed image.
+                        fleet = twin;
+                        cell.restores += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        for v in fleet.check_at_most_once() {
+            cell.violations.push(format!("fleet seed {seed:#x} cycle {}: {v}", fleet.cycle()));
+        }
+    }
+    cell.acked = fleet.report().acked;
+    if cell.acked == 0 {
+        cell.violations
+            .push(format!("fleet seed {seed:#x}: no calls acknowledged over the whole soak"));
+    }
+    cell
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -285,11 +383,17 @@ fn main() {
         resume_cell(kind, seed ^ (pi as u64).rotate_left(31), warm, run)
     });
 
+    let fleet_cycles: u64 = if smoke { 800_000 } else { 3_000_000 };
+    let fleet_seeds: Vec<u64> =
+        (0..if smoke { 2u64 } else { 4 }).map(|i| seed ^ i.wrapping_mul(0x9e37)).collect();
+    let fleet = run_jobs(&fleet_seeds, |&s| fleet_cell(s, fleet_cycles));
+
     let violations: usize = chaos.iter().map(|c| c.violations.len()).sum::<usize>()
-        + resume.iter().map(|c| c.violations.len()).sum::<usize>();
+        + resume.iter().map(|c| c.violations.len()).sum::<usize>()
+        + fleet.iter().map(|c| c.violations.len()).sum::<usize>();
 
     if report::json_requested() {
-        report::emit_json(&SoakReport { seed, smoke, chaos, resume, violations });
+        report::emit_json(&SoakReport { seed, smoke, chaos, resume, fleet, violations });
         if violations > 0 {
             std::process::exit(1);
         }
@@ -324,21 +428,40 @@ fn main() {
         println!("  {:<14} {:>9} {:>11}", r.protocol.name(), r.cycles, r.violations.len());
     }
 
+    report::section("fleet chaos: server kills + mid-flight fleet restores on a lossy wire");
+    println!(
+        "  {:<12} {:>9} {:>9} {:>6} {:>8} {:>11}",
+        "seed", "cycles", "restores", "kills", "acked", "violations"
+    );
+    for f in &fleet {
+        println!(
+            "  {:<#12x} {:>9} {:>9} {:>6} {:>8} {:>11}",
+            f.seed,
+            f.cycles,
+            f.restores,
+            f.server_kills,
+            f.acked,
+            f.violations.len()
+        );
+    }
+
     if violations > 0 {
         eprintln!("\ntriage ({violations} violation(s)):");
         for v in chaos
             .iter()
             .flat_map(|c| &c.violations)
             .chain(resume.iter().flat_map(|r| &r.violations))
+            .chain(fleet.iter().flat_map(|f| &f.violations))
         {
             eprintln!("  {v}");
         }
         std::process::exit(1);
     }
     println!(
-        "\nreading: every kill point — quiescent or mid-transaction — resumed into a\n\
-         machine whose continuation is byte-identical, and every quiescent checkpoint\n\
-         passed the full coherence battery against the write-serialization oracle."
+        "\nreading: every kill point — quiescent, mid-transaction, or fleet-wide with\n\
+         frames in flight — resumed into a machine whose continuation is byte-identical;\n\
+         every quiescent checkpoint passed the full coherence battery against the\n\
+         write-serialization oracle; and no server kill ever broke at-most-once."
     );
 }
 

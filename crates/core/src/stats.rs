@@ -659,8 +659,10 @@ impl Histogram {
 
     /// Serializes the raw fields, including the `u64::MAX` empty-`min`
     /// sentinel — the public [`min`](Histogram::min) accessor masks it to
-    /// 0 and so cannot be used to rebuild the struct exactly.
-    pub(crate) fn save(&self, w: &mut SnapWriter) {
+    /// 0 and so cannot be used to rebuild the struct exactly. Public so
+    /// out-of-crate subsystems (the fleet RPC transport) can embed
+    /// histograms in their own snapshot sections.
+    pub fn save(&self, w: &mut SnapWriter) {
         for c in self.counts {
             w.u64(c);
         }
@@ -670,7 +672,12 @@ impl Histogram {
         w.u64(self.max);
     }
 
-    pub(crate) fn load(r: &mut SnapReader<'_>) -> Result<Self, Error> {
+    /// Rebuilds a histogram from state captured by [`save`](Histogram::save).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SnapshotCorrupt`] on truncation.
+    pub fn load(r: &mut SnapReader<'_>) -> Result<Self, Error> {
         let mut counts = [0u64; HISTOGRAM_BUCKETS];
         for c in &mut counts {
             *c = r.u64()?;

@@ -52,6 +52,38 @@ pub struct DeqnaStats {
     pub kicks: u64,
     /// Receive packets dropped for want of a posted buffer.
     pub rx_dropped: u64,
+    /// Zero-length (runt) frames rejected at the wire: there is nothing
+    /// to DMA, so accepting one would wedge the receive engine.
+    pub rx_runts: u64,
+}
+
+impl DeqnaStats {
+    /// Counter movement since `earlier`: `self - earlier`, field by
+    /// field. Counters only ever grow, so a snapshot taken *after*
+    /// `self` is a caller bug — `debug_assert`ed here — while release
+    /// builds saturate to zero rather than wrapping to 2^64.
+    #[must_use]
+    pub fn delta(&self, earlier: &DeqnaStats) -> DeqnaStats {
+        debug_assert!(
+            self.tx_packets >= earlier.tx_packets
+                && self.tx_bytes >= earlier.tx_bytes
+                && self.rx_packets >= earlier.rx_packets
+                && self.rx_bytes >= earlier.rx_bytes
+                && self.kicks >= earlier.kicks
+                && self.rx_dropped >= earlier.rx_dropped
+                && self.rx_runts >= earlier.rx_runts,
+            "DeqnaStats::delta called with misordered snapshots: {self:?} < {earlier:?}"
+        );
+        DeqnaStats {
+            tx_packets: self.tx_packets.saturating_sub(earlier.tx_packets),
+            tx_bytes: self.tx_bytes.saturating_sub(earlier.tx_bytes),
+            rx_packets: self.rx_packets.saturating_sub(earlier.rx_packets),
+            rx_bytes: self.rx_bytes.saturating_sub(earlier.rx_bytes),
+            kicks: self.kicks.saturating_sub(earlier.kicks),
+            rx_dropped: self.rx_dropped.saturating_sub(earlier.rx_dropped),
+            rx_runts: self.rx_runts.saturating_sub(earlier.rx_runts),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -183,6 +215,15 @@ impl Deqna {
                 return;
             }
         }
+        // Reject runts at the wire. A zero-length frame has no words to
+        // DMA: if it ever reached `RxState::Storing`, `wants_dma` would
+        // never issue a write, no completion would ever arrive, and the
+        // receive engine would sit in `Storing` forever with every later
+        // packet stuck behind it.
+        if packet.bytes == 0 || packet.words.is_empty() {
+            self.stats.rx_runts += 1;
+            return;
+        }
         self.rx_pending.push_back(packet);
     }
 
@@ -313,13 +354,14 @@ impl fmt::Display for DeqnaStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "tx {} pkts / {} B, rx {} pkts / {} B, {} kicks, {} dropped",
+            "tx {} pkts / {} B, rx {} pkts / {} B, {} kicks, {} dropped, {} runts",
             self.tx_packets,
             self.tx_bytes,
             self.rx_packets,
             self.rx_bytes,
             self.kicks,
-            self.rx_dropped
+            self.rx_dropped,
+            self.rx_runts
         )
     }
 }
@@ -433,6 +475,95 @@ mod tests {
     fn empty_tx_rejected() {
         let mut d = Deqna::new();
         d.enqueue_tx(Addr::new(0), 0);
+    }
+
+    #[test]
+    fn rx_buffer_exhaustion_drops_overflow_and_recovers() {
+        // Two posted buffers, five delivered packets: two stored, three
+        // dropped — and a freshly posted buffer afterwards receives
+        // again (exhaustion is not a terminal state).
+        let mut d = Deqna::new();
+        d.post_rx_buffer(Addr::new(0x8000), 128);
+        d.post_rx_buffer(Addr::new(0x9000), 128);
+        for _ in 0..5 {
+            d.deliver(Packet::zeroed(64));
+        }
+        run(&mut d, |_| 0, 5_000);
+        assert_eq!(d.stats().rx_packets, 2);
+        assert_eq!(d.stats().rx_dropped, 3);
+        d.post_rx_buffer(Addr::new(0xa000), 128);
+        d.deliver(Packet::zeroed(64));
+        run(&mut d, |_| 0, 5_000);
+        assert_eq!(d.stats().rx_packets, 3, "controller must recover after exhaustion");
+        assert_eq!(d.stats().rx_dropped, 3);
+    }
+
+    #[test]
+    fn zero_length_packet_is_a_runt_and_does_not_wedge_receive() {
+        // Regression: a zero-length frame used to enter RxState::Storing
+        // with no words to DMA and wedge the receive engine forever.
+        let mut d = Deqna::new();
+        d.post_rx_buffer(Addr::new(0x8000), 128);
+        d.deliver(Packet { words: vec![], bytes: 0 });
+        let mut pkt = Packet::zeroed(8);
+        pkt.words = vec![7, 9];
+        d.deliver(pkt);
+        run(&mut d, |_| 0, 1_000);
+        assert_eq!(d.stats().rx_runts, 1, "the runt is counted");
+        assert_eq!(d.stats().rx_packets, 1, "the packet behind the runt must land");
+        assert_eq!(d.stats().rx_dropped, 0, "a runt neither consumes nor drops a buffer");
+        assert!(d.take_rx_interrupt());
+    }
+
+    #[test]
+    fn interrupt_flags_clear_on_take() {
+        let mut d = Deqna::new();
+        d.post_rx_buffer(Addr::new(0x8000), 128);
+        d.deliver(Packet::zeroed(16));
+        d.enqueue_tx(Addr::new(0x1000), 16);
+        d.kick();
+        run(&mut d, |_| 0, 5_000);
+        assert!(d.take_rx_interrupt(), "first take observes the rx interrupt");
+        assert!(!d.take_rx_interrupt(), "second take must see it cleared");
+        assert!(d.take_tx_interrupt(), "first take observes the tx interrupt");
+        assert!(!d.take_tx_interrupt(), "second take must see it cleared");
+    }
+
+    #[test]
+    fn stats_delta_subtracts_field_by_field() {
+        let mut d = Deqna::new();
+        d.post_rx_buffer(Addr::new(0x8000), 128);
+        d.deliver(Packet::zeroed(16));
+        run(&mut d, |_| 0, 1_000);
+        let before = *d.stats();
+        d.enqueue_tx(Addr::new(0x1000), 64);
+        d.kick();
+        d.deliver(Packet { words: vec![], bytes: 0 }); // runt
+        run(&mut d, |_| 0, 5_000);
+        let delta = d.stats().delta(&before);
+        assert_eq!(
+            delta,
+            DeqnaStats {
+                tx_packets: 1,
+                tx_bytes: 64,
+                rx_packets: 0,
+                rx_bytes: 0,
+                kicks: 1,
+                rx_dropped: 0,
+                rx_runts: 1
+            }
+        );
+        // Self-delta is all zero.
+        assert_eq!(d.stats().delta(d.stats()), DeqnaStats::default());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "misordered snapshots")]
+    fn stats_delta_rejects_misordered_snapshots() {
+        let newer = DeqnaStats { tx_packets: 3, ..Default::default() };
+        let older = DeqnaStats::default();
+        let _ = older.delta(&newer);
     }
 
     #[test]

@@ -1,0 +1,1413 @@
+//! A message-passing Topaz-style RPC transport over the shared segment.
+//!
+//! This replaces the closed-form `firefly_topaz::rpc::simulate()` model
+//! with real frames on a real (simulated) wire: clients carry request
+//! ids, servers keep a reply cache for **at-most-once** execution, and
+//! loss is handled by per-call timeouts with exponential backoff,
+//! deterministic jitter, bounded retry budgets, and a client-side
+//! outstanding-call cap that backpressures the load generator.
+//!
+//! Two policies matter for the retry-storm experiments:
+//!
+//! * [`RetryPolicy::naive`] — fixed timeout, unlimited retries, no
+//!   outstanding cap. Under a server slowdown the pending set grows
+//!   without bound and every timeout feeds another frame to the wire:
+//!   timeout amplification sustains congestive collapse even after the
+//!   server heals.
+//! * [`RetryPolicy::budgeted`] — exponential backoff with jitter, a
+//!   bounded retry budget, and an outstanding-call cap. Excess load is
+//!   shed at the client (counted, cheap) instead of on the wire, so the
+//!   fleet recovers as soon as the slowdown clears.
+//!
+//! Semantics note (vs. the paper): Topaz RPC ran on a reliable-enough
+//! LAN and promised exactly-once in the absence of crashes. This
+//! transport promises **at-most-once per server binding**: a server
+//! never executes the same `(client, seq)` twice (duplicates hit the
+//! reply cache or the in-progress set), and a client never completes a
+//! call twice (the pending entry is removed on first reply). A call
+//! that fails over to another server after a lost reply may execute on
+//! both servers — visible to the oracle, invisible to the client.
+
+use crate::segment::{EtherSegment, Frame};
+use firefly_core::fault::PPM;
+use firefly_core::snapshot::{crc32, SnapReader, SnapWriter};
+use firefly_core::stats::Histogram;
+use firefly_core::Error;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Wire padding target for replies: with the segment's 26 header bytes
+/// this makes a reply frame 120 bytes — the paper's Topaz RPC reply
+/// packet size.
+pub const REPLY_PAYLOAD_BYTES: usize = 94;
+
+/// How long a sender waits before re-attempting a transmit that was
+/// rejected by a full TX ring (pure backpressure, consumes no retry
+/// budget).
+pub const TX_RETRY_CYCLES: u64 = 32;
+
+/// One RPC message. Requests are padded to their declared payload size
+/// so wire occupancy and service cost both scale with the (heavy-tailed)
+/// request size; replies are padded to [`REPLY_PAYLOAD_BYTES`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RpcMsg {
+    /// A client call: `(client, seq)` is the globally unique request id.
+    Request {
+        /// Client NIC index.
+        client: u32,
+        /// Per-client sequence number.
+        seq: u64,
+        /// Server NIC index this attempt targets.
+        server: u32,
+        /// Declared payload size in bytes (frame is padded to this).
+        payload_bytes: u32,
+        /// Send attempt number (1 = first transmission).
+        attempt: u32,
+    },
+    /// A server response carrying the deterministic result.
+    Reply {
+        /// Client NIC index the reply is addressed to.
+        client: u32,
+        /// Request sequence number being answered.
+        seq: u64,
+        /// Server NIC index that answered.
+        server: u32,
+        /// Execution result (deterministic function of the id).
+        result: u32,
+    },
+}
+
+impl RpcMsg {
+    /// Serializes the message, padding to its wire size.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        match *self {
+            RpcMsg::Request { client, seq, server, payload_bytes, attempt } => {
+                w.u8(1);
+                w.u32(client);
+                w.u64(seq);
+                w.u32(server);
+                w.u32(payload_bytes);
+                w.u32(attempt);
+                let mut bytes = w.into_bytes();
+                if bytes.len() < payload_bytes as usize {
+                    bytes.resize(payload_bytes as usize, 0);
+                }
+                bytes
+            }
+            RpcMsg::Reply { client, seq, server, result } => {
+                w.u8(2);
+                w.u32(client);
+                w.u64(seq);
+                w.u32(server);
+                w.u32(result);
+                let mut bytes = w.into_bytes();
+                if bytes.len() < REPLY_PAYLOAD_BYTES {
+                    bytes.resize(REPLY_PAYLOAD_BYTES, 0);
+                }
+                bytes
+            }
+        }
+    }
+
+    /// Parses a message, ignoring wire padding. `None` on garbage (the
+    /// caller counts and drops — a corrupt frame is not a protocol
+    /// error).
+    pub fn decode(bytes: &[u8]) -> Option<RpcMsg> {
+        let mut r = SnapReader::new(bytes);
+        match r.u8().ok()? {
+            1 => Some(RpcMsg::Request {
+                client: r.u32().ok()?,
+                seq: r.u64().ok()?,
+                server: r.u32().ok()?,
+                payload_bytes: r.u32().ok()?,
+                attempt: r.u32().ok()?,
+            }),
+            2 => Some(RpcMsg::Reply {
+                client: r.u32().ok()?,
+                seq: r.u64().ok()?,
+                server: r.u32().ok()?,
+                result: r.u32().ok()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// The deterministic "work" a server performs for request `(client,
+/// seq)` — a pure function so independent runs and restored snapshots
+/// agree on every result.
+pub fn result_of(client: u32, seq: u64) -> u32 {
+    let mut bytes = [0u8; 12];
+    bytes[..4].copy_from_slice(&client.to_le_bytes());
+    bytes[4..].copy_from_slice(&seq.to_le_bytes());
+    crc32(&bytes)
+}
+
+/// Timeliness SLA as a multiple of the policy's initial timeout: an
+/// acknowledgement later than this after submission is counted as acked
+/// but not *timely* — it drains backlog without serving the caller.
+pub const TIMELY_SLA_TIMEOUTS: u64 = 4;
+
+/// Client-side retry discipline.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Initial per-call timeout in cycles.
+    pub timeout: u64,
+    /// Total send attempts allowed per call (0 = unlimited).
+    pub max_attempts: u32,
+    /// Timeout multiplier per retry (1 = fixed timeout).
+    pub backoff_factor: u32,
+    /// Ceiling on the backed-off timeout, in cycles.
+    pub backoff_cap: u64,
+    /// Additive jitter as a fraction of the timeout, in ppm (0..=1e6).
+    pub jitter_ppm: u32,
+    /// Outstanding-call cap (0 = unlimited). Calls beyond it wait in the
+    /// client backlog — the backpressure signal to the load generator.
+    pub max_outstanding: usize,
+    /// Client backlog bound; submissions beyond it are shed (counted).
+    pub queue_cap: usize,
+    /// Attempts on one server before a timeout rotates the call to
+    /// another (1 = fail over on the first timeout). A higher threshold
+    /// distinguishes a dead machine from a slow one and avoids
+    /// re-executing congestion-delayed calls on a second server.
+    pub failover_after: u32,
+    /// Give-up deadline in cycles from submission (0 = retry forever).
+    /// A call still unacknowledged past it fails back to the caller and
+    /// releases its outstanding-call slot — without a deadline, calls
+    /// stranded by an outage hog the slots long after it heals and
+    /// starve fresh traffic out of admission.
+    pub deadline: u64,
+}
+
+impl RetryPolicy {
+    /// The storm-prone discipline: fixed timeout, unlimited retries,
+    /// unlimited outstanding calls, unbounded backlog.
+    pub fn naive(timeout: u64) -> Self {
+        RetryPolicy {
+            timeout,
+            max_attempts: 0,
+            backoff_factor: 1,
+            backoff_cap: timeout,
+            jitter_ppm: 0,
+            max_outstanding: 0,
+            queue_cap: usize::MAX,
+            failover_after: 1,
+            deadline: 0,
+        }
+    }
+
+    /// The production discipline: exponential backoff with jitter, a
+    /// bounded retry budget, and outstanding-call admission control.
+    ///
+    /// The knobs balance two failure modes: a deep backoff cap starves
+    /// the client after an outage heals (a sleeping retry still holds
+    /// an outstanding-call slot), while a shallow cap plus a generous
+    /// outstanding cap lets the accumulated pending set retry fast
+    /// enough to saturate the wire on its own.
+    pub fn budgeted(timeout: u64) -> Self {
+        RetryPolicy {
+            timeout,
+            max_attempts: 8,
+            backoff_factor: 2,
+            backoff_cap: timeout.saturating_mul(16),
+            jitter_ppm: 250_000,
+            max_outstanding: 8,
+            queue_cap: 128,
+            failover_after: 2,
+            deadline: timeout.saturating_mul(8),
+        }
+    }
+
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.timeout);
+        w.u32(self.max_attempts);
+        w.u32(self.backoff_factor);
+        w.u64(self.backoff_cap);
+        w.u32(self.jitter_ppm);
+        w.usize(self.max_outstanding);
+        // usize::MAX round-trips through u64 on the targets we build.
+        w.u64(self.queue_cap as u64);
+        w.u32(self.failover_after);
+        w.u64(self.deadline);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, Error> {
+        Ok(RetryPolicy {
+            timeout: r.u64()?,
+            max_attempts: r.u32()?,
+            backoff_factor: r.u32()?,
+            backoff_cap: r.u64()?,
+            jitter_ppm: r.u32()?,
+            max_outstanding: r.usize()?,
+            queue_cap: r.u64()? as usize,
+            failover_after: r.u32()?,
+            deadline: r.u64()?,
+        })
+    }
+}
+
+/// Client-side cumulative counters.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct RpcClientStats {
+    /// Calls submitted by the load generator.
+    pub submitted: u64,
+    /// Submissions shed because the backlog was full.
+    pub shed: u64,
+    /// Calls acknowledged (first reply accepted).
+    pub acked: u64,
+    /// Payload bytes of acknowledged calls.
+    pub acked_payload_bytes: u64,
+    /// Acknowledgements that arrived within the timeliness SLA
+    /// ([`TIMELY_SLA_TIMEOUTS`] × the policy timeout after submission).
+    pub acked_timely: u64,
+    /// Payload bytes of timely acknowledgements — the numerator for
+    /// *useful* goodput: a reply that arrives long after the caller
+    /// needed it drains backlog but serves nobody.
+    pub acked_timely_bytes: u64,
+    /// Calls abandoned after exhausting the retry budget.
+    pub failed: u64,
+    /// Timeout expirations observed.
+    pub timeouts: u64,
+    /// Retransmissions placed on the wire.
+    pub retries: u64,
+    /// Replies for calls no longer pending (late or duplicate).
+    pub dup_replies: u64,
+    /// Transmit attempts rejected by a full TX ring.
+    pub tx_ring_full: u64,
+    /// Retransmissions deferred because the local TX ring still held
+    /// undelivered frames (backoff disciplines only).
+    pub retries_deferred: u64,
+    /// Frames that failed to decode at the client.
+    pub decode_rejects: u64,
+}
+
+impl RpcClientStats {
+    fn save(&self, w: &mut SnapWriter) {
+        for v in [
+            self.submitted,
+            self.shed,
+            self.acked,
+            self.acked_payload_bytes,
+            self.acked_timely,
+            self.acked_timely_bytes,
+            self.failed,
+            self.timeouts,
+            self.retries,
+            self.dup_replies,
+            self.tx_ring_full,
+            self.retries_deferred,
+            self.decode_rejects,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, Error> {
+        Ok(RpcClientStats {
+            submitted: r.u64()?,
+            shed: r.u64()?,
+            acked: r.u64()?,
+            acked_payload_bytes: r.u64()?,
+            acked_timely: r.u64()?,
+            acked_timely_bytes: r.u64()?,
+            failed: r.u64()?,
+            timeouts: r.u64()?,
+            retries: r.u64()?,
+            dup_replies: r.u64()?,
+            tx_ring_full: r.u64()?,
+            retries_deferred: r.u64()?,
+            decode_rejects: r.u64()?,
+        })
+    }
+}
+
+/// One in-flight call.
+#[derive(Clone, Debug)]
+struct Pending {
+    /// Index into the client's server list this attempt targets.
+    server_slot: usize,
+    payload_bytes: u32,
+    /// Sends so far (1 after the initial transmission).
+    attempts: u32,
+    /// Cycle the caller submitted the call — latency and the timeliness
+    /// SLA are measured from here, so backlog wait counts.
+    submitted: u64,
+    first_sent: u64,
+    timeout_at: u64,
+}
+
+impl Pending {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.server_slot);
+        w.u32(self.payload_bytes);
+        w.u32(self.attempts);
+        w.u64(self.submitted);
+        w.u64(self.first_sent);
+        w.u64(self.timeout_at);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, Error> {
+        Ok(Pending {
+            server_slot: r.usize()?,
+            payload_bytes: r.u32()?,
+            attempts: r.u32()?,
+            submitted: r.u64()?,
+            first_sent: r.u64()?,
+            timeout_at: r.u64()?,
+        })
+    }
+}
+
+/// The client endpoint: request-id allocation, the pending table,
+/// timeout/retry machinery, and the completion log the at-most-once
+/// oracle audits.
+#[derive(Clone, Debug)]
+pub struct RpcClient {
+    nic: u32,
+    policy: RetryPolicy,
+    servers: Vec<u32>,
+    next_seq: u64,
+    pending: BTreeMap<u64, Pending>,
+    /// Derived: earliest `timeout_at` across `pending` (may be stale-low
+    /// after an ack; a scan that finds nothing due simply re-tightens
+    /// it). Never serialized — recomputed on load.
+    next_deadline: u64,
+    backlog: VecDeque<(u32, u64)>,
+    rng: SmallRng,
+    stats: RpcClientStats,
+    latency: Histogram,
+    /// `(seq, acking server)` in acknowledgement order.
+    completions: Vec<(u64, u32)>,
+}
+
+impl RpcClient {
+    /// A client at NIC `nic` calling the given servers under `policy`.
+    pub fn new(nic: u32, servers: Vec<u32>, policy: RetryPolicy, seed: u64) -> Self {
+        assert!(!servers.is_empty(), "a client needs at least one server");
+        RpcClient {
+            nic,
+            policy,
+            servers,
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            next_deadline: u64::MAX,
+            backlog: VecDeque::new(),
+            rng: SmallRng::seed_from_u64(
+                seed ^ (u64::from(nic)).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ),
+            stats: RpcClientStats::default(),
+            latency: Histogram::default(),
+            completions: Vec::new(),
+        }
+    }
+
+    /// This client's NIC index.
+    pub fn nic(&self) -> u32 {
+        self.nic
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> RpcClientStats {
+        self.stats
+    }
+
+    /// End-to-end latency (submission-to-ack, in cycles) of acked calls.
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Calls currently awaiting a reply.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Submissions admitted but not yet sent (outstanding cap reached).
+    pub fn backlogged(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// The `(seq, acking server)` completion log, in ack order.
+    pub fn completions(&self) -> &[(u64, u32)] {
+        &self.completions
+    }
+
+    /// Offers one call of `payload_bytes` to the transport. Returns
+    /// `false` (and counts a shed) when the backlog is full — the
+    /// backpressure signal the open-loop load generator observes.
+    pub fn submit(&mut self, now: u64, payload_bytes: u32) -> bool {
+        self.stats.submitted += 1;
+        if self.policy.queue_cap != usize::MAX && self.backlog.len() >= self.policy.queue_cap {
+            self.stats.shed += 1;
+            return false;
+        }
+        self.backlog.push_back((payload_bytes, now));
+        true
+    }
+
+    /// Timeout for the send numbered `attempts` (1-based), with
+    /// exponential backoff and deterministic jitter per the policy.
+    fn next_timeout(&mut self, attempts: u32) -> u64 {
+        let exp = attempts.saturating_sub(1).min(20);
+        let factor = u64::from(self.policy.backoff_factor).saturating_pow(exp);
+        let mut t = self
+            .policy
+            .timeout
+            .saturating_mul(factor)
+            .min(self.policy.backoff_cap.max(self.policy.timeout));
+        if self.policy.jitter_ppm > 0 {
+            t += t.saturating_mul(u64::from(self.rng.gen_range(0..self.policy.jitter_ppm)))
+                / u64::from(PPM);
+        }
+        t
+    }
+
+    /// Next timer expiry for a call submitted at `submitted`, wanting to
+    /// wait `t` from `now` — clamped so the give-up deadline (when set)
+    /// is noticed as soon as it passes, not a whole backoff later.
+    fn arm_at(&self, submitted: u64, now: u64, t: u64) -> u64 {
+        let at = now + t;
+        if self.policy.deadline == 0 {
+            at
+        } else {
+            at.min((submitted + self.policy.deadline).max(now + 1))
+        }
+    }
+
+    /// One cycle of client work: absorb replies, expire timeouts and
+    /// retransmit (or fail) overdue calls, then admit backlog up to the
+    /// outstanding cap.
+    pub fn tick(&mut self, now: u64, seg: &mut EtherSegment) {
+        while let Some(frame) = seg.recv(self.nic as usize) {
+            match RpcMsg::decode(&frame.payload) {
+                Some(RpcMsg::Reply { client, seq, server, .. }) if client == self.nic => {
+                    if let Some(p) = self.pending.remove(&seq) {
+                        self.stats.acked += 1;
+                        self.stats.acked_payload_bytes += u64::from(p.payload_bytes);
+                        let lat = now.saturating_sub(p.submitted);
+                        if lat <= self.policy.timeout.saturating_mul(TIMELY_SLA_TIMEOUTS) {
+                            self.stats.acked_timely += 1;
+                            self.stats.acked_timely_bytes += u64::from(p.payload_bytes);
+                        }
+                        self.latency.record(lat);
+                        self.completions.push((seq, server));
+                    } else {
+                        self.stats.dup_replies += 1;
+                    }
+                }
+                Some(_) => self.stats.dup_replies += 1,
+                None => self.stats.decode_rejects += 1,
+            }
+        }
+
+        if now >= self.next_deadline {
+            let due: Vec<u64> = self
+                .pending
+                .iter()
+                .filter(|(_, p)| p.timeout_at <= now)
+                .map(|(&seq, _)| seq)
+                .collect();
+            for seq in due {
+                let p = self.pending.get_mut(&seq).expect("due call is pending");
+                self.stats.timeouts += 1;
+                let past_deadline = self.policy.deadline > 0
+                    && now.saturating_sub(p.submitted) >= self.policy.deadline;
+                if past_deadline
+                    || (self.policy.max_attempts != 0 && p.attempts >= self.policy.max_attempts)
+                {
+                    self.pending.remove(&seq);
+                    self.stats.failed += 1;
+                    continue;
+                }
+                if self.policy.backoff_factor > 1 && seg.tx_queued(self.nic as usize) > 0 {
+                    // The local TX ring still holds undelivered frames
+                    // — possibly this call's previous copy. A backoff
+                    // discipline reads that as congestion and re-arms
+                    // the timer (no budget consumed, no failover):
+                    // retransmitting now would only queue a duplicate
+                    // behind a frame that hasn't even left the host,
+                    // and fresh calls deserve the ring slots more.
+                    self.stats.retries_deferred += 1;
+                    let attempts = self.pending[&seq].attempts.max(1);
+                    let submitted = self.pending[&seq].submitted;
+                    let t = self.next_timeout(attempts);
+                    let at = self.arm_at(submitted, now, t);
+                    self.pending.get_mut(&seq).expect("due call is pending").timeout_at = at;
+                    continue;
+                }
+                if self.servers.len() > 1 && p.attempts >= self.policy.failover_after {
+                    // Enough timeouts on one server look like a dead
+                    // machine, not a slow one — fail over to a uniformly
+                    // random *other* server. Rotating on the very first
+                    // timeout re-executes every congestion-delayed call
+                    // on a second machine (cross-server duplicate
+                    // work); deterministic round-robin would herd every
+                    // client's orphaned calls onto the same survivor.
+                    let step = 1 + self.rng.gen_range(0..self.servers.len() as u64 - 1) as usize;
+                    p.server_slot = (p.server_slot + step) % self.servers.len();
+                }
+                let attempt = p.attempts + 1;
+                let server = self.servers[p.server_slot];
+                let msg = RpcMsg::Request {
+                    client: self.nic,
+                    seq,
+                    server,
+                    payload_bytes: p.payload_bytes,
+                    attempt,
+                };
+                let frame = Frame::new(self.nic as usize, server as usize, msg.encode());
+                if seg.enqueue(frame) {
+                    let t = self.next_timeout(attempt);
+                    let submitted = self.pending[&seq].submitted;
+                    let at = self.arm_at(submitted, now, t);
+                    let p = self.pending.get_mut(&seq).expect("due call is pending");
+                    p.attempts = attempt;
+                    p.timeout_at = at;
+                    self.stats.retries += 1;
+                } else {
+                    // The local NIC can't even queue the retransmission
+                    // — that's a congestion signal. A backoff discipline
+                    // paces the next try like a timeout (without
+                    // consuming budget); a no-backoff discipline stays
+                    // true to itself and re-polls eagerly, refilling
+                    // every freed ring slot and keeping the wire
+                    // saturated with retries.
+                    self.stats.tx_ring_full += 1;
+                    let t = if self.policy.backoff_factor <= 1 {
+                        TX_RETRY_CYCLES
+                    } else {
+                        self.next_timeout((attempt - 1).max(1)).max(TX_RETRY_CYCLES)
+                    };
+                    let submitted = self.pending[&seq].submitted;
+                    let at = self.arm_at(submitted, now, t);
+                    self.pending.get_mut(&seq).expect("due call is pending").timeout_at = at;
+                }
+            }
+            self.next_deadline =
+                self.pending.values().map(|p| p.timeout_at).min().unwrap_or(u64::MAX);
+        }
+
+        while !self.backlog.is_empty()
+            && (self.policy.max_outstanding == 0
+                || self.pending.len() < self.policy.max_outstanding)
+        {
+            let (payload_bytes, submitted) = *self.backlog.front().expect("backlog non-empty");
+            let seq = self.next_seq;
+            let server_slot = (seq as usize) % self.servers.len();
+            let server = self.servers[server_slot];
+            let msg = RpcMsg::Request { client: self.nic, seq, server, payload_bytes, attempt: 1 };
+            let frame = Frame::new(self.nic as usize, server as usize, msg.encode());
+            if seg.enqueue(frame) {
+                self.backlog.pop_front();
+                self.next_seq += 1;
+                let t = self.next_timeout(1);
+                let t = self.arm_at(submitted, now, t).saturating_sub(now).max(1);
+                self.pending.insert(
+                    seq,
+                    Pending {
+                        server_slot,
+                        payload_bytes,
+                        attempts: 1,
+                        submitted,
+                        first_sent: now,
+                        timeout_at: now + t,
+                    },
+                );
+                self.next_deadline = self.next_deadline.min(now + t);
+            } else {
+                self.stats.tx_ring_full += 1;
+                break;
+            }
+        }
+    }
+
+    /// Serializes the complete client state.
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.u32(self.nic);
+        self.policy.save(w);
+        w.usize(self.servers.len());
+        for &s in &self.servers {
+            w.u32(s);
+        }
+        w.u64(self.next_seq);
+        w.usize(self.pending.len());
+        for (&seq, p) in &self.pending {
+            w.u64(seq);
+            p.save(w);
+        }
+        w.usize(self.backlog.len());
+        for &(bytes, at) in &self.backlog {
+            w.u32(bytes);
+            w.u64(at);
+        }
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        self.stats.save(w);
+        self.latency.save(w);
+        w.usize(self.completions.len());
+        for &(seq, server) in &self.completions {
+            w.u64(seq);
+            w.u32(server);
+        }
+    }
+
+    /// Rebuilds a client from state captured by [`save`](RpcClient::save).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SnapshotCorrupt`] on truncation or a degenerate
+    /// server list.
+    pub fn load(r: &mut SnapReader<'_>) -> Result<Self, Error> {
+        let nic = r.u32()?;
+        let policy = RetryPolicy::load(r)?;
+        let server_count = r.usize()?;
+        if server_count == 0 {
+            return Err(Error::SnapshotCorrupt("client with no servers".into()));
+        }
+        let mut servers = Vec::with_capacity(server_count);
+        for _ in 0..server_count {
+            servers.push(r.u32()?);
+        }
+        let next_seq = r.u64()?;
+        let pending_len = r.usize()?;
+        let mut pending = BTreeMap::new();
+        for _ in 0..pending_len {
+            let seq = r.u64()?;
+            pending.insert(seq, Pending::load(r)?);
+        }
+        let backlog_len = r.usize()?;
+        let mut backlog = VecDeque::with_capacity(backlog_len);
+        for _ in 0..backlog_len {
+            let bytes = r.u32()?;
+            backlog.push_back((bytes, r.u64()?));
+        }
+        let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        let stats = RpcClientStats::load(r)?;
+        let latency = Histogram::load(r)?;
+        let completions_len = r.usize()?;
+        let mut completions = Vec::with_capacity(completions_len);
+        for _ in 0..completions_len {
+            let seq = r.u64()?;
+            completions.push((seq, r.u32()?));
+        }
+        let next_deadline = pending.values().map(|p| p.timeout_at).min().unwrap_or(u64::MAX);
+        Ok(RpcClient {
+            nic,
+            policy,
+            servers,
+            next_seq,
+            pending,
+            next_deadline,
+            backlog,
+            rng: SmallRng::from_state(rng_state),
+            stats,
+            latency,
+            completions,
+        })
+    }
+}
+
+/// Server-side cumulative counters.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct RpcServerStats {
+    /// Request frames received (including duplicates).
+    pub received: u64,
+    /// Requests executed (first-time work).
+    pub executed: u64,
+    /// Duplicate requests answered from the reply cache (no re-execute).
+    pub dup_cache_hits: u64,
+    /// Duplicate requests already queued or running (dropped).
+    pub dup_in_progress: u64,
+    /// Requests shed because the service queue was full.
+    pub shed: u64,
+    /// Replies placed on the wire.
+    pub replies_sent: u64,
+    /// Replies dropped because the reply backlog overflowed.
+    pub replies_dropped: u64,
+    /// Frames that failed to decode at the server.
+    pub decode_rejects: u64,
+    /// Transmit attempts rejected by a full TX ring.
+    pub tx_ring_full: u64,
+}
+
+impl RpcServerStats {
+    fn save(&self, w: &mut SnapWriter) {
+        for v in [
+            self.received,
+            self.executed,
+            self.dup_cache_hits,
+            self.dup_in_progress,
+            self.shed,
+            self.replies_sent,
+            self.replies_dropped,
+            self.decode_rejects,
+            self.tx_ring_full,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, Error> {
+        Ok(RpcServerStats {
+            received: r.u64()?,
+            executed: r.u64()?,
+            dup_cache_hits: r.u64()?,
+            dup_in_progress: r.u64()?,
+            shed: r.u64()?,
+            replies_sent: r.u64()?,
+            replies_dropped: r.u64()?,
+            decode_rejects: r.u64()?,
+            tx_ring_full: r.u64()?,
+        })
+    }
+}
+
+/// A queued or running request.
+#[derive(Clone, Debug)]
+struct Job {
+    client: u32,
+    seq: u64,
+    payload_bytes: u32,
+    /// Completion cycle once running (0 while queued).
+    done_at: u64,
+}
+
+impl Job {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u32(self.client);
+        w.u64(self.seq);
+        w.u32(self.payload_bytes);
+        w.u64(self.done_at);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, Error> {
+        Ok(Job { client: r.u32()?, seq: r.u64()?, payload_bytes: r.u32()?, done_at: r.u64()? })
+    }
+}
+
+/// Bound on the server's outgoing-reply backlog (replies waiting for TX
+/// ring space). Overflow drops the reply; the client retries and hits
+/// the reply cache. Kept shallow deliberately: a deep backlog acts as a
+/// dam of stale duplicate replies that floods the wire in one burst
+/// whenever the server wins a CSMA/CD streak.
+pub const REPLY_BACKLOG_CAP: usize = 32;
+
+/// The server endpoint: a bounded service queue feeding `threads`
+/// worker threads (the paper's Topaz RPC server ran ~3), a reply cache
+/// keyed by request id for at-most-once execution, and an execution log
+/// for the oracle.
+#[derive(Clone, Debug)]
+pub struct RpcServer {
+    nic: u32,
+    threads: usize,
+    service_cycles: u64,
+    queue_cap: usize,
+    cache_per_client: usize,
+    /// `(from, until, factor)` — service times multiply by `factor`
+    /// inside the window (the retry-storm trigger).
+    slowdown: Option<(u64, u64, u32)>,
+    queue: VecDeque<Job>,
+    running: Vec<Option<Job>>,
+    in_progress: BTreeSet<(u32, u64)>,
+    reply_cache: BTreeMap<(u32, u64), u32>,
+    /// Derived: cached-reply count per client (rebuilt on load, never
+    /// serialized), so pruning is O(evictions) not O(range scan).
+    cache_counts: BTreeMap<u32, usize>,
+    /// Execution counts per request id — the at-most-once oracle's
+    /// ground truth. Grows with unique requests; scenario-sized.
+    executed: BTreeMap<(u32, u64), u32>,
+    reply_backlog: VecDeque<Frame>,
+    rng: SmallRng,
+    stats: RpcServerStats,
+}
+
+impl RpcServer {
+    /// A server at NIC `nic` with `threads` workers and a base service
+    /// time of `service_cycles` per request.
+    pub fn new(nic: u32, threads: usize, service_cycles: u64, seed: u64) -> Self {
+        assert!(threads > 0, "a server needs at least one thread");
+        RpcServer {
+            nic,
+            threads,
+            service_cycles,
+            queue_cap: 64,
+            cache_per_client: 4096,
+            slowdown: None,
+            queue: VecDeque::new(),
+            running: vec![None; threads],
+            in_progress: BTreeSet::new(),
+            reply_cache: BTreeMap::new(),
+            cache_counts: BTreeMap::new(),
+            executed: BTreeMap::new(),
+            reply_backlog: VecDeque::new(),
+            rng: SmallRng::seed_from_u64(
+                seed ^ (u64::from(nic)).wrapping_mul(0xbf58_476d_1ce4_e5b9),
+            ),
+            stats: RpcServerStats::default(),
+        }
+    }
+
+    /// Bounds the service queue (default 64).
+    pub fn set_queue_cap(&mut self, cap: usize) {
+        assert!(cap > 0, "queue capacity must be positive");
+        self.queue_cap = cap;
+    }
+
+    /// Bounds the per-client reply cache (default 4096 ids).
+    pub fn set_cache_per_client(&mut self, cap: usize) {
+        assert!(cap > 0, "reply cache capacity must be positive");
+        self.cache_per_client = cap;
+    }
+
+    /// Installs (or clears) a service-time slowdown window.
+    pub fn set_slowdown(&mut self, window: Option<(u64, u64, u32)>) {
+        self.slowdown = window;
+    }
+
+    /// This server's NIC index.
+    pub fn nic(&self) -> u32 {
+        self.nic
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> RpcServerStats {
+        self.stats
+    }
+
+    /// Requests queued but not yet running.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Replies waiting for TX ring space.
+    pub fn reply_backlogged(&self) -> usize {
+        self.reply_backlog.len()
+    }
+
+    /// Execution counts per request id, for the oracle.
+    pub fn executions(&self) -> &BTreeMap<(u32, u64), u32> {
+        &self.executed
+    }
+
+    /// Service time for one request at `now` (base + per-word unmarshal
+    /// cost + deterministic jitter, amplified inside the slowdown
+    /// window).
+    fn service_time(&mut self, now: u64, payload_bytes: u32) -> u64 {
+        let base = self.service_cycles + u64::from(payload_bytes) / 4;
+        let jitter = self.rng.gen_range(0..=base / 8);
+        let mut t = base + jitter;
+        if let Some((from, until, factor)) = self.slowdown {
+            if now >= from && now < until {
+                t = t.saturating_mul(u64::from(factor));
+            }
+        }
+        t.max(1)
+    }
+
+    fn send_reply(&mut self, client: u32, seq: u64, result: u32, seg: &mut EtherSegment) {
+        let msg = RpcMsg::Reply { client, seq, server: self.nic, result };
+        let frame = Frame::new(self.nic as usize, client as usize, msg.encode());
+        if seg.enqueue(frame.clone()) {
+            self.stats.replies_sent += 1;
+        } else if self.reply_backlog.len() < REPLY_BACKLOG_CAP {
+            self.stats.tx_ring_full += 1;
+            self.reply_backlog.push_back(frame);
+        } else {
+            self.stats.replies_dropped += 1;
+        }
+    }
+
+    /// Records a freshly executed reply and evicts the oldest cached
+    /// entries for `client` beyond the per-client bound.
+    fn cache_reply(&mut self, client: u32, seq: u64, result: u32) {
+        if self.reply_cache.insert((client, seq), result).is_none() {
+            *self.cache_counts.entry(client).or_insert(0) += 1;
+        }
+        let count = self.cache_counts.get_mut(&client).expect("count just ensured");
+        while *count > self.cache_per_client {
+            let key = *self
+                .reply_cache
+                .range((client, 0)..=(client, u64::MAX))
+                .next()
+                .map(|(k, _)| k)
+                .expect("count says entries exist");
+            self.reply_cache.remove(&key);
+            *count -= 1;
+        }
+    }
+
+    /// One cycle of server work: flush the reply backlog, absorb and
+    /// dedup requests, complete finished jobs, start queued ones.
+    pub fn tick(&mut self, now: u64, seg: &mut EtherSegment) {
+        while let Some(frame) = self.reply_backlog.front() {
+            if seg.enqueue(frame.clone()) {
+                self.reply_backlog.pop_front();
+                self.stats.replies_sent += 1;
+            } else {
+                break;
+            }
+        }
+
+        while let Some(frame) = seg.recv(self.nic as usize) {
+            match RpcMsg::decode(&frame.payload) {
+                Some(RpcMsg::Request { client, seq, payload_bytes, .. }) => {
+                    self.stats.received += 1;
+                    if let Some(&result) = self.reply_cache.get(&(client, seq)) {
+                        self.stats.dup_cache_hits += 1;
+                        self.send_reply(client, seq, result, seg);
+                    } else if self.in_progress.contains(&(client, seq)) {
+                        self.stats.dup_in_progress += 1;
+                    } else if self.queue.len() >= self.queue_cap {
+                        self.stats.shed += 1;
+                    } else {
+                        self.in_progress.insert((client, seq));
+                        self.queue.push_back(Job { client, seq, payload_bytes, done_at: 0 });
+                    }
+                }
+                Some(RpcMsg::Reply { .. }) | None => self.stats.decode_rejects += 1,
+            }
+        }
+
+        for slot in 0..self.running.len() {
+            let finished = matches!(&self.running[slot], Some(job) if job.done_at <= now);
+            if finished {
+                let job = self.running[slot].take().expect("finished job");
+                let result = result_of(job.client, job.seq);
+                *self.executed.entry((job.client, job.seq)).or_insert(0) += 1;
+                self.cache_reply(job.client, job.seq, result);
+                self.in_progress.remove(&(job.client, job.seq));
+                self.stats.executed += 1;
+                self.send_reply(job.client, job.seq, result, seg);
+            }
+            if self.running[slot].is_none() {
+                if let Some(mut job) = self.queue.pop_front() {
+                    job.done_at = now + self.service_time(now, job.payload_bytes);
+                    self.running[slot] = Some(job);
+                }
+            }
+        }
+    }
+
+    /// Serializes the complete server state.
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.u32(self.nic);
+        w.usize(self.threads);
+        w.u64(self.service_cycles);
+        w.usize(self.queue_cap);
+        w.usize(self.cache_per_client);
+        match self.slowdown {
+            None => w.bool(false),
+            Some((from, until, factor)) => {
+                w.bool(true);
+                w.u64(from);
+                w.u64(until);
+                w.u32(factor);
+            }
+        }
+        w.usize(self.queue.len());
+        for job in &self.queue {
+            job.save(w);
+        }
+        for slot in &self.running {
+            match slot {
+                None => w.bool(false),
+                Some(job) => {
+                    w.bool(true);
+                    job.save(w);
+                }
+            }
+        }
+        w.usize(self.in_progress.len());
+        for &(c, s) in &self.in_progress {
+            w.u32(c);
+            w.u64(s);
+        }
+        w.usize(self.reply_cache.len());
+        for (&(c, s), &result) in &self.reply_cache {
+            w.u32(c);
+            w.u64(s);
+            w.u32(result);
+        }
+        w.usize(self.executed.len());
+        for (&(c, s), &count) in &self.executed {
+            w.u32(c);
+            w.u64(s);
+            w.u32(count);
+        }
+        w.usize(self.reply_backlog.len());
+        for frame in &self.reply_backlog {
+            w.usize(frame.src);
+            w.usize(frame.dst);
+            w.bytes(&frame.payload);
+            w.u32(frame.checksum);
+        }
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        self.stats.save(w);
+    }
+
+    /// Rebuilds a server from state captured by [`save`](RpcServer::save).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SnapshotCorrupt`] on truncation or a degenerate
+    /// thread count.
+    pub fn load(r: &mut SnapReader<'_>) -> Result<Self, Error> {
+        let nic = r.u32()?;
+        let threads = r.usize()?;
+        if threads == 0 {
+            return Err(Error::SnapshotCorrupt("server with no threads".into()));
+        }
+        let service_cycles = r.u64()?;
+        let queue_cap = r.usize()?;
+        let cache_per_client = r.usize()?;
+        let slowdown = if r.bool()? {
+            let from = r.u64()?;
+            let until = r.u64()?;
+            Some((from, until, r.u32()?))
+        } else {
+            None
+        };
+        let queue_len = r.usize()?;
+        let mut queue = VecDeque::with_capacity(queue_len);
+        for _ in 0..queue_len {
+            queue.push_back(Job::load(r)?);
+        }
+        let mut running = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            running.push(if r.bool()? { Some(Job::load(r)?) } else { None });
+        }
+        let in_progress_len = r.usize()?;
+        let mut in_progress = BTreeSet::new();
+        for _ in 0..in_progress_len {
+            let c = r.u32()?;
+            in_progress.insert((c, r.u64()?));
+        }
+        let cache_len = r.usize()?;
+        let mut reply_cache = BTreeMap::new();
+        for _ in 0..cache_len {
+            let c = r.u32()?;
+            let s = r.u64()?;
+            reply_cache.insert((c, s), r.u32()?);
+        }
+        let executed_len = r.usize()?;
+        let mut executed = BTreeMap::new();
+        for _ in 0..executed_len {
+            let c = r.u32()?;
+            let s = r.u64()?;
+            executed.insert((c, s), r.u32()?);
+        }
+        let backlog_len = r.usize()?;
+        let mut reply_backlog = VecDeque::with_capacity(backlog_len);
+        for _ in 0..backlog_len {
+            let src = r.usize()?;
+            let dst = r.usize()?;
+            let payload = r.bytes()?.to_vec();
+            reply_backlog.push_back(Frame { src, dst, payload, checksum: r.u32()? });
+        }
+        let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        let mut cache_counts = BTreeMap::new();
+        for &(c, _) in reply_cache.keys() {
+            *cache_counts.entry(c).or_insert(0) += 1;
+        }
+        Ok(RpcServer {
+            nic,
+            threads,
+            service_cycles,
+            queue_cap,
+            cache_per_client,
+            slowdown,
+            queue,
+            running,
+            in_progress,
+            reply_cache,
+            cache_counts,
+            executed,
+            reply_backlog,
+            rng: SmallRng::from_state(rng_state),
+            stats: RpcServerStats::load(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::NetFaultConfig;
+    use crate::segment::SegmentConfig;
+
+    /// One server (NIC 0), one client (NIC 1), lock-stepped.
+    struct Pair {
+        seg: EtherSegment,
+        server: RpcServer,
+        client: RpcClient,
+    }
+
+    impl Pair {
+        fn new(policy: RetryPolicy, faults: NetFaultConfig) -> Self {
+            let mut cfg = SegmentConfig::new(2);
+            cfg.seed = 42;
+            cfg.faults = faults;
+            Pair {
+                seg: EtherSegment::new(cfg),
+                server: RpcServer::new(0, 3, 2_000, 7),
+                client: RpcClient::new(1, vec![0], policy, 7),
+            }
+        }
+
+        fn step(&mut self) {
+            self.seg.tick();
+            let now = self.seg.cycle();
+            self.server.tick(now, &mut self.seg);
+            self.client.tick(now, &mut self.seg);
+        }
+
+        fn run(&mut self, cycles: u64) {
+            for _ in 0..cycles {
+                self.step();
+            }
+        }
+    }
+
+    #[test]
+    fn calls_complete_on_a_clean_wire() {
+        let mut p = Pair::new(RetryPolicy::budgeted(20_000), NetFaultConfig::default());
+        for _ in 0..5 {
+            assert!(p.client.submit(p.seg.cycle(), 300));
+        }
+        p.run(200_000);
+        let cs = p.client.stats();
+        assert_eq!(cs.acked, 5);
+        assert_eq!(cs.failed, 0);
+        assert_eq!(cs.acked_payload_bytes, 1_500);
+        assert_eq!(p.client.latency().count(), 5);
+        assert!(p.client.latency().min() > 0);
+        assert_eq!(p.server.stats().executed, 5);
+    }
+
+    #[test]
+    fn duplicated_frames_execute_once() {
+        // Duplicate every frame on the wire: requests arrive twice,
+        // replies arrive twice. The server must execute each id once
+        // and the client must complete each call once.
+        let faults = NetFaultConfig { seed: 5, dup_ppm: PPM, ..NetFaultConfig::default() };
+        let mut p = Pair::new(RetryPolicy::budgeted(20_000), faults);
+        for _ in 0..4 {
+            assert!(p.client.submit(p.seg.cycle(), 200));
+        }
+        p.run(300_000);
+        let cs = p.client.stats();
+        assert_eq!(cs.acked, 4);
+        assert!(cs.dup_replies > 0, "duplicate replies must be observed and ignored");
+        for (&id, &count) in p.server.executions() {
+            assert_eq!(count, 1, "request {id:?} executed more than once");
+        }
+        assert_eq!(p.server.stats().executed, 4);
+        assert!(
+            p.server.stats().dup_cache_hits + p.server.stats().dup_in_progress > 0,
+            "duplicate requests must hit the dedup paths"
+        );
+    }
+
+    #[test]
+    fn lossy_wire_is_survived_by_retries() {
+        // Drop ~30% of frames; the budgeted policy's retries must still
+        // land every call.
+        let faults = NetFaultConfig { seed: 9, drop_ppm: 300_000, ..NetFaultConfig::default() };
+        let mut p = Pair::new(RetryPolicy::budgeted(30_000), faults);
+        for _ in 0..6 {
+            assert!(p.client.submit(p.seg.cycle(), 200));
+        }
+        p.run(3_000_000);
+        let cs = p.client.stats();
+        assert_eq!(cs.acked + cs.failed, 6, "every call must resolve");
+        assert!(cs.acked >= 4, "most calls should survive 30% loss, got {}", cs.acked);
+        assert!(cs.retries > 0);
+        for &count in p.server.executions().values() {
+            assert_eq!(count, 1);
+        }
+    }
+
+    #[test]
+    fn retry_budget_exhausts_against_a_dead_server() {
+        // Disable the give-up deadline so the attempt budget is the
+        // binding constraint (the default deadline of 8 timeouts fires
+        // before 7 doubling backoffs can elapse).
+        let mut policy = RetryPolicy::budgeted(5_000);
+        policy.deadline = 0;
+        let mut p = Pair::new(policy, NetFaultConfig::default());
+        p.seg.set_online(0, false);
+        assert!(p.client.submit(p.seg.cycle(), 100));
+        p.run(3_000_000);
+        let cs = p.client.stats();
+        assert_eq!(cs.failed, 1, "the call must fail after the budget");
+        assert_eq!(cs.acked, 0);
+        assert_eq!(cs.retries, 7, "8 attempts = 1 initial + 7 retries");
+        assert_eq!(p.client.outstanding(), 0);
+    }
+
+    #[test]
+    fn deadline_gives_up_before_the_budget() {
+        // With the stock budgeted policy the 8-timeout deadline binds
+        // first against a dead server: backoff doubles past the
+        // deadline long before 7 retries are spent.
+        let policy = RetryPolicy::budgeted(5_000);
+        assert_eq!(policy.deadline, 40_000);
+        let mut p = Pair::new(policy, NetFaultConfig::default());
+        p.seg.set_online(0, false);
+        assert!(p.client.submit(p.seg.cycle(), 100));
+        p.run(200_000);
+        let cs = p.client.stats();
+        assert_eq!(cs.failed, 1, "the deadline must fail the call");
+        assert!(
+            cs.retries < 7,
+            "deadline should bind before the attempt budget, got {} retries",
+            cs.retries
+        );
+        assert_eq!(p.client.outstanding(), 0);
+    }
+
+    #[test]
+    fn naive_policy_never_gives_up() {
+        let mut p = Pair::new(RetryPolicy::naive(5_000), NetFaultConfig::default());
+        p.seg.set_online(0, false);
+        assert!(p.client.submit(p.seg.cycle(), 100));
+        p.run(1_000_000);
+        let cs = p.client.stats();
+        assert_eq!(cs.failed, 0);
+        assert_eq!(p.client.outstanding(), 1, "the call stays pending forever");
+        assert!(cs.retries > 100, "fixed timeout keeps retrying, got {}", cs.retries);
+    }
+
+    #[test]
+    fn outstanding_cap_backpressures_and_backlog_sheds() {
+        let mut policy = RetryPolicy::budgeted(20_000);
+        policy.max_outstanding = 2;
+        policy.queue_cap = 3;
+        let mut p = Pair::new(policy, NetFaultConfig::default());
+        let mut admitted = 0;
+        for _ in 0..10 {
+            if p.client.submit(0, 100) {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 3, "backlog cap admits 3");
+        assert_eq!(p.client.stats().shed, 7);
+        p.step();
+        assert!(p.client.outstanding() <= 2, "outstanding cap enforced");
+        p.run(400_000);
+        assert_eq!(p.client.stats().acked, 3, "admitted calls all complete");
+    }
+
+    #[test]
+    fn backoff_grows_and_is_capped() {
+        let mut policy = RetryPolicy::budgeted(1_000);
+        policy.jitter_ppm = 0;
+        let mut c = RpcClient::new(1, vec![0], policy, 3);
+        assert_eq!(c.next_timeout(1), 1_000);
+        assert_eq!(c.next_timeout(2), 2_000);
+        assert_eq!(c.next_timeout(5), 16_000);
+        assert_eq!(c.next_timeout(40), 16_000, "capped at 16x");
+        let mut naive = RpcClient::new(1, vec![0], RetryPolicy::naive(1_000), 3);
+        assert_eq!(naive.next_timeout(1), 1_000);
+        assert_eq!(naive.next_timeout(9), 1_000, "naive timeout never grows");
+    }
+
+    #[test]
+    fn jitter_stays_within_the_policy_fraction() {
+        let mut policy = RetryPolicy::budgeted(10_000);
+        policy.jitter_ppm = 250_000;
+        let mut c = RpcClient::new(1, vec![0], policy, 11);
+        for _ in 0..1_000 {
+            let t = c.next_timeout(1);
+            assert!((10_000..12_500).contains(&t), "jittered timeout {t} out of range");
+        }
+    }
+
+    #[test]
+    fn msg_codec_roundtrips_and_pads() {
+        let req = RpcMsg::Request { client: 3, seq: 99, server: 1, payload_bytes: 500, attempt: 2 };
+        let bytes = req.encode();
+        assert_eq!(bytes.len(), 500, "request padded to its declared size");
+        assert_eq!(RpcMsg::decode(&bytes), Some(req));
+        let reply = RpcMsg::Reply { client: 3, seq: 99, server: 1, result: 0xdead };
+        let bytes = reply.encode();
+        assert_eq!(bytes.len(), REPLY_PAYLOAD_BYTES);
+        assert_eq!(RpcMsg::decode(&bytes), Some(reply));
+        assert_eq!(RpcMsg::decode(&[]), None);
+        assert_eq!(RpcMsg::decode(&[9, 0, 0]), None);
+    }
+
+    #[test]
+    fn endpoint_snapshots_resume_bit_identical() {
+        let faults = NetFaultConfig::lossy(13, 60_000);
+        let mut p = Pair::new(RetryPolicy::budgeted(15_000), faults);
+        let mut arrivals = 0u64;
+        for step in 0..150_000u64 {
+            if step % 9_000 == 0 {
+                p.client.submit(p.seg.cycle(), 100 + (arrivals * 37 % 1_200) as u32);
+                arrivals += 1;
+            }
+            p.step();
+        }
+        // Snapshot all three parts mid-conversation.
+        let mut w = SnapWriter::new();
+        p.seg.save(&mut w);
+        p.server.save(&mut w);
+        p.client.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut q = Pair {
+            seg: EtherSegment::load(&mut r).unwrap(),
+            server: RpcServer::load(&mut r).unwrap(),
+            client: RpcClient::load(&mut r).unwrap(),
+        };
+        r.expect_end().unwrap();
+        for step in 0..150_000u64 {
+            if step % 11_000 == 0 {
+                p.client.submit(p.seg.cycle(), 640);
+                q.client.submit(q.seg.cycle(), 640);
+            }
+            p.step();
+            q.step();
+        }
+        assert_eq!(p.client.stats(), q.client.stats());
+        assert_eq!(p.server.stats(), q.server.stats());
+        assert_eq!(p.seg.stats(), q.seg.stats());
+        let mut w1 = SnapWriter::new();
+        p.seg.save(&mut w1);
+        p.server.save(&mut w1);
+        p.client.save(&mut w1);
+        let mut w2 = SnapWriter::new();
+        q.seg.save(&mut w2);
+        q.server.save(&mut w2);
+        q.client.save(&mut w2);
+        assert_eq!(w1.into_bytes(), w2.into_bytes());
+    }
+
+    #[test]
+    fn reply_cache_prunes_to_bound() {
+        let mut s = RpcServer::new(0, 1, 10, 1);
+        s.set_cache_per_client(4);
+        let mut cfg = SegmentConfig::new(2);
+        cfg.seed = 1;
+        let mut seg = EtherSegment::new(cfg);
+        // Push 10 distinct requests through the server directly.
+        for seq in 0..10u64 {
+            let msg = RpcMsg::Request { client: 1, seq, server: 0, payload_bytes: 40, attempt: 1 };
+            let frame = Frame::new(1, 0, msg.encode());
+            seg.enqueue(frame);
+            for _ in 0..5_000 {
+                seg.tick();
+                s.tick(seg.cycle(), &mut seg);
+            }
+        }
+        assert_eq!(s.stats().executed, 10);
+        assert_eq!(s.reply_cache.len(), 4, "cache pruned to the per-client bound");
+        assert_eq!(s.executions().len(), 10, "execution log keeps every id");
+    }
+}

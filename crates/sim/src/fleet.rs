@@ -1,0 +1,1072 @@
+//! A fleet of Fireflies sharing one Ethernet segment.
+//!
+//! The paper's Fireflies were not standalone machines: §2 describes the
+//! DEQNA Ethernet controller precisely because SRC ran Topaz RPC between
+//! workstations. This module builds that fleet: N simulated Fireflies
+//! (a server tier and a client tier) attached to one cycle-driven
+//! [`EtherSegment`], with an open-loop Poisson load generator driving
+//! heavy-tailed RPC traffic through the retrying transport in
+//! [`firefly_net::rpc`].
+//!
+//! Everything is deterministic from [`FleetConfig::seed`] — arrivals,
+//! payload sizes, CSMA/CD backoff, service-time jitter, retry jitter and
+//! injected wire faults all derive from it — so a fleet run is a pure
+//! function of its config regardless of host parallelism, and the whole
+//! fleet checkpoints into one FFSN container that resumes bit-identically
+//! ([`Fleet::save_snapshot`] / [`Fleet::load_snapshot`]).
+//!
+//! Two headline experiments live here so tests, the soak harness and the
+//! `fleet` bench bin share one implementation:
+//!
+//! * [`run_retry_storm`] — a server-tier slowdown window under a naive
+//!   retry discipline drives timeout amplification into congestive
+//!   collapse that persists after the servers heal; the budgeted
+//!   discipline (exponential backoff, jitter, retry budget,
+//!   outstanding-call cap) sheds load and recovers.
+//! * [`run_crash_failover`] — one Firefly is killed mid-run; clients
+//!   fail over to the surviving servers and the fleet degrades from N to
+//!   N−1 gracefully, never losing or duplicating an acknowledged call.
+
+use firefly_core::snapshot::{SnapReader, SnapWriter, SnapshotBuilder, SnapshotFile};
+use firefly_core::stats::Histogram;
+use firefly_core::Error;
+use firefly_net::rpc::{RetryPolicy, RpcClient, RpcClientStats, RpcServer, RpcServerStats};
+use firefly_net::segment::{EtherSegment, SegmentConfig, SegmentStats};
+use firefly_net::NetFaultConfig;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+/// Cycle windows and knobs for the retry-storm scenario. The windows are
+/// public so tests, the soak harness and the bench bin measure the same
+/// phases.
+pub mod storm {
+    /// Baseline goodput window starts here (after warm-up).
+    pub const BASE_FROM: u64 = 400_000;
+    /// Baseline window ends where the slowdown begins.
+    pub const BASE_UNTIL: u64 = SLOW_FROM;
+    /// Service tier slows down at this cycle.
+    pub const SLOW_FROM: u64 = 1_200_000;
+    /// Service tier heals at this cycle.
+    pub const SLOW_UNTIL: u64 = 2_600_000;
+    /// Recovery goodput window starts here (past the budgeted policy's
+    /// deepest backoff, so residual retries have drained).
+    pub const RECOVERY_FROM: u64 = 3_600_000;
+    /// End of the scenario and of the recovery window.
+    pub const RECOVERY_UNTIL: u64 = 4_600_000;
+    /// Service-time multiplier during the slowdown.
+    pub const SLOW_FACTOR: u32 = 60;
+    /// Initial per-call timeout for both retry disciplines — above the
+    /// healthy fleet's p99 round trip, so neither discipline retries
+    /// spuriously at baseline.
+    pub const TIMEOUT: u64 = 40_000;
+}
+
+/// Cycle windows and knobs for the machine-crash failover scenario.
+pub mod crash {
+    /// Baseline goodput window starts here (after warm-up).
+    pub const BASE_FROM: u64 = 400_000;
+    /// The victim server is killed at this cycle.
+    pub const KILL_AT: u64 = 1_200_000;
+    /// End of the scenario.
+    pub const END: u64 = 3_200_000;
+    /// Post-kill goodput is sampled in windows of this many cycles.
+    pub const WINDOW: u64 = 200_000;
+    /// Initial per-call timeout (the workload is service-bound, so the
+    /// timeout sits above the typical round trip).
+    pub const TIMEOUT: u64 = 60_000;
+    /// NIC index of the server that crashes.
+    pub const VICTIM: usize = 0;
+}
+
+/// A timed service-tier slowdown: every server's service times are
+/// multiplied by `factor` for cycles in `[from, until)`. This is the
+/// retry-storm trigger — think of it as a fleet-wide GC pause or an
+/// overloaded disk behind the RPC servers.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize)]
+pub struct SlowdownWindow {
+    /// First slow cycle.
+    pub from: u64,
+    /// First fast cycle after the window.
+    pub until: u64,
+    /// Service-time multiplier while slow.
+    pub factor: u32,
+}
+
+/// Complete description of a fleet. A [`Fleet`] is a pure function of
+/// this config: equal configs produce bit-identical runs.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize)]
+pub struct FleetConfig {
+    /// Server machines (NICs `0..servers`).
+    pub servers: usize,
+    /// Client machines (NICs `servers..servers + clients`).
+    pub clients: usize,
+    /// Worker threads per server (the Firefly's spare processors).
+    pub server_threads: usize,
+    /// Base service time per request, in cycles.
+    pub service_cycles: u64,
+    /// Server run-queue bound; requests beyond it are shed.
+    pub server_queue_cap: usize,
+    /// At-most-once reply-cache entries retained per client.
+    pub reply_cache_per_client: usize,
+    /// Poisson arrival rate per client, in calls per million cycles.
+    pub arrivals_per_mcycle: u64,
+    /// Smallest request payload, in bytes (Pareto location).
+    pub payload_min: u32,
+    /// Request payloads are clipped to this many bytes.
+    pub payload_max: u32,
+    /// Pareto tail exponent × 1000 (1300 = a heavy 1.3 tail).
+    pub pareto_alpha_x1000: u32,
+    /// Client retry discipline.
+    pub policy: RetryPolicy,
+    /// Master seed for every RNG stream in the fleet.
+    pub seed: u64,
+    /// Per-NIC TX ring depth.
+    pub tx_ring: usize,
+    /// Per-NIC RX ring depth.
+    pub rx_ring: usize,
+    /// Wire fault plan (drop / dup / reorder / corrupt / partition).
+    pub faults: NetFaultConfig,
+    /// Optional service-tier slowdown window.
+    pub slowdown: Option<SlowdownWindow>,
+    /// Maximum retained trace events (later events are counted, dropped).
+    pub trace_limit: usize,
+}
+
+impl FleetConfig {
+    /// A small healthy serving fleet: no faults, no slowdown, budgeted
+    /// retries. The starting point every scenario perturbs.
+    pub fn serving(servers: usize, clients: usize, seed: u64) -> Self {
+        FleetConfig {
+            servers,
+            clients,
+            server_threads: 3,
+            service_cycles: 2_500,
+            server_queue_cap: 32,
+            reply_cache_per_client: 4_096,
+            arrivals_per_mcycle: 20,
+            payload_min: 96,
+            payload_max: 768,
+            pareto_alpha_x1000: 1_300,
+            policy: RetryPolicy::budgeted(storm::TIMEOUT),
+            seed,
+            tx_ring: 64,
+            rx_ring: 256,
+            faults: NetFaultConfig::default(),
+            slowdown: None,
+            trace_limit: 4_096,
+        }
+    }
+
+    /// The retry-storm scenario: two servers, six clients, a 1% lossy
+    /// wire, and a deep service slowdown over
+    /// [`storm::SLOW_FROM`]`..`[`storm::SLOW_UNTIL`]. With `naive`
+    /// retries (fixed timeout, no budget, no outstanding cap) the
+    /// slowdown turns into a retransmission flood that outlives the
+    /// trigger; the budgeted discipline sheds and recovers.
+    pub fn retry_storm(seed: u64, naive: bool) -> Self {
+        let mut cfg = FleetConfig::serving(2, 6, seed);
+        // ~45% offered wire load: comfortably stable for both
+        // disciplines until the slowdown hits.
+        cfg.arrivals_per_mcycle = 15;
+        cfg.policy = if naive {
+            RetryPolicy::naive(storm::TIMEOUT)
+        } else {
+            RetryPolicy::budgeted(storm::TIMEOUT)
+        };
+        cfg.faults = NetFaultConfig {
+            seed: seed ^ 0x5709_0e7f_a017_90b1,
+            drop_ppm: 10_000,
+            ..NetFaultConfig::default()
+        };
+        cfg.slowdown = Some(SlowdownWindow {
+            from: storm::SLOW_FROM,
+            until: storm::SLOW_UNTIL,
+            factor: storm::SLOW_FACTOR,
+        });
+        // Shallow TX rings: a deep ring full of stale retransmissions
+        // outlives the storm by millions of cycles and poisons the
+        // recovery measurement for *both* disciplines.
+        cfg.tx_ring = 16;
+        cfg
+    }
+
+    /// The machine-crash scenario: three servers, six clients, a
+    /// service-bound workload (small payloads, long service times) on a
+    /// 1% lossy wire. [`crash::VICTIM`] dies at [`crash::KILL_AT`];
+    /// clients fail over to the survivors.
+    pub fn crash_failover(seed: u64) -> Self {
+        let mut cfg = FleetConfig::serving(3, 6, seed);
+        cfg.service_cycles = 20_000;
+        // Shed fast rather than queue deep: with a deep run queue the
+        // queueing delay dwarfs the client timeout, and every timed-out
+        // call duplicates its work onto another server — eating the
+        // N−1 capacity margin exactly when it matters.
+        cfg.server_queue_cap = 8;
+        cfg.arrivals_per_mcycle = 25;
+        cfg.payload_min = 64;
+        cfg.payload_max = 256;
+        cfg.policy = RetryPolicy::budgeted(crash::TIMEOUT);
+        // No give-up deadline here: this scenario measures graceful
+        // degradation of *raw* goodput under N→N−1 capacity, and a
+        // third of fresh calls burn two timeouts on the dead server
+        // before rotating. Patient callers wait out the failover; an
+        // SLA deadline would convert that wait into failures and gut
+        // the degraded-goodput measurement.
+        cfg.policy.deadline = 0;
+        cfg.faults = NetFaultConfig {
+            seed: seed ^ 0x0c4a_54f4_110e_4a7d,
+            drop_ppm: 10_000,
+            ..NetFaultConfig::default()
+        };
+        cfg
+    }
+
+    fn validate(&self) {
+        assert!(self.servers >= 1, "fleet needs at least one server");
+        assert!(self.clients >= 1, "fleet needs at least one client");
+        assert!(self.arrivals_per_mcycle >= 1, "arrival rate must be positive");
+        assert!(self.payload_min >= 1, "payloads must be non-empty");
+        assert!(self.payload_min <= self.payload_max, "payload range inverted");
+        assert!(self.pareto_alpha_x1000 >= 1, "Pareto exponent must be positive");
+    }
+}
+
+/// Goodput in Mb/s: acknowledged payload bits over a cycle window, on
+/// the 100 ns grid (1 bit/cycle = 10 Mb/s, the full Ethernet).
+pub fn goodput_mbps(payload_bytes: u64, cycles: u64) -> f64 {
+    if cycles == 0 {
+        0.0
+    } else {
+        payload_bytes as f64 * 8.0 / cycles as f64 * 10.0
+    }
+}
+
+/// Exponential inter-arrival sample for a Poisson process of
+/// `per_mcycle` events per million cycles, quantized up to ≥ 1 cycle.
+fn sample_interarrival(rng: &mut SmallRng, per_mcycle: u64) -> u64 {
+    let u: f64 = rng.gen();
+    let dt = -(1.0 - u).ln() * 1_000_000.0 / per_mcycle as f64;
+    (dt.ceil() as u64).clamp(1, 100_000_000)
+}
+
+/// Bounded-Pareto payload sample: heavy-tailed above `min`, clipped to
+/// `max`.
+fn sample_payload(rng: &mut SmallRng, min: u32, max: u32, alpha_x1000: u32) -> u32 {
+    let u: f64 = rng.gen();
+    let alpha = f64::from(alpha_x1000) / 1_000.0;
+    let x = f64::from(min) / (1.0 - u).powf(1.0 / alpha);
+    if x >= f64::from(max) {
+        max
+    } else {
+        (x as u32).max(min)
+    }
+}
+
+/// One client machine: its RPC endpoint plus the open-loop load
+/// generator that drives it.
+#[derive(Debug)]
+struct ClientHost {
+    rpc: RpcClient,
+    arrivals: SmallRng,
+    next_arrival: u64,
+}
+
+impl ClientHost {
+    fn new(cfg: &FleetConfig, idx: usize) -> Self {
+        let nic = (cfg.servers + idx) as u32;
+        let servers: Vec<u32> = (0..cfg.servers as u32).collect();
+        let rpc_seed = cfg.seed ^ 0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(u64::from(nic) + 1);
+        let arrival_seed = cfg.seed ^ 0xd1b5_4a32_d192_ed03_u64.wrapping_mul(u64::from(nic) + 1);
+        let mut arrivals = SmallRng::seed_from_u64(arrival_seed);
+        let next_arrival = sample_interarrival(&mut arrivals, cfg.arrivals_per_mcycle);
+        ClientHost {
+            rpc: RpcClient::new(nic, servers, cfg.policy, rpc_seed),
+            arrivals,
+            next_arrival,
+        }
+    }
+
+    fn tick(&mut self, now: u64, cfg: &FleetConfig, seg: &mut EtherSegment) {
+        while self.next_arrival <= now {
+            let bytes = sample_payload(
+                &mut self.arrivals,
+                cfg.payload_min,
+                cfg.payload_max,
+                cfg.pareto_alpha_x1000,
+            );
+            self.rpc.submit(now, bytes);
+            self.next_arrival += sample_interarrival(&mut self.arrivals, cfg.arrivals_per_mcycle);
+        }
+        self.rpc.tick(now, seg);
+    }
+
+    fn save(&self, w: &mut SnapWriter) {
+        self.rpc.save(w);
+        for word in self.arrivals.state() {
+            w.u64(word);
+        }
+        w.u64(self.next_arrival);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, Error> {
+        let rpc = RpcClient::load(r)?;
+        let state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        let next_arrival = r.u64()?;
+        Ok(ClientHost { rpc, arrivals: SmallRng::from_state(state), next_arrival })
+    }
+}
+
+/// Fleet-wide aggregate counters and latency quantiles, serializable to
+/// JSON for benches and equivalence checks.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct FleetReport {
+    /// Fleet cycle at report time.
+    pub cycle: u64,
+    /// Acknowledged calls across all clients.
+    pub acked: u64,
+    /// Calls abandoned after exhausting the retry budget.
+    pub failed: u64,
+    /// Submissions shed at the client backlog cap.
+    pub shed: u64,
+    /// Retransmissions sent.
+    pub retries: u64,
+    /// Per-call timeouts fired.
+    pub timeouts: u64,
+    /// Acknowledged request payload bytes (the goodput numerator).
+    pub acked_payload_bytes: u64,
+    /// Acknowledgements that met the timeliness SLA.
+    pub acked_timely: u64,
+    /// Whole-run goodput in Mb/s.
+    pub goodput_mbps: f64,
+    /// Median acknowledged-call latency, in cycles.
+    pub p50: u64,
+    /// 99th-percentile latency, in cycles.
+    pub p99: u64,
+    /// 99.9th-percentile latency, in cycles.
+    pub p999: u64,
+    /// First-time executions across all servers.
+    pub server_executed: u64,
+    /// Duplicate requests answered from reply caches.
+    pub server_dup_cache_hits: u64,
+    /// Requests shed at server run queues.
+    pub server_shed: u64,
+    /// CSMA/CD collisions on the segment.
+    pub collisions: u64,
+    /// Frames carried by the wire.
+    pub frames_sent: u64,
+    /// Frames rejected by receiver CRC (corruption faults).
+    pub crc_rejects: u64,
+    /// Frames lost to injected drops.
+    pub fault_drops: u64,
+    /// Fraction of cycles the wire was busy.
+    pub wire_utilization: f64,
+    /// Servers still online.
+    pub online_servers: usize,
+    /// Trace events dropped past the retention limit.
+    pub trace_dropped: u64,
+}
+
+/// N simulated Fireflies on one Ethernet segment: a server tier, a
+/// client tier, and the wire between them.
+#[derive(Debug)]
+pub struct Fleet {
+    cfg: FleetConfig,
+    segment: EtherSegment,
+    servers: Vec<RpcServer>,
+    server_online: Vec<bool>,
+    clients: Vec<ClientHost>,
+    cycle: u64,
+    trace: Vec<String>,
+    trace_dropped: u64,
+}
+
+impl Fleet {
+    /// Builds a fleet at cycle zero from its config.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate config (no servers, no clients, zero
+    /// arrival rate, empty or inverted payload range).
+    pub fn new(cfg: FleetConfig) -> Self {
+        cfg.validate();
+        let mut seg_cfg = SegmentConfig::new(cfg.servers + cfg.clients);
+        seg_cfg.tx_ring = cfg.tx_ring;
+        seg_cfg.rx_ring = cfg.rx_ring;
+        seg_cfg.seed = cfg.seed;
+        seg_cfg.faults = cfg.faults;
+        let segment = EtherSegment::new(seg_cfg);
+        let servers: Vec<RpcServer> = (0..cfg.servers)
+            .map(|i| {
+                let seed = cfg.seed ^ 0xa076_1d64_78bd_642f_u64.wrapping_mul(i as u64 + 1);
+                let mut s = RpcServer::new(i as u32, cfg.server_threads, cfg.service_cycles, seed);
+                s.set_queue_cap(cfg.server_queue_cap);
+                s.set_cache_per_client(cfg.reply_cache_per_client);
+                s.set_slowdown(cfg.slowdown.map(|w| (w.from, w.until, w.factor)));
+                s
+            })
+            .collect();
+        let clients: Vec<ClientHost> = (0..cfg.clients).map(|i| ClientHost::new(&cfg, i)).collect();
+        Fleet {
+            cfg,
+            segment,
+            server_online: vec![true; cfg.servers],
+            servers,
+            clients,
+            cycle: 0,
+            trace: Vec::new(),
+            trace_dropped: 0,
+        }
+    }
+
+    /// The fleet's config.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Current fleet cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Advances the fleet one cycle: wire first, then servers, then
+    /// clients — a fixed order so runs are deterministic.
+    pub fn step(&mut self) {
+        self.segment.tick();
+        let now = self.segment.cycle();
+        self.cycle = now;
+        for (i, s) in self.servers.iter_mut().enumerate() {
+            if self.server_online[i] {
+                s.tick(now, &mut self.segment);
+            }
+        }
+        let cfg = self.cfg;
+        for c in &mut self.clients {
+            c.tick(now, &cfg, &mut self.segment);
+        }
+    }
+
+    /// Runs `cycles` additional cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs until the fleet cycle reaches `target` (no-op if already
+    /// there).
+    pub fn run_until(&mut self, target: u64) {
+        while self.cycle < target {
+            self.step();
+        }
+    }
+
+    /// Crashes server `i` mid-run: its NIC goes offline (rings dropped,
+    /// in-flight frames to it are lost) and it stops executing. Its
+    /// execution ledger is retained for the at-most-once oracle.
+    pub fn kill_server(&mut self, i: usize) {
+        assert!(i < self.cfg.servers, "no such server");
+        if self.server_online[i] {
+            self.server_online[i] = false;
+            self.segment.set_online(i, false);
+            let event = format!("cycle {}: server {i} crashed", self.cycle);
+            self.trace_push(event);
+        }
+    }
+
+    /// True while server `i` is alive.
+    pub fn server_online(&self, i: usize) -> bool {
+        self.server_online[i]
+    }
+
+    /// Number of servers currently alive.
+    pub fn online_servers(&self) -> usize {
+        self.server_online.iter().filter(|&&b| b).count()
+    }
+
+    fn trace_push(&mut self, event: String) {
+        if self.trace.len() < self.cfg.trace_limit {
+            self.trace.push(event);
+        } else {
+            self.trace_dropped += 1;
+        }
+    }
+
+    /// Retained trace events (kills, restores), oldest first.
+    pub fn trace(&self) -> &[String] {
+        &self.trace
+    }
+
+    /// Wire-level counters.
+    pub fn segment_stats(&self) -> SegmentStats {
+        self.segment.stats()
+    }
+
+    /// Counters for server `i` (valid for crashed servers too).
+    pub fn server_stats(&self, i: usize) -> RpcServerStats {
+        self.servers[i].stats()
+    }
+
+    /// Counters for client `i`.
+    pub fn client_stats(&self, i: usize) -> RpcClientStats {
+        self.clients[i].rpc.stats()
+    }
+
+    /// Total acknowledged request payload bytes across all clients —
+    /// the goodput numerator. Sampled at window edges by the scenario
+    /// runners.
+    pub fn acked_payload_bytes(&self) -> u64 {
+        self.clients.iter().map(|c| c.rpc.stats().acked_payload_bytes).sum()
+    }
+
+    /// Acknowledged payload bytes that met the timeliness SLA
+    /// (submission → ack within [`firefly_net::rpc::TIMELY_SLA_TIMEOUTS`]
+    /// timeouts). The *useful*-goodput numerator: late acks drain
+    /// backlog but serve nobody.
+    pub fn acked_timely_bytes(&self) -> u64 {
+        self.clients.iter().map(|c| c.rpc.stats().acked_timely_bytes).sum()
+    }
+
+    /// Merged acknowledged-call latency histogram across all clients.
+    pub fn latency(&self) -> Histogram {
+        let mut h = Histogram::default();
+        for c in &self.clients {
+            h += *c.rpc.latency();
+        }
+        h
+    }
+
+    /// Checks the at-most-once contract. Returns one line per
+    /// violation (empty = clean):
+    ///
+    /// * no client completed the same call twice;
+    /// * every acknowledged call is backed by an execution on the
+    ///   acking server;
+    /// * no server executed the same `(client, seq)` more than once.
+    pub fn check_at_most_once(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        for c in &self.clients {
+            let nic = c.rpc.nic();
+            let mut seen = BTreeSet::new();
+            for &(seq, server) in c.rpc.completions() {
+                if !seen.insert(seq) {
+                    violations.push(format!("client {nic} completed seq {seq} twice"));
+                }
+                let backed = (server as usize) < self.servers.len()
+                    && self.servers[server as usize].executions().contains_key(&(nic, seq));
+                if !backed {
+                    violations.push(format!(
+                        "client {nic} seq {seq} acked by server {server} with no execution"
+                    ));
+                }
+            }
+        }
+        for s in &self.servers {
+            for (&(client, seq), &n) in s.executions() {
+                if n > 1 {
+                    violations.push(format!(
+                        "server {} executed client {client} seq {seq} {n} times",
+                        s.nic()
+                    ));
+                }
+            }
+        }
+        violations
+    }
+
+    /// Aggregate counters and latency quantiles for the whole run.
+    pub fn report(&self) -> FleetReport {
+        let mut acked = 0;
+        let mut failed = 0;
+        let mut shed = 0;
+        let mut retries = 0;
+        let mut timeouts = 0;
+        let mut acked_payload_bytes = 0;
+        let mut acked_timely = 0;
+        for c in &self.clients {
+            let s = c.rpc.stats();
+            acked += s.acked;
+            failed += s.failed;
+            shed += s.shed;
+            retries += s.retries;
+            timeouts += s.timeouts;
+            acked_payload_bytes += s.acked_payload_bytes;
+            acked_timely += s.acked_timely;
+        }
+        let mut server_executed = 0;
+        let mut server_dup_cache_hits = 0;
+        let mut server_shed = 0;
+        for s in &self.servers {
+            let st = s.stats();
+            server_executed += st.executed;
+            server_dup_cache_hits += st.dup_cache_hits;
+            server_shed += st.shed;
+        }
+        let seg = self.segment.stats();
+        let lat = self.latency();
+        FleetReport {
+            cycle: self.cycle,
+            acked,
+            failed,
+            shed,
+            retries,
+            timeouts,
+            acked_payload_bytes,
+            acked_timely,
+            goodput_mbps: goodput_mbps(acked_payload_bytes, self.cycle),
+            p50: lat.quantile(0.50),
+            p99: lat.quantile(0.99),
+            p999: lat.quantile(0.999),
+            server_executed,
+            server_dup_cache_hits,
+            server_shed,
+            collisions: seg.collisions,
+            frames_sent: seg.frames_sent,
+            crc_rejects: seg.crc_rejects,
+            fault_drops: seg.fault_drops,
+            wire_utilization: if self.cycle == 0 {
+                0.0
+            } else {
+                seg.wire_busy_cycles as f64 / self.cycle as f64
+            },
+            online_servers: self.online_servers(),
+            trace_dropped: self.trace_dropped,
+        }
+    }
+
+    /// The report as canonical JSON — the fleet's observable state for
+    /// equivalence checks (jobs-width invariance, resume bit-identity).
+    pub fn stats_json(&self) -> String {
+        self.report().to_json()
+    }
+
+    /// Serializes the entire fleet — wire, every machine, every RNG
+    /// stream, the trace — into one FFSN container nesting per-machine
+    /// sections.
+    pub fn save_snapshot(&self) -> Vec<u8> {
+        let mut b = SnapshotBuilder::new();
+        let mut meta = SnapWriter::new();
+        meta.str(&self.cfg.to_json());
+        meta.u64(self.cycle);
+        meta.usize(self.server_online.len());
+        for &alive in &self.server_online {
+            meta.bool(alive);
+        }
+        meta.u64(self.trace_dropped);
+        meta.usize(self.trace.len());
+        for event in &self.trace {
+            meta.str(event);
+        }
+        b.section("fleet/meta", meta.into_bytes());
+        let mut seg = SnapWriter::new();
+        self.segment.save(&mut seg);
+        b.section("fleet/segment", seg.into_bytes());
+        for (i, s) in self.servers.iter().enumerate() {
+            let mut w = SnapWriter::new();
+            s.save(&mut w);
+            b.section(&format!("fleet/server{i}"), w.into_bytes());
+        }
+        for (i, c) in self.clients.iter().enumerate() {
+            let mut w = SnapWriter::new();
+            c.save(&mut w);
+            b.section(&format!("fleet/client{i}"), w.into_bytes());
+        }
+        b.finish()
+    }
+
+    /// Restores a snapshot taken from a fleet with the *same config*
+    /// into this one. On success the fleet is bit-identical to the
+    /// checkpointed one; on error it is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SnapshotCorrupt`] if the container is damaged,
+    /// a section is missing or trailing, or the embedded config does
+    /// not match this fleet's.
+    pub fn load_snapshot(&mut self, bytes: &[u8]) -> Result<(), Error> {
+        let file = SnapshotFile::parse(bytes)?;
+        let mut meta = file.section("fleet/meta")?;
+        let cfg_json = meta.str()?;
+        if cfg_json != self.cfg.to_json() {
+            return Err(Error::SnapshotCorrupt("fleet config mismatch".into()));
+        }
+        let cycle = meta.u64()?;
+        let online_len = meta.usize()?;
+        if online_len != self.cfg.servers {
+            return Err(Error::SnapshotCorrupt("fleet server count mismatch".into()));
+        }
+        let mut server_online = Vec::with_capacity(online_len);
+        for _ in 0..online_len {
+            server_online.push(meta.bool()?);
+        }
+        let trace_dropped = meta.u64()?;
+        let trace_len = meta.usize()?;
+        let mut trace = Vec::with_capacity(trace_len.min(self.cfg.trace_limit));
+        for _ in 0..trace_len {
+            trace.push(meta.str()?.to_string());
+        }
+        meta.expect_end()?;
+        let mut seg = file.section("fleet/segment")?;
+        let segment = EtherSegment::load(&mut seg)?;
+        seg.expect_end()?;
+        let mut servers = Vec::with_capacity(self.cfg.servers);
+        for i in 0..self.cfg.servers {
+            let mut r = file.section(&format!("fleet/server{i}"))?;
+            servers.push(RpcServer::load(&mut r)?);
+            r.expect_end()?;
+        }
+        let mut clients = Vec::with_capacity(self.cfg.clients);
+        for i in 0..self.cfg.clients {
+            let mut r = file.section(&format!("fleet/client{i}"))?;
+            clients.push(ClientHost::load(&mut r)?);
+            r.expect_end()?;
+        }
+        self.segment = segment;
+        self.servers = servers;
+        self.server_online = server_online;
+        self.clients = clients;
+        self.cycle = cycle;
+        self.trace = trace;
+        self.trace_dropped = trace_dropped;
+        Ok(())
+    }
+}
+
+/// Outcome of one retry-storm run: goodput in the baseline, slowdown
+/// and post-heal recovery windows, plus the counters that explain the
+/// mechanism.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct StormOutcome {
+    /// True for the naive discipline, false for the budgeted one.
+    pub naive: bool,
+    /// *Timely* goodput over the pre-slowdown baseline window, Mb/s
+    /// (acks within the SLA; at baseline effectively all of them).
+    pub baseline_mbps: f64,
+    /// Timely goodput while the service tier is slow, Mb/s.
+    pub storm_mbps: f64,
+    /// Timely goodput over the post-heal recovery window, Mb/s. Late
+    /// acks that merely drain the storm backlog do not count — a burst
+    /// of million-cycle-old replies is not a recovered service.
+    pub recovery_mbps: f64,
+    /// `recovery_mbps / baseline_mbps` — the headline metric.
+    pub recovery_fraction: f64,
+    /// Raw (SLA-blind) goodput over the recovery window, Mb/s, for
+    /// comparison with `recovery_mbps`.
+    pub recovery_raw_mbps: f64,
+    /// Acknowledged calls.
+    pub acked: u64,
+    /// Calls abandoned after the retry budget.
+    pub failed: u64,
+    /// Submissions shed at the client backlog cap.
+    pub shed: u64,
+    /// Retransmissions sent.
+    pub retries: u64,
+    /// Timeouts fired.
+    pub timeouts: u64,
+    /// CSMA/CD collisions.
+    pub collisions: u64,
+    /// Duplicate requests absorbed by server reply caches.
+    pub dup_cache_hits: u64,
+    /// Median acknowledged latency, cycles.
+    pub p50: u64,
+    /// 99th-percentile latency, cycles.
+    pub p99: u64,
+    /// 99.9th-percentile latency, cycles.
+    pub p999: u64,
+    /// At-most-once oracle violations (must be zero).
+    pub oracle_violations: usize,
+}
+
+/// Runs the retry-storm experiment to completion. Deterministic in
+/// `(seed, naive)`.
+pub fn run_retry_storm(seed: u64, naive: bool) -> StormOutcome {
+    let mut fleet = Fleet::new(FleetConfig::retry_storm(seed, naive));
+    fleet.run_until(storm::BASE_FROM);
+    let b0 = fleet.acked_timely_bytes();
+    fleet.run_until(storm::BASE_UNTIL);
+    let b1 = fleet.acked_timely_bytes();
+    fleet.run_until(storm::SLOW_UNTIL);
+    let s1 = fleet.acked_timely_bytes();
+    fleet.run_until(storm::RECOVERY_FROM);
+    let r0 = fleet.acked_timely_bytes();
+    let r0_raw = fleet.acked_payload_bytes();
+    fleet.run_until(storm::RECOVERY_UNTIL);
+    let r1 = fleet.acked_timely_bytes();
+    let r1_raw = fleet.acked_payload_bytes();
+    let recovery_span = storm::RECOVERY_UNTIL - storm::RECOVERY_FROM;
+    let baseline_mbps = goodput_mbps(b1 - b0, storm::BASE_UNTIL - storm::BASE_FROM);
+    let recovery_mbps = goodput_mbps(r1 - r0, recovery_span);
+    let report = fleet.report();
+    StormOutcome {
+        naive,
+        baseline_mbps,
+        storm_mbps: goodput_mbps(s1 - b1, storm::SLOW_UNTIL - storm::SLOW_FROM),
+        recovery_mbps,
+        recovery_fraction: if baseline_mbps > 0.0 { recovery_mbps / baseline_mbps } else { 0.0 },
+        recovery_raw_mbps: goodput_mbps(r1_raw - r0_raw, recovery_span),
+        acked: report.acked,
+        failed: report.failed,
+        shed: report.shed,
+        retries: report.retries,
+        timeouts: report.timeouts,
+        collisions: report.collisions,
+        dup_cache_hits: report.server_dup_cache_hits,
+        p50: report.p50,
+        p99: report.p99,
+        p999: report.p999,
+        oracle_violations: fleet.check_at_most_once().len(),
+    }
+}
+
+/// Outcome of one machine-crash run: goodput before the kill, the
+/// post-kill window trajectory, and how long the fleet took to get back
+/// to 80% of baseline on N−1 servers.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct CrashOutcome {
+    /// Goodput over the pre-kill baseline window, Mb/s.
+    pub baseline_mbps: f64,
+    /// Goodput over the final post-kill window span, Mb/s.
+    pub degraded_mbps: f64,
+    /// `degraded_mbps / baseline_mbps` — graceful degradation metric.
+    pub degraded_fraction: f64,
+    /// Cycles from the kill until a [`crash::WINDOW`]-sized window first
+    /// reached 80% of baseline goodput (`None` = never recovered).
+    pub recovery_cycles: Option<u64>,
+    /// Goodput of each post-kill window, Mb/s, in order.
+    pub windows_mbps: Vec<f64>,
+    /// Acknowledged calls.
+    pub acked: u64,
+    /// Calls abandoned after the retry budget.
+    pub failed: u64,
+    /// Retransmissions sent.
+    pub retries: u64,
+    /// Median acknowledged latency, cycles.
+    pub p50: u64,
+    /// 99th-percentile latency, cycles.
+    pub p99: u64,
+    /// At-most-once oracle violations (must be zero).
+    pub oracle_violations: usize,
+}
+
+/// Runs the machine-crash failover experiment to completion.
+/// Deterministic in `seed`.
+pub fn run_crash_failover(seed: u64) -> CrashOutcome {
+    let mut fleet = Fleet::new(FleetConfig::crash_failover(seed));
+    fleet.run_until(crash::BASE_FROM);
+    let b0 = fleet.acked_payload_bytes();
+    fleet.run_until(crash::KILL_AT);
+    let b1 = fleet.acked_payload_bytes();
+    let baseline_mbps = goodput_mbps(b1 - b0, crash::KILL_AT - crash::BASE_FROM);
+    fleet.kill_server(crash::VICTIM);
+    let span = crash::END - crash::KILL_AT;
+    let mid = crash::KILL_AT + span / 2;
+    let mut windows_mbps = Vec::new();
+    let mut prev = b1;
+    let mut mid_bytes = b1;
+    let mut t = crash::KILL_AT;
+    while t < crash::END {
+        t += crash::WINDOW;
+        fleet.run_until(t);
+        let cur = fleet.acked_payload_bytes();
+        windows_mbps.push(goodput_mbps(cur - prev, crash::WINDOW));
+        prev = cur;
+        if t == mid {
+            mid_bytes = cur;
+        }
+    }
+    let recovery_cycles = windows_mbps
+        .iter()
+        .position(|&g| g >= 0.8 * baseline_mbps)
+        .map(|i| (i as u64 + 1) * crash::WINDOW);
+    // Steady-state degraded goodput: the second half of the post-kill
+    // span measured as one wide window (individual 200k-cycle windows
+    // only hold a few dozen calls and are too noisy for a gate).
+    let degraded_mbps = goodput_mbps(prev - mid_bytes, crash::END - mid);
+    let report = fleet.report();
+    CrashOutcome {
+        baseline_mbps,
+        degraded_mbps,
+        degraded_fraction: if baseline_mbps > 0.0 { degraded_mbps / baseline_mbps } else { 0.0 },
+        recovery_cycles,
+        windows_mbps,
+        acked: report.acked,
+        failed: report.failed,
+        retries: report.retries,
+        p50: report.p50,
+        p99: report.p99,
+        oracle_violations: fleet.check_at_most_once().len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_fleet_serves_traffic() {
+        let mut fleet = Fleet::new(FleetConfig::serving(2, 4, 7));
+        fleet.run(300_000);
+        let report = fleet.report();
+        assert!(report.acked > 10, "expected acks, got {}", report.acked);
+        assert_eq!(report.failed, 0, "no failures on a clean fleet");
+        assert!(fleet.check_at_most_once().is_empty());
+    }
+
+    #[test]
+    fn equal_configs_run_bit_identically() {
+        let mut a = Fleet::new(FleetConfig::serving(2, 3, 99));
+        let mut b = Fleet::new(FleetConfig::serving(2, 3, 99));
+        a.run(250_000);
+        b.run(250_000);
+        assert_eq!(a.stats_json(), b.stats_json());
+        assert_eq!(a.save_snapshot(), b.save_snapshot());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Fleet::new(FleetConfig::serving(2, 3, 1));
+        let mut b = Fleet::new(FleetConfig::serving(2, 3, 2));
+        a.run(250_000);
+        b.run(250_000);
+        assert_ne!(a.stats_json(), b.stats_json());
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical() {
+        let mut cfg = FleetConfig::serving(2, 3, 42);
+        cfg.faults =
+            NetFaultConfig { seed: 5, drop_ppm: 20_000, dup_ppm: 5_000, ..Default::default() };
+        let mut original = Fleet::new(cfg);
+        original.run(150_000);
+        let snap = original.save_snapshot();
+        original.run(120_000);
+
+        let mut resumed = Fleet::new(cfg);
+        resumed.load_snapshot(&snap).expect("snapshot loads");
+        assert_eq!(resumed.cycle(), 150_000);
+        resumed.run(120_000);
+
+        assert_eq!(original.stats_json(), resumed.stats_json());
+        assert_eq!(original.trace(), resumed.trace());
+        assert_eq!(original.save_snapshot(), resumed.save_snapshot());
+    }
+
+    #[test]
+    fn snapshot_rejects_config_mismatch() {
+        let mut a = Fleet::new(FleetConfig::serving(2, 3, 1));
+        a.run(50_000);
+        let snap = a.save_snapshot();
+        let mut other = Fleet::new(FleetConfig::serving(2, 3, 2));
+        assert!(other.load_snapshot(&snap).is_err());
+        // The failed load must leave the target untouched.
+        assert_eq!(other.cycle(), 0);
+    }
+
+    #[test]
+    fn killed_server_fleet_keeps_serving() {
+        let mut fleet = Fleet::new(FleetConfig::serving(3, 4, 11));
+        fleet.run(150_000);
+        fleet.kill_server(1);
+        assert!(!fleet.server_online(1));
+        assert_eq!(fleet.online_servers(), 2);
+        let before = fleet.report().acked;
+        fleet.run(200_000);
+        let after = fleet.report().acked;
+        assert!(after > before, "fleet wedged after a kill: {before} → {after}");
+        assert!(fleet.check_at_most_once().is_empty());
+        assert_eq!(fleet.trace().len(), 1);
+        assert!(fleet.trace()[0].contains("server 1 crashed"));
+    }
+
+    #[test]
+    #[ignore = "diagnostic probe"]
+    fn storm_probe() {
+        let mut fleet = Fleet::new(FleetConfig::retry_storm(0x000f_1ee7, false));
+        let mut prev = 0u64;
+        let mut t = 0u64;
+        while t < storm::RECOVERY_UNTIL {
+            t += 200_000;
+            fleet.run_until(t);
+            let cur = fleet.acked_payload_bytes();
+            let outstanding: Vec<usize> =
+                (0..6).map(|i| fleet.clients[i].rpc.outstanding()).collect();
+            let backlog: Vec<usize> = (0..6).map(|i| fleet.clients[i].rpc.backlogged()).collect();
+            let queued: Vec<usize> = (0..2).map(|i| fleet.servers[i].queued()).collect();
+            let rbl: Vec<usize> = (0..2).map(|i| fleet.servers[i].reply_backlogged()).collect();
+            let txq: Vec<usize> = (0..8).map(|i| fleet.segment.tx_queued(i)).collect();
+            let bo: Vec<(u64, u32)> = (0..8)
+                .map(|i| {
+                    let (until, att) = fleet.segment.backoff_state(i);
+                    (until.saturating_sub(t), att)
+                })
+                .collect();
+            let seg = fleet.segment_stats();
+            println!(
+                "t={t:>9} goodput={:.3} out={outstanding:?} back={backlog:?} srvq={queued:?} rbl={rbl:?} txq={txq:?} coll={} txrej={} frames={} busy={}",
+                goodput_mbps(cur - prev, 200_000),
+                seg.collisions,
+                seg.tx_rejected,
+                seg.frames_sent,
+                seg.wire_busy_cycles,
+            );
+            println!("           backoff(remaining,attempts)={bo:?}");
+            let cs: Vec<_> = (0..6).map(|i| fleet.client_stats(i)).collect();
+            let ss: Vec<_> = (0..2).map(|i| fleet.server_stats(i)).collect();
+            println!(
+                "           Δclient acked={} retries={} timeouts={} ringfull={} | Δserver recv={} exec={} duphit={} repl_sent={} shed={}",
+                cs.iter().map(|s| s.acked).sum::<u64>(),
+                cs.iter().map(|s| s.retries).sum::<u64>(),
+                cs.iter().map(|s| s.timeouts).sum::<u64>(),
+                cs.iter().map(|s| s.tx_ring_full).sum::<u64>(),
+                ss.iter().map(|s| s.received).sum::<u64>(),
+                ss.iter().map(|s| s.executed).sum::<u64>(),
+                ss.iter().map(|s| s.dup_cache_hits).sum::<u64>(),
+                ss.iter().map(|s| s.replies_sent).sum::<u64>(),
+                ss.iter().map(|s| s.shed).sum::<u64>(),
+            );
+            prev = cur;
+        }
+        println!("end: {}", fleet.stats_json());
+    }
+
+    #[test]
+    #[ignore = "diagnostic probe"]
+    fn crash_probe() {
+        let mut fleet = Fleet::new(FleetConfig::crash_failover(0x000f_1ee7));
+        fleet.run_until(crash::KILL_AT);
+        println!("--- at kill: {}", fleet.stats_json());
+        fleet.kill_server(crash::VICTIM);
+        fleet.run_until(crash::END);
+        println!("--- at end: {}", fleet.stats_json());
+        for i in 0..3 {
+            println!("server {i}: {}", fleet.server_stats(i).to_json());
+        }
+        for i in 0..6 {
+            println!("client {i}: {}", fleet.client_stats(i).to_json());
+        }
+        println!("seg: {}", fleet.segment_stats().to_json());
+    }
+
+    #[test]
+    fn payload_sampler_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = sample_payload(&mut rng, 96, 768, 1_300);
+            assert!((96..=768).contains(&v));
+        }
+    }
+
+    #[test]
+    fn interarrival_sampler_is_positive_and_sane() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut sum = 0u64;
+        const N: u64 = 20_000;
+        for _ in 0..N {
+            sum += sample_interarrival(&mut rng, 20);
+        }
+        let mean = sum as f64 / N as f64;
+        // Expected mean 50_000 cycles at 20 calls/Mcycle.
+        assert!((40_000.0..60_000.0).contains(&mean), "mean {mean}");
+    }
+}

@@ -19,12 +19,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fleet;
 pub mod harness;
 pub mod machine;
 pub mod measure;
 pub mod sweep;
 pub mod table2;
 
+pub use fleet::{
+    goodput_mbps, run_crash_failover, run_retry_storm, CrashOutcome, Fleet, FleetConfig,
+    FleetReport, SlowdownWindow, StormOutcome,
+};
 pub use harness::{
     run_experiments, run_experiments_with, run_jobs, run_jobs_with, worker_count,
     CompletedExperiment, ExperimentResult, ExperimentSpec, HarnessRun,

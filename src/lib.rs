@@ -18,6 +18,7 @@
 //! | [`trace`] | `firefly-trace` | reference streams, synthetic workloads |
 //! | [`topaz`] | `firefly-topaz` | threads, scheduler, exerciser, RPC |
 //! | [`io`] | `firefly-io` | QBus, DMA, Ethernet, disk, display (MDC) |
+//! | [`net`] | `firefly-net` | shared Ethernet segment, faults, Topaz-style RPC transport |
 //! | [`model`] | `firefly-model` | the §5.2 queuing model (Table 1) |
 //! | [`sim`] | `firefly-sim` | machine builder & measurement harness |
 //! | [`mc`] | `firefly-mc` | exhaustive model checker, litmus tests, mutation smoke |
@@ -44,6 +45,7 @@ pub use firefly_cpu as cpu;
 pub use firefly_io as io;
 pub use firefly_mc as mc;
 pub use firefly_model as model;
+pub use firefly_net as net;
 pub use firefly_sim as sim;
 pub use firefly_topaz as topaz;
 pub use firefly_trace as trace;

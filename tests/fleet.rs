@@ -1,0 +1,150 @@
+//! Fleet-level robustness gates: the retry-storm and machine-crash
+//! experiments from `firefly::sim::fleet`, plus jobs-width invariance
+//! and whole-fleet checkpoint/restore bit-identity.
+//!
+//! These are the headline assertions of the lossy-Ethernet RPC work:
+//!
+//! * naive retries turn a healed slowdown into persistent congestive
+//!   collapse, while budgeted backoff recovers;
+//! * killing one Firefly degrades the fleet gracefully to N−1 without
+//!   ever violating at-most-once semantics;
+//! * every outcome is a pure function of the seed, at any
+//!   `FIREFLY_JOBS` width, and across a snapshot/restore boundary.
+
+use firefly::sim::fleet::{crash, run_crash_failover, run_retry_storm, storm, Fleet, FleetConfig};
+use firefly::sim::harness::run_jobs_with;
+use serde::Serialize;
+
+/// The seed the `fleet` bench bin and CI use.
+const SEED: u64 = 0x000f_1ee7;
+
+/// The headline experiment: the same seeded service-tier slowdown is
+/// survivable or fatal depending only on the client retry discipline.
+#[test]
+fn retry_storm_collapses_naive_and_recovers_budgeted() {
+    let naive = run_retry_storm(SEED, true);
+    let budgeted = run_retry_storm(SEED, false);
+
+    // Both disciplines serve the same baseline before the slowdown.
+    assert!(naive.baseline_mbps > 1.0, "naive baseline {:.3}", naive.baseline_mbps);
+    assert!(budgeted.baseline_mbps > 1.0, "budgeted baseline {:.3}", budgeted.baseline_mbps);
+
+    // Naive: timeout amplification outlives the trigger. Post-heal
+    // timely goodput stays under half of baseline (in practice ~0).
+    assert!(
+        naive.recovery_fraction < 0.5,
+        "naive should stay collapsed after the heal, recovered {:.0}%",
+        naive.recovery_fraction * 100.0
+    );
+    // Budgeted: backoff + budgets + admission control recover ≥90%.
+    assert!(
+        budgeted.recovery_fraction >= 0.9,
+        "budgeted should recover ≥90% of baseline, got {:.0}%",
+        budgeted.recovery_fraction * 100.0
+    );
+
+    // The mechanism, not just the outcome: the naive client's fixed
+    // timeout keeps firing (mostly into a full TX ring) orders of
+    // magnitude more often than the backed-off one, and nobody breaks
+    // at-most-once while doing so.
+    assert!(
+        naive.timeouts > 100 * budgeted.timeouts,
+        "naive {} timeouts vs budgeted {}",
+        naive.timeouts,
+        budgeted.timeouts
+    );
+    assert_eq!(naive.failed, 0, "the naive policy never gives up");
+    assert_eq!(naive.oracle_violations, 0);
+    assert_eq!(budgeted.oracle_violations, 0);
+}
+
+/// Storm outcomes are a pure function of `(seed, naive)`: the bench's
+/// job grid serializes bit-identically at one worker and at four,
+/// regardless of scheduling.
+#[test]
+fn storm_outcomes_are_bit_identical_across_worker_counts() {
+    let jobs: Vec<(u64, bool)> = vec![(SEED, true), (SEED, false), (13, false)];
+    let run = |workers: usize| -> Vec<String> {
+        run_jobs_with(workers, &jobs, |&(seed, naive)| run_retry_storm(seed, naive).to_json())
+    };
+    let serial = run(1);
+    let wide = run(4);
+    assert_eq!(serial, wide, "storm outcomes diverged between 1 and 4 workers");
+}
+
+/// Kill one of three servers mid-run: clients fail over, the fleet
+/// serves on at N−1 capacity, and no acknowledged call is lost or
+/// executed twice.
+#[test]
+fn machine_crash_degrades_gracefully() {
+    let outcome = run_crash_failover(SEED);
+    assert!(outcome.baseline_mbps > 1.0, "baseline {:.3}", outcome.baseline_mbps);
+    assert!(
+        outcome.degraded_fraction >= 0.8,
+        "steady-state N−1 goodput must hold ≥80% of baseline, got {:.0}%",
+        outcome.degraded_fraction * 100.0
+    );
+    let recovery = outcome.recovery_cycles.expect("a post-kill window must regain 80% of baseline");
+    assert!(
+        recovery <= crash::END - crash::KILL_AT,
+        "recovery {} cycles exceeds the post-kill span",
+        recovery
+    );
+    assert_eq!(outcome.oracle_violations, 0, "at-most-once must survive the crash");
+}
+
+/// The at-most-once oracle holds on the live fleet object too, with the
+/// kill issued mid-flight rather than by the canned scenario.
+#[test]
+fn at_most_once_survives_a_mid_flight_kill() {
+    let mut fleet = Fleet::new(FleetConfig::crash_failover(99));
+    fleet.run_until(700_000);
+    fleet.kill_server(crash::VICTIM);
+    assert_eq!(fleet.online_servers(), fleet.config().servers - 1);
+    fleet.run_until(2_000_000);
+    let violations = fleet.check_at_most_once();
+    assert!(violations.is_empty(), "oracle violations: {violations:?}");
+    assert!(fleet.report().acked > 0);
+}
+
+/// Whole-fleet checkpoint/restore: snapshot mid-storm (the nastiest
+/// state — deep backlogs, armed retry timers, in-flight frames), restore
+/// into a fresh fleet, and the two runs are indistinguishable — stats
+/// JSON, event trace, and the bytes of a *second* snapshot.
+#[test]
+fn fleet_snapshot_resumes_bit_identically() {
+    let cfg = FleetConfig::retry_storm(SEED, false);
+    let mut original = Fleet::new(cfg);
+    original.run_until(storm::SLOW_FROM + 300_000); // mid-storm
+    let snap = original.save_snapshot();
+
+    let mut resumed = Fleet::new(cfg);
+    resumed.load_snapshot(&snap).expect("snapshot must restore");
+    assert_eq!(resumed.cycle(), original.cycle());
+
+    // Drive both to the same later cycle and compare everything
+    // observable.
+    let target = storm::SLOW_UNTIL + 100_000;
+    original.run_until(target);
+    resumed.run_until(target);
+    assert_eq!(original.stats_json(), resumed.stats_json(), "stats diverged after restore");
+    assert_eq!(original.trace(), resumed.trace(), "event traces diverged after restore");
+    assert_eq!(
+        original.save_snapshot(),
+        resumed.save_snapshot(),
+        "re-snapshot bytes diverged after restore"
+    );
+}
+
+/// A snapshot only restores into a fleet with the identical config.
+#[test]
+fn fleet_snapshot_rejects_config_mismatch() {
+    let mut a = Fleet::new(FleetConfig::serving(2, 3, 5));
+    a.run(50_000);
+    let snap = a.save_snapshot();
+
+    let mut b = Fleet::new(FleetConfig::serving(2, 4, 5));
+    let before = b.stats_json();
+    assert!(b.load_snapshot(&snap).is_err(), "config mismatch must be rejected");
+    assert_eq!(b.stats_json(), before, "a failed restore must leave the fleet unchanged");
+}
