@@ -50,6 +50,19 @@ echo "== bench: fleet --smoke -> BENCH_7.json + schema/gate check"
 cargo run --release -p firefly-bench --bin fleet -- --smoke --out BENCH_7.json
 cargo run --release -p firefly-bench --bin bench_check -- BENCH_7.json
 
+echo "== bench: arbiter_sweep --smoke -> BENCH_8.json + schema/gate check"
+cargo run --release -p firefly-bench --bin arbiter_sweep -- --smoke --out BENCH_8.json
+cargo run --release -p firefly-bench --bin bench_check -- BENCH_8.json
+
+echo "== arbiter sweep determinism gate (bit-identical across widths)"
+a="$(FIREFLY_JOBS=1 cargo run --release -q -p firefly-bench --bin arbiter_sweep -- --smoke --json --out /tmp/bench8-j1.json)"
+b="$(FIREFLY_JOBS=4 cargo run --release -q -p firefly-bench --bin arbiter_sweep -- --smoke --json --out /tmp/bench8-j4.json)"
+rm -f /tmp/bench8-j1.json /tmp/bench8-j4.json
+if [ "$a" != "$b" ]; then
+    echo "arbiter_sweep --smoke --json differs between FIREFLY_JOBS=1 and 4" >&2
+    exit 1
+fi
+
 echo "== trace smoke: protocol_compare --smoke --trace + trace_check"
 trace_file="$(mktemp /tmp/firefly-trace.XXXXXX.json)"
 trap 'rm -f "$trace_file"' EXIT

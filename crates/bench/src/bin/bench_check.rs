@@ -2,7 +2,8 @@
 //! well-formed and that its headline gates hold.
 //!
 //! Usage: `bench_check <BENCH_N.json>`. The file names which bench it
-//! is (`"bench":"BENCH_6"` or `"bench":"BENCH_7"`); the matching schema
+//! is (`"bench":"BENCH_6"`, `"bench":"BENCH_7"` or `"bench":"BENCH_8"`);
+//! the matching schema
 //! and gate check runs. Exits 0 when the file parses as JSON (via the
 //! simulator's own dependency-free validator,
 //! [`firefly_core::events::validate_json`]), carries every schema key
@@ -48,6 +49,33 @@ const BENCH_7_KEYS: &[&str] = &[
     "\"crash\":{",
     "\"degraded_fraction\":",
     "\"crash_recovery_cycles\":",
+    "\"pass\":",
+];
+
+/// Keys every BENCH_8 (arbiter sweep) document must carry.
+const BENCH_8_KEYS: &[&str] = &[
+    "\"seed\":",
+    "\"smoke\":",
+    "\"grid\":[",
+    "\"arbiter\":",
+    "\"protocol\":",
+    "\"mode\":",
+    "\"utilization\":",
+    "\"mean_bus_wait\":",
+    "\"model_wait\":",
+    "\"model_divergence\":",
+    "\"split\":{",
+    "\"unified_utilization\":",
+    "\"split_utilization\":",
+    "\"ratio\":",
+    "\"split_target\":",
+    "\"busy_bus\":{",
+    "\"bus_load\":",
+    "\"ticked_wall_ns\":",
+    "\"event_wall_ns\":",
+    "\"speedup\":",
+    "\"rounds\":",
+    "\"busy_bus_target\":",
     "\"pass\":",
 ];
 
@@ -139,6 +167,51 @@ fn check_bench_7(path: &str, text: &str) -> Result<String, String> {
     ))
 }
 
+fn check_bench_8(path: &str, text: &str) -> Result<String, String> {
+    require_keys(path, text, BENCH_8_KEYS)?;
+    // Every arbitration discipline must appear in the grid, on both bus
+    // modes (unified everywhere, split on the paper's own protocol).
+    for arbiter in ["fixed", "fcfs", "round_robin", "aging", "io_favoring"] {
+        let tag = format!("\"arbiter\":\"{arbiter}\"");
+        if !text.contains(&tag) {
+            return Err(format!("{path}: grid is missing the {arbiter} discipline"));
+        }
+    }
+    for mode in ["unified", "split"] {
+        let tag = format!("\"mode\":\"{mode}\"");
+        if !text.contains(&tag) {
+            return Err(format!("{path}: grid has no {mode}-bus cells"));
+        }
+    }
+    let cells = text.matches("\"arbiter\":\"").count();
+    if cells == 0 {
+        return Err(format!("{path}: grid has no cells"));
+    }
+    // Split-capacity gate: the pipelined bus must carry >= split_target
+    // times the unified utilization on the saturating workload.
+    let split_at = text.find("\"split\":{").expect("checked above");
+    let ratio = number_after_at(text, split_at, "\"ratio\":")?;
+    let split_target = number_after(text, "\"split_target\":")?;
+    if !ratio.is_finite() || ratio < split_target {
+        return Err(format!("{path}: split ratio {ratio:.2} < target {split_target:.1}"));
+    }
+    // Busy-bus engine gate: the PR-6 regression point must show the
+    // event engine no slower than the ticked engine.
+    let busy_at = text.find("\"busy_bus\":{").expect("checked above");
+    let speedup = number_after_at(text, busy_at, "\"speedup\":")?;
+    let busy_target = number_after(text, "\"busy_bus_target\":")?;
+    if !speedup.is_finite() || speedup < busy_target {
+        return Err(format!(
+            "{path}: busy-bus speedup {speedup:.2} < target {busy_target:.1} \
+             (the PR-6 regression gate)"
+        ));
+    }
+    Ok(format!(
+        "{cells} grid cell(s), split {ratio:.2}x (target {split_target:.1}x), \
+         busy-bus {speedup:.2}x (target {busy_target:.1}x)"
+    ))
+}
+
 fn check(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     firefly_core::events::validate_json(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
@@ -146,8 +219,10 @@ fn check(path: &str) -> Result<String, String> {
         ("BENCH_6", check_bench_6(path, &text)?)
     } else if text.contains("\"bench\":\"BENCH_7\"") {
         ("BENCH_7", check_bench_7(path, &text)?)
+    } else if text.contains("\"bench\":\"BENCH_8\"") {
+        ("BENCH_8", check_bench_8(path, &text)?)
     } else {
-        return Err(format!("{path}: no recognized \"bench\" tag (BENCH_6 or BENCH_7)"));
+        return Err(format!("{path}: no recognized \"bench\" tag (BENCH_6, BENCH_7 or BENCH_8)"));
     };
     if !text.contains("\"pass\":true") {
         return Err(format!("{path}: report does not record pass:true"));

@@ -13,15 +13,18 @@
 //!
 //! "There are only two operations, MRead and MWrite. Each requires four
 //! 100 ns bus cycles." — one 4-byte transfer per 400 ns is the 10 MB/s
-//! aggregate bandwidth quoted in §5. Arbitration uses a fixed priority
-//! ("the caches have fixed priority for access to the MBus"), lowest
-//! [`PortId`] first.
+//! aggregate bandwidth quoted in §5. The paper's hardware arbitrates
+//! with fixed priority ("the caches have fixed priority for access to
+//! the MBus"), lowest [`PortId`] first; here the discipline is
+//! pluggable ([`crate::arbiter`]) and the bus can optionally pipeline
+//! two transactions at a two-cycle offset ([`BusMode::Split`]).
 //!
 //! This module owns the *mechanics*: requests, grants, phases, the event
 //! log that the Figure 4 reproduction prints. Protocol glue (snooping and
 //! state changes) lives in [`crate::system`].
 
 use crate::addr::{LineId, PortId};
+use crate::arbiter::{ArbiterKind, ArbiterPolicy, BusMode};
 use crate::cache::LineData;
 use crate::error::Error;
 use crate::protocol::BusOp;
@@ -260,8 +263,15 @@ pub fn waveform(records: &[TransactionRecord]) -> String {
     )
 }
 
-/// The MBus: request lines, fixed-priority grant, one transaction at a
-/// time, statistics, and an optional event log.
+/// In split-transaction mode a younger transaction's address phase may
+/// start once every older transaction has cleared its address and
+/// write-data cycles — an offset of two bus cycles, sustaining one
+/// transaction per two cycles at saturation.
+pub const SPLIT_OFFSET_CYCLES: u64 = 2;
+
+/// The MBus: request lines, a pluggable arbitration policy, one (or, in
+/// split mode, two pipelined) transaction(s) at a time, statistics, and
+/// an optional event log.
 ///
 /// # Examples
 ///
@@ -271,70 +281,128 @@ pub fn waveform(records: &[TransactionRecord]) -> String {
 /// use firefly_core::{LineId, PortId};
 ///
 /// let mut bus = Bus::new(4, false);
-/// bus.request(PortId::new(2));
-/// bus.request(PortId::new(1));
-/// // Fixed priority: the lower port wins arbitration.
-/// assert_eq!(bus.arbitrate(), Some(PortId::new(1)));
+/// bus.request(PortId::new(2), 0);
+/// bus.request(PortId::new(1), 0);
+/// // Default fixed priority: the lower port wins arbitration.
+/// assert_eq!(bus.arbitrate(0), Some(PortId::new(1)));
 /// ```
 #[derive(Debug)]
 pub struct Bus {
-    requests: Vec<bool>,
-    current: Option<Transaction>,
+    /// Per-port request lines; `Some(cycle)` holds the raise cycle.
+    requests: Vec<Option<u64>>,
+    /// In-flight transactions, oldest first. At most one in
+    /// [`BusMode::Unified`], at most two in [`BusMode::Split`].
+    slots: Vec<Transaction>,
+    mode: BusMode,
+    arbiter: Box<dyn ArbiterPolicy>,
     stats: BusStats,
     log: Option<Vec<TransactionRecord>>,
 }
 
 impl Bus {
     /// Creates a bus with `ports` request lines; `trace` enables the
-    /// event log.
+    /// event log. Uses the paper's fixed-priority arbiter and the
+    /// unified (serialized) bus.
     pub fn new(ports: usize, trace: bool) -> Self {
+        Bus::with_config(ports, trace, ArbiterKind::FixedPriority, BusMode::Unified)
+    }
+
+    /// Creates a bus with an explicit arbitration policy and transaction
+    /// mode.
+    pub fn with_config(ports: usize, trace: bool, arbiter: ArbiterKind, mode: BusMode) -> Self {
         Bus {
-            requests: vec![false; ports],
-            current: None,
+            requests: vec![None; ports],
+            slots: Vec::with_capacity(mode.max_in_flight()),
+            mode,
+            arbiter: arbiter.build(),
             stats: BusStats::default(),
             log: if trace { Some(Vec::new()) } else { None },
         }
     }
 
-    /// Raises `port`'s bus request line. Idempotent.
-    pub fn request(&mut self, port: PortId) {
-        self.requests[port.index()] = true;
+    /// Raises `port`'s bus request line at cycle `now`. Idempotent: a
+    /// line that is already raised keeps its original raise cycle, so
+    /// re-requesting cannot jump the FCFS/aging queue.
+    pub fn request(&mut self, port: PortId, now: u64) {
+        let slot = &mut self.requests[port.index()];
+        if slot.is_none() {
+            *slot = Some(now);
+        }
     }
 
     /// Drops `port`'s request line.
     pub fn cancel_request(&mut self, port: PortId) {
-        self.requests[port.index()] = false;
+        self.requests[port.index()] = None;
     }
 
     /// Whether any port is requesting.
+    #[inline]
     pub fn has_requests(&self) -> bool {
-        self.requests.iter().any(|&r| r)
+        self.requests.iter().any(Option::is_some)
     }
 
-    /// Whether a transaction is in flight.
+    /// Whether any transaction is in flight.
+    #[inline]
     pub fn is_busy(&self) -> bool {
-        self.current.is_some()
+        !self.slots.is_empty()
     }
 
-    /// The in-flight transaction, if any.
+    /// The oldest in-flight transaction, if any.
     pub fn current(&self) -> Option<&Transaction> {
-        self.current.as_ref()
+        self.slots.first()
     }
 
-    /// Picks the highest-priority requester (lowest port number) without
+    /// All in-flight transactions, oldest first.
+    pub fn slots(&self) -> &[Transaction] {
+        &self.slots
+    }
+
+    /// How many transactions are on the wires.
+    pub fn in_flight(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The configured transaction mode.
+    pub fn mode(&self) -> BusMode {
+        self.mode
+    }
+
+    /// The configured arbitration policy.
+    pub fn arbiter_kind(&self) -> ArbiterKind {
+        self.arbiter.kind()
+    }
+
+    /// The policy's worst-case grant delay bound, if it gives one (see
+    /// [`ArbiterKind::grant_bound`]).
+    pub fn grant_bound(&self) -> Option<u64> {
+        self.arbiter.kind().grant_bound(self.requests.len())
+    }
+
+    /// Whether a new transaction may be granted this cycle: a slot is
+    /// free and (split mode) every in-flight transaction has cleared its
+    /// address and write-data phases.
+    pub fn can_grant(&self) -> bool {
+        self.slots.len() < self.mode.max_in_flight()
+            && self.slots.iter().all(|t| u64::from(t.cycles_done) >= SPLIT_OFFSET_CYCLES)
+    }
+
+    /// Picks the winning requester under the configured policy without
     /// starting a transaction. Returns `None` when nobody is requesting.
-    pub fn arbitrate(&self) -> Option<PortId> {
-        self.requests.iter().position(|&r| r).map(PortId::new)
+    pub fn arbitrate(&self, now: u64) -> Option<PortId> {
+        self.arbiter.pick(&self.requests, now)
     }
 
     /// Starts a transaction for `initiator`, clearing its request line.
     ///
     /// # Panics
     ///
-    /// Panics if a transaction is already in flight.
+    /// Panics if the bus cannot accept a grant this cycle (unified: a
+    /// transaction is already in flight; split: both slots occupied or
+    /// the younger transaction has not cleared its address/data phases).
     pub fn begin(&mut self, initiator: PortId, op: BusOp, line: LineId, payload: Payload) {
-        assert!(self.current.is_none(), "bus already busy");
-        self.requests[initiator.index()] = false;
+        assert!(self.can_grant(), "bus already busy");
+        self.requests[initiator.index()] = None;
+        self.arbiter.note_grant(initiator);
         match op {
             BusOp::Read => self.stats.reads += 1,
             BusOp::ReadOwned => self.stats.read_owned += 1,
@@ -343,25 +411,54 @@ impl Bus {
             BusOp::Update => self.stats.updates += 1,
             BusOp::Invalidate => self.stats.invalidates += 1,
         }
-        self.current =
-            Some(Transaction { initiator, op, line, payload, cycles_done: 0, mshared: false });
+        self.slots.push(Transaction {
+            initiator,
+            op,
+            line,
+            payload,
+            cycles_done: 0,
+            mshared: false,
+        });
     }
 
-    /// Advances the in-flight transaction by one cycle; returns the
-    /// transaction when its fourth cycle completes.
+    /// Advances every in-flight transaction by one cycle; returns the
+    /// oldest transaction when its fourth cycle completes. The grant
+    /// offset guarantees at most one completion per cycle.
     ///
-    /// The caller (the system) performs the snoop in cycle 2 and feeds the
-    /// `MShared` result via [`set_mshared`](Bus::set_mshared) before the
-    /// transaction completes.
+    /// The caller (the system) performs each transaction's snoop in its
+    /// cycle 2 and feeds the `MShared` result via
+    /// [`set_mshared_slot`](Bus::set_mshared_slot) before it completes.
     pub fn tick(&mut self) -> Option<Transaction> {
-        if let Some(txn) = &mut self.current {
-            self.stats.busy_cycles += 1;
+        if self.slots.is_empty() {
+            return None;
+        }
+        self.stats.busy_cycles += 1;
+        for txn in &mut self.slots {
             txn.cycles_done += 1;
-            if u64::from(txn.cycles_done) == crate::BUS_CYCLES_PER_OP {
-                return self.current.take();
-            }
+        }
+        if u64::from(self.slots[0].cycles_done) == crate::BUS_CYCLES_PER_OP {
+            debug_assert!(
+                self.slots
+                    .iter()
+                    .skip(1)
+                    .all(|t| u64::from(t.cycles_done) < crate::BUS_CYCLES_PER_OP),
+                "grant offset must serialize completions"
+            );
+            return Some(self.slots.remove(0));
         }
         None
+    }
+
+    /// Guaranteed-busy cycles left: how many more [`tick`](Bus::tick)
+    /// calls the bus will spend with a transaction on the wires, given
+    /// no new grants. Zero when idle.
+    #[inline]
+    pub fn busy_remaining(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|t| crate::BUS_CYCLES_PER_OP - u64::from(t.cycles_done))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Accounts one elapsed bus cycle (busy or idle).
@@ -378,15 +475,23 @@ impl Bus {
     /// Panics if the total-cycle counter would overflow. Debug builds
     /// additionally assert the bus really is idle (no transaction in
     /// flight, no request lines raised).
+    #[inline]
     pub fn add_idle_cycles(&mut self, n: u64) {
         debug_assert!(!self.is_busy() && !self.has_requests(), "add_idle_cycles on a non-idle bus");
         self.stats.total_cycles =
             self.stats.total_cycles.checked_add(n).expect("bus cycle counter overflow");
     }
 
-    /// Sets the wired-OR `MShared` response for the in-flight transaction.
+    /// Sets the wired-OR `MShared` response for the oldest in-flight
+    /// transaction.
     pub fn set_mshared(&mut self, mshared: bool) {
-        if let Some(txn) = &mut self.current {
+        self.set_mshared_slot(0, mshared);
+    }
+
+    /// Sets the wired-OR `MShared` response for the in-flight
+    /// transaction in `slot` (0 = oldest).
+    pub fn set_mshared_slot(&mut self, slot: usize, mshared: bool) {
+        if let Some(txn) = self.slots.get_mut(slot) {
             txn.mshared = mshared;
             if mshared {
                 self.stats.mshared_asserted += 1;
@@ -433,15 +538,19 @@ impl Bus {
     pub(crate) fn save(&self, w: &mut SnapWriter) {
         w.usize(self.requests.len());
         for &req in &self.requests {
-            w.bool(req);
-        }
-        match &self.current {
-            None => w.bool(false),
-            Some(txn) => {
-                w.bool(true);
-                txn.save(w);
+            match req {
+                None => w.bool(false),
+                Some(raised) => {
+                    w.bool(true);
+                    w.u64(raised);
+                }
             }
         }
+        w.usize(self.slots.len());
+        for txn in &self.slots {
+            txn.save(w);
+        }
+        self.arbiter.save_state(w);
         self.stats.save(w);
         match &self.log {
             None => w.bool(false),
@@ -469,9 +578,21 @@ impl Bus {
             )));
         }
         for req in &mut self.requests {
-            *req = r.bool()?;
+            *req = if r.bool()? { Some(r.u64()?) } else { None };
         }
-        self.current = if r.bool()? { Some(Transaction::load(r)?) } else { None };
+        let in_flight = r.usize()?;
+        if in_flight > self.mode.max_in_flight() {
+            return Err(Error::SnapshotCorrupt(format!(
+                "snapshot has {in_flight} in-flight transactions, {} mode allows {}",
+                self.mode.name(),
+                self.mode.max_in_flight()
+            )));
+        }
+        self.slots.clear();
+        for _ in 0..in_flight {
+            self.slots.push(Transaction::load(r)?);
+        }
+        self.arbiter.load_state(r)?;
         self.stats = BusStats::load_snap(r)?;
         let traced = r.bool()?;
         if traced != self.log.is_some() {
@@ -515,11 +636,55 @@ mod tests {
     #[test]
     fn fixed_priority_arbitration() {
         let mut bus = Bus::new(8, false);
-        assert_eq!(bus.arbitrate(), None);
-        bus.request(PortId::new(5));
-        bus.request(PortId::new(3));
-        bus.request(PortId::new(7));
-        assert_eq!(bus.arbitrate(), Some(PortId::new(3)));
+        assert_eq!(bus.arbitrate(0), None);
+        bus.request(PortId::new(5), 0);
+        bus.request(PortId::new(3), 2);
+        bus.request(PortId::new(7), 1);
+        assert_eq!(bus.arbitrate(3), Some(PortId::new(3)));
+    }
+
+    #[test]
+    fn fcfs_bus_grants_oldest_request() {
+        let mut bus = Bus::with_config(8, false, ArbiterKind::Fcfs, BusMode::Unified);
+        bus.request(PortId::new(5), 0);
+        bus.request(PortId::new(3), 2);
+        assert_eq!(bus.arbitrate(3), Some(PortId::new(5)));
+        // Re-raising an already-raised line must not refresh its age.
+        bus.request(PortId::new(5), 9);
+        assert_eq!(bus.arbitrate(9), Some(PortId::new(5)));
+    }
+
+    #[test]
+    fn split_mode_pipelines_at_two_cycle_offset() {
+        let mut bus = Bus::with_config(4, false, ArbiterKind::FixedPriority, BusMode::Split);
+        bus.begin(PortId::new(0), BusOp::Read, LineId::from_raw(1), Payload::None);
+        assert!(!bus.can_grant(), "younger slot must wait out the address/data phases");
+        assert!(bus.tick().is_none());
+        assert!(!bus.can_grant());
+        assert!(bus.tick().is_none());
+        assert!(bus.can_grant(), "offset reached: a second transaction may start");
+        bus.begin(PortId::new(1), BusOp::Read, LineId::from_raw(2), Payload::None);
+        assert_eq!(bus.in_flight(), 2);
+        assert!(!bus.can_grant(), "both slots occupied");
+        assert!(bus.tick().is_none());
+        let first = bus.tick().expect("oldest completes after its 4 cycles");
+        assert_eq!(first.initiator, PortId::new(0));
+        assert_eq!(bus.busy_remaining(), 2);
+        assert!(bus.tick().is_none());
+        let second = bus.tick().expect("pipelined follower completes 2 cycles later");
+        assert_eq!(second.initiator, PortId::new(1));
+        assert_eq!(bus.stats().busy_cycles, 6, "6 busy cycles for 2 overlapped 4-cycle ops");
+        assert!(!bus.is_busy());
+        assert_eq!(bus.busy_remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already busy")]
+    fn split_mode_rejects_grant_before_offset() {
+        let mut bus = Bus::with_config(4, false, ArbiterKind::FixedPriority, BusMode::Split);
+        bus.begin(PortId::new(0), BusOp::Read, LineId::from_raw(1), Payload::None);
+        bus.tick();
+        bus.begin(PortId::new(1), BusOp::Read, LineId::from_raw(2), Payload::None);
     }
 
     #[test]
@@ -545,7 +710,7 @@ mod tests {
     #[test]
     fn begin_clears_request_line() {
         let mut bus = Bus::new(2, false);
-        bus.request(PortId::new(1));
+        bus.request(PortId::new(1), 0);
         bus.begin(
             PortId::new(1),
             BusOp::Write,

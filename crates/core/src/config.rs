@@ -11,6 +11,7 @@
 //! | Main memory | 4–16 MB (4 MB modules) | up to 128 MB (32 MB modules) |
 //! | MBus | 10 MB/s, 400 ns per 4-byte transfer | unchanged |
 
+use crate::arbiter::{ArbiterKind, BusMode};
 use crate::error::Error;
 use crate::fault::FaultConfig;
 use serde::{Deserialize, Serialize};
@@ -203,6 +204,8 @@ pub struct SystemConfig {
     trace_bus: bool,
     event_trace: usize,
     faults: FaultConfig,
+    arbiter: ArbiterKind,
+    bus_mode: BusMode,
 }
 
 impl SystemConfig {
@@ -221,6 +224,8 @@ impl SystemConfig {
             trace_bus: false,
             event_trace: 0,
             faults: FaultConfig::default(),
+            arbiter: ArbiterKind::FixedPriority,
+            bus_mode: BusMode::Unified,
         }
     }
 
@@ -239,6 +244,8 @@ impl SystemConfig {
             trace_bus: false,
             event_trace: 0,
             faults: FaultConfig::default(),
+            arbiter: ArbiterKind::FixedPriority,
+            bus_mode: BusMode::Unified,
         }
     }
 
@@ -311,6 +318,23 @@ impl SystemConfig {
         self
     }
 
+    /// Selects the MBus arbitration policy (see [`crate::arbiter`]).
+    ///
+    /// The default, [`ArbiterKind::FixedPriority`], is the paper's
+    /// hardware and is bit-identical to configurations that never call
+    /// this.
+    pub fn with_arbiter(mut self, arbiter: ArbiterKind) -> Self {
+        self.arbiter = arbiter;
+        self
+    }
+
+    /// Selects unified (default, the paper's timing) or split-transaction
+    /// MBus operation (see [`BusMode`]).
+    pub fn with_bus_mode(mut self, mode: BusMode) -> Self {
+        self.bus_mode = mode;
+        self
+    }
+
     /// The hardware generation.
     pub const fn variant(&self) -> MachineVariant {
         self.variant
@@ -346,6 +370,16 @@ impl SystemConfig {
         self.faults
     }
 
+    /// The MBus arbitration policy.
+    pub const fn arbiter(&self) -> ArbiterKind {
+        self.arbiter
+    }
+
+    /// The MBus transaction mode.
+    pub const fn bus_mode(&self) -> BusMode {
+        self.bus_mode
+    }
+
     /// Number of memory modules implied by the memory size.
     pub fn memory_modules(&self) -> usize {
         self.memory_bytes.div_ceil(self.variant.module_bytes()) as usize
@@ -363,6 +397,8 @@ impl SystemConfig {
         w.bool(self.trace_bus);
         w.usize(self.event_trace);
         self.faults.save_config(w);
+        w.u8(self.arbiter.snap_tag());
+        w.u8(self.bus_mode.snap_tag());
     }
 
     pub(crate) fn load(r: &mut crate::snapshot::SnapReader<'_>) -> Result<Self, Error> {
@@ -391,6 +427,8 @@ impl SystemConfig {
             trace_bus: r.bool()?,
             event_trace: r.usize()?,
             faults: crate::fault::FaultConfig::load_config(r)?,
+            arbiter: ArbiterKind::from_snap_tag(r.u8()?)?,
+            bus_mode: BusMode::from_snap_tag(r.u8()?)?,
         })
     }
 }

@@ -82,6 +82,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod addr;
+pub mod arbiter;
 pub mod bus;
 pub mod cache;
 pub mod check;
@@ -98,6 +99,7 @@ pub mod stats;
 pub mod system;
 
 pub use addr::{Addr, LineId, PortId};
+pub use arbiter::{ArbiterKind, BusMode};
 pub use config::{CacheGeometry, MachineVariant, SystemConfig};
 pub use error::Error;
 pub use protocol::{LineState, Protocol, ProtocolKind};

@@ -36,7 +36,12 @@ use crate::error::Error;
 use std::fmt;
 
 /// The codec version this build writes and the only one it reads.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// Version 2 added the arbitration policy and bus mode to the config
+/// section, raise-cycle request lines and pipelined transaction slots to
+/// the bus section, and the per-transaction context queue to the system
+/// section.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// The four magic bytes at the start of every snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"FFSN";

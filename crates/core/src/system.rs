@@ -155,6 +155,22 @@ struct PortCtl {
     pending: Option<Pending>,
 }
 
+/// Controller-side context for one in-flight bus transaction. Kept in a
+/// queue aligned oldest-first with [`Bus::slots`]: in unified mode it
+/// holds at most one entry; in split mode, one per pipelined slot.
+#[derive(Debug)]
+struct TxnCtx {
+    /// The arbitration (address) cycle — stamps the event trace and the
+    /// Figure 4 log.
+    start: u64,
+    /// Snoop responses collected at the transaction's probe cycle:
+    /// `(port index, response)`.
+    snoop: Vec<(usize, SnoopResponse)>,
+    /// An `MShared` drop doomed the transaction; it aborts at the end of
+    /// its fourth cycle.
+    fault: bool,
+}
+
 /// The bus- and cache-side fault sites. Memory-side ECC lives inside
 /// [`Memory`]; device faults live in the I/O crate. Present only when
 /// the configured [`FaultConfig`] enables at least one class.
@@ -191,10 +207,10 @@ pub struct MemSystem {
     bus: Bus,
     memory: Memory,
     cycle: u64,
-    txn_start: u64,
-    /// Snoop responses collected during the probe cycle of the current
-    /// transaction: `(port index, response)`.
-    snoop: Vec<(usize, SnoopResponse)>,
+    /// Per-transaction controller context, aligned oldest-first with the
+    /// bus's in-flight slots: start cycle, snoop responses collected at
+    /// the probe cycle, and whether a fault doomed the transaction.
+    txns: std::collections::VecDeque<TxnCtx>,
     /// Pending interprocessor-interrupt lines, one per port ("The MBus
     /// also provides facilities for system initialization and
     /// interprocessor interrupts", §5).
@@ -211,9 +227,6 @@ pub struct MemSystem {
     fstats: FaultStats,
     /// Structured errors surfaced by uncorrectable faults.
     fault_errors: Vec<Error>,
-    /// The in-flight transaction was hit by an `MShared` drop and must
-    /// abort at the end of cycle 4.
-    txn_fault: bool,
     /// Aborted transactions waiting out their backoff:
     /// `(re-request cycle, initiator)`.
     deferred: Vec<(u64, PortId)>,
@@ -280,7 +293,7 @@ impl MemSystem {
         let mut memory = Memory::with_modules(cfg.memory_bytes(), cfg.variant().module_bytes());
         memory.install_ecc(EccInjector::from_config(&fault_cfg));
         Ok(MemSystem {
-            bus: Bus::new(cfg.ports(), cfg.trace_bus()),
+            bus: Bus::with_config(cfg.ports(), cfg.trace_bus(), cfg.arbiter(), cfg.bus_mode()),
             memory,
             protocol: tables,
             protocol_kind: kind,
@@ -296,7 +309,6 @@ impl MemSystem {
             has_offline: false,
             fstats: FaultStats::default(),
             fault_errors: Vec::new(),
-            txn_fault: false,
             deferred: Vec::new(),
             purge_queue: Vec::new(),
             events: match cfg.event_trace() {
@@ -306,14 +318,14 @@ impl MemSystem {
             lat: LatencyStats::default(),
             cfg,
             cycle: 0,
-            txn_start: 0,
-            snoop: Vec::new(),
+            txns: std::collections::VecDeque::new(),
             watchdog: None,
             wd_trips: 0,
         })
     }
 
     /// The configuration this system was built with.
+    #[inline]
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
     }
@@ -324,6 +336,7 @@ impl MemSystem {
     }
 
     /// Elapsed bus cycles (100 ns each).
+    #[inline]
     pub fn cycle(&self) -> u64 {
         self.cycle
     }
@@ -478,27 +491,50 @@ impl MemSystem {
             while i < self.deferred.len() {
                 if self.deferred[i].0 <= cycle {
                     let (_, port) = self.deferred.swap_remove(i);
-                    self.bus.request(port);
+                    self.bus.request(port, cycle);
                 } else {
                     i += 1;
                 }
             }
         }
 
-        // Arbitration: the bus grants the highest-priority requester and
-        // the winning transaction's first (address) cycle is this cycle.
-        // An injected arbiter glitch withholds every grant for one cycle.
-        if !self.bus.is_busy() && !self.arbitration_stalled() {
-            while let Some(port) = self.bus.arbitrate() {
+        // Arbitration: the bus grants the policy's winner and the winning
+        // transaction's first (address) cycle is this cycle. An injected
+        // arbiter glitch withholds every grant for one cycle.
+        if self.bus.can_grant() && !self.arbitration_stalled() {
+            while let Some(port) = self.bus.arbitrate(self.cycle) {
                 match self.build_grant(port.index()) {
                     Some((op, line, payload)) => {
+                        // Split-mode hazard gate: a younger transaction
+                        // must not address a cache index any in-flight
+                        // transaction touches — the older transaction's
+                        // completion (fills, victims, snooper changes)
+                        // stays confined to its own index, keeping the
+                        // younger probe's result valid until commit. The
+                        // older transaction drains within four cycles, so
+                        // head-of-line blocking here cannot deadlock.
+                        // (Unified mode grants only on an empty bus, so
+                        // this loop body never runs there.)
+                        let geo = self.cfg.cache();
+                        if self
+                            .bus
+                            .slots()
+                            .iter()
+                            .any(|t| geo.index_of(t.line) == geo.index_of(line))
+                        {
+                            break;
+                        }
                         let waited = self.ports[port.index()]
                             .pending
                             .as_ref()
                             .map_or(0, |p| self.cycle.saturating_sub(p.requested));
                         self.lat.bus_wait.record(waited);
                         self.bus.begin(port, op, line, payload);
-                        self.txn_start = self.cycle;
+                        self.txns.push_back(TxnCtx {
+                            start: self.cycle,
+                            snoop: Vec::new(),
+                            fault: false,
+                        });
                         emit_into(
                             &mut self.events,
                             self.cycle,
@@ -517,47 +553,59 @@ impl MemSystem {
         }
 
         if self.bus.is_busy() {
-            // Which cycle of the transaction is executing now?
-            let phase = self.bus.current().expect("bus busy").cycles_done + 1;
-            if phase == 2 {
-                self.snoop_probe();
-            } else if phase == 3 {
-                let mut mshared = self.snoop.iter().any(|(_, r)| r.assert_shared);
-                if let Some(f) = &mut self.faults {
-                    if mshared && f.mshared.fires(f.cfg.mshared_drop_ppm) {
-                        // The wired-OR lost an assertion. The asserting
-                        // cache detects the mismatch and the transaction
-                        // aborts in cycle 4: a stale-*false* Shared bit
-                        // must never reach a protocol decision (checker
-                        // invariant 5 only tolerates stale-*true*).
-                        self.fstats.mshared_drops += 1;
-                        self.txn_fault = true;
+            // Per-slot phase processing, oldest transaction first. In
+            // unified mode exactly one slot is occupied and this matches
+            // the historical single-transaction sequence cycle for cycle.
+            let in_flight = self.bus.in_flight();
+            debug_assert_eq!(in_flight, self.txns.len(), "slot/context queues out of step");
+            for slot in 0..in_flight {
+                // Which cycle of this transaction is executing now?
+                let phase = self.bus.slots()[slot].cycles_done + 1;
+                if phase == 2 {
+                    self.snoop_probe(slot);
+                } else if phase == 3 {
+                    let mut mshared = self.txns[slot].snoop.iter().any(|(_, r)| r.assert_shared);
+                    if let Some(f) = &mut self.faults {
+                        if mshared && f.mshared.fires(f.cfg.mshared_drop_ppm) {
+                            // The wired-OR lost an assertion. The asserting
+                            // cache detects the mismatch and the transaction
+                            // aborts in cycle 4: a stale-*false* Shared bit
+                            // must never reach a protocol decision (checker
+                            // invariant 5 only tolerates stale-*true*).
+                            self.fstats.mshared_drops += 1;
+                            self.txns[slot].fault = true;
+                            emit_into(
+                                &mut self.events,
+                                self.cycle,
+                                EventKind::FaultInjected { class: FaultClass::MSharedDrop },
+                            );
+                        } else if !mshared && f.mshared.fires(f.cfg.mshared_spurious_ppm) {
+                            // A spurious assertion is honored conservatively:
+                            // treating an unshared line as shared is always
+                            // safe, merely slower.
+                            self.fstats.mshared_spurious += 1;
+                            mshared = true;
+                            emit_into(
+                                &mut self.events,
+                                self.cycle,
+                                EventKind::FaultInjected { class: FaultClass::MSharedSpurious },
+                            );
+                        }
+                    }
+                    self.bus.set_mshared_slot(slot, mshared);
+                    if mshared {
+                        let line = self.bus.slots()[slot].line;
                         emit_into(
                             &mut self.events,
                             self.cycle,
-                            EventKind::FaultInjected { class: FaultClass::MSharedDrop },
-                        );
-                    } else if !mshared && f.mshared.fires(f.cfg.mshared_spurious_ppm) {
-                        // A spurious assertion is honored conservatively:
-                        // treating an unshared line as shared is always
-                        // safe, merely slower.
-                        self.fstats.mshared_spurious += 1;
-                        mshared = true;
-                        emit_into(
-                            &mut self.events,
-                            self.cycle,
-                            EventKind::FaultInjected { class: FaultClass::MSharedSpurious },
+                            EventKind::MSharedAsserted { line },
                         );
                     }
                 }
-                self.bus.set_mshared(mshared);
-                if mshared {
-                    let line = self.bus.current().expect("bus busy").line;
-                    emit_into(&mut self.events, self.cycle, EventKind::MSharedAsserted { line });
-                }
             }
             if let Some(txn) = self.bus.tick() {
-                let mut aborted = std::mem::take(&mut self.txn_fault);
+                let ctx = self.txns.pop_front().expect("completed transaction has a context");
+                let mut aborted = ctx.fault;
                 if let Some(f) = &mut self.faults {
                     let has_data = txn.op.carries_data() || txn.op.returns_data();
                     if has_data && f.parity.fires(f.cfg.bus_parity_ppm) {
@@ -575,9 +623,9 @@ impl MemSystem {
                     }
                 }
                 if aborted {
-                    self.retry_transaction(txn);
+                    self.retry_transaction(txn, ctx.start);
                 } else {
-                    self.complete_transaction(txn);
+                    self.complete_transaction(txn, ctx);
                 }
             }
         }
@@ -608,6 +656,7 @@ impl MemSystem {
     /// completion ([`Status::Finishing`]); those have a known completion
     /// cycle ([`completion_cycle`](MemSystem::completion_cycle)) and cap
     /// how far the driver may jump.
+    #[inline]
     pub fn is_idle(&self) -> bool {
         !self.bus.is_busy()
             && !self.bus.has_requests()
@@ -619,10 +668,24 @@ impl MemSystem {
                 .all(|c| !matches!(c.pending, Some(Pending { status: Status::WaitBus(_), .. })))
     }
 
+    /// How many further [`step`](MemSystem::step) calls are guaranteed
+    /// to have a transaction on the wires, assuming no new grants: the
+    /// cycles left in the longest-running in-flight transaction. Zero
+    /// when the bus is idle.
+    ///
+    /// The event-driven engine uses this to run a straight ticked
+    /// micro-loop across a busy span instead of round-tripping its event
+    /// heap every bus cycle.
+    #[inline]
+    pub fn busy_cycles_remaining(&self) -> u64 {
+        self.bus.busy_remaining()
+    }
+
     /// The cycle at which `port`'s pending access completes locally, if
     /// it is in the [`Status::Finishing`] countdown. `None` while the
     /// access is still waiting on the bus (its completion cycle is not
     /// yet known) or when nothing is pending.
+    #[inline]
     pub fn completion_cycle(&self, port: PortId) -> Option<u64> {
         match &self.ports[port.index()].pending {
             Some(Pending { status: Status::Finishing { at }, .. }) => Some(*at),
@@ -640,6 +703,7 @@ impl MemSystem {
     /// Panics if the jump would overflow the cycle counter. Debug builds
     /// additionally assert the system is idle and that no watchdog
     /// deadline could be jumped past.
+    #[inline]
     pub fn advance_idle(&mut self, n: u64) {
         debug_assert!(self.is_idle(), "advance_idle on a non-idle system");
         // A skip must never jump past a pending watchdog deadline.
@@ -678,16 +742,30 @@ impl MemSystem {
 
     /// Scans for ports starved of the bus past the watchdog budget.
     ///
-    /// The in-flight transaction's initiator is exempt — it *has* the
+    /// Every in-flight transaction's initiator is exempt — it *has* the
     /// bus; the watchdog exists for requesters that never win
     /// arbitration (fixed priority guarantees starvation is possible
     /// whenever a higher port monopolizes the bus).
+    ///
+    /// Escalation is policy-aware: under a fair arbitration policy the
+    /// worst-case grant delay is bounded ([`ArbiterKind::grant_bound`]),
+    /// so that bound floors the patience — an aggressively small budget
+    /// can no longer mistake a fair policy's ordinary queueing delay for
+    /// a wedged arbiter and spuriously machine-check a healthy port.
+    /// Fixed-priority and I/O-favoring give no bound (starvation is real
+    /// there) and keep the configured budget unchanged.
+    ///
+    /// [`ArbiterKind::grant_bound`]: crate::arbiter::ArbiterKind::grant_bound
     fn check_watchdog(&mut self) {
         let budget = self.watchdog.expect("checked by caller");
-        let in_flight = self.bus.current().map(|t| t.initiator.index());
+        let budget = match self.bus.grant_bound() {
+            Some(bound) => budget.max(bound),
+            None => budget,
+        };
+        let in_flight: Vec<usize> = self.bus.slots().iter().map(|t| t.initiator.index()).collect();
         let mut expired: Vec<PortId> = Vec::new();
         for (i, ctl) in self.ports.iter_mut().enumerate() {
-            if Some(i) == in_flight || self.offline[i] {
+            if in_flight.contains(&i) || self.offline[i] {
                 continue;
             }
             let Some(p) = &mut ctl.pending else { continue };
@@ -742,7 +820,7 @@ impl MemSystem {
     /// drains any uncorrectable ECC events its data transfer tripped:
     /// they are logged as structured errors and — for a processor
     /// access — machine-check the initiating CPU off the bus.
-    fn complete_transaction(&mut self, txn: Transaction) {
+    fn complete_transaction(&mut self, txn: Transaction, ctx: TxnCtx) {
         let initiator = txn.initiator;
         let was_cpu = self.ports[initiator.index()]
             .pending
@@ -752,7 +830,7 @@ impl MemSystem {
         // finish_transaction attributes corrected events to this
         // transaction for the trace. Only sampled when tracing is on.
         let corrected_before = if self.events.is_some() { self.memory.ecc_corrected() } else { 0 };
-        self.finish_transaction(txn);
+        self.finish_transaction(txn, ctx);
         if self.events.is_some() {
             let corrected = self.memory.ecc_corrected().saturating_sub(corrected_before);
             for _ in 0..corrected {
@@ -790,8 +868,7 @@ impl MemSystem {
     /// exponential backoff. Past [`MAX_BUS_RETRIES`] the hard error is
     /// logged and the data is let through — the machine must degrade,
     /// never hang.
-    fn retry_transaction(&mut self, txn: Transaction) {
-        self.snoop.clear();
+    fn retry_transaction(&mut self, txn: Transaction, start: u64) {
         let port = txn.initiator;
         let retries = {
             let p = self.ports[port.index()]
@@ -803,7 +880,9 @@ impl MemSystem {
         };
         if retries > MAX_BUS_RETRIES {
             self.fault_errors.push(Error::BusParity);
-            self.complete_transaction(txn);
+            // Let the data through with the snoop responses dropped —
+            // the aborted probe's answers are not trustworthy.
+            self.complete_transaction(txn, TxnCtx { start, snoop: Vec::new(), fault: false });
             return;
         }
         self.fstats.bus_retries += 1;
@@ -824,7 +903,7 @@ impl MemSystem {
             if !self.offline[i] || self.ports[i].pending.is_none() {
                 continue;
             }
-            if self.bus.current().map(|t| t.initiator.index()) == Some(i) {
+            if self.bus.slots().iter().any(|t| t.initiator.index() == i) {
                 continue;
             }
             if matches!(self.ports[i].pending, Some(Pending { status: Status::WaitBus(_), .. })) {
@@ -1000,6 +1079,7 @@ impl MemSystem {
     }
 
     /// Whether `port` exists and has not been offlined.
+    #[inline]
     pub fn is_online(&self, port: PortId) -> bool {
         port.index() < self.offline.len() && !self.offline[port.index()]
     }
@@ -1106,15 +1186,19 @@ impl MemSystem {
         let mut w = crate::snapshot::SnapWriter::new();
         w.u8(self.protocol_kind.snap_tag());
         w.u64(self.cycle);
-        w.u64(self.txn_start);
-        w.usize(self.snoop.len());
-        for &(p, resp) in &self.snoop {
-            w.usize(p);
-            w.u8(resp.next.snap_tag());
-            w.bool(resp.assert_shared);
-            w.bool(resp.supply);
-            w.bool(resp.flush_to_memory);
-            w.bool(resp.absorb);
+        w.usize(self.txns.len());
+        for ctx in &self.txns {
+            w.u64(ctx.start);
+            w.bool(ctx.fault);
+            w.usize(ctx.snoop.len());
+            for &(p, resp) in &ctx.snoop {
+                w.usize(p);
+                w.u8(resp.next.snap_tag());
+                w.bool(resp.assert_shared);
+                w.bool(resp.supply);
+                w.bool(resp.flush_to_memory);
+                w.bool(resp.absorb);
+            }
         }
         w.usize(self.ipi_pending.len());
         for &b in &self.ipi_pending {
@@ -1131,7 +1215,6 @@ impl MemSystem {
         for e in &self.fault_errors {
             save_fault_error(e, &mut w);
         }
-        w.bool(self.txn_fault);
         w.usize(self.deferred.len());
         for &(at, port) in &self.deferred {
             w.u64(at);
@@ -1212,22 +1295,33 @@ impl MemSystem {
         let mut sys = MemSystem::new(cfg, kind)?;
 
         sys.cycle = r.u64()?;
-        sys.txn_start = r.u64()?;
-        let n = r.usize()?;
-        sys.snoop.clear();
-        for _ in 0..n {
-            let p = r.usize()?;
-            if p >= sys.ports.len() {
-                return Err(Error::SnapshotCorrupt(format!("snoop response from bad port {p}")));
+        let n_txns = r.usize()?;
+        if n_txns > sys.cfg.bus_mode().max_in_flight() {
+            return Err(Error::SnapshotCorrupt(format!("{n_txns} transaction contexts")));
+        }
+        sys.txns.clear();
+        for _ in 0..n_txns {
+            let start = r.u64()?;
+            let fault = r.bool()?;
+            let n = r.usize()?;
+            let mut snoop = Vec::with_capacity(n);
+            for _ in 0..n {
+                let p = r.usize()?;
+                if p >= sys.ports.len() {
+                    return Err(Error::SnapshotCorrupt(format!(
+                        "snoop response from bad port {p}"
+                    )));
+                }
+                let resp = SnoopResponse {
+                    next: LineState::from_snap_tag(r.u8()?)?,
+                    assert_shared: r.bool()?,
+                    supply: r.bool()?,
+                    flush_to_memory: r.bool()?,
+                    absorb: r.bool()?,
+                };
+                snoop.push((p, resp));
             }
-            let resp = SnoopResponse {
-                next: LineState::from_snap_tag(r.u8()?)?,
-                assert_shared: r.bool()?,
-                supply: r.bool()?,
-                flush_to_memory: r.bool()?,
-                absorb: r.bool()?,
-            };
-            sys.snoop.push((p, resp));
+            sys.txns.push_back(TxnCtx { start, snoop, fault });
         }
         let n = r.usize()?;
         if n != sys.ipi_pending.len() {
@@ -1251,7 +1345,6 @@ impl MemSystem {
         for _ in 0..n {
             sys.fault_errors.push(load_fault_error(&mut r)?);
         }
-        sys.txn_fault = r.bool()?;
         let n = r.usize()?;
         sys.deferred.clear();
         for _ in 0..n {
@@ -1441,7 +1534,7 @@ impl MemSystem {
             let p = self.ports[port].pending.as_mut().expect("pending");
             p.status = Status::WaitBus(purpose);
             p.requested = cycle;
-            self.bus.request(PortId::new(port));
+            self.bus.request(PortId::new(port), cycle);
         }
     }
 
@@ -1487,16 +1580,16 @@ impl MemSystem {
         })
     }
 
-    /// Cycle 2 of a transaction: all other caches probe their tag stores
-    /// and prepare their snoop responses; concurrent local accesses are
-    /// delayed one tick.
-    fn snoop_probe(&mut self) {
+    /// Cycle 2 of the transaction in `slot`: all other caches probe
+    /// their tag stores and prepare their snoop responses; concurrent
+    /// local accesses are delayed one tick.
+    fn snoop_probe(&mut self, slot: usize) {
         // Only the header fields matter to the probe; copying them out
         // avoids cloning the whole transaction (payload included) on
         // every snooped cycle.
-        let txn = self.bus.current().expect("bus busy");
+        let txn = &self.bus.slots()[slot];
         let (initiator, line, op) = (txn.initiator, txn.line, txn.op);
-        self.snoop.clear();
+        let mut snoop = Vec::new();
         let tick = self.cfg.variant().cycles_per_tick();
         for i in 0..self.ports.len() {
             if i == initiator.index() {
@@ -1505,7 +1598,7 @@ impl MemSystem {
             let state = self.ports[i].cache.state_of(line);
             if state.is_valid() {
                 let resp = self.protocol.snoop(state, op);
-                self.snoop.push((i, resp));
+                snoop.push((i, resp));
             }
             // Tag-store interference (the paper's SP term): a hit in
             // flight on this port at the probe cycle loses one tick.
@@ -1520,15 +1613,16 @@ impl MemSystem {
                 }
             }
         }
+        self.txns[slot].snoop = snoop;
     }
 
     /// Cycle 4: data transfer and all state updates.
-    fn finish_transaction(&mut self, txn: Transaction) {
+    fn finish_transaction(&mut self, txn: Transaction, ctx: TxnCtx) {
         let line = txn.line;
         let lw = self.cfg.cache().line_words();
 
         // Dirty snooped copies flush to memory first (Firefly, Illinois).
-        for &(p, resp) in &self.snoop {
+        for &(p, resp) in &ctx.snoop {
             if resp.flush_to_memory {
                 let data = self.ports[p].cache.line_data(line).expect("flusher is resident");
                 self.memory.write_line(line, &data);
@@ -1536,7 +1630,7 @@ impl MemSystem {
         }
 
         // Read data: cache-to-cache supply inhibits memory.
-        let supplier = self.snoop.iter().find(|(_, r)| r.supply).map(|&(p, _)| p);
+        let supplier = ctx.snoop.iter().find(|(_, r)| r.supply).map(|&(p, _)| p);
         let (read_data, source) = if txn.op.returns_data() {
             match supplier {
                 Some(p) => {
@@ -1548,12 +1642,12 @@ impl MemSystem {
         } else {
             (None, DataSource::NotApplicable)
         };
-        self.bus.record_completion(&txn, self.txn_start, source);
+        self.bus.record_completion(&txn, ctx.start, source);
         // Stamped with the start cycle so exporters render the full
         // four-cycle Figure 4 span.
         emit_into(
             &mut self.events,
-            self.txn_start,
+            ctx.start,
             EventKind::BusCompleted {
                 initiator: txn.initiator,
                 op: txn.op,
@@ -1576,8 +1670,8 @@ impl MemSystem {
 
         // Snooper state changes and absorbs.
         let invalidating = matches!(txn.op, BusOp::ReadOwned | BusOp::Invalidate | BusOp::Write);
-        for i in 0..self.snoop.len() {
-            let (p, resp) = self.snoop[i];
+        for i in 0..ctx.snoop.len() {
+            let (p, resp) = ctx.snoop[i];
             let ctl = &mut self.ports[p];
             if resp.absorb {
                 match txn.payload {
@@ -1616,7 +1710,6 @@ impl MemSystem {
                 }
             }
         }
-        self.snoop.clear();
 
         // Initiator effects.
         self.on_bus_complete(txn, read_data);

@@ -13,7 +13,6 @@
 
 use crate::config::CpuConfig;
 use crate::icache::ICache;
-use firefly_core::sched::EventSched;
 use firefly_core::snapshot::{SnapReader, SnapWriter};
 use firefly_core::system::{MemSystem, Request};
 use firefly_core::{Addr, Error, PortId};
@@ -465,6 +464,14 @@ impl fmt::Debug for Processor {
 /// system steps once. Processors whose port has been machine-checked
 /// offline ([`MemSystem::offline_cpu`]) are frozen rather than ticked,
 /// so an N-CPU run degrades to N−1 instead of aborting.
+///
+/// `#[inline(never)]` is load-bearing: [`drive_events`] delegates its
+/// ticked batches here, and keeping one outlined copy guarantees both
+/// engines execute the *same machine code* per cycle — an inlined
+/// duplicate inside `drive_events` measured several percent slower than
+/// the ticked engine's copy, which is exactly the regression the
+/// busy-bus gate in `arbiter_sweep` guards against.
+#[inline(never)]
 pub fn drive(processors: &mut [Processor], sys: &mut MemSystem, cycles: u64) {
     for _ in 0..cycles {
         for p in processors.iter_mut() {
@@ -482,7 +489,8 @@ pub fn drive(processors: &mut [Processor], sys: &mut MemSystem, cycles: u64) {
 /// part of any snapshot and never affect results.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct EngineStats {
-    /// Scheduler wake-ups that came due and were re-armed.
+    /// Idle skips that landed exactly on a wake-up cycle (rather than
+    /// on the run horizon).
     pub events_fired: u64,
     /// Idle spans jumped in one step.
     pub idle_skips: u64,
@@ -503,27 +511,35 @@ impl EngineStats {
 }
 
 /// The event-driven form of [`drive`]: bit-identical results (counters,
-/// traces, histograms, snapshots), but idle spans are jumped in O(1)
-/// instead of ticked.
+/// traces, histograms, snapshots), but idle spans are jumped in one
+/// step instead of ticked.
 ///
-/// Each online processor keeps one wake-up in an
-/// [`EventSched`](firefly_core::sched::EventSched), scheduled at its
-/// next *interesting* cycle — the issue tick at the end of a compute
-/// gap, or a pending access's local completion cycle. Whenever the
-/// memory system is idle ([`MemSystem::is_idle`]) the driver jumps
-/// straight to the earliest wake-up, batching the skipped span into the
-/// counters; otherwise (a transaction on the wires, an arbitration in
-/// progress, a deferred retry or watchdog deadline possibly pending) it
-/// falls back to cycle-by-cycle ticking, which is exactly the ticked
-/// engine. A processor's wake-up is re-armed only when it comes due;
-/// absolute wake cycles are stable in between (a probe stall can push a
-/// completion *later*, which merely makes the stale wake-up fire early
-/// and re-arm — never late).
+/// The driver alternates two regimes, both of which *are* the canonical
+/// engine (ticking is always correct; skipping is only ever applied to
+/// provably inert ticks):
 ///
-/// The scheduler itself is rebuilt from machine state on entry, so
-/// checkpoint/restore needs no scheduler section: the next-event cycle
-/// is a pure function of the snapshotted processor and memory-system
-/// state.
+/// * **Skip** — when the memory system is idle ([`MemSystem::is_idle`])
+///   and every online processor is inside a compute gap or local
+///   completion countdown ([`Processor::idle_cycles`] > 0), nothing can
+///   happen before the earliest wake-up, so the driver jumps straight
+///   to it — any positive span, however short. When the jump lands
+///   exactly on a wake-up cycle the driver falls through and ticks it
+///   immediately rather than re-probing: the horizon already proved
+///   somebody issues *this* cycle.
+/// * **Tick** — otherwise the driver delegates to [`drive`] itself
+///   (one outlined copy shared with the ticked engine, so the per-cycle
+///   machine code is identical) across the whole guaranteed-busy span
+///   ([`MemSystem::busy_cycles_remaining`]) in a single batch: the skip
+///   predicate cannot hold while a transaction is on the wires, so
+///   probing before the bus drains would be wasted work.
+///
+/// The wake-up horizon is recomputed from machine state at every probe,
+/// so checkpoint/restore needs no scheduler section: the next-event
+/// cycle is a pure function of the snapshotted processor and
+/// memory-system state. (A probe stall can push a completion *later*
+/// than an earlier probe predicted, which merely makes a skip land
+/// early and re-probe — never late. A countdown can never shorten, so
+/// a batch never overruns a wake-up.)
 pub fn drive_events(processors: &mut [Processor], sys: &mut MemSystem, cycles: u64) -> EngineStats {
     let mut stats = EngineStats::default();
     let Some(end) = sys.cycle().checked_add(cycles) else {
@@ -532,88 +548,84 @@ pub fn drive_events(processors: &mut [Processor], sys: &mut MemSystem, cycles: u
         drive(processors, sys, cycles);
         return stats;
     };
-    let mut sched: EventSched<usize> = EventSched::new();
-    // Processors due *every* cycle — WaitBus, or an issue tick next
-    // cycle — are kept out of the heap in an "eager" set instead:
-    // re-arming them through the wheel would cost a pop + push per CPU
-    // per cycle during busy phases, paying heap overhead exactly when
-    // there is nothing to skip. Invariant: every online processor is
-    // either eager or holds exactly one heap entry.
-    let mut eager = vec![false; processors.len()];
-    let mut eager_count = 0usize;
-    for (i, p) in processors.iter().enumerate() {
-        if sys.is_online(p.port()) {
-            let span = p.idle_cycles(sys);
-            if span == 0 {
-                eager[i] = true;
-                eager_count += 1;
-            } else {
-                sched.push(sys.cycle().saturating_add(span), i);
-            }
-        }
-    }
+    // Ports not driven by this `processors` slice (a DMA engine stepped
+    // by other host code, say) can sit in a local `Finishing` countdown
+    // that no wake-up scan below tracks; `is_idle` deliberately ignores
+    // those. Every skip is capped at the earliest such foreign
+    // completion still in the future, so an interleaved external driver
+    // observes its port's wake cycle on time. Completions at or before
+    // `now` are inert (the port is merely waiting to be polled) and
+    // must not cap the skip, or the engine would stop making progress.
+    let driven: Vec<usize> = processors.iter().map(|p| p.port().index()).collect();
+    let foreign: Vec<PortId> =
+        (0..sys.config().ports()).filter(|i| !driven.contains(i)).map(PortId::new).collect();
     while sys.cycle() < end {
         let now = sys.cycle();
-        if eager_count == 0 && sys.is_idle() {
-            // Nothing can happen before the earliest wake-up (or the run
-            // horizon, whichever comes first): skip straight to it.
-            let horizon = sched.next_cycle().unwrap_or(end).min(end);
-            if horizon > now {
-                let span = horizon - now;
-                for p in processors.iter_mut() {
-                    if sys.is_online(p.port()) {
-                        p.advance_idle(span, sys);
+        if sys.is_idle() {
+            // Potential skip: find the earliest wake-up among the
+            // online processors. Any processor due *now* (issuing this
+            // cycle) vetoes the jump. The scan remembers who was online
+            // in a bitmask so the advance pass below doesn't re-ask
+            // (nothing between the passes can offline a port).
+            let mut horizon = end;
+            let mut online = 0u128;
+            let mut all_idle = true;
+            let wide = processors.len() > 128;
+            for (i, p) in processors.iter().enumerate() {
+                if sys.is_online(p.port()) {
+                    let span = p.idle_cycles(sys);
+                    if span == 0 {
+                        all_idle = false;
+                        break;
+                    }
+                    horizon = horizon.min(now.saturating_add(span));
+                    if !wide {
+                        online |= 1 << i;
                     }
                 }
-                sys.advance_idle(span);
-                stats.idle_skips += 1;
-                stats.cycles_skipped += span;
-                continue;
+            }
+            if all_idle {
+                if !foreign.is_empty() {
+                    for &p in &foreign {
+                        if let Some(at) = sys.completion_cycle(p) {
+                            if at > now {
+                                horizon = horizon.min(at);
+                            }
+                        }
+                    }
+                }
+                let span = horizon - now;
+                if span > 0 {
+                    for (i, p) in processors.iter_mut().enumerate() {
+                        let on =
+                            if wide { sys.is_online(p.port()) } else { online & (1 << i) != 0 };
+                        if on {
+                            p.advance_idle(span, sys);
+                        }
+                    }
+                    sys.advance_idle(span);
+                    stats.idle_skips += 1;
+                    stats.cycles_skipped += span;
+                    if horizon == end {
+                        continue;
+                    }
+                    stats.events_fired += 1;
+                }
+                // The skip landed exactly on a wake-up: somebody issues
+                // *this* cycle. Fall through and tick it immediately —
+                // re-probing would only rediscover what the horizon
+                // already told us.
             }
         }
         // Someone is due this cycle (or the system is mid-transaction):
-        // run one canonical ticked iteration.
-        for p in processors.iter_mut() {
-            if sys.is_online(p.port()) {
-                p.tick(sys);
-            }
-        }
-        sys.step();
-        stats.ticked_iterations += 1;
-        // Eager processors rejoin the wheel once a real idle span opens
-        // (ports machine-checked offline leave both sets for good).
-        if eager_count > 0 {
-            for (i, p) in processors.iter().enumerate() {
-                if !eager[i] {
-                    continue;
-                }
-                if !sys.is_online(p.port()) {
-                    eager[i] = false;
-                    eager_count -= 1;
-                    continue;
-                }
-                let span = p.idle_cycles(sys);
-                if span > 0 {
-                    eager[i] = false;
-                    eager_count -= 1;
-                    sched.push(sys.cycle().saturating_add(span), i);
-                }
-            }
-        }
-        // Re-arm every wake-up that came due at the cycle just executed.
-        while let Some((_, i)) = sched.pop_due(now) {
-            stats.events_fired += 1;
-            let p = &processors[i];
-            if sys.is_online(p.port()) {
-                let span = p.idle_cycles(sys);
-                if span == 0 {
-                    eager[i] = true;
-                    eager_count += 1;
-                } else {
-                    sched.push(sys.cycle().saturating_add(span), i);
-                }
-            }
-        }
+        // run the canonical engine across the whole known busy span in
+        // one batch — the skip predicate cannot hold while a
+        // transaction is on the wires, so probing again before it
+        // drains would be wasted work.
+        let now = sys.cycle();
+        let span = sys.busy_cycles_remaining().max(1).min(end - now);
+        drive(processors, sys, span);
+        stats.ticked_iterations += span;
     }
     stats
 }
@@ -850,5 +862,90 @@ mod tests {
         assert_eq!(s.board_reads(), 180);
         assert!((s.tpi(2) - 11.9).abs() < 1e-9);
         assert!((s.read_write_ratio() - 4.5).abs() < 1e-9);
+    }
+
+    /// Regression for the PR-8 skip-condition fix: a port *outside* the
+    /// driven `processors` slice (a DMA engine stepped by host code
+    /// between chunks) sits in a local `Finishing` countdown that the
+    /// wake-up scan can't see, and the instant it is polled and
+    /// re-armed its request line goes up — exactly the state where an
+    /// over-eager idle skip used to land `advance_idle` on a non-idle
+    /// system (tripping its debug assert) or jump the port's wake
+    /// cycle. With the skip capped at the earliest *future* foreign
+    /// completion, a chunked event-driven drive interleaved with
+    /// host-driven DMA must stay bit-identical to the ticked engine —
+    /// including every DMA completion cycle — and this test running
+    /// under `cfg(debug_assertions)` re-checks the assert on every
+    /// skip.
+    #[test]
+    fn foreign_dma_port_interleaved_with_chunked_drive_stays_bit_identical() {
+        use firefly_core::system::Request;
+        use firefly_core::Addr;
+
+        // Idle-heavy workload: big compute gaps make skips long enough
+        // to overrun the DMA completion without the foreign cap.
+        let params = LocalityParams {
+            instr_region_words: 512,
+            mean_body_words: 32.0,
+            mean_iterations: 1000.0,
+            hot_words: 256,
+            cold_words: 1,
+            hot_fraction: 1.0,
+            shared_fraction: 0.0,
+            ..LocalityParams::paper_calibrated()
+        };
+        let run = |event: bool| {
+            // 3 bus ports, but only ports 0-1 are driven processors;
+            // port 2 is the host-stepped DMA engine.
+            let sys_cfg = SystemConfig::microvax(3);
+            let mut sys = MemSystem::new(sys_cfg, ProtocolKind::Firefly).unwrap();
+            let fleet = SyntheticWorkload::fleet(2, params, 17);
+            let mut cpus: Vec<Processor> = fleet
+                .into_iter()
+                .enumerate()
+                .map(|(i, w)| {
+                    Processor::new(
+                        PortId::new(i),
+                        CpuConfig::microvax(),
+                        Box::new(w),
+                        100 + i as u64,
+                    )
+                })
+                .collect();
+            let dma = PortId::new(2);
+            let mut completions: Vec<(usize, u64, u32)> = Vec::new();
+            let mut next = 0u32;
+            let mut stats = EngineStats::default();
+            for chunk in 0..300usize {
+                if let Some(r) = sys.poll(dma) {
+                    completions.push((chunk, sys.cycle(), r.value));
+                }
+                if sys.completion_cycle(dma).is_none() && chunk % 3 == 0 {
+                    next += 1;
+                    sys.begin(dma, Request::dma_write(Addr::from_word_index(4_000), next))
+                        .expect("dma port free");
+                }
+                if event {
+                    stats.absorb(drive_events(&mut cpus, &mut sys, 1_000));
+                } else {
+                    drive(&mut cpus, &mut sys, 1_000);
+                }
+            }
+            let cpu_stats: Vec<CpuStats> = cpus.iter().map(|p| *p.stats()).collect();
+            (sys.cycle(), completions, sys.save_snapshot(), cpu_stats, stats)
+        };
+        let (t_cycle, t_compl, t_snap, t_cpu, _) = run(false);
+        let (e_cycle, e_compl, e_snap, e_cpu, es) = run(true);
+        assert_eq!(t_cycle, e_cycle);
+        assert_eq!(t_compl, e_compl, "every DMA completion observed at the same chunk and cycle");
+        assert_eq!(t_snap, e_snap, "full-system snapshots diverged");
+        assert_eq!(t_cpu, e_cpu);
+        assert!(!t_compl.is_empty(), "the DMA traffic actually flowed");
+        assert!(es.idle_skips > 0, "the event engine actually skipped");
+        assert_eq!(
+            es.cycles_skipped + es.ticked_iterations,
+            300 * 1_000,
+            "every driven cycle is either skipped or ticked, exactly once"
+        );
     }
 }

@@ -32,6 +32,7 @@ use firefly_core::events::{chrome_trace, timeline, Event};
 use firefly_core::protocol::{Protocol, ProtocolKind};
 use firefly_core::system::{MemSystem, Request};
 use firefly_core::{Addr, CacheGeometry, LineId, PortId};
+use firefly_core::{ArbiterKind, BusMode};
 use serde::Serialize;
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
@@ -99,6 +100,14 @@ pub struct McConfig {
     /// Cache slots; set to 1 to force every tracked word into one slot
     /// and exercise victimization/write-back paths.
     pub cache_lines: usize,
+    /// The MBus arbitration policy. Accesses are serialized (one on the
+    /// wires at a time), so every policy must yield the *identical*
+    /// state graph — checking under each proves a policy cannot corrupt
+    /// single-transaction semantics.
+    pub arbiter: ArbiterKind,
+    /// The bus transaction mode; like the arbiter, serialized traffic
+    /// must make it observationally irrelevant.
+    pub bus_mode: BusMode,
 }
 
 impl McConfig {
@@ -107,7 +116,16 @@ impl McConfig {
     /// line (exclusive, shared, ping-ponged, updated, invalidated) is
     /// reachable.
     pub fn new(protocol: ProtocolKind) -> Self {
-        McConfig { protocol, caches: 2, words: 1, values: 2, depth: 6, cache_lines: 4 }
+        McConfig {
+            protocol,
+            caches: 2,
+            words: 1,
+            values: 2,
+            depth: 6,
+            cache_lines: 4,
+            arbiter: ArbiterKind::default(),
+            bus_mode: BusMode::default(),
+        }
     }
 
     /// Sets the number of caches.
@@ -140,6 +158,18 @@ impl McConfig {
         self
     }
 
+    /// Sets the MBus arbitration policy to check under.
+    pub fn with_arbiter(mut self, arbiter: ArbiterKind) -> Self {
+        self.arbiter = arbiter;
+        self
+    }
+
+    /// Sets the bus transaction mode to check under.
+    pub fn with_bus_mode(mut self, bus_mode: BusMode) -> Self {
+        self.bus_mode = bus_mode;
+        self
+    }
+
     /// Every operation any processor can perform on the tracked words.
     pub fn alphabet(&self) -> Vec<McOp> {
         let mut ops = Vec::new();
@@ -157,7 +187,11 @@ impl McConfig {
     fn system_config(&self) -> SystemConfig {
         let geometry = CacheGeometry::new(self.cache_lines, 1)
             .expect("model-checking cache_lines must be a nonzero power of two");
-        SystemConfig::microvax(self.caches).with_cache(geometry).with_memory_mb(1)
+        SystemConfig::microvax(self.caches)
+            .with_cache(geometry)
+            .with_memory_mb(1)
+            .with_arbiter(self.arbiter)
+            .with_bus_mode(self.bus_mode)
     }
 }
 

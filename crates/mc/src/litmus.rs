@@ -39,6 +39,7 @@ use firefly_core::protocol::{ProcOp, ProtocolKind};
 use firefly_core::refsim::RefSim;
 use firefly_core::system::{MemSystem, Request};
 use firefly_core::{Addr, CacheGeometry, LineId, PortId};
+use firefly_core::{ArbiterKind, BusMode};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
@@ -280,6 +281,21 @@ pub fn run(test: &LitmusTest, kind: ProtocolKind) -> LitmusOutcome {
 /// the `Shared` bit stale-*true* — so the differential only applies to
 /// fault-free runs; data and outcomes must match regardless).
 pub fn run_with(test: &LitmusTest, kind: ProtocolKind, faults: FaultConfig) -> LitmusOutcome {
+    run_configured(test, kind, faults, ArbiterKind::default(), BusMode::default())
+}
+
+/// Runs `test` under `kind` with `faults`, on a bus using `arbiter` and
+/// `bus_mode`. Litmus traffic is serialized (one access on the wires at
+/// a time), so every arbitration policy and both bus modes must produce
+/// the *same* outcome set — a policy that could misroute, drop, or
+/// corrupt a lone transaction fails here immediately.
+pub fn run_configured(
+    test: &LitmusTest,
+    kind: ProtocolKind,
+    faults: FaultConfig,
+    arbiter: ArbiterKind,
+    bus_mode: BusMode,
+) -> LitmusOutcome {
     let cpus = test.programs.len();
     let geometry = CacheGeometry::new(4, 1).expect("4 slots is a valid geometry");
     let checker = CoherenceChecker::new();
@@ -292,8 +308,12 @@ pub fn run_with(test: &LitmusTest, kind: ProtocolKind, faults: FaultConfig) -> L
     };
 
     for schedule in &schedules {
-        let cfg =
-            SystemConfig::microvax(cpus).with_cache(geometry).with_memory_mb(1).with_faults(faults);
+        let cfg = SystemConfig::microvax(cpus)
+            .with_cache(geometry)
+            .with_memory_mb(1)
+            .with_faults(faults)
+            .with_arbiter(arbiter)
+            .with_bus_mode(bus_mode);
         let mut sys = MemSystem::new(cfg, kind).expect("litmus configuration is valid");
         let mut reference = RefSim::new(cpus, geometry, kind);
         let compare_refsim = faults.is_disabled();

@@ -1,0 +1,246 @@
+//! Queueing estimates for the MBus arbitration disciplines.
+//!
+//! §5.2 of the paper models the bus as an open queueing network with a
+//! single aggregate load figure; it never asks *which* requester waits,
+//! because the hardware's fixed-priority daisy chain was a given. The
+//! simulator grew pluggable arbitration (see `firefly_core::arbiter`),
+//! so this module extends the model far enough to predict the **mean
+//! bus-acquisition wait** under each discipline, in the spirit of the
+//! service-discipline comparisons of Nikolov & Lerato (arXiv
+//! 1004.3560): the discipline reshapes *who* waits, while the
+//! conservation law pins the symmetric mean.
+//!
+//! Assumptions, deliberately as coarse as §5.2's:
+//!
+//! * Service is deterministic — every transaction holds the bus for
+//!   exactly `S` cycles (4 on the MBus), so the M/D/1 mean residual
+//!   service seen by an arriving request is `ρ·S/2` at utilization `ρ`.
+//! * Requesting ports are symmetric Poisson sources of equal rate
+//!   (the calibrated synthetic fleet is close to this).
+//! * A split-transaction bus drains two overlapped transactions at a
+//!   two-cycle offset, doubling capacity: the queueing utilization is
+//!   `ρ/2` while each transaction still *occupies* `S` cycles.
+//!
+//! The predictions:
+//!
+//! * **Every discipline** has the same arrival-weighted *mean* wait —
+//!   the M/G/1 conservation law: `W = ρS / (2(1−ρ))`. For fixed
+//!   priority this is not an approximation; the per-class waits
+//!   `R/((1−σ_{k−1})(1−σ_k))` telescope exactly back to `R/(1−ρ)` when
+//!   averaged over equal-rate classes. The disciplines differ in **who**
+//!   waits ([`Discipline::class_waits`]), in variance, and in the worst
+//!   case — which is exactly why the simulator's fairness gates live in
+//!   the property tests, not here, and why the BENCH_8 divergence
+//!   column (measured mean wait vs. this prediction) should come out
+//!   roughly discipline-independent: agreement *across* policies is
+//!   itself evidence the simulator conserves work.
+//! * **Fixed priority** — non-preemptive head-of-line priorities. With
+//!   per-class utilization `ρ_k` and `σ_k = ρ_0 + … + ρ_k`, class `k`
+//!   (port `k`; lower is better) waits `W_k = (ρS/2) / ((1−σ_{k−1})(1−σ_k))`:
+//!   the deep classes' waits blow up toward saturation while the top
+//!   class barely notices.
+//! * **I/O-favoring** — fixed priority with exactly two classes: the
+//!   top-numbered (DMA) port alone, then everyone else as one FCFS
+//!   class.
+
+/// The arbitration disciplines the model can predict, mirroring
+/// `firefly_core::arbiter::ArbiterKind` by [`name`](Discipline::from_name)
+/// (this crate stays dependency-free, so the enum is duplicated rather
+/// than imported).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Discipline {
+    /// The hardware's fixed-priority daisy chain (lowest port wins).
+    FixedPriority,
+    /// First-come-first-served by request-raise cycle.
+    Fcfs,
+    /// Rotating priority.
+    RoundRobin,
+    /// Fixed priority softened by waiting-time promotion.
+    Aging,
+    /// The top (I/O) port preempts; everyone else is FCFS.
+    IoFavoring,
+}
+
+impl Discipline {
+    /// All disciplines, in `ArbiterKind::ALL` order.
+    pub const ALL: [Discipline; 5] = [
+        Discipline::FixedPriority,
+        Discipline::Fcfs,
+        Discipline::RoundRobin,
+        Discipline::Aging,
+        Discipline::IoFavoring,
+    ];
+
+    /// Maps an `ArbiterKind::name()` string to the matching discipline.
+    pub fn from_name(name: &str) -> Option<Discipline> {
+        Some(match name {
+            "fixed" => Discipline::FixedPriority,
+            "fcfs" => Discipline::Fcfs,
+            "round_robin" => Discipline::RoundRobin,
+            "aging" => Discipline::Aging,
+            "io_favoring" => Discipline::IoFavoring,
+            _ => return None,
+        })
+    }
+
+    /// Predicted mean bus-acquisition wait, in bus cycles, for a
+    /// symmetric fleet of `ports` requesters producing aggregate
+    /// utilization `rho` on a bus whose transactions occupy
+    /// `service` cycles. `split` halves the queueing utilization
+    /// (two-deep pipelining at a two-cycle offset doubles capacity).
+    ///
+    /// By the conservation law this mean is the *same* for every
+    /// discipline (the arrival-weighted per-class waits telescope back
+    /// to the FCFS figure); it is computed from
+    /// [`class_waits`](Discipline::class_waits) anyway, so a bug in a
+    /// per-class formula would show up as a violated conservation test.
+    ///
+    /// Returns `f64::INFINITY` when the (effective) utilization is at
+    /// or beyond saturation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero, or `rho` is negative or not finite.
+    pub fn mean_wait(&self, ports: usize, rho: f64, service: f64, split: bool) -> f64 {
+        let per_class = self.class_waits(ports, rho, service, split);
+        per_class.iter().sum::<f64>() / ports as f64
+    }
+
+    /// Predicted mean wait *per port*, index = port number. This is
+    /// where the disciplines actually differ: under fixed priority port
+    /// 0 waits least and port `ports−1` most; under I/O-favoring the
+    /// top (DMA) port waits least; the symmetric disciplines give every
+    /// port the conservation mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero, or `rho` is negative or not finite.
+    pub fn class_waits(&self, ports: usize, rho: f64, service: f64, split: bool) -> Vec<f64> {
+        assert!(ports > 0, "at least one port");
+        assert!(rho >= 0.0 && rho.is_finite(), "utilization must be finite and >= 0, got {rho}");
+        let rho = if split { rho / 2.0 } else { rho };
+        if rho >= 1.0 {
+            return vec![f64::INFINITY; ports];
+        }
+        // Mean residual service of the transaction in progress (M/D/1).
+        let residual = rho * service / 2.0;
+        match self {
+            Discipline::Fcfs | Discipline::RoundRobin | Discipline::Aging => {
+                vec![residual / (1.0 - rho); ports]
+            }
+            Discipline::FixedPriority => {
+                // `ports` equal classes in daisy-chain order.
+                let class_rho = rho / ports as f64;
+                (0..ports)
+                    .map(|k| {
+                        let sigma_prev = class_rho * k as f64;
+                        let sigma = class_rho * (k + 1) as f64;
+                        residual / ((1.0 - sigma_prev) * (1.0 - sigma))
+                    })
+                    .collect()
+            }
+            Discipline::IoFavoring => {
+                if ports == 1 {
+                    return vec![residual / (1.0 - rho)];
+                }
+                // Two classes: the I/O port alone on top, the rest FCFS
+                // behind it.
+                let class_rho = rho / ports as f64;
+                let w_io = residual / (1.0 - class_rho);
+                let w_rest = residual / ((1.0 - class_rho) * (1.0 - rho));
+                let mut v = vec![w_rest; ports - 1];
+                v.push(w_io);
+                v
+            }
+        }
+    }
+}
+
+/// Relative divergence `|measured − predicted| / max(predicted, 1)` —
+/// the figure reported in the BENCH_8 "model divergence" column. The
+/// `max(…, 1)` floor keeps near-zero predictions (an almost idle bus)
+/// from turning cycle-quantization noise into huge ratios.
+pub fn divergence(measured: f64, predicted: f64) -> f64 {
+    if !predicted.is_finite() {
+        return 0.0; // a saturated prediction can't be scored
+    }
+    (measured - predicted).abs() / predicted.max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_disciplines_share_the_conservation_mean() {
+        for rho in [0.1, 0.5, 0.9] {
+            let w = Discipline::Fcfs.mean_wait(4, rho, 4.0, false);
+            assert_eq!(w, Discipline::RoundRobin.mean_wait(4, rho, 4.0, false));
+            assert_eq!(w, Discipline::Aging.mean_wait(4, rho, 4.0, false));
+            assert!((w - rho * 2.0 / (1.0 - rho)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn every_discipline_obeys_the_conservation_law() {
+        // The arrival-weighted mean is discipline-independent: the
+        // priority classes' waits telescope exactly back to the FCFS
+        // figure.
+        for rho in [0.2, 0.6, 0.9] {
+            let fcfs = Discipline::Fcfs.mean_wait(7, rho, 4.0, false);
+            for d in Discipline::ALL {
+                let m = d.mean_wait(7, rho, 4.0, false);
+                assert!((m - fcfs).abs() < 1e-9, "{d:?} mean {m} vs conservation {fcfs}");
+            }
+        }
+    }
+
+    #[test]
+    fn priority_reshapes_who_waits_without_moving_the_mean() {
+        let w = Discipline::FixedPriority.class_waits(7, 0.8, 4.0, false);
+        let fcfs = Discipline::Fcfs.mean_wait(7, 0.8, 4.0, false);
+        assert!(w.windows(2).all(|p| p[0] < p[1]), "waits grow down the daisy chain: {w:?}");
+        assert!(w[0] < fcfs && w[6] > fcfs);
+
+        let io = Discipline::IoFavoring.class_waits(7, 0.8, 4.0, false);
+        assert!(io[6] < io[0], "the favored DMA port waits least: {io:?}");
+        assert!(io[..6].iter().all(|&x| x == io[0]), "the rest form one FCFS class");
+    }
+
+    #[test]
+    fn split_mode_halves_effective_utilization() {
+        let unified = Discipline::Fcfs.mean_wait(4, 0.8, 4.0, false);
+        let split = Discipline::Fcfs.mean_wait(4, 0.8, 4.0, true);
+        let expected = Discipline::Fcfs.mean_wait(4, 0.4, 4.0, false);
+        assert_eq!(split, expected);
+        assert!(split < unified / 2.0);
+    }
+
+    #[test]
+    fn saturation_is_infinite_and_unscored() {
+        assert_eq!(Discipline::Fcfs.mean_wait(4, 1.0, 4.0, false), f64::INFINITY);
+        // The same aggregate rate is fine on the doubled-capacity bus.
+        assert!(Discipline::Fcfs.mean_wait(4, 1.0, 4.0, true).is_finite());
+        assert_eq!(divergence(10.0, f64::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn divergence_is_floored_relative_error() {
+        assert!((divergence(12.0, 10.0) - 0.2).abs() < 1e-12);
+        assert!((divergence(0.3, 0.1) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_round_trip_from_arbiter_kind() {
+        for (name, d) in [
+            ("fixed", Discipline::FixedPriority),
+            ("fcfs", Discipline::Fcfs),
+            ("round_robin", Discipline::RoundRobin),
+            ("aging", Discipline::Aging),
+            ("io_favoring", Discipline::IoFavoring),
+        ] {
+            assert_eq!(Discipline::from_name(name), Some(d));
+        }
+        assert_eq!(Discipline::from_name("lottery"), None);
+    }
+}

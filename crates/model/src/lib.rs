@@ -41,9 +41,11 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+pub mod disciplines;
 pub mod sensitivity;
 mod table2;
 
+pub use disciplines::Discipline;
 pub use table2::{ExpectedRates, Table2Expected};
 
 /// The model's input parameters, with the paper's §5.2 values as the

@@ -5,7 +5,9 @@ use firefly_core::fault::FaultConfig;
 use firefly_core::snapshot::{SnapWriter, SnapshotBuilder, SnapshotFile};
 use firefly_core::stats::FaultStats;
 use firefly_core::system::MemSystem;
-use firefly_core::{CacheGeometry, Error, MachineVariant, PortId, ProtocolKind};
+use firefly_core::{
+    ArbiterKind, BusMode, CacheGeometry, Error, MachineVariant, PortId, ProtocolKind,
+};
 use firefly_cpu::processor::{drive, drive_events, EngineStats, Processor};
 use firefly_cpu::CpuConfig;
 use firefly_io::IoSystem;
@@ -98,6 +100,8 @@ pub struct FireflyBuilder {
     trace_events: usize,
     faults: FaultConfig,
     engine: EngineMode,
+    arbiter: ArbiterKind,
+    bus_mode: BusMode,
 }
 
 impl FireflyBuilder {
@@ -123,6 +127,8 @@ impl FireflyBuilder {
             trace_events: 0,
             faults: FaultConfig::default(),
             engine: EngineMode::default(),
+            arbiter: ArbiterKind::default(),
+            bus_mode: BusMode::default(),
         }
     }
 
@@ -207,6 +213,22 @@ impl FireflyBuilder {
         self
     }
 
+    /// Selects the MBus arbitration discipline (see
+    /// [`firefly_core::arbiter`]). The default is the hardware's
+    /// fixed-priority daisy chain.
+    pub fn arbiter(mut self, arbiter: ArbiterKind) -> Self {
+        self.arbiter = arbiter;
+        self
+    }
+
+    /// Selects the MBus transaction mode: the paper's unified
+    /// one-at-a-time bus (default) or the split-transaction variant that
+    /// pipelines two transactions at a two-cycle offset.
+    pub fn bus_mode(mut self, mode: BusMode) -> Self {
+        self.bus_mode = mode;
+        self
+    }
+
     /// Installs a fault-injection plan (see [`firefly_core::fault`]).
     /// The plan drives the memory system's bus/ECC/tag fault sites and,
     /// when I/O is attached, the device-level sites too. The default
@@ -233,7 +255,9 @@ impl FireflyBuilder {
         .with_memory_mb(self.memory_mb)
         .with_bus_trace(self.trace_bus)
         .with_event_trace(self.trace_events)
-        .with_faults(self.faults);
+        .with_faults(self.faults)
+        .with_arbiter(self.arbiter)
+        .with_bus_mode(self.bus_mode);
         if let Some(cache) = self.cache {
             sys_cfg = sys_cfg.with_cache(cache);
         }

@@ -78,7 +78,7 @@ mod tests {
         for section in ["config", "system", "ports", "bus", "memory", "faults", "events"] {
             assert!(text.contains(&format!("section {section}")), "missing {section}:\n{text}");
         }
-        assert!(text.starts_with("snapshot FFSN v1"));
+        assert!(text.starts_with(&format!("snapshot FFSN v{SNAPSHOT_VERSION}")));
     }
 
     #[test]

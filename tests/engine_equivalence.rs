@@ -184,6 +184,79 @@ fn engines_agree_on_the_multiprogram_workload() {
     assert_eq!(ticked.save_snapshot().unwrap(), events.save_snapshot().unwrap());
 }
 
+/// The PR-8 busy-bus regression point, exactly as `arbiter_sweep`'s
+/// timed gate runs it: paper-mix 4 CPUs on the default (fixed-priority,
+/// unified) bus, where the bus is busy two cycles in three and the
+/// event engine's busy-span micro-loop is doing the work. The perf gate
+/// lives in the bench; *this* pins the other half of the claim — the
+/// micro-loop batches are bit-identical to ticking, chunk by chunk.
+#[test]
+fn busy_bus_paper_mix_point_stays_bit_identical() {
+    let build = |engine| {
+        FireflyBuilder::microvax(4)
+            .workload(Workload::Synthetic(LocalityParams::paper_calibrated()))
+            .protocol(ProtocolKind::Firefly)
+            .seed(0x8a8b ^ 0xb)
+            .engine(engine)
+            .build()
+    };
+    let mut ticked = build(EngineMode::Ticked);
+    let mut events = build(EngineMode::EventDriven);
+    let t = run_chunked(&mut ticked, 20_000, 6);
+    let e = run_chunked(&mut events, 20_000, 6);
+    for (i, (tj, ej)) in t.iter().zip(&e).enumerate() {
+        assert_eq!(tj, ej, "busy-bus point: stats JSON diverged in chunk {i}");
+    }
+    assert!(
+        ticked.memory().bus_stats().load() > 0.25,
+        "the point is supposed to be busy: load {:.2}",
+        ticked.memory().bus_stats().load()
+    );
+    let stats = events.engine_stats();
+    assert!(stats.ticked_iterations > 0, "busy spans must run through the ticked micro-loop");
+    assert!(stats.idle_skips > 0, "the short joint-idle windows must still be skipped");
+    assert_eq!(ticked.save_snapshot().unwrap(), events.save_snapshot().unwrap());
+}
+
+/// Every arbitration policy × bus mode, both engines: the skip
+/// predicate knows nothing about the arbiter, so pluggable arbitration
+/// must not cost the event engine its bit-identity — under a rotating
+/// grant state (round-robin, aging) and with two transactions pipelined
+/// on the split bus alike.
+#[test]
+fn engines_bit_identical_across_policies_and_bus_modes() {
+    use firefly::core::{ArbiterKind, BusMode};
+
+    for kind in ArbiterKind::ALL {
+        for mode in [BusMode::Unified, BusMode::Split] {
+            let build = |engine| {
+                FireflyBuilder::microvax(4)
+                    .workload(Workload::Synthetic(LocalityParams::paper_calibrated()))
+                    .protocol(ProtocolKind::Firefly)
+                    .arbiter(kind)
+                    .bus_mode(mode)
+                    .seed(0x1bb ^ kind as u64)
+                    .engine(engine)
+                    .build()
+            };
+            let mut ticked = build(EngineMode::Ticked);
+            let mut events = build(EngineMode::EventDriven);
+            ticked.run(60_000);
+            events.run(60_000);
+            assert_eq!(
+                stats_json(&ticked),
+                stats_json(&events),
+                "{kind:?}/{mode:?}: stats diverged"
+            );
+            assert_eq!(
+                ticked.save_snapshot().unwrap(),
+                events.save_snapshot().unwrap(),
+                "{kind:?}/{mode:?}: snapshot bytes diverged"
+            );
+        }
+    }
+}
+
 /// An idle-heavy configuration (one CPU, high hit rate, long compute
 /// gaps) is where the event engine actually skips; make sure the reached
 /// state is still identical and the cycle counters add up exactly.

@@ -212,3 +212,59 @@ fn forced_skip_over_a_watchdog_deadline_asserts() {
     // and a forced 1000-cycle jump must refuse.
     sys.advance_idle(1_000);
 }
+
+/// The PR-8 policy-aware escalation regression: the *same* monopolist
+/// scenario that machine-checks port 1 under fixed priority (above)
+/// must be a non-event under a fair policy. Round-robin and aging
+/// bound the worst-case grant delay ([`ArbiterKind::grant_bound`]), so
+/// the watchdog floors an aggressively small budget at that bound
+/// instead of mistaking ordinary queueing delay for a wedged arbiter:
+/// zero trips, zero machine checks, and the "starved" read simply
+/// completes.
+///
+/// [`ArbiterKind::grant_bound`]: firefly::core::ArbiterKind::grant_bound
+#[test]
+fn fair_policies_bound_the_wait_and_never_spuriously_machine_check() {
+    use firefly::core::ArbiterKind;
+
+    for kind in [ArbiterKind::RoundRobin, ArbiterKind::Aging] {
+        let cfg = SystemConfig::microvax(2).with_event_trace(512).with_arbiter(kind);
+        let mut sys = MemSystem::new(cfg, ProtocolKind::Firefly).unwrap();
+        // Far below the fixed-priority trip budget used above — without
+        // the grant-bound floor this would trip immediately.
+        sys.set_watchdog(Some(16));
+
+        let hot = Addr::from_word_index(0);
+        sys.run_to_completion(PortId::new(1), Request::read(hot)).unwrap();
+        sys.run_to_completion(PortId::new(0), Request::read(hot)).unwrap();
+        sys.run_to_completion(PortId::new(0), Request::write(hot, 1)).unwrap();
+
+        // The identical monopolist: port 0 re-issues a write the moment
+        // its last one completes, port 1 wants one unrelated read.
+        sys.begin(PortId::new(0), Request::write(hot, 2)).unwrap();
+        sys.begin(PortId::new(1), Request::read(Addr::from_word_index(500))).unwrap();
+        let mut served = false;
+        for _ in 0..2_000 {
+            sys.step();
+            if sys.poll(PortId::new(0)).is_some() {
+                sys.begin(PortId::new(0), Request::write(hot, 3)).unwrap();
+            }
+            if sys.poll(PortId::new(1)).is_some() {
+                served = true;
+                break;
+            }
+        }
+
+        assert!(served, "{kind:?}: the contended read completes in bounded time");
+        assert!(sys.is_online(PortId::new(1)), "{kind:?}: no machine check");
+        assert_eq!(sys.online_count(), 2, "{kind:?}: nobody degraded");
+        assert_eq!(sys.watchdog_trips(), 0, "{kind:?}: a fair grant delay is not a fault");
+        assert!(
+            !sys.events().iter().any(|e| matches!(
+                e.kind,
+                EventKind::FaultInjected { class: FaultClass::Watchdog }
+            )),
+            "{kind:?}: no watchdog events in the trace"
+        );
+    }
+}
