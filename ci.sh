@@ -28,6 +28,12 @@ cargo run --release -p firefly-bench --bin fault_sweep -- --smoke
 echo "== model_check --smoke"
 cargo run --release -p firefly-bench --bin model_check -- --smoke
 
+echo "== model_check --protocol tardis --smoke (two-word lease-expiry space)"
+# A Tardis-only run defaults to two tracked words, reaching the lease
+# renewal paths (and the renewal-dependent timestamp mutants) that the
+# all-protocol single-word smoke cannot.
+cargo run --release -p firefly-bench --bin model_check -- --protocol tardis --smoke
+
 echo "== soak --smoke (chaos kill/restore + resume equivalence)"
 cargo run --release -p firefly-bench --bin soak -- --smoke
 

@@ -1,4 +1,4 @@
-//! Exhaustive model checking of the six coherence protocols on small
+//! Exhaustive model checking of the seven coherence protocols on small
 //! configurations, in the style of Archibald & Baer's protocol survey:
 //! enumerate *every* reachable state of a 2–3 cache system over one or
 //! two memory words and a tiny value domain, applying the full
@@ -20,11 +20,18 @@
 //!    time; every generated mutant must be caught by the checker, which
 //!    guards the checker itself against vacuous passes.
 //!
+//! For the timestamped protocol (Tardis) the invariant battery grows
+//! the timestamp oracle (`check_timestamp_order`), and a Tardis-only
+//! run defaults to two tracked words — a lease can only expire when
+//! writes to a *second* line advance the writer's program timestamp,
+//! so the single-word default would leave every renewal path (and the
+//! renewal-dependent mutants) out of the explored space.
+//!
 //! Flags: `--protocol NAME` restricts to one protocol (default: all
-//! six); `--caches N`, `--lines N`, `--words N`, `--values N` and
+//! seven); `--caches N`, `--lines N`, `--words N`, `--values N` and
 //! `--depth N` size the configuration; `--json` emits the report as one
 //! JSON document; `--smoke` is the CI gate — small closed spaces, all
-//! six protocols, exits nonzero on any violation or surviving mutant.
+//! seven protocols, exits nonzero on any violation or surviving mutant.
 
 use firefly_bench::report;
 use firefly_core::protocol::ProtocolKind;
@@ -87,7 +94,7 @@ fn main() {
     // terminates by fixpoint, asserted below); interactive runs default
     // to the same exhaustive settings.
     let mut caches = 2usize;
-    let mut words = 1u32;
+    let mut words: Option<u32> = None;
     let mut values = 2u32;
     let mut depth = 24usize;
     let mut cache_lines = 4usize;
@@ -107,7 +114,7 @@ fn main() {
             }
             "--caches" => caches = parse_num("--caches", it.next()),
             "--lines" => cache_lines = parse_num("--lines", it.next()),
-            "--words" => words = parse_num("--words", it.next()) as u32,
+            "--words" => words = Some(parse_num("--words", it.next()) as u32),
             "--values" => values = parse_num("--values", it.next()) as u32,
             "--depth" => depth = parse_num("--depth", it.next()),
             "--no-mutants" => mutants_enabled = false,
@@ -117,6 +124,11 @@ fn main() {
             other => panic!("unknown flag {other:?} (try --help)"),
         }
     }
+
+    // Timestamped protocols need a second tracked word before any lease
+    // can expire; default to it for a timestamped-only run (an explicit
+    // --words always wins).
+    let words = words.unwrap_or(if protocols.iter().all(|k| k.is_timestamped()) { 2 } else { 1 });
 
     // The mutation kill-guarantees are proved for a 2-cache, ≥2-value
     // configuration (the dropped MShared asserter must be the sole
@@ -175,8 +187,8 @@ fn main() {
             if let Some(o) = outcomes.iter().find(|o| o.caught) {
                 let v = o.violation.as_ref().expect("caught mutant carries a violation");
                 let mutation = o.mutation;
-                let k = *kind;
-                let factory = move || mutant_tables(k, mutation);
+                let cfg_ref = &cfg;
+                let factory = move || mutant_tables(cfg_ref, mutation);
                 if firefly_mc::replay_violation(&cfg, Some(&factory), &v.path).is_none() {
                     failed = true;
                     eprintln!("{}: counterexample did not replay: {}", kind.name(), o.mutation);

@@ -410,6 +410,7 @@ impl Bus {
             BusOp::WriteBack => self.stats.write_backs += 1,
             BusOp::Update => self.stats.updates += 1,
             BusOp::Invalidate => self.stats.invalidates += 1,
+            BusOp::Renew => self.stats.renewals += 1,
         }
         self.slots.push(Transaction {
             initiator,

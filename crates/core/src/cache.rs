@@ -136,12 +136,17 @@ impl fmt::Debug for LineData {
     }
 }
 
-/// One cache slot: state (valid/dirty/shared), tag, and data.
+/// One cache slot: state (valid/dirty/shared), tag, data, and — for the
+/// timestamped protocol (Tardis) — the line's write timestamp and lease.
 #[derive(Copy, Clone, Debug)]
 struct Slot {
     state: LineState,
     tag: u32,
     data: LineData,
+    /// Logical time of the last write to this copy (Tardis `wts`).
+    wts: u64,
+    /// Lease expiry: the copy may be read at logical times `<= rts`.
+    rts: u64,
 }
 
 /// A direct-mapped snoopy cache.
@@ -173,6 +178,8 @@ impl Cache {
             state: LineState::Invalid,
             tag: 0,
             data: LineData::zeroed(geometry.line_words()),
+            wts: 0,
+            rts: 0,
         };
         Cache { geometry, slots: vec![empty; geometry.lines()], stats: CacheStats::default() }
     }
@@ -215,7 +222,30 @@ impl Cache {
         debug_assert_eq!(data.len(), self.geometry.line_words());
         debug_assert!(state.is_valid(), "fill with Invalid state");
         let idx = self.geometry.index_of(line);
-        self.slots[idx] = Slot { state, tag: self.geometry.tag_of(line), data };
+        self.slots[idx] = Slot { state, tag: self.geometry.tag_of(line), data, wts: 0, rts: 0 };
+    }
+
+    /// The `(wts, rts)` timestamps of `line` if it is resident.
+    pub fn line_ts(&self, line: LineId) -> Option<(u64, u64)> {
+        let slot = &self.slots[self.geometry.index_of(line)];
+        if slot.state.is_valid() && slot.tag == self.geometry.tag_of(line) {
+            Some((slot.wts, slot.rts))
+        } else {
+            None
+        }
+    }
+
+    /// Sets the timestamps of a resident line. No-op if not resident
+    /// (the copy — and its lease — may have been expired by a snoop
+    /// between issue and completion).
+    pub fn set_line_ts(&mut self, line: LineId, wts: u64, rts: u64) {
+        let idx = self.geometry.index_of(line);
+        let tag = self.geometry.tag_of(line);
+        let slot = &mut self.slots[idx];
+        if slot.state.is_valid() && slot.tag == tag {
+            slot.wts = wts;
+            slot.rts = rts;
+        }
     }
 
     /// Evicts `line` if resident (no write-back — mechanism only).
@@ -339,6 +369,8 @@ impl Cache {
             w.u8(slot.state.snap_tag());
             w.u32(slot.tag);
             slot.data.save(w);
+            w.u64(slot.wts);
+            w.u64(slot.rts);
         }
     }
 
@@ -355,6 +387,8 @@ impl Cache {
             slot.state = LineState::from_snap_tag(r.u8()?)?;
             slot.tag = r.u32()?;
             slot.data = LineData::load(r)?;
+            slot.wts = r.u64()?;
+            slot.rts = r.u64()?;
             if slot.data.len() != self.geometry.line_words() {
                 return Err(Error::SnapshotCorrupt(format!(
                     "snapshot line holds {} words, geometry wants {}",

@@ -29,16 +29,57 @@
 //!    itself holds the oracle value (a dirty owner is the only licence
 //!    for memory to lag).
 //!
+//! [`CoherenceChecker::check_timestamp_order`] adds the *timestamp*
+//! invariants of the Tardis protocol family (Yu & Devadas, arXiv
+//! 1505.06459), vacuous for the untimestamped protocols:
+//!
+//! 8. **Timestamp sanity** — every lease contains its write
+//!    (`wts <= rts`), locally and globally; a cached copy carries the
+//!    global write timestamp exactly and never a longer lease than
+//!    memory granted.
+//! 9. **Write monotonicity** — a write strictly advances the line's
+//!    global write timestamp, and no access moves a program timestamp
+//!    backwards.
+//! 10. **Lease discipline** — a read served without the bus was covered
+//!     by an unexpired lease (`pts <= rts`), and a read that did use the
+//!     bus left the copy it kept leased at least to the reader's new
+//!     program timestamp.
+//!
 //! The property tests run millions of random accesses through every
 //! protocol and call [`CoherenceChecker::check`] at quiescent points;
-//! the model checker (`firefly-mc`) calls both entry points at *every*
-//! reachable state of small configurations.
+//! the model checker (`firefly-mc`) calls all three entry points at
+//! *every* reachable state of small configurations.
 
 use crate::error::Error;
-use crate::protocol::LineState;
+use crate::protocol::{LineState, ProcOp};
 use crate::system::MemSystem;
 use crate::{Addr, LineId, PortId};
 use std::collections::{BTreeMap, HashMap};
+
+/// The pre-state of one completed CPU access, captured by the caller
+/// *before* issuing it, for [`CoherenceChecker::check_timestamp_order`].
+///
+/// The timestamp invariants are order properties — "a write advanced the
+/// write timestamp", "a local read was covered by a lease" — so the
+/// checker needs a before/after pair, not just the quiescent after
+/// state. Everything here is cheap to capture: two accessor calls on the
+/// system about to run the access.
+#[derive(Debug, Clone, Copy)]
+pub struct TsAccess {
+    /// The issuing port.
+    pub port: usize,
+    /// Read or write.
+    pub op: ProcOp,
+    /// The accessed address.
+    pub addr: Addr,
+    /// Bus transactions the access needed (`0` = served locally), from
+    /// [`crate::system::AccessResult::bus_ops`].
+    pub bus_ops: u8,
+    /// The issuer's program timestamp before the access.
+    pub pre_pts: u64,
+    /// The line's global write timestamp before the access.
+    pub pre_wts: u64,
+}
 
 /// Checks the coherence invariants of a quiescent [`MemSystem`].
 ///
@@ -206,6 +247,134 @@ impl CoherenceChecker {
         }
         Ok(())
     }
+
+    /// Verifies the Tardis timestamp invariants (8)–(10) of a quiescent
+    /// system, plus the order properties of the CPU access described by
+    /// `access` if one just completed. A no-op for protocols without
+    /// timestamp rules.
+    ///
+    /// The structural half re-states Yu & Devadas's lease discipline on
+    /// this engine's state: every lease contains its write (`wts <=
+    /// rts`), a cached copy is exactly the version memory last recorded
+    /// (`local wts == global wts` — on the broadcast MBus a write
+    /// physically expires every other copy, so a resident copy can never
+    /// be an old version), and no cache claims a longer lease than
+    /// memory granted (`local rts <= global rts`). Together with the
+    /// value invariants of [`check`](Self::check) this gives the paper's
+    /// read rule: a read at timestamp `t in [wts, rts]` observes the
+    /// value of the last write with `wts <= t`.
+    ///
+    /// The access half checks what a single completed access was allowed
+    /// to do: a write strictly advanced the global write timestamp, no
+    /// access moved the issuer's program timestamp backwards, a bus-free
+    /// read was covered by its lease (`pre_pts <= rts`), and a read that
+    /// went to the bus holds a lease reaching its new program timestamp.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CoherenceViolation`] describing the first
+    /// violated invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system is not [quiescent](MemSystem::is_quiescent).
+    pub fn check_timestamp_order(
+        &self,
+        sys: &MemSystem,
+        access: Option<&TsAccess>,
+    ) -> Result<(), Error> {
+        assert!(sys.is_quiescent(), "timestamps can only be checked at quiescent points");
+        if !sys.timestamps_enabled() {
+            return Ok(());
+        }
+        let line_words = sys.config().cache().line_words();
+
+        // (8) structural sanity of every resident copy.
+        for p in 0..sys.port_count() {
+            let port = PortId::new(p);
+            for (line, _, _) in sys.resident_lines(port) {
+                let (wts, rts) =
+                    sys.tardis_line_ts(port, line).expect("resident line has timestamps");
+                let (gwts, grts) = sys.tardis_global_ts(line);
+                if wts > rts {
+                    return Err(Error::CoherenceViolation(format!(
+                        "timestamp order: line {line} at P{p} has wts {wts} > rts {rts}"
+                    )));
+                }
+                if wts != gwts {
+                    return Err(Error::CoherenceViolation(format!(
+                        "timestamp order: line {line} at P{p} is version wts {wts} but \
+                         memory last recorded wts {gwts}"
+                    )));
+                }
+                if rts > grts {
+                    return Err(Error::CoherenceViolation(format!(
+                        "timestamp order: line {line} at P{p} claims a lease to {rts} but \
+                         memory only granted {grts}"
+                    )));
+                }
+            }
+        }
+        for (line, (gwts, grts)) in sys.tardis_lines() {
+            if gwts > grts {
+                return Err(Error::CoherenceViolation(format!(
+                    "timestamp order: line {line} global wts {gwts} > rts {grts}"
+                )));
+            }
+        }
+
+        // (9)/(10) order properties of the completed access.
+        let Some(a) = access else { return Ok(()) };
+        let line = LineId::containing(a.addr, line_words);
+        let port = PortId::new(a.port);
+        let pts = sys.tardis_pts(port);
+        if pts < a.pre_pts {
+            return Err(Error::CoherenceViolation(format!(
+                "timestamp order: P{} program timestamp moved backwards {} -> {pts}",
+                a.port, a.pre_pts
+            )));
+        }
+        match a.op {
+            ProcOp::Write => {
+                let (gwts, _) = sys.tardis_global_ts(line);
+                if gwts <= a.pre_wts {
+                    return Err(Error::CoherenceViolation(format!(
+                        "timestamp order: write to {} left line {line} at wts {gwts}, \
+                         not after the previous wts {}",
+                        a.addr, a.pre_wts
+                    )));
+                }
+            }
+            ProcOp::Read => {
+                let Some((_, rts)) = sys.tardis_line_ts(port, line) else {
+                    // The copy it read straight through (DMA-style or
+                    // uninstalled) or lost since: nothing local to hold
+                    // to a lease.
+                    return Ok(());
+                };
+                if a.bus_ops == 0 {
+                    // Served without the bus: the lease must have covered
+                    // the reader's program timestamp at issue.
+                    if a.pre_pts > rts {
+                        return Err(Error::CoherenceViolation(format!(
+                            "timestamp order: P{} read {} locally at pts {} past the \
+                             lease end rts {rts}",
+                            a.port, a.addr, a.pre_pts
+                        )));
+                    }
+                } else if pts > rts {
+                    // Went to the bus (fill or renewal) yet kept a copy
+                    // whose lease already fails to cover the reader.
+                    return Err(Error::CoherenceViolation(format!(
+                        "timestamp order: P{} read {} via the bus but holds a lease \
+                         only to rts {rts}, short of its pts {pts}",
+                        a.port, a.addr
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +433,92 @@ mod tests {
     #[test]
     fn write_through_maintains_invariants() {
         run_pattern(ProtocolKind::WriteThrough);
+    }
+
+    #[test]
+    fn tardis_maintains_invariants() {
+        run_pattern(ProtocolKind::Tardis);
+    }
+
+    /// The timestamp invariants hold at every step of the mixed pattern,
+    /// checking each completed access's order properties as the model
+    /// checker does. With the default lease of 8 the pattern renews
+    /// leases, so both serve paths of invariant (10) are exercised.
+    #[test]
+    fn tardis_timestamp_order_holds_per_access() {
+        let mut sys = MemSystem::new(SystemConfig::microvax(4), ProtocolKind::Tardis).unwrap();
+        let checker = CoherenceChecker::new();
+        let mut renewed = 0;
+        for round in 0u32..80 {
+            for p in 0..4 {
+                let addr = Addr::from_word_index((round * 7 + p as u32 * 3) % 32);
+                let port = PortId::new(p);
+                let line = LineId::containing(addr, 1);
+                let write = (round + p as u32).is_multiple_of(3);
+                let access = TsAccess {
+                    port: p,
+                    op: if write { ProcOp::Write } else { ProcOp::Read },
+                    addr,
+                    bus_ops: 0,
+                    pre_pts: sys.tardis_pts(port),
+                    pre_wts: sys.tardis_global_ts(line).0,
+                };
+                let req = if write {
+                    crate::system::Request::write(addr, round * 100 + p as u32)
+                } else {
+                    crate::system::Request::read(addr)
+                };
+                let r = sys.run_to_completion(port, req).unwrap();
+                if !write && r.hit && r.bus_ops > 0 {
+                    renewed += 1;
+                }
+                checker
+                    .check_timestamp_order(&sys, Some(&TsAccess { bus_ops: r.bus_ops, ..access }))
+                    .unwrap_or_else(|e| panic!("round {round} P{p}: {e}"));
+            }
+        }
+        assert!(renewed > 0, "the pattern never renewed a lease");
+    }
+
+    /// The access half of the oracle rejects a read served locally past
+    /// its lease — the observable symptom of a stale-lease-serving
+    /// implementation bug (mutation `TsServeStale` in `firefly-mc`).
+    #[test]
+    fn timestamp_oracle_rejects_stale_lease_serving() {
+        let mut sys = MemSystem::new(SystemConfig::microvax(2), ProtocolKind::Tardis).unwrap();
+        let addr = Addr::new(0x40);
+        let other = Addr::new(0x80);
+        sys.run_to_completion(PortId::new(0), crate::system::Request::read(addr)).unwrap();
+        let (_, rts) = sys.tardis_line_ts(PortId::new(0), LineId::containing(addr, 1)).unwrap();
+        // Drive the program timestamp past the lease end with writes to
+        // an unrelated line (each write orders strictly later).
+        while sys.tardis_pts(PortId::new(0)) <= rts {
+            sys.run_to_completion(PortId::new(0), crate::system::Request::write(other, 7)).unwrap();
+        }
+        // Claim the read was served with no bus op from the current
+        // program timestamp, which is beyond the lease end: a correct
+        // engine would have renewed, so the oracle must reject.
+        let bogus = TsAccess {
+            port: 0,
+            op: ProcOp::Read,
+            addr,
+            bus_ops: 0,
+            pre_pts: sys.tardis_pts(PortId::new(0)),
+            pre_wts: 0,
+        };
+        let err = CoherenceChecker::new().check_timestamp_order(&sys, Some(&bogus)).unwrap_err();
+        assert!(err.to_string().contains("past the lease end"), "{err}");
+    }
+
+    /// `check_timestamp_order` is vacuous for untimestamped protocols.
+    #[test]
+    fn timestamp_oracle_is_vacuous_without_timestamps() {
+        let mut sys = MemSystem::new(SystemConfig::microvax(2), ProtocolKind::Firefly).unwrap();
+        let addr = Addr::new(0x40);
+        sys.run_to_completion(PortId::new(0), crate::system::Request::read(addr)).unwrap();
+        let bogus =
+            TsAccess { port: 0, op: ProcOp::Read, addr, bus_ops: 0, pre_pts: u64::MAX, pre_wts: 0 };
+        CoherenceChecker::new().check_timestamp_order(&sys, Some(&bogus)).unwrap();
     }
 
     #[test]

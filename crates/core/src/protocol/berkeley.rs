@@ -121,7 +121,9 @@ impl Protocol for Berkeley {
                 flush_to_memory: false,
                 absorb: false,
             },
-            BusOp::Update => SnoopResponse { assert_shared: true, ..SnoopResponse::ignore(state) },
+            BusOp::Update | BusOp::Renew => {
+                SnoopResponse { assert_shared: true, ..SnoopResponse::ignore(state) }
+            }
         }
     }
 }

@@ -124,7 +124,7 @@ impl Protocol for Dragon {
             BusOp::WriteBack => {
                 SnoopResponse { assert_shared: true, ..SnoopResponse::ignore(state) }
             }
-            BusOp::ReadOwned | BusOp::Invalidate => {
+            BusOp::ReadOwned | BusOp::Invalidate | BusOp::Renew => {
                 SnoopResponse { assert_shared: true, ..SnoopResponse::ignore(state) }
             }
         }

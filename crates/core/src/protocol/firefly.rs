@@ -150,7 +150,7 @@ impl Protocol for Firefly {
             }
             // Firefly never emits these; respond inertly so that mixed
             // tests and the transition-table printer stay total.
-            BusOp::ReadOwned | BusOp::Update | BusOp::Invalidate => {
+            BusOp::ReadOwned | BusOp::Update | BusOp::Invalidate | BusOp::Renew => {
                 SnoopResponse { assert_shared: true, ..SnoopResponse::ignore(state) }
             }
         }

@@ -116,7 +116,7 @@ impl Protocol for Illinois {
                 flush_to_memory: false,
                 absorb: false,
             },
-            BusOp::WriteBack | BusOp::Update => {
+            BusOp::WriteBack | BusOp::Update | BusOp::Renew => {
                 SnoopResponse { assert_shared: true, ..SnoopResponse::ignore(state) }
             }
         }

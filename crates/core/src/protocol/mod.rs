@@ -18,6 +18,12 @@
 //! * [`Dragon`] — the Xerox Dragon: write-back *update* protocol, the
 //!   Firefly's closest relative; updates do not write memory.
 //! * [`Firefly`] — the Firefly protocol itself (Figure 3 of the paper).
+//! * [`Tardis`] — the timestamp-ordered protocol of Yu & Devadas
+//!   (arXiv 1505.06459), a post-1987 extension of the comparison: reads
+//!   are leased until a logical expiry timestamp and writes are ordered
+//!   by timestamp rather than by eager broadcast. The timestamp rules
+//!   are the `ts_*` methods of [`Protocol`]; the snoop table carries the
+//!   physical bus adaptation.
 //!
 //! All protocols are expressed against one five-state lattice
 //! ([`LineState`]) and one bus vocabulary ([`BusOp`]); each protocol uses
@@ -29,6 +35,7 @@ mod berkeley;
 mod dragon;
 mod firefly;
 mod illinois;
+mod tardis;
 mod write_once;
 mod write_through;
 
@@ -36,6 +43,7 @@ pub use berkeley::Berkeley;
 pub use dragon::Dragon;
 pub use firefly::Firefly;
 pub use illinois::Illinois;
+pub use tardis::Tardis;
 pub use write_once::WriteOnce;
 pub use write_through::WriteThrough;
 
@@ -167,6 +175,10 @@ pub enum BusOp {
     /// Invalidate other copies without transferring data (Berkeley and
     /// Illinois write hits on shared lines).
     Invalidate,
+    /// Renew a read lease without transferring data (Tardis only): the
+    /// holder re-validates its copy against the global timestamp state
+    /// instead of re-fetching the line.
+    Renew,
 }
 
 impl BusOp {
@@ -195,6 +207,7 @@ impl BusOp {
             BusOp::Write | BusOp::WriteBack => "MWrite",
             BusOp::Update => "MUpdate",
             BusOp::Invalidate => "MInval",
+            BusOp::Renew => "MRenew",
         }
     }
 }
@@ -208,6 +221,7 @@ impl fmt::Display for BusOp {
             BusOp::WriteBack => "WriteBack",
             BusOp::Update => "Update",
             BusOp::Invalidate => "Invalidate",
+            BusOp::Renew => "Renew",
         };
         f.pad(s)
     }
@@ -339,9 +353,60 @@ pub trait Protocol: fmt::Debug + Send + Sync {
     /// `state`. Called for every cache other than the initiator, including
     /// those that do not hold the line (`state == Invalid`).
     fn snoop(&self, state: LineState, op: BusOp) -> SnoopResponse;
+
+    // ---- Timestamp rules (Tardis; Yu & Devadas, arXiv 1505.06459) ----
+    //
+    // A timestamped protocol orders accesses by logical timestamps: each
+    // line carries a write timestamp `wts` (logical time of the last
+    // write) and a read timestamp `rts` (lease expiry: the line may be
+    // read at any logical time `<= rts`), and each CPU carries a program
+    // timestamp `pts` that never decreases. The engine consults these
+    // hooks only when [`ts_lease`](Protocol::ts_lease) is `Some`; the
+    // defaults implement the Tardis rules so the mutation gate can wrap
+    // and corrupt them exactly like the table entries.
+
+    /// The lease length in logical ticks, or `None` for protocols without
+    /// timestamp state (every snoopy baseline).
+    fn ts_lease(&self) -> Option<u64> {
+        None
+    }
+
+    /// May a CPU at program timestamp `pts` read a local copy leased
+    /// until `rts` without bus traffic? Expired leases force a
+    /// [`BusOp::Renew`].
+    fn ts_can_serve(&self, pts: u64, rts: u64) -> bool {
+        pts <= rts
+    }
+
+    /// The new global read timestamp granted by a fill or a renewal: the
+    /// lease is extended to cover the reader's `pts` plus the lease
+    /// length, and never moves backward past the existing grant `g_rts`.
+    fn ts_grant(&self, pts: u64, g_rts: u64) -> u64 {
+        let lease = self.ts_lease().unwrap_or(0);
+        g_rts.max(pts.saturating_add(lease))
+    }
+
+    /// The logical timestamp a write is ordered at: after every
+    /// outstanding lease (`g_rts`, exclusive) and never before the
+    /// writer's own `pts`. Saturates instead of wrapping at `u64::MAX`.
+    fn ts_write_order(&self, pts: u64, g_rts: u64) -> u64 {
+        pts.max(g_rts.saturating_add(1))
+    }
+
+    /// The `(wts, rts)` pair installed in a cache by a read fill, given
+    /// the line's global timestamps.
+    fn ts_fill(&self, wts: u64, rts: u64) -> (u64, u64) {
+        (wts, rts)
+    }
+
+    /// The reader's program timestamp after observing a line last written
+    /// at `wts`: reads are ordered no earlier than the write they see.
+    fn ts_read_advance(&self, pts: u64, wts: u64) -> u64 {
+        pts.max(wts)
+    }
 }
 
-/// Selects one of the six built-in protocols.
+/// Selects one of the seven built-in protocols.
 ///
 /// # Examples
 ///
@@ -350,7 +415,7 @@ pub trait Protocol: fmt::Debug + Send + Sync {
 ///
 /// let p = ProtocolKind::Firefly.build();
 /// assert_eq!(p.name(), "Firefly");
-/// assert_eq!(ProtocolKind::ALL.len(), 6);
+/// assert_eq!(ProtocolKind::ALL.len(), 7);
 /// ```
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
 pub enum ProtocolKind {
@@ -367,6 +432,8 @@ pub enum ProtocolKind {
     Illinois,
     /// The Xerox Dragon update protocol.
     Dragon,
+    /// The Tardis timestamp-ordered protocol (leases + logical time).
+    Tardis,
 }
 
 impl LineState {
@@ -427,6 +494,7 @@ impl BusOp {
             BusOp::WriteBack => 3,
             BusOp::Update => 4,
             BusOp::Invalidate => 5,
+            BusOp::Renew => 6,
         }
     }
 
@@ -438,6 +506,7 @@ impl BusOp {
             3 => BusOp::WriteBack,
             4 => BusOp::Update,
             5 => BusOp::Invalidate,
+            6 => BusOp::Renew,
             _ => {
                 return Err(crate::error::Error::SnapshotCorrupt(format!("invalid BusOp tag {t}")))
             }
@@ -447,13 +516,14 @@ impl BusOp {
 
 impl ProtocolKind {
     /// All built-in protocols, in the order used by comparison tables.
-    pub const ALL: [ProtocolKind; 6] = [
+    pub const ALL: [ProtocolKind; 7] = [
         ProtocolKind::Firefly,
         ProtocolKind::WriteThrough,
         ProtocolKind::WriteOnce,
         ProtocolKind::Berkeley,
         ProtocolKind::Illinois,
         ProtocolKind::Dragon,
+        ProtocolKind::Tardis,
     ];
 
     /// Stable one-byte snapshot tag: the index into [`ProtocolKind::ALL`].
@@ -476,6 +546,7 @@ impl ProtocolKind {
             ProtocolKind::Berkeley => Box::new(Berkeley),
             ProtocolKind::Illinois => Box::new(Illinois),
             ProtocolKind::Dragon => Box::new(Dragon),
+            ProtocolKind::Tardis => Box::new(Tardis::default()),
         }
     }
 
@@ -488,6 +559,7 @@ impl ProtocolKind {
             ProtocolKind::Berkeley => "Berkeley",
             ProtocolKind::Illinois => "Illinois",
             ProtocolKind::Dragon => "Dragon",
+            ProtocolKind::Tardis => "Tardis",
         }
     }
 
@@ -495,6 +567,13 @@ impl ProtocolKind {
     /// (Firefly, Dragon) rather than invalidating them.
     pub const fn is_update_based(self) -> bool {
         matches!(self, ProtocolKind::Firefly | ProtocolKind::Dragon)
+    }
+
+    /// Whether the protocol carries per-line timestamp state (Tardis):
+    /// the engine plumbs `wts`/`rts`/`pts` and the checker applies
+    /// [`crate::check::CoherenceChecker::check_timestamp_order`].
+    pub const fn is_timestamped(self) -> bool {
+        matches!(self, ProtocolKind::Tardis)
     }
 }
 
@@ -557,6 +636,7 @@ pub fn transition_table(p: &dyn Protocol) -> String {
         BusOp::WriteBack,
         BusOp::Update,
         BusOp::Invalidate,
+        BusOp::Renew,
     ];
     let _ = writeln!(out, "  {:<6} {}", "state", ops.map(|o| format!("{o:<14}")).join(""));
     for &s in p.states() {
@@ -617,6 +697,10 @@ mod tests {
         assert!(!BusOp::Update.updates_memory(), "Dragon updates leave memory stale");
         assert_eq!(BusOp::Read.mbus_name(), "MRead");
         assert_eq!(BusOp::WriteBack.mbus_name(), "MWrite");
+        assert!(!BusOp::Renew.carries_data(), "renewals move timestamps, not data");
+        assert!(!BusOp::Renew.returns_data());
+        assert!(!BusOp::Renew.updates_memory());
+        assert_eq!(BusOp::Renew.mbus_name(), "MRenew");
     }
 
     #[test]
@@ -634,6 +718,9 @@ mod tests {
         assert!(ProtocolKind::Dragon.is_update_based());
         assert!(!ProtocolKind::Illinois.is_update_based());
         assert!(!ProtocolKind::Berkeley.is_update_based());
+        assert!(!ProtocolKind::Tardis.is_update_based());
+        assert!(ProtocolKind::Tardis.is_timestamped());
+        assert!(!ProtocolKind::Firefly.is_timestamped());
     }
 
     #[test]
@@ -657,6 +744,7 @@ mod tests {
             BusOp::WriteBack,
             BusOp::Update,
             BusOp::Invalidate,
+            BusOp::Renew,
         ];
         for kind in ProtocolKind::ALL {
             let p = kind.build();

@@ -115,7 +115,7 @@ impl Protocol for WriteOnce {
                 flush_to_memory: false,
                 absorb: false,
             },
-            BusOp::WriteBack | BusOp::Update => {
+            BusOp::WriteBack | BusOp::Update | BusOp::Renew => {
                 SnoopResponse { assert_shared: true, ..SnoopResponse::ignore(state) }
             }
         }

@@ -218,6 +218,9 @@ impl RefSim {
             BusOp::WriteBack => self.stats.victim_writes += 1,
             BusOp::Update => self.stats.updates += 1,
             BusOp::Invalidate => self.stats.invalidates += 1,
+            // The reference level has no notion of lease expiry, so it
+            // never issues renewals; a Renew also never changes states.
+            BusOp::Renew => {}
         }
         let mut mshared = false;
         for other in 0..self.caches.len() {

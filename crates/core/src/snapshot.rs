@@ -40,8 +40,11 @@ use std::fmt;
 /// Version 2 added the arbitration policy and bus mode to the config
 /// section, raise-cycle request lines and pipelined transaction slots to
 /// the bus section, and the per-transaction context queue to the system
-/// section.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// section. Version 3 added the Tardis timestamp state: renewal counters
+/// in the bus and cache statistics, per-slot `wts`/`rts` words in each
+/// cache section, and per-CPU program timestamps plus the global
+/// per-line timestamp map in the system section.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// The four magic bytes at the start of every snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"FFSN";

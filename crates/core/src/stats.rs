@@ -60,6 +60,8 @@ pub struct CacheStats {
     pub updates_sent: u64,
     /// Invalidation transactions issued.
     pub invalidates_sent: u64,
+    /// Tardis lease-renewal transactions issued.
+    pub renewals_sent: u64,
     /// Foreign write/update payloads absorbed into a local copy.
     pub updates_absorbed: u64,
     /// Local copies killed by snooped invalidating traffic.
@@ -106,6 +108,7 @@ impl CacheStats {
             + self.bus_writes()
             + self.updates_sent
             + self.invalidates_sent
+            + self.renewals_sent
     }
 
     /// The counter increments since `earlier` (for measurement windows).
@@ -134,6 +137,7 @@ impl CacheStats {
             victim_writes: self.victim_writes.saturating_sub(earlier.victim_writes),
             updates_sent: self.updates_sent.saturating_sub(earlier.updates_sent),
             invalidates_sent: self.invalidates_sent.saturating_sub(earlier.invalidates_sent),
+            renewals_sent: self.renewals_sent.saturating_sub(earlier.renewals_sent),
             updates_absorbed: self.updates_absorbed.saturating_sub(earlier.updates_absorbed),
             invalidations_taken: self
                 .invalidations_taken
@@ -162,6 +166,7 @@ impl CacheStats {
             self.victim_writes,
             self.updates_sent,
             self.invalidates_sent,
+            self.renewals_sent,
             self.updates_absorbed,
             self.invalidations_taken,
             self.supplies,
@@ -188,6 +193,7 @@ impl CacheStats {
             victim_writes: r.u64()?,
             updates_sent: r.u64()?,
             invalidates_sent: r.u64()?,
+            renewals_sent: r.u64()?,
             updates_absorbed: r.u64()?,
             invalidations_taken: r.u64()?,
             supplies: r.u64()?,
@@ -213,6 +219,7 @@ impl AddAssign for CacheStats {
         self.victim_writes += o.victim_writes;
         self.updates_sent += o.updates_sent;
         self.invalidates_sent += o.invalidates_sent;
+        self.renewals_sent += o.renewals_sent;
         self.updates_absorbed += o.updates_absorbed;
         self.invalidations_taken += o.invalidations_taken;
         self.supplies += o.supplies;
@@ -239,6 +246,8 @@ pub struct BusStats {
     pub updates: u64,
     /// Invalidate transactions.
     pub invalidates: u64,
+    /// Tardis lease-renewal transactions.
+    pub renewals: u64,
     /// Transactions during which `MShared` was asserted.
     pub mshared_asserted: u64,
     /// Read data supplied cache-to-cache (memory inhibited).
@@ -256,6 +265,7 @@ impl BusStats {
             + self.write_backs
             + self.updates
             + self.invalidates
+            + self.renewals
     }
 
     /// The bus load `L`: fraction of non-idle bus cycles.
@@ -288,6 +298,7 @@ impl BusStats {
             write_backs: self.write_backs.saturating_sub(earlier.write_backs),
             updates: self.updates.saturating_sub(earlier.updates),
             invalidates: self.invalidates.saturating_sub(earlier.invalidates),
+            renewals: self.renewals.saturating_sub(earlier.renewals),
             mshared_asserted: self.mshared_asserted.saturating_sub(earlier.mshared_asserted),
             cache_supplied: self.cache_supplied.saturating_sub(earlier.cache_supplied),
             memory_supplied: self.memory_supplied.saturating_sub(earlier.memory_supplied),
@@ -304,6 +315,7 @@ impl BusStats {
             self.write_backs,
             self.updates,
             self.invalidates,
+            self.renewals,
             self.mshared_asserted,
             self.cache_supplied,
             self.memory_supplied,
@@ -322,6 +334,7 @@ impl BusStats {
             write_backs: r.u64()?,
             updates: r.u64()?,
             invalidates: r.u64()?,
+            renewals: r.u64()?,
             mshared_asserted: r.u64()?,
             cache_supplied: r.u64()?,
             memory_supplied: r.u64()?,

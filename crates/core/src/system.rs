@@ -121,6 +121,9 @@ enum OpPurpose {
     WriteThroughMiss { allocate: bool },
     /// The bus half of a write hit (write-through / update / invalidate).
     WriteHitBus,
+    /// Tardis lease renewal: re-validate a resident copy whose lease has
+    /// expired against the global timestamp state, without moving data.
+    LeaseRenew,
 }
 
 #[derive(Copy, Clone, Debug)]
@@ -243,6 +246,14 @@ pub struct MemSystem {
     watchdog: Option<u64>,
     /// Watchdog trips so far (escalations, not machine-checks).
     wd_trips: u64,
+    /// Per-CPU program timestamps (Tardis `pts`; empty-use zeros for the
+    /// untimestamped protocols). Monotonically non-decreasing.
+    pts: Vec<u64>,
+    /// Global per-line timestamp state owned by memory, keyed by raw
+    /// line id: `(wts, rts)`. Lines never written nor leased are absent
+    /// (implicitly `(0, 0)`), keeping the map as sparse as the memory
+    /// image.
+    mem_ts: std::collections::BTreeMap<u32, (u64, u64)>,
 }
 
 /// Pushes an event into the ring when tracing is enabled. A free
@@ -316,12 +327,48 @@ impl MemSystem {
                 cap => Some(EventRing::new(cap)),
             },
             lat: LatencyStats::default(),
+            pts: vec![0; cfg.ports()],
+            mem_ts: std::collections::BTreeMap::new(),
             cfg,
             cycle: 0,
             txns: std::collections::VecDeque::new(),
             watchdog: None,
             wd_trips: 0,
         })
+    }
+
+    /// Whether the active protocol carries timestamp state (Tardis).
+    #[inline]
+    pub fn timestamps_enabled(&self) -> bool {
+        self.protocol.ts_lease().is_some()
+    }
+
+    /// The lease length of the active protocol's timestamp rules, if any.
+    pub fn ts_lease(&self) -> Option<u64> {
+        self.protocol.ts_lease()
+    }
+
+    /// `port`'s program timestamp (Tardis `pts`; 0 for untimestamped
+    /// protocols).
+    pub fn tardis_pts(&self, port: PortId) -> u64 {
+        self.pts[port.index()]
+    }
+
+    /// The global `(wts, rts)` timestamp pair memory holds for `line`.
+    pub fn tardis_global_ts(&self, line: LineId) -> (u64, u64) {
+        self.mem_ts.get(&line.raw()).copied().unwrap_or((0, 0))
+    }
+
+    /// The `(wts, rts)` pair of `port`'s cached copy of `line`, if
+    /// resident.
+    pub fn tardis_line_ts(&self, port: PortId, line: LineId) -> Option<(u64, u64)> {
+        self.ports[port.index()].cache.line_ts(line)
+    }
+
+    /// Iterates every line the global timestamp map tracks (lines ever
+    /// written or leased) with its `(wts, rts)` pair, in line order.
+    pub fn tardis_lines(&self) -> impl Iterator<Item = (LineId, (u64, u64))> + '_ {
+        self.mem_ts.iter().map(|(&l, &ts)| (LineId::from_raw(l), ts))
     }
 
     /// The configuration this system was built with.
@@ -1228,6 +1275,16 @@ impl MemSystem {
         w.bool(self.watchdog.is_some());
         w.u64(self.watchdog.unwrap_or(0));
         w.u64(self.wd_trips);
+        w.usize(self.pts.len());
+        for &t in &self.pts {
+            w.u64(t);
+        }
+        w.usize(self.mem_ts.len());
+        for (&line, &(wts, rts)) in &self.mem_ts {
+            w.u32(line);
+            w.u64(wts);
+            w.u64(rts);
+        }
         b.section("system", w.into_bytes());
 
         let mut w = crate::snapshot::SnapWriter::new();
@@ -1361,6 +1418,26 @@ impl MemSystem {
         let budget = r.u64()?;
         sys.watchdog = has_wd.then_some(budget);
         sys.wd_trips = r.u64()?;
+        let n = r.usize()?;
+        if n != sys.pts.len() {
+            return Err(Error::SnapshotCorrupt(format!("program-timestamp table size {n}")));
+        }
+        for slot in &mut sys.pts {
+            *slot = r.u64()?;
+        }
+        let n = r.usize()?;
+        sys.mem_ts.clear();
+        for _ in 0..n {
+            let line = r.u32()?;
+            let wts = r.u64()?;
+            let rts = r.u64()?;
+            if wts > rts {
+                return Err(Error::SnapshotCorrupt(format!(
+                    "line {line} global timestamps out of order ({wts} > {rts})"
+                )));
+            }
+            sys.mem_ts.insert(line, (wts, rts));
+        }
         r.expect_end()?;
 
         let mut r = file.section("ports")?;
@@ -1440,6 +1517,35 @@ impl MemSystem {
         p.status = Status::Finishing { at };
     }
 
+    /// Orders a write by `port` into the timestamp history of `line`:
+    /// bumps the global pair to `(t, t)` and, for CPU writes, advances
+    /// the writer's program timestamp to `t`. DMA has no program order;
+    /// its writes simply serialize after every outstanding lease.
+    fn ts_write(&mut self, port: usize, line: LineId, kind: AccessKind) -> u64 {
+        let g = self.mem_ts.entry(line.raw()).or_insert((0, 0));
+        let t = match kind {
+            AccessKind::Cpu => self.protocol.ts_write_order(self.pts[port], g.1),
+            AccessKind::Dma => g.0.max(g.1).saturating_add(1),
+        };
+        *g = (t, t);
+        if kind == AccessKind::Cpu {
+            self.pts[port] = t;
+        }
+        t
+    }
+
+    /// Grants (or extends) a read lease on `line` to `port`, advances
+    /// the port's program timestamp past the line's write timestamp,
+    /// and returns the granted global `(wts, rts)` pair.
+    fn ts_read_grant(&mut self, port: usize, line: LineId) -> (u64, u64) {
+        let pts = self.pts[port];
+        let g = self.mem_ts.entry(line.raw()).or_insert((0, 0));
+        g.1 = self.protocol.ts_grant(pts, g.1);
+        let (wts, rts) = *g;
+        self.pts[port] = self.protocol.ts_read_advance(pts, wts);
+        (wts, rts)
+    }
+
     /// Applies any local effects possible for `port`'s pending access and
     /// returns the next bus purpose, or `None` if the access completed.
     fn plan_local(&mut self, port: usize) -> Option<OpPurpose> {
@@ -1451,6 +1557,16 @@ impl MemSystem {
         match req.op {
             ProcOp::Read => {
                 if state.is_valid() {
+                    if req.kind == AccessKind::Cpu && self.timestamps_enabled() {
+                        let (wts, rts) =
+                            self.ports[port].cache.line_ts(line).expect("valid line has ts");
+                        if !self.protocol.ts_can_serve(self.pts[port], rts) {
+                            // Lease expired relative to this CPU's program
+                            // timestamp: renew on the bus before serving.
+                            return Some(OpPurpose::LeaseRenew);
+                        }
+                        self.pts[port] = self.protocol.ts_read_advance(self.pts[port], wts);
+                    }
                     let v = self.ports[port].cache.read_word(req.addr).expect("valid line");
                     self.ports[port].pending.as_mut().expect("pending").value = v;
                     self.finish(port, 0);
@@ -1468,6 +1584,10 @@ impl MemSystem {
                         WriteHitEffect::Silent(next) => {
                             self.ports[port].cache.write_word(req.addr, req.value);
                             self.ports[port].cache.set_state(line, next);
+                            if self.timestamps_enabled() {
+                                let t = self.ts_write(port, line, req.kind);
+                                self.ports[port].cache.set_line_ts(line, t, t);
+                            }
                             if next != state {
                                 emit_into(
                                     &mut self.events,
@@ -1577,6 +1697,7 @@ impl MemSystem {
                 };
                 (op, line, payload)
             }
+            OpPurpose::LeaseRenew => (BusOp::Renew, line, Payload::None),
         })
     }
 
@@ -1755,6 +1876,11 @@ impl MemSystem {
                 if install {
                     let state = self.protocol.read_fill_state(txn.mshared);
                     self.ports[port].cache.fill(line, d, state);
+                    if self.timestamps_enabled() && req.kind == AccessKind::Cpu {
+                        let (gwts, grts) = self.ts_read_grant(port, line);
+                        let (wts, rts) = self.protocol.ts_fill(gwts, grts);
+                        self.ports[port].cache.set_line_ts(line, wts, rts);
+                    }
                     emit_into(
                         &mut self.events,
                         self.cycle,
@@ -1781,6 +1907,10 @@ impl MemSystem {
                 d.set(offset, req.value);
                 let state = self.protocol.exclusive_fill_state();
                 self.ports[port].cache.fill(line, d, state);
+                if self.timestamps_enabled() {
+                    let t = self.ts_write(port, line, req.kind);
+                    self.ports[port].cache.set_line_ts(line, t, t);
+                }
                 emit_into(
                     &mut self.events,
                     self.cycle,
@@ -1801,6 +1931,12 @@ impl MemSystem {
                     } else {
                         stats.wt_unshared += 1;
                     }
+                }
+                if self.timestamps_enabled() {
+                    // Under Tardis only DMA writes take this path (CPU
+                    // write misses fill exclusively); the write still
+                    // serializes after every outstanding lease.
+                    self.ts_write(port, line, req.kind);
                 }
                 if allocate {
                     debug_assert_eq!(self.cfg.cache().line_words(), 1);
@@ -1823,6 +1959,10 @@ impl MemSystem {
                 let prev = self.ports[port].cache.state_of(line);
                 debug_assert!(prev.is_valid(), "write-hit line vanished mid-transaction");
                 self.ports[port].cache.write_word(req.addr, req.value);
+                if self.timestamps_enabled() {
+                    let t = self.ts_write(port, line, req.kind);
+                    self.ports[port].cache.set_line_ts(line, t, t);
+                }
                 let next = self.protocol.after_write_bus(prev, txn.op, txn.mshared);
                 self.ports[port].cache.set_state(line, next);
                 if next != prev {
@@ -1845,6 +1985,18 @@ impl MemSystem {
                     BusOp::Invalidate => stats.invalidates_sent += 1,
                     _ => debug_assert!(false, "unexpected write-hit op {}", txn.op),
                 }
+                self.finish(port, 0);
+            }
+            OpPurpose::LeaseRenew => {
+                debug_assert!(
+                    self.ports[port].cache.state_of(line).is_valid(),
+                    "renewed line vanished mid-transaction"
+                );
+                self.ports[port].cache.stats_mut().renewals_sent += 1;
+                let (gwts, grts) = self.ts_read_grant(port, line);
+                self.ports[port].cache.set_line_ts(line, gwts, grts);
+                let v = self.ports[port].cache.read_word(req.addr).expect("renewed line");
+                self.ports[port].pending.as_mut().expect("pending").value = v;
                 self.finish(port, 0);
             }
         }
@@ -1885,6 +2037,7 @@ fn save_pending(p: &Pending, w: &mut crate::snapshot::SnapWriter) {
                     w.bool(allocate);
                 }
                 OpPurpose::WriteHitBus => w.u8(4),
+                OpPurpose::LeaseRenew => w.u8(5),
             }
         }
         Status::Finishing { at } => {
@@ -1920,6 +2073,7 @@ fn load_pending(r: &mut crate::snapshot::SnapReader<'_>) -> Result<Pending, Erro
             2 => OpPurpose::ExclusiveFill,
             3 => OpPurpose::WriteThroughMiss { allocate: r.bool()? },
             4 => OpPurpose::WriteHitBus,
+            5 => OpPurpose::LeaseRenew,
             t => return Err(Error::SnapshotCorrupt(format!("invalid bus purpose tag {t}"))),
         }),
         1 => Status::Finishing { at: r.u64()? },

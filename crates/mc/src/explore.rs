@@ -26,10 +26,10 @@
 //! order, so explored-state counts and the first violation found are
 //! bit-identical at any `FIREFLY_JOBS` width.
 
-use firefly_core::check::CoherenceChecker;
+use firefly_core::check::{CoherenceChecker, TsAccess};
 use firefly_core::config::SystemConfig;
 use firefly_core::events::{chrome_trace, timeline, Event};
-use firefly_core::protocol::{Protocol, ProtocolKind};
+use firefly_core::protocol::{ProcOp, Protocol, ProtocolKind};
 use firefly_core::system::{MemSystem, Request};
 use firefly_core::{Addr, CacheGeometry, LineId, PortId};
 use firefly_core::{ArbiterKind, BusMode};
@@ -108,6 +108,13 @@ pub struct McConfig {
     /// The bus transaction mode; like the arbiter, serialized traffic
     /// must make it observationally irrelevant.
     pub bus_mode: BusMode,
+    /// The lease length used for timestamped protocols (ignored
+    /// otherwise). Model checking wants the *shortest* lease: the
+    /// timestamp rules are lease-independent, a short lease makes
+    /// renewal paths reachable at shallow depth, and the timestamp
+    /// abstraction clamps at `lease + 4`, so a short lease also keeps
+    /// the reachable space small.
+    pub lease: u64,
 }
 
 impl McConfig {
@@ -115,16 +122,25 @@ impl McConfig {
     /// the smallest configuration in which every sharing pattern of a
     /// line (exclusive, shared, ping-ponged, updated, invalidated) is
     /// reachable.
+    ///
+    /// Timestamped protocols (Tardis) default to 2 words instead:
+    /// expiring a lease on one line requires writes that advance the
+    /// writer's program timestamp *without* invalidating that line, so
+    /// renewal paths are unreachable with a single tracked word. Their
+    /// larger timestamped space closes at depth 11 under the default
+    /// one-cycle model-checking lease; 12 leaves a margin.
     pub fn new(protocol: ProtocolKind) -> Self {
+        let timestamped = protocol.is_timestamped();
         McConfig {
             protocol,
             caches: 2,
-            words: 1,
+            words: if timestamped { 2 } else { 1 },
             values: 2,
-            depth: 6,
+            depth: if timestamped { 12 } else { 6 },
             cache_lines: 4,
             arbiter: ArbiterKind::default(),
             bus_mode: BusMode::default(),
+            lease: 1,
         }
     }
 
@@ -168,6 +184,24 @@ impl McConfig {
     pub fn with_bus_mode(mut self, bus_mode: BusMode) -> Self {
         self.bus_mode = bus_mode;
         self
+    }
+
+    /// Sets the lease length for timestamped protocols.
+    pub fn with_ts_lease(mut self, lease: u64) -> Self {
+        self.lease = lease;
+        self
+    }
+
+    /// The canonical decision tables for this configuration: the
+    /// protocol's defaults, except that timestamped kinds take the
+    /// configured lease. The mutation pass wraps *these* tables, so the
+    /// recorded baseline and every mutant agree on the lease.
+    pub fn base_tables(&self) -> Box<dyn Protocol> {
+        if self.protocol.is_timestamped() {
+            Box::new(firefly_core::protocol::Tardis::with_lease(self.lease))
+        } else {
+            self.protocol.build()
+        }
     }
 
     /// Every operation any processor can perform on the tracked words.
@@ -238,6 +272,18 @@ struct StateKey {
     ports: Vec<Vec<(u32, u8, Vec<u32>)>>,
     /// The tracked memory words.
     memory: Vec<u32>,
+    /// The timestamp footprint (Tardis only; empty otherwise): program
+    /// timestamps, global `(wts, rts)` pairs of the tracked lines, and
+    /// the `(wts, rts)` pairs of every resident copy, in that order.
+    ///
+    /// Raw timestamps grow without bound, so they are *abstracted*:
+    /// shifted down by their minimum and clamped at `lease + 4`. The
+    /// protocol's timestamp rules only compare values at most a lease
+    /// apart (serve if `pts <= rts`; grant `max(rts, pts + lease)`;
+    /// order writes at `max(pts, rts + 1)`), so gaps beyond the clamp
+    /// behave identically and the BFS closes. The abstraction only
+    /// merges exploration — every visited state is still fully checked.
+    ts: Vec<u64>,
 }
 
 fn state_index(s: firefly_core::protocol::LineState) -> u8 {
@@ -259,16 +305,43 @@ fn state_key(cfg: &McConfig, sys: &MemSystem) -> StateKey {
         ports.push(resident);
     }
     let memory = (0..cfg.words).map(|w| sys.peek_memory_word(Addr::from_word_index(w))).collect();
-    StateKey { ports, memory }
+    let mut ts: Vec<u64> = Vec::new();
+    if let Some(lease) = sys.ts_lease() {
+        for p in 0..cfg.caches {
+            ts.push(sys.tardis_pts(PortId::new(p)));
+        }
+        for line in tracked_lines(cfg) {
+            let (wts, rts) = sys.tardis_global_ts(line);
+            ts.push(wts);
+            ts.push(rts);
+        }
+        // Residency itself is already in `ports`, so conditional
+        // inclusion here cannot make distinct states collide.
+        for p in 0..cfg.caches {
+            for line in tracked_lines(cfg) {
+                if let Some((wts, rts)) = sys.tardis_line_ts(PortId::new(p), line) {
+                    ts.push(wts);
+                    ts.push(rts);
+                }
+            }
+        }
+        let min = ts.iter().copied().min().unwrap_or(0);
+        let cap = lease.saturating_add(4);
+        for t in &mut ts {
+            *t = (*t - min).min(cap);
+        }
+    }
+    StateKey { ports, memory, ts }
 }
 
 fn build_system(cfg: &McConfig, factory: Option<ProtocolFactory<'_>>) -> MemSystem {
     let syscfg = cfg.system_config();
-    match factory {
-        Some(f) => MemSystem::with_protocol(syscfg, cfg.protocol, f()),
-        None => MemSystem::new(syscfg, cfg.protocol),
-    }
-    .expect("model-checking configuration is valid")
+    let tables = match factory {
+        Some(f) => f(),
+        None => cfg.base_tables(),
+    };
+    MemSystem::with_protocol(syscfg, cfg.protocol, tables)
+        .expect("model-checking configuration is valid")
 }
 
 /// Applies one op and runs the full per-step invariant battery.
@@ -280,6 +353,22 @@ fn apply_checked(
     op: McOp,
 ) -> Option<String> {
     let addr = op.addr();
+    // Timestamp order properties are before/after relations: capture the
+    // pre-state the oracle needs (Tardis only).
+    let pre = sys.timestamps_enabled().then(|| {
+        let (cpu, proc_op) = match op {
+            McOp::Read { cpu, .. } => (cpu, ProcOp::Read),
+            McOp::Write { cpu, .. } => (cpu, ProcOp::Write),
+        };
+        TsAccess {
+            port: cpu,
+            op: proc_op,
+            addr,
+            bus_ops: 0,
+            pre_pts: sys.tardis_pts(PortId::new(cpu)),
+            pre_wts: sys.tardis_global_ts(LineId::containing(addr, 1)).0,
+        }
+    });
     let result = match op {
         McOp::Read { cpu, .. } => sys.run_to_completion(PortId::new(cpu), Request::read(addr)),
         McOp::Write { cpu, value, .. } => {
@@ -304,7 +393,11 @@ fn apply_checked(
             ));
         }
     }
-    checker.check_serialized(sys, oracle).err().map(|e| format!("after [{op}]: {e}"))
+    if let Err(e) = checker.check_serialized(sys, oracle) {
+        return Some(format!("after [{op}]: {e}"));
+    }
+    let access = pre.map(|a| TsAccess { bus_ops: outcome.bus_ops, ..a });
+    checker.check_timestamp_order(sys, access.as_ref()).err().map(|e| format!("after [{op}]: {e}"))
 }
 
 /// Replays `path` from reset with full per-step checking. Returns the
@@ -319,7 +412,8 @@ pub fn replay_violation(
         let mut sys = build_system(cfg, factory);
         let mut oracle = BTreeMap::new();
         let checker = CoherenceChecker::new();
-        if let Err(e) = checker.check(&sys) {
+        if let Err(e) = checker.check(&sys).and_then(|()| checker.check_timestamp_order(&sys, None))
+        {
             return Some(format!("at reset: {e}"));
         }
         for &op in path {
@@ -431,7 +525,11 @@ pub fn explore_workers(
     // The reset state.
     let init = catch_unwind(AssertUnwindSafe(|| {
         let sys = build_system(cfg, factory);
-        checker.check(&sys).map(|()| state_key(cfg, &sys)).map_err(|e| format!("at reset: {e}"))
+        checker
+            .check(&sys)
+            .and_then(|()| checker.check_timestamp_order(&sys, None))
+            .map(|()| state_key(cfg, &sys))
+            .map_err(|e| format!("at reset: {e}"))
     }))
     .unwrap_or_else(|_| Err("engine panic at reset".to_string()));
     let init_key = match init {
@@ -560,11 +658,12 @@ pub fn counterexample(
     violation: &McViolation,
 ) -> Counterexample {
     let syscfg = cfg.system_config().with_event_trace(65_536);
-    let mut sys = match factory {
-        Some(f) => MemSystem::with_protocol(syscfg, cfg.protocol, f()),
-        None => MemSystem::new(syscfg, cfg.protocol),
-    }
-    .expect("model-checking configuration is valid");
+    let tables = match factory {
+        Some(f) => f(),
+        None => cfg.base_tables(),
+    };
+    let mut sys = MemSystem::with_protocol(syscfg, cfg.protocol, tables)
+        .expect("model-checking configuration is valid");
 
     let mut oracle = BTreeMap::new();
     for &op in &violation.path {
@@ -614,6 +713,14 @@ mod tests {
         let report = explore(&McConfig::new(ProtocolKind::Firefly).with_depth(8));
         assert!(report.violation.is_none(), "{:?}", report.violation);
         assert!(report.complete, "state space must close before depth 8");
+        assert!(report.states > 10, "expected a nontrivial space, got {}", report.states);
+    }
+
+    #[test]
+    fn tardis_default_config_closes_clean() {
+        let report = explore(&McConfig::new(ProtocolKind::Tardis));
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.complete, "timestamp abstraction must close the space");
         assert!(report.states > 10, "expected a nontrivial space, got {}", report.states);
     }
 

@@ -401,7 +401,8 @@ pub fn run_configured(
     outcome
 }
 
-/// The built-in suite: the classic shapes every SC machine must pass.
+/// The built-in suite: the classic shapes every SC machine must pass,
+/// plus timestamp-sensitive variants that straddle a Tardis lease.
 ///
 /// * `sb` — store buffering: both CPUs must not read 0.
 /// * `mp` — message passing: seeing the flag implies seeing the datum.
@@ -410,8 +411,23 @@ pub fn run_configured(
 /// * `coww` — single-location write serialization observed by a third
 ///   party: the final value is one of the two writes (enforced by the
 ///   oracle), and a reader never sees a value neither CPU wrote.
+/// * `mp-lease` — message passing where the reader caches the datum
+///   early, then performs enough private writes to push its program
+///   timestamp past the datum's lease (the default Tardis lease is 8
+///   cycles; ten writes guarantee strict expiry). The re-read after
+///   seeing the flag must renew — a stale-lease serving would return
+///   the pre-flag value and fail both the per-step oracle and the
+///   forbid clause. Untimestamped protocols run the same schedules and
+///   must agree.
+/// * `sb-lease` — store buffering with the first flag read's lease
+///   deliberately expired before the second read: reads of the flag
+///   must never go backwards across the renewal boundary.
+/// * `raw-ts` — same-cycle read-after-write: each CPU reads its own
+///   store back with zero intervening operations, exercising the
+///   `pts == rts` lease boundary (a write grants exactly `(t, t)`, so
+///   the immediate self-read is served at lease-edge equality).
 pub fn builtin_suite() -> Vec<LitmusTest> {
-    const TEXTS: [&str; 4] = [
+    const TEXTS: [&str; 7] = [
         "# store buffering\n\
          test sb\n\
          cpu 0: W x 1 ; R y -> r0\n\
@@ -431,6 +447,31 @@ pub fn builtin_suite() -> Vec<LitmusTest> {
          test coww\n\
          cpu 0: W x 1 ; W x 2\n\
          cpu 1: R x -> r0 ; R x -> r1\n\
+         forbid r0 = 2 & r1 = 1\n",
+        "# message passing across a lease expiry: the reader caches x\n\
+         # early, expires its lease with ten private writes, then must\n\
+         # still see the datum once the flag is visible\n\
+         test mp-lease\n\
+         cpu 0: W x 1 ; W y 1\n\
+         cpu 1: R x -> r0 ; W z 1 ; W z 2 ; W z 3 ; W z 4 ; W z 5 ; \
+                W z 6 ; W z 7 ; W z 8 ; W z 9 ; W z 10 ; R y -> r1 ; R x -> r2\n\
+         forbid r1 = 1 & r2 = 0\n",
+        "# store buffering with the flag's lease expired between reads:\n\
+         # reads of y must not go backwards across the renewal\n\
+         test sb-lease\n\
+         cpu 0: W x 1 ; R y -> r0 ; W z 1 ; W z 2 ; W z 3 ; W z 4 ; \
+                W z 5 ; W z 6 ; W z 7 ; W z 8 ; W z 9 ; W z 10 ; R y -> r1\n\
+         cpu 1: W y 1 ; R x -> r2\n\
+         forbid r0 = 0 & r2 = 0\n\
+         forbid r0 = 1 & r1 = 0\n",
+        "# same-cycle read-after-write: self-reads at the pts == rts\n\
+         # lease boundary; opposing orders of the two writes cannot\n\
+         # both be observed\n\
+         test raw-ts\n\
+         cpu 0: W x 1 ; R x -> r0\n\
+         cpu 1: W x 2 ; R x -> r1\n\
+         forbid r0 = 0\n\
+         forbid r1 = 0\n\
          forbid r0 = 2 & r1 = 1\n",
     ];
     TEXTS.iter().map(|t| parse(t).expect("built-in litmus tests parse")).collect()
@@ -471,5 +512,42 @@ mod tests {
             assert!(out.violation.is_none(), "{}: {:?}", test.name, out.violation);
             assert!(out.interleavings >= 3);
         }
+    }
+
+    /// The lease-straddling tests are not vacuous: under Tardis, the
+    /// schedule that runs CPU 0 to completion first leaves the reader's
+    /// early copy of `x` resident, so its ten private writes expire the
+    /// lease and the final `R x` must be served by a bus renewal.
+    #[test]
+    fn lease_tests_actually_renew_under_tardis() {
+        let test = builtin_suite()
+            .into_iter()
+            .find(|t| t.name == "mp-lease")
+            .expect("mp-lease is a built-in");
+        let cfg = SystemConfig::microvax(test.programs.len())
+            .with_cache(CacheGeometry::new(4, 1).unwrap())
+            .with_memory_mb(1);
+        let mut sys =
+            MemSystem::new(cfg, ProtocolKind::Tardis).expect("litmus configuration is valid");
+        for cpu in 0..test.programs.len() {
+            for op in &test.programs[cpu] {
+                let port = PortId::new(cpu);
+                match op {
+                    LitmusOp::Write { loc, value } => {
+                        let addr = Addr::from_word_index(*loc as u32);
+                        sys.run_to_completion(port, Request::write(addr, *value)).unwrap();
+                    }
+                    LitmusOp::Read { loc, .. } => {
+                        let addr = Addr::from_word_index(*loc as u32);
+                        sys.run_to_completion(port, Request::read(addr)).unwrap();
+                    }
+                }
+            }
+        }
+        assert!(
+            sys.bus_stats().renewals > 0,
+            "mp-lease's sequential schedule never renewed a lease — the test is vacuous"
+        );
+        assert!(sys.cache_stats(PortId::new(1)).renewals_sent > 0, "reader never renewed");
     }
 }

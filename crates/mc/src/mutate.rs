@@ -32,13 +32,14 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 
 /// The bus vocabulary in canonical order (for log indexing).
-const OPS: [BusOp; 6] = [
+const OPS: [BusOp; 7] = [
     BusOp::Read,
     BusOp::ReadOwned,
     BusOp::Write,
     BusOp::WriteBack,
     BusOp::Update,
     BusOp::Invalidate,
+    BusOp::Renew,
 ];
 
 fn state_index(s: LineState) -> u8 {
@@ -60,6 +61,14 @@ pub struct ExerciseLog {
     pub after_write: BTreeSet<(u8, u8, bool)>,
     /// `snoop(state, op)` calls (the engine only consults valid states).
     pub snoop: BTreeSet<(u8, u8)>,
+    /// `ts_write_order` was consulted — a timestamped write was ordered.
+    pub ts_write: bool,
+    /// `ts_fill` saw a lease strictly longer than its write timestamp —
+    /// the only shape a swapped fill visibly corrupts.
+    pub ts_fill_unequal: bool,
+    /// `ts_can_serve` returned `false` — a lease actually expired, so
+    /// renewal (and stale-serving) paths are in the explored space.
+    pub ts_expired: bool,
 }
 
 /// Canonical tables wrapped with exercise recording.
@@ -101,6 +110,32 @@ impl Protocol for Recorder {
         self.log.lock().unwrap().snoop.insert((state_index(state), op_index(op)));
         self.inner.snoop(state, op)
     }
+    fn ts_lease(&self) -> Option<u64> {
+        self.inner.ts_lease()
+    }
+    fn ts_can_serve(&self, pts: u64, rts: u64) -> bool {
+        let ok = self.inner.ts_can_serve(pts, rts);
+        if !ok {
+            self.log.lock().unwrap().ts_expired = true;
+        }
+        ok
+    }
+    fn ts_grant(&self, pts: u64, g_rts: u64) -> u64 {
+        self.inner.ts_grant(pts, g_rts)
+    }
+    fn ts_write_order(&self, pts: u64, g_rts: u64) -> u64 {
+        self.log.lock().unwrap().ts_write = true;
+        self.inner.ts_write_order(pts, g_rts)
+    }
+    fn ts_fill(&self, wts: u64, rts: u64) -> (u64, u64) {
+        if wts != rts {
+            self.log.lock().unwrap().ts_fill_unequal = true;
+        }
+        self.inner.ts_fill(wts, rts)
+    }
+    fn ts_read_advance(&self, pts: u64, wts: u64) -> u64 {
+        self.inner.ts_read_advance(pts, wts)
+    }
 }
 
 /// Runs an exhaustive exploration of `cfg` with recording tables and
@@ -108,11 +143,10 @@ impl Protocol for Recorder {
 /// should assert is violation-free).
 pub fn record_exercise(cfg: &McConfig) -> (ExerciseLog, McReport) {
     let log = Arc::new(Mutex::new(ExerciseLog::default()));
-    let kind = cfg.protocol;
     let factory = {
         let log = Arc::clone(&log);
         move || -> Box<dyn Protocol> {
-            Box::new(Recorder { inner: kind.build(), log: Arc::clone(&log) })
+            Box::new(Recorder { inner: cfg.base_tables(), log: Arc::clone(&log) })
         }
     };
     let report = explore_with(cfg, Some(&factory));
@@ -159,6 +193,20 @@ pub enum Mutation {
         /// Write-hit bus op of the corrupted entry.
         op: BusOp,
     },
+    /// `ts_write_order` drops its `+1`: a write lands *at* the lease end
+    /// instead of after it, so the global write timestamp fails to
+    /// strictly advance (Tardis only).
+    TsDropWtsBump,
+    /// `ts_grant` extends nothing: leases are handed out (and renewed)
+    /// with their old expiry, so a renewal leaves the reader past its
+    /// own lease (Tardis only).
+    TsGrantNoRenew,
+    /// `ts_can_serve` always says yes: reads are served locally past the
+    /// lease end without renewing (Tardis only).
+    TsServeStale,
+    /// `ts_fill` installs `(rts, wts)` — the pair swapped — so any fill
+    /// with a real lease carries `wts > rts` (Tardis only).
+    TsSwapFill,
 }
 
 impl fmt::Display for Mutation {
@@ -177,6 +225,10 @@ impl fmt::Display for Mutation {
             Mutation::AfterWriteIgnoreShared { state, op } => {
                 write!(f, "after_write_bus({}, {op}): ignore MShared", state.short())
             }
+            Mutation::TsDropWtsBump => write!(f, "ts_write_order: drop the wts bump"),
+            Mutation::TsGrantNoRenew => write!(f, "ts_grant: never extend the lease"),
+            Mutation::TsServeStale => write!(f, "ts_can_serve: serve past the lease end"),
+            Mutation::TsSwapFill => write!(f, "ts_fill: swap wts and rts"),
         }
     }
 }
@@ -242,11 +294,42 @@ impl Protocol for Mutant {
             _ => r,
         }
     }
+    fn ts_lease(&self) -> Option<u64> {
+        self.inner.ts_lease()
+    }
+    fn ts_can_serve(&self, pts: u64, rts: u64) -> bool {
+        match self.mutation {
+            Mutation::TsServeStale => true,
+            _ => self.inner.ts_can_serve(pts, rts),
+        }
+    }
+    fn ts_grant(&self, pts: u64, g_rts: u64) -> u64 {
+        match self.mutation {
+            Mutation::TsGrantNoRenew => g_rts,
+            _ => self.inner.ts_grant(pts, g_rts),
+        }
+    }
+    fn ts_write_order(&self, pts: u64, g_rts: u64) -> u64 {
+        match self.mutation {
+            Mutation::TsDropWtsBump => pts.max(g_rts),
+            _ => self.inner.ts_write_order(pts, g_rts),
+        }
+    }
+    fn ts_fill(&self, wts: u64, rts: u64) -> (u64, u64) {
+        let (wts, rts) = self.inner.ts_fill(wts, rts);
+        match self.mutation {
+            Mutation::TsSwapFill => (rts, wts),
+            _ => (wts, rts),
+        }
+    }
+    fn ts_read_advance(&self, pts: u64, wts: u64) -> u64 {
+        self.inner.ts_read_advance(pts, wts)
+    }
 }
 
-/// Builds `kind`'s canonical tables with `mutation` applied.
-pub fn mutant_tables(kind: ProtocolKind, mutation: Mutation) -> Box<dyn Protocol> {
-    Box::new(Mutant { inner: kind.build(), mutation })
+/// Builds the configuration's canonical tables with `mutation` applied.
+pub fn mutant_tables(cfg: &McConfig, mutation: Mutation) -> Box<dyn Protocol> {
+    Box::new(Mutant { inner: cfg.base_tables(), mutation })
 }
 
 /// True when every snooper that asserts `MShared` on `op` also keeps
@@ -371,6 +454,28 @@ pub fn mutations_for(kind: ProtocolKind, log: &ExerciseLog) -> Vec<Mutation> {
             out.push(Mutation::AfterWriteIgnoreShared { state: w, op });
         }
     }
+
+    // Timestamp mutants (Tardis). Each gate is the clean run's proof
+    // that the breaking step is inside the explored space:
+    //  * a write was ordered, so dropping the `+1` leaves `wts`
+    //    unbumped at that very write (strict-advance violation);
+    //  * a fill carried a real lease (`rts > wts`), so swapping the
+    //    pair installs `wts > rts` at that very fill;
+    //  * a lease expired, so the never-extend and serve-stale mutants
+    //    divert the renewal path that run took — a renewal that leaves
+    //    `rts < pts`, or a local read past its lease, respectively.
+    if kind.is_timestamped() {
+        if log.ts_write {
+            out.push(Mutation::TsDropWtsBump);
+        }
+        if log.ts_fill_unequal {
+            out.push(Mutation::TsSwapFill);
+        }
+        if log.ts_expired {
+            out.push(Mutation::TsGrantNoRenew);
+            out.push(Mutation::TsServeStale);
+        }
+    }
     out
 }
 
@@ -403,7 +508,7 @@ pub fn mutation_smoke(cfg: &McConfig) -> (McReport, Vec<MutationOutcome>) {
     let outcomes = mutations_for(kind, &log)
         .into_iter()
         .map(|mutation| {
-            let factory = move || mutant_tables(kind, mutation);
+            let factory = move || mutant_tables(cfg, mutation);
             let report = explore_with(cfg, Some(&factory));
             MutationOutcome {
                 mutation,
@@ -437,5 +542,43 @@ mod tests {
         assert!(muts.contains(&Mutation::ReadFillIgnoreShared));
         assert!(muts.iter().any(|m| matches!(m, Mutation::WriteHitSilentClean { .. })));
         assert!(muts.iter().any(|m| matches!(m, Mutation::SnoopForceDirtyExclusive { .. })));
+    }
+
+    /// The default Tardis configuration reaches every timestamp rule —
+    /// writes, leased fills, *and* an actual lease expiry — so all four
+    /// timestamp mutant classes are generated.
+    #[test]
+    fn tardis_generates_every_timestamp_mutant() {
+        let cfg = McConfig::new(ProtocolKind::Tardis);
+        let (log, report) = record_exercise(&cfg);
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(log.ts_write, "no write was timestamp-ordered");
+        assert!(log.ts_fill_unequal, "no fill carried a real lease");
+        assert!(log.ts_expired, "no lease expired in the explored space");
+        let muts = mutations_for(ProtocolKind::Tardis, &log);
+        for want in [
+            Mutation::TsDropWtsBump,
+            Mutation::TsSwapFill,
+            Mutation::TsGrantNoRenew,
+            Mutation::TsServeStale,
+        ] {
+            assert!(muts.contains(&want), "missing {want}");
+        }
+    }
+
+    /// Untimestamped protocols never generate timestamp mutants.
+    #[test]
+    fn untimestamped_kinds_generate_no_timestamp_mutants() {
+        let cfg = McConfig::new(ProtocolKind::Firefly).with_depth(6);
+        let (log, _) = record_exercise(&cfg);
+        assert!(!log.ts_write && !log.ts_fill_unequal && !log.ts_expired);
+        let muts = mutations_for(ProtocolKind::Firefly, &log);
+        assert!(muts.iter().all(|m| !matches!(
+            m,
+            Mutation::TsDropWtsBump
+                | Mutation::TsSwapFill
+                | Mutation::TsGrantNoRenew
+                | Mutation::TsServeStale
+        )));
     }
 }

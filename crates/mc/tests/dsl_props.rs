@@ -129,7 +129,7 @@ proptest! {
         programs in programs_strategy(),
     ) {
         let t = parse(&to_text(name, &programs, &[])).expect("generated text must parse");
-        for kind in [ProtocolKind::Firefly, ProtocolKind::Berkeley] {
+        for kind in [ProtocolKind::Firefly, ProtocolKind::Berkeley, ProtocolKind::Tardis] {
             let out = run(&t, kind);
             prop_assert!(
                 out.violation.is_none(),

@@ -38,7 +38,8 @@ fn counterexamples_are_minimal_and_replayable() {
         for o in outcomes {
             let v = o.violation.expect("caught mutant carries a violation");
             let mutation = o.mutation;
-            let factory = move || mutant_tables(kind, mutation);
+            let cfg_ref = &cfg;
+            let factory = move || mutant_tables(cfg_ref, mutation);
 
             // Replayable: the minimized path still violates from reset.
             assert!(
@@ -61,7 +62,7 @@ fn counterexamples_are_minimal_and_replayable() {
 #[test]
 fn counterexample_traces_render_through_the_standard_exporters() {
     // One protocol suffices for the exporter plumbing; the replay
-    // property above already covers all six.
+    // property above already covers all seven.
     let kind = ProtocolKind::Firefly;
     let cfg = McConfig::new(kind);
     let (_, outcomes) = mutation_smoke(&cfg);
@@ -69,7 +70,8 @@ fn counterexample_traces_render_through_the_standard_exporters() {
     for o in outcomes {
         let v = o.violation.expect("caught mutant carries a violation");
         let mutation = o.mutation;
-        let factory = move || mutant_tables(kind, mutation);
+        let cfg_ref = &cfg;
+        let factory = move || mutant_tables(cfg_ref, mutation);
         let ce = counterexample(&cfg, Some(&factory), &v);
         assert!(!ce.events.is_empty(), "{mutation}: counterexample captured no events");
         validate_json(&ce.chrome_trace())

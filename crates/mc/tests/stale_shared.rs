@@ -75,8 +75,9 @@ fn dropped_mshared_is_rejected() {
         {
             continue;
         }
+        let mc = McConfig::new(kind);
         let mutant =
-            mutant_tables(kind, Mutation::SnoopDropShared { state: fill_alone, op: BusOp::Read });
+            mutant_tables(&mc, Mutation::SnoopDropShared { state: fill_alone, op: BusOp::Read });
         let cfg = SystemConfig::microvax(2)
             .with_cache(CacheGeometry::new(4, 1).unwrap())
             .with_memory_mb(1);
@@ -104,7 +105,8 @@ fn every_dropped_mshared_mutant_is_caught_by_exploration() {
             if !matches!(m, Mutation::SnoopDropShared { .. }) {
                 continue;
             }
-            let factory = move || mutant_tables(kind, m);
+            let cfg_ref = &cfg;
+            let factory = move || mutant_tables(cfg_ref, m);
             let rep = explore_with(&cfg, Some(&factory));
             assert!(rep.violation.is_some(), "{kind:?}: {m} survived exploration");
             total += 1;

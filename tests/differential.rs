@@ -4,7 +4,7 @@
 //!
 //! Because the MBus serializes all traffic and every protocol must
 //! implement the same memory semantics, a request stream issued one
-//! access at a time must produce **identical read values under all six
+//! access at a time must produce **identical read values under all seven
 //! protocols** — the protocols may only differ in *how* (bus traffic,
 //! cache states), never in *what* (data). Meanwhile the reference-level
 //! simulator ([`firefly::core::refsim::RefSim`]) applies the same
@@ -109,11 +109,11 @@ fn replay(
 }
 
 /// The headline differential: 10,000 seeded requests per protocol,
-/// single-word lines, heavy aliasing. All six protocols must return
+/// single-word lines, heavy aliasing. All seven protocols must return
 /// identical read values, track the reference simulator's states, and
 /// keep every invariant at each checkpoint.
 #[test]
-fn six_protocols_agree_on_ten_thousand_requests() {
+fn seven_protocols_agree_on_ten_thousand_requests() {
     let (cpus, words) = (4, 96);
     let geometry = CacheGeometry::new(16, 1).unwrap();
     let accesses = stream(0xd1ff_0001, cpus, words, 10_000);
@@ -139,7 +139,7 @@ fn six_protocols_agree_on_ten_thousand_requests() {
 /// the fill-then-write path, victimization moves whole lines, and false
 /// sharing appears. Values must still be identical everywhere.
 #[test]
-fn six_protocols_agree_with_multiword_lines() {
+fn seven_protocols_agree_with_multiword_lines() {
     let (cpus, words) = (3, 128);
     let geometry = CacheGeometry::new(8, 4).unwrap();
     let accesses = stream(0xd1ff_0002, cpus, words, 10_000);
@@ -157,7 +157,7 @@ fn six_protocols_agree_with_multiword_lines() {
 /// A write-heavy stream over a single hot line set: maximum ping-pong,
 /// updates and invalidations in every direction.
 #[test]
-fn six_protocols_agree_under_write_pressure() {
+fn seven_protocols_agree_under_write_pressure() {
     let (cpus, words) = (4, 16);
     let geometry = CacheGeometry::new(8, 1).unwrap();
     let mut rng = SmallRng::seed_from_u64(0xd1ff_0003);
@@ -215,14 +215,14 @@ fn differential_stream_reproduces_the_design_space_ordering() {
 
 /// PR-8 arbitration coverage: the same serialized differential, but the
 /// axis under test is the *bus configuration* — every arbitration
-/// policy × bus mode, across all six protocols. One access is on the
+/// policy × bus mode, across all seven protocols. One access is on the
 /// wires at a time, so the discipline and the split pipeline must be
 /// observationally irrelevant: read values identical to the
 /// fixed-priority unified baseline, invariants clean at every
 /// checkpoint. A policy that could misroute a grant or a split pipeline
 /// that could corrupt a lone transaction shows up as a data diff here.
 #[test]
-fn six_protocols_agree_under_every_policy_and_bus_mode() {
+fn seven_protocols_agree_under_every_policy_and_bus_mode() {
     use firefly::core::{ArbiterKind, BusMode};
 
     let (cpus, words) = (4, 48);
@@ -273,4 +273,71 @@ fn six_protocols_agree_under_every_policy_and_bus_mode() {
             }
         }
     }
+}
+
+/// Tardis vs the reference simulator, lease-renewal-heavy: a 10,000
+/// request stream where each CPU keeps a hot read-mostly word resident
+/// while its own writes march the program timestamp forward, so leases
+/// expire and renew continuously. Tag states must track [`RefSim`] in
+/// lockstep at every checkpoint, the timestamp oracle must hold, and
+/// the read values must match the plain Firefly replay of the same
+/// stream — renewals are bookkeeping, never data.
+#[test]
+fn tardis_renewal_heavy_stream_stays_in_refsim_lockstep() {
+    let (cpus, words) = (4, 24);
+    let geometry = CacheGeometry::new(16, 1).unwrap();
+    let mut rng = SmallRng::seed_from_u64(0xd1ff_0009);
+    // 60% reads of a per-CPU hot word (leases held and re-validated),
+    // 40% writes to a scattered word (pts advances, leases expire).
+    let accesses: Vec<Access> = (0..10_000)
+        .map(|_| {
+            let cpu = rng.gen_range(0..cpus);
+            if rng.gen_bool(0.6) {
+                Access { cpu, write: false, word: cpu as u32, value: 0 }
+            } else {
+                Access { cpu, write: true, word: rng.gen_range(4..words), value: rng.gen() }
+            }
+        })
+        .collect();
+
+    let baseline = replay(ProtocolKind::Firefly, geometry, cpus, words, &accesses, 1_000, true);
+
+    let mut sys = tiny_system(cpus, geometry, ProtocolKind::Tardis);
+    let mut reference = RefSim::new(cpus, geometry, ProtocolKind::Tardis);
+    let checker = CoherenceChecker::new();
+    let mut reads = Vec::new();
+    for (i, a) in accesses.iter().enumerate() {
+        let addr = Addr::from_word_index(a.word);
+        let port = PortId::new(a.cpu);
+        if a.write {
+            sys.run_to_completion(port, Request::write(addr, a.value)).unwrap();
+            reference.access(a.cpu, ProcOp::Write, addr);
+        } else {
+            reads.push(sys.run_to_completion(port, Request::read(addr)).unwrap().value);
+            reference.access(a.cpu, ProcOp::Read, addr);
+        }
+        if (i + 1) % 1_000 == 0 || i + 1 == accesses.len() {
+            checker
+                .check(&sys)
+                .and_then(|()| checker.check_timestamp_order(&sys, None))
+                .unwrap_or_else(|e| panic!("Tardis: violated after access #{i}: {e}"));
+            for cpu in 0..cpus {
+                for w in 0..words {
+                    let line = LineId::containing(Addr::from_word_index(w), geometry.line_words());
+                    assert_eq!(
+                        sys.peek_state(PortId::new(cpu), line),
+                        reference.state_of(cpu, line),
+                        "Tardis: CPU {cpu} line {line:?} diverged from the \
+                         reference simulator after access #{i}"
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(reads, baseline, "Tardis diverged from Firefly on read values");
+    assert!(
+        sys.bus_stats().renewals > 100,
+        "stream renewed only {} leases — not renewal-heavy",
+        sys.bus_stats().renewals
+    );
 }

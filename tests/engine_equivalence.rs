@@ -57,12 +57,12 @@ fn run_chunked(machine: &mut Firefly, chunk: u64, chunks: usize) -> Vec<String> 
         .collect()
 }
 
-/// The headline differential: all six protocols, both engines from the
-/// same seed, compared in lockstep every 10k cycles. 120k cycles at the
-/// paper's ~12 ticks per instruction gives each 3-CPU machine well over
-/// 10,000 memory requests.
+/// The headline differential: all seven protocols, both engines from
+/// the same seed, compared in lockstep every 10k cycles. 120k cycles at
+/// the paper's ~12 ticks per instruction gives each 3-CPU machine well
+/// over 10,000 memory requests.
 #[test]
-fn engines_bit_identical_on_all_six_protocols() {
+fn engines_bit_identical_on_all_seven_protocols() {
     for kind in ProtocolKind::ALL {
         let mut ticked = build(kind, EngineMode::Ticked, FaultConfig::default());
         let mut events = build(kind, EngineMode::EventDriven, FaultConfig::default());
@@ -134,7 +134,14 @@ fn engines_bit_identical_under_fault_injection() {
 /// checkpoint bit-identically to the uninterrupted run.
 #[test]
 fn checkpoints_cross_engines_bit_identically() {
-    for kind in [ProtocolKind::Firefly, ProtocolKind::Berkeley, ProtocolKind::WriteThrough] {
+    for kind in [
+        ProtocolKind::Firefly,
+        ProtocolKind::Berkeley,
+        ProtocolKind::WriteThrough,
+        // Tardis checkpoints carry live leases and per-CPU program
+        // timestamps; they must cross engines like any other state.
+        ProtocolKind::Tardis,
+    ] {
         let plan = FaultConfig::correctable(0xc0c0, 25_000);
         let mut events = build(kind, EngineMode::EventDriven, plan);
         events.run(30_000);
@@ -222,39 +229,73 @@ fn busy_bus_paper_mix_point_stays_bit_identical() {
 /// predicate knows nothing about the arbiter, so pluggable arbitration
 /// must not cost the event engine its bit-identity — under a rotating
 /// grant state (round-robin, aging) and with two transactions pipelined
-/// on the split bus alike.
+/// on the split bus alike. Runs the sweep under both the invalidating
+/// workhorse (Firefly) and the timestamped protocol (Tardis), whose
+/// data-less lease renewals add a bus-operation shape the skip
+/// predicate has to schedule like any other transaction.
 #[test]
 fn engines_bit_identical_across_policies_and_bus_modes() {
     use firefly::core::{ArbiterKind, BusMode};
 
-    for kind in ArbiterKind::ALL {
-        for mode in [BusMode::Unified, BusMode::Split] {
-            let build = |engine| {
-                FireflyBuilder::microvax(4)
-                    .workload(Workload::Synthetic(LocalityParams::paper_calibrated()))
-                    .protocol(ProtocolKind::Firefly)
-                    .arbiter(kind)
-                    .bus_mode(mode)
-                    .seed(0x1bb ^ kind as u64)
-                    .engine(engine)
-                    .build()
-            };
-            let mut ticked = build(EngineMode::Ticked);
-            let mut events = build(EngineMode::EventDriven);
-            ticked.run(60_000);
-            events.run(60_000);
-            assert_eq!(
-                stats_json(&ticked),
-                stats_json(&events),
-                "{kind:?}/{mode:?}: stats diverged"
-            );
-            assert_eq!(
-                ticked.save_snapshot().unwrap(),
-                events.save_snapshot().unwrap(),
-                "{kind:?}/{mode:?}: snapshot bytes diverged"
-            );
+    for proto in [ProtocolKind::Firefly, ProtocolKind::Tardis] {
+        for kind in ArbiterKind::ALL {
+            for mode in [BusMode::Unified, BusMode::Split] {
+                let build = |engine| {
+                    FireflyBuilder::microvax(4)
+                        .workload(Workload::Synthetic(LocalityParams::paper_calibrated()))
+                        .protocol(proto)
+                        .arbiter(kind)
+                        .bus_mode(mode)
+                        .seed(0x1bb ^ kind as u64)
+                        .engine(engine)
+                        .build()
+                };
+                let mut ticked = build(EngineMode::Ticked);
+                let mut events = build(EngineMode::EventDriven);
+                ticked.run(60_000);
+                events.run(60_000);
+                assert_eq!(
+                    stats_json(&ticked),
+                    stats_json(&events),
+                    "{proto:?}/{kind:?}/{mode:?}: stats diverged"
+                );
+                assert_eq!(
+                    ticked.save_snapshot().unwrap(),
+                    events.save_snapshot().unwrap(),
+                    "{proto:?}/{kind:?}/{mode:?}: snapshot bytes diverged"
+                );
+            }
         }
     }
+}
+
+/// The busy-bus shape under Tardis: the paper-mix point where the bus
+/// is saturated, with lease renewals live in the transaction stream.
+/// Chunk-by-chunk bit-identity between the engines, and the run must
+/// actually renew — a renewal-free run would leave the new `Renew` bus
+/// operation untested here.
+#[test]
+fn tardis_busy_bus_renewals_stay_bit_identical() {
+    let build = |engine| {
+        FireflyBuilder::microvax(4)
+            .workload(Workload::Synthetic(LocalityParams::paper_calibrated()))
+            .protocol(ProtocolKind::Tardis)
+            .seed(0x8a8b ^ 0x7)
+            .engine(engine)
+            .build()
+    };
+    let mut ticked = build(EngineMode::Ticked);
+    let mut events = build(EngineMode::EventDriven);
+    let t = run_chunked(&mut ticked, 20_000, 6);
+    let e = run_chunked(&mut events, 20_000, 6);
+    for (i, (tj, ej)) in t.iter().zip(&e).enumerate() {
+        assert_eq!(tj, ej, "Tardis busy-bus: stats JSON diverged in chunk {i}");
+    }
+    assert!(
+        ticked.memory().bus_stats().renewals > 0,
+        "the Tardis paper-mix run never renewed a lease — the differential misses Renew"
+    );
+    assert_eq!(ticked.save_snapshot().unwrap(), events.save_snapshot().unwrap());
 }
 
 /// An idle-heavy configuration (one CPU, high hit rate, long compute

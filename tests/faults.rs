@@ -6,7 +6,7 @@
 //! * a **correctable-only** plan (bus parity, dropped/spurious
 //!   `MShared`, arbitration stalls, single-bit ECC, tag parity) may
 //!   bend timing but can never change a read value, under any of the
-//!   six protocols;
+//!   seven protocols;
 //! * an **uncorrectable** fault (double-bit ECC) surfaces as a
 //!   structured [`firefly::core::Error`] and a machine-checked
 //!   processor — never a panic;
@@ -85,11 +85,11 @@ fn replay_with_faults(
 }
 
 /// The headline robustness differential: the same seeded stream, first
-/// fault-free, then under a nonzero correctable-only plan for all six
+/// fault-free, then under a nonzero correctable-only plan for all seven
 /// protocols. Recovery (retry, correct-and-scrub, invalidate-and-
 /// refetch) must make every injected fault invisible to the data.
 #[test]
-fn six_protocols_return_identical_values_under_correctable_faults() {
+fn seven_protocols_return_identical_values_under_correctable_faults() {
     let (cpus, words) = (4, 96);
     let accesses = stream(0xfa17_0001, cpus, words, 6_000);
 

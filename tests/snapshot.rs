@@ -37,7 +37,7 @@ fn stats_json(machine: &firefly::sim::Firefly) -> String {
     parts.join(",")
 }
 
-/// The ISSUE acceptance gate: for all six protocols, checkpoint at
+/// The ISSUE acceptance gate: for all seven protocols, checkpoint at
 /// cycle C under a nonzero fault plan, resume into a differently-seeded
 /// twin, and demand byte-identical stats JSON, event-trace bytes, and
 /// re-snapshot images after both sides run the same distance.
@@ -135,6 +135,80 @@ fn restore_of_save_is_a_fixed_point_mid_stream() {
         let restored = MemSystem::restore(&snap).unwrap();
         assert_eq!(restored.save_snapshot(), snap, "{kind:?}: quiescent fixed point");
     }
+}
+
+/// Tardis-specific crash consistency: cut the machine with a lease
+/// renewal *on the wires* — the reader's lease has expired, the
+/// data-less `Renew` transaction is mid-flight, and every timestamp
+/// (per-CPU `pts`, global and per-line `(wts, rts)`) is live state the
+/// image must carry. `save ∘ restore` must be a byte fixed point at
+/// that cut, the restored system must reproduce the original's
+/// timestamps exactly, and draining the in-flight renewal must finish
+/// with the correct value and a renewed lease that the timestamp
+/// oracle accepts.
+#[test]
+fn tardis_snapshot_roundtrips_with_live_leases_in_flight() {
+    use firefly::core::check::CoherenceChecker;
+    use firefly::core::LineId;
+
+    let cpus = 2;
+    let cfg = SystemConfig::microvax(cpus).with_cache(CacheGeometry::new(8, 1).unwrap());
+    let mut sys = MemSystem::new(cfg, ProtocolKind::Tardis).unwrap();
+    let reader = PortId::new(0);
+    let hot = Addr::from_word_index(0);
+    let hot_line = LineId::containing(hot, 1);
+
+    // Lease the hot word, then expire the lease with private writes
+    // (each write advances the reader's program timestamp).
+    sys.run_to_completion(reader, Request::read(hot)).unwrap();
+    let (_, rts) = sys.tardis_global_ts(hot_line);
+    let mut k = 0u32;
+    while sys.tardis_pts(reader) <= rts {
+        sys.run_to_completion(reader, Request::write(Addr::from_word_index(1), k)).unwrap();
+        k += 1;
+    }
+
+    // Issue the renewing read and cut with the Renew transaction
+    // mid-flight on the bus.
+    sys.begin(reader, Request::read(hot)).unwrap();
+    sys.step();
+    sys.step();
+    assert!(!sys.is_quiescent(), "the renewal must still be in flight at the cut");
+    let snap = sys.save_snapshot();
+    let mut restored = MemSystem::restore(&snap).expect("mid-renewal image restores");
+    assert_eq!(restored.save_snapshot(), snap, "save∘restore is not a fixed point mid-renewal");
+
+    // The restored system carries the exact timestamp state.
+    for p in 0..cpus {
+        assert_eq!(
+            restored.tardis_pts(PortId::new(p)),
+            sys.tardis_pts(PortId::new(p)),
+            "P{p} pts diverged across the snapshot"
+        );
+    }
+    assert_eq!(restored.tardis_global_ts(hot_line), sys.tardis_global_ts(hot_line));
+    assert_eq!(restored.tardis_line_ts(reader, hot_line), sys.tardis_line_ts(reader, hot_line));
+
+    // Both the original and the restored system drain the renewal to
+    // the same value, and end in oracle-clean, freshly-leased states.
+    for s in [&mut sys, &mut restored] {
+        let r = loop {
+            if let Some(r) = s.poll(reader) {
+                break r;
+            }
+            s.step();
+        };
+        assert_eq!(r.value, 0, "the hot word was never written — the renewal must read 0");
+        assert!(s.cache_stats(reader).renewals_sent > 0, "the drained access never renewed");
+        let (_, new_rts) = s.tardis_global_ts(hot_line);
+        assert!(new_rts >= s.tardis_pts(reader), "renewed lease does not cover the reader");
+        CoherenceChecker::new().check_timestamp_order(s, None).unwrap();
+    }
+    assert_eq!(
+        sys.save_snapshot(),
+        restored.save_snapshot(),
+        "original and restored systems diverged after draining the renewal"
+    );
 }
 
 /// The event-driven engine's scheduler state is *derived*: every wake-up
