@@ -69,6 +69,19 @@ if [ "$a" != "$b" ]; then
     exit 1
 fi
 
+echo "== bench: partition --smoke -> BENCH_10.json + schema/gate check"
+cargo run --release -p firefly-bench --bin partition -- --smoke --out BENCH_10.json
+cargo run --release -p firefly-bench --bin bench_check -- BENCH_10.json
+
+echo "== partition determinism gate (bit-identical across widths)"
+a="$(FIREFLY_JOBS=1 cargo run --release -q -p firefly-bench --bin partition -- --smoke --json --out /tmp/bench10-j1.json)"
+b="$(FIREFLY_JOBS=4 cargo run --release -q -p firefly-bench --bin partition -- --smoke --json --out /tmp/bench10-j4.json)"
+rm -f /tmp/bench10-j1.json /tmp/bench10-j4.json
+if [ "$a" != "$b" ]; then
+    echo "partition --smoke --json differs between FIREFLY_JOBS=1 and 4" >&2
+    exit 1
+fi
+
 echo "== trace smoke: protocol_compare --smoke --trace + trace_check"
 trace_file="$(mktemp /tmp/firefly-trace.XXXXXX.json)"
 trap 'rm -f "$trace_file"' EXIT

@@ -2,8 +2,8 @@
 //! well-formed and that its headline gates hold.
 //!
 //! Usage: `bench_check <BENCH_N.json>`. The file names which bench it
-//! is (`"bench":"BENCH_6"`, `"bench":"BENCH_7"` or `"bench":"BENCH_8"`);
-//! the matching schema
+//! is (`"bench":"BENCH_6"`, `"bench":"BENCH_7"`, `"bench":"BENCH_8"` or
+//! `"bench":"BENCH_10"`); the matching schema
 //! and gate check runs. Exits 0 when the file parses as JSON (via the
 //! simulator's own dependency-free validator,
 //! [`firefly_core::events::validate_json`]), carries every schema key
@@ -76,6 +76,33 @@ const BENCH_8_KEYS: &[&str] = &[
     "\"speedup\":",
     "\"rounds\":",
     "\"busy_bus_target\":",
+    "\"pass\":",
+];
+
+/// Keys every BENCH_10 (partition tolerance) document must carry.
+const BENCH_10_KEYS: &[&str] = &[
+    "\"seed\":",
+    "\"smoke\":",
+    "\"partition_resilient\":{",
+    "\"partition_budgeted\":{",
+    "\"flapping\":{",
+    "\"baseline_mbps\":",
+    "\"split_mbps\":",
+    "\"recovery_fraction\":",
+    "\"minority_split_fast_fails\":",
+    "\"minority_open_breakers_mid_split\":",
+    "\"minority_open_breakers_at_end\":",
+    "\"rejoin\":{",
+    "\"victim_epoch\":",
+    "\"victim_executed_after_revive\":",
+    "\"rebinds\":",
+    "\"brownout_shed\":{",
+    "\"brownout_silent\":{",
+    "\"server_shed_replied\":",
+    "\"server_shed_silent\":",
+    "\"oracle_violations\":",
+    "\"heal_recovery_cycles\":",
+    "\"rejoin_recovery_cycles\":",
     "\"pass\":",
 ];
 
@@ -212,6 +239,85 @@ fn check_bench_8(path: &str, text: &str) -> Result<String, String> {
     ))
 }
 
+fn check_bench_10(path: &str, text: &str) -> Result<String, String> {
+    require_keys(path, text, BENCH_10_KEYS)?;
+    // The outcome structs serialize in declaration order: resilient,
+    // budgeted, flapping, rejoin, brownouts. Scan each gate's numbers
+    // from its own section onward.
+    let resilient_at = text.find("\"partition_resilient\":{").expect("checked above");
+    let budgeted_at = text.find("\"partition_budgeted\":{").expect("checked above");
+    let flapping_at = text.find("\"flapping\":{").expect("checked above");
+    let rejoin_at = text.find("\"rejoin\":{").expect("checked above");
+    let shed_at = text.find("\"brownout_shed\":{").expect("checked above");
+    let silent_at = text.find("\"brownout_silent\":{").expect("checked above");
+
+    let resilient_frac = number_after_at(text, resilient_at, "\"recovery_fraction\":")?;
+    let resilient_split = number_after_at(text, resilient_at, "\"split_mbps\":")?;
+    let budgeted_split = number_after_at(text, budgeted_at, "\"split_mbps\":")?;
+    let mid_split = number_after_at(text, resilient_at, "\"minority_open_breakers_mid_split\":")?;
+    let at_end = number_after_at(text, resilient_at, "\"minority_open_breakers_at_end\":")?;
+    if resilient_frac < 0.85 {
+        return Err(format!(
+            "{path}: post-heal recovery {:.0}% of baseline (heal gate wants ≥ 85%)",
+            resilient_frac * 100.0
+        ));
+    }
+    if resilient_split < 1.5 * budgeted_split {
+        return Err(format!(
+            "{path}: resilient split goodput {resilient_split:.2} Mb/s is not ≥1.5× \
+             budgeted's {budgeted_split:.2}"
+        ));
+    }
+    if mid_split < 9.0 || at_end > 0.0 {
+        return Err(format!(
+            "{path}: minority breakers mid-split {mid_split:.0}/9 open, {at_end:.0} \
+             stuck open at the end"
+        ));
+    }
+    let flapping_frac = number_after_at(text, flapping_at, "\"recovery_fraction\":")?;
+    let flapping_stuck = number_after_at(text, flapping_at, "\"minority_open_breakers_at_end\":")?;
+    if flapping_frac < 0.85 || flapping_stuck > 0.0 {
+        return Err(format!(
+            "{path}: flapping partition recovered {:.0}% with {flapping_stuck:.0} breakers \
+             stuck open",
+            flapping_frac * 100.0
+        ));
+    }
+    let epoch = number_after_at(text, rejoin_at, "\"victim_epoch\":")?;
+    let executed_after = number_after_at(text, rejoin_at, "\"victim_executed_after_revive\":")?;
+    let rebinds = number_after_at(text, rejoin_at, "\"rebinds\":")?;
+    let rejoin_frac = number_after_at(text, rejoin_at, "\"recovery_fraction\":")?;
+    if epoch != 1.0 || executed_after <= 0.0 || rebinds < 1.0 || rejoin_frac < 0.85 {
+        return Err(format!(
+            "{path}: rejoin gate failed (epoch {epoch:.0}, executed-after \
+             {executed_after:.0}, rebinds {rebinds:.0}, recovery {:.0}%)",
+            rejoin_frac * 100.0
+        ));
+    }
+    let shed_goodput = number_after_at(text, shed_at, "\"goodput_mbps\":")?;
+    let silent_goodput = number_after_at(text, silent_at, "\"goodput_mbps\":")?;
+    let shed_replied = number_after_at(text, shed_at, "\"server_shed_replied\":")?;
+    if shed_goodput <= silent_goodput || shed_replied <= 0.0 {
+        return Err(format!(
+            "{path}: brownout shedding ({shed_goodput:.2} Mb/s, {shed_replied:.0} shed \
+             replies) does not beat silent drops ({silent_goodput:.2} Mb/s)"
+        ));
+    }
+    let oracles = text.matches("\"oracle_violations\":").count();
+    let clean_oracles = text.matches("\"oracle_violations\":0").count();
+    if clean_oracles != oracles {
+        return Err(format!("{path}: at-most-once oracle violations recorded"));
+    }
+    Ok(format!(
+        "heal {:.0}% / flapping {:.0}% / rejoin {:.0}% recovery, split goodput \
+         {resilient_split:.2} vs {budgeted_split:.2} Mb/s, shedding {shed_goodput:.2} vs \
+         {silent_goodput:.2} Mb/s",
+        resilient_frac * 100.0,
+        flapping_frac * 100.0,
+        rejoin_frac * 100.0
+    ))
+}
+
 fn check(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     firefly_core::events::validate_json(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
@@ -221,8 +327,12 @@ fn check(path: &str) -> Result<String, String> {
         ("BENCH_7", check_bench_7(path, &text)?)
     } else if text.contains("\"bench\":\"BENCH_8\"") {
         ("BENCH_8", check_bench_8(path, &text)?)
+    } else if text.contains("\"bench\":\"BENCH_10\"") {
+        ("BENCH_10", check_bench_10(path, &text)?)
     } else {
-        return Err(format!("{path}: no recognized \"bench\" tag (BENCH_6, BENCH_7 or BENCH_8)"));
+        return Err(format!(
+            "{path}: no recognized \"bench\" tag (BENCH_6, BENCH_7, BENCH_8 or BENCH_10)"
+        ));
     };
     if !text.contains("\"pass\":true") {
         return Err(format!("{path}: report does not record pass:true"));

@@ -1,0 +1,285 @@
+//! Partition-tolerance benchmark: the BENCH_10 trajectory point.
+//!
+//! Six scenarios of the self-healing fleet (`firefly_sim::fleet`), run
+//! through the `FIREFLY_JOBS` worker pool so the document doubles as a
+//! determinism witness:
+//!
+//! 1. **Partition heal, resilient vs budgeted** — the minority clients
+//!    lose every server for 1.2 Mcycles. Gates: with circuit breakers
+//!    the minority trips all nine (client, server) breakers mid-split
+//!    and fails fast instead of burning timeouts; split-side goodput
+//!    beats plain budgeted retries by ≥1.5×; post-heal timely goodput
+//!    recovers to ≥85% of baseline and every breaker re-closes.
+//! 2. **Flapping partition** — three sever/heal rounds. Gates: the
+//!    breakers trip every round, none sticks open at the end, and the
+//!    fleet still heals to ≥85%.
+//! 3. **Kill + revive** — a dead server rejoins under a fresh epoch.
+//!    Gates: stale requests bounce with `Rebind` (never execute), the
+//!    victim serves again, and full-fleet goodput recovers to ≥85%.
+//! 4. **Brownout shedding on/off** — the same seeded overload with and
+//!    without the server admission controller. Gates: explicit `Shed`
+//!    replies beat silent queue drops on timely goodput, abandon no
+//!    calls, and at least halve the p99.
+//!
+//! Every scenario must keep the at-most-once oracle clean.
+//!
+//! Flags: `--smoke` (recorded; the grid is already CI-sized), `--seed
+//! N`, `--out PATH` (default `BENCH_10.json`), `--json` (prints the
+//! deterministic slice — no wall clock — for the jobs-width identity
+//! gate). Exits nonzero if any gate fails.
+
+use firefly_bench::report;
+use firefly_sim::fleet::{
+    run_brownout, run_flapping_partition, run_partition_heal, run_rejoin, BrownoutOutcome,
+    PartitionOutcome, RejoinOutcome,
+};
+use firefly_sim::harness::run_jobs;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One scenario of the benchmark grid.
+#[derive(Copy, Clone, Debug)]
+enum Job {
+    Partition { resilient: bool },
+    Flapping,
+    Rejoin,
+    Brownout { shedding: bool },
+}
+
+/// The matching outcome (the grid is heterogeneous).
+enum Out {
+    Partition(PartitionOutcome),
+    Rejoin(RejoinOutcome),
+    Brownout(BrownoutOutcome),
+}
+
+/// The deterministic slice of the report — everything `--json` prints.
+#[derive(Debug, Serialize)]
+struct DeterministicReport {
+    bench: String,
+    seed: u64,
+    smoke: bool,
+    partition_resilient: PartitionOutcome,
+    partition_budgeted: PartitionOutcome,
+    flapping: PartitionOutcome,
+    rejoin: RejoinOutcome,
+    brownout_shed: BrownoutOutcome,
+    brownout_silent: BrownoutOutcome,
+    /// Cycles from the heal until timely goodput regained 90% of
+    /// baseline under the resilient policy (`-1` = never, kept numeric
+    /// for `bench_check`).
+    heal_recovery_cycles: i64,
+    /// Ditto for the kill-and-revive scenario, measured from the
+    /// revive.
+    rejoin_recovery_cycles: i64,
+}
+
+/// The full document written to `--out`.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    bench: String,
+    seed: u64,
+    smoke: bool,
+    wall_ns: u64,
+    partition_resilient: PartitionOutcome,
+    partition_budgeted: PartitionOutcome,
+    flapping: PartitionOutcome,
+    rejoin: RejoinOutcome,
+    brownout_shed: BrownoutOutcome,
+    brownout_silent: BrownoutOutcome,
+    heal_recovery_cycles: i64,
+    rejoin_recovery_cycles: i64,
+    pass: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut seed = 0x000f_1ee7_u64;
+    let mut out = String::from("BENCH_10.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--seed" {
+            seed = parse_seed(it.next().expect("--seed takes a value"));
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            seed = parse_seed(v);
+        } else if a == "--out" {
+            out = it.next().expect("--out takes a path").clone();
+        } else if let Some(v) = a.strip_prefix("--out=") {
+            out = v.to_string();
+        }
+    }
+
+    let t0 = Instant::now();
+    let jobs = [
+        Job::Partition { resilient: true },
+        Job::Partition { resilient: false },
+        Job::Flapping,
+        Job::Rejoin,
+        Job::Brownout { shedding: true },
+        Job::Brownout { shedding: false },
+    ];
+    let mut outs: Vec<Out> = run_jobs(&jobs, |job| match *job {
+        Job::Partition { resilient } => Out::Partition(run_partition_heal(seed, resilient)),
+        Job::Flapping => Out::Partition(run_flapping_partition(seed)),
+        Job::Rejoin => Out::Rejoin(run_rejoin(seed)),
+        Job::Brownout { shedding } => Out::Brownout(run_brownout(seed, shedding)),
+    });
+    let wall_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+
+    // run_jobs preserves job order; unpack in reverse to move out.
+    let brownout_silent = match outs.pop() {
+        Some(Out::Brownout(o)) => o,
+        _ => unreachable!(),
+    };
+    let brownout_shed = match outs.pop() {
+        Some(Out::Brownout(o)) => o,
+        _ => unreachable!(),
+    };
+    let rejoin = match outs.pop() {
+        Some(Out::Rejoin(o)) => o,
+        _ => unreachable!(),
+    };
+    let flapping = match outs.pop() {
+        Some(Out::Partition(o)) => o,
+        _ => unreachable!(),
+    };
+    let partition_budgeted = match outs.pop() {
+        Some(Out::Partition(o)) => o,
+        _ => unreachable!(),
+    };
+    let partition_resilient = match outs.pop() {
+        Some(Out::Partition(o)) => o,
+        _ => unreachable!(),
+    };
+
+    let oracle_clean = partition_resilient.oracle_violations == 0
+        && partition_budgeted.oracle_violations == 0
+        && flapping.oracle_violations == 0
+        && rejoin.oracle_violations == 0
+        && brownout_shed.oracle_violations == 0
+        && brownout_silent.oracle_violations == 0;
+    let partition_gate = partition_resilient.recovery_fraction >= 0.85
+        && partition_resilient.recovery_cycles.is_some()
+        && partition_resilient.split_mbps > 1.5 * partition_budgeted.split_mbps
+        && partition_resilient.minority_open_breakers_mid_split == 9
+        && partition_resilient.minority_open_breakers_at_end == 0
+        && partition_resilient.minority_split_fast_fails >= 20
+        && partition_budgeted.minority_split_fast_fails == 0;
+    let flapping_gate = flapping.recovery_fraction >= 0.85
+        && flapping.minority_breaker_opens >= flapping.severed_windows as u64
+        && flapping.minority_open_breakers_at_end == 0;
+    let rejoin_gate = rejoin.victim_epoch == 1
+        && rejoin.victim_executed_after_revive > 0
+        && rejoin.rebinds >= 1
+        && rejoin.recovery_fraction >= 0.85;
+    let brownout_gate = brownout_shed.goodput_mbps > brownout_silent.goodput_mbps
+        && brownout_shed.failed == 0
+        && brownout_shed.server_shed_replied > 0
+        && brownout_silent.server_shed_silent > 0
+        && 2 * brownout_shed.p99 < brownout_silent.p99;
+    let pass = oracle_clean && partition_gate && flapping_gate && rejoin_gate && brownout_gate;
+
+    let heal_recovery_cycles = partition_resilient.recovery_cycles.map_or(-1, |c| c as i64);
+    let rejoin_recovery_cycles = rejoin.recovery_cycles.map_or(-1, |c| c as i64);
+    let deterministic = DeterministicReport {
+        bench: "BENCH_10".to_string(),
+        seed,
+        smoke,
+        partition_resilient,
+        partition_budgeted,
+        flapping,
+        rejoin,
+        brownout_shed,
+        brownout_silent,
+        heal_recovery_cycles,
+        rejoin_recovery_cycles,
+    };
+    let doc = BenchReport {
+        bench: deterministic.bench.clone(),
+        seed,
+        smoke,
+        wall_ns,
+        partition_resilient: deterministic.partition_resilient.clone(),
+        partition_budgeted: deterministic.partition_budgeted.clone(),
+        flapping: deterministic.flapping.clone(),
+        rejoin: deterministic.rejoin.clone(),
+        brownout_shed: deterministic.brownout_shed.clone(),
+        brownout_silent: deterministic.brownout_silent.clone(),
+        heal_recovery_cycles,
+        rejoin_recovery_cycles,
+        pass,
+    };
+    let json = doc.to_json();
+    std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+
+    if report::json_requested() {
+        println!("{}", deterministic.to_json());
+    } else {
+        report::section(&format!(
+            "partition bench: self-healing fleet under splits and overload (seed {seed:#x})"
+        ));
+        for (name, p) in [
+            ("resilient", &doc.partition_resilient),
+            ("budgeted ", &doc.partition_budgeted),
+            ("flapping ", &doc.flapping),
+        ] {
+            println!(
+                "  {name}: baseline {:.3} Mb/s, split {:.3}, recovered {:.3} ({:.0}%), \
+                 minority timeouts {} fast-fails {} breakers mid/end {}/{}",
+                p.baseline_mbps,
+                p.split_mbps,
+                p.recovered_mbps,
+                p.recovery_fraction * 100.0,
+                p.minority_split_timeouts,
+                p.minority_split_fast_fails,
+                p.minority_open_breakers_mid_split,
+                p.minority_open_breakers_at_end,
+            );
+        }
+        let r = &doc.rejoin;
+        println!(
+            "\n  rejoin: baseline {:.3} Mb/s, outage {:.3}, recovered {:.3} ({:.0}%), \
+             epoch {}, executed-after {}, rebinds {}",
+            r.baseline_mbps,
+            r.outage_mbps,
+            r.recovered_mbps,
+            r.recovery_fraction * 100.0,
+            r.victim_epoch,
+            r.victim_executed_after_revive,
+            r.rebinds,
+        );
+        for b in [&doc.brownout_shed, &doc.brownout_silent] {
+            println!(
+                "\n  brownout[{}]: goodput {:.3} Mb/s, timely {}/{}, failed {}, \
+                 timeouts {}, shed-replied {}, silent-drops {}, p99 {}",
+                if b.shedding { "shed" } else { "silent" },
+                b.goodput_mbps,
+                b.acked_timely,
+                b.acked,
+                b.failed,
+                b.timeouts,
+                b.server_shed_replied,
+                b.server_shed_silent,
+                b.p99,
+            );
+        }
+        println!(
+            "\n  gates: oracle {oracle_clean} partition {partition_gate} flapping \
+             {flapping_gate} rejoin {rejoin_gate} brownout {brownout_gate} -> {}",
+            if pass { "pass" } else { "FAIL" }
+        );
+        println!("  wrote {out}");
+    }
+    if !pass {
+        eprintln!("partition: a self-healing gate failed (see {out})");
+        std::process::exit(1);
+    }
+}
+
+fn parse_seed(v: &str) -> u64 {
+    let v = v.trim();
+    let parsed =
+        if let Some(hex) = v.strip_prefix("0x") { u64::from_str_radix(hex, 16) } else { v.parse() };
+    parsed.unwrap_or_else(|_| panic!("--seed wants an integer, got {v:?}"))
+}

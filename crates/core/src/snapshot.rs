@@ -43,8 +43,12 @@ use std::fmt;
 /// section. Version 3 added the Tardis timestamp state: renewal counters
 /// in the bus and cache statistics, per-slot `wts`/`rts` words in each
 /// cache section, and per-CPU program timestamps plus the global
-/// per-line timestamp map in the system section.
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// per-line timestamp map in the system section. Version 4 added the
+/// partition-tolerance state: the network fault plan's partition field
+/// became a tagged window list, RPC clients gained circuit breakers, a
+/// failure detector, per-server epochs and hedging state, and RPC
+/// servers gained an epoch, brownout watermark and ack-below ledger.
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// The four magic bytes at the start of every snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"FFSN";

@@ -57,6 +57,12 @@ impl PartitionPlan {
     }
 }
 
+/// Maximum partition windows in one plan. A fixed-capacity array keeps
+/// [`NetFaultConfig`] `Copy` (it is embedded by value in segment and
+/// fleet configs); eight windows is plenty for any flapping schedule
+/// worth simulating.
+pub const MAX_PARTITION_WINDOWS: usize = 8;
+
 /// Network fault plan: a seed plus per-class rates in events per
 /// million frames (ppm), mirroring [`firefly_core::fault::FaultConfig`].
 ///
@@ -77,8 +83,11 @@ pub struct NetFaultConfig {
     pub reorder_window: u64,
     /// Frames with a payload bit flipped (receiver CRC rejects).
     pub corrupt_ppm: u32,
-    /// Optional timed two-sided partition.
-    pub partition: Option<PartitionPlan>,
+    /// Timed two-sided partition windows (unused slots `None`). A
+    /// flapping partition is a sequence of disjoint windows over the
+    /// same boundary; PR 10 generalized this from a single
+    /// `Option<PartitionPlan>`.
+    pub partitions: [Option<PartitionPlan>; MAX_PARTITION_WINDOWS],
 }
 
 impl NetFaultConfig {
@@ -88,7 +97,33 @@ impl NetFaultConfig {
             && self.dup_ppm == 0
             && self.reorder_ppm == 0
             && self.corrupt_ppm == 0
-            && self.partition.is_none()
+            && self.partitions.iter().all(Option::is_none)
+    }
+
+    /// Adds a partition window in the first free slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when all [`MAX_PARTITION_WINDOWS`] slots are taken.
+    pub fn add_partition(&mut self, plan: PartitionPlan) {
+        let slot = self
+            .partitions
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("more than MAX_PARTITION_WINDOWS partition windows");
+        *slot = Some(plan);
+    }
+
+    /// Builder form of [`add_partition`](NetFaultConfig::add_partition).
+    #[must_use]
+    pub fn with_partition(mut self, plan: PartitionPlan) -> Self {
+        self.add_partition(plan);
+        self
+    }
+
+    /// Whether any window severs a frame from `src` to `dst` at `cycle`.
+    pub fn severed(&self, cycle: u64, src: usize, dst: usize) -> bool {
+        self.partitions.iter().flatten().any(|p| p.severs(cycle, src, dst))
     }
 
     /// A lossy-wire preset: drop/dup/reorder/corrupt all at `rate_ppm`
@@ -101,12 +136,15 @@ impl NetFaultConfig {
             reorder_ppm: rate_ppm,
             reorder_window: 2_000,
             corrupt_ppm: rate_ppm,
-            partition: None,
+            partitions: [None; MAX_PARTITION_WINDOWS],
         }
     }
 
     /// Serializes the plan (embedded in segment snapshots as a config
-    /// guard).
+    /// guard). The partition field leads with a format tag byte:
+    /// `2` (current) is followed by a window count and that many
+    /// windows. The retired single-window format wrote a bool here —
+    /// `0`/`1` — which [`load`](NetFaultConfig::load) still decodes.
     pub fn save(&self, w: &mut SnapWriter) {
         w.u64(self.seed);
         w.u32(self.drop_ppm);
@@ -114,22 +152,23 @@ impl NetFaultConfig {
         w.u32(self.reorder_ppm);
         w.u64(self.reorder_window);
         w.u32(self.corrupt_ppm);
-        match self.partition {
-            None => w.bool(false),
-            Some(p) => {
-                w.bool(true);
-                w.u64(p.from);
-                w.u64(p.until);
-                w.usize(p.boundary);
-            }
+        w.u8(2);
+        let windows: Vec<&PartitionPlan> = self.partitions.iter().flatten().collect();
+        w.usize(windows.len());
+        for p in windows {
+            w.u64(p.from);
+            w.u64(p.until);
+            w.usize(p.boundary);
         }
     }
 
-    /// Reads a plan written by [`save`](NetFaultConfig::save).
+    /// Reads a plan written by [`save`](NetFaultConfig::save), or by
+    /// the retired single-window format (tag `0`/`1`, formerly a bool).
     ///
     /// # Errors
     ///
-    /// Returns [`Error::SnapshotCorrupt`] on truncation.
+    /// Returns [`Error::SnapshotCorrupt`] on truncation, an unknown
+    /// format tag, or too many windows.
     pub fn load(r: &mut SnapReader<'_>) -> Result<Self, Error> {
         let seed = r.u64()?;
         let drop_ppm = r.u32()?;
@@ -137,11 +176,32 @@ impl NetFaultConfig {
         let reorder_ppm = r.u32()?;
         let reorder_window = r.u64()?;
         let corrupt_ppm = r.u32()?;
-        let partition = if r.bool()? {
-            Some(PartitionPlan { from: r.u64()?, until: r.u64()?, boundary: r.usize()? })
-        } else {
-            None
-        };
+        let mut partitions = [None; MAX_PARTITION_WINDOWS];
+        match r.u8()? {
+            0 => {}
+            1 => {
+                partitions[0] =
+                    Some(PartitionPlan { from: r.u64()?, until: r.u64()?, boundary: r.usize()? });
+            }
+            2 => {
+                let count = r.usize()?;
+                if count > MAX_PARTITION_WINDOWS {
+                    return Err(Error::SnapshotCorrupt(format!(
+                        "{count} partition windows exceeds the {MAX_PARTITION_WINDOWS} cap"
+                    )));
+                }
+                for slot in partitions.iter_mut().take(count) {
+                    *slot = Some(PartitionPlan {
+                        from: r.u64()?,
+                        until: r.u64()?,
+                        boundary: r.usize()?,
+                    });
+                }
+            }
+            tag => {
+                return Err(Error::SnapshotCorrupt(format!("unknown partition format tag {tag}")))
+            }
+        }
         Ok(NetFaultConfig {
             seed,
             drop_ppm,
@@ -149,7 +209,7 @@ impl NetFaultConfig {
             reorder_ppm,
             reorder_window,
             corrupt_ppm,
-            partition,
+            partitions,
         })
     }
 }
@@ -228,16 +288,73 @@ mod tests {
     }
 
     #[test]
+    fn flapping_windows_sever_independently() {
+        let cfg = NetFaultConfig::default()
+            .with_partition(PartitionPlan { from: 100, until: 200, boundary: 2 })
+            .with_partition(PartitionPlan { from: 300, until: 400, boundary: 2 });
+        assert!(!cfg.is_disabled());
+        assert!(cfg.severed(150, 0, 3));
+        assert!(!cfg.severed(250, 0, 3), "healed between windows");
+        assert!(cfg.severed(350, 0, 3), "second window");
+        assert!(!cfg.severed(400, 0, 3));
+    }
+
+    #[test]
     fn config_roundtrip() {
-        let cfg = NetFaultConfig {
-            partition: Some(PartitionPlan { from: 1, until: 2, boundary: 3 }),
-            ..NetFaultConfig::lossy(9, 250)
-        };
+        let cfg = NetFaultConfig::lossy(9, 250)
+            .with_partition(PartitionPlan { from: 1, until: 2, boundary: 3 })
+            .with_partition(PartitionPlan { from: 5, until: 9, boundary: 3 });
         let mut w = SnapWriter::new();
         cfg.save(&mut w);
         let bytes = w.into_bytes();
         let mut r = SnapReader::new(&bytes);
         assert_eq!(NetFaultConfig::load(&mut r).unwrap(), cfg);
         r.expect_end().unwrap();
+    }
+
+    /// Bytes exactly as the retired single-window `save` wrote them:
+    /// rates, then a bool tag (`0` = none, `1` = one window's fields).
+    fn legacy_bytes(window: Option<PartitionPlan>) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.u64(9); // seed
+        w.u32(250); // drop_ppm
+        w.u32(250); // dup_ppm
+        w.u32(250); // reorder_ppm
+        w.u64(2_000); // reorder_window
+        w.u32(250); // corrupt_ppm
+        match window {
+            None => w.bool(false),
+            Some(p) => {
+                w.bool(true);
+                w.u64(p.from);
+                w.u64(p.until);
+                w.usize(p.boundary);
+            }
+        }
+        w.into_bytes()
+    }
+
+    #[test]
+    fn legacy_single_window_format_still_decodes() {
+        let plan = PartitionPlan { from: 40, until: 90, boundary: 2 };
+        let bytes = legacy_bytes(Some(plan));
+        let mut r = SnapReader::new(&bytes);
+        let cfg = NetFaultConfig::load(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(cfg, NetFaultConfig::lossy(9, 250).with_partition(plan));
+
+        let bytes = legacy_bytes(None);
+        let mut r = SnapReader::new(&bytes);
+        let cfg = NetFaultConfig::load(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(cfg, NetFaultConfig::lossy(9, 250));
+    }
+
+    #[test]
+    fn unknown_partition_tag_rejected() {
+        let mut bytes = legacy_bytes(None);
+        *bytes.last_mut().unwrap() = 7;
+        let mut r = SnapReader::new(&bytes);
+        assert!(NetFaultConfig::load(&mut r).is_err());
     }
 }

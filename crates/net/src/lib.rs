@@ -14,7 +14,11 @@
 //! * [`rpc`] — a message-passing Topaz-style RPC transport: request
 //!   ids with at-most-once server semantics, per-call timeouts with
 //!   exponential backoff and jitter, bounded retry budgets, and an
-//!   outstanding-call cap that backpressures the load generator.
+//!   outstanding-call cap that backpressures the load generator;
+//! * [`health`] — the partition-tolerance state machines: a
+//!   deterministic heartbeat-gap failure detector and per-server
+//!   closed→open→half-open circuit breakers that let clients fail fast
+//!   during a split instead of burning retry budget.
 //!
 //! Every component serializes its complete state (including RNG stream
 //! positions) through `firefly_core::snapshot`, so a fleet checkpoint
@@ -24,9 +28,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod fault;
+pub mod health;
 pub mod rpc;
 pub mod segment;
 
-pub use fault::{NetFaultConfig, PartitionPlan};
+pub use fault::{NetFaultConfig, PartitionPlan, MAX_PARTITION_WINDOWS};
+pub use health::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker, FailureDetector};
 pub use rpc::{RetryPolicy, RpcClient, RpcClientStats, RpcMsg, RpcServer, RpcServerStats};
 pub use segment::{frame_cycles, EtherSegment, Frame, SegmentConfig, SegmentStats};

@@ -27,7 +27,37 @@
 //! call twice (the pending entry is removed on first reply). A call
 //! that fails over to another server after a lost reply may execute on
 //! both servers — visible to the oracle, invisible to the client.
+//!
+//! PR 10 added the partition-tolerance layer on both ends:
+//!
+//! * **Circuit breakers + failure detector** (client, see
+//!   [`crate::health`]) — with [`RetryPolicy::resilient`], every
+//!   server binding gets a closed→open→half-open breaker. Timeouts
+//!   trip it; an open breaker fails calls fast at the client (no wire
+//!   traffic, no retry budget) and gates both initial server selection
+//!   and `failover_after` rotation. Half-open probes re-admit a healed
+//!   or revived server.
+//! * **Hedged requests** (client) — after `hedge_delay` cycles without
+//!   a reply, a second copy goes to the next breaker-admitted server;
+//!   first reply wins and the loser's reply is absorbed as a duplicate
+//!   (cross-server double execution is the already-tolerated failover
+//!   case; the client still completes exactly once).
+//! * **Brownout load shedding** (server) — above a queue watermark the
+//!   server rejects the lowest-priority requests with an explicit
+//!   [`RpcMsg::Shed`] reply. A shed is cheap, immediate, and keeps the
+//!   breaker closed — the opposite of a silent drop, which costs the
+//!   client a full timeout and reads as a dead server.
+//! * **Epoch rebinding** (both) — a server restart increments its
+//!   epoch and cold-starts the reply cache; requests stamped with a
+//!   stale epoch are answered with [`RpcMsg::Rebind`] (never executed),
+//!   and the client re-issues under a fresh id. A pre-crash duplicate
+//!   can therefore never double-execute against a cold cache.
+//! * **Acknowledged-window eviction** (server) — requests carry
+//!   `ack_below`, the client's lowest still-retransmittable sequence
+//!   number; the reply cache refuses to evict entries at or above it,
+//!   so cache pressure can no longer break at-most-once.
 
+use crate::health::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker, FailureDetector};
 use crate::segment::{EtherSegment, Frame};
 use firefly_core::fault::PPM;
 use firefly_core::snapshot::{crc32, SnapReader, SnapWriter};
@@ -50,7 +80,7 @@ pub const TX_RETRY_CYCLES: u64 = 32;
 
 /// One RPC message. Requests are padded to their declared payload size
 /// so wire occupancy and service cost both scale with the (heavy-tailed)
-/// request size; replies are padded to [`REPLY_PAYLOAD_BYTES`].
+/// request size; server responses are padded to [`REPLY_PAYLOAD_BYTES`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RpcMsg {
     /// A client call: `(client, seq)` is the globally unique request id.
@@ -65,6 +95,16 @@ pub enum RpcMsg {
         payload_bytes: u32,
         /// Send attempt number (1 = first transmission).
         attempt: u32,
+        /// Scheduling priority (0 = lowest, 255 = highest); brownout
+        /// shedding rejects the lowest priorities first.
+        priority: u8,
+        /// Server epoch the client believes it is bound to; a mismatch
+        /// is answered with [`RpcMsg::Rebind`] instead of executing.
+        epoch: u32,
+        /// Lowest sequence number this client could still retransmit:
+        /// everything below is completed or abandoned, so the server's
+        /// reply cache may safely evict it.
+        ack_below: u64,
     },
     /// A server response carrying the deterministic result.
     Reply {
@@ -76,6 +116,33 @@ pub enum RpcMsg {
         server: u32,
         /// Execution result (deterministic function of the id).
         result: u32,
+        /// The server's current epoch (keeps the client's binding hot).
+        epoch: u32,
+    },
+    /// An explicit brownout rejection: the server is alive but chose
+    /// not to execute this call. Terminal at the client — cheap and
+    /// immediate, unlike the full-timeout cost of a silent drop.
+    Shed {
+        /// Client NIC index the rejection is addressed to.
+        client: u32,
+        /// Request sequence number being rejected.
+        seq: u64,
+        /// Server NIC index that shed the call.
+        server: u32,
+    },
+    /// An epoch mismatch: the server restarted since the client bound
+    /// to it, so the request was **not** executed (its reply-cache
+    /// context is gone). The client adopts the new epoch and re-issues
+    /// the call under a fresh sequence number.
+    Rebind {
+        /// Client NIC index the notice is addressed to.
+        client: u32,
+        /// Request sequence number that was refused.
+        seq: u64,
+        /// Server NIC index that refused it.
+        server: u32,
+        /// The server's current epoch.
+        epoch: u32,
     },
 }
 
@@ -83,33 +150,58 @@ impl RpcMsg {
     /// Serializes the message, padding to its wire size.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = SnapWriter::new();
-        match *self {
-            RpcMsg::Request { client, seq, server, payload_bytes, attempt } => {
+        let pad = match *self {
+            RpcMsg::Request {
+                client,
+                seq,
+                server,
+                payload_bytes,
+                attempt,
+                priority,
+                epoch,
+                ack_below,
+            } => {
                 w.u8(1);
                 w.u32(client);
                 w.u64(seq);
                 w.u32(server);
                 w.u32(payload_bytes);
                 w.u32(attempt);
-                let mut bytes = w.into_bytes();
-                if bytes.len() < payload_bytes as usize {
-                    bytes.resize(payload_bytes as usize, 0);
-                }
-                bytes
+                w.u8(priority);
+                w.u32(epoch);
+                w.u64(ack_below);
+                payload_bytes as usize
             }
-            RpcMsg::Reply { client, seq, server, result } => {
+            RpcMsg::Reply { client, seq, server, result, epoch } => {
                 w.u8(2);
                 w.u32(client);
                 w.u64(seq);
                 w.u32(server);
                 w.u32(result);
-                let mut bytes = w.into_bytes();
-                if bytes.len() < REPLY_PAYLOAD_BYTES {
-                    bytes.resize(REPLY_PAYLOAD_BYTES, 0);
-                }
-                bytes
+                w.u32(epoch);
+                REPLY_PAYLOAD_BYTES
             }
+            RpcMsg::Shed { client, seq, server } => {
+                w.u8(3);
+                w.u32(client);
+                w.u64(seq);
+                w.u32(server);
+                REPLY_PAYLOAD_BYTES
+            }
+            RpcMsg::Rebind { client, seq, server, epoch } => {
+                w.u8(4);
+                w.u32(client);
+                w.u64(seq);
+                w.u32(server);
+                w.u32(epoch);
+                REPLY_PAYLOAD_BYTES
+            }
+        };
+        let mut bytes = w.into_bytes();
+        if bytes.len() < pad {
+            bytes.resize(pad, 0);
         }
+        bytes
     }
 
     /// Parses a message, ignoring wire padding. `None` on garbage (the
@@ -124,12 +216,27 @@ impl RpcMsg {
                 server: r.u32().ok()?,
                 payload_bytes: r.u32().ok()?,
                 attempt: r.u32().ok()?,
+                priority: r.u8().ok()?,
+                epoch: r.u32().ok()?,
+                ack_below: r.u64().ok()?,
             }),
             2 => Some(RpcMsg::Reply {
                 client: r.u32().ok()?,
                 seq: r.u64().ok()?,
                 server: r.u32().ok()?,
                 result: r.u32().ok()?,
+                epoch: r.u32().ok()?,
+            }),
+            3 => Some(RpcMsg::Shed {
+                client: r.u32().ok()?,
+                seq: r.u64().ok()?,
+                server: r.u32().ok()?,
+            }),
+            4 => Some(RpcMsg::Rebind {
+                client: r.u32().ok()?,
+                seq: r.u64().ok()?,
+                server: r.u32().ok()?,
+                epoch: r.u32().ok()?,
             }),
             _ => None,
         }
@@ -180,6 +287,13 @@ pub struct RetryPolicy {
     /// stranded by an outage hog the slots long after it heals and
     /// starve fresh traffic out of admission.
     pub deadline: u64,
+    /// Hedge delay in cycles (0 = hedging off). A call unanswered this
+    /// long after its first send gets a second copy on the next
+    /// breaker-admitted server; the first reply wins.
+    pub hedge_delay: u64,
+    /// Per-server circuit-breaker tuning (`None` = breakers off, the
+    /// pre-PR-10 behavior bit-for-bit).
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl RetryPolicy {
@@ -196,6 +310,8 @@ impl RetryPolicy {
             queue_cap: usize::MAX,
             failover_after: 1,
             deadline: 0,
+            hedge_delay: 0,
+            breaker: None,
         }
     }
 
@@ -218,6 +334,29 @@ impl RetryPolicy {
             queue_cap: 128,
             failover_after: 2,
             deadline: timeout.saturating_mul(8),
+            hedge_delay: 0,
+            breaker: None,
+        }
+    }
+
+    /// The partition-tolerant discipline: [`budgeted`] plus per-server
+    /// circuit breakers and hedged requests.
+    ///
+    /// The breaker trips after 3 consecutive timeouts on one binding
+    /// and cools for 8 timeouts' worth of cycles (doubling to 64× on
+    /// repeated re-opens), so a client cut off by a partition burns a
+    /// handful of timeouts per server and then fails fast locally until
+    /// half-open probes find the wire healed. The hedge fires at half
+    /// the timeout: enough for the common-case reply to win, early
+    /// enough to rescue a call from one slow or freshly dead server
+    /// without waiting out the full timeout.
+    ///
+    /// [`budgeted`]: RetryPolicy::budgeted
+    pub fn resilient(timeout: u64) -> Self {
+        RetryPolicy {
+            hedge_delay: (timeout / 2).max(1),
+            breaker: Some(BreakerConfig::with_threshold(3, timeout.saturating_mul(8))),
+            ..Self::budgeted(timeout)
         }
     }
 
@@ -232,6 +371,14 @@ impl RetryPolicy {
         w.u64(self.queue_cap as u64);
         w.u32(self.failover_after);
         w.u64(self.deadline);
+        w.u64(self.hedge_delay);
+        match &self.breaker {
+            None => w.bool(false),
+            Some(cfg) => {
+                w.bool(true);
+                cfg.save(w);
+            }
+        }
     }
 
     fn load(r: &mut SnapReader<'_>) -> Result<Self, Error> {
@@ -245,6 +392,8 @@ impl RetryPolicy {
             queue_cap: r.u64()? as usize,
             failover_after: r.u32()?,
             deadline: r.u64()?,
+            hedge_delay: r.u64()?,
+            breaker: if r.bool()? { Some(BreakerConfig::load(r)?) } else { None },
         })
     }
 }
@@ -282,6 +431,16 @@ pub struct RpcClientStats {
     pub retries_deferred: u64,
     /// Frames that failed to decode at the client.
     pub decode_rejects: u64,
+    /// Calls failed fast by open circuit breakers (no wire traffic, no
+    /// timeout paid) — the partition fast path.
+    pub fast_failed: u64,
+    /// Calls terminated by an explicit server `Shed` reply.
+    pub shed_replies: u64,
+    /// Calls bounced by a server epoch mismatch and re-issued under a
+    /// fresh sequence number.
+    pub rebinds: u64,
+    /// Hedge copies placed on the wire.
+    pub hedges: u64,
 }
 
 impl RpcClientStats {
@@ -300,6 +459,10 @@ impl RpcClientStats {
             self.tx_ring_full,
             self.retries_deferred,
             self.decode_rejects,
+            self.fast_failed,
+            self.shed_replies,
+            self.rebinds,
+            self.hedges,
         ] {
             w.u64(v);
         }
@@ -320,6 +483,10 @@ impl RpcClientStats {
             tx_ring_full: r.u64()?,
             retries_deferred: r.u64()?,
             decode_rejects: r.u64()?,
+            fast_failed: r.u64()?,
+            shed_replies: r.u64()?,
+            rebinds: r.u64()?,
+            hedges: r.u64()?,
         })
     }
 }
@@ -330,6 +497,8 @@ struct Pending {
     /// Index into the client's server list this attempt targets.
     server_slot: usize,
     payload_bytes: u32,
+    /// Scheduling priority stamped on every transmission.
+    priority: u8,
     /// Sends so far (1 after the initial transmission).
     attempts: u32,
     /// Cycle the caller submitted the call — latency and the timeliness
@@ -337,26 +506,38 @@ struct Pending {
     submitted: u64,
     first_sent: u64,
     timeout_at: u64,
+    /// Cycle at which an unanswered call hedges (`u64::MAX` = never:
+    /// hedging off, already hedged, or nowhere else to send).
+    hedge_at: u64,
 }
 
 impl Pending {
+    /// Earliest cycle this call needs client attention.
+    fn wake_at(&self) -> u64 {
+        self.timeout_at.min(self.hedge_at)
+    }
+
     fn save(&self, w: &mut SnapWriter) {
         w.usize(self.server_slot);
         w.u32(self.payload_bytes);
+        w.u8(self.priority);
         w.u32(self.attempts);
         w.u64(self.submitted);
         w.u64(self.first_sent);
         w.u64(self.timeout_at);
+        w.u64(self.hedge_at);
     }
 
     fn load(r: &mut SnapReader<'_>) -> Result<Self, Error> {
         Ok(Pending {
             server_slot: r.usize()?,
             payload_bytes: r.u32()?,
+            priority: r.u8()?,
             attempts: r.u32()?,
             submitted: r.u64()?,
             first_sent: r.u64()?,
             timeout_at: r.u64()?,
+            hedge_at: r.u64()?,
         })
     }
 }
@@ -371,11 +552,20 @@ pub struct RpcClient {
     servers: Vec<u32>,
     next_seq: u64,
     pending: BTreeMap<u64, Pending>,
-    /// Derived: earliest `timeout_at` across `pending` (may be stale-low
+    /// Derived: earliest `wake_at` across `pending` (may be stale-low
     /// after an ack; a scan that finds nothing due simply re-tightens
     /// it). Never serialized — recomputed on load.
     next_deadline: u64,
-    backlog: VecDeque<(u32, u64)>,
+    backlog: VecDeque<(u32, u64, u8)>,
+    /// One circuit breaker per server slot (empty when the policy has
+    /// breakers off).
+    breakers: Vec<CircuitBreaker>,
+    /// Heartbeat-gap failure detector over the server list (every
+    /// decoded frame from a server is a liveness signal).
+    detector: FailureDetector,
+    /// Believed server epoch per slot (servers start at 0; a `Rebind`
+    /// or any reply updates the binding).
+    epochs: Vec<u32>,
     rng: SmallRng,
     stats: RpcClientStats,
     latency: Histogram,
@@ -387,17 +577,26 @@ impl RpcClient {
     /// A client at NIC `nic` calling the given servers under `policy`.
     pub fn new(nic: u32, servers: Vec<u32>, policy: RetryPolicy, seed: u64) -> Self {
         assert!(!servers.is_empty(), "a client needs at least one server");
+        let client_seed = seed ^ (u64::from(nic)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let breakers = match policy.breaker {
+            None => Vec::new(),
+            Some(cfg) => (0..servers.len())
+                .map(|slot| CircuitBreaker::new(cfg, client_seed.wrapping_add(slot as u64)))
+                .collect(),
+        };
+        let detector = FailureDetector::new(servers.len(), policy.timeout.max(1), 8_000);
         RpcClient {
             nic,
             policy,
+            epochs: vec![0; servers.len()],
+            breakers,
+            detector,
             servers,
             next_seq: 0,
             pending: BTreeMap::new(),
             next_deadline: u64::MAX,
             backlog: VecDeque::new(),
-            rng: SmallRng::seed_from_u64(
-                seed ^ (u64::from(nic)).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-            ),
+            rng: SmallRng::seed_from_u64(client_seed),
             stats: RpcClientStats::default(),
             latency: Histogram::default(),
             completions: Vec::new(),
@@ -434,17 +633,77 @@ impl RpcClient {
         &self.completions
     }
 
-    /// Offers one call of `payload_bytes` to the transport. Returns
-    /// `false` (and counts a shed) when the backlog is full — the
-    /// backpressure signal the open-loop load generator observes.
+    /// Breaker state for the server at `slot` (`None` = breakers off).
+    pub fn breaker_state(&self, slot: usize) -> Option<BreakerState> {
+        self.breakers.get(slot).map(CircuitBreaker::state)
+    }
+
+    /// Breaker counters for the server at `slot` (`None` = breakers off).
+    pub fn breaker_stats(&self, slot: usize) -> Option<BreakerStats> {
+        self.breakers.get(slot).map(CircuitBreaker::stats)
+    }
+
+    /// The failure detector over this client's server list.
+    pub fn detector(&self) -> &FailureDetector {
+        &self.detector
+    }
+
+    /// Believed epoch of the server at `slot`.
+    pub fn epoch_of(&self, slot: usize) -> u32 {
+        self.epochs[slot]
+    }
+
+    /// Offers one call of `payload_bytes` to the transport at top
+    /// priority. Returns `false` (and counts a shed) when the backlog
+    /// is full — the backpressure signal the open-loop load generator
+    /// observes.
     pub fn submit(&mut self, now: u64, payload_bytes: u32) -> bool {
+        self.submit_with_priority(now, payload_bytes, u8::MAX)
+    }
+
+    /// [`submit`](RpcClient::submit) with an explicit priority
+    /// (0 = lowest, 255 = highest); brownout servers shed the lowest
+    /// priorities first.
+    pub fn submit_with_priority(&mut self, now: u64, payload_bytes: u32, priority: u8) -> bool {
         self.stats.submitted += 1;
         if self.policy.queue_cap != usize::MAX && self.backlog.len() >= self.policy.queue_cap {
             self.stats.shed += 1;
             return false;
         }
-        self.backlog.push_back((payload_bytes, now));
+        self.backlog.push_back((payload_bytes, now, priority));
         true
+    }
+
+    /// Lowest sequence number this client could still retransmit;
+    /// stamped on every request so the server's reply cache knows what
+    /// is safe to evict.
+    fn ack_below(&self) -> u64 {
+        self.pending.keys().next().copied().unwrap_or(self.next_seq)
+    }
+
+    /// Records a liveness signal from server NIC `server` and feeds its
+    /// breaker a success. Returns the slot, if the NIC is one of ours.
+    fn note_server_alive(&mut self, server: u32, epoch: Option<u32>, now: u64) -> Option<usize> {
+        let slot = self.servers.iter().position(|&s| s == server)?;
+        self.detector.record(slot, now);
+        if let Some(b) = self.breakers.get_mut(slot) {
+            b.on_success();
+        }
+        if let Some(e) = epoch {
+            self.epochs[slot] = self.epochs[slot].max(e);
+        }
+        Some(slot)
+    }
+
+    /// First slot (scanning `from`, `from+1`, …) whose breaker admits a
+    /// request at `now`. With breakers off every slot admits. `None`
+    /// means every server's breaker refused — the caller fails fast.
+    fn admitted_slot(&mut self, from: usize, now: u64) -> Option<usize> {
+        if self.breakers.is_empty() {
+            return Some(from % self.servers.len());
+        }
+        let len = self.servers.len();
+        (0..len).map(|i| (from + i) % len).find(|&slot| self.breakers[slot].admit(now))
     }
 
     /// Timeout for the send numbered `attempts` (1-based), with
@@ -476,13 +735,60 @@ impl RpcClient {
         }
     }
 
+    /// Sends the one hedge copy call `seq` is entitled to: same id, next
+    /// breaker-admitted server. First reply wins; the loser's reply is
+    /// absorbed as a duplicate. Best-effort — a full TX ring or no
+    /// admissible second server simply forfeits the hedge.
+    ///
+    /// Hedging is congestion-aware: the copy is sent only while the
+    /// client has idle outstanding capacity (under half its cap in
+    /// use). Hedges are a tail-latency tool for a mostly-healthy fleet;
+    /// when the service tier is saturated every queued call crosses its
+    /// hedge delay, and unconditional hedging would double the offered
+    /// load at exactly the moment the servers are over capacity.
+    fn fire_hedge(&mut self, seq: u64, now: u64, seg: &mut EtherSegment) {
+        let congested = self.policy.max_outstanding != 0
+            && self.pending.len().saturating_mul(2) > self.policy.max_outstanding;
+        let p = &self.pending[&seq];
+        let (cur, payload_bytes, priority, attempts) =
+            (p.server_slot, p.payload_bytes, p.priority, p.attempts);
+        self.pending.get_mut(&seq).expect("hedging call is pending").hedge_at = u64::MAX;
+        if congested {
+            return;
+        }
+        let len = self.servers.len();
+        let target = if self.breakers.is_empty() {
+            Some((cur + 1) % len)
+        } else {
+            self.admitted_slot(cur + 1, now).filter(|&slot| slot != cur)
+        };
+        let Some(slot) = target else { return };
+        let server = self.servers[slot];
+        let msg = RpcMsg::Request {
+            client: self.nic,
+            seq,
+            server,
+            payload_bytes,
+            attempt: attempts,
+            priority,
+            epoch: self.epochs[slot],
+            ack_below: self.ack_below(),
+        };
+        if seg.enqueue(Frame::new(self.nic as usize, server as usize, msg.encode())) {
+            self.stats.hedges += 1;
+        } else {
+            self.stats.tx_ring_full += 1;
+        }
+    }
+
     /// One cycle of client work: absorb replies, expire timeouts and
-    /// retransmit (or fail) overdue calls, then admit backlog up to the
-    /// outstanding cap.
+    /// retransmit (or fail) overdue calls, fire due hedges, then admit
+    /// backlog up to the outstanding cap.
     pub fn tick(&mut self, now: u64, seg: &mut EtherSegment) {
         while let Some(frame) = seg.recv(self.nic as usize) {
             match RpcMsg::decode(&frame.payload) {
-                Some(RpcMsg::Reply { client, seq, server, .. }) if client == self.nic => {
+                Some(RpcMsg::Reply { client, seq, server, epoch, .. }) if client == self.nic => {
+                    self.note_server_alive(server, Some(epoch), now);
                     if let Some(p) = self.pending.remove(&seq) {
                         self.stats.acked += 1;
                         self.stats.acked_payload_bytes += u64::from(p.payload_bytes);
@@ -497,6 +803,30 @@ impl RpcClient {
                         self.stats.dup_replies += 1;
                     }
                 }
+                Some(RpcMsg::Shed { client, seq, server }) if client == self.nic => {
+                    // The server is alive and answered instantly — the
+                    // opposite of a timeout. Terminal for this call.
+                    self.note_server_alive(server, None, now);
+                    if self.pending.remove(&seq).is_some() {
+                        self.stats.shed_replies += 1;
+                    } else {
+                        self.stats.dup_replies += 1;
+                    }
+                }
+                Some(RpcMsg::Rebind { client, seq, server, epoch }) if client == self.nic => {
+                    self.note_server_alive(server, Some(epoch), now);
+                    if let Some(p) = self.pending.remove(&seq) {
+                        // The restarted server refused to execute (its
+                        // reply-cache context for us is gone). Nothing
+                        // ran, so re-issue at the head of the backlog
+                        // under a fresh sequence number, keeping the
+                        // original submission cycle for latency/SLA.
+                        self.stats.rebinds += 1;
+                        self.backlog.push_front((p.payload_bytes, p.submitted, p.priority));
+                    } else {
+                        self.stats.dup_replies += 1;
+                    }
+                }
                 Some(_) => self.stats.dup_replies += 1,
                 None => self.stats.decode_rejects += 1,
             }
@@ -506,12 +836,27 @@ impl RpcClient {
             let due: Vec<u64> = self
                 .pending
                 .iter()
-                .filter(|(_, p)| p.timeout_at <= now)
+                .filter(|(_, p)| p.wake_at() <= now)
                 .map(|(&seq, _)| seq)
                 .collect();
             for seq in due {
-                let p = self.pending.get_mut(&seq).expect("due call is pending");
+                let (timeout_due, hedge_due) = {
+                    let p = &self.pending[&seq];
+                    (p.timeout_at <= now, p.hedge_at <= now)
+                };
+                if hedge_due && !timeout_due {
+                    self.fire_hedge(seq, now, seg);
+                    continue;
+                }
                 self.stats.timeouts += 1;
+                let cur_slot = self.pending[&seq].server_slot;
+                if let Some(b) = self.breakers.get_mut(cur_slot) {
+                    b.on_failure(now);
+                }
+                let p = self.pending.get_mut(&seq).expect("due call is pending");
+                // The timeout machinery owns the call from here; the
+                // (single) hedge opportunity is spent either way.
+                p.hedge_at = u64::MAX;
                 let past_deadline = self.policy.deadline > 0
                     && now.saturating_sub(p.submitted) >= self.policy.deadline;
                 if past_deadline
@@ -537,25 +882,60 @@ impl RpcClient {
                     self.pending.get_mut(&seq).expect("due call is pending").timeout_at = at;
                     continue;
                 }
-                if self.servers.len() > 1 && p.attempts >= self.policy.failover_after {
-                    // Enough timeouts on one server look like a dead
-                    // machine, not a slow one — fail over to a uniformly
-                    // random *other* server. Rotating on the very first
-                    // timeout re-executes every congestion-delayed call
-                    // on a second machine (cross-server duplicate
-                    // work); deterministic round-robin would herd every
-                    // client's orphaned calls onto the same survivor.
-                    let step = 1 + self.rng.gen_range(0..self.servers.len() as u64 - 1) as usize;
-                    p.server_slot = (p.server_slot + step) % self.servers.len();
+                let len = self.servers.len();
+                let attempts_so_far = self.pending[&seq].attempts;
+                if self.breakers.is_empty() {
+                    if len > 1 && attempts_so_far >= self.policy.failover_after {
+                        // Enough timeouts on one server look like a dead
+                        // machine, not a slow one — fail over to a uniformly
+                        // random *other* server. Rotating on the very first
+                        // timeout re-executes every congestion-delayed call
+                        // on a second machine (cross-server duplicate
+                        // work); deterministic round-robin would herd every
+                        // client's orphaned calls onto the same survivor.
+                        let step = 1 + self.rng.gen_range(0..len as u64 - 1) as usize;
+                        self.pending.get_mut(&seq).expect("due call is pending").server_slot =
+                            (cur_slot + step) % len;
+                    }
+                } else {
+                    // Breakers gate the rotation: start from the random
+                    // step (or the current binding, below the failover
+                    // threshold) and take the first slot whose breaker
+                    // admits. No admissible server at all means the
+                    // whole fleet looks partitioned away — fail the
+                    // call fast instead of burning budget on a wire
+                    // that eats every frame.
+                    let from = if len > 1 && attempts_so_far >= self.policy.failover_after {
+                        let step = 1 + self.rng.gen_range(0..len as u64 - 1) as usize;
+                        (cur_slot + step) % len
+                    } else {
+                        cur_slot
+                    };
+                    match self.admitted_slot(from, now) {
+                        Some(slot) => {
+                            self.pending.get_mut(&seq).expect("due call is pending").server_slot =
+                                slot;
+                        }
+                        None => {
+                            self.pending.remove(&seq);
+                            self.stats.fast_failed += 1;
+                            continue;
+                        }
+                    }
                 }
+                let p = &self.pending[&seq];
+                let (slot, payload_bytes, priority) = (p.server_slot, p.payload_bytes, p.priority);
                 let attempt = p.attempts + 1;
-                let server = self.servers[p.server_slot];
+                let server = self.servers[slot];
                 let msg = RpcMsg::Request {
                     client: self.nic,
                     seq,
                     server,
-                    payload_bytes: p.payload_bytes,
+                    payload_bytes,
                     attempt,
+                    priority,
+                    epoch: self.epochs[slot],
+                    ack_below: self.ack_below(),
                 };
                 let frame = Frame::new(self.nic as usize, server as usize, msg.encode());
                 if seg.enqueue(frame) {
@@ -586,36 +966,62 @@ impl RpcClient {
                 }
             }
             self.next_deadline =
-                self.pending.values().map(|p| p.timeout_at).min().unwrap_or(u64::MAX);
+                self.pending.values().map(Pending::wake_at).min().unwrap_or(u64::MAX);
         }
 
         while !self.backlog.is_empty()
             && (self.policy.max_outstanding == 0
                 || self.pending.len() < self.policy.max_outstanding)
         {
-            let (payload_bytes, submitted) = *self.backlog.front().expect("backlog non-empty");
+            let (payload_bytes, submitted, priority) =
+                *self.backlog.front().expect("backlog non-empty");
             let seq = self.next_seq;
-            let server_slot = (seq as usize) % self.servers.len();
+            let Some(server_slot) = self.admitted_slot(seq as usize, now) else {
+                // Every server's breaker refused: the fleet is
+                // unreachable from here. Fail the call locally — this
+                // is the partition fast path that spends neither wire
+                // bandwidth nor retry budget.
+                self.backlog.pop_front();
+                self.next_seq += 1;
+                self.stats.fast_failed += 1;
+                continue;
+            };
             let server = self.servers[server_slot];
-            let msg = RpcMsg::Request { client: self.nic, seq, server, payload_bytes, attempt: 1 };
+            let msg = RpcMsg::Request {
+                client: self.nic,
+                seq,
+                server,
+                payload_bytes,
+                attempt: 1,
+                priority,
+                epoch: self.epochs[server_slot],
+                ack_below: self.ack_below(),
+            };
             let frame = Frame::new(self.nic as usize, server as usize, msg.encode());
             if seg.enqueue(frame) {
                 self.backlog.pop_front();
                 self.next_seq += 1;
                 let t = self.next_timeout(1);
                 let t = self.arm_at(submitted, now, t).saturating_sub(now).max(1);
+                let hedge_at = if self.policy.hedge_delay > 0 && self.servers.len() > 1 {
+                    now + self.policy.hedge_delay.min(t.saturating_sub(1).max(1))
+                } else {
+                    u64::MAX
+                };
                 self.pending.insert(
                     seq,
                     Pending {
                         server_slot,
                         payload_bytes,
+                        priority,
                         attempts: 1,
                         submitted,
                         first_sent: now,
                         timeout_at: now + t,
+                        hedge_at,
                     },
                 );
-                self.next_deadline = self.next_deadline.min(now + t);
+                self.next_deadline = self.next_deadline.min((now + t).min(hedge_at));
             } else {
                 self.stats.tx_ring_full += 1;
                 break;
@@ -638,10 +1044,19 @@ impl RpcClient {
             p.save(w);
         }
         w.usize(self.backlog.len());
-        for &(bytes, at) in &self.backlog {
+        for &(bytes, at, priority) in &self.backlog {
             w.u32(bytes);
             w.u64(at);
+            w.u8(priority);
         }
+        for &epoch in &self.epochs {
+            w.u32(epoch);
+        }
+        w.usize(self.breakers.len());
+        for b in &self.breakers {
+            b.save(w);
+        }
+        self.detector.save(w);
         for word in self.rng.state() {
             w.u64(word);
         }
@@ -682,8 +1097,22 @@ impl RpcClient {
         let mut backlog = VecDeque::with_capacity(backlog_len);
         for _ in 0..backlog_len {
             let bytes = r.u32()?;
-            backlog.push_back((bytes, r.u64()?));
+            let at = r.u64()?;
+            backlog.push_back((bytes, at, r.u8()?));
         }
+        let mut epochs = Vec::with_capacity(server_count);
+        for _ in 0..server_count {
+            epochs.push(r.u32()?);
+        }
+        let breaker_count = r.usize()?;
+        if breaker_count != 0 && breaker_count != server_count {
+            return Err(Error::SnapshotCorrupt("breaker/server count mismatch".into()));
+        }
+        let mut breakers = Vec::with_capacity(breaker_count);
+        for _ in 0..breaker_count {
+            breakers.push(CircuitBreaker::load(r)?);
+        }
+        let detector = FailureDetector::load(r)?;
         let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
         let stats = RpcClientStats::load(r)?;
         let latency = Histogram::load(r)?;
@@ -693,7 +1122,7 @@ impl RpcClient {
             let seq = r.u64()?;
             completions.push((seq, r.u32()?));
         }
-        let next_deadline = pending.values().map(|p| p.timeout_at).min().unwrap_or(u64::MAX);
+        let next_deadline = pending.values().map(Pending::wake_at).min().unwrap_or(u64::MAX);
         Ok(RpcClient {
             nic,
             policy,
@@ -702,6 +1131,9 @@ impl RpcClient {
             pending,
             next_deadline,
             backlog,
+            breakers,
+            detector,
+            epochs,
             rng: SmallRng::from_state(rng_state),
             stats,
             latency,
@@ -731,6 +1163,13 @@ pub struct RpcServerStats {
     pub decode_rejects: u64,
     /// Transmit attempts rejected by a full TX ring.
     pub tx_ring_full: u64,
+    /// Requests rejected with an explicit brownout `Shed` reply.
+    pub shed_replied: u64,
+    /// Stale-epoch requests answered with `Rebind` (never executed).
+    pub rebinds_sent: u64,
+    /// Reply-cache evictions refused because the entry was still inside
+    /// some client's retransmission window (at-most-once protection).
+    pub evictions_refused: u64,
 }
 
 impl RpcServerStats {
@@ -745,6 +1184,9 @@ impl RpcServerStats {
             self.replies_dropped,
             self.decode_rejects,
             self.tx_ring_full,
+            self.shed_replied,
+            self.rebinds_sent,
+            self.evictions_refused,
         ] {
             w.u64(v);
         }
@@ -761,6 +1203,9 @@ impl RpcServerStats {
             replies_dropped: r.u64()?,
             decode_rejects: r.u64()?,
             tx_ring_full: r.u64()?,
+            shed_replied: r.u64()?,
+            rebinds_sent: r.u64()?,
+            evictions_refused: r.u64()?,
         })
     }
 }
@@ -771,6 +1216,7 @@ struct Job {
     client: u32,
     seq: u64,
     payload_bytes: u32,
+    priority: u8,
     /// Completion cycle once running (0 while queued).
     done_at: u64,
 }
@@ -780,11 +1226,18 @@ impl Job {
         w.u32(self.client);
         w.u64(self.seq);
         w.u32(self.payload_bytes);
+        w.u8(self.priority);
         w.u64(self.done_at);
     }
 
     fn load(r: &mut SnapReader<'_>) -> Result<Self, Error> {
-        Ok(Job { client: r.u32()?, seq: r.u64()?, payload_bytes: r.u32()?, done_at: r.u64()? })
+        Ok(Job {
+            client: r.u32()?,
+            seq: r.u64()?,
+            payload_bytes: r.u32()?,
+            priority: r.u8()?,
+            done_at: r.u64()?,
+        })
     }
 }
 
@@ -806,6 +1259,13 @@ pub struct RpcServer {
     service_cycles: u64,
     queue_cap: usize,
     cache_per_client: usize,
+    /// Brownout watermark: above this queue depth the lowest-priority
+    /// requests get an explicit `Shed` reply (0 = shedding off, a full
+    /// queue drops silently as before PR 10).
+    brownout_watermark: usize,
+    /// Incarnation number, bumped by [`restart`](RpcServer::restart).
+    /// Requests stamped with another epoch are refused with `Rebind`.
+    epoch: u32,
     /// `(from, until, factor)` — service times multiply by `factor`
     /// inside the window (the retry-storm trigger).
     slowdown: Option<(u64, u64, u32)>,
@@ -816,6 +1276,10 @@ pub struct RpcServer {
     /// Derived: cached-reply count per client (rebuilt on load, never
     /// serialized), so pruning is O(evictions) not O(range scan).
     cache_counts: BTreeMap<u32, usize>,
+    /// Highest `ack_below` seen per client: sequence numbers below it
+    /// can never be retransmitted, so their cached replies are safe to
+    /// evict — and nothing else is.
+    ack_below: BTreeMap<u32, u64>,
     /// Execution counts per request id — the at-most-once oracle's
     /// ground truth. Grows with unique requests; scenario-sized.
     executed: BTreeMap<(u32, u64), u32>,
@@ -835,12 +1299,15 @@ impl RpcServer {
             service_cycles,
             queue_cap: 64,
             cache_per_client: 4096,
+            brownout_watermark: 0,
+            epoch: 0,
             slowdown: None,
             queue: VecDeque::new(),
             running: vec![None; threads],
             in_progress: BTreeSet::new(),
             reply_cache: BTreeMap::new(),
             cache_counts: BTreeMap::new(),
+            ack_below: BTreeMap::new(),
             executed: BTreeMap::new(),
             reply_backlog: VecDeque::new(),
             rng: SmallRng::seed_from_u64(
@@ -862,14 +1329,49 @@ impl RpcServer {
         self.cache_per_client = cap;
     }
 
+    /// Enables brownout shedding above `watermark` queued requests
+    /// (0 disables it). Must sit below the queue cap to leave shedding
+    /// any room to discriminate by priority.
+    pub fn set_brownout(&mut self, watermark: usize) {
+        assert!(
+            watermark == 0 || watermark < self.queue_cap,
+            "brownout watermark must sit below the queue cap"
+        );
+        self.brownout_watermark = watermark;
+    }
+
     /// Installs (or clears) a service-time slowdown window.
     pub fn set_slowdown(&mut self, window: Option<(u64, u64, u32)>) {
         self.slowdown = window;
     }
 
+    /// Cold restart after a crash: a new epoch with empty queues and an
+    /// empty reply cache. The execution ledger (the oracle's ground
+    /// truth), cumulative stats, and the RNG stream survive — they are
+    /// instrumentation, not machine state. Epoch rebinding is what
+    /// keeps the cold cache safe: any pre-crash duplicate still on the
+    /// wire carries the old epoch and is refused, never re-executed.
+    pub fn restart(&mut self) {
+        self.epoch += 1;
+        self.queue.clear();
+        for slot in &mut self.running {
+            *slot = None;
+        }
+        self.in_progress.clear();
+        self.reply_cache.clear();
+        self.cache_counts.clear();
+        self.ack_below.clear();
+        self.reply_backlog.clear();
+    }
+
     /// This server's NIC index.
     pub fn nic(&self) -> u32 {
         self.nic
+    }
+
+    /// Current incarnation number.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
     }
 
     /// Cumulative counters.
@@ -907,8 +1409,9 @@ impl RpcServer {
         t.max(1)
     }
 
-    fn send_reply(&mut self, client: u32, seq: u64, result: u32, seg: &mut EtherSegment) {
-        let msg = RpcMsg::Reply { client, seq, server: self.nic, result };
+    /// Queues `msg` to a client, spilling to the bounded reply backlog
+    /// when the TX ring is full.
+    fn send_to_client(&mut self, client: u32, msg: RpcMsg, seg: &mut EtherSegment) {
         let frame = Frame::new(self.nic as usize, client as usize, msg.encode());
         if seg.enqueue(frame.clone()) {
             self.stats.replies_sent += 1;
@@ -920,12 +1423,41 @@ impl RpcServer {
         }
     }
 
+    fn send_reply(&mut self, client: u32, seq: u64, result: u32, seg: &mut EtherSegment) {
+        let msg = RpcMsg::Reply { client, seq, server: self.nic, result, epoch: self.epoch };
+        self.send_to_client(client, msg, seg);
+    }
+
+    /// The brownout admission cutoff (`None` = shedding off): requests
+    /// with priority below the cutoff are shed. Zero below the
+    /// watermark (admit everything), then rising linearly with queue
+    /// depth to 256 at the queue cap (admit nothing) — the deeper the
+    /// brownout, the better a request must be to get in.
+    fn brownout_cutoff(&self) -> Option<u32> {
+        if self.brownout_watermark == 0 {
+            return None;
+        }
+        let depth = self.queue.len();
+        if depth < self.brownout_watermark {
+            return Some(0);
+        }
+        let span = (self.queue_cap - self.brownout_watermark).max(1);
+        let over = depth - self.brownout_watermark;
+        Some((((over + 1) * 256) / span).min(256) as u32)
+    }
+
     /// Records a freshly executed reply and evicts the oldest cached
-    /// entries for `client` beyond the per-client bound.
+    /// entries for `client` beyond the per-client bound — but only
+    /// entries the client has declared unretransmittable (sequence
+    /// numbers below its `ack_below`). Evicting a still-live entry
+    /// would let a delayed duplicate re-execute, so under pressure the
+    /// cache refuses (and counts) the eviction instead: at-most-once is
+    /// never traded for the memory bound.
     fn cache_reply(&mut self, client: u32, seq: u64, result: u32) {
         if self.reply_cache.insert((client, seq), result).is_none() {
             *self.cache_counts.entry(client).or_insert(0) += 1;
         }
+        let safe_below = self.ack_below.get(&client).copied().unwrap_or(0);
         let count = self.cache_counts.get_mut(&client).expect("count just ensured");
         while *count > self.cache_per_client {
             let key = *self
@@ -934,6 +1466,10 @@ impl RpcServer {
                 .next()
                 .map(|(k, _)| k)
                 .expect("count says entries exist");
+            if key.1 >= safe_below {
+                self.stats.evictions_refused += 1;
+                break;
+            }
             self.reply_cache.remove(&key);
             *count -= 1;
         }
@@ -953,21 +1489,65 @@ impl RpcServer {
 
         while let Some(frame) = seg.recv(self.nic as usize) {
             match RpcMsg::decode(&frame.payload) {
-                Some(RpcMsg::Request { client, seq, payload_bytes, .. }) => {
+                Some(RpcMsg::Request {
+                    client,
+                    seq,
+                    payload_bytes,
+                    priority,
+                    epoch,
+                    ack_below,
+                    ..
+                }) => {
                     self.stats.received += 1;
-                    if let Some(&result) = self.reply_cache.get(&(client, seq)) {
+                    let floor = self.ack_below.entry(client).or_insert(0);
+                    *floor = (*floor).max(ack_below);
+                    if epoch != self.epoch {
+                        // A binding from another incarnation: our reply
+                        // cache for it is gone, so executing could
+                        // double-execute a pre-restart call. Refuse and
+                        // let the client re-issue under a fresh id.
+                        self.stats.rebinds_sent += 1;
+                        let msg =
+                            RpcMsg::Rebind { client, seq, server: self.nic, epoch: self.epoch };
+                        self.send_to_client(client, msg, seg);
+                    } else if let Some(&result) = self.reply_cache.get(&(client, seq)) {
                         self.stats.dup_cache_hits += 1;
                         self.send_reply(client, seq, result, seg);
                     } else if self.in_progress.contains(&(client, seq)) {
                         self.stats.dup_in_progress += 1;
+                    } else if let Some(cutoff) = self.brownout_cutoff() {
+                        if u32::from(priority) >= cutoff {
+                            self.in_progress.insert((client, seq));
+                            self.queue.push_back(Job {
+                                client,
+                                seq,
+                                payload_bytes,
+                                priority,
+                                done_at: 0,
+                            });
+                        } else {
+                            // Brownout: an explicit, immediate rejection.
+                            // Costs one reply frame now; a silent drop
+                            // costs the client a full timeout and a
+                            // retransmission later.
+                            self.stats.shed_replied += 1;
+                            let msg = RpcMsg::Shed { client, seq, server: self.nic };
+                            self.send_to_client(client, msg, seg);
+                        }
                     } else if self.queue.len() >= self.queue_cap {
                         self.stats.shed += 1;
                     } else {
                         self.in_progress.insert((client, seq));
-                        self.queue.push_back(Job { client, seq, payload_bytes, done_at: 0 });
+                        self.queue.push_back(Job {
+                            client,
+                            seq,
+                            payload_bytes,
+                            priority,
+                            done_at: 0,
+                        });
                     }
                 }
-                Some(RpcMsg::Reply { .. }) | None => self.stats.decode_rejects += 1,
+                Some(_) | None => self.stats.decode_rejects += 1,
             }
         }
 
@@ -998,6 +1578,8 @@ impl RpcServer {
         w.u64(self.service_cycles);
         w.usize(self.queue_cap);
         w.usize(self.cache_per_client);
+        w.usize(self.brownout_watermark);
+        w.u32(self.epoch);
         match self.slowdown {
             None => w.bool(false),
             Some((from, until, factor)) => {
@@ -1030,6 +1612,11 @@ impl RpcServer {
             w.u32(c);
             w.u64(s);
             w.u32(result);
+        }
+        w.usize(self.ack_below.len());
+        for (&c, &floor) in &self.ack_below {
+            w.u32(c);
+            w.u64(floor);
         }
         w.usize(self.executed.len());
         for (&(c, s), &count) in &self.executed {
@@ -1065,6 +1652,8 @@ impl RpcServer {
         let service_cycles = r.u64()?;
         let queue_cap = r.usize()?;
         let cache_per_client = r.usize()?;
+        let brownout_watermark = r.usize()?;
+        let epoch = r.u32()?;
         let slowdown = if r.bool()? {
             let from = r.u64()?;
             let until = r.u64()?;
@@ -1094,6 +1683,12 @@ impl RpcServer {
             let s = r.u64()?;
             reply_cache.insert((c, s), r.u32()?);
         }
+        let ack_len = r.usize()?;
+        let mut ack_below = BTreeMap::new();
+        for _ in 0..ack_len {
+            let c = r.u32()?;
+            ack_below.insert(c, r.u64()?);
+        }
         let executed_len = r.usize()?;
         let mut executed = BTreeMap::new();
         for _ in 0..executed_len {
@@ -1120,12 +1715,15 @@ impl RpcServer {
             service_cycles,
             queue_cap,
             cache_per_client,
+            brownout_watermark,
+            epoch,
             slowdown,
             queue,
             running,
             in_progress,
             reply_cache,
             cache_counts,
+            ack_below,
             executed,
             reply_backlog,
             rng: SmallRng::from_state(rng_state),
@@ -1328,16 +1926,134 @@ mod tests {
         }
     }
 
+    /// Two servers (NICs 0, 1), one client (NIC 2), lock-stepped.
+    struct Trio {
+        seg: EtherSegment,
+        servers: [RpcServer; 2],
+        client: RpcClient,
+    }
+
+    impl Trio {
+        fn new(policy: RetryPolicy) -> Self {
+            let mut cfg = SegmentConfig::new(3);
+            cfg.seed = 42;
+            Trio {
+                seg: EtherSegment::new(cfg),
+                servers: [RpcServer::new(0, 3, 2_000, 7), RpcServer::new(1, 3, 2_000, 7)],
+                client: RpcClient::new(2, vec![0, 1], policy, 7),
+            }
+        }
+
+        fn run(&mut self, cycles: u64) {
+            for _ in 0..cycles {
+                self.seg.tick();
+                let now = self.seg.cycle();
+                for s in &mut self.servers {
+                    s.tick(now, &mut self.seg);
+                }
+                self.client.tick(now, &mut self.seg);
+            }
+        }
+    }
+
+    #[test]
+    fn breakers_fail_fast_when_every_server_is_unreachable() {
+        let mut t = Trio::new(RetryPolicy::resilient(5_000));
+        t.seg.set_online(0, false);
+        t.seg.set_online(1, false);
+        for burst in 0..50 {
+            t.client.submit(t.seg.cycle(), 100);
+            t.run(10_000);
+            if burst == 25 {
+                // Mid-outage both breakers should have tripped.
+                assert_ne!(t.client.breaker_state(0), Some(BreakerState::Closed));
+                assert_ne!(t.client.breaker_state(1), Some(BreakerState::Closed));
+            }
+        }
+        let cs = t.client.stats();
+        assert!(cs.fast_failed > 20, "most calls fail fast locally, got {}", cs.fast_failed);
+        assert!(cs.timeouts < 60, "open breakers must bound wasted timeouts, got {}", cs.timeouts);
+        assert_eq!(cs.acked, 0);
+        // The wire saw only the pre-trip attempts and decaying probes.
+        assert!(cs.retries < 30, "retry budget mostly unburned, got {}", cs.retries);
+    }
+
+    #[test]
+    fn breakers_probe_and_close_after_heal() {
+        let mut t = Trio::new(RetryPolicy::resilient(5_000));
+        t.seg.set_online(0, false);
+        t.seg.set_online(1, false);
+        for _ in 0..20 {
+            t.client.submit(t.seg.cycle(), 100);
+            t.run(10_000);
+        }
+        assert_ne!(t.client.breaker_state(0), Some(BreakerState::Closed));
+        // Heal the wire; keep offering traffic. Half-open probes must
+        // rediscover the servers and close the breakers.
+        t.seg.set_online(0, true);
+        t.seg.set_online(1, true);
+        let acked_before = t.client.stats().acked;
+        for _ in 0..60 {
+            t.client.submit(t.seg.cycle(), 100);
+            t.run(10_000);
+        }
+        assert_eq!(t.client.breaker_state(0), Some(BreakerState::Closed));
+        assert_eq!(t.client.breaker_state(1), Some(BreakerState::Closed));
+        let cs = t.client.stats();
+        assert!(cs.acked > acked_before + 30, "traffic flows again, got {}", cs.acked);
+    }
+
+    #[test]
+    fn hedge_rescues_a_call_from_a_slow_server() {
+        let mut t = Trio::new(RetryPolicy::resilient(20_000));
+        // Server 0 is pathologically slow; server 1 is healthy. The
+        // first call binds to slot 0 (seq 0), the hedge fires at half
+        // the timeout and server 1's reply wins.
+        t.servers[0].set_slowdown(Some((0, u64::MAX, 100)));
+        assert!(t.client.submit(0, 200));
+        t.run(500_000);
+        let cs = t.client.stats();
+        assert_eq!(cs.acked, 1, "exactly one completion");
+        assert_eq!(cs.hedges, 1);
+        assert_eq!(t.client.completions(), &[(0, 1)], "the healthy server's reply won");
+        assert_eq!(cs.failed + cs.fast_failed, 0);
+        // The slow server eventually answers too; the client absorbs it
+        // as a duplicate, and each server executed at most once.
+        assert!(cs.dup_replies >= 1, "the loser's reply arrives late");
+        for s in &t.servers {
+            for &count in s.executions().values() {
+                assert_eq!(count, 1);
+            }
+        }
+    }
+
     #[test]
     fn msg_codec_roundtrips_and_pads() {
-        let req = RpcMsg::Request { client: 3, seq: 99, server: 1, payload_bytes: 500, attempt: 2 };
+        let req = RpcMsg::Request {
+            client: 3,
+            seq: 99,
+            server: 1,
+            payload_bytes: 500,
+            attempt: 2,
+            priority: 17,
+            epoch: 4,
+            ack_below: 91,
+        };
         let bytes = req.encode();
         assert_eq!(bytes.len(), 500, "request padded to its declared size");
         assert_eq!(RpcMsg::decode(&bytes), Some(req));
-        let reply = RpcMsg::Reply { client: 3, seq: 99, server: 1, result: 0xdead };
+        let reply = RpcMsg::Reply { client: 3, seq: 99, server: 1, result: 0xdead, epoch: 4 };
         let bytes = reply.encode();
         assert_eq!(bytes.len(), REPLY_PAYLOAD_BYTES);
         assert_eq!(RpcMsg::decode(&bytes), Some(reply));
+        let shed = RpcMsg::Shed { client: 3, seq: 99, server: 1 };
+        let bytes = shed.encode();
+        assert_eq!(bytes.len(), REPLY_PAYLOAD_BYTES);
+        assert_eq!(RpcMsg::decode(&bytes), Some(shed));
+        let rebind = RpcMsg::Rebind { client: 3, seq: 99, server: 1, epoch: 5 };
+        let bytes = rebind.encode();
+        assert_eq!(bytes.len(), REPLY_PAYLOAD_BYTES);
+        assert_eq!(RpcMsg::decode(&bytes), Some(rebind));
         assert_eq!(RpcMsg::decode(&[]), None);
         assert_eq!(RpcMsg::decode(&[9, 0, 0]), None);
     }
@@ -1389,6 +2105,21 @@ mod tests {
         assert_eq!(w1.into_bytes(), w2.into_bytes());
     }
 
+    /// A raw request frame with an explicit `ack_below` declaration.
+    fn raw_request(client: u32, seq: u64, ack_below: u64) -> Frame {
+        let msg = RpcMsg::Request {
+            client,
+            seq,
+            server: 0,
+            payload_bytes: 64,
+            attempt: 1,
+            priority: u8::MAX,
+            epoch: 0,
+            ack_below,
+        };
+        Frame::new(client as usize, 0, msg.encode())
+    }
+
     #[test]
     fn reply_cache_prunes_to_bound() {
         let mut s = RpcServer::new(0, 1, 10, 1);
@@ -1396,11 +2127,10 @@ mod tests {
         let mut cfg = SegmentConfig::new(2);
         cfg.seed = 1;
         let mut seg = EtherSegment::new(cfg);
-        // Push 10 distinct requests through the server directly.
+        // Push 10 distinct requests through the server directly, each
+        // declaring everything before it unretransmittable.
         for seq in 0..10u64 {
-            let msg = RpcMsg::Request { client: 1, seq, server: 0, payload_bytes: 40, attempt: 1 };
-            let frame = Frame::new(1, 0, msg.encode());
-            seg.enqueue(frame);
+            seg.enqueue(raw_request(1, seq, seq));
             for _ in 0..5_000 {
                 seg.tick();
                 s.tick(seg.cycle(), &mut seg);
@@ -1409,5 +2139,116 @@ mod tests {
         assert_eq!(s.stats().executed, 10);
         assert_eq!(s.reply_cache.len(), 4, "cache pruned to the per-client bound");
         assert_eq!(s.executions().len(), 10, "execution log keeps every id");
+        assert_eq!(s.stats().evictions_refused, 0, "acked entries evict freely");
+    }
+
+    #[test]
+    fn cache_refuses_to_evict_retransmittable_entries() {
+        // Same pressure, but the client never advances `ack_below`:
+        // every cached reply is still inside its retransmission window,
+        // so the cache must refuse eviction and grow past the bound
+        // rather than risk a duplicate execution.
+        let mut s = RpcServer::new(0, 1, 10, 1);
+        s.set_cache_per_client(4);
+        let mut cfg = SegmentConfig::new(2);
+        cfg.seed = 1;
+        let mut seg = EtherSegment::new(cfg);
+        for seq in 0..10u64 {
+            seg.enqueue(raw_request(1, seq, 0));
+            for _ in 0..5_000 {
+                seg.tick();
+                s.tick(seg.cycle(), &mut seg);
+            }
+        }
+        assert_eq!(s.stats().executed, 10);
+        assert_eq!(s.reply_cache.len(), 10, "no entry was evictable");
+        assert!(s.stats().evictions_refused > 0, "refusals are counted");
+        // Delayed duplicates of every request: all must hit the cache.
+        for seq in 0..10u64 {
+            seg.enqueue(raw_request(1, seq, 0));
+            for _ in 0..5_000 {
+                seg.tick();
+                s.tick(seg.cycle(), &mut seg);
+            }
+        }
+        assert_eq!(s.stats().executed, 10, "duplicates never re-execute");
+        assert_eq!(s.stats().dup_cache_hits, 10);
+        for &count in s.executions().values() {
+            assert_eq!(count, 1);
+        }
+    }
+
+    #[test]
+    fn restart_bumps_epoch_and_refuses_stale_requests() {
+        let mut s = RpcServer::new(0, 1, 10, 1);
+        let mut cfg = SegmentConfig::new(2);
+        cfg.seed = 1;
+        let mut seg = EtherSegment::new(cfg);
+        // Execute (1, 0) in epoch 0.
+        seg.enqueue(raw_request(1, 0, 0));
+        for _ in 0..5_000 {
+            seg.tick();
+            s.tick(seg.cycle(), &mut seg);
+        }
+        assert_eq!(s.stats().executed, 1);
+        // Crash and restart: cache is cold, epoch advanced.
+        s.restart();
+        assert_eq!(s.epoch(), 1);
+        // A pre-crash duplicate retransmission (epoch 0) must be
+        // refused, not re-executed against the cold cache.
+        seg.enqueue(raw_request(1, 0, 0));
+        for _ in 0..5_000 {
+            seg.tick();
+            s.tick(seg.cycle(), &mut seg);
+        }
+        assert_eq!(s.stats().executed, 1, "stale-epoch duplicate not re-executed");
+        assert_eq!(s.stats().rebinds_sent, 1);
+        assert_eq!(s.executions()[&(1, 0)], 1);
+    }
+
+    #[test]
+    fn brownout_sheds_lowest_priority_first() {
+        let mut s = RpcServer::new(0, 1, 1_000_000, 1);
+        s.set_queue_cap(8);
+        s.set_brownout(2);
+        let mut cfg = SegmentConfig::new(2);
+        cfg.seed = 1;
+        let mut seg = EtherSegment::new(cfg);
+        // Feed alternating low/high priority requests into a server too
+        // slow to drain them. Low priorities must shed first.
+        let mut sent = 0u64;
+        let mut seq = 0u64;
+        while sent < 12 {
+            let priority = if seq.is_multiple_of(2) { 0 } else { u8::MAX };
+            let msg = RpcMsg::Request {
+                client: 1,
+                seq,
+                server: 0,
+                payload_bytes: 64,
+                attempt: 1,
+                priority,
+                epoch: 0,
+                ack_below: 0,
+            };
+            if seg.enqueue(Frame::new(1, 0, msg.encode())) {
+                sent += 1;
+                seq += 1;
+            }
+            for _ in 0..2_000 {
+                seg.tick();
+                s.tick(seg.cycle(), &mut seg);
+            }
+        }
+        let st = s.stats();
+        assert!(st.shed_replied > 0, "brownout must shed explicitly");
+        assert_eq!(st.shed, 0, "no silent sheds while brownout is on");
+        // Every queued job that survived admission above the watermark
+        // should be high priority (low priorities were cut first).
+        let queued_low = s.queue.iter().filter(|j| j.priority == 0).count();
+        let queued_high = s.queue.iter().filter(|j| j.priority == u8::MAX).count();
+        assert!(
+            queued_high >= queued_low,
+            "high priority must dominate the queue ({queued_high} high vs {queued_low} low)"
+        );
     }
 }

@@ -461,11 +461,9 @@ impl EtherSegment {
         let mut duplicate = false;
         let mut reorder_delay = None;
         if let Some(f) = &mut self.faults {
-            if let Some(p) = f.cfg.partition {
-                if p.severs(self.cycle, frame.src, frame.dst) {
-                    self.stats.partition_drops += 1;
-                    return;
-                }
+            if f.cfg.severed(self.cycle, frame.src, frame.dst) {
+                self.stats.partition_drops += 1;
+                return;
             }
             if f.corrupt.fires(f.cfg.corrupt_ppm) && !frame.payload.is_empty() {
                 let bit = f.corrupt.pick(frame.payload.len() * 8);
@@ -715,11 +713,8 @@ mod tests {
     #[test]
     fn partition_severs_cross_boundary_traffic() {
         let mut cfg = SegmentConfig::new(4);
-        cfg.faults = NetFaultConfig {
-            seed: 3,
-            partition: Some(crate::fault::PartitionPlan { from: 0, until: 1 << 40, boundary: 2 }),
-            ..NetFaultConfig::default()
-        };
+        cfg.faults = NetFaultConfig { seed: 3, ..NetFaultConfig::default() }
+            .with_partition(crate::fault::PartitionPlan { from: 0, until: 1 << 40, boundary: 2 });
         let mut seg = EtherSegment::new(cfg);
         assert!(seg.enqueue(Frame::new(0, 3, vec![1; 16]))); // crosses
         assert!(seg.enqueue(Frame::new(0, 1, vec![2; 16]))); // same side

@@ -15,8 +15,8 @@
 //! fleet checkpoints into one FFSN container that resumes bit-identically
 //! ([`Fleet::save_snapshot`] / [`Fleet::load_snapshot`]).
 //!
-//! Two headline experiments live here so tests, the soak harness and the
-//! `fleet` bench bin share one implementation:
+//! Six headline experiments live here so tests, the soak harness and
+//! the `fleet` / `partition` bench bins share one implementation:
 //!
 //! * [`run_retry_storm`] — a server-tier slowdown window under a naive
 //!   retry discipline drives timeout amplification into congestive
@@ -26,13 +26,28 @@
 //! * [`run_crash_failover`] — one Firefly is killed mid-run; clients
 //!   fail over to the surviving servers and the fleet degrades from N to
 //!   N−1 gracefully, never losing or duplicating an acknowledged call.
+//! * [`run_partition_heal`] — the wire splits: a minority of clients
+//!   loses every server for a window. With circuit breakers the cut-off
+//!   clients fail fast instead of burning retries; when the partition
+//!   heals, half-open probes re-admit the servers and goodput recovers.
+//! * [`run_flapping_partition`] — the same split opens and heals
+//!   repeatedly; breakers must re-trip each time and the at-most-once
+//!   oracle must stay clean through every transition.
+//! * [`run_rejoin`] — a server is killed and later *revived*
+//!   ([`Fleet::revive_server`]): it restarts cold under a fresh epoch,
+//!   bounces stale requests with `Rebind` instead of executing them, and
+//!   breaker probes fold it back into rotation.
+//! * [`run_brownout`] — a sustained overload with the server-side
+//!   admission controller on versus off: explicit `Shed` replies release
+//!   doomed calls in one round trip where silent queue drops burn the
+//!   full timeout ladder.
 
 use firefly_core::snapshot::{SnapReader, SnapWriter, SnapshotBuilder, SnapshotFile};
 use firefly_core::stats::Histogram;
 use firefly_core::Error;
 use firefly_net::rpc::{RetryPolicy, RpcClient, RpcClientStats, RpcServer, RpcServerStats};
 use firefly_net::segment::{EtherSegment, SegmentConfig, SegmentStats};
-use firefly_net::NetFaultConfig;
+use firefly_net::{BreakerConfig, BreakerState, NetFaultConfig, PartitionPlan};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -78,6 +93,87 @@ pub mod crash {
     pub const TIMEOUT: u64 = 60_000;
     /// NIC index of the server that crashes.
     pub const VICTIM: usize = 0;
+}
+
+/// Cycle windows and knobs for the network-partition scenarios
+/// ([`run_partition_heal`], [`run_flapping_partition`]).
+///
+/// Topology: three servers (NICs 0–2) and six clients (NICs 3–8). The
+/// partition [`BOUNDARY`] is 6, so the split strands the last three
+/// clients (fleet client indices [`MINORITY_FROM`]`..clients`, NICs
+/// 6–8) on a side with **no servers** while the majority side keeps
+/// serving undisturbed.
+pub mod partition {
+    /// Baseline goodput window starts here (after warm-up).
+    pub const BASE_FROM: u64 = 400_000;
+    /// The wire splits at this cycle.
+    pub const SPLIT_FROM: u64 = 1_200_000;
+    /// The partition heals at this cycle.
+    pub const SPLIT_UNTIL: u64 = 2_400_000;
+    /// End of the scenario.
+    pub const END: u64 = 4_400_000;
+    /// Post-heal goodput is sampled in windows of this many cycles.
+    pub const WINDOW: u64 = 200_000;
+    /// Initial per-call timeout for every discipline under test.
+    pub const TIMEOUT: u64 = 40_000;
+    /// NIC index splitting the segment: servers and the first three
+    /// clients on one side, the minority clients on the other.
+    pub const BOUNDARY: usize = 6;
+    /// First *client index* (not NIC) on the minority side.
+    pub const MINORITY_FROM: usize = 3;
+    /// Severed windows in the flapping variant.
+    pub const FLAPS: usize = 3;
+    /// Length of each severed window while flapping.
+    pub const FLAP_SEVERED: u64 = 250_000;
+    /// Healed gap between consecutive severed windows.
+    pub const FLAP_HEALED: u64 = 150_000;
+}
+
+/// Cycle windows and knobs for the kill-then-revive scenario
+/// ([`run_rejoin`]).
+pub mod rejoin {
+    /// Baseline goodput window starts here (after warm-up).
+    pub const BASE_FROM: u64 = 400_000;
+    /// The victim server is killed at this cycle.
+    pub const KILL_AT: u64 = 1_200_000;
+    /// The victim is revived (cold restart, fresh epoch) at this cycle.
+    pub const REVIVE_AT: u64 = 2_200_000;
+    /// End of the scenario.
+    pub const END: u64 = 4_200_000;
+    /// Post-revive goodput is sampled in windows of this many cycles.
+    pub const WINDOW: u64 = 200_000;
+    /// Initial per-call timeout (service-bound workload, as in `crash`).
+    pub const TIMEOUT: u64 = 60_000;
+    /// NIC index of the server that dies and rejoins.
+    pub const VICTIM: usize = 0;
+}
+
+/// Cycle windows and knobs for the overload-shedding scenario
+/// ([`run_brownout`]).
+///
+/// The workload is service-bound on purpose: two servers of three
+/// 30k-cycle workers give 200 calls/Mcycle of capacity against 240
+/// offered, so the excess piles up in the 8-deep run queues — exactly
+/// where the brownout admission controller lives — rather than on the
+/// wire or at the client outstanding-call cap.
+pub mod brownout {
+    /// Goodput measurement starts here (after warm-up).
+    pub const BASE_FROM: u64 = 400_000;
+    /// End of the scenario.
+    pub const END: u64 = 2_400_000;
+    /// Initial per-call timeout — above a full run-queue's draining
+    /// time, so admitted calls are not doomed by queueing delay alone.
+    pub const TIMEOUT: u64 = 120_000;
+    /// Base service time per request.
+    pub const SERVICE_CYCLES: u64 = 30_000;
+    /// Server run-queue bound.
+    pub const QUEUE_CAP: usize = 8;
+    /// Brownout watermark (run-queue depth where shedding starts) when
+    /// the admission controller is on.
+    pub const WATERMARK: usize = 4;
+    /// Per-client offered load, calls per million cycles — ~20% over
+    /// the two-server service capacity, sustained for the whole run.
+    pub const ARRIVALS_PER_MCYCLE: u64 = 40;
 }
 
 /// A timed service-tier slowdown: every server's service times are
@@ -130,6 +226,10 @@ pub struct FleetConfig {
     pub faults: NetFaultConfig,
     /// Optional service-tier slowdown window.
     pub slowdown: Option<SlowdownWindow>,
+    /// Server brownout watermark: run-queue depth where the admission
+    /// controller starts shedding the lowest-priority requests with
+    /// explicit `Shed` replies (0 = off, the legacy silent-drop path).
+    pub brownout_watermark: usize,
     /// Maximum retained trace events (later events are counted, dropped).
     pub trace_limit: usize,
 }
@@ -155,6 +255,7 @@ impl FleetConfig {
             rx_ring: 256,
             faults: NetFaultConfig::default(),
             slowdown: None,
+            brownout_watermark: 0,
             trace_limit: 4_096,
         }
     }
@@ -223,6 +324,112 @@ impl FleetConfig {
         cfg
     }
 
+    /// The partition-tolerant retry discipline the fleet scenarios run:
+    /// budgeted retries plus per-server circuit breakers. Two knobs
+    /// deviate from [`RetryPolicy::resilient`], both tuned against this
+    /// workload's heavy latency tail. Hedging is off: an open-loop
+    /// fleet near saturation gains nothing from duplicate copies of its
+    /// slowest (largest) calls — measured post-heal recovery dropped
+    /// from ~0.90 of baseline to ~0.70 with hedging on, even with the
+    /// congestion damping — while the sparse-call regime hedging is for
+    /// is covered by the `rpc` unit tests. And the trip threshold is
+    /// six consecutive failures rather than three: routine tail
+    /// timeouts cluster in twos and threes on a perfectly healthy slot;
+    /// only a dead or unreachable server produces six in a row. The
+    /// cooling-window cap stays small enough that the worst post-heal
+    /// probe delay (cap + jitter) sits well inside the scenario's
+    /// recovery measurement span.
+    fn resilient_partition_policy(timeout: u64) -> RetryPolicy {
+        let mut policy = RetryPolicy::resilient(timeout);
+        policy.hedge_delay = 0;
+        policy.breaker = Some(BreakerConfig {
+            fail_threshold: 6,
+            open_base: timeout.saturating_mul(4),
+            open_cap: timeout.saturating_mul(12),
+            probe_quota: 2,
+            close_after: 1,
+            jitter_ppm: 250_000,
+        });
+        policy
+    }
+
+    /// The network-partition scenario: three servers, six clients, a 1%
+    /// lossy wire, and a split over
+    /// [`partition::SPLIT_FROM`]`..`[`partition::SPLIT_UNTIL`] that
+    /// strands the last three clients with no servers. `resilient`
+    /// selects breakers + hedging; `false` runs the plain budgeted
+    /// discipline for contrast (every minority call burns its full
+    /// retry ladder instead of failing fast).
+    pub fn partition_heal(seed: u64, resilient: bool) -> Self {
+        let mut cfg = FleetConfig::serving(3, 6, seed);
+        cfg.policy = if resilient {
+            Self::resilient_partition_policy(partition::TIMEOUT)
+        } else {
+            RetryPolicy::budgeted(partition::TIMEOUT)
+        };
+        cfg.faults = NetFaultConfig {
+            seed: seed ^ 0x7e4a_11bd_93d0_66c3,
+            drop_ppm: 10_000,
+            ..NetFaultConfig::default()
+        }
+        .with_partition(PartitionPlan {
+            from: partition::SPLIT_FROM,
+            until: partition::SPLIT_UNTIL,
+            boundary: partition::BOUNDARY,
+        });
+        cfg
+    }
+
+    /// The flapping-partition scenario: the same split as
+    /// [`FleetConfig::partition_heal`] but opening and healing
+    /// [`partition::FLAPS`] times, always under the resilient policy.
+    pub fn flapping_partition(seed: u64) -> Self {
+        let mut cfg = Self::partition_heal(seed, true);
+        cfg.faults = NetFaultConfig {
+            seed: seed ^ 0x7e4a_11bd_93d0_66c3,
+            drop_ppm: 10_000,
+            ..NetFaultConfig::default()
+        };
+        for k in 0..partition::FLAPS as u64 {
+            let from =
+                partition::SPLIT_FROM + k * (partition::FLAP_SEVERED + partition::FLAP_HEALED);
+            cfg.faults.add_partition(PartitionPlan {
+                from,
+                until: from + partition::FLAP_SEVERED,
+                boundary: partition::BOUNDARY,
+            });
+        }
+        cfg
+    }
+
+    /// The kill-then-revive scenario: the crash-failover fleet under
+    /// the resilient policy. [`rejoin::VICTIM`] dies at
+    /// [`rejoin::KILL_AT`] and is revived cold at [`rejoin::REVIVE_AT`]
+    /// — fresh epoch, empty reply cache — so stale requests bounce with
+    /// `Rebind` and breaker probes fold it back into rotation.
+    pub fn rejoin_after_crash(seed: u64) -> Self {
+        let mut cfg = FleetConfig::crash_failover(seed);
+        cfg.policy = Self::resilient_partition_policy(rejoin::TIMEOUT);
+        cfg
+    }
+
+    /// The overload-shedding scenario: two servers, six clients, no
+    /// wire faults, offered load ~25% over service capacity. With
+    /// `shedding` the brownout admission controller rejects the
+    /// lowest-priority requests explicitly; without it the run queue
+    /// silently drops the excess and clients burn the timeout ladder.
+    pub fn brownout_overload(seed: u64, shedding: bool) -> Self {
+        let mut cfg = FleetConfig::serving(2, 6, seed);
+        cfg.service_cycles = brownout::SERVICE_CYCLES;
+        cfg.server_queue_cap = brownout::QUEUE_CAP;
+        cfg.arrivals_per_mcycle = brownout::ARRIVALS_PER_MCYCLE;
+        cfg.payload_min = 64;
+        cfg.payload_max = 96;
+        cfg.policy = RetryPolicy::budgeted(brownout::TIMEOUT);
+        cfg.brownout_watermark = if shedding { brownout::WATERMARK } else { 0 };
+        cfg
+    }
+
     fn validate(&self) {
         assert!(self.servers >= 1, "fleet needs at least one server");
         assert!(self.clients >= 1, "fleet needs at least one client");
@@ -270,6 +477,9 @@ fn sample_payload(rng: &mut SmallRng, min: u32, max: u32, alpha_x1000: u32) -> u
 struct ClientHost {
     rpc: RpcClient,
     arrivals: SmallRng,
+    /// Per-call priority stream, separate from `arrivals` so enabling
+    /// priorities perturbs neither arrival times nor payload sizes.
+    priorities: SmallRng,
     next_arrival: u64,
 }
 
@@ -279,11 +489,13 @@ impl ClientHost {
         let servers: Vec<u32> = (0..cfg.servers as u32).collect();
         let rpc_seed = cfg.seed ^ 0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(u64::from(nic) + 1);
         let arrival_seed = cfg.seed ^ 0xd1b5_4a32_d192_ed03_u64.wrapping_mul(u64::from(nic) + 1);
+        let prio_seed = cfg.seed ^ 0x94d0_49bb_1331_11eb_u64.wrapping_mul(u64::from(nic) + 1);
         let mut arrivals = SmallRng::seed_from_u64(arrival_seed);
         let next_arrival = sample_interarrival(&mut arrivals, cfg.arrivals_per_mcycle);
         ClientHost {
             rpc: RpcClient::new(nic, servers, cfg.policy, rpc_seed),
             arrivals,
+            priorities: SmallRng::seed_from_u64(prio_seed),
             next_arrival,
         }
     }
@@ -296,7 +508,8 @@ impl ClientHost {
                 cfg.payload_max,
                 cfg.pareto_alpha_x1000,
             );
-            self.rpc.submit(now, bytes);
+            let priority = (self.priorities.gen::<u32>() >> 24) as u8;
+            self.rpc.submit_with_priority(now, bytes, priority);
             self.next_arrival += sample_interarrival(&mut self.arrivals, cfg.arrivals_per_mcycle);
         }
         self.rpc.tick(now, seg);
@@ -307,14 +520,23 @@ impl ClientHost {
         for word in self.arrivals.state() {
             w.u64(word);
         }
+        for word in self.priorities.state() {
+            w.u64(word);
+        }
         w.u64(self.next_arrival);
     }
 
     fn load(r: &mut SnapReader<'_>) -> Result<Self, Error> {
         let rpc = RpcClient::load(r)?;
-        let state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        let arrivals = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        let priorities = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
         let next_arrival = r.u64()?;
-        Ok(ClientHost { rpc, arrivals: SmallRng::from_state(state), next_arrival })
+        Ok(ClientHost {
+            rpc,
+            arrivals: SmallRng::from_state(arrivals),
+            priorities: SmallRng::from_state(priorities),
+            next_arrival,
+        })
     }
 }
 
@@ -334,6 +556,14 @@ pub struct FleetReport {
     pub retries: u64,
     /// Per-call timeouts fired.
     pub timeouts: u64,
+    /// Calls failed fast by open circuit breakers (no wire traffic).
+    pub fast_failed: u64,
+    /// Calls terminated by an explicit server `Shed` reply.
+    pub shed_replies: u64,
+    /// Calls bounced by a stale server epoch and re-issued fresh.
+    pub rebinds: u64,
+    /// Hedge copies placed on the wire.
+    pub hedges: u64,
     /// Acknowledged request payload bytes (the goodput numerator).
     pub acked_payload_bytes: u64,
     /// Acknowledgements that met the timeliness SLA.
@@ -350,8 +580,14 @@ pub struct FleetReport {
     pub server_executed: u64,
     /// Duplicate requests answered from reply caches.
     pub server_dup_cache_hits: u64,
-    /// Requests shed at server run queues.
+    /// Requests shed at server run queues (silently dropped).
     pub server_shed: u64,
+    /// Requests rejected with explicit brownout `Shed` replies.
+    pub server_shed_replied: u64,
+    /// Stale-epoch requests bounced with `Rebind`.
+    pub server_rebinds_sent: u64,
+    /// Reply-cache evictions refused to protect at-most-once.
+    pub server_evictions_refused: u64,
     /// CSMA/CD collisions on the segment.
     pub collisions: u64,
     /// Frames carried by the wire.
@@ -404,6 +640,7 @@ impl Fleet {
                 s.set_queue_cap(cfg.server_queue_cap);
                 s.set_cache_per_client(cfg.reply_cache_per_client);
                 s.set_slowdown(cfg.slowdown.map(|w| (w.from, w.until, w.factor)));
+                s.set_brownout(cfg.brownout_watermark);
                 s
             })
             .collect();
@@ -475,9 +712,65 @@ impl Fleet {
         }
     }
 
+    /// Revives a crashed server: a deterministic cold restart. The
+    /// machine comes back under a **fresh epoch** with an empty run
+    /// queue and reply cache (its execution ledger survives for the
+    /// at-most-once oracle), and its NIC re-attaches with drained
+    /// rings. Requests still carrying the old epoch are bounced with
+    /// `Rebind` rather than executed, so a revived server can never
+    /// double-execute a call it already served before the crash.
+    /// No-op if the server is already online.
+    pub fn revive_server(&mut self, i: usize) {
+        assert!(i < self.cfg.servers, "no such server");
+        if !self.server_online[i] {
+            self.servers[i].restart();
+            self.segment.set_online(i, true);
+            self.server_online[i] = true;
+            let event = format!(
+                "cycle {}: server {i} revived (epoch {})",
+                self.cycle,
+                self.servers[i].epoch()
+            );
+            self.trace_push(event);
+        }
+    }
+
     /// True while server `i` is alive.
     pub fn server_online(&self, i: usize) -> bool {
         self.server_online[i]
+    }
+
+    /// Restart epoch of server `i` (0 = never restarted).
+    pub fn server_epoch(&self, i: usize) -> u32 {
+        self.servers[i].epoch()
+    }
+
+    /// Circuit-breaker state of `client`'s breaker for server slot
+    /// `slot` (`None` when the policy runs without breakers).
+    pub fn breaker_state(&self, client: usize, slot: usize) -> Option<BreakerState> {
+        self.clients[client].rpc.breaker_state(slot)
+    }
+
+    /// Total open episodes across `client`'s breakers — how many times
+    /// any of them tripped over the whole run (0 with breakers off).
+    pub fn breaker_opens(&self, client: usize) -> u64 {
+        (0..self.cfg.servers)
+            .filter_map(|s| self.clients[client].rpc.breaker_stats(s))
+            .map(|st| st.opened)
+            .sum()
+    }
+
+    /// How many of `client`'s per-server breakers are *not* closed —
+    /// the observable the partition gates sample mid-split.
+    pub fn open_breakers(&self, client: usize) -> usize {
+        (0..self.cfg.servers)
+            .filter(|&s| {
+                matches!(
+                    self.clients[client].rpc.breaker_state(s),
+                    Some(BreakerState::Open | BreakerState::HalfOpen)
+                )
+            })
+            .count()
     }
 
     /// Number of servers currently alive.
@@ -582,6 +875,10 @@ impl Fleet {
         let mut shed = 0;
         let mut retries = 0;
         let mut timeouts = 0;
+        let mut fast_failed = 0;
+        let mut shed_replies = 0;
+        let mut rebinds = 0;
+        let mut hedges = 0;
         let mut acked_payload_bytes = 0;
         let mut acked_timely = 0;
         for c in &self.clients {
@@ -591,17 +888,27 @@ impl Fleet {
             shed += s.shed;
             retries += s.retries;
             timeouts += s.timeouts;
+            fast_failed += s.fast_failed;
+            shed_replies += s.shed_replies;
+            rebinds += s.rebinds;
+            hedges += s.hedges;
             acked_payload_bytes += s.acked_payload_bytes;
             acked_timely += s.acked_timely;
         }
         let mut server_executed = 0;
         let mut server_dup_cache_hits = 0;
         let mut server_shed = 0;
+        let mut server_shed_replied = 0;
+        let mut server_rebinds_sent = 0;
+        let mut server_evictions_refused = 0;
         for s in &self.servers {
             let st = s.stats();
             server_executed += st.executed;
             server_dup_cache_hits += st.dup_cache_hits;
             server_shed += st.shed;
+            server_shed_replied += st.shed_replied;
+            server_rebinds_sent += st.rebinds_sent;
+            server_evictions_refused += st.evictions_refused;
         }
         let seg = self.segment.stats();
         let lat = self.latency();
@@ -612,6 +919,10 @@ impl Fleet {
             shed,
             retries,
             timeouts,
+            fast_failed,
+            shed_replies,
+            rebinds,
+            hedges,
             acked_payload_bytes,
             acked_timely,
             goodput_mbps: goodput_mbps(acked_payload_bytes, self.cycle),
@@ -621,6 +932,9 @@ impl Fleet {
             server_executed,
             server_dup_cache_hits,
             server_shed,
+            server_shed_replied,
+            server_rebinds_sent,
+            server_evictions_refused,
             collisions: seg.collisions,
             frames_sent: seg.frames_sent,
             crc_rejects: seg.crc_rejects,
@@ -899,6 +1213,326 @@ pub fn run_crash_failover(seed: u64) -> CrashOutcome {
     }
 }
 
+/// Outcome of one partition run (single split or flapping): baseline
+/// versus split goodput, what the stranded minority paid, and how fast
+/// the fleet got back to baseline after the heal.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct PartitionOutcome {
+    /// True under the circuit-breaker policy, false for plain budgeted
+    /// retries.
+    pub resilient: bool,
+    /// Severed windows in the fault plan (1 = single split).
+    pub severed_windows: usize,
+    /// Timely goodput over the pre-split baseline window, Mb/s.
+    pub baseline_mbps: f64,
+    /// Timely goodput while the partition is (intermittently) open,
+    /// Mb/s — the majority side keeps this near half of baseline.
+    pub split_mbps: f64,
+    /// Timely goodput over the second half of the post-heal span, Mb/s.
+    pub recovered_mbps: f64,
+    /// `recovered_mbps / baseline_mbps` — the headline heal metric.
+    pub recovery_fraction: f64,
+    /// Cycles from the heal until a [`partition::WINDOW`]-sized window
+    /// first reached 90% of baseline (`None` = never).
+    pub recovery_cycles: Option<u64>,
+    /// Timely goodput of each post-heal window, Mb/s, in order.
+    pub windows_mbps: Vec<f64>,
+    /// Timeouts burned by the minority clients during the split.
+    pub minority_split_timeouts: u64,
+    /// Retransmissions sent by the minority clients during the split.
+    pub minority_split_retries: u64,
+    /// Calls the minority clients failed fast at open breakers during
+    /// the split (0 with breakers off).
+    pub minority_split_fast_fails: u64,
+    /// Non-closed minority breakers sampled mid-split (out of
+    /// 3 clients × 3 servers = 9; 0 with breakers off).
+    pub minority_open_breakers_mid_split: usize,
+    /// Non-closed minority breakers at the end of the run — healed
+    /// probes should have closed them all.
+    pub minority_open_breakers_at_end: usize,
+    /// Open episodes across all minority breakers over the whole run.
+    pub minority_breaker_opens: u64,
+    /// Acknowledged calls.
+    pub acked: u64,
+    /// Calls abandoned after the retry budget or give-up deadline.
+    pub failed: u64,
+    /// Submissions shed at the client backlog cap.
+    pub shed: u64,
+    /// Retransmissions sent.
+    pub retries: u64,
+    /// Timeouts fired.
+    pub timeouts: u64,
+    /// Calls failed fast by open breakers, fleet-wide.
+    pub fast_failed: u64,
+    /// Hedge copies placed on the wire.
+    pub hedges: u64,
+    /// Calls bounced by a stale epoch and re-issued.
+    pub rebinds: u64,
+    /// Median acknowledged latency, cycles.
+    pub p50: u64,
+    /// 99th-percentile latency, cycles.
+    pub p99: u64,
+    /// At-most-once oracle violations (must be zero).
+    pub oracle_violations: usize,
+}
+
+/// Sums `(timeouts, retries, fast_failed)` over the minority-side
+/// clients.
+fn minority_totals(fleet: &Fleet) -> (u64, u64, u64) {
+    let mut t = (0, 0, 0);
+    for c in partition::MINORITY_FROM..fleet.config().clients {
+        let s = fleet.client_stats(c);
+        t.0 += s.timeouts;
+        t.1 += s.retries;
+        t.2 += s.fast_failed;
+    }
+    t
+}
+
+fn run_partition_scenario(cfg: FleetConfig, severed_windows: usize) -> PartitionOutcome {
+    let resilient = cfg.policy.breaker.is_some();
+    let clients = cfg.clients;
+    let mut fleet = Fleet::new(cfg);
+    fleet.run_until(partition::BASE_FROM);
+    let b0 = fleet.acked_timely_bytes();
+    fleet.run_until(partition::SPLIT_FROM);
+    let b1 = fleet.acked_timely_bytes();
+    let baseline_mbps = goodput_mbps(b1 - b0, partition::SPLIT_FROM - partition::BASE_FROM);
+    let (t0, r0, f0) = minority_totals(&fleet);
+    let mid_split = partition::SPLIT_FROM + (partition::SPLIT_UNTIL - partition::SPLIT_FROM) / 2;
+    fleet.run_until(mid_split);
+    let minority_open_breakers_mid_split: usize =
+        (partition::MINORITY_FROM..clients).map(|c| fleet.open_breakers(c)).sum();
+    fleet.run_until(partition::SPLIT_UNTIL);
+    let s1 = fleet.acked_timely_bytes();
+    let (t1, r1, f1) = minority_totals(&fleet);
+    let span = partition::END - partition::SPLIT_UNTIL;
+    let mid_heal = partition::SPLIT_UNTIL + span / 2;
+    let mut windows_mbps = Vec::new();
+    let mut prev = s1;
+    let mut mid_bytes = s1;
+    let mut t = partition::SPLIT_UNTIL;
+    while t < partition::END {
+        t += partition::WINDOW;
+        fleet.run_until(t);
+        let cur = fleet.acked_timely_bytes();
+        windows_mbps.push(goodput_mbps(cur - prev, partition::WINDOW));
+        prev = cur;
+        if t == mid_heal {
+            mid_bytes = cur;
+        }
+    }
+    let recovery_cycles = windows_mbps
+        .iter()
+        .position(|&g| g >= 0.9 * baseline_mbps)
+        .map(|i| (i as u64 + 1) * partition::WINDOW);
+    // Steady-state recovered goodput over the second half of the
+    // post-heal span, wide enough to be gate-worthy (the 200k-cycle
+    // windows individually hold only a few dozen calls).
+    let recovered_mbps = goodput_mbps(prev - mid_bytes, partition::END - mid_heal);
+    let report = fleet.report();
+    PartitionOutcome {
+        resilient,
+        severed_windows,
+        baseline_mbps,
+        split_mbps: goodput_mbps(s1 - b1, partition::SPLIT_UNTIL - partition::SPLIT_FROM),
+        recovered_mbps,
+        recovery_fraction: if baseline_mbps > 0.0 { recovered_mbps / baseline_mbps } else { 0.0 },
+        recovery_cycles,
+        windows_mbps,
+        minority_split_timeouts: t1 - t0,
+        minority_split_retries: r1 - r0,
+        minority_split_fast_fails: f1 - f0,
+        minority_open_breakers_mid_split,
+        minority_open_breakers_at_end: (partition::MINORITY_FROM..clients)
+            .map(|c| fleet.open_breakers(c))
+            .sum(),
+        minority_breaker_opens: (partition::MINORITY_FROM..clients)
+            .map(|c| fleet.breaker_opens(c))
+            .sum(),
+        acked: report.acked,
+        failed: report.failed,
+        shed: report.shed,
+        retries: report.retries,
+        timeouts: report.timeouts,
+        fast_failed: report.fast_failed,
+        hedges: report.hedges,
+        rebinds: report.rebinds,
+        p50: report.p50,
+        p99: report.p99,
+        oracle_violations: fleet.check_at_most_once().len(),
+    }
+}
+
+/// Runs the single-split partition-and-heal experiment to completion.
+/// Deterministic in `(seed, resilient)`.
+pub fn run_partition_heal(seed: u64, resilient: bool) -> PartitionOutcome {
+    run_partition_scenario(FleetConfig::partition_heal(seed, resilient), 1)
+}
+
+/// Runs the flapping-partition experiment (always resilient) to
+/// completion. Deterministic in `seed`.
+pub fn run_flapping_partition(seed: u64) -> PartitionOutcome {
+    run_partition_scenario(FleetConfig::flapping_partition(seed), partition::FLAPS)
+}
+
+/// Outcome of one kill-then-revive run: goodput through the outage and
+/// after the rejoin, plus the evidence that the revived machine really
+/// rejoined (fresh epoch, stale requests bounced, new work executed).
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct RejoinOutcome {
+    /// Goodput over the pre-kill baseline window (3 servers), Mb/s.
+    pub baseline_mbps: f64,
+    /// Goodput while the victim is down (2 servers), Mb/s.
+    pub outage_mbps: f64,
+    /// Goodput over the second half of the post-revive span, Mb/s.
+    pub recovered_mbps: f64,
+    /// `recovered_mbps / baseline_mbps` — the rejoin headline.
+    pub recovery_fraction: f64,
+    /// Cycles from the revive until a [`rejoin::WINDOW`]-sized window
+    /// first reached 90% of baseline (`None` = never).
+    pub recovery_cycles: Option<u64>,
+    /// Goodput of each post-revive window, Mb/s, in order.
+    pub windows_mbps: Vec<f64>,
+    /// The victim's epoch after the revive (1 = restarted once).
+    pub victim_epoch: u32,
+    /// First-time executions on the victim *after* the revive — proof
+    /// it rejoined the serving rotation.
+    pub victim_executed_after_revive: u64,
+    /// Client calls bounced by the victim's fresh epoch and re-issued.
+    pub rebinds: u64,
+    /// Calls failed fast at open breakers while the victim was down.
+    pub fast_failed: u64,
+    /// Acknowledged calls.
+    pub acked: u64,
+    /// Calls abandoned after the retry budget or give-up deadline.
+    pub failed: u64,
+    /// Retransmissions sent.
+    pub retries: u64,
+    /// Timeouts fired.
+    pub timeouts: u64,
+    /// At-most-once oracle violations (must be zero).
+    pub oracle_violations: usize,
+}
+
+/// Runs the kill-then-revive experiment to completion. Deterministic
+/// in `seed`.
+pub fn run_rejoin(seed: u64) -> RejoinOutcome {
+    let mut fleet = Fleet::new(FleetConfig::rejoin_after_crash(seed));
+    fleet.run_until(rejoin::BASE_FROM);
+    let b0 = fleet.acked_payload_bytes();
+    fleet.run_until(rejoin::KILL_AT);
+    let b1 = fleet.acked_payload_bytes();
+    let baseline_mbps = goodput_mbps(b1 - b0, rejoin::KILL_AT - rejoin::BASE_FROM);
+    fleet.kill_server(rejoin::VICTIM);
+    fleet.run_until(rejoin::REVIVE_AT);
+    let o1 = fleet.acked_payload_bytes();
+    let outage_mbps = goodput_mbps(o1 - b1, rejoin::REVIVE_AT - rejoin::KILL_AT);
+    fleet.revive_server(rejoin::VICTIM);
+    let victim_executed_at_revive = fleet.server_stats(rejoin::VICTIM).executed;
+    let span = rejoin::END - rejoin::REVIVE_AT;
+    let mid = rejoin::REVIVE_AT + span / 2;
+    let mut windows_mbps = Vec::new();
+    let mut prev = o1;
+    let mut mid_bytes = o1;
+    let mut t = rejoin::REVIVE_AT;
+    while t < rejoin::END {
+        t += rejoin::WINDOW;
+        fleet.run_until(t);
+        let cur = fleet.acked_payload_bytes();
+        windows_mbps.push(goodput_mbps(cur - prev, rejoin::WINDOW));
+        prev = cur;
+        if t == mid {
+            mid_bytes = cur;
+        }
+    }
+    let recovery_cycles = windows_mbps
+        .iter()
+        .position(|&g| g >= 0.9 * baseline_mbps)
+        .map(|i| (i as u64 + 1) * rejoin::WINDOW);
+    let recovered_mbps = goodput_mbps(prev - mid_bytes, rejoin::END - mid);
+    let report = fleet.report();
+    RejoinOutcome {
+        baseline_mbps,
+        outage_mbps,
+        recovered_mbps,
+        recovery_fraction: if baseline_mbps > 0.0 { recovered_mbps / baseline_mbps } else { 0.0 },
+        recovery_cycles,
+        windows_mbps,
+        victim_epoch: fleet.server_epoch(rejoin::VICTIM),
+        victim_executed_after_revive: fleet.server_stats(rejoin::VICTIM).executed
+            - victim_executed_at_revive,
+        rebinds: report.rebinds,
+        fast_failed: report.fast_failed,
+        acked: report.acked,
+        failed: report.failed,
+        retries: report.retries,
+        timeouts: report.timeouts,
+        oracle_violations: fleet.check_at_most_once().len(),
+    }
+}
+
+/// Outcome of one overload run with the brownout admission controller
+/// on or off: what explicit shed replies buy over silent queue drops.
+#[derive(Clone, PartialEq, Debug, Serialize)]
+pub struct BrownoutOutcome {
+    /// True with the admission controller on.
+    pub shedding: bool,
+    /// Timely goodput over the measurement window, Mb/s.
+    pub goodput_mbps: f64,
+    /// Acknowledged calls.
+    pub acked: u64,
+    /// Acknowledgements that met the timeliness SLA.
+    pub acked_timely: u64,
+    /// Calls abandoned after the retry budget or give-up deadline.
+    pub failed: u64,
+    /// Calls terminated in one round trip by an explicit `Shed` reply.
+    pub shed_replies: u64,
+    /// Timeouts fired (the silent-drop path burns these instead).
+    pub timeouts: u64,
+    /// Retransmissions sent.
+    pub retries: u64,
+    /// Submissions shed at client backlog caps.
+    pub client_shed: u64,
+    /// Requests silently dropped at server run queues.
+    pub server_shed_silent: u64,
+    /// Requests rejected with explicit brownout `Shed` replies.
+    pub server_shed_replied: u64,
+    /// Median acknowledged latency, cycles.
+    pub p50: u64,
+    /// 99th-percentile latency, cycles.
+    pub p99: u64,
+    /// At-most-once oracle violations (must be zero).
+    pub oracle_violations: usize,
+}
+
+/// Runs the overload-shedding experiment to completion. Deterministic
+/// in `(seed, shedding)`.
+pub fn run_brownout(seed: u64, shedding: bool) -> BrownoutOutcome {
+    let mut fleet = Fleet::new(FleetConfig::brownout_overload(seed, shedding));
+    fleet.run_until(brownout::BASE_FROM);
+    let b0 = fleet.acked_timely_bytes();
+    fleet.run_until(brownout::END);
+    let b1 = fleet.acked_timely_bytes();
+    let report = fleet.report();
+    BrownoutOutcome {
+        shedding,
+        goodput_mbps: goodput_mbps(b1 - b0, brownout::END - brownout::BASE_FROM),
+        acked: report.acked,
+        acked_timely: report.acked_timely,
+        failed: report.failed,
+        shed_replies: report.shed_replies,
+        timeouts: report.timeouts,
+        retries: report.retries,
+        client_shed: report.shed,
+        server_shed_silent: report.server_shed,
+        server_shed_replied: report.server_shed_replied,
+        p50: report.p50,
+        p99: report.p99,
+        oracle_violations: fleet.check_at_most_once().len(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1046,6 +1680,69 @@ mod tests {
             println!("client {i}: {}", fleet.client_stats(i).to_json());
         }
         println!("seg: {}", fleet.segment_stats().to_json());
+    }
+
+    #[test]
+    fn revived_server_rejoins_under_a_fresh_epoch() {
+        let mut fleet = Fleet::new(FleetConfig::serving(2, 4, 13));
+        fleet.run(150_000);
+        fleet.kill_server(0);
+        fleet.run(200_000);
+        assert_eq!(fleet.online_servers(), 1);
+        let executed_dead = fleet.server_stats(0).executed;
+        fleet.revive_server(0);
+        assert!(fleet.server_online(0));
+        assert_eq!(fleet.server_epoch(0), 1);
+        fleet.run(400_000);
+        // The revived server went back into rotation and did fresh
+        // work; stale-epoch retransmissions were bounced, not re-run.
+        assert!(
+            fleet.server_stats(0).executed > executed_dead,
+            "revived server executed nothing new"
+        );
+        assert!(fleet.check_at_most_once().is_empty());
+        assert_eq!(fleet.trace().len(), 2);
+        assert!(fleet.trace()[1].contains("server 0 revived (epoch 1)"));
+        // Reviving an online server is a no-op.
+        fleet.revive_server(0);
+        assert_eq!(fleet.trace().len(), 2);
+    }
+
+    #[test]
+    fn brownout_watermark_reaches_the_servers() {
+        let mut fleet = Fleet::new(FleetConfig::brownout_overload(7, true));
+        fleet.run(400_000);
+        let report = fleet.report();
+        assert!(report.server_shed_replied > 0, "overloaded fleet never shed explicitly");
+        assert!(report.shed_replies > 0, "no client saw a shed reply");
+        assert!(fleet.check_at_most_once().is_empty());
+    }
+
+    #[test]
+    #[ignore = "diagnostic probe"]
+    fn partition_probe() {
+        for resilient in [false, true] {
+            let o = run_partition_heal(0x000f_1ee7, resilient);
+            println!("--- resilient={resilient}: {}", o.to_json());
+        }
+        let o = run_flapping_partition(0x000f_1ee7);
+        println!("--- flapping: {}", o.to_json());
+    }
+
+    #[test]
+    #[ignore = "diagnostic probe"]
+    fn rejoin_probe() {
+        let o = run_rejoin(0x000f_1ee7);
+        println!("--- rejoin: {}", o.to_json());
+    }
+
+    #[test]
+    #[ignore = "diagnostic probe"]
+    fn brownout_probe() {
+        for shedding in [false, true] {
+            let o = run_brownout(0x000f_1ee7, shedding);
+            println!("--- shedding={shedding}: {}", o.to_json());
+        }
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! * every outcome is a pure function of the seed, at any
 //!   `FIREFLY_JOBS` width, and across a snapshot/restore boundary.
 
-use firefly::sim::fleet::{crash, run_crash_failover, run_retry_storm, storm, Fleet, FleetConfig};
+use firefly::sim::fleet::{
+    crash, run_brownout, run_crash_failover, run_flapping_partition, run_partition_heal,
+    run_rejoin, run_retry_storm, storm, Fleet, FleetConfig,
+};
 use firefly::sim::harness::run_jobs_with;
 use serde::Serialize;
 
@@ -134,6 +137,184 @@ fn fleet_snapshot_resumes_bit_identically() {
         resumed.save_snapshot(),
         "re-snapshot bytes diverged after restore"
     );
+}
+
+/// The partition headline: sever the minority clients from every
+/// server for 1.2 Mcycles. With plain budgeted retries they grind
+/// against the dead wire; with circuit breakers they trip, fail fast,
+/// and the whole fleet heals to ≥85% of baseline once the split mends.
+#[test]
+fn partition_fails_fast_in_minority_and_heals() {
+    let resilient = run_partition_heal(SEED, true);
+    let budgeted = run_partition_heal(SEED, false);
+
+    // Before the split the breaker never trips, so the two disciplines
+    // are not merely similar — they are the same simulation.
+    assert!(resilient.baseline_mbps > 1.0, "baseline {:.3}", resilient.baseline_mbps);
+    assert_eq!(
+        resilient.baseline_mbps, budgeted.baseline_mbps,
+        "pre-split behaviour must be identical across policies"
+    );
+
+    // During the split the minority's breakers are all open and its
+    // calls fail fast instead of burning the retry budget.
+    assert_eq!(
+        resilient.minority_open_breakers_mid_split, 9,
+        "all 3 minority clients × 3 servers should be tripped mid-split"
+    );
+    assert_eq!(budgeted.minority_open_breakers_mid_split, 0);
+    assert!(
+        resilient.minority_split_fast_fails >= 20,
+        "minority fast-fails {}",
+        resilient.minority_split_fast_fails
+    );
+    assert_eq!(budgeted.minority_split_fast_fails, 0);
+    assert!(
+        2 * resilient.minority_split_timeouts < budgeted.minority_split_timeouts,
+        "breakers should spare most minority timeouts: {} vs {}",
+        resilient.minority_split_timeouts,
+        budgeted.minority_split_timeouts
+    );
+
+    // Fleet-wide, fail-fast keeps the majority side breathing while the
+    // split is open and spares an order of magnitude of timeouts.
+    assert!(
+        resilient.split_mbps > 1.5 * budgeted.split_mbps,
+        "split goodput {:.3} vs budgeted {:.3}",
+        resilient.split_mbps,
+        budgeted.split_mbps
+    );
+    assert!(
+        budgeted.timeouts > 4 * resilient.timeouts,
+        "budgeted {} timeouts vs resilient {}",
+        budgeted.timeouts,
+        resilient.timeouts
+    );
+    assert!(
+        resilient.failed < budgeted.failed,
+        "resilient abandons fewer calls: {} vs {}",
+        resilient.failed,
+        budgeted.failed
+    );
+
+    // After the heal: half-open probes re-close every breaker and
+    // timely goodput returns to ≥85% of baseline within the window.
+    assert_eq!(resilient.minority_open_breakers_at_end, 0, "breakers must re-close post-heal");
+    assert!(
+        resilient.recovery_fraction >= 0.85,
+        "post-heal timely goodput must reach ≥85% of baseline, got {:.0}%",
+        resilient.recovery_fraction * 100.0
+    );
+    resilient.recovery_cycles.expect("a post-heal window must regain 90% of baseline");
+
+    assert_eq!(resilient.oracle_violations, 0);
+    assert_eq!(budgeted.oracle_violations, 0);
+}
+
+/// A flapping partition (3 sever/heal rounds) is the classic breaker
+/// killer: each heal must re-close the breakers, each re-split must
+/// re-trip them, and none may stick open once the weather clears.
+#[test]
+fn flapping_partition_recloses_breakers_every_round() {
+    let outcome = run_flapping_partition(SEED);
+    assert!(
+        outcome.minority_breaker_opens >= outcome.severed_windows as u64,
+        "breakers should trip across the flaps: {} opens over {} windows",
+        outcome.minority_breaker_opens,
+        outcome.severed_windows
+    );
+    assert!(outcome.minority_split_fast_fails > 0);
+    assert_eq!(outcome.minority_open_breakers_at_end, 0, "a breaker stuck open after the heal");
+    assert!(
+        outcome.recovery_fraction >= 0.85,
+        "flapping recovery {:.0}%",
+        outcome.recovery_fraction * 100.0
+    );
+    assert_eq!(outcome.oracle_violations, 0);
+}
+
+/// Kill a server, then bring it back: the revived machine must rejoin
+/// under a fresh epoch, bounce stale requests with `Rebind` instead of
+/// executing them (at-most-once survives the restart), and the fleet
+/// must regain baseline goodput at full N.
+#[test]
+fn revived_server_rejoins_and_the_fleet_recovers() {
+    let outcome = run_rejoin(SEED);
+    assert_eq!(outcome.victim_epoch, 1, "one restart = epoch 1");
+    assert!(
+        outcome.victim_executed_after_revive > 0,
+        "the revived server must re-enter the serving rotation"
+    );
+    assert!(outcome.rebinds >= 1, "stale requests must bounce, not execute");
+    assert!(
+        outcome.outage_mbps > 0.5,
+        "the surviving pair must keep serving through the outage, got {:.3}",
+        outcome.outage_mbps
+    );
+    assert!(
+        outcome.recovery_fraction >= 0.85,
+        "post-revive goodput must reach ≥85% of baseline, got {:.0}%",
+        outcome.recovery_fraction * 100.0
+    );
+    assert_eq!(outcome.oracle_violations, 0, "at-most-once must survive the restart");
+}
+
+/// Brownout: the same seeded overload, with and without the server
+/// admission controller. Explicit `Shed` replies convert slow timeout
+/// deaths into fast, cheap rejections — higher timely goodput, no
+/// abandoned calls, and a far shorter tail.
+#[test]
+fn brownout_shedding_beats_silent_collapse() {
+    let shed = run_brownout(SEED, true);
+    let silent = run_brownout(SEED, false);
+
+    assert!(shed.server_shed_replied > 100, "shed replies {}", shed.server_shed_replied);
+    assert_eq!(shed.server_shed_silent, 0);
+    assert_eq!(silent.server_shed_replied, 0);
+    assert!(silent.server_shed_silent > 100, "silent drops {}", silent.server_shed_silent);
+
+    assert!(
+        shed.goodput_mbps > silent.goodput_mbps,
+        "shedding goodput {:.3} vs silent {:.3}",
+        shed.goodput_mbps,
+        silent.goodput_mbps
+    );
+    assert_eq!(shed.acked_timely, shed.acked, "every shedding-arm ack should meet the SLA");
+    assert!(silent.acked_timely < silent.acked, "silent drops should blow the SLA for some");
+    assert_eq!(shed.failed, 0, "no call should be abandoned when overload is explicit");
+    assert!(
+        4 * shed.timeouts < silent.timeouts,
+        "shed replies should spare most timeouts: {} vs {}",
+        shed.timeouts,
+        silent.timeouts
+    );
+    assert!(
+        2 * shed.p99 < silent.p99,
+        "explicit shedding should at least halve the p99: {} vs {}",
+        shed.p99,
+        silent.p99
+    );
+    assert_eq!(shed.oracle_violations, 0);
+    assert_eq!(silent.oracle_violations, 0);
+}
+
+/// Every partition-era outcome is a pure function of the seed: the full
+/// scenario grid serializes bit-identically at one worker and at four.
+#[test]
+fn partition_outcomes_are_bit_identical_across_worker_counts() {
+    let jobs: Vec<u8> = vec![0, 1, 2, 3, 4];
+    let run = |workers: usize| -> Vec<String> {
+        run_jobs_with(workers, &jobs, |&job| match job {
+            0 => run_partition_heal(SEED, true).to_json(),
+            1 => run_partition_heal(SEED, false).to_json(),
+            2 => run_flapping_partition(SEED).to_json(),
+            3 => run_rejoin(SEED).to_json(),
+            _ => run_brownout(SEED, true).to_json(),
+        })
+    };
+    let serial = run(1);
+    let wide = run(4);
+    assert_eq!(serial, wide, "partition outcomes diverged between 1 and 4 workers");
 }
 
 /// A snapshot only restores into a fleet with the identical config.
